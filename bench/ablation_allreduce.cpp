@@ -1,0 +1,53 @@
+// Ablation — all-reduce topology: chunked ring vs naive gather+broadcast.
+//
+// Simulated-time comparison across message sizes and world sizes.  Expected
+// shape: the ring's per-rank traffic is ~2*(k-1)/k of the buffer regardless
+// of k, while the naive scheme serializes 2*(k-1) full-buffer transfers
+// through rank 0 — so the gap widens with both size and world size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dflow/collectives.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+double run(std::size_t world, std::size_t count, bool ring) {
+  gpu::DeviceManager dm(world, gpu::spec::t4());
+  std::vector<gpu::DeviceBuffer<float>> bufs;
+  std::vector<dflow::CollectiveBuffer> views;
+  for (std::size_t r = 0; r < world; ++r) {
+    bufs.emplace_back(dm.device(r), count);
+    views.push_back({r, bufs.back().data()});
+  }
+  const double t0 = dm.now_s();
+  if (ring)
+    dflow::ring_allreduce_sum(dm, views, count);
+  else
+    dflow::naive_allreduce_sum(dm, views, count);
+  return dm.now_s() - t0;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "ring vs naive all-reduce (simulated time)");
+
+  std::printf("%6s %12s %14s %14s %9s\n", "GPUs", "floats", "ring (sim)",
+              "naive (sim)", "ring win");
+  for (std::size_t world : {2ull, 4ull, 8ull}) {
+    for (std::size_t count : {1024ull, 262144ull, 4194304ull}) {
+      const double ring_s = run(world, count, true);
+      const double naive_s = run(world, count, false);
+      std::printf("%6zu %12zu %11.3f ms %11.3f ms %8.2fx\n", world, count,
+                  ring_s * 1e3, naive_s * 1e3, naive_s / ring_s);
+    }
+  }
+
+  bench::section("expected shape");
+  std::printf("tiny messages: latency-dominated, ring's extra steps can lose;\n"
+              "large messages: ring wins and the advantage grows with world "
+              "size\n(this is why NCCL/DDP ring-allreduce exists).\n");
+  return 0;
+}

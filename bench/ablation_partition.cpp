@@ -1,0 +1,67 @@
+// Ablation — what each piece of the METIS-like partitioner buys.
+//
+// Compares edge cut and balance across: random, block, METIS without
+// refinement, and full METIS, on three graph families (grid, community,
+// power-law).  The design claim: multilevel coarsening finds the structure,
+// FM refinement polishes the boundary.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/metis_like.hpp"
+
+using namespace sagesim;
+using graph::CsrGraph;
+
+namespace {
+
+void evaluate(const char* family, const CsrGraph& g, int k) {
+  bench::section(std::string(family) + " (n=" + std::to_string(g.num_nodes()) +
+                 ", m=" + std::to_string(g.num_edges()) + ", k=" +
+                 std::to_string(k) + ")");
+  stats::Rng rng(77);
+
+  struct Entry {
+    const char* name;
+    graph::Partition partition;
+  };
+  graph::MetisOptions no_refine;
+  no_refine.refine = false;
+  std::vector<Entry> entries;
+  entries.push_back({"random", graph::random_partition(g, k, rng)});
+  entries.push_back({"block", graph::block_partition(g, k)});
+  entries.push_back({"metis (no refine)", graph::metis_like(g, k, no_refine)});
+  entries.push_back({"metis (full)", graph::metis_like(g, k)});
+
+  std::printf("  %-20s %10s %14s %9s\n", "partitioner", "edge cut",
+              "cut fraction", "balance");
+  for (auto& e : entries) {
+    const auto q = graph::evaluate_partition(g, e.partition);
+    std::printf("  %-20s %10zu %13.1f%% %9.2f\n", e.name, q.edge_cut,
+                100.0 * q.cut_fraction, q.balance);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "partitioner components (edge cut / balance)");
+
+  stats::Rng rng(7);
+  evaluate("2-D grid", graph::grid_2d(40, 40), 4);
+
+  graph::PlantedPartitionParams pp;
+  pp.num_nodes = 1200;
+  pp.num_classes = 4;
+  pp.intra_edge_prob = 0.02;
+  pp.inter_edge_prob = 0.0008;
+  evaluate("planted communities", graph::planted_partition(pp, rng).graph, 4);
+
+  evaluate("R-MAT power law", graph::rmat(11, 8, rng), 4);
+
+  bench::section("expected shape");
+  std::printf("metis (full) <= metis (no refine) << random on structured "
+              "graphs;\nblock partitioning only helps when node ids encode "
+              "locality (grid).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation — CUDA-stream overlap: one stream serializes transfer and
+// compute; two streams pipeline chunk k's kernel against chunk k+1's
+// upload, hiding transfer time behind compute (the classic cudaMemcpyAsync
+// + streams lesson from the course's optimization week).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpusim/device_manager.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+/// Processes @p chunks chunks of @p bytes each.  Per chunk: H2D upload then
+/// a compute kernel whose modeled time ~= the transfer time (the sweet spot
+/// for overlap).  Returns total simulated time.
+double run(std::size_t chunks, std::size_t bytes, bool overlapped) {
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  auto& dev = dm.device(0);
+  const int copy_stream = overlapped ? dev.create_stream() : 0;
+
+  std::vector<std::byte> host(bytes);
+  std::vector<gpu::DeviceBuffer<std::byte>> bufs;
+  bufs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) bufs.emplace_back(dev, bytes);
+
+  // Compute cost calibrated to roughly one transfer time.
+  const double transfer_s = dev.timing().transfer_seconds(bytes);
+  const double flops = transfer_s * dev.spec().peak_flops();
+
+  gpu::Event uploaded{};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    dev.copy_h2d(bufs[c].data(), host.data(), bytes, copy_stream);
+    uploaded = dev.record_event(copy_stream);
+    // The kernel for chunk c must wait for chunk c's upload...
+    dev.wait_event(0, uploaded);
+    dev.charge("process_chunk", prof::EventKind::kKernel,
+               flops / dev.spec().peak_flops(), 0, {{"flops", flops}});
+    // ...but with a separate copy stream, chunk c+1's upload proceeds
+    // concurrently with this kernel — no artificial serialization.
+  }
+  return dev.synchronize();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "stream overlap: serialized vs pipelined H2D+compute");
+
+  std::printf("%8s %10s %16s %16s %10s\n", "chunks", "MiB", "1 stream",
+              "2 streams", "speedup");
+  for (std::size_t chunks : {4ull, 8ull, 16ull}) {
+    for (std::size_t mib : {16ull, 64ull}) {
+      const double serial = run(chunks, mib << 20, false);
+      const double overlap = run(chunks, mib << 20, true);
+      std::printf("%8zu %10zu %13.2f ms %13.2f ms %9.2fx\n", chunks, mib,
+                  serial * 1e3, overlap * 1e3, serial / overlap);
+    }
+  }
+
+  bench::section("expected shape");
+  std::printf("with balanced transfer/compute, pipelining approaches 2x as\n"
+              "the chunk count grows (pipeline fill cost amortizes) — the\n"
+              "cudaMemcpyAsync + streams optimization in the course's GPU\n"
+              "optimization module.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation — host<->device data movement strategies, reproducing the shape
+// of the course's Numba/unified-memory references ([6], [7]): explicit
+// pinned copies vs pageable copies vs unified-memory demand paging vs
+// unified memory with prefetch.
+//
+// Expected shape: pinned < prefetch(UM) < pageable << demand paging,
+// with demand paging's penalty growing with the number of faulted pages.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpusim/device_manager.hpp"
+#include "gpusim/unified.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+double explicit_copy(std::size_t bytes, bool pinned) {
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  auto& dev = dm.device(0);
+  std::vector<std::byte> host(bytes);
+  gpu::DeviceBuffer<std::byte> buf(dev, bytes);
+  const double t0 = dev.stream_time(0);
+  dev.copy_h2d(buf.data(), host.data(), bytes, 0, pinned);
+  return dev.stream_time(0) - t0;
+}
+
+double managed(std::size_t bytes, bool prefetch) {
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  auto& dev = dm.device(0);
+  gpu::ManagedBuffer<std::byte> buf(dev, bytes);
+  const double t0 = dev.stream_time(0);
+  if (prefetch)
+    buf.prefetch_to_device();
+  else
+    buf.fault_to_device(0, bytes);  // kernel touches everything cold
+  return dev.stream_time(0) - t0;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation",
+                "H2D movement: pinned / pageable / UM demand / UM prefetch");
+
+  std::printf("%10s %12s %12s %14s %14s\n", "MiB", "pinned", "pageable",
+              "UM demand", "UM prefetch");
+  for (std::size_t mib : {8ull, 64ull, 256ull, 1024ull}) {
+    const std::size_t bytes = mib << 20;
+    const double pinned_s = explicit_copy(bytes, true);
+    const double pageable_s = explicit_copy(bytes, false);
+    const double demand_s = managed(bytes, false);
+    const double prefetch_s = managed(bytes, true);
+    std::printf("%10zu %9.2f ms %9.2f ms %11.2f ms %11.2f ms\n", mib,
+                pinned_s * 1e3, pageable_s * 1e3, demand_s * 1e3,
+                prefetch_s * 1e3);
+  }
+
+  bench::section("expected shape");
+  std::printf(
+      "demand paging pays a ~%.0f us fault per 2 MiB page on top of the\n"
+      "transfer, so it loses badly for dense cold access; prefetching\n"
+      "recovers explicit-copy performance while keeping the single-pointer\n"
+      "programming model — the conclusion of the course's unified-memory\n"
+      "references.\n",
+      gpu::ManagedAllocation::kFaultLatencyS * 1e6);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Algorithm 1 — "Distributed GCN Training Using METIS Partitioning and
+// Dask" (§III.B), the paper's central technical experiment.
+//
+// Reproduced claims:
+//  1. "simply splitting the graph and distributing the training yielded
+//     minimal performance improvement" — the k-sweep shows near-flat (or
+//     worse) simulated wall time, dominated by scheduler dispatch and
+//     gradient synchronization at course scale;
+//  2. "a notable outcome was the enhanced prediction accuracy scores after
+//     splitting and training" — accuracy holds or improves with METIS
+//     partitions despite dropped cut edges;
+//  3. METIS vs random partitioning changes edge cut, dropped halo edges,
+//     and GPU utilization (the analysis students are asked to run).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/distributed_gcn.hpp"
+#include "prof/report.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+struct Row {
+  int k;
+  const char* strategy;
+  core::DistributedGcnResult result;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Algorithm 1",
+                "distributed GCN training (METIS + Dask, pubmed-like graph)");
+
+  stats::Rng rng(41);
+  const auto ds = graph::pubmed_like(rng, 0.08);  // ~1577 nodes, 500 features
+  std::printf("dataset: %zu nodes, %zu edges, %zu features, %d classes "
+              "(PubMed-like planted partition; see DESIGN.md substitutions)\n",
+              ds.graph.num_nodes(), ds.graph.num_edges(), ds.features.cols(),
+              ds.num_classes);
+
+  core::DistributedGcnConfig base;
+  base.epochs = 40;
+  base.hidden = 16;
+  base.dropout = 0.3f;
+  base.learning_rate = 0.05f;
+
+  std::vector<Row> rows;
+  for (int k : {1, 2, 4}) {
+    gpu::DeviceManager dm(static_cast<std::size_t>(k), gpu::spec::t4());
+    dflow::Cluster cluster(dm);
+    auto cfg = base;
+    cfg.num_partitions = k;
+    rows.push_back({k, "metis", core::train_distributed_gcn(ds, cluster, cfg)});
+  }
+  for (int k : {2, 4}) {
+    gpu::DeviceManager dm(static_cast<std::size_t>(k), gpu::spec::t4());
+    dflow::Cluster cluster(dm);
+    auto cfg = base;
+    cfg.num_partitions = k;
+    cfg.strategy = core::PartitionStrategy::kRandom;
+    rows.push_back(
+        {k, "random", core::train_distributed_gcn(ds, cluster, cfg)});
+  }
+
+  bench::section("results (40 epochs each)");
+  std::printf("%3s %-8s %10s %9s %10s %9s %10s %12s\n", "k", "strategy",
+              "sim time", "speedup", "test acc", "edge cut", "halo lost",
+              "mean GPU util");
+  const double t1 = rows[0].result.train_sim_seconds;
+  for (const auto& row : rows) {
+    double util = 0.0;
+    for (double u : row.result.gpu_utilization) util += u;
+    util /= static_cast<double>(row.result.gpu_utilization.size());
+    std::printf("%3d %-8s %9.3fs %8.2fx %9.1f%% %9zu %10zu %11.1f%%\n", row.k,
+                row.strategy, row.result.train_sim_seconds,
+                t1 / row.result.train_sim_seconds,
+                100.0 * row.result.test_accuracy, row.result.partition.edge_cut,
+                row.result.cut_edges_dropped, 100.0 * util);
+  }
+
+  bench::section("paper-shape checks");
+  const auto& seq = rows[0].result;
+  const auto& m4 = rows[2].result;
+  const auto& r4 = rows[4].result;
+  std::printf("minimal wall-clock improvement from splitting?   %s "
+              "(k=4 speedup %.2fx, paper: 'minimal performance improvement')\n",
+              t1 / m4.train_sim_seconds < 1.5 ? "yes" : "NO",
+              t1 / m4.train_sim_seconds);
+  std::printf("accuracy preserved or enhanced by splitting?     %s "
+              "(k=1 %.1f%% vs k=4 METIS %.1f%%)\n",
+              m4.test_accuracy >= seq.test_accuracy - 0.02 ? "yes" : "NO",
+              100.0 * seq.test_accuracy, 100.0 * m4.test_accuracy);
+  std::printf("METIS cuts far fewer edges than random?          %s "
+              "(%zu vs %zu at k=4)\n",
+              m4.partition.edge_cut * 2 < r4.partition.edge_cut ? "yes" : "NO",
+              m4.partition.edge_cut, r4.partition.edge_cut);
+  std::printf("random partitioning loses more halo edges?       %s "
+              "(%zu vs %zu)\n",
+              r4.cut_edges_dropped > m4.cut_edges_dropped ? "yes" : "NO",
+              r4.cut_edges_dropped, m4.cut_edges_dropped);
+
+  bench::section("loss curves (first/last five epochs)");
+  for (const auto& row : rows) {
+    std::printf("k=%d %-8s: ", row.k, row.strategy);
+    const auto& l = row.result.epoch_losses;
+    for (std::size_t i = 0; i < 5; ++i) std::printf("%.3f ", l[i]);
+    std::printf("... ");
+    for (std::size_t i = l.size() - 5; i < l.size(); ++i)
+      std::printf("%.3f ", l[i]);
+    std::printf("\n");
+  }
+  return 0;
+}

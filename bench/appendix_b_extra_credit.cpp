@@ -1,0 +1,51 @@
+// Appendix B — extra credit instruments and their outcomes.
+//
+// Paper: "Build Your Own Lab" had 0 attempts in Fall 2024 and 3 Spring 2025
+// submissions, none meeting the SLOs; the Spring-only "Academic Paper
+// Review" reached ~60% completion with strong summaries but vague
+// extension proposals.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "edu/extra_credit.hpp"
+
+using namespace sagesim;
+
+int main() {
+  bench::header("Appendix B", "extra-credit instruments");
+
+  std::printf("%-26s %-14s %9s %14s %12s\n", "instrument", "semester",
+              "attempts", "met outcomes", "completion");
+  const struct {
+    edu::ExtraCredit instrument;
+    edu::Semester semester;
+  } cells[] = {
+      {edu::ExtraCredit::kBuildYourOwnLab, edu::Semester::kFall2024},
+      {edu::ExtraCredit::kBuildYourOwnLab, edu::Semester::kSpring2025},
+      {edu::ExtraCredit::kPaperReview, edu::Semester::kSpring2025},
+  };
+  for (const auto& cell : cells) {
+    const auto r = edu::reported_extra_credit(cell.instrument, cell.semester);
+    std::printf("%-26s %-14s %9zu %14zu %11.0f%%\n",
+                edu::to_string(cell.instrument),
+                edu::to_string(cell.semester), r.attempts, r.met_outcomes,
+                100.0 * r.completion_rate);
+  }
+
+  bench::section("paper-shape checks");
+  const auto lab_f24 = edu::reported_extra_credit(
+      edu::ExtraCredit::kBuildYourOwnLab, edu::Semester::kFall2024);
+  const auto lab_s25 = edu::reported_extra_credit(
+      edu::ExtraCredit::kBuildYourOwnLab, edu::Semester::kSpring2025);
+  const auto review = edu::reported_extra_credit(
+      edu::ExtraCredit::kPaperReview, edu::Semester::kSpring2025);
+  std::printf("no Fall build-your-own-lab attempts?      %s\n",
+              lab_f24.attempts == 0 ? "yes" : "NO");
+  std::printf("3 Spring submissions, 0 meeting SLOs?     %s\n",
+              lab_s25.attempts == 3 && lab_s25.met_outcomes == 0 ? "yes" : "NO");
+  std::printf("paper review ~60%% completion?             %s (%.0f%%)\n",
+              review.completion_rate > 0.55 && review.completion_rate < 0.65
+                  ? "yes" : "NO",
+              100.0 * review.completion_rate);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared formatting helpers for the bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+inline void header(const std::string& id, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Renders a horizontal ASCII bar scaled so that @p max_value spans
+/// @p width characters.
+inline std::string bar(double value, double max_value, int width = 40) {
+  if (max_value <= 0.0) return "";
+  int n = static_cast<int>(value / max_value * width + 0.5);
+  if (n < 0) n = 0;
+  if (n > width) n = width;
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace bench

@@ -1,0 +1,39 @@
+// Fig. 1 — "Enrollment per Term (Graduate vs Undergraduate)".
+//
+// Regenerates the per-term enrollment bars from the edu model, which is
+// pinned to every enrollment number the paper states (15 Spring graduates,
+// ~39 students over Fall+Spring, Appendix C's 20 graduates, Appendix D's 18
+// evaluation respondents).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "edu/enrollment.hpp"
+
+int main() {
+  using namespace sagesim::edu;
+  bench::header("Fig. 1", "Enrollment per Term (Graduate vs Undergraduate)");
+
+  std::printf("%-14s %10s %14s %8s\n", "term", "graduate", "undergraduate",
+              "total");
+  std::size_t fall_spring_total = 0;
+  for (const auto& rec : enrollment_by_term()) {
+    std::printf("%-14s %10zu %14zu %8zu   %s\n", to_string(rec.semester),
+                rec.graduates, rec.undergraduates, rec.total(),
+                bench::bar(static_cast<double>(rec.total()), 30.0, 30).c_str());
+    if (rec.semester != Semester::kSummer2025)
+      fall_spring_total += rec.total();
+  }
+
+  bench::section("consistency with the paper's text");
+  std::printf("Fall 2024 + Spring 2025 students : %zu   (paper: 'about thirty-nine')\n",
+              fall_spring_total);
+  std::printf("Spring 2025 graduate students    : %zu   (paper: 'fifteen graduate students')\n",
+              enrollment(Semester::kSpring2025).graduates);
+  std::printf("graduates across both terms      : %zu   (Appendix C: n=20 per group)\n",
+              enrollment(Semester::kFall2024).graduates +
+                  enrollment(Semester::kSpring2025).graduates);
+  std::printf("evaluation respondents           : %zu   (Appendix D: n=18)\n",
+              evaluation_respondents(Semester::kFall2024) +
+                  evaluation_respondents(Semester::kSpring2025));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 3 — "Student Feedback on Course Content and Lab/Clinical
+// Experiences" (six standardized questions, frequency Likert scale,
+// undergraduate vs graduate).
+//
+// Samples evaluation responses from the calibrated distributions and prints
+// the per-question percentage breakdown, then verifies the figure's two
+// qualitative findings.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "edu/enrollment.hpp"
+#include "edu/survey.hpp"
+#include "stats/likert.hpp"
+
+using namespace sagesim;
+
+int main() {
+  bench::header("Fig. 3",
+                "Student Feedback on Course Content and Lab Experiences");
+
+  stats::Rng rng(3030);
+  // 85% response rate over both terms' cohorts, per level.
+  const std::size_t n_ug = 17;  // of 20 undergraduates
+  const std::size_t n_grad = 17;
+
+  double content_always_ug = 0.0, lab_always_ug = 0.0;
+  int content_n = 0, lab_n = 0;
+
+  for (int q = 0; q < edu::kEvalQuestionCount; ++q) {
+    const auto question = static_cast<edu::EvalQuestion>(q);
+    bench::section(edu::question_text(question));
+    for (const auto level :
+         {edu::Level::kUndergraduate, edu::Level::kGraduate}) {
+      const auto n = level == edu::Level::kUndergraduate ? n_ug : n_grad;
+      const auto responses = edu::sample_eval_responses(question, level, n, rng);
+      const auto s = stats::summarize_likert(responses);
+      std::printf("  %-14s", edu::to_string(level));
+      for (int v = 5; v >= 1; --v)
+        std::printf("  %s:%4.0f%%",
+                    stats::to_string(static_cast<stats::Frequency>(v)),
+                    s.percent(v));
+      std::printf("\n");
+      if (level == edu::Level::kUndergraduate) {
+        const bool is_lab = q >= 4;
+        (is_lab ? lab_always_ug : content_always_ug) += s.percent(5);
+        (is_lab ? lab_n : content_n)++;
+      }
+    }
+  }
+
+  bench::section("paper-shape checks");
+  std::printf(
+      "mean UG 'Always' on content questions %.0f%% > lab questions %.0f%%?  %s\n"
+      "  (paper: lab questions 'tend to have lower Always percentages')\n",
+      content_always_ug / content_n, lab_always_ug / lab_n,
+      content_always_ug / content_n > lab_always_ug / lab_n ? "yes" : "NO");
+  std::printf(
+      "negative categories are a small minority in every cell (by construction\n"
+      "of the calibrated distributions; see eval_distribution()).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figs. 4a-4d — the anonymous mid/post-course surveys.
+//
+// Prints the paper-reported Likert counts (quoted cells verbatim,
+// interpolated cells marked) for each question, semester and wave, plus the
+// three trends §IV.C narrates: AWS confidence rises mid→final, profiling
+// confidence dips (less in Spring), and Spring's multi-GPU confidence is
+// mixed with ten students disagreeing.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "edu/survey.hpp"
+#include "stats/likert.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+double cell_mean(edu::SurveyQuestion q, edu::SurveyWave w, edu::Semester s) {
+  const auto counts = edu::reported_counts(q, w, s);
+  return stats::summarize_likert(stats::responses_from_counts(counts))
+      .mean_score();
+}
+
+void print_cell(edu::SurveyQuestion q, edu::SurveyWave w, edu::Semester s) {
+  const auto counts = edu::reported_counts(q, w, s);
+  const auto summary =
+      stats::summarize_likert(stats::responses_from_counts(counts));
+  std::printf("  %-12s %-11s SD:%zu D:%zu N:%zu A:%zu SA:%zu  (n=%zu, mean %.2f)\n",
+              edu::to_string(s), edu::to_string(w), counts[0], counts[1],
+              counts[2], counts[3], counts[4], summary.total,
+              summary.mean_score());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figs. 4a-4d", "Anonymous survey results (Fall 2024 / Spring 2025)");
+
+  const struct {
+    edu::SurveyQuestion q;
+    const char* fig;
+    bool has_mid;
+  } questions[] = {
+      {edu::SurveyQuestion::kNumbaCuda, "Fig. 4a", true},
+      {edu::SurveyQuestion::kAwsGpuCluster, "Fig. 4b", true},
+      {edu::SurveyQuestion::kProfilingTools, "Fig. 4c", true},
+      {edu::SurveyQuestion::kMultiGpu, "Fig. 4d", false},
+  };
+
+  for (const auto& item : questions) {
+    bench::section(std::string(item.fig) + ": " + edu::question_text(item.q));
+    for (const auto sem :
+         {edu::Semester::kFall2024, edu::Semester::kSpring2025}) {
+      if (item.has_mid) print_cell(item.q, edu::SurveyWave::kMidCourse, sem);
+      print_cell(item.q, edu::SurveyWave::kFinal, sem);
+    }
+  }
+
+  bench::section("paper-shape checks (SIV.C)");
+  using Q = edu::SurveyQuestion;
+  using W = edu::SurveyWave;
+  const auto f24 = edu::Semester::kFall2024;
+  const auto s25 = edu::Semester::kSpring2025;
+
+  const bool aws_up_f24 = cell_mean(Q::kAwsGpuCluster, W::kFinal, f24) >
+                          cell_mean(Q::kAwsGpuCluster, W::kMidCourse, f24);
+  const bool aws_up_s25 = cell_mean(Q::kAwsGpuCluster, W::kFinal, s25) >
+                          cell_mean(Q::kAwsGpuCluster, W::kMidCourse, s25);
+  std::printf("AWS-cluster confidence improves mid->final (both terms)?  %s\n",
+              aws_up_f24 && aws_up_s25 ? "yes" : "NO");
+
+  const double dip_f24 = cell_mean(Q::kProfilingTools, W::kMidCourse, f24) -
+                         cell_mean(Q::kProfilingTools, W::kFinal, f24);
+  const double dip_s25 = cell_mean(Q::kProfilingTools, W::kMidCourse, s25) -
+                         cell_mean(Q::kProfilingTools, W::kFinal, s25);
+  std::printf("profiling confidence dips after midterm?  %s (F24 dip %.2f, S25 dip %.2f)\n",
+              dip_f24 > 0 && dip_s25 > 0 ? "yes" : "NO", dip_f24, dip_s25);
+  std::printf("Spring dip smaller than Fall dip?  %s   (paper: 'less pronounced')\n",
+              dip_s25 < dip_f24 ? "yes" : "NO");
+
+  const auto multi = edu::reported_counts(Q::kMultiGpu, W::kFinal, s25);
+  std::printf("Spring multi-GPU: %zu students disagreeing?  %s   (paper: 'ten students')\n",
+              multi[0] + multi[1], multi[0] + multi[1] == 10 ? "yes" : "NO");
+  std::printf("Spring Numba modal response is Neutral?  %s   (paper: 'Neutral the largest group')\n",
+              stats::summarize_likert(
+                  stats::responses_from_counts(
+                      edu::reported_counts(Q::kNumbaCuda, W::kFinal, s25)))
+                          .mode() == 3
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 5 / §III.A.1 — "Average AWS GPU usage and cost for Fall 2024 and
+// Spring 2025" (Appendix A).
+//
+// Plays a full semester of lab/assignment/project sessions per student
+// through the cloudsim control plane (IAM roles, budget caps, idle reaper)
+// and reports the resulting ledger against the paper's numbers:
+//   * single-GPU sessions average ~$1.262/hr
+//   * multi-GPU (3-node cluster) sessions average ~$2.314/hr
+//   * 40-45 GPU-hours and $50-60 per student per semester
+//   * Spring hours rise (two additional labs)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cloudsim/cost.hpp"
+#include "edu/aws_usage.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+void run_semester(edu::Semester semester, std::uint64_t seed) {
+  edu::UsageParams params;
+  params.semester = semester;
+  params.students = 10;
+  const auto usage = edu::simulate_semester_usage(params, seed);
+
+  bench::section(edu::to_string(semester));
+  std::printf("  AWS labs run                 : %d\n", params.aws_lab_count());
+  std::printf("  mean GPU hours per student   : %6.1f   (paper: 40-45 h)\n",
+              usage.mean_hours_per_student);
+  std::printf("  mean cost per student        : $%5.2f   (paper: $50-60)\n",
+              usage.mean_cost_per_student);
+  std::printf("  avg single-GPU session rate  : $%5.3f/h (paper: ~$1.262/h)\n",
+              usage.avg_single_gpu_rate);
+  std::printf("  avg multi-GPU session rate   : $%5.3f/h (paper: ~$2.314/h)\n",
+              usage.avg_multi_gpu_rate);
+  std::printf("  instances reaped while idle  : %zu\n", usage.idle_reaped);
+
+  const cloud::CostReport report(usage.provisioner.ledger());
+  std::printf("\n%s", to_text("cost by instance type", report.by_type()).c_str());
+  std::printf("%s", to_text("cost by assessment", report.by_assessment()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 5 / Appendix A", "Average AWS GPU usage and cost");
+  run_semester(edu::Semester::kFall2024, 51);
+  run_semester(edu::Semester::kSpring2025, 52);
+
+  bench::section("catalog blended rates (SIII.A.1)");
+  std::printf("course single-GPU mix rate : $%.3f/h (paper: $1.262)\n",
+              cloud::catalog::course_single_gpu_rate());
+  std::printf("course 3-node cluster rate : $%.3f/h (paper: $2.314)\n",
+              cloud::catalog::course_multi_gpu_rate());
+  return 0;
+}

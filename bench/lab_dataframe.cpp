@@ -1,0 +1,97 @@
+// Week 6 lab — "Parallel data processing using Dask with RAPIDS cuDF".
+//
+// Measures the filter -> group-by -> join pipeline on host vs simulated
+// GPU.  The paper-shape claim: the GPU path's *modeled* time wins at large
+// row counts and loses under launch/transfer overhead at small ones (the
+// same crossover the RAPIDS lab demonstrates).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dataframe/dataframe.hpp"
+#include "gpusim/device_manager.hpp"
+#include "stats/rng.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+df::DataFrame make_frame(std::size_t rows, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<std::int64_t> keys(rows);
+  std::vector<double> values(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    keys[i] = rng.uniform_int(0, 99);
+    values[i] = rng.normal(50.0, 20.0);
+  }
+  return df::DataFrame(
+      {df::Column("key", std::move(keys)), df::Column("value", std::move(values))});
+}
+
+void simulated_sweep() {
+  bench::header("Week 6 lab", "dataframe pipeline, host vs simulated GPU");
+  std::printf("%10s %16s %16s %10s\n", "rows", "sim GPU time", "host-model time",
+              "GPU wins?");
+  for (std::size_t rows : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+    const auto frame = make_frame(rows, rows);
+
+    gpu::DeviceManager dm(1, gpu::spec::t4());
+    auto& dev = dm.device(0);
+    const auto filtered = frame.filter(&dev, "value", df::Cmp::kGt, 50.0);
+    filtered.group_by(&dev, "key", "value", df::Agg::kMean);
+    const double gpu_s = dm.now_s();
+
+    // Host cost model: a scalar core streams the same bytes at ~8 GB/s with
+    // no launch overhead (the comparison the lab plots).
+    const double bytes = static_cast<double>(rows) * 16.0 * 2.0;
+    const double host_s = bytes / 8e9;
+
+    std::printf("%10zu %13.1f us %13.1f us %10s\n", rows, gpu_s * 1e6,
+                host_s * 1e6, gpu_s < host_s ? "yes" : "no");
+  }
+  std::printf("\n(small frames lose to kernel-launch overhead; large frames "
+              "win on bandwidth — the RAPIDS crossover)\n");
+}
+
+void BM_GroupByHost(benchmark::State& state) {
+  const auto frame = make_frame(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto g = frame.group_by(nullptr, "key", "value", df::Agg::kMean);
+    benchmark::DoNotOptimize(g.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByHost)->Arg(10000)->Arg(100000);
+
+void BM_JoinHost(benchmark::State& state) {
+  const auto left = make_frame(static_cast<std::size_t>(state.range(0)), 8);
+  const auto right = make_frame(100, 9);
+  for (auto _ : state) {
+    auto j = left.join(nullptr, right, "key");
+    benchmark::DoNotOptimize(j.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JoinHost)->Arg(10000)->Arg(100000);
+
+void BM_FilterSimulatedGpu(benchmark::State& state) {
+  const auto frame = make_frame(static_cast<std::size_t>(state.range(0)), 10);
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  for (auto _ : state) {
+    auto f = frame.filter(&dm.device(0), "value", df::Cmp::kGt, 50.0);
+    benchmark::DoNotOptimize(f.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterSimulatedGpu)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  simulated_sweep();
+  bench::section("host wall time of the pipeline stages (google-benchmark)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Week 3 lab — "Matrix multiplication with memory profiling".
+//
+// Two measurements:
+//  * simulated-GPU roofline: naive vs tiled GEMM modeled time across sizes,
+//    plus the transfer-vs-compute breakdown the lab asks students to find;
+//  * real host wall time (google-benchmark) of the simulation itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpusim/device_manager.hpp"
+#include "prof/bottleneck.hpp"
+#include "tensor/ops.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+void simulated_sweep() {
+  bench::header("Week 3 lab", "matmul memory profiling (simulated T4)");
+  std::printf("%6s %14s %14s %9s %16s\n", "N", "naive (sim)", "tiled (sim)",
+              "speedup", "transfer ratio");
+  for (std::size_t n : {128, 256, 512, 1024}) {
+    gpu::DeviceManager dm(1, gpu::spec::t4());
+    auto& dev = dm.device(0);
+    tensor::Tensor a(n, n), b(n, n), out(n, n);
+    stats::Rng rng(n);
+    a.init_uniform(rng, -1, 1);
+    b.init_uniform(rng, -1, 1);
+
+    // The lab's staging step: data crosses PCIe before compute.
+    auto da = gpu::make_buffer<float>(dev, a.span());
+    auto db = gpu::make_buffer<float>(dev, b.span());
+
+    tensor::ops::gemm(&dev, a, b, out);
+    tensor::ops::gemm_tiled(dev, a, b, out);
+
+    double naive_s = 0.0, tiled_s = 0.0;
+    for (const auto& e : dm.timeline().snapshot(prof::EventKind::kKernel)) {
+      if (e.name == "gemm_naive") naive_s = e.duration_s;
+      if (e.name == "gemm_tiled") tiled_s = e.duration_s;
+    }
+    const auto report = prof::analyze(dm.timeline(),
+                                      dev.spec().balance_flops_per_byte());
+    std::printf("%6zu %11.3f ms %11.3f ms %8.1fx %15.2f   %s\n", n,
+                naive_s * 1e3, tiled_s * 1e3, naive_s / tiled_s,
+                report.transfer_ratio,
+                n == 128 ? "<- small n: PCIe dominates" : "");
+  }
+
+  // The lab's diagnosis at small size.
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  auto& dev = dm.device(0);
+  tensor::Tensor a(128, 128), b(128, 128), out(128, 128);
+  auto da = gpu::make_buffer<float>(dev, a.span());
+  auto db = gpu::make_buffer<float>(dev, b.span());
+  tensor::ops::gemm(&dev, a, b, out);
+  std::printf("\n%s\n",
+              prof::to_text(prof::analyze(dm.timeline(),
+                                          dev.spec().balance_flops_per_byte()))
+                  .c_str());
+}
+
+void BM_SimulatedGemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  tensor::Tensor a(n, n), b(n, n), out(n, n);
+  stats::Rng rng(1);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    tensor::ops::gemm(&dm.device(0), a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_SimulatedGemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SimulatedGemmTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  tensor::Tensor a(n, n), b(n, n), out(n, n);
+  stats::Rng rng(1);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+  for (auto _ : state) {
+    tensor::ops::gemm_tiled(dm.device(0), a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_SimulatedGemmTiled)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  simulated_sweep();
+  bench::section("host wall time of the simulation itself (google-benchmark)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Train a DQN agent on CartPole on a simulated GPU (the Week-9 lab), then
+// watch the trained agent balance.
+#include <cstdio>
+
+#include "gpusim/device_manager.hpp"
+#include "rl/dqn.hpp"
+
+using namespace sagesim;
+
+int main() {
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  rl::CartPole env;
+
+  rl::DqnConfig cfg;
+  cfg.seed = 77;
+  cfg.hidden = 64;
+  cfg.warmup_transitions = 256;
+  cfg.batch_size = 32;
+  cfg.epsilon_decay = 0.96f;
+  rl::DqnAgent agent(env, cfg, &dm.device(0));
+
+  std::printf("training 50 episodes on the simulated T4...\n");
+  const auto stats = agent.train(50);
+  for (std::size_t e = 0; e < stats.size(); e += 10)
+    std::printf("  episode %2zu: reward %6.1f (eps %.2f)\n", e + 1,
+                stats[e].total_reward, static_cast<double>(stats[e].epsilon));
+  std::printf("  episode %zu: reward %6.1f\n", stats.size(),
+              stats.back().total_reward);
+
+  // Greedy rollout with the trained policy.
+  stats::Rng rng(1);
+  auto obs = env.reset(rng);
+  int steps = 0;
+  bool done = false;
+  while (!done && steps < 500) {
+    const auto r = env.step(agent.greedy_action(obs));
+    obs = r.observation;
+    done = r.done;
+    ++steps;
+  }
+  std::printf("\ngreedy rollout balanced the pole for %d steps "
+              "(%s)\n", steps,
+              steps >= 100 ? "trained policy clearly beats random (~20)"
+                           : "short run; try more episodes");
+  std::printf("simulated GPU time consumed: %.3f s\n", dm.now_s());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// GPU RAG pipeline (Weeks 12-14): build a synthetic document corpus, index
+// it two ways (exact and IVF), answer queries with retrieval-conditioned
+// generation, and read the latency breakdown.
+#include <cstdio>
+
+#include "gpusim/device_manager.hpp"
+#include "rag/pipeline.hpp"
+
+using namespace sagesim;
+
+int main() {
+  gpu::DeviceManager dm(1, gpu::spec::a10g());
+  stats::Rng rng(7);
+
+  rag::SyntheticCorpusParams params;
+  params.num_docs = 2000;
+  params.num_topics = 20;
+  auto synth = rag::synthetic_corpus(params, rng);
+  std::printf("corpus: %zu docs over %d topics\n", synth.corpus.size(),
+              params.num_topics);
+
+  rag::RagConfig cfg;
+  cfg.embed_dim = 512;
+  cfg.top_k = 4;
+  cfg.generator.retrieval_boost = 25.0;
+
+  // Exact retriever.
+  rag::RagPipeline exact(synth.corpus,
+                         std::make_unique<rag::BruteForceIndex>(cfg.embed_dim),
+                         &dm.device(0), cfg);
+
+  // IVF retriever (train the coarse quantizer on the corpus embeddings).
+  auto ivf = std::make_unique<rag::IvfFlatIndex>(cfg.embed_dim, 32, 6);
+  {
+    rag::TfIdfEncoder enc(cfg.embed_dim);
+    enc.fit(synth.corpus);
+    ivf->train(&dm.device(0), enc.encode_corpus(synth.corpus));
+  }
+  rag::RagPipeline fast(synth.corpus, std::move(ivf), &dm.device(0), cfg);
+
+  for (int topic : {2, 11}) {
+    const auto query = rag::synthetic_query(params, topic, rng);
+    std::printf("\nquery (topic %d): %s\n", topic, query.c_str());
+    for (auto* pipeline : {&exact, &fast}) {
+      const auto a = pipeline->answer(query);
+      std::printf("  [%s] retrieved topics:", pipeline == &exact ? "exact" : "ivf  ");
+      for (const auto& h : a.retrieved)
+        std::printf(" %d", synth.corpus.doc(h.id).topic);
+      std::printf("\n         latency: encode %.0f us + retrieve %.0f us + "
+                  "generate %.0f us = %.0f us (simulated)\n",
+                  a.encode_s * 1e6, a.retrieve_s * 1e6, a.generate_s * 1e6,
+                  a.total_s() * 1e6);
+      std::printf("         answer: %.60s...\n", a.text.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Cost reporting over the provisioner's usage ledger — Appendix A / Fig. 5
+// of the paper: average GPU hours and dollars per student per semester.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cloudsim/provisioner.hpp"
+
+namespace sagesim::cloud {
+
+/// Rollup for one grouping key (owner, type, or assessment).
+struct CostRow {
+  std::string key;
+  double hours{0.0};
+  double cost_usd{0.0};
+  std::size_t sessions{0};
+};
+
+/// Aggregated view of a usage ledger.
+class CostReport {
+ public:
+  explicit CostReport(std::span<const UsageRecord> ledger);
+
+  double total_cost() const { return total_cost_; }
+  /// Billed hours; AWS Educate hours are excluded, as in Appendix A ("we
+  /// did not include the computational hours ... from AWS Educate").
+  double total_hours() const { return total_hours_; }
+  /// Free Educate hours, tracked separately.
+  double educate_hours() const { return educate_hours_; }
+  std::size_t record_count() const { return records_; }
+
+  /// Rollup by instance owner, descending cost.
+  std::vector<CostRow> by_owner() const;
+  /// Rollup by instance type, descending cost.
+  std::vector<CostRow> by_type() const;
+  /// Rollup by assessment tag, descending cost.
+  std::vector<CostRow> by_assessment() const;
+
+  /// Mean hours per distinct owner.
+  double mean_hours_per_owner() const;
+  /// Mean cost per distinct owner.
+  double mean_cost_per_owner() const;
+
+  /// Weighted-average hourly rate over single-GPU records.
+  double avg_single_gpu_rate() const;
+  /// Weighted-average hourly rate over records from multi-GPU *sessions*
+  /// (assessments whose instances total more than one GPU).
+  double avg_multi_gpu_session_rate() const;
+
+ private:
+  std::vector<UsageRecord> ledger_;
+  double total_cost_{0.0};
+  double total_hours_{0.0};
+  double educate_hours_{0.0};
+  std::size_t records_{0};
+};
+
+/// Renders a fixed-width table of @p rows with a header @p title.
+std::string to_text(const std::string& title, std::span<const CostRow> rows);
+
+}  // namespace sagesim::cloud

@@ -1,0 +1,62 @@
+#include "cloudsim/iam.hpp"
+
+#include <algorithm>
+
+namespace sagesim::cloud {
+
+const char* to_string(Action a) {
+  switch (a) {
+    case Action::kRunInstances: return "ec2:RunInstances";
+    case Action::kTerminateInstances: return "ec2:TerminateInstances";
+    case Action::kDescribeInstances: return "ec2:DescribeInstances";
+    case Action::kCreateVpc: return "ec2:CreateVpc";
+    case Action::kCreateSubnet: return "ec2:CreateSubnet";
+    case Action::kCreateSageMakerNotebook: return "sagemaker:CreateNotebookInstance";
+  }
+  return "?";
+}
+
+Decision IamRole::evaluate(Action action, std::uint32_t requested_gpus,
+                           std::uint32_t running) const {
+  for (const auto& st : statements_) {
+    if (std::find(st.actions.begin(), st.actions.end(), action) ==
+        st.actions.end())
+      continue;
+    if (st.max_gpus_per_request && requested_gpus > *st.max_gpus_per_request)
+      return Decision::deny(name_ + ": request for " +
+                            std::to_string(requested_gpus) +
+                            " GPUs exceeds cap of " +
+                            std::to_string(*st.max_gpus_per_request));
+    if (st.max_running_instances && running >= *st.max_running_instances)
+      return Decision::deny(name_ + ": already at concurrent instance cap (" +
+                            std::to_string(*st.max_running_instances) + ")");
+    return Decision::allow();
+  }
+  return Decision::deny(name_ + ": action " + to_string(action) +
+                        " not allowed by any policy statement");
+}
+
+IamRole student_role(const std::string& student_id) {
+  PolicyStatement compute;
+  compute.actions = {Action::kRunInstances, Action::kTerminateInstances,
+                     Action::kDescribeInstances,
+                     Action::kCreateSageMakerNotebook};
+  compute.max_gpus_per_request = 3;
+  compute.max_running_instances = 3;
+
+  PolicyStatement network;
+  network.actions = {Action::kCreateVpc, Action::kCreateSubnet};
+
+  return IamRole("student/" + student_id, {compute, network});
+}
+
+IamRole instructor_role() {
+  PolicyStatement everything;
+  everything.actions = {Action::kRunInstances, Action::kTerminateInstances,
+                        Action::kDescribeInstances, Action::kCreateVpc,
+                        Action::kCreateSubnet,
+                        Action::kCreateSageMakerNotebook};
+  return IamRole("instructor", {everything});
+}
+
+}  // namespace sagesim::cloud

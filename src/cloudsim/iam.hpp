@@ -1,0 +1,67 @@
+// IAM-lite: per-student roles with action policies and resource caps.
+// Mirrors §III.A — each student gets a dedicated role that can launch and
+// terminate instances, with usage capped per assessment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sagesim::cloud {
+
+/// Actions the simulated control plane understands.
+enum class Action : std::uint8_t {
+  kRunInstances,
+  kTerminateInstances,
+  kDescribeInstances,
+  kCreateVpc,
+  kCreateSubnet,
+  kCreateSageMakerNotebook,
+};
+
+const char* to_string(Action a);
+
+/// Allow/deny outcome with a reason for denials.
+struct Decision {
+  bool allowed{false};
+  std::string reason;
+
+  static Decision allow() { return {true, ""}; }
+  static Decision deny(std::string why) { return {false, std::move(why)}; }
+};
+
+/// One policy statement: a set of allowed actions plus optional caps.
+struct PolicyStatement {
+  std::vector<Action> actions;
+  std::optional<std::uint32_t> max_gpus_per_request;   ///< e.g. 3 for students
+  std::optional<std::uint32_t> max_running_instances;  ///< concurrent cap
+};
+
+class IamRole {
+ public:
+  IamRole(std::string name, std::vector<PolicyStatement> statements)
+      : name_(std::move(name)), statements_(std::move(statements)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Evaluates @p action.  @p requested_gpus and @p running are the request
+  /// context used against caps.  Default-deny: an action not named by any
+  /// statement is denied.
+  Decision evaluate(Action action, std::uint32_t requested_gpus = 0,
+                    std::uint32_t running = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<PolicyStatement> statements_;
+};
+
+/// The course's standard student role: run/terminate/describe, up to 3 GPUs
+/// per request, at most 3 concurrent instances (§III.A.1: clusters of up to
+/// three nodes).
+IamRole student_role(const std::string& student_id);
+
+/// Instructor role: everything, uncapped.
+IamRole instructor_role();
+
+}  // namespace sagesim::cloud

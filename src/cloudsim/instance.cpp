@@ -1,0 +1,73 @@
+#include "cloudsim/instance.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::cloud {
+
+const char* to_string(InstanceState s) {
+  switch (s) {
+    case InstanceState::kPending: return "pending";
+    case InstanceState::kRunning: return "running";
+    case InstanceState::kStopping: return "stopping";
+    case InstanceState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+Instance::Instance(std::string id, InstanceType type, std::string owner,
+                   std::uint32_t private_ip, std::string subnet_id,
+                   double launched_at_h)
+    : id_(std::move(id)),
+      type_(std::move(type)),
+      owner_(std::move(owner)),
+      private_ip_(private_ip),
+      subnet_id_(std::move(subnet_id)),
+      launched_at_h_(launched_at_h),
+      last_activity_h_(launched_at_h) {}
+
+void Instance::set_tag(const std::string& key, const std::string& value) {
+  tags_[key] = value;
+}
+
+void Instance::mark_running(double now_h) {
+  if (state_ != InstanceState::kPending)
+    throw std::logic_error("Instance " + id_ + ": cannot run from state " +
+                           to_string(state_));
+  state_ = InstanceState::kRunning;
+  last_activity_h_ = now_h;
+}
+
+void Instance::begin_stopping(double now_h) {
+  if (state_ != InstanceState::kRunning)
+    throw std::logic_error("Instance " + id_ + ": cannot stop from state " +
+                           to_string(state_));
+  state_ = InstanceState::kStopping;
+  last_activity_h_ = now_h;
+}
+
+void Instance::mark_terminated(double now_h) {
+  if (state_ == InstanceState::kTerminated)
+    throw std::logic_error("Instance " + id_ + ": already terminated");
+  state_ = InstanceState::kTerminated;
+  terminated_at_h_ = now_h;
+}
+
+void Instance::touch(double now_h) {
+  if (state_ != InstanceState::kRunning)
+    throw std::logic_error("Instance " + id_ + ": touch while " +
+                           to_string(state_));
+  last_activity_h_ = now_h;
+}
+
+double Instance::idle_hours(double now_h) const {
+  if (state_ != InstanceState::kRunning) return 0.0;
+  return now_h > last_activity_h_ ? now_h - last_activity_h_ : 0.0;
+}
+
+double Instance::billable_hours(double now_h) const {
+  const double end =
+      state_ == InstanceState::kTerminated ? terminated_at_h_ : now_h;
+  return end > launched_at_h_ ? end - launched_at_h_ : 0.0;
+}
+
+}  // namespace sagesim::cloud

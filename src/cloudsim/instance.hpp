@@ -1,0 +1,73 @@
+// EC2-like instance lifecycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cloudsim/instance_type.hpp"
+
+namespace sagesim::cloud {
+
+enum class InstanceState : std::uint8_t {
+  kPending,
+  kRunning,
+  kStopping,
+  kTerminated,
+};
+
+const char* to_string(InstanceState s);
+
+class Instance {
+ public:
+  Instance(std::string id, InstanceType type, std::string owner,
+           std::uint32_t private_ip, std::string subnet_id,
+           double launched_at_h);
+
+  const std::string& id() const { return id_; }
+  const InstanceType& type() const { return type_; }
+  const std::string& owner() const { return owner_; }
+  std::uint32_t private_ip() const { return private_ip_; }
+  const std::string& subnet_id() const { return subnet_id_; }
+  InstanceState state() const { return state_; }
+  double launched_at_h() const { return launched_at_h_; }
+  double terminated_at_h() const { return terminated_at_h_; }
+  double last_activity_h() const { return last_activity_h_; }
+
+  /// Tags (Name, Assessment, ...).
+  void set_tag(const std::string& key, const std::string& value);
+  const std::map<std::string, std::string>& tags() const { return tags_; }
+
+  /// State transitions; invalid transitions throw std::logic_error.
+  void mark_running(double now_h);
+  void begin_stopping(double now_h);
+  void mark_terminated(double now_h);
+
+  /// Records user activity (a lab session touching the instance).
+  void touch(double now_h);
+
+  /// Hours since last activity, or 0 when not running.
+  double idle_hours(double now_h) const;
+
+  /// Billable hours so far (launch to termination or @p now_h).
+  double billable_hours(double now_h) const;
+
+  /// Accrued cost so far.
+  double accrued_cost(double now_h) const {
+    return billable_hours(now_h) * type_.hourly_usd;
+  }
+
+ private:
+  std::string id_;
+  InstanceType type_;
+  std::string owner_;
+  std::uint32_t private_ip_;
+  std::string subnet_id_;
+  InstanceState state_{InstanceState::kPending};
+  double launched_at_h_;
+  double terminated_at_h_{0.0};
+  double last_activity_h_;
+  std::map<std::string, std::string> tags_;
+};
+
+}  // namespace sagesim::cloud

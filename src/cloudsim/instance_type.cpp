@@ -1,0 +1,65 @@
+#include "cloudsim/instance_type.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::cloud::catalog {
+
+const std::vector<InstanceType>& all() {
+  static const std::vector<InstanceType> kTypes = {
+      {"g4dn.xlarge", 4, 16.0, 1, "t4", 0.526},
+      {"g4dn.2xlarge", 8, 32.0, 1, "t4", 0.752},
+      {"g5.xlarge", 4, 16.0, 1, "a10g", 1.006},
+      {"g5.2xlarge", 8, 32.0, 1, "a10g", 1.212},
+      {"p3.2xlarge", 8, 61.0, 1, "v100", 3.060},
+      {"g4dn.12xlarge", 48, 192.0, 4, "t4", 3.912},
+      {"g5.12xlarge", 48, 192.0, 4, "a10g", 5.672},
+      {"p3.8xlarge", 32, 244.0, 4, "v100", 12.240},
+  };
+  return kTypes;
+}
+
+const InstanceType& by_name(const std::string& name) {
+  for (const auto& t : all())
+    if (t.name == name) return t;
+  throw std::invalid_argument("unknown instance type: " + name);
+}
+
+std::vector<InstanceType> single_gpu() {
+  std::vector<InstanceType> out;
+  for (const auto& t : all())
+    if (t.gpu_count == 1) out.push_back(t);
+  return out;
+}
+
+std::vector<InstanceType> multi_gpu() {
+  std::vector<InstanceType> out;
+  for (const auto& t : all())
+    if (t.gpu_count > 1) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<InstanceType, double>> course_single_gpu_mix() {
+  // 42% budget g4dn, 36% g5, 22% p3 — blended rate ~$1.26/hr, matching the
+  // ~$1.262/hr average the paper reports for single-GPU sessions.
+  return {
+      {by_name("g4dn.xlarge"), 0.42},
+      {by_name("g5.xlarge"), 0.36},
+      {by_name("p3.2xlarge"), 0.22},
+  };
+}
+
+double course_single_gpu_rate() {
+  double rate = 0.0;
+  for (const auto& [type, p] : course_single_gpu_mix())
+    rate += p * type.hourly_usd;
+  return rate;
+}
+
+double course_multi_gpu_rate() {
+  // Multi-GPU sessions: a three-node cluster of budget single-GPU instances
+  // (half g4dn.xlarge, half g5.xlarge) inside one VPC — "up to 3" GPUs.
+  return 0.5 * 3.0 * by_name("g4dn.xlarge").hourly_usd +
+         0.5 * 3.0 * by_name("g5.xlarge").hourly_usd;
+}
+
+}  // namespace sagesim::cloud::catalog

@@ -1,0 +1,49 @@
+// Instance-type catalog: the GPU instances the course provisions in
+// us-east-1, with public on-demand prices.  §III.A.1 of the paper reports a
+// blended average of ~$1.262/hr for single-GPU sessions and ~$2.314/hr for
+// multi-GPU (cluster) sessions; the catalog's course mixes reproduce those
+// averages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sagesim::cloud {
+
+struct InstanceType {
+  std::string name;          ///< e.g. "g4dn.xlarge"
+  std::uint32_t vcpus{4};
+  double memory_gib{16.0};
+  std::uint32_t gpu_count{1};
+  std::string gpu_model;     ///< gpusim spec name: "t4", "a10g", "v100"
+  double hourly_usd{0.0};    ///< on-demand, us-east-1
+};
+
+namespace catalog {
+
+/// All instance types the course uses.
+const std::vector<InstanceType>& all();
+
+/// Lookup by name; throws std::invalid_argument for unknown types.
+const InstanceType& by_name(const std::string& name);
+
+/// Single-GPU types students pick for individual labs.
+std::vector<InstanceType> single_gpu();
+
+/// Types with more than one GPU.
+std::vector<InstanceType> multi_gpu();
+
+/// The course's single-GPU session mix: (type, probability) pairs whose
+/// blended rate is ~$1.26/hr as reported in §III.A.1.
+std::vector<std::pair<InstanceType, double>> course_single_gpu_mix();
+
+/// Blended hourly rate of course_single_gpu_mix().
+double course_single_gpu_rate();
+
+/// The course's multi-GPU sessions are clusters of three single-GPU
+/// instances inside one VPC (up to 3 GPUs, §III.A.1); blended ~$2.30/hr.
+double course_multi_gpu_rate();
+
+}  // namespace catalog
+}  // namespace sagesim::cloud

@@ -1,0 +1,129 @@
+// The simulated control plane: launch/terminate instances under IAM policy
+// and budget caps, advance simulated time, reap idle instances, and record
+// every billable hour into a ledger — §III.A's infrastructure, including the
+// "automated scripts designed to terminate idle resources".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloudsim/iam.hpp"
+#include "cloudsim/instance.hpp"
+#include "cloudsim/vpc.hpp"
+
+namespace sagesim::cloud {
+
+/// One billed usage record (written at termination).
+struct UsageRecord {
+  std::string instance_id;
+  std::string instance_type;
+  std::string owner;
+  std::string assessment;  ///< tag "Assessment" if present
+  std::uint32_t gpu_count{0};
+  double hours{0.0};
+  double cost_usd{0.0};
+  /// AWS Educate session: provided free of charge and invisible to the
+  /// instructor's usage insights (Appendix A excludes these hours).
+  bool educate{false};
+};
+
+/// Per-owner budget cap; launches are denied once accrued + projected cost
+/// would exceed it (the paper caps each student's usage per assessment and
+/// offers a $100/semester ceiling).
+struct BudgetCap {
+  double limit_usd{100.0};
+};
+
+class Provisioner {
+ public:
+  Provisioner() = default;
+
+  // --- simulated clock ----------------------------------------------------
+
+  double now_h() const { return now_h_; }
+
+  /// Advances simulated time; runs billing-visible effects (idle reaping if
+  /// enabled).  @p hours must be >= 0.
+  void advance_time(double hours);
+
+  // --- network ------------------------------------------------------------
+
+  /// Creates a VPC owned by the control plane.
+  Vpc& create_vpc(const IamRole& role, const std::string& cidr);
+
+  // --- instances ----------------------------------------------------------
+
+  struct LaunchRequest {
+    std::string type_name;
+    std::uint32_t count{1};
+    std::string vpc_id;      ///< empty = default VPC (created on demand)
+    std::string subnet_id;   ///< empty = first subnet of the VPC
+    std::string assessment;  ///< tag for cost attribution
+    /// Launch through AWS Educate: free of charge, exempt from the budget
+    /// cap, tagged so cost reports can exclude it (SIII.A.1).
+    bool educate{false};
+  };
+
+  /// Launches instances under @p role.  Returns instance ids.
+  /// Throws std::runtime_error carrying the IAM/budget denial reason.
+  std::vector<std::string> launch(const IamRole& role,
+                                  const LaunchRequest& request);
+
+  /// Terminates an instance (owner or instructor only) and writes its usage
+  /// record.
+  void terminate(const IamRole& role, const std::string& instance_id);
+
+  /// Marks activity on an instance (keeps the idle reaper away).
+  void touch(const std::string& instance_id);
+
+  Instance& instance(const std::string& id);
+  const Instance& instance(const std::string& id) const;
+
+  /// All instances (any state).
+  const std::vector<std::unique_ptr<Instance>>& instances() const {
+    return instances_;
+  }
+
+  std::vector<const Instance*> running_instances() const;
+  std::uint32_t running_count(const std::string& owner) const;
+
+  // --- cost controls --------------------------------------------------------
+
+  /// Sets the per-owner budget cap (applies to future launches).
+  void set_budget_cap(const std::string& owner, BudgetCap cap);
+
+  /// Total accrued cost for @p owner: completed records plus running
+  /// instances priced to now.
+  double accrued_cost(const std::string& owner) const;
+
+  /// Enables the idle reaper: on every advance_time step, running instances
+  /// idle longer than @p idle_threshold_h are terminated automatically.
+  void enable_idle_reaper(double idle_threshold_h);
+
+  /// Usage records written so far (terminated instances only).
+  const std::vector<UsageRecord>& ledger() const { return ledger_; }
+
+  /// Number of instances the idle reaper has terminated.
+  std::size_t reaped_count() const { return reaped_; }
+
+ private:
+  std::string next_instance_id();
+  Vpc& default_vpc();
+  void write_usage_record(const Instance& inst);
+  void reap_idle();
+
+  double now_h_{0.0};
+  int next_id_{0};
+  int next_vpc_{0};
+  std::vector<std::unique_ptr<Vpc>> vpcs_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::vector<UsageRecord> ledger_;
+  std::map<std::string, BudgetCap> budgets_;
+  std::optional<double> idle_threshold_h_;
+  std::size_t reaped_{0};
+};
+
+}  // namespace sagesim::cloud

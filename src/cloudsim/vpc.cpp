@@ -1,0 +1,145 @@
+#include "cloudsim/vpc.hpp"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace sagesim::cloud {
+
+std::string ip_to_string(std::uint32_t addr) {
+  std::ostringstream os;
+  os << ((addr >> 24) & 0xff) << '.' << ((addr >> 16) & 0xff) << '.'
+     << ((addr >> 8) & 0xff) << '.' << (addr & 0xff);
+  return os.str();
+}
+
+std::uint32_t parse_ip(const std::string& text) {
+  std::uint32_t parts[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size())
+      throw std::invalid_argument("parse_ip: malformed address " + text);
+    std::size_t next = 0;
+    unsigned long v = 0;
+    try {
+      v = std::stoul(text.substr(pos), &next);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_ip: malformed address " + text);
+    }
+    if (v > 255) throw std::invalid_argument("parse_ip: octet > 255 in " + text);
+    parts[i] = static_cast<std::uint32_t>(v);
+    pos += next;
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.')
+        throw std::invalid_argument("parse_ip: malformed address " + text);
+      ++pos;
+    }
+  }
+  if (pos != text.size())
+    throw std::invalid_argument("parse_ip: trailing characters in " + text);
+  return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+}
+
+Cidr Cidr::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos)
+    throw std::invalid_argument("Cidr::parse: missing /prefix in " + text);
+  const std::uint32_t addr = parse_ip(text.substr(0, slash));
+  int prefix = 0;
+  try {
+    prefix = std::stoi(text.substr(slash + 1));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cidr::parse: malformed prefix in " + text);
+  }
+  return Cidr(addr, prefix);
+}
+
+Cidr::Cidr(std::uint32_t network, int prefix_len)
+    : network_(network), prefix_len_(prefix_len) {
+  if (prefix_len < 0 || prefix_len > 32)
+    throw std::invalid_argument("Cidr: prefix length outside [0, 32]");
+  if ((network & ~netmask()) != 0)
+    throw std::invalid_argument("Cidr: host bits set below the prefix");
+}
+
+std::uint32_t Cidr::netmask() const {
+  return prefix_len_ == 0 ? 0u
+                          : ~0u << (32 - prefix_len_);
+}
+
+std::uint64_t Cidr::address_count() const {
+  return 1ull << (32 - prefix_len_);
+}
+
+bool Cidr::contains(std::uint32_t addr) const {
+  return (addr & netmask()) == network_;
+}
+
+bool Cidr::contains(const Cidr& other) const {
+  return other.prefix_len_ >= prefix_len_ && contains(other.network_);
+}
+
+bool Cidr::overlaps(const Cidr& other) const {
+  return contains(other.network_) || other.contains(network_);
+}
+
+std::uint32_t Cidr::address_at(std::uint64_t index) const {
+  if (index >= address_count())
+    throw std::out_of_range("Cidr::address_at: index beyond block");
+  return network_ + static_cast<std::uint32_t>(index);
+}
+
+std::string Cidr::to_string() const {
+  return ip_to_string(network_) + '/' + std::to_string(prefix_len_);
+}
+
+Subnet::Subnet(std::string id, Cidr cidr, std::string az)
+    : id_(std::move(id)), cidr_(cidr), az_(std::move(az)) {
+  if (cidr_.prefix_len() > 28)
+    throw std::invalid_argument("Subnet: AWS requires prefix <= /28");
+}
+
+std::uint64_t Subnet::free_addresses() const {
+  // Last address (broadcast) is also reserved.
+  const std::uint64_t usable = cidr_.address_count() - 1;
+  return next_offset_ >= usable ? 0 : usable - next_offset_;
+}
+
+std::uint32_t Subnet::allocate_address() {
+  if (free_addresses() == 0)
+    throw std::runtime_error("Subnet " + id_ + ": address space exhausted");
+  return cidr_.address_at(next_offset_++);
+}
+
+Vpc::Vpc(std::string id, Cidr cidr) : id_(std::move(id)), cidr_(cidr) {
+  if (cidr_.prefix_len() < 16 || cidr_.prefix_len() > 28)
+    throw std::invalid_argument("Vpc: AWS requires /16 .. /28");
+}
+
+Subnet& Vpc::create_subnet(const std::string& cidr_text,
+                           const std::string& az) {
+  const Cidr sub = Cidr::parse(cidr_text);
+  if (!cidr_.contains(sub))
+    throw std::invalid_argument("create_subnet: " + sub.to_string() +
+                                " is not inside VPC block " +
+                                cidr_.to_string());
+  for (const auto& existing : subnets_)
+    if (existing->cidr().overlaps(sub))
+      throw std::invalid_argument("create_subnet: " + sub.to_string() +
+                                  " overlaps subnet " + existing->id());
+  auto id = "subnet-" + id_ + "-" + std::to_string(next_subnet_++);
+  subnets_.push_back(std::make_unique<Subnet>(id, sub, az));
+  return *subnets_.back();
+}
+
+Subnet& Vpc::subnet(const std::string& id) {
+  for (auto& s : subnets_)
+    if (s->id() == id) return *s;
+  throw std::invalid_argument("Vpc: unknown subnet " + id);
+}
+
+bool Vpc::same_network(std::uint32_t a, std::uint32_t b) const {
+  return cidr_.contains(a) && cidr_.contains(b);
+}
+
+}  // namespace sagesim::cloud

@@ -1,0 +1,102 @@
+// Minimal VPC/subnet model — enough networking for the course's multi-GPU
+// labs, where students must place cluster nodes in the same VPC with
+// correct subnet addresses (the exact pain point §IV.C / Fig. 4b describes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sagesim::cloud {
+
+/// An IPv4 CIDR block, e.g. 10.0.0.0/16.
+class Cidr {
+ public:
+  /// Parses "a.b.c.d/prefix".  Throws std::invalid_argument on malformed
+  /// input or host bits set below the prefix.
+  static Cidr parse(const std::string& text);
+
+  Cidr(std::uint32_t network, int prefix_len);
+
+  std::uint32_t network() const { return network_; }
+  int prefix_len() const { return prefix_len_; }
+  std::uint32_t netmask() const;
+  std::uint64_t address_count() const;
+
+  bool contains(std::uint32_t addr) const;
+  bool contains(const Cidr& other) const;
+  /// True when the two blocks share any address.
+  bool overlaps(const Cidr& other) const;
+
+  /// Address at offset @p index from the network base; throws
+  /// std::out_of_range past the block.
+  std::uint32_t address_at(std::uint64_t index) const;
+
+  std::string to_string() const;
+
+ private:
+  std::uint32_t network_;
+  int prefix_len_;
+};
+
+/// Renders a 32-bit address as dotted quad.
+std::string ip_to_string(std::uint32_t addr);
+
+/// Parses a dotted quad; throws std::invalid_argument on malformed input.
+std::uint32_t parse_ip(const std::string& text);
+
+/// A subnet inside a VPC.  AWS reserves the first four and the last address
+/// of every subnet; allocation starts at offset 4.
+class Subnet {
+ public:
+  Subnet(std::string id, Cidr cidr, std::string az);
+
+  const std::string& id() const { return id_; }
+  const Cidr& cidr() const { return cidr_; }
+  const std::string& availability_zone() const { return az_; }
+
+  /// Number of assignable addresses remaining.
+  std::uint64_t free_addresses() const;
+
+  /// Allocates the next free address; throws std::runtime_error when
+  /// exhausted.
+  std::uint32_t allocate_address();
+
+ private:
+  std::string id_;
+  Cidr cidr_;
+  std::string az_;
+  std::uint64_t next_offset_{4};  // AWS reserves .0-.3; broadcast reserved too
+};
+
+/// A VPC: a CIDR block plus non-overlapping subnets.
+class Vpc {
+ public:
+  Vpc(std::string id, Cidr cidr);
+
+  const std::string& id() const { return id_; }
+  const Cidr& cidr() const { return cidr_; }
+
+  /// Creates a subnet; throws std::invalid_argument when @p cidr is not
+  /// inside the VPC block or overlaps an existing subnet.
+  Subnet& create_subnet(const std::string& cidr, const std::string& az);
+
+  Subnet& subnet(const std::string& id);
+  const std::vector<std::unique_ptr<Subnet>>& subnets() const {
+    return subnets_;
+  }
+
+  /// True when two addresses can reach each other inside this VPC (both
+  /// fall inside the VPC block).
+  bool same_network(std::uint32_t a, std::uint32_t b) const;
+
+ private:
+  std::string id_;
+  Cidr cidr_;
+  std::vector<std::unique_ptr<Subnet>> subnets_;
+  int next_subnet_{0};
+};
+
+}  // namespace sagesim::cloud

@@ -1,0 +1,220 @@
+#include "core/distributed_gcn.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ddp/grad_sync.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/optim.hpp"
+#include "prof/report.hpp"
+
+namespace sagesim::core {
+
+const char* to_string(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kMetis: return "metis";
+    case PartitionStrategy::kRandom: return "random";
+    case PartitionStrategy::kBlock: return "block";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-worker shard: local graph operator, features, labels, train rows.
+struct Shard {
+  graph::Subgraph sub;
+  graph::NormalizedAdjacency adj;
+  tensor::Tensor features;
+  std::vector<int> labels;
+  std::vector<std::uint32_t> train_rows;
+};
+
+Shard make_shard(const graph::Dataset& dataset,
+                 const std::vector<graph::NodeId>& nodes) {
+  Shard shard;
+  shard.sub = graph::induced_subgraph(dataset.graph, nodes);
+  shard.adj = graph::normalized_adjacency(shard.sub.graph);
+
+  const std::size_t n = shard.sub.global_ids.size();
+  const std::size_t d = dataset.features.cols();
+  shard.features = tensor::Tensor(n, d);
+  shard.labels.resize(n);
+  std::unordered_map<graph::NodeId, std::uint32_t> local_of;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const graph::NodeId g = shard.sub.global_ids[i];
+    std::copy(dataset.features.data() + g * d,
+              dataset.features.data() + (g + 1) * d,
+              shard.features.data() + i * d);
+    shard.labels[i] = dataset.labels[g];
+    local_of.emplace(g, i);
+  }
+  for (const graph::NodeId g : dataset.train_nodes) {
+    auto it = local_of.find(g);
+    if (it != local_of.end()) shard.train_rows.push_back(it->second);
+  }
+  return shard;
+}
+
+}  // namespace
+
+DistributedGcnResult train_distributed_gcn(
+    const graph::Dataset& dataset, dflow::Cluster& cluster,
+    const DistributedGcnConfig& config) {
+  const int k = config.num_partitions;
+  if (k < 1)
+    throw std::invalid_argument("train_distributed_gcn: k must be >= 1");
+  if (k > cluster.world_size())
+    throw std::invalid_argument(
+        "train_distributed_gcn: more partitions than cluster workers");
+  if (config.epochs < 1)
+    throw std::invalid_argument("train_distributed_gcn: epochs must be >= 1");
+
+  auto& devices = cluster.devices();
+  const double sim_t0 = devices.now_s();
+
+  // --- Algorithm 1, lines 2-3: Â and the k-way partition. ------------------
+  graph::Partition part;
+  if (k == 1) {
+    part.num_parts = 1;
+    part.assignment.assign(dataset.graph.num_nodes(), 0);
+  } else {
+    switch (config.strategy) {
+      case PartitionStrategy::kMetis: {
+        graph::MetisOptions opts;
+        opts.seed = config.seed;
+        part = graph::metis_like(dataset.graph, k, opts);
+        break;
+      }
+      case PartitionStrategy::kRandom: {
+        stats::Rng prng(config.seed);
+        part = graph::random_partition(dataset.graph, k, prng);
+        break;
+      }
+      case PartitionStrategy::kBlock:
+        part = graph::block_partition(dataset.graph, k);
+        break;
+    }
+  }
+
+  DistributedGcnResult result;
+  result.partition = graph::evaluate_partition(dataset.graph, part);
+
+  // --- Lines 5-6: build and distribute shards. -----------------------------
+  const auto part_nodes = part.part_nodes();
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    if (part_nodes[static_cast<std::size_t>(p)].empty())
+      throw std::runtime_error("train_distributed_gcn: empty partition " +
+                               std::to_string(p));
+    shards.push_back(
+        make_shard(dataset, part_nodes[static_cast<std::size_t>(p)]));
+    result.cut_edges_dropped += shards.back().sub.cut_edges_dropped;
+    if (shards.back().train_rows.empty())
+      throw std::runtime_error(
+          "train_distributed_gcn: partition without train nodes");
+  }
+
+  // --- Lines 7-8: global model, broadcast θ. -------------------------------
+  // Replicas share the init seed, so their parameters start identical (the
+  // broadcast); the wire cost of the broadcast is charged explicitly.
+  nn::Gcn::Config model_cfg;
+  model_cfg.in_features = dataset.features.cols();
+  model_cfg.hidden = config.hidden;
+  model_cfg.num_classes = static_cast<std::size_t>(dataset.num_classes);
+  model_cfg.dropout = config.dropout;
+  model_cfg.seed = config.seed;
+
+  std::vector<std::unique_ptr<nn::Gcn>> replicas;
+  std::vector<std::unique_ptr<nn::Sgd>> optimizers;
+  for (int r = 0; r < k; ++r) {
+    replicas.push_back(std::make_unique<nn::Gcn>(
+        &shards[static_cast<std::size_t>(r)].adj, model_cfg));
+    optimizers.push_back(
+        std::make_unique<nn::Sgd>(config.learning_rate, 0.9f));
+  }
+
+  std::unique_ptr<ddp::GradientSynchronizer> sync;
+  if (k > 1) {
+    std::vector<std::vector<nn::Param*>> param_sets;
+    param_sets.reserve(replicas.size());
+    for (auto& r : replicas) param_sets.push_back(r->params());
+    ddp::broadcast_params(devices, param_sets);
+    sync = std::make_unique<ddp::GradientSynchronizer>(devices, param_sets);
+  }
+
+  // --- Lines 9-14: synchronized epochs. ------------------------------------
+  double scheduler_s = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<dflow::Future> futures;
+    futures.reserve(static_cast<std::size_t>(k));
+    for (int r = 0; r < k; ++r) {
+      futures.push_back(cluster.submit(
+          "gcn_epoch",
+          [&, r](dflow::WorkerCtx& ctx) -> std::any {
+            auto& shard = shards[static_cast<std::size_t>(r)];
+            auto& model = *replicas[static_cast<std::size_t>(r)];
+            model.zero_grad();
+            tensor::Tensor logits =
+                model.forward(ctx.device, shard.features, /*train=*/true);
+            auto loss = nn::masked_softmax_cross_entropy(
+                ctx.device, logits, shard.labels, shard.train_rows);
+            model.backward(ctx.device, loss.dlogits);
+            return loss.loss;
+          },
+          {}, r));
+    }
+    double epoch_loss = 0.0;
+    for (auto& f : futures) epoch_loss += f.get<double>();
+    epoch_loss /= static_cast<double>(k);
+    result.epoch_losses.push_back(epoch_loss);
+
+    if (sync) sync->sync();
+
+    std::vector<dflow::Future> steps;
+    for (int r = 0; r < k; ++r) {
+      steps.push_back(cluster.submit(
+          "sgd_step",
+          [&, r](dflow::WorkerCtx& ctx) -> std::any {
+            auto params = replicas[static_cast<std::size_t>(r)]->params();
+            optimizers[static_cast<std::size_t>(r)]->step(ctx.device, params);
+            return {};
+          },
+          {}, r));
+    }
+    for (auto& f : steps) f.wait();
+
+    // Dask control plane: dispatch of the epoch's 2k tasks is serialized on
+    // the scheduler — the overhead that erases most of the wall-clock win
+    // for course-scale graphs.
+    scheduler_s += 2.0 * static_cast<double>(k) * config.scheduler_overhead_s;
+  }
+  prof::TraceEvent sched;
+  sched.name = "dask_scheduler";
+  sched.kind = prof::EventKind::kScheduler;
+  sched.start_s = sim_t0;
+  sched.duration_s = scheduler_s;
+  devices.timeline().record(std::move(sched));
+
+  result.train_sim_seconds = (devices.now_s() - sim_t0) + scheduler_s;
+
+  // --- Evaluation: full-graph forward with replica 0's weights. ------------
+  const graph::NormalizedAdjacency full_adj =
+      graph::normalized_adjacency(dataset.graph);
+  replicas[0]->set_adjacency(&full_adj);
+  const tensor::Tensor logits = replicas[0]->forward(
+      &devices.device(0), dataset.features, /*train=*/false);
+  result.test_accuracy =
+      nn::masked_accuracy(logits, dataset.labels, dataset.test_nodes);
+  replicas[0]->set_adjacency(&shards[0].adj);
+
+  for (int r = 0; r < k; ++r)
+    result.gpu_utilization.push_back(
+        prof::kernel_utilization(devices.timeline(), r));
+  return result;
+}
+
+}  // namespace sagesim::core

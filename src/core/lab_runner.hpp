@@ -1,0 +1,40 @@
+// LabRunner: executes a miniature, self-checking version of every weekly
+// lab deliverable in Table I, wiring together the same modules a student
+// would.  Used by the table1 bench and the course_semester example as the
+// integration surface of the whole library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sagesim::core {
+
+struct LabReport {
+  int week{0};
+  std::string title;
+  bool passed{false};
+  std::string notes;          ///< one-line result summary
+  double sim_gpu_seconds{0.0};  ///< simulated device time the lab consumed
+};
+
+class LabRunner {
+ public:
+  explicit LabRunner(std::uint64_t seed = 2024);
+
+  /// Runs the lab for @p week (1-14; week 7 is the midterm and has no lab).
+  /// Throws std::invalid_argument for weeks without labs.
+  LabReport run(int week);
+
+  /// Runs every lab in order; never throws on lab *failure* (the report
+  /// carries it), only on harness misuse.
+  std::vector<LabReport> run_all();
+
+  /// Human-readable titles, indexed by week.
+  static std::string title_of(int week);
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace sagesim::core

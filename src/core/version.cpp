@@ -1,0 +1,13 @@
+#include "core/version.hpp"
+
+namespace sagesim {
+
+const char* version() { return "1.0.0"; }
+
+const char* description() {
+  return "sagesim: instructional GPU programming & AI workflow framework "
+         "(reproduction of 'GPU Programming for AI Workflow Development on "
+         "AWS SageMaker', SC'25)";
+}
+
+}  // namespace sagesim

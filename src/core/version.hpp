@@ -1,0 +1,12 @@
+// Library identity.
+#pragma once
+
+namespace sagesim {
+
+/// Semantic version of the sagesim library.
+const char* version();
+
+/// One-line description (paper being reproduced).
+const char* description();
+
+}  // namespace sagesim

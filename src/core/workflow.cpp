@@ -1,0 +1,39 @@
+#include "core/workflow.hpp"
+
+namespace sagesim::core {
+
+Workflow& Workflow::stage(std::string stage_name, StageFn fn,
+                          bool always_run) {
+  if (!fn) throw std::invalid_argument("Workflow::stage: null stage function");
+  stages_.push_back({std::move(stage_name), std::move(fn), always_run});
+  return *this;
+}
+
+WorkflowReport Workflow::run(WorkflowContext& ctx) const {
+  WorkflowReport report;
+  bool failed = false;
+  for (const auto& s : stages_) {
+    StageReport sr;
+    sr.name = s.name;
+    if (failed && !s.always_run) {
+      sr.error = "skipped (earlier stage failed)";
+      report.stages.push_back(std::move(sr));
+      continue;
+    }
+    const double t0 = ctx.devices().now_s();
+    try {
+      s.fn(ctx);
+      sr.ok = true;
+    } catch (const std::exception& e) {
+      sr.error = e.what();
+      failed = true;
+    }
+    sr.sim_gpu_seconds = ctx.devices().now_s() - t0;
+    report.total_sim_gpu_seconds += sr.sim_gpu_seconds;
+    report.stages.push_back(std::move(sr));
+  }
+  report.ok = !failed;
+  return report;
+}
+
+}  // namespace sagesim::core

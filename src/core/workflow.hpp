@@ -1,0 +1,101 @@
+// The AI-workflow builder: named stages over a shared context, each timed
+// and reported — the way the course frames every end-to-end exercise
+// ("provision -> stage data -> train -> evaluate -> tear down").
+#pragma once
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloudsim/provisioner.hpp"
+#include "gpusim/device_manager.hpp"
+
+namespace sagesim::core {
+
+/// Shared state stages communicate through: the simulated GPUs, the cloud
+/// control plane, and a typed blackboard.
+class WorkflowContext {
+ public:
+  WorkflowContext(gpu::DeviceManager& devices, cloud::Provisioner& aws)
+      : devices_(&devices), aws_(&aws) {}
+
+  gpu::DeviceManager& devices() { return *devices_; }
+  cloud::Provisioner& aws() { return *aws_; }
+
+  /// Stores a value under @p key (overwrites).
+  template <typename T>
+  void put(const std::string& key, T value) {
+    blackboard_[key] = std::move(value);
+  }
+
+  /// Typed read; throws std::out_of_range for missing keys and
+  /// std::bad_any_cast on type mismatch.
+  template <typename T>
+  T& get(const std::string& key) {
+    auto it = blackboard_.find(key);
+    if (it == blackboard_.end())
+      throw std::out_of_range("WorkflowContext: no key '" + key + "'");
+    T* value = std::any_cast<T>(&it->second);
+    if (value == nullptr) throw std::bad_any_cast();
+    return *value;
+  }
+
+  bool has(const std::string& key) const {
+    return blackboard_.contains(key);
+  }
+
+ private:
+  gpu::DeviceManager* devices_;
+  cloud::Provisioner* aws_;
+  std::unordered_map<std::string, std::any> blackboard_;
+};
+
+/// Result of one stage.
+struct StageReport {
+  std::string name;
+  bool ok{false};
+  std::string error;          ///< exception message when !ok
+  double sim_gpu_seconds{0.0};  ///< device time the stage consumed
+};
+
+struct WorkflowReport {
+  std::vector<StageReport> stages;
+  bool ok{true};
+  double total_sim_gpu_seconds{0.0};
+};
+
+/// A linear pipeline of named stages.  Stages run in order; a throwing
+/// stage marks the workflow failed and skips the rest (unless the stage
+/// was added with `always_run` — teardown stages).
+class Workflow {
+ public:
+  using StageFn = std::function<void(WorkflowContext&)>;
+
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a stage.  @p always_run stages execute even after a failure
+  /// (cleanup/teardown semantics).
+  Workflow& stage(std::string stage_name, StageFn fn,
+                  bool always_run = false);
+
+  /// Runs all stages against @p ctx.
+  WorkflowReport run(WorkflowContext& ctx) const;
+
+  const std::string& name() const { return name_; }
+  std::size_t stage_count() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    std::string name;
+    StageFn fn;
+    bool always_run{false};
+  };
+  std::string name_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace sagesim::core

@@ -1,0 +1,88 @@
+#include "dataframe/column.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::df {
+
+const char* to_string(DType t) {
+  switch (t) {
+    case DType::kFloat64: return "float64";
+    case DType::kInt64: return "int64";
+    case DType::kString: return "string";
+  }
+  return "?";
+}
+
+Column::Column(std::string name, std::vector<double> values)
+    : name_(std::move(name)), data_(std::move(values)) {}
+Column::Column(std::string name, std::vector<std::int64_t> values)
+    : name_(std::move(name)), data_(std::move(values)) {}
+Column::Column(std::string name, std::vector<std::string> values)
+    : name_(std::move(name)), data_(std::move(values)) {}
+
+DType Column::dtype() const {
+  return static_cast<DType>(data_.index());
+}
+
+std::size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+std::span<const double> Column::f64() const {
+  if (auto* v = std::get_if<std::vector<double>>(&data_)) return *v;
+  throw std::logic_error("Column '" + name_ + "' is not float64");
+}
+
+std::span<const std::int64_t> Column::i64() const {
+  if (auto* v = std::get_if<std::vector<std::int64_t>>(&data_)) return *v;
+  throw std::logic_error("Column '" + name_ + "' is not int64");
+}
+
+std::span<const std::string> Column::str() const {
+  if (auto* v = std::get_if<std::vector<std::string>>(&data_)) return *v;
+  throw std::logic_error("Column '" + name_ + "' is not string");
+}
+
+std::span<double> Column::f64_mut() {
+  if (auto* v = std::get_if<std::vector<double>>(&data_)) return *v;
+  throw std::logic_error("Column '" + name_ + "' is not float64");
+}
+
+std::span<std::int64_t> Column::i64_mut() {
+  if (auto* v = std::get_if<std::vector<std::int64_t>>(&data_)) return *v;
+  throw std::logic_error("Column '" + name_ + "' is not int64");
+}
+
+double Column::numeric_at(std::size_t row) const {
+  switch (dtype()) {
+    case DType::kFloat64: return f64()[row];
+    case DType::kInt64: return static_cast<double>(i64()[row]);
+    case DType::kString:
+      throw std::logic_error("Column '" + name_ + "': numeric_at on string");
+  }
+  return 0.0;
+}
+
+Column Column::gather(std::span<const std::size_t> rows) const {
+  return std::visit(
+      [&](const auto& v) {
+        using Vec = std::decay_t<decltype(v)>;
+        Vec out;
+        out.reserve(rows.size());
+        for (std::size_t r : rows) {
+          if (r >= v.size())
+            throw std::out_of_range("Column::gather: row out of range");
+          out.push_back(v[r]);
+        }
+        return Column(name_, std::move(out));
+      },
+      data_);
+}
+
+Column Column::renamed(std::string new_name) const {
+  Column c = *this;
+  c.name_ = std::move(new_name);
+  return c;
+}
+
+}  // namespace sagesim::df

@@ -1,0 +1,51 @@
+// Typed columns for the cuDF-like dataframe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sagesim::df {
+
+enum class DType : std::uint8_t { kFloat64, kInt64, kString };
+
+const char* to_string(DType t);
+
+class Column {
+ public:
+  Column(std::string name, std::vector<double> values);
+  Column(std::string name, std::vector<std::int64_t> values);
+  Column(std::string name, std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  DType dtype() const;
+  std::size_t size() const;
+
+  bool is_numeric() const { return dtype() != DType::kString; }
+
+  /// Typed access; throws std::logic_error on dtype mismatch.
+  std::span<const double> f64() const;
+  std::span<const std::int64_t> i64() const;
+  std::span<const std::string> str() const;
+  std::span<double> f64_mut();
+  std::span<std::int64_t> i64_mut();
+
+  /// Value at @p row as double (int64 widened); throws for string columns.
+  double numeric_at(std::size_t row) const;
+
+  /// Gathers rows into a new column (order given by @p rows).
+  Column gather(std::span<const std::size_t> rows) const;
+
+  /// Renamed copy.
+  Column renamed(std::string new_name) const;
+
+ private:
+  std::string name_;
+  std::variant<std::vector<double>, std::vector<std::int64_t>,
+               std::vector<std::string>>
+      data_;
+};
+
+}  // namespace sagesim::df

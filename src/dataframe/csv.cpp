@@ -1,0 +1,124 @@
+#include "dataframe/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sagesim::df {
+
+void write_csv(const DataFrame& frame, std::ostream& os) {
+  const auto names = frame.column_names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    os << (i ? "," : "") << names[i];
+  os << '\n';
+  for (std::size_t r = 0; r < frame.num_rows(); ++r) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i) os << ',';
+      const Column& c = frame.col(names[i]);
+      switch (c.dtype()) {
+        case DType::kFloat64: os << c.f64()[r]; break;
+        case DType::kInt64: os << c.i64()[r]; break;
+        case DType::kString: os << c.str()[r]; break;
+      }
+    }
+    os << '\n';
+  }
+}
+
+void write_csv(const DataFrame& frame, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  write_csv(frame, out);
+}
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  if (!line.empty() && line.back() == ',') out.emplace_back();
+  return out;
+}
+
+bool parse_i64(const std::string& s, std::int64_t& v) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [p, ec] = std::from_chars(begin, end, v);
+  return ec == std::errc() && p == end && !s.empty();
+}
+
+bool parse_f64(const std::string& s, double& v) {
+  if (s.empty()) return false;
+  try {
+    std::size_t pos = 0;
+    v = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+DataFrame read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("read_csv: empty input");
+  const auto header = split_line(line);
+  if (header.empty()) throw std::runtime_error("read_csv: empty header");
+
+  std::vector<std::vector<std::string>> cells(header.size());
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto row = split_line(line);
+    if (row.size() != header.size())
+      throw std::runtime_error("read_csv: row with " +
+                               std::to_string(row.size()) + " cells, header has " +
+                               std::to_string(header.size()));
+    for (std::size_t i = 0; i < row.size(); ++i) cells[i].push_back(row[i]);
+  }
+
+  std::vector<Column> columns;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    bool all_i64 = true, all_f64 = true;
+    for (const auto& s : cells[i]) {
+      std::int64_t iv;
+      double dv;
+      if (!parse_i64(s, iv)) all_i64 = false;
+      if (!parse_f64(s, dv)) all_f64 = false;
+    }
+    if (all_i64 && !cells[i].empty()) {
+      std::vector<std::int64_t> v;
+      v.reserve(cells[i].size());
+      for (const auto& s : cells[i]) {
+        std::int64_t iv = 0;
+        parse_i64(s, iv);
+        v.push_back(iv);
+      }
+      columns.emplace_back(header[i], std::move(v));
+    } else if (all_f64 && !cells[i].empty()) {
+      std::vector<double> v;
+      v.reserve(cells[i].size());
+      for (const auto& s : cells[i]) {
+        double dv = 0.0;
+        parse_f64(s, dv);
+        v.push_back(dv);
+      }
+      columns.emplace_back(header[i], std::move(v));
+    } else {
+      columns.emplace_back(header[i], std::move(cells[i]));
+    }
+  }
+  return DataFrame(std::move(columns));
+}
+
+DataFrame read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  return read_csv(in);
+}
+
+}  // namespace sagesim::df

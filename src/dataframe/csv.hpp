@@ -1,0 +1,22 @@
+// Minimal CSV read/write for the dataframe (no quoting/escaping — the lab
+// datasets are plain numeric/identifier tables).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dataframe/dataframe.hpp"
+
+namespace sagesim::df {
+
+/// Writes @p frame with a header row.
+void write_csv(const DataFrame& frame, std::ostream& os);
+void write_csv(const DataFrame& frame, const std::string& path);
+
+/// Reads a CSV with a header row.  Column types are inferred per column:
+/// all-int64 -> int64, all-numeric -> float64, otherwise string.
+/// Throws std::runtime_error on malformed input.
+DataFrame read_csv(std::istream& is);
+DataFrame read_csv(const std::string& path);
+
+}  // namespace sagesim::df

@@ -1,0 +1,78 @@
+// cuDF-like columnar dataframe with device-accelerated numeric operations —
+// the Week-6 "RAPIDS + Dask for scalable data pipelines" lab substrate.
+// Numeric filters and aggregations run as simulated GPU kernels when a
+// device is supplied; string operations stay on the host (as in RAPIDS).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataframe/column.hpp"
+#include "gpusim/device.hpp"
+
+namespace sagesim::df {
+
+/// Comparison predicates for numeric filters.
+enum class Cmp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Aggregations for group_by.
+enum class Agg : std::uint8_t { kSum, kMean, kCount, kMin, kMax };
+
+const char* to_string(Agg a);
+
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Builds from columns; all must share one length and have unique names.
+  explicit DataFrame(std::vector<Column> columns);
+
+  std::size_t num_rows() const;
+  std::size_t num_cols() const { return columns_.size(); }
+
+  const Column& col(const std::string& name) const;
+  bool has_col(const std::string& name) const;
+  std::vector<std::string> column_names() const;
+
+  /// Adds (or replaces) a column; length must match.
+  DataFrame& with_column(Column column);
+
+  /// Projection.
+  DataFrame select(const std::vector<std::string>& names) const;
+
+  /// Numeric filter: keeps rows where `col <cmp> value`.  Runs the
+  /// predicate as a device kernel when @p dev != nullptr.
+  DataFrame filter(gpu::Device* dev, const std::string& col_name, Cmp cmp,
+                   double value) const;
+
+  /// Row gather (all columns).
+  DataFrame gather(std::span<const std::size_t> rows) const;
+
+  /// Hash group-by on @p key (int64 or string) aggregating @p value_col.
+  /// Output columns: key, "<agg>_<value_col>".  Groups appear in
+  /// first-occurrence order.
+  DataFrame group_by(gpu::Device* dev, const std::string& key,
+                     const std::string& value_col, Agg agg) const;
+
+  /// Sorts by a column (numeric or string).
+  DataFrame sort_by(const std::string& col_name, bool ascending = true) const;
+
+  /// Inner hash join on equal-named key column (int64 or string).  Right
+  /// columns clashing with left names get an "_r" suffix.
+  DataFrame join(gpu::Device* dev, const DataFrame& right,
+                 const std::string& key) const;
+
+  /// Full-column reduction on a numeric column (device kernel).
+  double reduce(gpu::Device* dev, const std::string& col_name, Agg agg) const;
+
+  /// First @p n rows as a text table.
+  std::string head(std::size_t n = 10) const;
+
+ private:
+  void check_rectangular() const;
+  std::vector<Column> columns_;
+};
+
+}  // namespace sagesim::df

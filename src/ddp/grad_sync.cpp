@@ -1,0 +1,115 @@
+#include "ddp/grad_sync.hpp"
+
+#include <stdexcept>
+
+#include "dflow/collectives.hpp"
+
+namespace sagesim::ddp {
+
+GradientSynchronizer::GradientSynchronizer(
+    gpu::DeviceManager& devices,
+    std::vector<std::vector<nn::Param*>> replicas, AllReduceAlgo algo)
+    : devices_(devices), replicas_(std::move(replicas)), algo_(algo) {
+  if (replicas_.size() < 2)
+    throw std::invalid_argument("GradientSynchronizer: need >= 2 replicas");
+  if (replicas_.size() > devices_.device_count())
+    throw std::invalid_argument(
+        "GradientSynchronizer: more replicas than devices");
+
+  const auto& reference = replicas_.front();
+  for (const auto& replica : replicas_) {
+    if (replica.size() != reference.size())
+      throw std::invalid_argument(
+          "GradientSynchronizer: replicas have different parameter counts");
+    for (std::size_t i = 0; i < replica.size(); ++i)
+      if (!replica[i]->value.same_shape(reference[i]->value))
+        throw std::invalid_argument(
+            "GradientSynchronizer: parameter shape mismatch across replicas");
+  }
+  for (const nn::Param* p : reference) flat_size_ += p->size();
+
+  buckets_.reserve(replicas_.size());
+  for (std::size_t r = 0; r < replicas_.size(); ++r)
+    buckets_.emplace_back(devices_.device(r), flat_size_);
+}
+
+void GradientSynchronizer::pack(std::size_t rank) {
+  auto& dev = devices_.device(rank);
+  float* bucket = buckets_[rank].data();
+  std::size_t offset = 0;
+  for (nn::Param* p : replicas_[rank]) {
+    const float* g = p->grad.data();
+    const std::size_t n = p->size();
+    dev.launch_linear("ddp_pack", n, 256, [&](const gpu::ThreadCtx& ctx) {
+      const std::uint64_t i = ctx.global_x();
+      bucket[offset + i] = g[i];
+      ctx.add_bytes(2.0 * sizeof(float));
+    });
+    offset += n;
+  }
+}
+
+void GradientSynchronizer::unpack(std::size_t rank) {
+  auto& dev = devices_.device(rank);
+  const float* bucket = buckets_[rank].data();
+  std::size_t offset = 0;
+  for (nn::Param* p : replicas_[rank]) {
+    float* g = p->grad.data();
+    const std::size_t n = p->size();
+    dev.launch_linear("ddp_unpack", n, 256, [&](const gpu::ThreadCtx& ctx) {
+      const std::uint64_t i = ctx.global_x();
+      g[i] = bucket[offset + i];
+      ctx.add_bytes(2.0 * sizeof(float));
+    });
+    offset += n;
+  }
+}
+
+void GradientSynchronizer::sync() {
+  const std::size_t k = replicas_.size();
+  for (std::size_t r = 0; r < k; ++r) pack(r);
+
+  std::vector<dflow::CollectiveBuffer> bufs;
+  bufs.reserve(k);
+  for (std::size_t r = 0; r < k; ++r)
+    bufs.push_back({r, buckets_[r].data()});
+
+  switch (algo_) {
+    case AllReduceAlgo::kRing:
+      dflow::ring_allreduce_sum(devices_, bufs, flat_size_);
+      break;
+    case AllReduceAlgo::kNaive:
+      dflow::naive_allreduce_sum(devices_, bufs, flat_size_);
+      break;
+  }
+  dflow::scale_buffers(devices_, bufs, flat_size_,
+                       1.0f / static_cast<float>(k));
+
+  for (std::size_t r = 0; r < k; ++r) unpack(r);
+}
+
+void broadcast_params(gpu::DeviceManager& devices,
+                      std::vector<std::vector<nn::Param*>>& replicas) {
+  if (replicas.size() < 2) return;
+  const auto& src = replicas.front();
+  for (std::size_t r = 1; r < replicas.size(); ++r) {
+    if (replicas[r].size() != src.size())
+      throw std::invalid_argument("broadcast_params: replica count mismatch");
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      if (!replicas[r][i]->value.same_shape(src[i]->value))
+        throw std::invalid_argument("broadcast_params: shape mismatch");
+      std::copy(src[i]->value.data(),
+                src[i]->value.data() + src[i]->size(),
+                replicas[r][i]->value.data());
+      // Charge the broadcast as a peer copy on the wire.
+      const std::size_t bytes = src[i]->size() * sizeof(float);
+      const double dur =
+          devices.device(0).timing().peer_transfer_seconds(bytes);
+      devices.device(r).charge("param_broadcast",
+                               prof::EventKind::kMemcpyD2D, dur, 0,
+                               {{"bytes", static_cast<double>(bytes)}});
+    }
+  }
+}
+
+}  // namespace sagesim::ddp

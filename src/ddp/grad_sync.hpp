@@ -1,0 +1,57 @@
+// Gradient synchronization across model replicas on multiple simulated
+// GPUs — the core of PyTorch DDP as taught in the Week-10 lab, and the
+// "Aggregate gradients from all workers" step of Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_manager.hpp"
+#include "nn/layer.hpp"
+
+namespace sagesim::ddp {
+
+enum class AllReduceAlgo : std::uint8_t {
+  kRing,   ///< chunked ring (NCCL-style), bandwidth-optimal
+  kNaive,  ///< gather-to-root + broadcast, the ablation baseline
+};
+
+/// Synchronizes gradients across replicas.
+///
+/// Each rank r holds a replica whose parameters are params[r] (same shapes
+/// in the same order across ranks).  sync() packs every rank's gradients
+/// into a flat device bucket, all-reduces the buckets, averages, and
+/// unpacks — after which every replica holds identical mean gradients.
+class GradientSynchronizer {
+ public:
+  /// @param devices  rank r's bucket lives on devices.device(r)
+  /// @param replicas per-rank parameter lists (borrowed; caller keeps alive)
+  GradientSynchronizer(gpu::DeviceManager& devices,
+                       std::vector<std::vector<nn::Param*>> replicas,
+                       AllReduceAlgo algo = AllReduceAlgo::kRing);
+
+  /// Average gradients across replicas (in place on every replica).
+  void sync();
+
+  /// Total parameter element count per replica.
+  std::size_t flat_size() const { return flat_size_; }
+
+  AllReduceAlgo algorithm() const { return algo_; }
+
+ private:
+  void pack(std::size_t rank);
+  void unpack(std::size_t rank);
+
+  gpu::DeviceManager& devices_;
+  std::vector<std::vector<nn::Param*>> replicas_;
+  AllReduceAlgo algo_;
+  std::size_t flat_size_{0};
+  std::vector<gpu::DeviceBuffer<float>> buckets_;  ///< one per rank
+};
+
+/// Copies rank 0's parameter values to every other replica (initial
+/// broadcast so replicas start identical).
+void broadcast_params(gpu::DeviceManager& devices,
+                      std::vector<std::vector<nn::Param*>>& replicas);
+
+}  // namespace sagesim::ddp

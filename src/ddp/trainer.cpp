@@ -1,0 +1,86 @@
+#include "ddp/trainer.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::ddp {
+
+DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
+                                         const ModelFactory& model,
+                                         const OptimizerFactory& optimizer,
+                                         AllReduceAlgo algo)
+    : cluster_(cluster) {
+  const int world = cluster_.world_size();
+  if (world < 2)
+    throw std::invalid_argument(
+        "DataParallelTrainer: need >= 2 workers (use a plain loop for 1)");
+  models_.reserve(static_cast<std::size_t>(world));
+  optimizers_.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    models_.push_back(model());
+    optimizers_.push_back(optimizer());
+  }
+
+  std::vector<std::vector<nn::Param*>> replicas;
+  replicas.reserve(models_.size());
+  for (auto& m : models_) replicas.push_back(m->params());
+  broadcast_params(cluster_.devices(), replicas);
+  sync_ = std::make_unique<GradientSynchronizer>(cluster_.devices(), replicas,
+                                                 algo);
+}
+
+StepStats DataParallelTrainer::step(const tensor::Tensor& x,
+                                    std::span<const int> y) {
+  if (y.size() != x.rows())
+    throw std::invalid_argument("DataParallelTrainer::step: one label per row");
+  const auto world = static_cast<std::size_t>(cluster_.world_size());
+  if (x.rows() < world)
+    throw std::invalid_argument(
+        "DataParallelTrainer::step: batch smaller than world size");
+
+  const double t0 = cluster_.devices().now_s();
+
+  // Shard rows contiguously.
+  std::vector<double> losses(world, 0.0);
+  cluster_.run_on_all("ddp_step", [&](dflow::WorkerCtx& ctx) -> std::any {
+    const auto r = static_cast<std::size_t>(ctx.rank);
+    const std::size_t begin = r * x.rows() / world;
+    const std::size_t end = (r + 1) * x.rows() / world;
+    const std::size_t rows = end - begin;
+
+    tensor::Tensor shard(rows, x.cols());
+    std::copy(x.data() + begin * x.cols(), x.data() + end * x.cols(),
+              shard.data());
+    std::vector<int> labels(y.begin() + static_cast<std::ptrdiff_t>(begin),
+                            y.begin() + static_cast<std::ptrdiff_t>(end));
+
+    auto& model = *models_[r];
+    model.zero_grad();
+    tensor::Tensor logits = model.forward(ctx.device, shard, /*train=*/true);
+    auto loss = nn::softmax_cross_entropy(ctx.device, logits, labels);
+    model.backward(ctx.device, loss.dlogits);
+    losses[r] = loss.loss;
+    return loss.loss;
+  });
+
+  // Synchronous gradient averaging, then local optimizer steps.
+  sync_->sync();
+  cluster_.run_on_all("ddp_optim", [&](dflow::WorkerCtx& ctx) -> std::any {
+    const auto r = static_cast<std::size_t>(ctx.rank);
+    auto params = models_[r]->params();
+    optimizers_[r]->step(ctx.device, params);
+    return {};
+  });
+
+  StepStats stats;
+  for (double l : losses) stats.mean_loss += l;
+  stats.mean_loss /= static_cast<double>(world);
+  stats.sim_time_s = cluster_.devices().now_s() - t0;
+  return stats;
+}
+
+tensor::Tensor DataParallelTrainer::predict(const tensor::Tensor& x) {
+  return models_.front()->forward(&cluster_.devices().device(0), x,
+                                  /*train=*/false);
+}
+
+}  // namespace sagesim::ddp

@@ -1,0 +1,57 @@
+// Data-parallel trainer: replicates a Sequential model across simulated
+// GPUs, shards the batch, and synchronizes gradients every step — the
+// Week-10 "PyTorch DDP across 2 GPUs" lab as a library.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ddp/grad_sync.hpp"
+#include "dflow/cluster.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "nn/sequential.hpp"
+
+namespace sagesim::ddp {
+
+/// Builds one fresh model replica; called once per rank.  Replicas must
+/// have identical architecture; initial weights are broadcast from rank 0.
+using ModelFactory = std::function<std::unique_ptr<nn::Sequential>()>;
+
+/// Builds one optimizer per rank (optimizers hold per-replica state).
+using OptimizerFactory = std::function<std::unique_ptr<nn::Optimizer>()>;
+
+struct StepStats {
+  double mean_loss{0.0};
+  double sim_time_s{0.0};   ///< simulated wall time consumed by the step
+};
+
+class DataParallelTrainer {
+ public:
+  DataParallelTrainer(dflow::Cluster& cluster, const ModelFactory& model,
+                      const OptimizerFactory& optimizer,
+                      AllReduceAlgo algo = AllReduceAlgo::kRing);
+
+  int world_size() const { return cluster_.world_size(); }
+
+  /// One synchronous step: shards (X, y) across ranks by contiguous row
+  /// ranges, runs forward/backward per rank in parallel, all-reduces
+  /// gradients, and steps every optimizer.  Returns the mean loss across
+  /// ranks and the simulated time the step consumed.
+  StepStats step(const tensor::Tensor& x, std::span<const int> y);
+
+  /// Inference on rank 0's replica.
+  tensor::Tensor predict(const tensor::Tensor& x);
+
+  nn::Sequential& replica(int rank) { return *models_.at(static_cast<std::size_t>(rank)); }
+
+ private:
+  dflow::Cluster& cluster_;
+  std::vector<std::unique_ptr<nn::Sequential>> models_;
+  std::vector<std::unique_ptr<nn::Optimizer>> optimizers_;
+  std::unique_ptr<GradientSynchronizer> sync_;
+};
+
+}  // namespace sagesim::ddp

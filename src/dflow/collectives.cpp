@@ -1,0 +1,188 @@
+#include "dflow/collectives.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace sagesim::dflow {
+
+namespace {
+
+void validate(const std::vector<CollectiveBuffer>& buffers,
+              std::size_t count) {
+  if (buffers.size() < 2)
+    throw std::invalid_argument("collective: need at least 2 participants");
+  if (count == 0) throw std::invalid_argument("collective: empty buffers");
+  for (const auto& b : buffers)
+    if (b.data == nullptr)
+      throw std::invalid_argument("collective: null buffer");
+}
+
+/// Element-wise a += b on device @p dev, charged as a bandwidth-bound kernel.
+void device_axpy(gpu::Device& dev, float* a, const float* b,
+                 std::size_t count, const char* name) {
+  dev.launch_linear(name, count, 256, [&](const gpu::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_x();
+    a[i] += b[i];
+    ctx.add_flops(1.0);
+    ctx.add_bytes(3.0 * sizeof(float));
+  });
+}
+
+}  // namespace
+
+void ring_allreduce_sum(gpu::DeviceManager& devices,
+                        const std::vector<CollectiveBuffer>& buffers,
+                        std::size_t count) {
+  validate(buffers, count);
+  const std::size_t k = buffers.size();
+
+  // Chunk boundaries: chunk c covers [off[c], off[c+1]).
+  std::vector<std::size_t> off(k + 1);
+  for (std::size_t c = 0; c <= k; ++c) off[c] = c * count / k;
+
+  // Per-device staging buffers sized for the largest chunk.
+  std::size_t max_chunk = 0;
+  for (std::size_t c = 0; c < k; ++c)
+    max_chunk = std::max(max_chunk, off[c + 1] - off[c]);
+  std::vector<gpu::DeviceBuffer<float>> staging;
+  staging.reserve(k);
+  for (const auto& b : buffers)
+    staging.emplace_back(devices.device(b.device), max_chunk);
+
+  // One ring transfer: data + simulated-time bookkeeping.  All transfers of
+  // a round start at the same fence and overlap (each hop uses its own
+  // point-to-point link), which is exactly why the ring is bandwidth-
+  // optimal; DeviceManager::copy_peer would serialize them pairwise.
+  struct Hop {
+    std::size_t src_dev, dst_dev;
+    const float* src;
+    float* dst;
+    std::size_t n;
+  };
+  auto run_round = [&](const std::vector<Hop>& hops) {
+    double round_start = 0.0;
+    for (const auto& h : hops) {
+      round_start = std::max(round_start,
+                             devices.device(h.src_dev).stream_time(0));
+      round_start = std::max(round_start,
+                             devices.device(h.dst_dev).stream_time(0));
+    }
+    for (const auto& h : hops) {
+      if (h.n == 0) continue;
+      std::memcpy(h.dst, h.src, h.n * sizeof(float));
+      const double dur = devices.device(h.src_dev)
+                             .timing()
+                             .peer_transfer_seconds(h.n * sizeof(float));
+      const gpu::Event fence{round_start + dur,
+                             static_cast<int>(h.src_dev), 0};
+      devices.device(h.src_dev).wait_event(0, fence);
+      devices.device(h.dst_dev).wait_event(0, fence);
+
+      prof::TraceEvent e;
+      e.name = "ring_hop";
+      e.kind = prof::EventKind::kMemcpyD2D;
+      e.start_s = round_start;
+      e.duration_s = dur;
+      e.device = static_cast<int>(h.src_dev);
+      e.stream = 0;
+      e.counters["bytes"] = static_cast<double>(h.n * sizeof(float));
+      e.counters["dst_device"] = static_cast<double>(h.dst_dev);
+      devices.timeline().record(std::move(e));
+    }
+  };
+
+  // Phase 1: reduce-scatter.  At step s, rank r sends chunk (r - s) mod k to
+  // rank r+1, which accumulates it.
+  for (std::size_t step = 0; step + 1 < k; ++step) {
+    std::vector<Hop> hops;
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::size_t send_chunk = (r + k - step) % k;
+      const std::size_t dst = (r + 1) % k;
+      const std::size_t n = off[send_chunk + 1] - off[send_chunk];
+      hops.push_back({buffers[r].device, buffers[dst].device,
+                      buffers[r].data + off[send_chunk], staging[dst].data(),
+                      n});
+    }
+    run_round(hops);
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::size_t send_chunk = (r + k - step) % k;
+      const std::size_t dst = (r + 1) % k;
+      const std::size_t n = off[send_chunk + 1] - off[send_chunk];
+      if (n == 0) continue;
+      device_axpy(devices.device(buffers[dst].device),
+                  buffers[dst].data + off[send_chunk], staging[dst].data(), n,
+                  "allreduce_accumulate");
+    }
+  }
+
+  // Phase 2: all-gather.  Rank r owns the fully reduced chunk (r + 1) % k;
+  // circulate the finished chunks around the ring.
+  for (std::size_t step = 0; step + 1 < k; ++step) {
+    std::vector<Hop> hops;
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::size_t send_chunk = (r + 1 + k - step) % k;
+      const std::size_t dst = (r + 1) % k;
+      const std::size_t n = off[send_chunk + 1] - off[send_chunk];
+      hops.push_back({buffers[r].device, buffers[dst].device,
+                      buffers[r].data + off[send_chunk],
+                      buffers[dst].data + off[send_chunk], n});
+    }
+    run_round(hops);
+  }
+}
+
+void naive_allreduce_sum(gpu::DeviceManager& devices,
+                         const std::vector<CollectiveBuffer>& buffers,
+                         std::size_t count) {
+  validate(buffers, count);
+  const std::size_t k = buffers.size();
+  const std::size_t root_dev = buffers[0].device;
+  gpu::DeviceBuffer<float> staging(devices.device(root_dev), count);
+
+  // Gather to rank 0 and reduce there.
+  for (std::size_t r = 1; r < k; ++r) {
+    devices.copy_peer(root_dev, staging.data(), buffers[r].device,
+                      buffers[r].data, count * sizeof(float));
+    device_axpy(devices.device(root_dev), buffers[0].data, staging.data(),
+                count, "naive_reduce");
+  }
+  // Broadcast the result.
+  broadcast(devices, buffers, count, 0);
+}
+
+void scale_buffers(gpu::DeviceManager& devices,
+                   const std::vector<CollectiveBuffer>& buffers,
+                   std::size_t count, float factor) {
+  validate(buffers, count);
+  for (const auto& b : buffers) {
+    auto& dev = devices.device(b.device);
+    dev.launch_linear("allreduce_scale", count, 256,
+                      [&](const gpu::ThreadCtx& ctx) {
+                        const std::uint64_t i = ctx.global_x();
+                        b.data[i] *= factor;
+                        ctx.add_flops(1.0);
+                        ctx.add_bytes(2.0 * sizeof(float));
+                      });
+  }
+}
+
+void broadcast(gpu::DeviceManager& devices,
+               const std::vector<CollectiveBuffer>& buffers,
+               std::size_t count, std::size_t root) {
+  validate(buffers, count);
+  if (root >= buffers.size())
+    throw std::out_of_range("broadcast: root " + std::to_string(root) +
+                            " out of range");
+  for (std::size_t r = 0; r < buffers.size(); ++r) {
+    if (r == root) continue;
+    devices.copy_peer(buffers[r].device, buffers[r].data,
+                      buffers[root].device, buffers[root].data,
+                      count * sizeof(float));
+  }
+}
+
+}  // namespace sagesim::dflow

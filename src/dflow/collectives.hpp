@@ -1,0 +1,47 @@
+// Multi-GPU collectives over simulated devices — the gradient-aggregation
+// layer of Algorithm 1 ("Aggregate gradients from all workers") and of the
+// Week-10 DDP lab.  Data movement goes through DeviceManager::copy_peer, so
+// simulated time reflects the collective's real communication pattern.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/device_manager.hpp"
+
+namespace sagesim::dflow {
+
+/// One participant's view of a collective: its device ordinal and its device
+/// buffer of @p count floats.
+struct CollectiveBuffer {
+  std::size_t device{0};
+  float* data{nullptr};
+};
+
+/// Ring all-reduce (sum): reduce-scatter then all-gather, the standard
+/// 2*(k-1)-step ring used by NCCL/DDP.  After the call every buffer holds
+/// the element-wise sum.  Chunked so each step moves count/k elements.
+/// Throws std::invalid_argument for mismatched/empty inputs.
+void ring_allreduce_sum(gpu::DeviceManager& devices,
+                        const std::vector<CollectiveBuffer>& buffers,
+                        std::size_t count);
+
+/// Naive all-reduce baseline: gather everything to rank 0, reduce there,
+/// broadcast back.  Same result, (2k - 2) full-size transfers through one
+/// hot link — the ablation bench contrasts this with the ring.
+void naive_allreduce_sum(gpu::DeviceManager& devices,
+                         const std::vector<CollectiveBuffer>& buffers,
+                         std::size_t count);
+
+/// In-place average after a sum all-reduce: divides by participant count on
+/// each device (charged as a tiny device kernel).
+void scale_buffers(gpu::DeviceManager& devices,
+                   const std::vector<CollectiveBuffer>& buffers,
+                   std::size_t count, float factor);
+
+/// Broadcast @p count floats from buffers[root] to all other buffers.
+void broadcast(gpu::DeviceManager& devices,
+               const std::vector<CollectiveBuffer>& buffers,
+               std::size_t count, std::size_t root = 0);
+
+}  // namespace sagesim::dflow

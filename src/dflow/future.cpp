@@ -1,0 +1,4 @@
+#include "dflow/future.hpp"
+
+// Header-only today; this TU anchors the library target and keeps the header
+// compiling standalone.

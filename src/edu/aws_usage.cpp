@@ -1,0 +1,108 @@
+#include "edu/aws_usage.hpp"
+
+#include <string>
+
+#include "cloudsim/instance_type.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::edu {
+
+namespace {
+
+/// One working session: launch, work (touch), terminate.  With a small
+/// probability the student forgets to terminate and the idle reaper cleans
+/// up (the "automated scripts designed to terminate idle resources").
+void run_session(cloud::Provisioner& aws, const cloud::IamRole& role,
+                 const std::string& type_name, std::uint32_t count,
+                 const std::string& assessment, double hours,
+                 stats::Rng& rng, bool educate = false) {
+  cloud::Provisioner::LaunchRequest req;
+  req.type_name = type_name;
+  req.count = count;
+  req.assessment = assessment;
+  req.educate = educate;
+  const auto ids = aws.launch(role, req);
+
+  // A live session touches its instances continuously; advance in sub-
+  // threshold slices with touches so the reaper never fires mid-session.
+  double remaining = hours;
+  while (remaining > 0.0) {
+    const double slice = remaining < 0.45 ? remaining : 0.45;
+    aws.advance_time(slice);
+    for (const auto& id : ids) aws.touch(id);
+    remaining -= slice;
+  }
+
+  const bool forgot = rng.bernoulli(0.05);
+  if (!forgot) {
+    for (const auto& id : ids) aws.terminate(role, id);
+  }
+  // Gap before the next session; a forgotten instance idles into the
+  // reaper's threshold here.
+  aws.advance_time(2.0);
+}
+
+std::string pick_single_gpu_type(stats::Rng& rng) {
+  const auto mix = cloud::catalog::course_single_gpu_mix();
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const auto& [_, p] : mix) weights.push_back(p);
+  return mix[rng.categorical(weights)].first.name;
+}
+
+}  // namespace
+
+SemesterUsage simulate_semester_usage(const UsageParams& params,
+                                      std::uint64_t seed) {
+  stats::Rng rng(seed);
+  SemesterUsage out;
+  cloud::Provisioner& aws = out.provisioner;
+  aws.enable_idle_reaper(1.0);  // terminate after one idle hour
+
+  for (std::size_t s = 0; s < params.students; ++s) {
+    const std::string student = "s" + std::to_string(s);
+    const cloud::IamRole role = cloud::student_role(student);
+    aws.set_budget_cap(role.name(), cloud::BudgetCap{100.0});
+
+    // Labs: single-GPU sessions from the course mix; the first few run on
+    // free AWS Educate capacity.
+    for (int lab = 1; lab <= params.aws_lab_count(); ++lab) {
+      const double hours =
+          rng.truncated_normal(params.lab_hours_mean, 0.4, 0.5, 4.0);
+      run_session(aws, role, pick_single_gpu_type(rng), 1,
+                  "lab" + std::to_string(lab), hours, rng,
+                  lab <= params.educate_lab_count);
+    }
+
+    // Assignments: assignment 3 is the multi-GPU (3-node cluster) one.
+    for (int a = 0; a < 4; ++a) {
+      const bool cluster = a == params.cluster_assignment_index;
+      const double hours =
+          rng.truncated_normal(params.assignment_hours_mean, 0.7, 1.0, 6.0);
+      if (cluster) {
+        const std::string type =
+            rng.bernoulli(0.5) ? "g4dn.xlarge" : "g5.xlarge";
+        run_session(aws, role, type, 3, "assignment" + std::to_string(a + 1),
+                    hours * 0.6, rng);
+      } else {
+        run_session(aws, role, pick_single_gpu_type(rng), 1,
+                    "assignment" + std::to_string(a + 1), hours, rng);
+      }
+    }
+
+    // Group project: "less than 2 hours in both semesters".
+    run_session(aws, role, pick_single_gpu_type(rng), 1, "project",
+                rng.uniform(1.0, params.project_hours_max), rng);
+  }
+
+  const cloud::CostReport report(aws.ledger());
+  out.educate_hours_total = report.educate_hours();
+  out.mean_hours_per_student = report.mean_hours_per_owner();
+  out.mean_cost_per_student = report.mean_cost_per_owner();
+  out.avg_single_gpu_rate = report.avg_single_gpu_rate();
+  out.avg_multi_gpu_rate = report.avg_multi_gpu_session_rate();
+  out.idle_reaped = aws.reaped_count();
+  return out;
+}
+
+}  // namespace sagesim::edu

@@ -1,0 +1,87 @@
+#include "edu/cohort.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sagesim::edu {
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kUndergraduate: return "undergraduate";
+    case Level::kGraduate: return "graduate";
+  }
+  return "?";
+}
+
+const char* to_string(Semester semester) {
+  switch (semester) {
+    case Semester::kFall2024: return "Fall 2024";
+    case Semester::kSpring2025: return "Spring 2025";
+    case Semester::kSummer2025: return "Summer 2025";
+  }
+  return "?";
+}
+
+std::vector<Student> generate_cohort(const CohortParams& params,
+                                     std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<Student> cohort;
+  cohort.reserve(params.graduates + params.undergraduates);
+
+  std::gamma_distribution<double> gamma(params.grad_gamma_shape,
+                                        params.grad_gamma_scale);
+  for (std::size_t i = 0; i < params.graduates; ++i) {
+    Student s;
+    s.id = "grad-" + std::to_string(i);
+    s.level = Level::kGraduate;
+    s.semester = params.semester;
+    // Left tail bounded at 60 so a pathological gamma draw cannot produce
+    // an impossible course score.
+    s.total_score =
+        std::clamp(params.grad_cap - gamma(rng.engine()), 60.0, 100.0);
+    cohort.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < params.undergraduates; ++i) {
+    Student s;
+    s.id = "ug-" + std::to_string(i);
+    s.level = Level::kUndergraduate;
+    s.semester = params.semester;
+    s.total_score = rng.truncated_normal(params.ug_mean, params.ug_sd, 50.0, 99.0);
+    cohort.push_back(std::move(s));
+  }
+  return cohort;
+}
+
+std::vector<double> scores_of(const std::vector<Student>& cohort,
+                              Level level) {
+  std::vector<double> out;
+  for (const auto& s : cohort)
+    if (s.level == level) out.push_back(s.total_score);
+  return out;
+}
+
+char letter_grade(double total_score) {
+  if (total_score < 0.0 || total_score > 100.0)
+    throw std::invalid_argument("letter_grade: score outside [0, 100]");
+  if (total_score >= 90.0) return 'A';
+  if (total_score >= 80.0) return 'B';
+  if (total_score >= 70.0) return 'C';
+  if (total_score >= 60.0) return 'D';
+  return 'F';
+}
+
+GradeDistribution grade_distribution(const std::vector<Student>& cohort) {
+  GradeDistribution d;
+  for (const auto& s : cohort) {
+    switch (letter_grade(s.total_score)) {
+      case 'A': ++d.a; break;
+      case 'B': ++d.b; break;
+      case 'C': ++d.c; break;
+      case 'D': ++d.d; break;
+      default: ++d.f; break;
+    }
+  }
+  return d;
+}
+
+}  // namespace sagesim::edu

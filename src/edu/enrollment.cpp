@@ -1,0 +1,36 @@
+#include "edu/enrollment.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::edu {
+
+std::vector<EnrollmentRecord> enrollment_by_term() {
+  // Fall 2024: small section (Fig. 4a shows 9 responses); 5 graduates make
+  // the two-semester graduate total 20 (Appendix C).  Spring 2025: "fifteen
+  // graduate students enroll" plus 15 undergraduates (Fig. 4b's ~31
+  // responses).  Summer 2025 is the in-progress condensed section.
+  return {
+      {Semester::kFall2024, 5, 5},
+      {Semester::kSpring2025, 15, 15},
+      {Semester::kSummer2025, 6, 6},
+  };
+}
+
+EnrollmentRecord enrollment(Semester semester) {
+  for (const auto& r : enrollment_by_term())
+    if (r.semester == semester) return r;
+  throw std::invalid_argument("enrollment: unknown semester");
+}
+
+std::size_t evaluation_respondents(Semester semester) {
+  switch (semester) {
+    case Semester::kFall2024: return 8;
+    case Semester::kSpring2025: return 10;
+    case Semester::kSummer2025:
+      throw std::invalid_argument(
+          "evaluation_respondents: Summer 2025 evaluations not yet collected");
+  }
+  throw std::invalid_argument("evaluation_respondents: unknown semester");
+}
+
+}  // namespace sagesim::edu

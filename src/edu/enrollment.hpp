@@ -1,0 +1,31 @@
+// Enrollment model (Fig. 1).  Consistent with every number in the paper:
+// ~39-40 students across Fall 2024 + Spring 2025, 15 graduate students in
+// Spring 2025, Appendix C's n=20 per level, Fig. 4's per-semester response
+// counts (~9 in Fall, ~31 in Spring), and an in-progress Summer 2025.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "edu/cohort.hpp"
+
+namespace sagesim::edu {
+
+struct EnrollmentRecord {
+  Semester semester{Semester::kFall2024};
+  std::size_t graduates{0};
+  std::size_t undergraduates{0};
+  std::size_t total() const { return graduates + undergraduates; }
+};
+
+/// Per-term enrollment for Fig. 1.
+std::vector<EnrollmentRecord> enrollment_by_term();
+
+/// Enrollment of one term.
+EnrollmentRecord enrollment(Semester semester);
+
+/// Course-evaluation respondents per term (85% response rate, Appendix D's
+/// n=18: 8 in Fall, 10 in Spring).
+std::size_t evaluation_respondents(Semester semester);
+
+}  // namespace sagesim::edu

@@ -1,0 +1,42 @@
+// Appendix B — the two extra-credit instruments and their reported
+// outcomes: "Build Your Own Lab" (0 attempts in Fall 2024; 3 submissions in
+// Spring 2025, none meeting the SLOs) and "Academic Paper Review" (Spring
+// 2025 only, ~60% completion, summaries strong but extensions vague).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edu/cohort.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::edu {
+
+enum class ExtraCredit : std::uint8_t { kBuildYourOwnLab, kPaperReview };
+
+const char* to_string(ExtraCredit e);
+
+/// Paper-reported participation for one instrument in one semester.
+struct ExtraCreditReport {
+  std::size_t attempts{0};
+  std::size_t met_outcomes{0};  ///< submissions meeting the learning outcomes
+  double completion_rate{0.0};  ///< attempts / eligible students
+};
+
+/// The outcomes as published in Appendix B; throws std::invalid_argument
+/// for (instrument, semester) pairs the paper does not offer (paper review
+/// existed in Spring 2025 only; Summer 2025 is in progress).
+ExtraCreditReport reported_extra_credit(ExtraCredit instrument,
+                                        Semester semester);
+
+/// One student's simulated extra-credit outcome.
+struct ExtraCreditOutcome {
+  bool attempted{false};
+  bool met_outcomes{false};
+};
+
+/// Samples a student's outcome from the reported rates.
+ExtraCreditOutcome sample_extra_credit(ExtraCredit instrument,
+                                       Semester semester, stats::Rng& rng);
+
+}  // namespace sagesim::edu

@@ -1,0 +1,99 @@
+#include "edu/grading.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sagesim::edu {
+
+void GradingScheme::validate() const {
+  if (std::fabs(total_weight() - 1.0) > 1e-9)
+    throw std::invalid_argument("GradingScheme: weights must sum to 1");
+  if (std::fabs(labs_weight + assignments_weight - 0.5) > 1e-9)
+    throw std::invalid_argument(
+        "GradingScheme: labs+assignments must be half of the grade (SIV.A)");
+  if (lab_count < 12 || lab_count > 14)
+    throw std::invalid_argument(
+        "GradingScheme: lab count outside the paper's 12-14 range");
+  if (assignment_count != 4)
+    throw std::invalid_argument("GradingScheme: the course has 4 assignments");
+}
+
+double weighted_total(const GradingScheme& scheme,
+                      const ComponentScores& scores) {
+  auto mean_of = [](const std::vector<double>& v) {
+    if (v.empty()) throw std::invalid_argument("weighted_total: empty component");
+    double s = 0.0;
+    for (double x : v) {
+      if (x < 0.0 || x > 100.0)
+        throw std::invalid_argument("weighted_total: score outside [0, 100]");
+      s += x;
+    }
+    return s / static_cast<double>(v.size());
+  };
+  const double total = scheme.labs_weight * mean_of(scores.labs) +
+                       scheme.assignments_weight * mean_of(scores.assignments) +
+                       scheme.project_weight * scores.project +
+                       scheme.participation_weight * scores.participation +
+                       scheme.midterm_weight * scores.midterm +
+                       scheme.final_weight * scores.final_exam;
+  return std::clamp(total, 0.0, 100.0);
+}
+
+ComponentScores simulate_components(const GradingScheme& scheme, Level level,
+                                    Semester semester, stats::Rng& rng) {
+  ComponentScores out;
+
+  // Base ability by level (graduates cluster high, Appendix C).
+  const double ability =
+      level == Level::kGraduate ? rng.truncated_normal(93.0, 5.0, 70.0, 100.0)
+                                : rng.truncated_normal(84.0, 9.0, 55.0, 100.0);
+
+  // Fall 2024: interactive scores track individual ability and students
+  // miss or partially submit more often.  Spring 2025: the revised lab
+  // instructions plus office-hour code reviews compress lab/assignment
+  // scores toward the top (SIV.A attributes the A-rate jump to this), with
+  // only a small residual ability term.
+  const bool spring = semester == Semester::kSpring2025;
+  const double miss_prob = spring ? 0.03 : 0.08;
+
+  for (int i = 0; i < scheme.lab_count; ++i) {
+    if (rng.bernoulli(miss_prob)) {
+      // Fall: hard partial/late turn-ins; Spring: milder (revised labs).
+      out.labs.push_back(spring ? rng.uniform(60.0, 85.0)
+                                : rng.uniform(40.0, 65.0));
+    } else if (spring) {
+      out.labs.push_back(
+          rng.truncated_normal(94.0 + 0.04 * ability, 3.0, 70.0, 100.0));
+    } else {
+      out.labs.push_back(
+          rng.truncated_normal(ability, 5.0, 0.0, 100.0));
+    }
+  }
+  for (int i = 0; i < scheme.assignment_count; ++i) {
+    if (rng.bernoulli(miss_prob)) {
+      out.assignments.push_back(spring ? rng.uniform(60.0, 85.0)
+                                       : rng.uniform(35.0, 65.0));
+    } else if (spring) {
+      out.assignments.push_back(
+          rng.truncated_normal(92.0 + 0.05 * ability, 4.0, 60.0, 100.0));
+    } else {
+      out.assignments.push_back(
+          rng.truncated_normal(ability, 7.0, 0.0, 100.0));
+    }
+  }
+  // Group projects score high in both terms ("average usage ... less than
+  // 2 hours" — small, well-supported deliverable).
+  out.project = rng.truncated_normal(95.0, 4.0, 60.0, 100.0);
+  out.participation = rng.truncated_normal(96.0, 3.0, 60.0, 100.0);
+
+  // Exams: "the exam average remained remarkably consistent across both
+  // semesters, hovering between 75-80%" — centered there with a mild
+  // ability tilt so stronger students still do better.
+  out.midterm = rng.truncated_normal(57.0 + 0.24 * ability, 7.0, 40.0, 100.0);
+  out.final_exam =
+      rng.truncated_normal(57.0 + 0.24 * ability, 7.0, 40.0, 100.0);
+  return out;
+}
+
+}  // namespace sagesim::edu

@@ -1,0 +1,59 @@
+// The course's grading scheme (§IV.A): labs and assignments — the
+// interactive, TA-supported half — carry 50% of the grade; the independent
+// half is the two closed-book exams, the group project (15%), and
+// participation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edu/cohort.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::edu {
+
+struct GradingScheme {
+  int lab_count{14};          ///< "twelve to fourteen dynamic in-class labs"
+  int assignment_count{4};
+  double labs_weight{0.25};
+  double assignments_weight{0.25};
+  double project_weight{0.15};
+  double participation_weight{0.10};
+  double midterm_weight{0.125};
+  double final_weight{0.125};
+
+  /// Sums to 1.0 (validated by validate()).
+  double total_weight() const {
+    return labs_weight + assignments_weight + project_weight +
+           participation_weight + midterm_weight + final_weight;
+  }
+
+  /// Throws std::invalid_argument unless weights sum to 1 and the
+  /// interactive half (labs+assignments) is exactly 50%.
+  void validate() const;
+};
+
+/// Per-component scores for one student (all in [0, 100]).
+struct ComponentScores {
+  std::vector<double> labs;
+  std::vector<double> assignments;
+  double project{0.0};
+  double participation{0.0};
+  double midterm{0.0};
+  double final_exam{0.0};
+};
+
+/// Weighted total in [0, 100].
+double weighted_total(const GradingScheme& scheme,
+                      const ComponentScores& scores);
+
+/// Simulates component scores for a student of @p level in @p semester.
+/// Encodes the paper's observations: exams average 75-80% in both terms for
+/// both levels; Spring 2025's revised labs lift lab/assignment scores
+/// ("over 60% of students securing an 'A'"); Fall 2024 has more missed or
+/// partial assignment submissions.
+ComponentScores simulate_components(const GradingScheme& scheme, Level level,
+                                    Semester semester, stats::Rng& rng);
+
+}  // namespace sagesim::edu

@@ -1,0 +1,156 @@
+#include "edu/survey.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::edu {
+
+const char* question_text(SurveyQuestion q) {
+  switch (q) {
+    case SurveyQuestion::kNumbaCuda:
+      return "I can use Numba to implement a parallel algorithm using CUDA";
+    case SurveyQuestion::kAwsGpuCluster:
+      return "I feel confident in using AWS GPU cluster";
+    case SurveyQuestion::kProfilingTools:
+      return "I feel confident in using PyTorch Profiler and Nsight Systems "
+             "for GPU profiling";
+    case SurveyQuestion::kMultiGpu:
+      return "I can apply multi-GPU training and parallel computing for AI "
+             "models such as GCN";
+  }
+  return "?";
+}
+
+const char* to_string(SurveyWave w) {
+  return w == SurveyWave::kMidCourse ? "mid-course" : "final";
+}
+
+// Counts are {StronglyDisagree, Disagree, Neutral, Agree, StronglyAgree}.
+// Cells quoted in §IV.C are encoded verbatim; the remaining cells are
+// filled to match the section's qualitative description (marked "interp").
+std::array<std::size_t, 5> reported_counts(SurveyQuestion q, SurveyWave w,
+                                           Semester semester) {
+  const bool fall = semester == Semester::kFall2024;
+  if (semester == Semester::kSummer2025)
+    throw std::invalid_argument(
+        "reported_counts: Summer 2025 surveys are not in the paper");
+  const bool mid = w == SurveyWave::kMidCourse;
+
+  switch (q) {
+    case SurveyQuestion::kNumbaCuda:
+      if (fall)
+        return mid ? std::array<std::size_t, 5>{3, 2, 2, 1, 1}   // interp
+                   : std::array<std::size_t, 5>{2, 2, 1, 2, 2};  // quoted
+      return mid ? std::array<std::size_t, 5>{4, 7, 10, 6, 3}    // interp
+                 : std::array<std::size_t, 5>{3, 4, 9, 7, 5};    // quoted N/A/SA
+    case SurveyQuestion::kAwsGpuCluster:
+      if (fall)
+        return mid ? std::array<std::size_t, 5>{3, 3, 2, 1, 0}   // "weak"
+                   : std::array<std::size_t, 5>{0, 1, 2, 4, 2};  // "improved"
+      return mid ? std::array<std::size_t, 5>{4, 8, 8, 8, 3}     // 12/8/11 quoted
+                 : std::array<std::size_t, 5>{0, 2, 5, 13, 11};  // "strong"
+    case SurveyQuestion::kProfilingTools:
+      if (fall)
+        return mid ? std::array<std::size_t, 5>{0, 1, 1, 4, 3}   // "strong"
+                   : std::array<std::size_t, 5>{1, 3, 2, 2, 1};  // "reduction"
+      return mid ? std::array<std::size_t, 5>{1, 4, 7, 13, 6}
+                 : std::array<std::size_t, 5>{2, 6, 9, 10, 4};   // smaller dip
+    case SurveyQuestion::kMultiGpu:
+      if (mid)
+        throw std::invalid_argument(
+            "reported_counts: the multi-GPU question appears on the final "
+            "survey only (SIV.C)");
+      if (fall) return {0, 1, 1, 4, 3};  // "largely positive"
+      return {3, 7, 10, 8, 3};           // "ten ... disagreement" quoted
+  }
+  throw std::invalid_argument("reported_counts: unknown question");
+}
+
+std::vector<int> sample_responses(SurveyQuestion q, SurveyWave w,
+                                  Semester semester, std::size_t n,
+                                  stats::Rng& rng) {
+  const auto counts = reported_counts(q, w, semester);
+  std::array<double, 5> weights{};
+  for (std::size_t i = 0; i < 5; ++i)
+    weights[i] = static_cast<double>(counts[i]);
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<int>(rng.categorical(weights)) + 1);
+  return out;
+}
+
+const char* question_text(EvalQuestion q) {
+  switch (q) {
+    case EvalQuestion::kKnowledge:
+      return "The course information further developed my knowledge in this "
+             "area";
+    case EvalQuestion::kActivities:
+      return "The course activities enhanced my learning of the course "
+             "content";
+    case EvalQuestion::kOral:
+      return "The oral assignments improved my presentation skills";
+    case EvalQuestion::kTechSkills:
+      return "The course activities improved my computer technology skills";
+    case EvalQuestion::kLabContribution:
+      return "Lab or clinical experiences contributed to my understanding of "
+             "the course theories and concepts";
+    case EvalQuestion::kLabExplained:
+      return "The instructor clearly explained laboratory or clinical "
+             "experiments or procedures";
+  }
+  return "?";
+}
+
+// Probabilities over {Never, Seldom, Sometimes, Often, Always}.  Shapes
+// follow Fig. 3: content questions skew "Always"; the two lab questions
+// have visibly lower "Always" shares; undergraduates rate core content
+// highest while graduates report larger skill gains.
+std::array<double, 5> eval_distribution(EvalQuestion q, Level level) {
+  const bool grad = level == Level::kGraduate;
+  switch (q) {
+    case EvalQuestion::kKnowledge:
+      return grad ? std::array<double, 5>{0.02, 0.03, 0.10, 0.25, 0.60}
+                  : std::array<double, 5>{0.02, 0.03, 0.08, 0.17, 0.70};
+    case EvalQuestion::kActivities:
+      return grad ? std::array<double, 5>{0.02, 0.03, 0.10, 0.27, 0.58}
+                  : std::array<double, 5>{0.02, 0.03, 0.10, 0.20, 0.65};
+    case EvalQuestion::kOral:
+      return grad ? std::array<double, 5>{0.02, 0.05, 0.10, 0.23, 0.60}
+                  : std::array<double, 5>{0.03, 0.07, 0.15, 0.25, 0.50};
+    case EvalQuestion::kTechSkills:
+      return grad ? std::array<double, 5>{0.01, 0.03, 0.08, 0.20, 0.68}
+                  : std::array<double, 5>{0.02, 0.04, 0.10, 0.24, 0.60};
+    case EvalQuestion::kLabContribution:
+      return grad ? std::array<double, 5>{0.03, 0.07, 0.18, 0.30, 0.42}
+                  : std::array<double, 5>{0.03, 0.07, 0.15, 0.30, 0.45};
+    case EvalQuestion::kLabExplained:
+      return grad ? std::array<double, 5>{0.04, 0.08, 0.18, 0.30, 0.40}
+                  : std::array<double, 5>{0.04, 0.08, 0.16, 0.30, 0.42};
+  }
+  throw std::invalid_argument("eval_distribution: unknown question");
+}
+
+std::vector<int> sample_eval_responses(EvalQuestion q, Level level,
+                                       std::size_t n, stats::Rng& rng) {
+  const auto dist = eval_distribution(q, level);
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<int>(rng.categorical(dist)) + 1);
+  return out;
+}
+
+std::array<std::size_t, 5> reported_satisfaction(Semester semester) {
+  switch (semester) {
+    case Semester::kFall2024:
+      return {1, 0, 0, 0, 7};  // 12.5% VeryLow, 87.5% VeryHigh, n=8
+    case Semester::kSpring2025:
+      return {0, 0, 0, 4, 6};  // 40% High, 60% VeryHigh, n=10
+    case Semester::kSummer2025:
+      throw std::invalid_argument(
+          "reported_satisfaction: Summer 2025 is still running in the paper");
+  }
+  throw std::invalid_argument("reported_satisfaction: unknown semester");
+}
+
+}  // namespace sagesim::edu

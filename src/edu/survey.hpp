@@ -1,0 +1,72 @@
+// Survey models calibrated to the paper's reported response counts.
+//
+// The paper publishes exact (or near-exact) Likert counts for several
+// instruments; those counts are encoded here as calibration targets.  The
+// model treats the normalized counts as the response distribution for a
+// (question, semester) cell, so benches can print the paper's observed
+// distribution and regenerate synthetic cohorts whose aggregate matches it.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "edu/cohort.hpp"
+#include "stats/likert.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::edu {
+
+/// The anonymous-survey questions (Figs. 4a-4d).
+enum class SurveyQuestion : std::uint8_t {
+  kNumbaCuda,          ///< "I can use Numba to implement a parallel algorithm using CUDA"
+  kAwsGpuCluster,      ///< "I feel confident building/configuring GPU clusters on AWS"
+  kProfilingTools,     ///< "I feel confident using PyTorch Profiler and Nsight Systems"
+  kMultiGpu,           ///< "I can apply multi-GPU training and parallel computing" (final only)
+};
+
+enum class SurveyWave : std::uint8_t { kMidCourse, kFinal };
+
+const char* question_text(SurveyQuestion q);
+const char* to_string(SurveyWave w);
+
+/// Paper-reported Likert counts {SD, D, N, A, SA} for one survey cell;
+/// zero-filled cells mean the paper reports only a qualitative description,
+/// which the model fills from that description.
+std::array<std::size_t, 5> reported_counts(SurveyQuestion q, SurveyWave w,
+                                           Semester semester);
+
+/// Samples @p n responses from the cell's (normalized) reported
+/// distribution.
+std::vector<int> sample_responses(SurveyQuestion q, SurveyWave w,
+                                  Semester semester, std::size_t n,
+                                  stats::Rng& rng);
+
+/// End-of-semester course-evaluation questions (Table II / Fig. 3).
+enum class EvalQuestion : std::uint8_t {
+  kKnowledge,        ///< course developed my knowledge
+  kActivities,       ///< activities enhanced learning
+  kOral,             ///< oral assignments improved presentation skills
+  kTechSkills,       ///< improved computer technology skills
+  kLabContribution,  ///< lab experiences contributed to understanding
+  kLabExplained,     ///< instructor clearly explained lab procedures
+};
+const char* question_text(EvalQuestion q);
+constexpr int kEvalQuestionCount = 6;
+
+/// Frequency-scale distribution (probabilities over Never..Always) for one
+/// evaluation question by student level, matching Fig. 3's shape: content
+/// questions skew "Always", lab-clarity questions have lower "Always"
+/// shares, undergraduates value content while graduates report skill gains.
+std::array<double, 5> eval_distribution(EvalQuestion q, Level level);
+
+/// Samples @p n evaluation responses for a question/level cell.
+std::vector<int> sample_eval_responses(EvalQuestion q, Level level,
+                                       std::size_t n, stats::Rng& rng);
+
+/// Overall-satisfaction distributions (Figs. 10-11): Fall 2024 (n=8) was
+/// 87.5% "Very High" + 12.5% "Very Low"; Spring 2025 (n=10) split 60/40
+/// "Very High"/"High".  Scale here: 1=VeryLow .. 5=VeryHigh.
+std::array<std::size_t, 5> reported_satisfaction(Semester semester);
+
+}  // namespace sagesim::edu

@@ -1,0 +1,295 @@
+#include "gpusim/device.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "gpusim/occupancy.hpp"
+#include "prof/check.hpp"
+
+namespace sagesim::gpu {
+
+Device::Device(int ordinal, DeviceSpec spec,
+               std::shared_ptr<prof::Timeline> timeline, Executor* executor)
+    : ordinal_(ordinal),
+      timing_(std::move(spec)),
+      memory_(timing_.spec().global_mem_bytes),
+      timeline_(std::move(timeline)),
+      executor_(executor) {
+  if (!timeline_)
+    throw std::invalid_argument("Device: timeline must not be null");
+  SAGESIM_CHECK(executor_ != nullptr);
+  streams_.emplace_back(0);
+}
+
+int Device::create_stream() {
+  std::lock_guard lock(mutex_);
+  const int ordinal = static_cast<int>(streams_.size());
+  streams_.emplace_back(ordinal);
+  return ordinal;
+}
+
+std::size_t Device::stream_count() const {
+  std::lock_guard lock(mutex_);
+  return streams_.size();
+}
+
+Stream& Device::stream_at(int stream) {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size())
+    throw std::out_of_range("Device: unknown stream " +
+                            std::to_string(stream));
+  return streams_[static_cast<std::size_t>(stream)];
+}
+
+const Stream& Device::stream_at(int stream) const {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size())
+    throw std::out_of_range("Device: unknown stream " +
+                            std::to_string(stream));
+  return streams_[static_cast<std::size_t>(stream)];
+}
+
+double Device::stream_time(int stream) const {
+  std::lock_guard lock(mutex_);
+  return stream_at(stream).cursor_s();
+}
+
+Event Device::record_event(int stream) {
+  std::lock_guard lock(mutex_);
+  return Event{stream_at(stream).cursor_s(), ordinal_, stream};
+}
+
+void Device::wait_event(int stream, const Event& event) {
+  std::lock_guard lock(mutex_);
+  stream_at(stream).wait_until(event.time_s);
+}
+
+double Device::synchronize() {
+  std::lock_guard lock(mutex_);
+  double latest = 0.0;
+  for (const auto& s : streams_) latest = std::max(latest, s.cursor_s());
+  // Synchronization is itself an API call: all streams align to the fence.
+  latest += timing_.api_overhead_seconds();
+  for (auto& s : streams_) s.wait_until(latest);
+  return latest;
+}
+
+void* Device::device_malloc(std::size_t bytes) {
+  void* ptr = memory_.allocate(bytes);
+  charge("cudaMalloc", prof::EventKind::kApi, timing_.api_overhead_seconds());
+  return ptr;
+}
+
+void Device::device_free(void* ptr) {
+  memory_.free(ptr);
+  charge("cudaFree", prof::EventKind::kApi, timing_.api_overhead_seconds());
+}
+
+void Device::copy_h2d(void* dst, const void* src, std::size_t bytes,
+                      int stream, bool pinned) {
+  if (!memory_.owns(dst))
+    throw std::invalid_argument("copy_h2d: dst is not device memory");
+  if (memory_.size_of(dst) < bytes)
+    throw std::invalid_argument("copy_h2d: copy overruns destination");
+  std::memcpy(dst, src, bytes);
+  charge(pinned ? "memcpy_h2d" : "memcpy_h2d_pageable",
+         prof::EventKind::kMemcpyH2D,
+         timing_.transfer_seconds(bytes, pinned), stream,
+         {{"bytes", static_cast<double>(bytes)}});
+}
+
+void Device::copy_d2h(void* dst, const void* src, std::size_t bytes,
+                      int stream, bool pinned) {
+  if (!memory_.owns(src))
+    throw std::invalid_argument("copy_d2h: src is not device memory");
+  if (memory_.size_of(src) < bytes)
+    throw std::invalid_argument("copy_d2h: copy overruns source");
+  std::memcpy(dst, src, bytes);
+  charge(pinned ? "memcpy_d2h" : "memcpy_d2h_pageable",
+         prof::EventKind::kMemcpyD2H,
+         timing_.transfer_seconds(bytes, pinned), stream,
+         {{"bytes", static_cast<double>(bytes)}});
+}
+
+void Device::copy_d2d(void* dst, const void* src, std::size_t bytes,
+                      int stream) {
+  if (!memory_.owns(dst) || !memory_.owns(src))
+    throw std::invalid_argument("copy_d2d: both pointers must be device memory");
+  if (memory_.size_of(dst) < bytes || memory_.size_of(src) < bytes)
+    throw std::invalid_argument("copy_d2d: copy overruns an allocation");
+  std::memmove(dst, src, bytes);
+  // On-device copies read+write global memory at full bandwidth.
+  const double dur =
+      2.0 * static_cast<double>(bytes) / timing_.spec().peak_bytes_per_s();
+  charge("memcpy_d2d", prof::EventKind::kMemcpyD2D, dur, stream,
+         {{"bytes", static_cast<double>(bytes)}});
+}
+
+void Device::charge(const std::string& name, prof::EventKind kind,
+                    double duration_s, int stream,
+                    std::map<std::string, double> counters) {
+  double start;
+  {
+    std::lock_guard lock(mutex_);
+    start = stream_at(stream).enqueue(duration_s);
+  }
+  prof::TraceEvent e;
+  e.name = name;
+  e.kind = kind;
+  e.start_s = start;
+  e.duration_s = duration_s;
+  e.device = ordinal_;
+  e.stream = stream;
+  e.counters = std::move(counters);
+  timeline_->record(std::move(e));
+}
+
+void Device::validate_launch(const Dim3& grid, const Dim3& block,
+                             const LaunchOptions& opts) const {
+  const auto& s = timing_.spec();
+  if (grid.total() == 0 || block.total() == 0)
+    throw std::invalid_argument("launch: empty grid or block");
+  if (block.total() > s.max_threads_per_block)
+    throw std::invalid_argument(
+        "launch: block has " + std::to_string(block.total()) +
+        " threads; device max is " + std::to_string(s.max_threads_per_block));
+  if (opts.shared_mem_bytes > s.shared_mem_per_block)
+    throw std::invalid_argument(
+        "launch: shared memory request exceeds per-block limit");
+  if (opts.stream < 0 ||
+      static_cast<std::size_t>(opts.stream) >= streams_.size())
+    throw std::out_of_range("launch: unknown stream " +
+                            std::to_string(opts.stream));
+}
+
+namespace {
+
+/// Decodes a linear block id into (x, y, z), x fastest.
+Dim3 decode_block(std::uint64_t id, const Dim3& grid) {
+  Dim3 b;
+  b.x = static_cast<std::uint32_t>(id % grid.x);
+  b.y = static_cast<std::uint32_t>((id / grid.x) % grid.y);
+  b.z = static_cast<std::uint32_t>(id / (static_cast<std::uint64_t>(grid.x) * grid.y));
+  return b;
+}
+
+}  // namespace
+
+LaunchResult Device::finish_launch(const std::string& name, const Dim3& grid,
+                                   const Dim3& block,
+                                   const LaunchOptions& opts,
+                                   const WorkCounters& totals) {
+  const auto occ = occupancy_for(timing_.spec(), block, opts.shared_mem_bytes);
+  KernelWork work;
+  work.flops = totals.flops;
+  work.global_bytes = totals.global_bytes;
+  work.blocks = grid.total();
+  work.threads = grid.total() * block.total();
+  work.occupancy = occ.occupancy;
+  work.lane_efficiency = occ.lane_efficiency;
+  const double duration = timing_.kernel_seconds(work);
+
+  double start;
+  {
+    std::lock_guard lock(mutex_);
+    start = stream_at(opts.stream).enqueue(duration);
+  }
+
+  prof::TraceEvent e;
+  e.name = name;
+  e.kind = prof::EventKind::kKernel;
+  e.start_s = start;
+  e.duration_s = duration;
+  e.device = ordinal_;
+  e.stream = opts.stream;
+  e.counters["flops"] = totals.flops;
+  e.counters["bytes"] = totals.global_bytes;
+  e.counters["blocks"] = static_cast<double>(grid.total());
+  e.counters["threads_per_block"] = static_cast<double>(block.total());
+  e.counters["occupancy"] = occ.occupancy;
+  timeline_->record(std::move(e));
+
+  LaunchResult r;
+  r.start_s = start;
+  r.duration_s = duration;
+  r.flops = totals.flops;
+  r.bytes = totals.global_bytes;
+  r.occupancy = occ.occupancy;
+  return r;
+}
+
+LaunchResult Device::launch(const std::string& name, Dim3 grid, Dim3 block,
+                            const ThreadKernel& kernel, LaunchOptions opts) {
+  {
+    std::lock_guard lock(mutex_);
+    validate_launch(grid, block, opts);
+  }
+  WorkCounters totals;
+  std::mutex totals_mutex;
+
+  executor_->parallel_for(grid.total(), [&](std::uint64_t block_id) {
+    WorkCounters local;
+    ThreadCtx ctx;
+    ctx.grid_dim = grid;
+    ctx.block_dim = block;
+    ctx.block_idx = decode_block(block_id, grid);
+    ctx.counters = &local;
+    for (std::uint32_t z = 0; z < block.z; ++z)
+      for (std::uint32_t y = 0; y < block.y; ++y)
+        for (std::uint32_t x = 0; x < block.x; ++x) {
+          ctx.thread_idx = Dim3{x, y, z};
+          kernel(ctx);
+        }
+    std::lock_guard lock(totals_mutex);
+    totals.flops += local.flops;
+    totals.global_bytes += local.global_bytes;
+  });
+
+  return finish_launch(name, grid, block, opts, totals);
+}
+
+LaunchResult Device::launch_blocks(const std::string& name, Dim3 grid,
+                                   Dim3 block, const BlockKernel& kernel,
+                                   LaunchOptions opts) {
+  {
+    std::lock_guard lock(mutex_);
+    validate_launch(grid, block, opts);
+  }
+  WorkCounters totals;
+  std::mutex totals_mutex;
+
+  executor_->parallel_for(grid.total(), [&](std::uint64_t block_id) {
+    WorkCounters local;
+    std::vector<std::byte> shared(opts.shared_mem_bytes);
+    BlockCtx ctx;
+    ctx.grid_dim = grid;
+    ctx.block_dim = block;
+    ctx.block_idx = decode_block(block_id, grid);
+    ctx.shared = std::span<std::byte>(shared);
+    ctx.counters = &local;
+    kernel(ctx);
+    std::lock_guard lock(totals_mutex);
+    totals.flops += local.flops;
+    totals.global_bytes += local.global_bytes;
+  });
+
+  return finish_launch(name, grid, block, opts, totals);
+}
+
+LaunchResult Device::launch_linear(const std::string& name, std::uint64_t n,
+                                   std::uint32_t block_size,
+                                   const ThreadKernel& kernel,
+                                   LaunchOptions opts) {
+  if (n == 0) throw std::invalid_argument("launch_linear: n must be > 0");
+  if (block_size == 0)
+    throw std::invalid_argument("launch_linear: block_size must be > 0");
+  const Dim3 grid{div_up(n, block_size)};
+  const Dim3 block{block_size};
+  // Guard threads beyond n, like every CUDA 1-D kernel's `if (i < n)`.
+  return launch(
+      name, grid, block,
+      [&](const ThreadCtx& ctx) {
+        if (ctx.global_x() < n) kernel(ctx);
+      },
+      opts);
+}
+
+}  // namespace sagesim::gpu

@@ -1,0 +1,79 @@
+#include "gpusim/device_spec.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::gpu::spec {
+
+DeviceSpec t4() {
+  DeviceSpec s;
+  s.name = "T4-sim";
+  s.sm_count = 40;
+  s.cores_per_sm = 64;
+  s.clock_ghz = 1.59;
+  s.global_mem_bytes = 16ull << 30;
+  s.mem_bandwidth_gbps = 320.0;
+  s.pcie_bandwidth_gbps = 12.0;
+  s.pcie_latency_us = 8.0;
+  s.launch_overhead_us = 6.0;
+  s.max_threads_per_sm = 1024;
+  return s;
+}
+
+DeviceSpec a10g() {
+  DeviceSpec s;
+  s.name = "A10G-sim";
+  s.sm_count = 80;
+  s.cores_per_sm = 128;
+  s.clock_ghz = 1.71;  // ~35 TFLOP/s w/ 2 flops/lane-cycle
+  s.global_mem_bytes = 24ull << 30;
+  s.mem_bandwidth_gbps = 600.0;
+  s.pcie_bandwidth_gbps = 14.0;
+  s.pcie_latency_us = 7.0;
+  s.launch_overhead_us = 5.0;
+  s.max_threads_per_sm = 1536;
+  return s;
+}
+
+DeviceSpec v100() {
+  DeviceSpec s;
+  s.name = "V100-sim";
+  s.sm_count = 80;
+  s.cores_per_sm = 64;
+  s.clock_ghz = 1.53;
+  s.global_mem_bytes = 16ull << 30;
+  s.mem_bandwidth_gbps = 900.0;
+  s.pcie_bandwidth_gbps = 14.0;
+  s.pcie_latency_us = 7.0;
+  s.launch_overhead_us = 5.0;
+  s.max_threads_per_sm = 2048;
+  return s;
+}
+
+DeviceSpec test_tiny() {
+  DeviceSpec s;
+  s.name = "tiny-sim";
+  s.sm_count = 1;
+  s.cores_per_sm = 32;
+  s.clock_ghz = 1.0;
+  s.global_mem_bytes = 64ull << 20;
+  s.mem_bandwidth_gbps = 10.0;
+  s.pcie_bandwidth_gbps = 1.0;
+  s.pcie_latency_us = 10.0;
+  s.launch_overhead_us = 10.0;
+  s.max_threads_per_sm = 1024;
+  s.shared_mem_per_block = 16ull << 10;
+  s.shared_mem_per_sm = 16ull << 10;
+  return s;
+}
+
+DeviceSpec by_name(const std::string& name) {
+  if (name == "t4") return t4();
+  if (name == "a10g") return a10g();
+  if (name == "v100") return v100();
+  if (name == "test_tiny") return test_tiny();
+  throw std::invalid_argument("unknown device spec: " + name);
+}
+
+std::vector<std::string> names() { return {"t4", "a10g", "v100", "test_tiny"}; }
+
+}  // namespace sagesim::gpu::spec

@@ -1,0 +1,72 @@
+// Hardware description of a simulated GPU plus a catalog of the accelerator
+// models the course's AWS instances expose (T4 on g4dn, A10G on g5, V100 on
+// p3).  The numbers are the public datasheet figures; the timing model uses
+// them as roofline peaks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sagesim::gpu {
+
+/// Static parameters of one simulated GPU.
+struct DeviceSpec {
+  std::string name;                 ///< e.g. "T4-sim"
+  std::uint32_t sm_count{40};       ///< streaming multiprocessors
+  std::uint32_t cores_per_sm{64};   ///< FP32 lanes per SM
+  double clock_ghz{1.59};           ///< boost clock
+  std::uint64_t global_mem_bytes{16ull << 30};
+  double mem_bandwidth_gbps{320.0};   ///< device-memory bandwidth, GB/s
+  double pcie_bandwidth_gbps{12.0};   ///< effective host link bandwidth, GB/s
+  double pcie_latency_us{8.0};        ///< per-transfer fixed cost
+  double launch_overhead_us{6.0};     ///< per-kernel-launch fixed cost
+  std::uint32_t warp_size{32};
+  std::uint32_t max_threads_per_block{1024};
+  std::uint32_t max_blocks_per_sm{16};
+  std::uint32_t max_threads_per_sm{1024};
+  std::uint64_t shared_mem_per_block{48ull << 10};
+  std::uint64_t shared_mem_per_sm{64ull << 10};
+
+  /// Peak FP32 throughput in FLOP/s (2 flops per FMA lane-cycle).
+  double peak_flops() const {
+    return 2.0 * sm_count * cores_per_sm * clock_ghz * 1e9;
+  }
+
+  /// Peak device-memory bandwidth in bytes/s.
+  double peak_bytes_per_s() const { return mem_bandwidth_gbps * 1e9; }
+
+  /// Roofline ridge point in flop/byte: kernels below it are memory-bound.
+  double balance_flops_per_byte() const {
+    return peak_flops() / peak_bytes_per_s();
+  }
+
+  /// Effective host-link bandwidth in bytes/s.
+  double pcie_bytes_per_s() const { return pcie_bandwidth_gbps * 1e9; }
+};
+
+/// Datasheet-derived presets.
+namespace spec {
+
+/// NVIDIA T4-like (AWS g4dn): 40 SMs, 16 GB, 320 GB/s, ~8.1 TFLOP/s FP32.
+DeviceSpec t4();
+
+/// NVIDIA A10G-like (AWS g5): 80 SMs, 24 GB, 600 GB/s, ~31.2 TFLOP/s FP32.
+DeviceSpec a10g();
+
+/// NVIDIA V100-like (AWS p3): 80 SMs, 16 GB, 900 GB/s, ~15.7 TFLOP/s FP32.
+DeviceSpec v100();
+
+/// Tiny deterministic spec for unit tests: fast to reason about by hand
+/// (1 SM, 32 cores, 1 GHz, 64 MB, 10 GB/s memory, 1 GB/s PCIe).
+DeviceSpec test_tiny();
+
+/// Looks a preset up by name ("t4", "a10g", "v100", "test_tiny").
+/// Throws std::invalid_argument for unknown names.
+DeviceSpec by_name(const std::string& name);
+
+/// All preset names.
+std::vector<std::string> names();
+
+}  // namespace spec
+}  // namespace sagesim::gpu

@@ -1,0 +1,42 @@
+// CUDA-style 3-component extent used for grids and blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sagesim::gpu {
+
+/// Mirrors CUDA's dim3: a 3-D extent whose unspecified components default
+/// to 1, so `Dim3{256}` is a 1-D size of 256.
+struct Dim3 {
+  std::uint32_t x{1};
+  std::uint32_t y{1};
+  std::uint32_t z{1};
+
+  constexpr Dim3() = default;
+  constexpr Dim3(std::uint32_t x_) : x(x_) {}
+  constexpr Dim3(std::uint32_t x_, std::uint32_t y_) : x(x_), y(y_) {}
+  constexpr Dim3(std::uint32_t x_, std::uint32_t y_, std::uint32_t z_)
+      : x(x_), y(y_), z(z_) {}
+
+  /// Total number of elements (x*y*z).
+  constexpr std::uint64_t total() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+
+  constexpr bool operator==(const Dim3&) const = default;
+};
+
+/// Renders as "(x,y,z)".
+inline std::string to_string(const Dim3& d) {
+  return "(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+         std::to_string(d.z) + ")";
+}
+
+/// Ceiling division helper for computing grid sizes: blocks needed to cover
+/// @p n elements with @p block elements per block.
+constexpr std::uint32_t div_up(std::uint64_t n, std::uint32_t block) {
+  return static_cast<std::uint32_t>((n + block - 1) / block);
+}
+
+}  // namespace sagesim::gpu

@@ -1,0 +1,109 @@
+#include "gpusim/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace sagesim::gpu {
+
+Executor::Executor(unsigned workers) {
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Heap-allocated so helper tasks can safely outlive the caller's stack frame
+// (a helper that claims no chunk still touches the counters on its way out).
+struct ForState {
+  std::uint64_t n;
+  std::uint64_t chunks;
+  const std::function<void(std::uint64_t)>* fn;
+  std::atomic<std::uint64_t> next_chunk{0};
+  std::atomic<std::uint64_t> done_chunks{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  void run_chunks() {
+    for (;;) {
+      const std::uint64_t c = next_chunk.fetch_add(1);
+      if (c >= chunks) return;
+      const std::uint64_t begin = c * n / chunks;
+      const std::uint64_t end = (c + 1) * n / chunks;
+      try {
+        for (std::uint64_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      done_chunks.fetch_add(1, std::memory_order_release);
+    }
+  }
+};
+
+}  // namespace
+
+void Executor::parallel_for(std::uint64_t n,
+                            const std::function<void(std::uint64_t)>& fn) {
+  if (n == 0) return;
+  const unsigned workers = worker_count();
+  if (n == 1 || workers == 1) {
+    for (std::uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  // Enough chunks for balance, few enough to amortize queueing.
+  state->chunks = std::min<std::uint64_t>(n, workers * 4ull);
+  state->fn = &fn;  // fn outlives the wait loop below
+
+  {
+    std::lock_guard lock(mutex_);
+    for (unsigned i = 0; i + 1 < workers && i + 1 < state->chunks; ++i)
+      tasks_.push([state] { state->run_chunks(); });
+  }
+  cv_.notify_all();
+  state->run_chunks();
+
+  // All chunks are claimed exactly once, so this wait is bounded.  `fn` must
+  // stay alive until every claimed chunk finishes, which this loop ensures.
+  while (state->done_chunks.load(std::memory_order_acquire) < state->chunks)
+    std::this_thread::yield();
+
+  std::lock_guard lock(state->error_mutex);
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+Executor& Executor::shared() {
+  static Executor instance;
+  return instance;
+}
+
+}  // namespace sagesim::gpu

@@ -1,0 +1,51 @@
+// Host thread pool that executes simulated kernels block-parallel.
+//
+// Blocks are independent by the CUDA contract, so the pool may run them in
+// any order on any worker; per-block WorkCounters are merged with one atomic
+// add per block.  The pool is a process-wide resource shared by all
+// simulated devices (they model separate machines, but the simulation itself
+// runs on one host).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sagesim::gpu {
+
+class Executor {
+ public:
+  /// Creates a pool with @p workers threads; 0 picks
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit Executor(unsigned workers = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  unsigned worker_count() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Runs fn(i) for i in [0, n), distributing chunks over the pool and
+  /// blocking until all complete.  Exceptions from @p fn are rethrown on the
+  /// calling thread (first one wins).
+  void parallel_for(std::uint64_t n,
+                    const std::function<void(std::uint64_t)>& fn);
+
+  /// Process-wide shared pool.
+  static Executor& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_{false};
+};
+
+}  // namespace sagesim::gpu

@@ -1,0 +1,119 @@
+// Kernel abstractions: what user code writes to run "on the GPU".
+//
+// Two flavours mirror how the course teaches CUDA through Numba/CuPy:
+//
+//  * ThreadKernel — a functor invoked once per thread with its CUDA-style
+//    coordinates (blockIdx/threadIdx/...).  This is the common case and maps
+//     1:1 onto a `@cuda.jit` Numba kernel.  Threads may not communicate, so
+//    no __syncthreads() is offered.
+//
+//  * BlockKernel — a functor invoked once per *block*, which iterates its
+//    own threads explicitly and owns the block's shared memory.  Staged
+//    shared-memory algorithms (tiled matrix multiply, block reductions)
+//    express their barrier phases as separate loops over the block's
+//    threads, which is semantically exactly the code between two
+//    __syncthreads() calls.
+//
+// Kernels run for real on the host (results are bit-real); the *time* they
+// took is modeled by TimingModel from the flop/byte counters the kernel
+// reports through its context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "gpusim/dim3.hpp"
+
+namespace sagesim::gpu {
+
+/// Work counters local to one block's execution; flushed into the launch
+/// totals once the block retires (no per-operation atomics).
+struct WorkCounters {
+  double flops{0.0};
+  double global_bytes{0.0};
+
+  /// Records @p n floating-point operations.
+  void add_flops(double n) { flops += n; }
+  /// Records @p n bytes of global-memory traffic.
+  void add_bytes(double n) { global_bytes += n; }
+};
+
+/// Per-thread view passed to a ThreadKernel.
+struct ThreadCtx {
+  Dim3 grid_dim;
+  Dim3 block_dim;
+  Dim3 block_idx;
+  Dim3 thread_idx;
+  WorkCounters* counters{nullptr};  ///< shared across the block, not thread-safe across blocks by design
+
+  /// Global linear thread id for 1-D launches:
+  /// blockIdx.x * blockDim.x + threadIdx.x.
+  std::uint64_t global_x() const {
+    return static_cast<std::uint64_t>(block_idx.x) * block_dim.x +
+           thread_idx.x;
+  }
+  /// Global y coordinate for 2-D launches.
+  std::uint64_t global_y() const {
+    return static_cast<std::uint64_t>(block_idx.y) * block_dim.y +
+           thread_idx.y;
+  }
+  /// Grid-stride for grid-stride loops: gridDim.x * blockDim.x.
+  std::uint64_t stride_x() const {
+    return static_cast<std::uint64_t>(grid_dim.x) * block_dim.x;
+  }
+
+  void add_flops(double n) const { counters->add_flops(n); }
+  void add_bytes(double n) const { counters->add_bytes(n); }
+};
+
+/// Per-block view passed to a BlockKernel.
+struct BlockCtx {
+  Dim3 grid_dim;
+  Dim3 block_dim;
+  Dim3 block_idx;
+  /// Shared memory for this block, sized by LaunchOptions::shared_mem_bytes.
+  std::span<std::byte> shared;
+  WorkCounters* counters{nullptr};
+
+  /// Reinterprets the shared-memory arena as an array of T.
+  template <typename T>
+  std::span<T> shared_as() const {
+    return {reinterpret_cast<T*>(shared.data()), shared.size() / sizeof(T)};
+  }
+
+  /// Invokes @p fn for every thread coordinate in the block, in thread-id
+  /// order.  Call it once per barrier-delimited phase of the algorithm.
+  template <typename Fn>
+  void for_each_thread(Fn&& fn) const {
+    for (std::uint32_t z = 0; z < block_dim.z; ++z)
+      for (std::uint32_t y = 0; y < block_dim.y; ++y)
+        for (std::uint32_t x = 0; x < block_dim.x; ++x)
+          fn(Dim3{x, y, z});
+  }
+
+  void add_flops(double n) const { counters->add_flops(n); }
+  void add_bytes(double n) const { counters->add_bytes(n); }
+};
+
+using ThreadKernel = std::function<void(const ThreadCtx&)>;
+using BlockKernel = std::function<void(const BlockCtx&)>;
+
+/// Optional launch parameters (CUDA's <<<grid, block, smem, stream>>> tail).
+struct LaunchOptions {
+  std::uint64_t shared_mem_bytes{0};
+  int stream{0};  ///< stream ordinal on the launching device
+};
+
+/// What a launch reports back (the simulated analogue of what Nsight shows
+/// for one kernel row).
+struct LaunchResult {
+  double start_s{0.0};
+  double duration_s{0.0};
+  double flops{0.0};
+  double bytes{0.0};
+  double occupancy{0.0};
+  double end_s() const { return start_s + duration_s; }
+};
+
+}  // namespace sagesim::gpu

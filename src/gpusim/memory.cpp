@@ -1,0 +1,76 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace sagesim::gpu {
+
+void* DeviceMemory::allocate(std::size_t bytes) {
+  if (bytes == 0)
+    throw std::invalid_argument("DeviceMemory::allocate: zero-byte request");
+  std::lock_guard lock(mutex_);
+  if (used_ + bytes > capacity_)
+    throw DeviceOutOfMemory(
+        "device out of memory: requested " + std::to_string(bytes) +
+        " bytes with " + std::to_string(capacity_ - used_) + " of " +
+        std::to_string(capacity_) + " free");
+  Block block;
+  block.storage = std::make_unique<std::byte[]>(bytes);
+  block.size = bytes;
+  void* ptr = block.storage.get();
+  blocks_.emplace(reinterpret_cast<std::uintptr_t>(ptr), std::move(block));
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return ptr;
+}
+
+std::map<std::uintptr_t, DeviceMemory::Block>::const_iterator
+DeviceMemory::find_containing(const void* ptr) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) return blocks_.end();
+  --it;
+  if (addr < it->first + it->second.size) return it;
+  return blocks_.end();
+}
+
+void DeviceMemory::free(void* ptr) {
+  std::lock_guard lock(mutex_);
+  auto it = blocks_.find(reinterpret_cast<std::uintptr_t>(ptr));
+  if (it == blocks_.end())
+    throw std::invalid_argument(
+        "DeviceMemory::free: not a live base pointer");
+  used_ -= it->second.size;
+  blocks_.erase(it);
+}
+
+bool DeviceMemory::owns(const void* ptr) const {
+  std::lock_guard lock(mutex_);
+  return find_containing(ptr) != blocks_.end();
+}
+
+std::size_t DeviceMemory::size_of(const void* ptr) const {
+  std::lock_guard lock(mutex_);
+  auto it = find_containing(ptr);
+  if (it == blocks_.end())
+    throw std::invalid_argument("DeviceMemory::size_of: unknown pointer");
+  return it->second.size -
+         (reinterpret_cast<std::uintptr_t>(ptr) - it->first);
+}
+
+std::uint64_t DeviceMemory::used_bytes() const {
+  std::lock_guard lock(mutex_);
+  return used_;
+}
+
+std::uint64_t DeviceMemory::peak_bytes() const {
+  std::lock_guard lock(mutex_);
+  return peak_;
+}
+
+std::size_t DeviceMemory::live_allocations() const {
+  std::lock_guard lock(mutex_);
+  return blocks_.size();
+}
+
+}  // namespace sagesim::gpu

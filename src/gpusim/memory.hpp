@@ -1,0 +1,75 @@
+// Simulated device memory: a tracked allocator whose backing store is host
+// heap memory.  Capacity accounting reproduces CUDA's cudaMalloc semantics —
+// allocations beyond the device's global memory fail with DeviceOutOfMemory,
+// which is exactly the failure mode the course's Week 3 lab provokes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace sagesim::gpu {
+
+/// Thrown when a device allocation exceeds remaining global memory.
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Allocation bookkeeping for one device.  Thread-safe.
+///
+/// Pointer queries accept *interior* pointers (any address inside a live
+/// allocation), because kernels and collectives routinely pass base+offset,
+/// just like real device pointers.
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  DeviceMemory(const DeviceMemory&) = delete;
+  DeviceMemory& operator=(const DeviceMemory&) = delete;
+
+  /// Allocates @p bytes of "device" memory.  The returned pointer is real
+  /// host memory owned by this object; it stays valid until free().
+  /// Throws DeviceOutOfMemory when capacity would be exceeded and
+  /// std::invalid_argument for zero-byte requests.
+  void* allocate(std::size_t bytes);
+
+  /// Releases an allocation obtained from allocate().  Requires the *base*
+  /// pointer; throws std::invalid_argument otherwise.
+  void free(void* ptr);
+
+  /// True when @p ptr points inside a live allocation.
+  bool owns(const void* ptr) const;
+
+  /// Bytes available at @p ptr through the end of its allocation
+  /// (full size for a base pointer).  Throws for unknown pointers.
+  std::size_t size_of(const void* ptr) const;
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::uint64_t used_bytes() const;
+  std::uint64_t peak_bytes() const;
+  std::size_t live_allocations() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> storage;
+    std::size_t size{0};
+  };
+
+  /// Returns the block containing @p ptr, or blocks_.end().
+  /// Caller must hold mutex_.
+  std::map<std::uintptr_t, Block>::const_iterator find_containing(
+      const void* ptr) const;
+
+  const std::uint64_t capacity_;
+  mutable std::mutex mutex_;
+  std::uint64_t used_{0};
+  std::uint64_t peak_{0};
+  std::map<std::uintptr_t, Block> blocks_;  ///< keyed by base address
+};
+
+}  // namespace sagesim::gpu

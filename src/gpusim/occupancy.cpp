@@ -1,0 +1,73 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sagesim::gpu {
+
+OccupancyResult occupancy_for(const DeviceSpec& spec, const Dim3& block,
+                              std::uint64_t shared_mem_per_block) {
+  const std::uint64_t threads = block.total();
+  if (threads == 0 || threads > spec.max_threads_per_block)
+    throw std::invalid_argument("occupancy_for: block size " +
+                                std::to_string(threads) +
+                                " outside [1, max_threads_per_block]");
+  if (shared_mem_per_block > spec.shared_mem_per_block)
+    throw std::invalid_argument(
+        "occupancy_for: shared memory request exceeds per-block limit");
+
+  OccupancyResult r;
+  r.warps_per_block = static_cast<std::uint32_t>(
+      (threads + spec.warp_size - 1) / spec.warp_size);
+
+  // Lane efficiency: launched lanes vs useful lanes (partial last warp).
+  const std::uint64_t launched_lanes =
+      static_cast<std::uint64_t>(r.warps_per_block) * spec.warp_size;
+  r.lane_efficiency =
+      static_cast<double>(threads) / static_cast<double>(launched_lanes);
+
+  const std::uint32_t by_threads = static_cast<std::uint32_t>(
+      spec.max_threads_per_sm /
+      (static_cast<std::uint64_t>(r.warps_per_block) * spec.warp_size));
+  const std::uint32_t by_blocks = spec.max_blocks_per_sm;
+  const std::uint32_t by_smem =
+      shared_mem_per_block == 0
+          ? by_blocks
+          : static_cast<std::uint32_t>(spec.shared_mem_per_sm /
+                                       shared_mem_per_block);
+
+  r.active_blocks_per_sm = std::min({by_threads, by_blocks, by_smem});
+  if (r.active_blocks_per_sm == 0) r.active_blocks_per_sm = 0;
+  if (by_threads <= by_blocks && by_threads <= by_smem)
+    r.limiter = "threads";
+  else if (by_blocks <= by_smem)
+    r.limiter = "blocks";
+  else
+    r.limiter = "shared_mem";
+
+  r.active_threads_per_sm = static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(r.active_blocks_per_sm) * r.warps_per_block *
+      spec.warp_size);
+  r.active_threads_per_sm =
+      std::min(r.active_threads_per_sm, spec.max_threads_per_sm);
+  r.occupancy = static_cast<double>(r.active_threads_per_sm) /
+                static_cast<double>(spec.max_threads_per_sm);
+  return r;
+}
+
+std::uint32_t suggest_block_size(const DeviceSpec& spec,
+                                 std::uint64_t shared_mem_per_block) {
+  std::uint32_t best = spec.warp_size;
+  double best_occ = -1.0;
+  for (std::uint32_t size = spec.warp_size; size <= spec.max_threads_per_block;
+       size += spec.warp_size) {
+    const auto r = occupancy_for(spec, Dim3{size}, shared_mem_per_block);
+    if (r.occupancy > best_occ + 1e-12) {
+      best_occ = r.occupancy;
+      best = size;
+    }
+  }
+  return best;
+}
+
+}  // namespace sagesim::gpu

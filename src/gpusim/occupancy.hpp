@@ -1,0 +1,34 @@
+// CUDA-style occupancy calculator: how many blocks of a given shape fit on
+// an SM, and what fraction of the SM's thread slots they fill.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace sagesim::gpu {
+
+struct OccupancyResult {
+  std::uint32_t warps_per_block{0};
+  std::uint32_t active_blocks_per_sm{0};
+  std::uint32_t active_threads_per_sm{0};
+  double occupancy{0.0};          ///< active threads / max threads per SM
+  double lane_efficiency{1.0};    ///< useful lanes within launched warps
+  const char* limiter{"none"};    ///< "threads", "blocks", "shared_mem"
+};
+
+/// Computes theoretical occupancy for launching blocks of shape @p block
+/// using @p shared_mem_per_block bytes of shared memory on @p spec.
+/// Throws std::invalid_argument when the block shape itself is unlaunchable
+/// (too many threads or too much shared memory for any configuration).
+OccupancyResult occupancy_for(const DeviceSpec& spec, const Dim3& block,
+                              std::uint64_t shared_mem_per_block = 0);
+
+/// Suggests the 1-D block size in [32, max_threads_per_block] (multiple of
+/// the warp size) with the highest theoretical occupancy — the simulated
+/// analogue of cudaOccupancyMaxPotentialBlockSize.
+std::uint32_t suggest_block_size(const DeviceSpec& spec,
+                                 std::uint64_t shared_mem_per_block = 0);
+
+}  // namespace sagesim::gpu

@@ -1,0 +1,51 @@
+// Streams and events on a simulated device.
+//
+// Host execution of kernels is synchronous (results are computed before the
+// launch call returns), but *simulated time* follows CUDA stream semantics:
+// each stream owns a cursor; operations enqueue back-to-back on their
+// stream, streams advance independently, and events provide cross-stream
+// ordering.  Device::synchronize() returns the max cursor — the point at
+// which every queued operation has retired.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sagesim::gpu {
+
+/// A recorded point in a stream's simulated time (cudaEvent analogue).
+struct Event {
+  double time_s{0.0};
+  int device{-1};
+  int stream{-1};
+};
+
+/// Simulated-time cursor for one stream.  Managed by Device; not used
+/// directly by application code.
+class Stream {
+ public:
+  explicit Stream(int ordinal) : ordinal_(ordinal) {}
+
+  int ordinal() const { return ordinal_; }
+  double cursor_s() const { return cursor_s_; }
+
+  /// Reserves [cursor, cursor+duration) on this stream and returns the start
+  /// timestamp.  Optionally delayed to start no earlier than @p not_before.
+  double enqueue(double duration_s, double not_before_s = 0.0) {
+    const double start = cursor_s_ > not_before_s ? cursor_s_ : not_before_s;
+    cursor_s_ = start + duration_s;
+    return start;
+  }
+
+  /// Cross-stream wait: nothing later on this stream starts before @p t.
+  void wait_until(double t) {
+    if (t > cursor_s_) cursor_s_ = t;
+  }
+
+ private:
+  int ordinal_;
+  double cursor_s_{0.0};
+};
+
+}  // namespace sagesim::gpu

@@ -1,0 +1,44 @@
+#include "gpusim/timing.hpp"
+
+#include <algorithm>
+
+namespace sagesim::gpu {
+
+double TimingModel::kernel_seconds(const KernelWork& work) const {
+  const double launch = spec_.launch_overhead_us * 1e-6;
+  if (work.threads == 0) return launch;
+
+  const double occ = std::clamp(work.occupancy, 0.01, 1.0);
+  const double lanes = std::clamp(work.lane_efficiency, 0.01, 1.0);
+
+  const double compute_s =
+      work.flops > 0.0 ? work.flops / (spec_.peak_flops() * occ * lanes) : 0.0;
+  const double memory_s =
+      work.global_bytes > 0.0
+          ? work.global_bytes / spec_.peak_bytes_per_s()
+          : 0.0;
+
+  // Thread-issue floor: the machine can issue at most
+  // sm_count * cores_per_sm threads per clock; each thread costs at least
+  // one issue slot even when it does no arithmetic.
+  const double issue_rate =
+      static_cast<double>(spec_.sm_count) * spec_.cores_per_sm *
+      spec_.clock_ghz * 1e9 * occ;
+  const double issue_s = static_cast<double>(work.threads) / issue_rate;
+
+  return launch + std::max({compute_s, memory_s, issue_s});
+}
+
+double TimingModel::transfer_seconds(std::uint64_t bytes, bool pinned) const {
+  const double bw = spec_.pcie_bytes_per_s() * (pinned ? 1.0 : 0.55);
+  return spec_.pcie_latency_us * 1e-6 + static_cast<double>(bytes) / bw;
+}
+
+double TimingModel::peer_transfer_seconds(std::uint64_t bytes) const {
+  // Peer copies traverse the link twice as fast in practice on the course's
+  // multi-GPU instances (same PCIe switch); model 1.5x the host link.
+  return spec_.pcie_latency_us * 1e-6 +
+         static_cast<double>(bytes) / (1.5 * spec_.pcie_bytes_per_s());
+}
+
+}  // namespace sagesim::gpu

@@ -1,0 +1,89 @@
+#include "graph/algorithms.hpp"
+
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sagesim::graph {
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source) {
+  if (source >= g.num_nodes())
+    throw std::out_of_range("bfs_distances: source out of range");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const NodeId v : g.neighbors(u)) {
+      if (dist[v] != kUnreachable) continue;
+      dist[v] = dist[u] + 1;
+      frontier.push_back(v);
+    }
+  }
+  return dist;
+}
+
+Components connected_components(const CsrGraph& g) {
+  Components c;
+  c.label.assign(g.num_nodes(), -1);
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (c.label[start] != -1) continue;
+    const int id = c.count++;
+    std::size_t size = 0;
+    std::deque<NodeId> frontier{start};
+    c.label[start] = id;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      ++size;
+      for (const NodeId v : g.neighbors(u)) {
+        if (c.label[v] != -1) continue;
+        c.label[v] = id;
+        frontier.push_back(v);
+      }
+    }
+    c.sizes.push_back(size);
+  }
+  return c;
+}
+
+std::vector<std::size_t> degree_histogram(const CsrGraph& g) {
+  std::size_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    max_deg = std::max(max_deg, g.degree(u));
+  std::vector<std::size_t> counts(max_deg + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++counts[g.degree(u)];
+  return counts;
+}
+
+void write_edge_list(const CsrGraph& g, std::ostream& os) {
+  os << g.num_nodes() << '\n';
+  for (const auto& [u, v] : g.edge_list()) os << u << ' ' << v << '\n';
+}
+
+void write_edge_list(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_edge_list: cannot open " + path);
+  write_edge_list(g, out);
+}
+
+CsrGraph read_edge_list(std::istream& is) {
+  std::size_t n = 0;
+  if (!(is >> n)) throw std::runtime_error("read_edge_list: missing header");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId u, v;
+  while (is >> u >> v) edges.emplace_back(u, v);
+  if (!is.eof() && is.fail())
+    throw std::runtime_error("read_edge_list: malformed edge line");
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace sagesim::graph

@@ -1,0 +1,43 @@
+// Classic graph utilities used by labs and sanity checks: BFS distances,
+// connected components, degree histograms, and edge-list serialization.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sagesim::graph {
+
+/// Marker for unreachable nodes in bfs_distances.
+constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Hop distance from @p source to every node (kUnreachable if none).
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source);
+
+/// Connected-component labels in [0, count); nodes in the same component
+/// share a label, labels are assigned in discovery order.
+struct Components {
+  std::vector<int> label;  ///< per node
+  int count{0};
+  /// Size of each component.
+  std::vector<std::size_t> sizes;
+};
+Components connected_components(const CsrGraph& g);
+
+/// counts[d] = number of nodes with degree d (up to the max degree).
+std::vector<std::size_t> degree_histogram(const CsrGraph& g);
+
+/// Writes "num_nodes\nu v\n..." (one undirected edge per line, u < v).
+void write_edge_list(const CsrGraph& g, std::ostream& os);
+void write_edge_list(const CsrGraph& g, const std::string& path);
+
+/// Reads the write_edge_list format.  Throws std::runtime_error on
+/// malformed input.
+CsrGraph read_edge_list(std::istream& is);
+CsrGraph read_edge_list(const std::string& path);
+
+}  // namespace sagesim::graph

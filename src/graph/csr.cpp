@@ -1,0 +1,127 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sagesim::graph {
+
+CsrGraph CsrGraph::from_edges(
+    std::size_t num_nodes,
+    std::span<const std::pair<NodeId, NodeId>> edges) {
+  // Collect both directions, validate, dedupe.
+  std::vector<std::pair<NodeId, NodeId>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u >= num_nodes || v >= num_nodes)
+      throw std::invalid_argument("CsrGraph: edge endpoint out of range");
+    if (u == v)
+      throw std::invalid_argument("CsrGraph: self-loop in input edge list");
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  CsrGraph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (const auto& [u, _] : directed) ++g.offsets_[u + 1];
+  for (std::size_t i = 1; i <= num_nodes; ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.reserve(directed.size());
+  for (const auto& [_, v] : directed) g.adjacency_.push_back(v);
+  return g;
+}
+
+std::span<const NodeId> CsrGraph::neighbors(NodeId u) const {
+  if (u >= num_nodes())
+    throw std::out_of_range("CsrGraph::neighbors: node out of range");
+  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::size_t CsrGraph::degree(NodeId u) const {
+  if (u >= num_nodes())
+    throw std::out_of_range("CsrGraph::degree: node out of range");
+  return offsets_[u + 1] - offsets_[u];
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> CsrGraph::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    for (NodeId v : neighbors(u))
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+NormalizedAdjacency normalized_adjacency(const CsrGraph& g) {
+  const std::size_t n = g.num_nodes();
+  NormalizedAdjacency a;
+  a.offsets.assign(n + 1, 0);
+
+  std::vector<float> inv_sqrt_deg(n);
+  for (NodeId u = 0; u < n; ++u)
+    inv_sqrt_deg[u] =
+        1.0f / std::sqrt(static_cast<float>(g.degree(u)) + 1.0f);
+
+  for (NodeId u = 0; u < n; ++u)
+    a.offsets[u + 1] = a.offsets[u] + g.degree(u) + 1;  // +1 self-loop
+  a.columns.reserve(a.offsets[n]);
+  a.values.reserve(a.offsets[n]);
+
+  for (NodeId u = 0; u < n; ++u) {
+    bool self_emitted = false;
+    for (NodeId v : g.neighbors(u)) {
+      if (!self_emitted && v > u) {
+        a.columns.push_back(u);
+        a.values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[u]);
+        self_emitted = true;
+      }
+      a.columns.push_back(v);
+      a.values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[v]);
+    }
+    if (!self_emitted) {
+      a.columns.push_back(u);
+      a.values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[u]);
+    }
+  }
+  return a;
+}
+
+Subgraph induced_subgraph(const CsrGraph& g, std::span<const NodeId> nodes) {
+  Subgraph sub;
+  sub.global_ids.assign(nodes.begin(), nodes.end());
+  std::sort(sub.global_ids.begin(), sub.global_ids.end());
+  sub.global_ids.erase(
+      std::unique(sub.global_ids.begin(), sub.global_ids.end()),
+      sub.global_ids.end());
+
+  std::unordered_map<NodeId, NodeId> local_of;
+  local_of.reserve(sub.global_ids.size());
+  for (NodeId i = 0; i < sub.global_ids.size(); ++i)
+    local_of.emplace(sub.global_ids[i], i);
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId lu = 0; lu < sub.global_ids.size(); ++lu) {
+    const NodeId gu = sub.global_ids[lu];
+    for (NodeId gv : g.neighbors(gu)) {
+      if (gv <= gu) continue;  // count each undirected edge once
+      auto it = local_of.find(gv);
+      if (it != local_of.end())
+        edges.emplace_back(lu, it->second);
+      else
+        ++sub.cut_edges_dropped;
+    }
+  }
+  sub.graph = CsrGraph::from_edges(sub.global_ids.size(), edges);
+  return sub;
+}
+
+}  // namespace sagesim::graph

@@ -1,0 +1,78 @@
+// Undirected graphs in CSR form, plus the normalized adjacency operator
+// GCNs need (Â = D^-1/2 (A + I) D^-1/2, Kipf & Welling 2017).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sagesim::graph {
+
+using NodeId = std::uint32_t;
+
+/// Compressed-sparse-row undirected graph.  Every undirected edge {u, v} is
+/// stored twice (u→v and v→u); self-loops are stored once.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list over @p num_nodes nodes.  Duplicate edges are
+  /// collapsed; self-loops in the input are rejected (add them via the
+  /// normalized operator instead).  Throws std::invalid_argument for
+  /// out-of-range endpoints or u == v.
+  static CsrGraph from_edges(std::size_t num_nodes,
+                             std::span<const std::pair<NodeId, NodeId>> edges);
+
+  std::size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const { return adjacency_.size() / 2; }  ///< undirected count
+  std::size_t num_directed_edges() const { return adjacency_.size(); }
+
+  /// Neighbors of @p u, ascending.
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  std::size_t degree(NodeId u) const;
+
+  /// True when {u, v} is an edge (binary search).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::span<const std::size_t> offsets() const { return offsets_; }
+  std::span<const NodeId> adjacency() const { return adjacency_; }
+
+  /// All undirected edges (u < v), for serialization and partitioners.
+  std::vector<std::pair<NodeId, NodeId>> edge_list() const;
+
+ private:
+  std::vector<std::size_t> offsets_;   ///< size num_nodes + 1
+  std::vector<NodeId> adjacency_;      ///< concatenated sorted neighbor lists
+};
+
+/// Symmetric-normalized adjacency with self-loops in CSR form, stored with
+/// explicit weights: Â[u][v] = 1 / sqrt((deg(u)+1)(deg(v)+1)).
+struct NormalizedAdjacency {
+  std::vector<std::size_t> offsets;
+  std::vector<NodeId> columns;
+  std::vector<float> values;
+
+  std::size_t num_nodes() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t nnz() const { return columns.size(); }
+};
+
+/// Computes Â = D^-1/2 (A + I) D^-1/2 for @p g.
+NormalizedAdjacency normalized_adjacency(const CsrGraph& g);
+
+/// Induced subgraph over @p nodes (plus a mapping back to the original
+/// ids).  Edges with exactly one endpoint inside are dropped (the "halo"
+/// loss that makes naive partitioned GCN training approximate — the effect
+/// the course has students investigate).
+struct Subgraph {
+  CsrGraph graph;
+  std::vector<NodeId> global_ids;        ///< local -> global
+  std::size_t cut_edges_dropped{0};      ///< boundary edges lost
+};
+Subgraph induced_subgraph(const CsrGraph& g, std::span<const NodeId> nodes);
+
+}  // namespace sagesim::graph

@@ -1,0 +1,221 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace sagesim::graph {
+
+namespace {
+
+/// Draws @p count distinct node pairs via @p draw_pair (rejection on
+/// duplicates and self-loops), appending to @p edges.
+template <typename DrawPair>
+void sample_distinct_pairs(std::size_t count,
+                           std::vector<std::pair<NodeId, NodeId>>& edges,
+                           std::set<std::pair<NodeId, NodeId>>& seen,
+                           DrawPair&& draw_pair) {
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 20 + 100;
+  while (added < count && attempts < max_attempts) {
+    ++attempts;
+    auto [u, v] = draw_pair();
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    edges.emplace_back(u, v);
+    ++added;
+  }
+}
+
+}  // namespace
+
+Dataset planted_partition(const PlantedPartitionParams& params,
+                          stats::Rng& rng) {
+  if (params.num_classes < 2)
+    throw std::invalid_argument("planted_partition: need >= 2 classes");
+  if (params.num_nodes < static_cast<std::size_t>(params.num_classes))
+    throw std::invalid_argument("planted_partition: fewer nodes than classes");
+
+  const std::size_t n = params.num_nodes;
+  const int k = params.num_classes;
+
+  Dataset ds;
+  ds.num_classes = k;
+  ds.labels.resize(n);
+
+  // Community assignment: balanced, then shuffled so node ids carry no
+  // community information (matters for the random-partition baseline).
+  const auto perm = rng.permutation(n);
+  std::vector<std::vector<NodeId>> members(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % static_cast<std::size_t>(k));
+    ds.labels[perm[i]] = c;
+    members[static_cast<std::size_t>(c)].push_back(
+        static_cast<NodeId>(perm[i]));
+  }
+
+  // Edge sampling by expected count per block pair (G(n, m)-style SBM).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (int c = 0; c < k; ++c) {
+    const auto& m = members[static_cast<std::size_t>(c)];
+    const double pairs =
+        0.5 * static_cast<double>(m.size()) * (static_cast<double>(m.size()) - 1.0);
+    const auto count =
+        static_cast<std::size_t>(pairs * params.intra_edge_prob + 0.5);
+    sample_distinct_pairs(count, edges, seen, [&] {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(m.size()) - 1));
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(m.size()) - 1));
+      return std::pair<NodeId, NodeId>{m[i], m[j]};
+    });
+  }
+  for (int c1 = 0; c1 < k; ++c1) {
+    for (int c2 = c1 + 1; c2 < k; ++c2) {
+      const auto& ma = members[static_cast<std::size_t>(c1)];
+      const auto& mb = members[static_cast<std::size_t>(c2)];
+      const double pairs =
+          static_cast<double>(ma.size()) * static_cast<double>(mb.size());
+      const auto count =
+          static_cast<std::size_t>(pairs * params.inter_edge_prob + 0.5);
+      sample_distinct_pairs(count, edges, seen, [&] {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ma.size()) - 1));
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(mb.size()) - 1));
+        return std::pair<NodeId, NodeId>{ma[i], mb[j]};
+      });
+    }
+  }
+  ds.graph = CsrGraph::from_edges(n, edges);
+
+  // Features: noisy community signature.  Each class owns a contiguous slice
+  // of the feature vector; members get +1 on their slice plus Gaussian noise
+  // everywhere.
+  ds.features = tensor::Tensor(n, params.feature_dim);
+  const std::size_t slice =
+      std::max<std::size_t>(1, params.feature_dim / static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(ds.labels[i]);
+    for (std::size_t f = 0; f < params.feature_dim; ++f) {
+      double v = rng.normal(0.0, params.feature_noise_sd);
+      if (f >= c * slice && f < (c + 1) * slice) v += 1.0;
+      ds.features.at(i, f) = static_cast<float>(v);
+    }
+  }
+
+  // Train/test split.
+  const auto split_perm = rng.permutation(n);
+  const auto train_count =
+      static_cast<std::size_t>(params.train_fraction * static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < train_count)
+      ds.train_nodes.push_back(static_cast<NodeId>(split_perm[i]));
+    else
+      ds.test_nodes.push_back(static_cast<NodeId>(split_perm[i]));
+  }
+  return ds;
+}
+
+Dataset pubmed_like(stats::Rng& rng, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("pubmed_like: scale <= 0");
+  PlantedPartitionParams p;
+  p.num_nodes = static_cast<std::size_t>(19717.0 * scale);
+  p.num_classes = 3;
+  p.feature_dim = 500;
+  // Target mean degree ~4.5 (Sen et al. 2008): 85% of edges intra-community.
+  const double n = static_cast<double>(p.num_nodes);
+  const double nc = n / 3.0;
+  const double target_edges = 4.5 * n / 2.0;
+  p.intra_edge_prob = (0.85 * target_edges / 3.0) / (0.5 * nc * (nc - 1.0));
+  p.inter_edge_prob = (0.15 * target_edges / 3.0) / (nc * nc);
+  p.feature_noise_sd = 1.0;
+  p.train_fraction = 0.6;
+  return planted_partition(p, rng);
+}
+
+Dataset reddit_like(stats::Rng& rng, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("reddit_like: scale <= 0");
+  PlantedPartitionParams p;
+  p.num_nodes = static_cast<std::size_t>(232965.0 * scale);
+  p.num_classes = 41;
+  if (p.num_nodes < static_cast<std::size_t>(2 * p.num_classes))
+    throw std::invalid_argument(
+        "reddit_like: scale too small for 41 communities");
+  p.feature_dim = 602;
+  // Mean degree ~100 in the original; keep ~80% of edges intra-community.
+  const double n = static_cast<double>(p.num_nodes);
+  const double nc = n / 41.0;
+  const double target_edges = 100.0 * n / 2.0;
+  p.intra_edge_prob = (0.8 * target_edges / 41.0) / (0.5 * nc * (nc - 1.0));
+  p.inter_edge_prob =
+      (0.2 * target_edges) / (0.5 * 41.0 * 40.0 * nc * nc);
+  p.feature_noise_sd = 1.0;
+  p.train_fraction = 0.65;
+  return planted_partition(p, rng);
+}
+
+CsrGraph rmat(std::size_t scale, std::size_t edge_factor, stats::Rng& rng,
+              double a, double b, double c) {
+  if (scale == 0 || scale > 24)
+    throw std::invalid_argument("rmat: scale must be in [1, 24]");
+  const double d = 1.0 - a - b - c;
+  if (d < 0.0) throw std::invalid_argument("rmat: a + b + c must be <= 1");
+  const std::size_t n = 1ull << scale;
+  const std::size_t target = n * edge_factor;
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  sample_distinct_pairs(target, edges, seen, [&] {
+    NodeId u = 0, v = 0;
+    for (std::size_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // upper-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    return std::pair<NodeId, NodeId>{u, v};
+  });
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph grid_2d(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("grid_2d: empty grid");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return CsrGraph::from_edges(rows * cols, edges);
+}
+
+CsrGraph erdos_renyi(std::size_t n, double p, stats::Rng& rng) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("erdos_renyi: p outside [0, 1]");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) edges.emplace_back(u, v);
+  return CsrGraph::from_edges(n, edges);
+}
+
+}  // namespace sagesim::graph

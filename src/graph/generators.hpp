@@ -1,0 +1,69 @@
+// Synthetic graph generators standing in for the course's datasets.
+//
+// PubMed and Reddit are node-classification benchmarks whose relevant
+// structure for the labs is (a) community-correlated connectivity and
+// (b) community-correlated features — which a planted-partition (SBM)
+// generator reproduces at any scale.  An R-MAT generator provides the
+// heavy-tailed "reddit-like" degree distribution for partitioner stress,
+// plus grid/ER generators for unit tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "stats/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sagesim::graph {
+
+/// A node-classification dataset: graph + features + labels + split.
+struct Dataset {
+  CsrGraph graph;
+  tensor::Tensor features;       ///< num_nodes x feature_dim
+  std::vector<int> labels;       ///< num_nodes, in [0, num_classes)
+  int num_classes{0};
+  std::vector<NodeId> train_nodes;
+  std::vector<NodeId> test_nodes;
+};
+
+/// Planted-partition (stochastic block model) graph with features drawn as
+/// a noisy one-hot community signature.
+struct PlantedPartitionParams {
+  std::size_t num_nodes{1000};
+  int num_classes{4};
+  std::size_t feature_dim{32};
+  double intra_edge_prob{0.01};   ///< within-community
+  double inter_edge_prob{0.0005}; ///< across communities
+  double feature_noise_sd{0.8};   ///< sd of Gaussian noise on the signature
+  double train_fraction{0.6};
+};
+Dataset planted_partition(const PlantedPartitionParams& params,
+                          stats::Rng& rng);
+
+/// "PubMed-like": 3 classes, 500-dim features, ~19.7k nodes, mean degree
+/// ~4.5 (Sen et al. 2008's published statistics), scaled by @p scale to keep
+/// unit tests fast (scale=1 reproduces the published size).
+Dataset pubmed_like(stats::Rng& rng, double scale = 0.1);
+
+/// "Reddit-like": the heavy, community-structured node-classification
+/// setting of Hamilton et al. 2017 (232k nodes, 602 features, 41 classes,
+/// mean degree ~100 in the original), scaled by @p scale.  Community-
+/// correlated connectivity and features like pubmed_like, but denser and
+/// with many more classes — the partitioner/distributed-training stress
+/// case.
+Dataset reddit_like(stats::Rng& rng, double scale = 0.01);
+
+/// R-MAT power-law graph (Chakrabarti et al. 2004) with the standard
+/// (a, b, c) = (0.57, 0.19, 0.19) "reddit-like" skew.  Self-loops and
+/// duplicates are dropped, isolated nodes allowed.
+CsrGraph rmat(std::size_t scale, std::size_t edge_factor, stats::Rng& rng,
+              double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// 2-D grid graph (rows x cols), the partitioner's best case.
+CsrGraph grid_2d(std::size_t rows, std::size_t cols);
+
+/// Erdős–Rényi G(n, p).
+CsrGraph erdos_renyi(std::size_t n, double p, stats::Rng& rng);
+
+}  // namespace sagesim::graph

@@ -1,0 +1,293 @@
+#include "graph/metis_like.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "prof/check.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::graph {
+
+namespace {
+
+/// Weighted graph used internally across coarsening levels.
+struct WGraph {
+  // adj[u] = (neighbor, edge weight); symmetric.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adj;
+  std::vector<double> node_w;
+
+  std::size_t size() const { return adj.size(); }
+  double total_weight() const {
+    double t = 0.0;
+    for (double w : node_w) t += w;
+    return t;
+  }
+};
+
+WGraph from_csr(const CsrGraph& g) {
+  WGraph w;
+  w.adj.resize(g.num_nodes());
+  w.node_w.assign(g.num_nodes(), 1.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    w.adj[u].reserve(g.degree(u));
+    for (NodeId v : g.neighbors(u)) w.adj[u].emplace_back(v, 1.0);
+  }
+  return w;
+}
+
+/// One coarsening level: heavy-edge matching then contraction.
+/// Returns the coarse graph and the fine→coarse node map.
+struct CoarseLevel {
+  WGraph graph;
+  std::vector<std::uint32_t> fine_to_coarse;
+};
+
+CoarseLevel coarsen(const WGraph& g, stats::Rng& rng) {
+  const std::size_t n = g.size();
+  constexpr std::uint32_t kUnmatched = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> match(n, kUnmatched);
+
+  // Heavy-edge matching in random visit order.
+  const auto order = rng.permutation(n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const auto u = static_cast<std::uint32_t>(order[idx]);
+    if (match[u] != kUnmatched) continue;
+    std::uint32_t best = kUnmatched;
+    double best_w = -1.0;
+    for (const auto& [v, w] : g.adj[u]) {
+      if (match[v] != kUnmatched || v == u) continue;
+      if (w > best_w) {
+        best_w = w;
+        best = v;
+      }
+    }
+    if (best != kUnmatched) {
+      match[u] = best;
+      match[best] = u;
+    } else {
+      match[u] = u;  // stays single
+    }
+  }
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(n, kUnmatched);
+  std::uint32_t next_id = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (level.fine_to_coarse[u] != kUnmatched) continue;
+    level.fine_to_coarse[u] = next_id;
+    if (match[u] != u) level.fine_to_coarse[match[u]] = next_id;
+    ++next_id;
+  }
+
+  level.graph.adj.resize(next_id);
+  level.graph.node_w.assign(next_id, 0.0);
+  for (std::uint32_t u = 0; u < n; ++u)
+    level.graph.node_w[level.fine_to_coarse[u]] += g.node_w[u];
+
+  // Accumulate coarse edge weights.
+  std::unordered_map<std::uint64_t, double> coarse_edges;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const std::uint32_t cu = level.fine_to_coarse[u];
+    for (const auto& [v, w] : g.adj[u]) {
+      const std::uint32_t cv = level.fine_to_coarse[v];
+      if (cu >= cv) continue;  // each undirected coarse edge once
+      coarse_edges[(static_cast<std::uint64_t>(cu) << 32) | cv] += w;
+    }
+  }
+  for (const auto& [key, w] : coarse_edges) {
+    const auto cu = static_cast<std::uint32_t>(key >> 32);
+    const auto cv = static_cast<std::uint32_t>(key & 0xffffffffu);
+    level.graph.adj[cu].emplace_back(cv, w);
+    level.graph.adj[cv].emplace_back(cu, w);
+  }
+  return level;
+}
+
+/// Greedy region growing: grows k regions from high-degree seeds until each
+/// reaches the ideal weight.
+std::vector<int> initial_partition(const WGraph& g, int k, stats::Rng& rng) {
+  const std::size_t n = g.size();
+  const double ideal = g.total_weight() / static_cast<double>(k);
+  std::vector<int> part(n, -1);
+
+  auto weighted_degree = [&](std::uint32_t u) {
+    double d = 0.0;
+    for (const auto& [_, w] : g.adj[u]) d += w;
+    return d;
+  };
+
+  const auto visit = rng.permutation(n);
+  std::size_t cursor = 0;
+  for (int p = 0; p + 1 < k; ++p) {
+    // Seed: first unassigned node in random order with max weighted degree
+    // among a small sample.
+    std::uint32_t seed = std::numeric_limits<std::uint32_t>::max();
+    double best = -1.0;
+    std::size_t scanned = 0;
+    for (std::size_t i = cursor; i < n && scanned < 32; ++i) {
+      const auto u = static_cast<std::uint32_t>(visit[i]);
+      if (part[u] != -1) continue;
+      ++scanned;
+      const double d = weighted_degree(u);
+      if (d > best) {
+        best = d;
+        seed = u;
+      }
+    }
+    if (seed == std::numeric_limits<std::uint32_t>::max()) {
+      for (std::uint32_t u = 0; u < n; ++u)
+        if (part[u] == -1) {
+          seed = u;
+          break;
+        }
+    }
+    if (seed == std::numeric_limits<std::uint32_t>::max()) break;
+
+    // BFS growth until the region reaches the ideal weight.
+    double grown = 0.0;
+    std::deque<std::uint32_t> frontier{seed};
+    while (!frontier.empty() && grown < ideal) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop_front();
+      if (part[u] != -1) continue;
+      part[u] = p;
+      grown += g.node_w[u];
+      for (const auto& [v, _] : g.adj[u])
+        if (part[v] == -1) frontier.push_back(v);
+    }
+    // Region ran out of connected unassigned nodes: continue from any
+    // unassigned node (disconnected graphs).
+    while (grown < ideal) {
+      std::uint32_t u = std::numeric_limits<std::uint32_t>::max();
+      for (std::uint32_t c = 0; c < n; ++c)
+        if (part[c] == -1) {
+          u = c;
+          break;
+        }
+      if (u == std::numeric_limits<std::uint32_t>::max()) break;
+      part[u] = p;
+      grown += g.node_w[u];
+    }
+  }
+  // Remainder goes to the last part.
+  for (std::uint32_t u = 0; u < n; ++u)
+    if (part[u] == -1) part[u] = k - 1;
+  return part;
+}
+
+/// FM-style boundary refinement: move nodes to the neighboring part with the
+/// best positive gain, respecting the balance constraint.
+void refine(const WGraph& g, std::vector<int>& part, int k,
+            const MetisOptions& opts) {
+  const std::size_t n = g.size();
+  const double ideal = g.total_weight() / static_cast<double>(k);
+  const double max_part = ideal * opts.imbalance;
+
+  std::vector<double> part_w(static_cast<std::size_t>(k), 0.0);
+  for (std::uint32_t u = 0; u < n; ++u)
+    part_w[static_cast<std::size_t>(part[u])] += g.node_w[u];
+
+  std::vector<double> conn(static_cast<std::size_t>(k), 0.0);
+  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+    bool moved_any = false;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (g.adj[u].empty()) continue;
+      std::fill(conn.begin(), conn.end(), 0.0);
+      bool boundary = false;
+      for (const auto& [v, w] : g.adj[u]) {
+        conn[static_cast<std::size_t>(part[v])] += w;
+        if (part[v] != part[u]) boundary = true;
+      }
+      if (!boundary) continue;
+
+      const int from = part[u];
+      int best_to = from;
+      double best_gain = 0.0;
+      for (int p = 0; p < k; ++p) {
+        if (p == from) continue;
+        const double gain = conn[static_cast<std::size_t>(p)] -
+                            conn[static_cast<std::size_t>(from)];
+        if (gain > best_gain &&
+            part_w[static_cast<std::size_t>(p)] + g.node_w[u] <= max_part) {
+          best_gain = gain;
+          best_to = p;
+        }
+      }
+      if (best_to != from) {
+        part_w[static_cast<std::size_t>(from)] -= g.node_w[u];
+        part_w[static_cast<std::size_t>(best_to)] += g.node_w[u];
+        part[u] = best_to;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+}
+
+}  // namespace
+
+Partition metis_like(const CsrGraph& g, int k, const MetisOptions& opts) {
+  if (k <= 0) throw std::invalid_argument("metis_like: k <= 0");
+  if (static_cast<std::size_t>(k) > g.num_nodes())
+    throw std::invalid_argument("metis_like: k exceeds node count");
+
+  stats::Rng rng(opts.seed);
+
+  if (k == 1) {
+    Partition p;
+    p.num_parts = 1;
+    p.assignment.assign(g.num_nodes(), 0);
+    return p;
+  }
+
+  // Phase 1: coarsen.
+  std::vector<CoarseLevel> levels;
+  WGraph current = from_csr(g);
+  const std::size_t target = std::max<std::size_t>(
+      opts.coarsen_target, 30ull * static_cast<std::size_t>(k));
+  while (current.size() > target) {
+    CoarseLevel level = coarsen(current, rng);
+    // Stall guard: stop when matching no longer shrinks the graph.
+    if (level.graph.size() >
+        static_cast<std::size_t>(0.95 * static_cast<double>(current.size())))
+      break;
+    WGraph next = level.graph;  // keep a copy for the next iteration
+    levels.push_back(std::move(level));
+    current = std::move(next);
+  }
+
+  // Phase 2: initial partition on the coarsest graph.
+  std::vector<int> part = initial_partition(current, k, rng);
+  if (opts.refine) refine(current, part, k, opts);
+
+  // Phase 3: uncoarsen, projecting and refining at every level.
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    std::vector<int> finer(it->fine_to_coarse.size());
+    for (std::size_t u = 0; u < finer.size(); ++u)
+      finer[u] = part[it->fine_to_coarse[u]];
+    part = std::move(finer);
+
+    // Rebuild the fine graph for refinement: the level before this one (or
+    // the original graph at the last step).
+    if (opts.refine) {
+      if (it + 1 != levels.rend()) {
+        refine((it + 1)->graph, part, k, opts);
+      } else {
+        WGraph fine = from_csr(g);
+        refine(fine, part, k, opts);
+      }
+    }
+  }
+
+  SAGESIM_CHECK(part.size() == g.num_nodes());
+  Partition result;
+  result.num_parts = k;
+  result.assignment = std::move(part);
+  return result;
+}
+
+}  // namespace sagesim::graph

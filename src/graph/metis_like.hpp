@@ -1,0 +1,33 @@
+// Multilevel k-way partitioner in the METIS family (Karypis & Kumar 1998):
+// heavy-edge-matching coarsening, greedy region-growing initial partition,
+// and Fiduccia–Mattheyses-style boundary refinement during uncoarsening.
+//
+// This is a from-scratch reimplementation of the algorithmic scheme, not of
+// METIS's code; it delivers the property the course's labs depend on —
+// edge cuts far below random partitioning at comparable balance.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/partition.hpp"
+
+namespace sagesim::graph {
+
+struct MetisOptions {
+  std::uint64_t seed{1};
+  /// Stop coarsening once the graph has at most max(coarsen_target,
+  /// 30 * k) nodes.
+  std::size_t coarsen_target{200};
+  /// Maximum refinement sweeps per level.
+  int refine_passes{8};
+  /// Allowed imbalance: parts may exceed ideal weight by this factor.
+  double imbalance{1.05};
+  /// Disable refinement (ablation knob for the partition bench).
+  bool refine{true};
+};
+
+/// Partitions @p g into @p k parts.  Throws std::invalid_argument for
+/// k <= 0 or k > num_nodes.
+Partition metis_like(const CsrGraph& g, int k, const MetisOptions& opts = {});
+
+}  // namespace sagesim::graph

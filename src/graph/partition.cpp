@@ -1,0 +1,81 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sagesim::graph {
+
+std::vector<std::vector<NodeId>> Partition::part_nodes() const {
+  std::vector<std::vector<NodeId>> parts(static_cast<std::size_t>(num_parts));
+  for (NodeId v = 0; v < assignment.size(); ++v) {
+    const int p = assignment[v];
+    if (p < 0 || p >= num_parts)
+      throw std::logic_error("Partition: assignment outside [0, k)");
+    parts[static_cast<std::size_t>(p)].push_back(v);
+  }
+  return parts;
+}
+
+PartitionQuality evaluate_partition(const CsrGraph& g, const Partition& p) {
+  if (p.assignment.size() != g.num_nodes())
+    throw std::invalid_argument(
+        "evaluate_partition: assignment size != node count");
+  if (p.num_parts <= 0)
+    throw std::invalid_argument("evaluate_partition: num_parts <= 0");
+
+  PartitionQuality q;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.neighbors(u))
+      if (u < v && p.assignment[u] != p.assignment[v]) ++q.edge_cut;
+  q.cut_fraction = g.num_edges() > 0
+                       ? static_cast<double>(q.edge_cut) /
+                             static_cast<double>(g.num_edges())
+                       : 0.0;
+
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(p.num_parts), 0);
+  for (int a : p.assignment) ++sizes[static_cast<std::size_t>(a)];
+  q.largest_part = *std::max_element(sizes.begin(), sizes.end());
+  q.smallest_part = *std::min_element(sizes.begin(), sizes.end());
+  const double ideal = static_cast<double>(g.num_nodes()) /
+                       static_cast<double>(p.num_parts);
+  q.balance = ideal > 0.0 ? static_cast<double>(q.largest_part) / ideal : 1.0;
+  return q;
+}
+
+Partition random_partition(const CsrGraph& g, int k, stats::Rng& rng) {
+  if (k <= 0) throw std::invalid_argument("random_partition: k <= 0");
+  Partition p;
+  p.num_parts = k;
+  p.assignment.resize(g.num_nodes());
+  // Balanced random: shuffle then deal round-robin.
+  const auto perm = rng.permutation(g.num_nodes());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    p.assignment[perm[i]] = static_cast<int>(i % static_cast<std::size_t>(k));
+  return p;
+}
+
+Partition block_partition(const CsrGraph& g, int k) {
+  if (k <= 0) throw std::invalid_argument("block_partition: k <= 0");
+  Partition p;
+  p.num_parts = k;
+  p.assignment.resize(g.num_nodes());
+  const std::size_t n = g.num_nodes();
+  for (std::size_t v = 0; v < n; ++v)
+    p.assignment[v] = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(k) - 1,
+                              v * static_cast<std::size_t>(k) / n));
+  return p;
+}
+
+std::string to_text(const PartitionQuality& q) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "edge_cut=" << q.edge_cut << " cut_fraction=" << q.cut_fraction
+     << " balance=" << std::setprecision(3) << q.balance << " parts=["
+     << q.smallest_part << ".." << q.largest_part << "]";
+  return os.str();
+}
+
+}  // namespace sagesim::graph

@@ -1,0 +1,45 @@
+// Graph partitioning interfaces, baselines, and quality metrics — the
+// substrate of Algorithm 1, line 3 ("Partition G into {G1..Gk} using METIS")
+// and of the lab where students contrast METIS with random partitioning.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::graph {
+
+/// A k-way node partition: part[v] in [0, k).
+struct Partition {
+  std::vector<int> assignment;  ///< size num_nodes
+  int num_parts{0};
+
+  /// Node lists per part.
+  std::vector<std::vector<NodeId>> part_nodes() const;
+};
+
+/// Quality metrics of a partition.
+struct PartitionQuality {
+  std::size_t edge_cut{0};       ///< undirected edges crossing parts
+  double cut_fraction{0.0};      ///< edge_cut / total edges
+  double balance{1.0};           ///< max part size / ideal part size
+  std::size_t largest_part{0};
+  std::size_t smallest_part{0};
+};
+
+/// Computes quality metrics; throws std::invalid_argument on size mismatch.
+PartitionQuality evaluate_partition(const CsrGraph& g, const Partition& p);
+
+/// Uniform random assignment — the baseline the students try first.
+Partition random_partition(const CsrGraph& g, int k, stats::Rng& rng);
+
+/// Contiguous block assignment by node id (what naive array chunking does).
+Partition block_partition(const CsrGraph& g, int k);
+
+/// Renders metrics in one line.
+std::string to_text(const PartitionQuality& q);
+
+}  // namespace sagesim::graph

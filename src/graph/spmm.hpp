@@ -1,0 +1,18 @@
+// Sparse (CSR) x dense multiply — the neighborhood-aggregation kernel at the
+// heart of GCN layers: Y = Â X.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sagesim::graph {
+
+/// Y = A X where A is a weighted CSR operator (e.g. the normalized
+/// adjacency) and X is num_nodes x d.  Runs as a simulated row-parallel
+/// kernel when @p dev is non-null, host loops otherwise.
+/// Shapes validated: X.rows() == A.num_nodes(), Y same shape as X.
+void spmm(gpu::Device* dev, const NormalizedAdjacency& a,
+          const tensor::Tensor& x, tensor::Tensor& y);
+
+}  // namespace sagesim::graph

@@ -1,0 +1,131 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sagesim::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t features, float momentum, float eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(1, features),
+      beta_(1, features),
+      running_mean_(1, features),
+      running_var_(1, features) {
+  if (features == 0) throw std::invalid_argument("BatchNorm1d: 0 features");
+  if (momentum <= 0.0f || momentum > 1.0f)
+    throw std::invalid_argument("BatchNorm1d: momentum outside (0, 1]");
+  gamma_.value.fill(1.0f);
+  beta_.value.fill(0.0f);
+  running_mean_.fill(0.0f);
+  running_var_.fill(1.0f);
+}
+
+tensor::Tensor BatchNorm1d::forward(gpu::Device* dev, const tensor::Tensor& x,
+                                    bool train) {
+  if (x.cols() != features_)
+    throw std::invalid_argument("BatchNorm1d: feature count mismatch");
+  if (train && x.rows() < 2)
+    throw std::invalid_argument("BatchNorm1d: training needs batch >= 2");
+
+  const std::size_t batch = x.rows();
+  tensor::Tensor y(batch, features_);
+
+  tensor::Tensor mean(1, features_), var(1, features_);
+  if (train) {
+    for (std::size_t f = 0; f < features_; ++f) {
+      double m = 0.0;
+      for (std::size_t r = 0; r < batch; ++r) m += x.at(r, f);
+      m /= static_cast<double>(batch);
+      double v = 0.0;
+      for (std::size_t r = 0; r < batch; ++r) {
+        const double d = x.at(r, f) - m;
+        v += d * d;
+      }
+      v /= static_cast<double>(batch);  // biased, as in training-mode BN
+      mean[f] = static_cast<float>(m);
+      var[f] = static_cast<float>(v);
+      running_mean_[f] = (1.0f - momentum_) * running_mean_[f] +
+                         momentum_ * static_cast<float>(m);
+      running_var_[f] = (1.0f - momentum_) * running_var_[f] +
+                        momentum_ * static_cast<float>(v);
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  xhat_ = tensor::Tensor(batch, features_);
+  inv_std_ = tensor::Tensor(1, features_);
+  for (std::size_t f = 0; f < features_; ++f)
+    inv_std_[f] = 1.0f / std::sqrt(var[f] + eps_);
+
+  auto normalize = [&](std::size_t i) {
+    const std::size_t f = i % features_;
+    const float xh = (x[i] - mean[f]) * inv_std_[f];
+    xhat_[i] = xh;
+    y[i] = gamma_.value[f] * xh + beta_.value[f];
+  };
+  if (dev != nullptr) {
+    dev->launch_linear("batchnorm_fwd", x.size(), 256,
+                       [&](const gpu::ThreadCtx& ctx) {
+                         normalize(ctx.global_x());
+                         ctx.add_flops(4.0);
+                         ctx.add_bytes(4.0 * sizeof(float));
+                       });
+  } else {
+    for (std::size_t i = 0; i < x.size(); ++i) normalize(i);
+  }
+  cached_batch_ = train ? batch : 0;
+  return y;
+}
+
+tensor::Tensor BatchNorm1d::backward(gpu::Device* dev,
+                                     const tensor::Tensor& dy) {
+  if (cached_batch_ == 0)
+    throw std::logic_error(
+        "BatchNorm1d::backward requires a preceding training-mode forward");
+  if (dy.rows() != cached_batch_ || dy.cols() != features_)
+    throw std::invalid_argument("BatchNorm1d::backward: bad dy shape");
+
+  const std::size_t batch = cached_batch_;
+  const auto n = static_cast<float>(batch);
+  tensor::Tensor dx(batch, features_);
+
+  // Standard BN backward, one feature column at a time:
+  // dxhat = dy * gamma
+  // dx = (1/n) * inv_std * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+  auto column = [&](std::size_t f) {
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double dxhat = static_cast<double>(dy.at(r, f)) * gamma_.value[f];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat_.at(r, f);
+      gamma_.grad[f] += dy.at(r, f) * xhat_.at(r, f);
+      beta_.grad[f] += dy.at(r, f);
+    }
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double dxhat = static_cast<double>(dy.at(r, f)) * gamma_.value[f];
+      dx.at(r, f) = static_cast<float>(
+          inv_std_[f] / n *
+          (n * dxhat - sum_dxhat -
+           static_cast<double>(xhat_.at(r, f)) * sum_dxhat_xhat));
+    }
+  };
+  if (dev != nullptr) {
+    // One thread per feature column (reduction + scatter per column).
+    dev->launch_linear("batchnorm_bwd", features_, 64,
+                       [&](const gpu::ThreadCtx& ctx) {
+                         column(ctx.global_x());
+                         ctx.add_flops(8.0 * static_cast<double>(batch));
+                         ctx.add_bytes(6.0 * static_cast<double>(batch) *
+                                       sizeof(float));
+                       });
+  } else {
+    for (std::size_t f = 0; f < features_; ++f) column(f);
+  }
+  return dx;
+}
+
+}  // namespace sagesim::nn

@@ -1,0 +1,41 @@
+// Batch normalization over features (Ioffe & Szegedy 2015) — the training
+// stabilizer the deep-learning weeks add once plain MLPs plateau.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace sagesim::nn {
+
+/// BatchNorm over a [batch, features] tensor: per-feature standardization
+/// with learned scale/shift, running statistics for inference.
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(std::size_t features, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
+                         bool train) override;
+  tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "batchnorm1d"; }
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  const tensor::Tensor& running_mean() const { return running_mean_; }
+  const tensor::Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t features_;
+  float momentum_;
+  float eps_;
+  Param gamma_;  ///< 1 x features
+  Param beta_;   ///< 1 x features
+  tensor::Tensor running_mean_;
+  tensor::Tensor running_var_;
+  // Caches for backward (training mode only).
+  tensor::Tensor xhat_;
+  tensor::Tensor inv_std_;  ///< 1 x features
+  std::size_t cached_batch_{0};
+};
+
+}  // namespace sagesim::nn

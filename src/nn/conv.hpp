@@ -1,0 +1,58 @@
+// Convolutional layers for the Week-8 CNN lab.  Batches are 2-D tensors
+// whose rows are flattened CHW images; each layer knows its spatial
+// configuration explicitly.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::nn {
+
+/// 2-D convolution, stride 1, zero padding @p pad, kernel ksize x ksize.
+/// Input rows are C*H*W; output rows are K*OH*OW with
+/// OH = H + 2*pad - ksize + 1 (and likewise OW).
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t height, std::size_t width,
+         std::size_t out_channels, std::size_t ksize, std::size_t pad,
+         stats::Rng& rng);
+
+  tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
+                         bool train) override;
+  tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "conv2d"; }
+
+  std::size_t out_height() const { return oh_; }
+  std::size_t out_width() const { return ow_; }
+  std::size_t out_features() const { return k_ * oh_ * ow_; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::size_t c_, h_, w_, k_, ks_, pad_, oh_, ow_;
+  Param weight_;  ///< k x (c * ks * ks)
+  Param bias_;    ///< 1 x k
+  tensor::Tensor cached_input_;
+};
+
+/// 2x2 max pooling with stride 2 (input spatial dims must be even).
+class MaxPool2x2 : public Layer {
+ public:
+  MaxPool2x2(std::size_t channels, std::size_t height, std::size_t width);
+
+  tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
+                         bool train) override;
+  tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy) override;
+  std::string name() const override { return "maxpool2x2"; }
+
+  std::size_t out_features() const { return c_ * (h_ / 2) * (w_ / 2); }
+
+ private:
+  std::size_t c_, h_, w_;
+  std::vector<std::size_t> argmax_;  ///< flat input index per output element
+  std::size_t cached_batch_{0};
+};
+
+}  // namespace sagesim::nn

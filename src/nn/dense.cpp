@@ -1,0 +1,88 @@
+#include "nn/dense.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace sagesim::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             stats::Rng& rng)
+    : weight_(in_features, out_features), bias_(1, out_features) {
+  weight_.value.init_glorot(rng);
+  bias_.value.fill(0.0f);
+}
+
+tensor::Tensor Dense::forward(gpu::Device* dev, const tensor::Tensor& x,
+                              bool /*train*/) {
+  if (x.cols() != weight_.value.rows())
+    throw std::invalid_argument("Dense: input has " +
+                                std::to_string(x.cols()) +
+                                " features, layer expects " +
+                                std::to_string(weight_.value.rows()));
+  cached_input_ = x;
+  tensor::Tensor y(x.rows(), weight_.value.cols());
+  tensor::ops::gemm(dev, x, weight_.value, y);
+  tensor::ops::add_bias(dev, y, bias_.value);
+  return y;
+}
+
+tensor::Tensor Dense::backward(gpu::Device* dev, const tensor::Tensor& dy) {
+  if (cached_input_.empty())
+    throw std::logic_error("Dense::backward before forward");
+  // dW += x^T dy ; db += column sums ; dx = dy W^T
+  tensor::ops::gemm(dev, cached_input_, dy, weight_.grad,
+                    /*ta=*/true, /*tb=*/false, 1.0f, /*accumulate=*/true);
+  tensor::Tensor db(1, dy.cols());
+  tensor::ops::bias_grad(dev, dy, db);
+  tensor::ops::axpy(dev, 1.0f, db, bias_.grad);
+
+  tensor::Tensor dx(cached_input_.rows(), cached_input_.cols());
+  tensor::ops::gemm(dev, dy, weight_.value, dx, /*ta=*/false, /*tb=*/true);
+  return dx;
+}
+
+tensor::Tensor ReLU::forward(gpu::Device* dev, const tensor::Tensor& x,
+                             bool /*train*/) {
+  cached_pre_ = x;
+  tensor::Tensor y(x.rows(), x.cols());
+  tensor::ops::relu(dev, x, y);
+  return y;
+}
+
+tensor::Tensor ReLU::backward(gpu::Device* dev, const tensor::Tensor& dy) {
+  if (cached_pre_.empty())
+    throw std::logic_error("ReLU::backward before forward");
+  tensor::Tensor dx(dy.rows(), dy.cols());
+  tensor::ops::relu_backward(dev, cached_pre_, dy, dx);
+  return dx;
+}
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0f || p >= 1.0f)
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+}
+
+tensor::Tensor Dropout::forward(gpu::Device* dev, const tensor::Tensor& x,
+                                bool train) {
+  if (!train) {
+    applied_ = false;
+    return x;  // inverted dropout: inference is identity
+  }
+  applied_ = true;
+  mask_ = tensor::Tensor(x.rows(), x.cols());
+  tensor::Tensor y(x.rows(), x.cols());
+  tensor::ops::dropout(dev, x, y, mask_, p_, rng_);
+  scale_ = 1.0f / (1.0f - p_);
+  return y;
+}
+
+tensor::Tensor Dropout::backward(gpu::Device* dev, const tensor::Tensor& dy) {
+  if (!applied_) return dy;
+  tensor::Tensor dx(dy.rows(), dy.cols());
+  tensor::ops::hadamard(dev, dy, mask_, dx);
+  tensor::ops::scale(dev, dx, scale_);
+  return dx;
+}
+
+}  // namespace sagesim::nn

@@ -1,0 +1,59 @@
+// Stateless and dense layers: Dense (fully connected), ReLU, Dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::nn {
+
+/// Fully connected layer: y = x W + b, W is in x out.
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, stats::Rng& rng);
+
+  tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
+                         bool train) override;
+  tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "dense"; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  Param weight_;
+  Param bias_;
+  tensor::Tensor cached_input_;
+};
+
+/// Element-wise ReLU.
+class ReLU : public Layer {
+ public:
+  tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
+                         bool train) override;
+  tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  tensor::Tensor cached_pre_;
+};
+
+/// Inverted dropout with per-layer deterministic rng.
+class Dropout : public Layer {
+ public:
+  Dropout(float p, std::uint64_t seed);
+
+  tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
+                         bool train) override;
+  tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy) override;
+  std::string name() const override { return "dropout"; }
+
+ private:
+  float p_;
+  stats::Rng rng_;
+  tensor::Tensor mask_;
+  float scale_{1.0f};
+  bool applied_{false};
+};
+
+}  // namespace sagesim::nn

@@ -1,0 +1,102 @@
+#include "nn/gcn.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace sagesim::nn {
+
+GcnConv::GcnConv(const graph::NormalizedAdjacency* adj,
+                 std::size_t in_features, std::size_t out_features,
+                 stats::Rng& rng)
+    : adj_(adj), weight_(in_features, out_features), bias_(1, out_features) {
+  if (adj_ == nullptr)
+    throw std::invalid_argument("GcnConv: adjacency must not be null");
+  weight_.value.init_glorot(rng);
+  bias_.value.fill(0.0f);
+}
+
+void GcnConv::set_adjacency(const graph::NormalizedAdjacency* adj) {
+  if (adj == nullptr)
+    throw std::invalid_argument("GcnConv::set_adjacency: null");
+  adj_ = adj;
+}
+
+tensor::Tensor GcnConv::forward(gpu::Device* dev, const tensor::Tensor& x,
+                                bool /*train*/) {
+  if (x.rows() != adj_->num_nodes())
+    throw std::invalid_argument("GcnConv: X has " + std::to_string(x.rows()) +
+                                " rows, graph has " +
+                                std::to_string(adj_->num_nodes()) + " nodes");
+  if (x.cols() != weight_.value.rows())
+    throw std::invalid_argument("GcnConv: feature dim mismatch");
+
+  cached_agg_ = tensor::Tensor(x.rows(), x.cols());
+  graph::spmm(dev, *adj_, x, cached_agg_);  // Â X
+  tensor::Tensor y(x.rows(), weight_.value.cols());
+  tensor::ops::gemm(dev, cached_agg_, weight_.value, y);  // (Â X) W
+  tensor::ops::add_bias(dev, y, bias_.value);
+  return y;
+}
+
+tensor::Tensor GcnConv::backward(gpu::Device* dev, const tensor::Tensor& dy) {
+  if (cached_agg_.empty())
+    throw std::logic_error("GcnConv::backward before forward");
+  // dW += (Â X)^T dy ; db += colsum(dy)
+  tensor::ops::gemm(dev, cached_agg_, dy, weight_.grad, /*ta=*/true,
+                    /*tb=*/false, 1.0f, /*accumulate=*/true);
+  tensor::Tensor db(1, dy.cols());
+  tensor::ops::bias_grad(dev, dy, db);
+  tensor::ops::axpy(dev, 1.0f, db, bias_.grad);
+
+  // dX = Â^T (dy W^T) = Â (dy W^T), Â symmetric.
+  tensor::Tensor dywt(dy.rows(), weight_.value.rows());
+  tensor::ops::gemm(dev, dy, weight_.value, dywt, /*ta=*/false, /*tb=*/true);
+  tensor::Tensor dx(dywt.rows(), dywt.cols());
+  graph::spmm(dev, *adj_, dywt, dx);
+  return dx;
+}
+
+Gcn::Gcn(const graph::NormalizedAdjacency* adj, const Config& config)
+    : config_(config),
+      rng_(config.seed),
+      conv1_(adj, config.in_features, config.hidden, rng_),
+      relu_(),
+      dropout_(config.dropout, config.seed ^ 0x5eedull),
+      conv2_(adj, config.hidden, config.num_classes, rng_) {
+  if (config.in_features == 0 || config.num_classes == 0)
+    throw std::invalid_argument("Gcn: in_features and num_classes required");
+}
+
+tensor::Tensor Gcn::forward(gpu::Device* dev, const tensor::Tensor& x,
+                            bool train) {
+  tensor::Tensor h = conv1_.forward(dev, x, train);
+  h = relu_.forward(dev, h, train);
+  h = dropout_.forward(dev, h, train);
+  return conv2_.forward(dev, h, train);
+}
+
+void Gcn::backward(gpu::Device* dev, const tensor::Tensor& dlogits) {
+  tensor::Tensor g = conv2_.backward(dev, dlogits);
+  g = dropout_.backward(dev, g);
+  g = relu_.backward(dev, g);
+  conv1_.backward(dev, g);
+}
+
+std::vector<Param*> Gcn::params() {
+  auto p1 = conv1_.params();
+  auto p2 = conv2_.params();
+  p1.insert(p1.end(), p2.begin(), p2.end());
+  return p1;
+}
+
+void Gcn::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+void Gcn::set_adjacency(const graph::NormalizedAdjacency* adj) {
+  conv1_.set_adjacency(adj);
+  conv2_.set_adjacency(adj);
+}
+
+}  // namespace sagesim::nn

@@ -1,0 +1,4 @@
+#include "nn/layer.hpp"
+
+// Interface-only header; this TU anchors the vtable-less types and keeps the
+// header compiling standalone.

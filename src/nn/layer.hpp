@@ -1,0 +1,48 @@
+// Layer abstraction: explicit forward/backward with cached activations, the
+// way the course teaches backprop before reaching for autograd frameworks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sagesim::nn {
+
+/// A trainable parameter and its gradient accumulator.
+struct Param {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  explicit Param(std::size_t rows, std::size_t cols)
+      : value(rows, cols), grad(rows, cols) {}
+
+  std::size_t size() const { return value.size(); }
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for @p x (batch-major).  @p train toggles
+  /// train-only behavior (dropout).  Activations needed by backward are
+  /// cached on the layer, so forward/backward pairs must not interleave
+  /// across two in-flight batches.
+  virtual tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
+                                 bool train) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input).  Must follow the matching forward().
+  virtual tensor::Tensor backward(gpu::Device* dev,
+                                  const tensor::Tensor& dy) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sagesim::nn

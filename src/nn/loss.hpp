@@ -1,0 +1,41 @@
+// Softmax cross-entropy with optional node masking (the semi-supervised GCN
+// setting: loss over labeled training nodes only).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sagesim::nn {
+
+struct LossResult {
+  double loss{0.0};          ///< mean NLL over contributing rows
+  tensor::Tensor dlogits;    ///< gradient w.r.t. logits (zero for masked-out rows)
+};
+
+/// Cross-entropy over all rows.  @p labels has one class id per row in
+/// [0, logits.cols()).
+LossResult softmax_cross_entropy(gpu::Device* dev,
+                                 const tensor::Tensor& logits,
+                                 std::span<const int> labels);
+
+/// Cross-entropy restricted to @p rows (e.g. the train-node set); other
+/// rows contribute nothing and receive zero gradient.
+LossResult masked_softmax_cross_entropy(gpu::Device* dev,
+                                        const tensor::Tensor& logits,
+                                        std::span<const int> labels,
+                                        std::span<const std::uint32_t> rows);
+
+/// Mean squared error (used by DQN's TD-target regression): loss over
+/// selected (row, col) entries only; dlogits is zero elsewhere.
+struct MseTarget {
+  std::size_t row;
+  std::size_t col;
+  float target;
+};
+LossResult masked_mse(gpu::Device* dev, const tensor::Tensor& predictions,
+                      std::span<const MseTarget> targets);
+
+}  // namespace sagesim::nn

@@ -1,0 +1,79 @@
+#include "nn/metrics.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::nn {
+
+double accuracy(const tensor::Tensor& logits, std::span<const int> labels) {
+  std::vector<std::uint32_t> all(logits.rows());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    all[i] = static_cast<std::uint32_t>(i);
+  return masked_accuracy(logits, labels, all);
+}
+
+double masked_accuracy(const tensor::Tensor& logits,
+                       std::span<const int> labels,
+                       std::span<const std::uint32_t> rows) {
+  if (labels.size() != logits.rows())
+    throw std::invalid_argument("accuracy: one label per row required");
+  if (rows.empty()) throw std::invalid_argument("accuracy: empty row set");
+  std::size_t correct = 0;
+  for (const std::uint32_t r : rows) {
+    if (r >= logits.rows())
+      throw std::out_of_range("accuracy: row out of range");
+    if (static_cast<int>(logits.argmax_row(r)) == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const tensor::Tensor& logits, std::span<const int> labels,
+    int num_classes) {
+  if (num_classes <= 0)
+    throw std::invalid_argument("confusion_matrix: num_classes <= 0");
+  if (labels.size() != logits.rows())
+    throw std::invalid_argument("confusion_matrix: one label per row");
+  std::vector<std::vector<std::size_t>> m(
+      static_cast<std::size_t>(num_classes),
+      std::vector<std::size_t>(static_cast<std::size_t>(num_classes), 0));
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const int truth = labels[r];
+    const auto pred = static_cast<int>(logits.argmax_row(r));
+    if (truth < 0 || truth >= num_classes || pred >= num_classes)
+      throw std::out_of_range("confusion_matrix: label out of range");
+    ++m[static_cast<std::size_t>(truth)][static_cast<std::size_t>(pred)];
+  }
+  return m;
+}
+
+std::vector<ClassMetrics> per_class_metrics(
+    const std::vector<std::vector<std::size_t>>& confusion) {
+  const std::size_t k = confusion.size();
+  for (const auto& row : confusion)
+    if (row.size() != k)
+      throw std::invalid_argument("per_class_metrics: non-square matrix");
+  std::vector<ClassMetrics> out(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t tp = confusion[c][c];
+    std::size_t pred = 0, truth = 0;
+    for (std::size_t r = 0; r < k; ++r) {
+      pred += confusion[r][c];
+      truth += confusion[c][r];
+    }
+    out[c].precision = pred > 0 ? static_cast<double>(tp) / static_cast<double>(pred) : 0.0;
+    out[c].recall = truth > 0 ? static_cast<double>(tp) / static_cast<double>(truth) : 0.0;
+    const double denom = out[c].precision + out[c].recall;
+    out[c].f1 = denom > 0.0 ? 2.0 * out[c].precision * out[c].recall / denom : 0.0;
+  }
+  return out;
+}
+
+double macro_f1(const std::vector<std::vector<std::size_t>>& confusion) {
+  const auto metrics = per_class_metrics(confusion);
+  if (metrics.empty()) throw std::invalid_argument("macro_f1: empty matrix");
+  double total = 0.0;
+  for (const auto& m : metrics) total += m.f1;
+  return total / static_cast<double>(metrics.size());
+}
+
+}  // namespace sagesim::nn

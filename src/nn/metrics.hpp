@@ -1,0 +1,37 @@
+// Classification metrics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sagesim::nn {
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const tensor::Tensor& logits, std::span<const int> labels);
+
+/// Accuracy restricted to @p rows.
+double masked_accuracy(const tensor::Tensor& logits,
+                       std::span<const int> labels,
+                       std::span<const std::uint32_t> rows);
+
+/// num_classes x num_classes confusion counts, rows = true class.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const tensor::Tensor& logits, std::span<const int> labels,
+    int num_classes);
+
+/// Per-class precision/recall/F1 from a confusion matrix (0 when the class
+/// has no predictions/instances).
+struct ClassMetrics {
+  double precision{0.0};
+  double recall{0.0};
+  double f1{0.0};
+};
+std::vector<ClassMetrics> per_class_metrics(
+    const std::vector<std::vector<std::size_t>>& confusion);
+
+/// Unweighted mean of per-class F1 scores.
+double macro_f1(const std::vector<std::vector<std::size_t>>& confusion);
+
+}  // namespace sagesim::nn

@@ -1,0 +1,105 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sagesim::nn {
+
+namespace {
+
+/// Runs an optimizer update as one simulated kernel per parameter tensor.
+template <typename Fn>
+void update_kernel(gpu::Device* dev, const char* name, std::size_t n,
+                   double flops_per, Fn&& fn) {
+  if (dev != nullptr) {
+    dev->launch_linear(name, n, 256, [&](const gpu::ThreadCtx& ctx) {
+      fn(ctx.global_x());
+      ctx.add_flops(flops_per);
+      ctx.add_bytes(4.0 * sizeof(float));
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(float lr, float momentum, float weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  if (lr <= 0.0f) throw std::invalid_argument("Sgd: lr must be > 0");
+  if (momentum < 0.0f || momentum >= 1.0f)
+    throw std::invalid_argument("Sgd: momentum must be in [0, 1)");
+}
+
+void Sgd::step(gpu::Device* dev, std::span<Param* const> params) {
+  if (velocity_.empty() && momentum_ > 0.0f) {
+    velocity_.reserve(params.size());
+    for (const Param* p : params)
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+  if (momentum_ > 0.0f && velocity_.size() != params.size())
+    throw std::invalid_argument("Sgd::step: parameter list changed");
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Param& p = *params[pi];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    if (momentum_ > 0.0f) {
+      float* vel = velocity_[pi].data();
+      const float lr = lr_, mu = momentum_, wd = weight_decay_;
+      update_kernel(dev, "sgd_momentum", p.size(), 4.0, [=](std::size_t i) {
+        const float grad = g[i] + wd * w[i];
+        vel[i] = mu * vel[i] + grad;
+        w[i] -= lr * vel[i];
+      });
+    } else {
+      const float lr = lr_, wd = weight_decay_;
+      update_kernel(dev, "sgd", p.size(), 2.0, [=](std::size_t i) {
+        w[i] -= lr * (g[i] + wd * w[i]);
+      });
+    }
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps, float weight_decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {
+  if (lr <= 0.0f) throw std::invalid_argument("Adam: lr must be > 0");
+}
+
+void Adam::step(gpu::Device* dev, std::span<Param* const> params) {
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const Param* p : params) {
+      m_.emplace_back(p->value.rows(), p->value.cols());
+      v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  if (m_.size() != params.size())
+    throw std::invalid_argument("Adam::step: parameter list changed");
+
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Param& p = *params[pi];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const float lr = lr_, b1 = beta1_, b2 = beta2_, eps = eps_,
+                wd = weight_decay_;
+    update_kernel(dev, "adam", p.size(), 10.0, [=](std::size_t i) {
+      const float grad = g[i] + wd * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * grad;
+      v[i] = b2 * v[i] + (1.0f - b2) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    });
+  }
+}
+
+}  // namespace sagesim::nn

@@ -1,0 +1,50 @@
+// Optimizers: SGD (with momentum and weight decay) and Adam.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "nn/layer.hpp"
+
+namespace sagesim::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step to @p params from their accumulated gradients,
+  /// then the caller typically zero_grad()s.  Per-parameter state is keyed
+  /// by position, so the same parameter list must be passed every step.
+  virtual void step(gpu::Device* dev, std::span<Param* const> params) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f);
+  void step(gpu::Device* dev, std::span<Param* const> params) override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f, float weight_decay = 0.0f);
+  void step(gpu::Device* dev, std::span<Param* const> params) override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::uint64_t t_{0};
+  std::vector<tensor::Tensor> m_, v_;
+};
+
+}  // namespace sagesim::nn

@@ -1,0 +1,70 @@
+#include "nn/schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sagesim::nn {
+
+StepDecay::StepDecay(float base_lr, std::size_t step_size, float gamma)
+    : base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {
+  if (base_lr <= 0.0f) throw std::invalid_argument("StepDecay: lr <= 0");
+  if (step_size == 0) throw std::invalid_argument("StepDecay: step_size == 0");
+  if (gamma <= 0.0f || gamma > 1.0f)
+    throw std::invalid_argument("StepDecay: gamma outside (0, 1]");
+}
+
+float StepDecay::lr(std::size_t step) const {
+  return base_lr_ *
+         std::pow(gamma_, static_cast<float>(step / step_size_));
+}
+
+CosineAnnealing::CosineAnnealing(float base_lr, float min_lr,
+                                 std::size_t total_steps)
+    : base_lr_(base_lr), min_lr_(min_lr), total_steps_(total_steps) {
+  if (base_lr <= 0.0f || min_lr < 0.0f || min_lr > base_lr)
+    throw std::invalid_argument("CosineAnnealing: need 0 <= min_lr <= base_lr");
+  if (total_steps == 0)
+    throw std::invalid_argument("CosineAnnealing: total_steps == 0");
+}
+
+float CosineAnnealing::lr(std::size_t step) const {
+  if (step >= total_steps_) return min_lr_;
+  const double t = static_cast<double>(step) / static_cast<double>(total_steps_);
+  return static_cast<float>(
+      min_lr_ + 0.5 * (base_lr_ - min_lr_) * (1.0 + std::cos(std::numbers::pi * t)));
+}
+
+Warmup::Warmup(const LrSchedule& inner, std::size_t warmup_steps)
+    : inner_(inner), warmup_steps_(warmup_steps) {
+  if (warmup_steps == 0)
+    throw std::invalid_argument("Warmup: warmup_steps == 0");
+}
+
+float Warmup::lr(std::size_t step) const {
+  if (step < warmup_steps_) {
+    return inner_.lr(0) * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  return inner_.lr(step - warmup_steps_);
+}
+
+EarlyStopping::EarlyStopping(std::size_t patience, double min_delta)
+    : patience_(patience), min_delta_(min_delta), best_(0.0) {
+  if (patience == 0)
+    throw std::invalid_argument("EarlyStopping: patience == 0");
+  if (min_delta < 0.0)
+    throw std::invalid_argument("EarlyStopping: min_delta < 0");
+}
+
+bool EarlyStopping::observe(double metric) {
+  if (!seen_any_ || metric < best_ - min_delta_) {
+    best_ = metric;
+    bad_streak_ = 0;
+    seen_any_ = true;
+    return stopped_;
+  }
+  if (++bad_streak_ >= patience_) stopped_ = true;
+  return stopped_;
+}
+
+}  // namespace sagesim::nn

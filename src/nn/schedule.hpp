@@ -1,0 +1,89 @@
+// Learning-rate schedules and early stopping — the training-loop hygiene
+// the course's deep-learning weeks introduce.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace sagesim::nn {
+
+/// Interface: lr(t) for epoch/step t.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr(std::size_t step) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {
+    if (lr <= 0.0f) throw std::invalid_argument("ConstantLr: lr <= 0");
+  }
+  float lr(std::size_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Step decay: lr * gamma^(floor(step / step_size)).
+class StepDecay final : public LrSchedule {
+ public:
+  StepDecay(float base_lr, std::size_t step_size, float gamma);
+  float lr(std::size_t step) const override;
+
+ private:
+  float base_lr_;
+  std::size_t step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from base_lr to min_lr over total_steps; clamps at
+/// min_lr afterwards.
+class CosineAnnealing final : public LrSchedule {
+ public:
+  CosineAnnealing(float base_lr, float min_lr, std::size_t total_steps);
+  float lr(std::size_t step) const override;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  std::size_t total_steps_;
+};
+
+/// Linear warmup wrapping another schedule: ramps 0 -> inner.lr(0) over
+/// warmup_steps, then delegates with the step shifted.
+class Warmup final : public LrSchedule {
+ public:
+  Warmup(const LrSchedule& inner, std::size_t warmup_steps);
+  float lr(std::size_t step) const override;
+
+ private:
+  const LrSchedule& inner_;
+  std::size_t warmup_steps_;
+};
+
+/// Early stopping on a minimized metric (validation loss): stop() becomes
+/// true after `patience` consecutive observations without an improvement of
+/// at least `min_delta`.
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(std::size_t patience, double min_delta = 0.0);
+
+  /// Feeds one observation; returns true when training should stop.
+  bool observe(double metric);
+
+  bool stopped() const { return stopped_; }
+  double best() const { return best_; }
+  std::size_t bad_streak() const { return bad_streak_; }
+
+ private:
+  std::size_t patience_;
+  double min_delta_;
+  double best_;
+  std::size_t bad_streak_{0};
+  bool stopped_{false};
+  bool seen_any_{false};
+};
+
+}  // namespace sagesim::nn

@@ -1,0 +1,60 @@
+#include "nn/sequential.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sagesim::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+tensor::Tensor Sequential::forward(gpu::Device* dev, const tensor::Tensor& x,
+                                   bool train) {
+  if (layers_.empty())
+    throw std::logic_error("Sequential::forward: no layers");
+  tensor::Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(dev, h, train);
+  return h;
+}
+
+tensor::Tensor Sequential::backward(gpu::Device* dev,
+                                    const tensor::Tensor& dy) {
+  if (layers_.empty())
+    throw std::logic_error("Sequential::backward: no layers");
+  tensor::Tensor g = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(dev, g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    auto p = layer->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void Sequential::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+void Sequential::copy_params_from(Sequential& other) {
+  auto dst = params();
+  auto src = other.params();
+  if (dst.size() != src.size())
+    throw std::invalid_argument("copy_params_from: parameter count differs");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (!dst[i]->value.same_shape(src[i]->value))
+      throw std::invalid_argument("copy_params_from: shape mismatch");
+    std::copy(src[i]->value.data(),
+              src[i]->value.data() + src[i]->value.size(),
+              dst[i]->value.data());
+  }
+}
+
+}  // namespace sagesim::nn

@@ -1,0 +1,44 @@
+// Sequential container: the model class used for MLPs (DQN) and the Week-8
+// CNN.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace sagesim::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: constructs L in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
+                         bool train);
+
+  /// Backprop through all layers; returns dL/dx.
+  tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy);
+
+  std::vector<Param*> params();
+  void zero_grad();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Copies parameter *values* from @p other (shapes must match) — the
+  /// DQN target-network sync.
+  void copy_params_from(Sequential& other);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace sagesim::nn

@@ -1,0 +1,141 @@
+#include "prof/bottleneck.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+namespace sagesim::prof {
+
+const char* to_string(KernelBound bound) {
+  switch (bound) {
+    case KernelBound::kCompute: return "compute-bound";
+    case KernelBound::kMemory: return "memory-bound";
+    case KernelBound::kLatency: return "latency-bound";
+    case KernelBound::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Kernels shorter than this are dominated by launch latency regardless of
+// their roofline position (mirrors the ~5-10 us CUDA launch overhead).
+constexpr double kLatencyFloorS = 20e-6;
+
+}  // namespace
+
+BottleneckReport analyze(const Timeline& timeline,
+                         double balance_flops_per_byte) {
+  BottleneckReport report;
+  report.kernel_s = timeline.total_time(EventKind::kKernel);
+  report.h2d_s = timeline.total_time(EventKind::kMemcpyH2D);
+  report.d2h_s = timeline.total_time(EventKind::kMemcpyD2H);
+  report.d2d_s = timeline.total_time(EventKind::kMemcpyD2D);
+  report.host_s = timeline.total_time(EventKind::kHostCompute);
+  report.scheduler_s = timeline.total_time(EventKind::kScheduler);
+  report.api_s = timeline.total_time(EventKind::kApi);
+
+  const double transfer = report.h2d_s + report.d2h_s + report.d2d_s;
+  const double device_total = transfer + report.kernel_s;
+  report.transfer_ratio = device_total > 0.0 ? transfer / device_total : 0.0;
+
+  // Aggregate kernels by name.
+  struct Agg {
+    std::size_t launches{0};
+    double total_s{0.0};
+    double flops{0.0};
+    double bytes{0.0};
+    double mean_dur_s{0.0};
+  };
+  std::unordered_map<std::string, Agg> by_name;
+  for (const auto& e : timeline.snapshot(EventKind::kKernel)) {
+    auto& a = by_name[e.name];
+    ++a.launches;
+    a.total_s += e.duration_s;
+    if (auto it = e.counters.find("flops"); it != e.counters.end())
+      a.flops += it->second;
+    if (auto it = e.counters.find("bytes"); it != e.counters.end())
+      a.bytes += it->second;
+  }
+  for (auto& [name, a] : by_name) {
+    KernelAnalysis k;
+    k.name = name;
+    k.launches = a.launches;
+    k.total_s = a.total_s;
+    a.mean_dur_s = a.launches > 0 ? a.total_s / static_cast<double>(a.launches)
+                                  : 0.0;
+    if (a.bytes > 0.0) {
+      k.arithmetic_intensity = a.flops / a.bytes;
+      k.bound = k.arithmetic_intensity >= balance_flops_per_byte
+                    ? KernelBound::kCompute
+                    : KernelBound::kMemory;
+    } else if (a.flops > 0.0) {
+      k.bound = KernelBound::kCompute;
+    } else {
+      k.bound = KernelBound::kUnknown;
+    }
+    if (a.mean_dur_s < kLatencyFloorS) k.bound = KernelBound::kLatency;
+    k.share_of_gpu_time =
+        report.kernel_s > 0.0 ? k.total_s / report.kernel_s : 0.0;
+    report.kernels.push_back(std::move(k));
+  }
+  std::sort(report.kernels.begin(), report.kernels.end(),
+            [](const auto& a, const auto& b) { return a.total_s > b.total_s; });
+
+  // Top-line diagnosis.
+  std::ostringstream diag;
+  if (device_total == 0.0) {
+    diag << "no device activity recorded";
+  } else if (report.transfer_ratio > 0.5) {
+    diag << "transfer-bound: "
+         << static_cast<int>(report.transfer_ratio * 100.0 + 0.5)
+         << "% of device time is PCIe transfers";
+  } else if (!report.kernels.empty() &&
+             report.kernels.front().bound == KernelBound::kMemory &&
+             report.kernels.front().share_of_gpu_time > 0.5) {
+    diag << "bandwidth-bound: dominant kernel '"
+         << report.kernels.front().name << "' has arithmetic intensity "
+         << std::fixed << std::setprecision(2)
+         << report.kernels.front().arithmetic_intensity << " flop/byte";
+  } else if (!report.kernels.empty() &&
+             report.kernels.front().bound == KernelBound::kLatency &&
+             report.kernels.front().share_of_gpu_time > 0.5) {
+    diag << "latency-bound: kernels too small to amortize launch overhead";
+  } else {
+    diag << "compute-bound: kernels dominate and sit above the roofline "
+            "ridge";
+  }
+  report.diagnosis = diag.str();
+  return report;
+}
+
+std::string to_text(const BottleneckReport& r) {
+  std::ostringstream os;
+  os << "=== bottleneck analysis ===\n";
+  os << "diagnosis: " << r.diagnosis << '\n';
+  os << std::fixed << std::setprecision(6);
+  os << "kernel time    : " << r.kernel_s << " s\n"
+     << "h2d transfers  : " << r.h2d_s << " s\n"
+     << "d2h transfers  : " << r.d2h_s << " s\n"
+     << "d2d transfers  : " << r.d2d_s << " s\n"
+     << "host compute   : " << r.host_s << " s\n"
+     << "scheduler      : " << r.scheduler_s << " s\n"
+     << "api overhead   : " << r.api_s << " s\n"
+     << "transfer ratio : " << std::setprecision(3) << r.transfer_ratio
+     << "\n\n";
+  os << std::left << std::setw(28) << "kernel" << std::right << std::setw(9)
+     << "launches" << std::setw(12) << "total(ms)" << std::setw(10) << "AI"
+     << std::setw(8) << "share" << "  bound\n";
+  for (const auto& k : r.kernels) {
+    os << std::left << std::setw(28) << k.name << std::right << std::setw(9)
+       << k.launches << std::setw(12) << std::setprecision(3)
+       << k.total_s * 1e3 << std::setw(10) << std::setprecision(2)
+       << k.arithmetic_intensity << std::setw(7)
+       << static_cast<int>(k.share_of_gpu_time * 100.0 + 0.5) << "%  "
+       << to_string(k.bound) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sagesim::prof

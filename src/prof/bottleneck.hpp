@@ -1,0 +1,64 @@
+// Bottleneck analysis over a Timeline — the automated version of what the
+// course's Week 3/4 labs teach students to read off an Nsight timeline:
+// is the workload compute-bound, bandwidth-bound, or transfer-bound?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prof/trace.hpp"
+
+namespace sagesim::prof {
+
+/// Verdict for a single kernel, from the roofline position implied by its
+/// recorded flops/bytes counters and the device's balance point.
+enum class KernelBound : std::uint8_t {
+  kCompute,   ///< arithmetic throughput limited
+  kMemory,    ///< device-memory bandwidth limited
+  kLatency,   ///< too little work to hide launch latency
+  kUnknown,   ///< no counters recorded
+};
+
+const char* to_string(KernelBound bound);
+
+/// Per-kernel-name analysis row.
+struct KernelAnalysis {
+  std::string name;
+  std::size_t launches{0};
+  double total_s{0.0};
+  double arithmetic_intensity{0.0};  ///< flops / byte, 0 when unknown
+  KernelBound bound{KernelBound::kUnknown};
+  double share_of_gpu_time{0.0};     ///< fraction of all kernel time
+};
+
+/// Whole-run analysis: where did the time go?
+struct BottleneckReport {
+  double kernel_s{0.0};
+  double h2d_s{0.0};
+  double d2h_s{0.0};
+  double d2d_s{0.0};
+  double host_s{0.0};
+  double scheduler_s{0.0};
+  double api_s{0.0};
+
+  /// transfer / (transfer + kernel); > 0.5 is the classic "you forgot to
+  /// keep data on the device" smell the Week 3 lab hunts for.
+  double transfer_ratio{0.0};
+
+  /// Human-readable top-line diagnosis, e.g.
+  /// "transfer-bound: 71% of device time is PCIe transfers".
+  std::string diagnosis;
+
+  std::vector<KernelAnalysis> kernels;  ///< descending total time
+};
+
+/// Analyzes @p timeline.  @p balance_flops_per_byte is the device's roofline
+/// ridge point (peak flops / peak bandwidth); kernels with recorded
+/// arithmetic intensity below it are classified memory-bound.
+BottleneckReport analyze(const Timeline& timeline,
+                         double balance_flops_per_byte = 10.0);
+
+/// Renders @p report as a fixed-width text table.
+std::string to_text(const BottleneckReport& report);
+
+}  // namespace sagesim::prof

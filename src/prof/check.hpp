@@ -1,0 +1,43 @@
+// Internal invariant checking shared by all sagesim modules.
+//
+// SAGESIM_CHECK is used for *internal* invariants (programming errors inside
+// the library).  API misuse by callers is reported with std::invalid_argument
+// or std::out_of_range at the public boundary instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sagesim {
+
+/// Thrown when an internal invariant is violated.  Seeing this exception
+/// always indicates a bug in sagesim itself, not in calling code.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SAGESIM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sagesim
+
+#define SAGESIM_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sagesim::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define SAGESIM_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sagesim::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,81 @@
+#include "prof/chrome_trace.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sagesim::prof {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_event(std::ostream& os, const TraceEvent& e, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  const int pid = e.device < 0 ? 0 : e.device + 1;
+  const int tid = e.stream < 0 ? 0 : e.stream;
+  const char phase = e.kind == EventKind::kMarker ? 'i' : 'X';
+  os << "  {\"name\":\"" << json_escape(e.name) << "\","
+     << "\"cat\":\"" << to_string(e.kind) << "\","
+     << "\"ph\":\"" << phase << "\","
+     << "\"pid\":" << pid << ",\"tid\":" << tid << ","
+     << "\"ts\":" << std::fixed << std::setprecision(3) << e.start_s * 1e6;
+  if (phase == 'X')
+    os << ",\"dur\":" << std::fixed << std::setprecision(3)
+       << e.duration_s * 1e6;
+  if (phase == 'i') os << ",\"s\":\"g\"";
+  if (!e.counters.empty()) {
+    os << ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [k, v] : e.counters) {
+      if (!first_arg) os << ',';
+      first_arg = false;
+      os << '"' << json_escape(k) << "\":" << std::setprecision(6) << v;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(const Timeline& timeline, std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  for (const auto& e : timeline.snapshot()) write_event(os, e, first);
+  os << "\n]\n";
+}
+
+void write_chrome_trace(const Timeline& timeline, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  write_chrome_trace(timeline, out);
+}
+
+}  // namespace sagesim::prof

@@ -1,0 +1,27 @@
+// chrome://tracing ("Trace Event Format") export of a Timeline, the same
+// interchange format Nsight Systems and the PyTorch profiler can emit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "prof/trace.hpp"
+
+namespace sagesim::prof {
+
+/// Writes @p timeline as a Trace-Event-Format JSON array to @p os.
+///
+/// Events become "X" (complete) events; markers become "i" (instant) events.
+/// The pid is the device ordinal (host == 0xFFFF is remapped to pid 0 with a
+/// "host" process name), the tid is the stream ordinal.  Timestamps are the
+/// simulated seconds converted to microseconds, as the format requires.
+void write_chrome_trace(const Timeline& timeline, std::ostream& os);
+
+/// Convenience overload writing to @p path.  Throws std::runtime_error when
+/// the file cannot be opened.
+void write_chrome_trace(const Timeline& timeline, const std::string& path);
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace sagesim::prof

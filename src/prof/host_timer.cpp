@@ -1,0 +1,4 @@
+#include "prof/host_timer.hpp"
+
+// Header-only today; this TU anchors the library target and keeps the header
+// compiling standalone.

@@ -1,0 +1,70 @@
+#include "prof/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace sagesim::prof {
+
+std::string summary_table(const Timeline& timeline) {
+  std::ostringstream os;
+  os << std::left << std::setw(30) << "name" << std::right << std::setw(7)
+     << "count" << std::setw(12) << "total(ms)" << std::setw(11) << "min(us)"
+     << std::setw(11) << "max(us)" << std::setw(10) << "GFLOP/s"
+     << std::setw(9) << "GB/s" << '\n';
+  os << std::string(90, '-') << '\n';
+  for (const auto& s : timeline.summarize()) {
+    const double gflops =
+        s.total_s > 0.0 ? s.total_flops / s.total_s / 1e9 : 0.0;
+    const double gbps = s.total_s > 0.0 ? s.total_bytes / s.total_s / 1e9 : 0.0;
+    os << std::left << std::setw(30) << s.name << std::right << std::setw(7)
+       << s.count << std::fixed << std::setw(12) << std::setprecision(3)
+       << s.total_s * 1e3 << std::setw(11) << std::setprecision(1)
+       << s.min_s * 1e6 << std::setw(11) << s.max_s * 1e6 << std::setw(10)
+       << std::setprecision(2) << gflops << std::setw(9) << gbps << '\n';
+  }
+  return os.str();
+}
+
+double kernel_utilization(const Timeline& timeline, int device) {
+  const double span = timeline.span_end_s();
+  if (span <= 0.0) return 0.0;
+  // Merge overlapping kernel intervals on this device.
+  std::vector<std::pair<double, double>> intervals;
+  for (const auto& e : timeline.snapshot(EventKind::kKernel))
+    if (e.device == device) intervals.emplace_back(e.start_s, e.end_s());
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  double busy = 0.0;
+  double cur_start = intervals.front().first;
+  double cur_end = intervals.front().second;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const auto& [s, e] = intervals[i];
+    if (s <= cur_end) {
+      cur_end = std::max(cur_end, e);
+    } else {
+      busy += cur_end - cur_start;
+      cur_start = s;
+      cur_end = e;
+    }
+  }
+  busy += cur_end - cur_start;
+  return std::min(1.0, busy / span);
+}
+
+std::string device_utilization(const Timeline& timeline) {
+  std::map<int, bool> devices;
+  for (const auto& e : timeline.snapshot(EventKind::kKernel))
+    if (e.device >= 0) devices[e.device] = true;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (const auto& [dev, _] : devices)
+    os << "GPU " << dev << ": "
+       << kernel_utilization(timeline, dev) * 100.0 << "% kernel-busy\n";
+  if (devices.empty()) os << "no device kernel activity\n";
+  return os.str();
+}
+
+}  // namespace sagesim::prof

@@ -1,0 +1,25 @@
+// Text rendering of timeline summaries — the "nsys stats"-style tables the
+// course's profiling labs have students read.
+#pragma once
+
+#include <string>
+
+#include "prof/trace.hpp"
+
+namespace sagesim::prof {
+
+/// Fixed-width per-name summary table: count, total/min/max time, derived
+/// GFLOP/s and GB/s where counters are available.
+std::string summary_table(const Timeline& timeline);
+
+/// One-line utilization string per device: fraction of the run span each
+/// device spent executing kernels ("GPU utilization" in the labs).
+std::string device_utilization(const Timeline& timeline);
+
+/// Fraction of the run span during which device @p device executed kernels.
+/// Returns 0 for an empty timeline or a device with no kernel events.
+/// Overlapping kernel intervals (multiple streams) are merged, so the result
+/// is always in [0, 1].
+double kernel_utilization(const Timeline& timeline, int device);
+
+}  // namespace sagesim::prof

@@ -1,0 +1,104 @@
+#include "prof/trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sagesim::prof {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kKernel: return "kernel";
+    case EventKind::kMemcpyH2D: return "memcpy_h2d";
+    case EventKind::kMemcpyD2H: return "memcpy_d2h";
+    case EventKind::kMemcpyD2D: return "memcpy_d2d";
+    case EventKind::kHostCompute: return "host";
+    case EventKind::kScheduler: return "scheduler";
+    case EventKind::kApi: return "api";
+    case EventKind::kMarker: return "marker";
+    case EventKind::kRange: return "range";
+  }
+  return "unknown";
+}
+
+void Timeline::record(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Timeline::marker(std::string name, double at_s, int device) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.kind = EventKind::kMarker;
+  e.start_s = at_s;
+  e.duration_s = 0.0;
+  e.device = device;
+  record(std::move(e));
+}
+
+std::size_t Timeline::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Timeline::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::vector<TraceEvent> Timeline::snapshot(EventKind kind) const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.kind == kind) out.push_back(e);
+  return out;
+}
+
+std::vector<EventSummary> Timeline::summarize() const {
+  std::unordered_map<std::string, EventSummary> agg;
+  for (const auto& e : snapshot()) {
+    auto& s = agg[e.name];
+    if (s.count == 0) {
+      s.name = e.name;
+      s.kind = e.kind;
+      s.min_s = e.duration_s;
+      s.max_s = e.duration_s;
+    }
+    ++s.count;
+    s.total_s += e.duration_s;
+    s.min_s = std::min(s.min_s, e.duration_s);
+    s.max_s = std::max(s.max_s, e.duration_s);
+    if (auto it = e.counters.find("flops"); it != e.counters.end())
+      s.total_flops += it->second;
+    if (auto it = e.counters.find("bytes"); it != e.counters.end())
+      s.total_bytes += it->second;
+  }
+  std::vector<EventSummary> out;
+  out.reserve(agg.size());
+  for (auto& [_, s] : agg) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total_s > b.total_s;
+  });
+  return out;
+}
+
+double Timeline::total_time(EventKind kind) const {
+  double total = 0.0;
+  std::lock_guard lock(mutex_);
+  for (const auto& e : events_)
+    if (e.kind == kind) total += e.duration_s;
+  return total;
+}
+
+double Timeline::span_end_s() const {
+  double end = 0.0;
+  std::lock_guard lock(mutex_);
+  for (const auto& e : events_) end = std::max(end, e.end_s());
+  return end;
+}
+
+void Timeline::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace sagesim::prof

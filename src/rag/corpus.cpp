@@ -1,0 +1,92 @@
+#include "rag/corpus.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::rag {
+
+std::uint32_t Corpus::add(std::string text, int topic) {
+  Document d;
+  d.id = static_cast<std::uint32_t>(docs_.size());
+  d.text = std::move(text);
+  d.topic = topic;
+  docs_.push_back(std::move(d));
+  return docs_.back().id;
+}
+
+const Document& Corpus::doc(std::uint32_t id) const {
+  if (id >= docs_.size())
+    throw std::out_of_range("Corpus::doc: unknown id " + std::to_string(id));
+  return docs_[id];
+}
+
+namespace {
+
+/// Deterministic pseudo-word for lexicon slot @p i ("wd0", "wd1", ...); the
+/// generator needs distinct strings, not realistic morphology.
+std::string word_for(std::size_t i) { return "wd" + std::to_string(i); }
+
+std::string topic_word(const SyntheticCorpusParams& p, int topic,
+                       std::size_t j) {
+  return word_for(static_cast<std::size_t>(topic) * p.words_per_topic + j);
+}
+
+std::string background_word(const SyntheticCorpusParams& p, std::size_t j) {
+  return word_for(static_cast<std::size_t>(p.num_topics) * p.words_per_topic +
+                  j);
+}
+
+}  // namespace
+
+SyntheticCorpus synthetic_corpus(const SyntheticCorpusParams& params,
+                                 stats::Rng& rng) {
+  if (params.num_topics <= 0)
+    throw std::invalid_argument("synthetic_corpus: num_topics <= 0");
+  if (params.words_per_topic == 0 || params.doc_length == 0)
+    throw std::invalid_argument("synthetic_corpus: degenerate sizes");
+
+  SyntheticCorpus out;
+  const std::size_t lexicon =
+      static_cast<std::size_t>(params.num_topics) * params.words_per_topic +
+      params.background_words;
+  out.all_words.reserve(lexicon);
+  for (std::size_t i = 0; i < lexicon; ++i)
+    out.all_words.push_back(word_for(i));
+
+  for (std::size_t d = 0; d < params.num_docs; ++d) {
+    const int topic = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params.num_topics) - 1));
+    std::string text;
+    for (std::size_t w = 0; w < params.doc_length; ++w) {
+      if (!text.empty()) text += ' ';
+      if (rng.bernoulli(params.topic_word_fraction)) {
+        const auto j = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(params.words_per_topic) - 1));
+        text += topic_word(params, topic, j);
+      } else if (params.background_words > 0) {
+        const auto j = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(params.background_words) - 1));
+        text += background_word(params, j);
+      } else {
+        text += topic_word(params, topic, 0);
+      }
+    }
+    out.corpus.add(std::move(text), topic);
+  }
+  return out;
+}
+
+std::string synthetic_query(const SyntheticCorpusParams& params, int topic,
+                            stats::Rng& rng) {
+  if (topic < 0 || topic >= params.num_topics)
+    throw std::invalid_argument("synthetic_query: topic out of range");
+  std::string text;
+  for (int w = 0; w < 5; ++w) {
+    if (!text.empty()) text += ' ';
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(params.words_per_topic) - 1));
+    text += topic_word(params, topic, j);
+  }
+  return text;
+}
+
+}  // namespace sagesim::rag

@@ -1,0 +1,59 @@
+// Document corpus plus a synthetic topic-model generator that stands in for
+// the course's RAG datasets: documents have a known topic, so retrieval
+// recall is measurable without human labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rag/tokenizer.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::rag {
+
+struct Document {
+  std::uint32_t id{0};
+  std::string text;
+  int topic{-1};  ///< ground-truth topic for synthetic corpora, -1 unknown
+};
+
+class Corpus {
+ public:
+  /// Adds a document and returns its id.
+  std::uint32_t add(std::string text, int topic = -1);
+
+  std::size_t size() const { return docs_.size(); }
+  const Document& doc(std::uint32_t id) const;
+  const std::vector<Document>& docs() const { return docs_; }
+
+ private:
+  std::vector<Document> docs_;
+};
+
+/// Synthetic corpus: @p num_topics topics, each with a distinctive
+/// vocabulary of @p words_per_topic words plus a shared background
+/// vocabulary.  Documents mix ~85% topic words with background words.
+struct SyntheticCorpusParams {
+  std::size_t num_docs{1000};
+  int num_topics{20};
+  std::size_t words_per_topic{50};
+  std::size_t background_words{200};
+  std::size_t doc_length{40};
+  double topic_word_fraction{0.85};
+};
+
+struct SyntheticCorpus {
+  Corpus corpus;
+  std::vector<std::string> all_words;  ///< generated lexicon
+};
+
+SyntheticCorpus synthetic_corpus(const SyntheticCorpusParams& params,
+                                 stats::Rng& rng);
+
+/// A query about @p topic drawn from the same generator (shorter: 5 words,
+/// all topic words).
+std::string synthetic_query(const SyntheticCorpusParams& params, int topic,
+                            stats::Rng& rng);
+
+}  // namespace sagesim::rag

@@ -1,0 +1,77 @@
+#include "rag/encoder.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace sagesim::rag {
+
+TfIdfEncoder::TfIdfEncoder(std::size_t dim) : dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("TfIdfEncoder: dim must be > 0");
+}
+
+void TfIdfEncoder::fit(const Corpus& corpus) {
+  if (corpus.size() == 0)
+    throw std::invalid_argument("TfIdfEncoder::fit: empty corpus");
+  doc_freq_.clear();
+  num_docs_ = corpus.size();
+  for (const auto& doc : corpus.docs()) {
+    std::set<std::string> seen;
+    for (auto& tok : tokenize(doc.text)) seen.insert(std::move(tok));
+    for (const auto& tok : seen) ++doc_freq_[tok];
+  }
+  fitted_ = true;
+}
+
+double TfIdfEncoder::idf_of(const std::string& word) const {
+  const auto it = doc_freq_.find(word);
+  const double df = it == doc_freq_.end() ? 0.0 : static_cast<double>(it->second);
+  // Smoothed idf, sklearn-style.
+  return std::log((1.0 + static_cast<double>(num_docs_)) / (1.0 + df)) + 1.0;
+}
+
+std::uint64_t TfIdfEncoder::hash_word(const std::string& word) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : word) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+tensor::Tensor TfIdfEncoder::encode(const std::string& text) const {
+  if (!fitted_)
+    throw std::logic_error("TfIdfEncoder::encode before fit()");
+  tensor::Tensor v(1, dim_);
+
+  std::unordered_map<std::string, std::size_t> tf;
+  for (auto& tok : tokenize(text)) ++tf[tok];
+
+  for (const auto& [word, count] : tf) {
+    const std::uint64_t h = hash_word(word);
+    const std::size_t slot = h % dim_;
+    // Sign bit from an independent hash bit decorrelates collisions.
+    const float sign = (h >> 63) != 0 ? -1.0f : 1.0f;
+    v[slot] += sign * static_cast<float>(
+                          static_cast<double>(count) * idf_of(word));
+  }
+  const float n = v.norm();
+  if (n > 0.0f)
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] /= n;
+  return v;
+}
+
+tensor::Tensor TfIdfEncoder::encode_corpus(const Corpus& corpus) const {
+  if (corpus.size() == 0)
+    throw std::invalid_argument("encode_corpus: empty corpus");
+  tensor::Tensor m(corpus.size(), dim_);
+  for (std::size_t d = 0; d < corpus.size(); ++d) {
+    const tensor::Tensor row =
+        encode(corpus.doc(static_cast<std::uint32_t>(d)).text);
+    std::copy(row.data(), row.data() + dim_, m.data() + d * dim_);
+  }
+  return m;
+}
+
+}  // namespace sagesim::rag

@@ -1,0 +1,44 @@
+// Text encoders producing fixed-dimension dense vectors for the vector
+// index.  TF-IDF weights with the feature-hashing trick keep the vectors
+// dense and GPU-batchable (the role the course's sentence-transformer
+// embeddings play, with the same cosine-similarity geometry: documents
+// sharing vocabulary land close together).
+#pragma once
+
+#include <cstdint>
+
+#include "rag/corpus.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sagesim::rag {
+
+class TfIdfEncoder {
+ public:
+  /// @param dim hashed embedding dimension (power of two recommended).
+  explicit TfIdfEncoder(std::size_t dim = 256);
+
+  /// Computes document frequencies over @p corpus.  Must be called before
+  /// encode().
+  void fit(const Corpus& corpus);
+
+  /// Encodes one text to an L2-normalized dim-vector.
+  /// Throws std::logic_error when called before fit().
+  tensor::Tensor encode(const std::string& text) const;
+
+  /// Encodes all documents of @p corpus as rows of a matrix.
+  tensor::Tensor encode_corpus(const Corpus& corpus) const;
+
+  std::size_t dim() const { return dim_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double idf_of(const std::string& word) const;
+  static std::uint64_t hash_word(const std::string& word);
+
+  std::size_t dim_;
+  bool fitted_{false};
+  std::size_t num_docs_{0};
+  std::unordered_map<std::string, std::size_t> doc_freq_;
+};
+
+}  // namespace sagesim::rag

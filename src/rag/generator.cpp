@@ -1,0 +1,112 @@
+#include "rag/generator.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace sagesim::rag {
+
+namespace {
+std::uint64_t key_of(std::uint32_t prev, std::uint32_t next) {
+  return (static_cast<std::uint64_t>(prev) << 32) | next;
+}
+}  // namespace
+
+BigramGenerator::BigramGenerator(GeneratorConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config.temperature <= 0.0)
+    throw std::invalid_argument("BigramGenerator: temperature must be > 0");
+}
+
+void BigramGenerator::fit(const Corpus& corpus) {
+  if (corpus.size() == 0)
+    throw std::invalid_argument("BigramGenerator::fit: empty corpus");
+  for (const auto& doc : corpus.docs()) {
+    const auto tokens = tokenize(doc.text);
+    std::uint32_t prev = Vocabulary::kUnk;
+    for (const auto& tok : tokens) {
+      const std::uint32_t id = vocab_.add(tok);
+      if (unigram_counts_.size() <= id) unigram_counts_.resize(id + 1, 0);
+      ++unigram_counts_[id];
+      ++total_tokens_;
+      if (prev != Vocabulary::kUnk) ++bigram_counts_[key_of(prev, id)];
+      prev = id;
+    }
+  }
+  fitted_ = true;
+}
+
+double BigramGenerator::bigram_prob(std::uint32_t prev,
+                                    std::uint32_t next) const {
+  const double v = static_cast<double>(vocab_.size());
+  const double prev_count =
+      prev < unigram_counts_.size()
+          ? static_cast<double>(unigram_counts_[prev])
+          : 0.0;
+  double big = 0.0;
+  if (auto it = bigram_counts_.find(key_of(prev, next));
+      it != bigram_counts_.end())
+    big = static_cast<double>(it->second);
+  return (big + 1.0) / (prev_count + v);  // add-one smoothing
+}
+
+std::string BigramGenerator::generate(
+    const std::string& prompt, const std::vector<std::string>& context_docs) {
+  if (!fitted_) throw std::logic_error("BigramGenerator::generate before fit");
+
+  // Context vocabulary for retrieval conditioning.
+  std::set<std::uint32_t> context_words;
+  for (const auto& doc : context_docs)
+    for (const auto& tok : tokenize(doc))
+      context_words.insert(vocab_.id_of(tok));
+  context_words.erase(Vocabulary::kUnk);
+
+  const auto prompt_tokens = tokenize(prompt);
+  std::uint32_t prev = Vocabulary::kUnk;
+  for (auto it = prompt_tokens.rbegin(); it != prompt_tokens.rend(); ++it) {
+    const std::uint32_t id = vocab_.id_of(*it);
+    if (id != Vocabulary::kUnk) {
+      prev = id;
+      break;
+    }
+  }
+  if (prev == Vocabulary::kUnk && !context_words.empty())
+    prev = *context_words.begin();
+  if (prev == Vocabulary::kUnk) prev = 1 % static_cast<std::uint32_t>(vocab_.size());
+
+  std::string out;
+  std::vector<double> weights(vocab_.size());
+  for (std::size_t t = 0; t < config_.max_tokens; ++t) {
+    for (std::uint32_t w = 1; w < vocab_.size(); ++w) {
+      double p = bigram_prob(prev, w);
+      if (context_words.contains(w)) p *= config_.retrieval_boost;
+      weights[w] = std::pow(p, 1.0 / config_.temperature);
+    }
+    weights[Vocabulary::kUnk] = 0.0;
+    const auto next =
+        static_cast<std::uint32_t>(rng_.categorical(weights));
+    if (!out.empty()) out += ' ';
+    out += vocab_.word_of(next);
+    prev = next;
+  }
+  return out;
+}
+
+double BigramGenerator::perplexity(const std::string& text) const {
+  if (!fitted_) throw std::logic_error("BigramGenerator::perplexity before fit");
+  const auto tokens = tokenize(text);
+  if (tokens.size() < 2)
+    throw std::invalid_argument("perplexity: need at least 2 tokens");
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  std::uint32_t prev = vocab_.id_of(tokens.front());
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::uint32_t next = vocab_.id_of(tokens[i]);
+    log_sum += std::log(bigram_prob(prev, next));
+    ++count;
+    prev = next;
+  }
+  return std::exp(-log_sum / static_cast<double>(count));
+}
+
+}  // namespace sagesim::rag

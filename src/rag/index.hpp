@@ -1,0 +1,97 @@
+// Vector indexes: exact brute-force scan and IVF-Flat (inverted-file with
+// k-means coarse quantizer) — the FAISS pair the course's RAG labs contrast.
+// Scoring is inner product over L2-normalized vectors (cosine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "stats/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sagesim::rag {
+
+struct SearchHit {
+  std::uint32_t id{0};
+  float score{0.0f};
+};
+
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Appends @p vectors (rows) to the index; ids are assigned sequentially.
+  virtual void add(const tensor::Tensor& vectors) = 0;
+
+  /// Top-@p k hits per query row, best first.  Runs scoring kernels on
+  /// @p dev when non-null.
+  virtual std::vector<std::vector<SearchHit>> search(
+      gpu::Device* dev, const tensor::Tensor& queries, std::size_t k) const = 0;
+
+  virtual std::size_t size() const = 0;
+  virtual std::size_t dim() const = 0;
+};
+
+/// Exact scan: scores = Q D^T, then top-k per row.
+class BruteForceIndex final : public VectorIndex {
+ public:
+  explicit BruteForceIndex(std::size_t dim);
+
+  void add(const tensor::Tensor& vectors) override;
+  std::vector<std::vector<SearchHit>> search(
+      gpu::Device* dev, const tensor::Tensor& queries,
+      std::size_t k) const override;
+  std::size_t size() const override { return count_; }
+  std::size_t dim() const override { return dim_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t count_{0};
+  std::vector<float> data_;  ///< row-major count_ x dim_
+};
+
+/// IVF-Flat: k-means centroids partition the collection; queries probe the
+/// @p nprobe nearest lists only.  Approximate — the bench measures the
+/// recall-vs-latency tradeoff against BruteForceIndex.
+class IvfFlatIndex final : public VectorIndex {
+ public:
+  IvfFlatIndex(std::size_t dim, std::size_t nlist, std::size_t nprobe,
+               std::uint64_t seed = 17);
+
+  /// Runs k-means (Lloyd's, @p iters iterations) over @p sample rows to
+  /// place the centroids.  Must be called before add().
+  void train(gpu::Device* dev, const tensor::Tensor& sample, int iters = 10);
+
+  void add(const tensor::Tensor& vectors) override;
+  std::vector<std::vector<SearchHit>> search(
+      gpu::Device* dev, const tensor::Tensor& queries,
+      std::size_t k) const override;
+  std::size_t size() const override { return count_; }
+  std::size_t dim() const override { return dim_; }
+
+  bool trained() const { return trained_; }
+  std::size_t nlist() const { return nlist_; }
+  std::size_t nprobe() const { return nprobe_; }
+  void set_nprobe(std::size_t nprobe);
+
+ private:
+  std::size_t nearest_centroid(const float* vec) const;
+
+  std::size_t dim_;
+  std::size_t nlist_;
+  std::size_t nprobe_;
+  std::uint64_t seed_;
+  bool trained_{false};
+  std::size_t count_{0};
+  std::vector<float> centroids_;              ///< nlist_ x dim_
+  std::vector<std::vector<std::uint32_t>> list_ids_;
+  std::vector<std::vector<float>> list_vecs_;  ///< flattened rows per list
+};
+
+/// Recall@k of @p approx against ground-truth @p exact (fraction of exact
+/// ids recovered), averaged over queries.
+double recall_at_k(const std::vector<std::vector<SearchHit>>& exact,
+                   const std::vector<std::vector<SearchHit>>& approx);
+
+}  // namespace sagesim::rag

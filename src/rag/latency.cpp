@@ -1,0 +1,54 @@
+#include "rag/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sagesim::rag {
+
+void LatencyTracker::record(double seconds) {
+  if (seconds < 0.0)
+    throw std::invalid_argument("LatencyTracker: negative latency");
+  samples_.push_back(seconds);
+}
+
+double LatencyTracker::mean() const {
+  if (samples_.empty())
+    throw std::invalid_argument("LatencyTracker: no samples");
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double LatencyTracker::percentile(double p) const {
+  if (samples_.empty())
+    throw std::invalid_argument("LatencyTracker: no samples");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("LatencyTracker: percentile outside [0,100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double LatencyTracker::max() const { return percentile(100.0); }
+
+bool LatencyTracker::meets_slo(double quantile, double budget_s) const {
+  return percentile(quantile) <= budget_s;
+}
+
+std::string LatencyTracker::summary() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "n=" << count() << " mean=" << mean() * 1e3
+     << "ms p50=" << p50() * 1e3 << "ms p95=" << p95() * 1e3
+     << "ms p99=" << p99() * 1e3 << "ms";
+  return os.str();
+}
+
+}  // namespace sagesim::rag

@@ -1,0 +1,36 @@
+// Serving-latency accounting for the Week-14 "real-time inference" lab:
+// percentile tracking and a simple SLO check over simulated request times.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sagesim::rag {
+
+/// Collects per-request latencies and reports percentiles.
+class LatencyTracker {
+ public:
+  void record(double seconds);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Percentile in [0, 100] with linear interpolation; throws
+  /// std::invalid_argument when empty or p outside range.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+  double max() const;
+
+  /// True when the @p quantile-percentile latency meets @p budget_s.
+  bool meets_slo(double quantile, double budget_s) const;
+
+  /// "n=64 mean=1.2ms p50=1.1ms p95=2.0ms p99=2.4ms"
+  std::string summary() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace sagesim::rag

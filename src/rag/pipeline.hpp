@@ -1,0 +1,64 @@
+// End-to-end RAG pipeline: encode -> retrieve -> generate, with the
+// per-stage latency breakdown the Week-14 "real-time inference" lab
+// optimizes.  Latencies are simulated seconds from the device timeline
+// (retrieval kernels) plus analytic generator cost.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rag/corpus.hpp"
+#include "rag/encoder.hpp"
+#include "rag/generator.hpp"
+#include "rag/index.hpp"
+
+namespace sagesim::rag {
+
+struct RagAnswer {
+  std::string text;
+  std::vector<SearchHit> retrieved;
+  double encode_s{0.0};    ///< simulated query-encoding time
+  double retrieve_s{0.0};  ///< simulated retrieval time
+  double generate_s{0.0};  ///< simulated generation time
+  double total_s() const { return encode_s + retrieve_s + generate_s; }
+};
+
+struct RagConfig {
+  std::size_t top_k{4};
+  std::size_t embed_dim{256};
+  GeneratorConfig generator;
+};
+
+class RagPipeline {
+ public:
+  /// Builds the pipeline over @p corpus with the given index.  The index
+  /// must already be trained if it requires training; the pipeline fits the
+  /// encoder and generator and fills the index.  @p dev may be null for the
+  /// CPU baseline.
+  RagPipeline(const Corpus& corpus, std::unique_ptr<VectorIndex> index,
+              gpu::Device* dev, const RagConfig& config = {});
+
+  /// Answers one query.
+  RagAnswer answer(const std::string& query);
+
+  /// Answers a batch; retrieval is batched into one kernel sweep, which is
+  /// where the GPU throughput win comes from.
+  std::vector<RagAnswer> answer_batch(const std::vector<std::string>& queries);
+
+  const VectorIndex& index() const { return *index_; }
+  const TfIdfEncoder& encoder() const { return encoder_; }
+  gpu::Device* device() { return dev_; }
+
+ private:
+  double generator_cost_s(std::size_t tokens) const;
+
+  const Corpus& corpus_;
+  std::unique_ptr<VectorIndex> index_;
+  gpu::Device* dev_;
+  RagConfig config_;
+  TfIdfEncoder encoder_;
+  BigramGenerator generator_;
+};
+
+}  // namespace sagesim::rag

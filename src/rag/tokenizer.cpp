@@ -1,0 +1,47 @@
+#include "rag/tokenizer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace sagesim::rag {
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Vocabulary::Vocabulary() {
+  words_.push_back("<unk>");
+  ids_.emplace("<unk>", 0);
+}
+
+std::uint32_t Vocabulary::add(const std::string& word) {
+  auto [it, inserted] =
+      ids_.emplace(word, static_cast<std::uint32_t>(words_.size()));
+  if (inserted) words_.push_back(word);
+  return it->second;
+}
+
+std::uint32_t Vocabulary::id_of(const std::string& word) const {
+  auto it = ids_.find(word);
+  return it == ids_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocabulary::word_of(std::uint32_t id) const {
+  if (id >= words_.size())
+    throw std::out_of_range("Vocabulary::word_of: unknown id " +
+                            std::to_string(id));
+  return words_[id];
+}
+
+}  // namespace sagesim::rag

@@ -1,0 +1,37 @@
+// Word tokenizer and vocabulary for the RAG stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sagesim::rag {
+
+/// Lowercases and splits on non-alphanumeric characters; drops empty tokens.
+std::vector<std::string> tokenize(const std::string& text);
+
+/// Bidirectional word <-> id map.  Id 0 is reserved for <unk>.
+class Vocabulary {
+ public:
+  Vocabulary();
+
+  /// Returns the id for @p word, inserting it if new.
+  std::uint32_t add(const std::string& word);
+
+  /// Id for @p word, or 0 (<unk>) when absent.
+  std::uint32_t id_of(const std::string& word) const;
+
+  /// Word for @p id; throws std::out_of_range for unknown ids.
+  const std::string& word_of(std::uint32_t id) const;
+
+  std::size_t size() const { return words_.size(); }
+
+  static constexpr std::uint32_t kUnk = 0;
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> words_;
+};
+
+}  // namespace sagesim::rag

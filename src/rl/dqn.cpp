@@ -1,0 +1,128 @@
+#include "rl/dqn.hpp"
+
+#include <algorithm>
+
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+
+namespace sagesim::rl {
+
+namespace {
+
+void build_mlp(nn::Sequential& model, std::size_t in, std::size_t hidden,
+               std::size_t out, stats::Rng& rng) {
+  model.emplace<nn::Dense>(in, hidden, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(hidden, hidden, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(hidden, out, rng);
+}
+
+tensor::Tensor batch_of(const std::vector<const Transition*>& batch,
+                        bool next_state, std::size_t obs_size) {
+  tensor::Tensor x(batch.size(), obs_size);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& src = next_state ? batch[i]->next_state : batch[i]->state;
+    std::copy(src.begin(), src.end(), x.data() + i * obs_size);
+  }
+  return x;
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(Environment& env, const DqnConfig& config, gpu::Device* dev)
+    : env_(env),
+      config_(config),
+      dev_(dev),
+      rng_(config.seed),
+      replay_(config.replay_capacity),
+      epsilon_(config.epsilon_start) {
+  build_mlp(online_, env.observation_size(), config.hidden,
+            env.action_count(), rng_);
+  build_mlp(target_, env.observation_size(), config.hidden,
+            env.action_count(), rng_);
+  target_.copy_params_from(online_);
+  optimizer_ = std::make_unique<nn::Adam>(config.lr);
+}
+
+int DqnAgent::greedy_action(const std::vector<float>& observation) {
+  tensor::Tensor x(1, observation.size());
+  std::copy(observation.begin(), observation.end(), x.data());
+  const tensor::Tensor q = online_.forward(dev_, x, /*train=*/false);
+  return static_cast<int>(q.argmax_row(0));
+}
+
+double DqnAgent::train_step() {
+  const auto batch = replay_.sample(config_.batch_size, rng_);
+  const std::size_t obs = env_.observation_size();
+
+  // TD targets from the target network: r + gamma * max_a' Q_target(s', a').
+  const tensor::Tensor next_q =
+      target_.forward(dev_, batch_of(batch, true, obs), /*train=*/false);
+  std::vector<nn::MseTarget> targets;
+  targets.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    float best_next = 0.0f;
+    if (!batch[i]->done) {
+      best_next = next_q.at(i, next_q.argmax_row(i));
+    }
+    targets.push_back({i, static_cast<std::size_t>(batch[i]->action),
+                       batch[i]->reward + config_.gamma * best_next});
+  }
+
+  online_.zero_grad();
+  const tensor::Tensor q =
+      online_.forward(dev_, batch_of(batch, false, obs), /*train=*/true);
+  auto loss = nn::masked_mse(dev_, q, targets);
+  online_.backward(dev_, loss.dlogits);
+  auto params = online_.params();
+  optimizer_->step(dev_, params);
+
+  if (++steps_since_sync_ >= config_.target_sync_every) {
+    target_.copy_params_from(online_);
+    steps_since_sync_ = 0;
+  }
+  return loss.loss;
+}
+
+EpisodeStats DqnAgent::run_episode() {
+  EpisodeStats stats;
+  stats.epsilon = epsilon_;
+  std::vector<float> obs = env_.reset(rng_);
+
+  double loss_sum = 0.0;
+  int loss_count = 0;
+  bool done = false;
+  while (!done) {
+    int action;
+    if (rng_.bernoulli(static_cast<double>(epsilon_))) {
+      action = static_cast<int>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(env_.action_count()) - 1));
+    } else {
+      action = greedy_action(obs);
+    }
+    StepResult r = env_.step(action);
+    replay_.push({obs, action, r.reward, r.observation, r.done});
+    obs = r.observation;
+    stats.total_reward += r.reward;
+    ++stats.steps;
+    done = r.done;
+
+    if (replay_.size() >= config_.warmup_transitions) {
+      loss_sum += train_step();
+      ++loss_count;
+    }
+  }
+  if (loss_count > 0) stats.mean_loss = loss_sum / loss_count;
+  epsilon_ = std::max(config_.epsilon_end, epsilon_ * config_.epsilon_decay);
+  return stats;
+}
+
+std::vector<EpisodeStats> DqnAgent::train(int episodes) {
+  std::vector<EpisodeStats> out;
+  out.reserve(static_cast<std::size_t>(episodes));
+  for (int e = 0; e < episodes; ++e) out.push_back(run_episode());
+  return out;
+}
+
+}  // namespace sagesim::rl

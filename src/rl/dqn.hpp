@@ -1,0 +1,63 @@
+// Deep Q-Network agent (Mnih et al. 2015): epsilon-greedy policy over an
+// MLP Q-function, experience replay, and a periodically-synced target
+// network — the Week-9 "DQN agent training using CUDA-enabled PyTorch" lab.
+#pragma once
+
+#include <memory>
+
+#include "gpusim/device.hpp"
+#include "nn/optim.hpp"
+#include "nn/sequential.hpp"
+#include "rl/env.hpp"
+#include "rl/replay.hpp"
+
+namespace sagesim::rl {
+
+struct DqnConfig {
+  std::size_t hidden{64};
+  float gamma{0.99f};
+  float lr{1e-3f};
+  float epsilon_start{1.0f};
+  float epsilon_end{0.05f};
+  float epsilon_decay{0.995f};  ///< multiplicative per episode
+  std::size_t replay_capacity{10000};
+  std::size_t batch_size{64};
+  std::size_t warmup_transitions{200};
+  int target_sync_every{200};   ///< gradient steps between target syncs
+  std::uint64_t seed{11};
+};
+
+class DqnAgent {
+ public:
+  /// Builds online and target networks sized to @p env.  @p dev may be null
+  /// (host-only baseline) or a simulated GPU.
+  DqnAgent(Environment& env, const DqnConfig& config, gpu::Device* dev);
+
+  /// Greedy action from the online network.
+  int greedy_action(const std::vector<float>& observation);
+
+  /// Runs one episode with epsilon-greedy exploration + replay training.
+  EpisodeStats run_episode();
+
+  /// Trains for @p episodes; returns per-episode stats.
+  std::vector<EpisodeStats> train(int episodes);
+
+  float epsilon() const { return epsilon_; }
+  const ReplayBuffer& replay() const { return replay_; }
+
+ private:
+  double train_step();
+
+  Environment& env_;
+  DqnConfig config_;
+  gpu::Device* dev_;
+  stats::Rng rng_;
+  nn::Sequential online_;
+  nn::Sequential target_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  ReplayBuffer replay_;
+  float epsilon_;
+  int steps_since_sync_{0};
+};
+
+}  // namespace sagesim::rl

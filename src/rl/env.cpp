@@ -1,0 +1,109 @@
+#include "rl/env.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sagesim::rl {
+
+namespace {
+// CartPole physical constants (OpenAI Gym's CartPole-v1).
+constexpr double kGravity = 9.8;
+constexpr double kCartMass = 1.0;
+constexpr double kPoleMass = 0.1;
+constexpr double kTotalMass = kCartMass + kPoleMass;
+constexpr double kPoleHalfLength = 0.5;
+constexpr double kForceMag = 10.0;
+constexpr double kTau = 0.02;  // seconds per step
+constexpr double kThetaLimit = 12.0 * 2.0 * 3.14159265358979323846 / 360.0;
+constexpr double kXLimit = 2.4;
+constexpr int kMaxSteps = 500;
+}  // namespace
+
+std::vector<float> CartPole::reset(stats::Rng& rng) {
+  x_ = rng.uniform(-0.05, 0.05);
+  x_dot_ = rng.uniform(-0.05, 0.05);
+  theta_ = rng.uniform(-0.05, 0.05);
+  theta_dot_ = rng.uniform(-0.05, 0.05);
+  steps_ = 0;
+  done_ = false;
+  return observe();
+}
+
+std::vector<float> CartPole::observe() const {
+  return {static_cast<float>(x_), static_cast<float>(x_dot_),
+          static_cast<float>(theta_), static_cast<float>(theta_dot_)};
+}
+
+StepResult CartPole::step(int action) {
+  if (done_) throw std::logic_error("CartPole: step after episode end");
+  if (action != 0 && action != 1)
+    throw std::invalid_argument("CartPole: action must be 0 or 1");
+
+  const double force = action == 1 ? kForceMag : -kForceMag;
+  const double cos_t = std::cos(theta_);
+  const double sin_t = std::sin(theta_);
+  const double pml = kPoleMass * kPoleHalfLength;
+  const double temp =
+      (force + pml * theta_dot_ * theta_dot_ * sin_t) / kTotalMass;
+  const double theta_acc =
+      (kGravity * sin_t - cos_t * temp) /
+      (kPoleHalfLength * (4.0 / 3.0 - kPoleMass * cos_t * cos_t / kTotalMass));
+  const double x_acc = temp - pml * theta_acc * cos_t / kTotalMass;
+
+  // Semi-implicit Euler, like Gym.
+  x_ += kTau * x_dot_;
+  x_dot_ += kTau * x_acc;
+  theta_ += kTau * theta_dot_;
+  theta_dot_ += kTau * theta_acc;
+  ++steps_;
+
+  StepResult r;
+  r.reward = 1.0f;
+  done_ = std::fabs(x_) > kXLimit || std::fabs(theta_) > kThetaLimit ||
+          steps_ >= kMaxSteps;
+  r.done = done_;
+  r.observation = observe();
+  return r;
+}
+
+GridWorld::GridWorld(std::size_t n) : n_(n) {
+  if (n < 2) throw std::invalid_argument("GridWorld: n must be >= 2");
+}
+
+std::vector<float> GridWorld::reset(stats::Rng& /*rng*/) {
+  row_ = 0;
+  col_ = 0;
+  steps_ = 0;
+  done_ = false;
+  return observe();
+}
+
+std::vector<float> GridWorld::observe() const {
+  std::vector<float> obs(n_ * n_, 0.0f);
+  obs[row_ * n_ + col_] = 1.0f;
+  return obs;
+}
+
+StepResult GridWorld::step(int action) {
+  if (done_) throw std::logic_error("GridWorld: step after episode end");
+  switch (action) {
+    case 0: if (row_ > 0) --row_; break;       // up
+    case 1: if (row_ + 1 < n_) ++row_; break;  // down
+    case 2: if (col_ > 0) --col_; break;       // left
+    case 3: if (col_ + 1 < n_) ++col_; break;  // right
+    default:
+      throw std::invalid_argument("GridWorld: action must be in [0, 3]");
+  }
+  ++steps_;
+
+  StepResult r;
+  const bool at_goal = row_ == n_ - 1 && col_ == n_ - 1;
+  const bool timed_out = steps_ >= static_cast<int>(4 * n_ * n_);
+  r.reward = at_goal ? 1.0f : -0.01f;
+  done_ = at_goal || timed_out;
+  r.done = done_;
+  r.observation = observe();
+  return r;
+}
+
+}  // namespace sagesim::rl

@@ -1,0 +1,80 @@
+// Reinforcement-learning environments for the Week-9/11 labs: a classic
+// CartPole physics simulation and a deterministic GridWorld.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace sagesim::rl {
+
+struct StepResult {
+  std::vector<float> observation;
+  float reward{0.0f};
+  bool done{false};
+};
+
+/// Per-episode training statistics shared by all agents.
+struct EpisodeStats {
+  double total_reward{0.0};
+  int steps{0};
+  double mean_loss{0.0};  ///< 0 for agents without a loss (tabular)
+  float epsilon{0.0f};
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  virtual std::size_t observation_size() const = 0;
+  virtual std::size_t action_count() const = 0;
+
+  /// Resets the episode; returns the initial observation.
+  virtual std::vector<float> reset(stats::Rng& rng) = 0;
+
+  /// Applies @p action; throws std::invalid_argument for bad actions and
+  /// std::logic_error when stepping a finished episode.
+  virtual StepResult step(int action) = 0;
+};
+
+/// CartPole-v1 dynamics (Barto, Sutton & Anderson 1983; OpenAI Gym
+/// constants): balance a pole on a cart, +1 reward per step, episode ends
+/// when |x| > 2.4, |theta| > 12 degrees, or after 500 steps.
+class CartPole final : public Environment {
+ public:
+  std::size_t observation_size() const override { return 4; }
+  std::size_t action_count() const override { return 2; }
+  std::vector<float> reset(stats::Rng& rng) override;
+  StepResult step(int action) override;
+
+  int steps_taken() const { return steps_; }
+
+ private:
+  std::vector<float> observe() const;
+  double x_{0}, x_dot_{0}, theta_{0}, theta_dot_{0};
+  int steps_{0};
+  bool done_{true};
+};
+
+/// n x n GridWorld: start at (0,0), goal at (n-1,n-1), -0.01 per step,
+/// +1 at the goal, episode cap 4*n*n steps.  Observation is the one-hot
+/// cell encoding; actions are up/down/left/right (walls are no-ops).
+class GridWorld final : public Environment {
+ public:
+  explicit GridWorld(std::size_t n);
+
+  std::size_t observation_size() const override { return n_ * n_; }
+  std::size_t action_count() const override { return 4; }
+  std::vector<float> reset(stats::Rng& rng) override;
+  StepResult step(int action) override;
+
+ private:
+  std::vector<float> observe() const;
+  std::size_t n_;
+  std::size_t row_{0}, col_{0};
+  int steps_{0};
+  bool done_{true};
+};
+
+}  // namespace sagesim::rl

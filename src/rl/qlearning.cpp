@@ -1,0 +1,94 @@
+#include "rl/qlearning.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sagesim::rl {
+
+QTableAgent::QTableAgent(Environment& env, const QLearningConfig& config,
+                         gpu::Device* dev)
+    : env_(env),
+      config_(config),
+      dev_(dev),
+      rng_(config.seed),
+      states_(env.observation_size()),
+      actions_(env.action_count()),
+      q_(states_ * actions_, 0.0),
+      epsilon_(config.epsilon_start) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0)
+    throw std::invalid_argument("QTableAgent: alpha must be in (0, 1]");
+}
+
+std::size_t QTableAgent::state_of(const std::vector<float>& observation) {
+  return static_cast<std::size_t>(
+      std::max_element(observation.begin(), observation.end()) -
+      observation.begin());
+}
+
+int QTableAgent::greedy_action(std::size_t state) const {
+  if (state >= states_)
+    throw std::out_of_range("QTableAgent: state out of range");
+  const double* row = q_.data() + state * actions_;
+  return static_cast<int>(std::max_element(row, row + actions_) - row);
+}
+
+double QTableAgent::q_value(std::size_t state, int action) const {
+  if (state >= states_ || action < 0 ||
+      static_cast<std::size_t>(action) >= actions_)
+    throw std::out_of_range("QTableAgent: q_value index out of range");
+  return q_[state * actions_ + static_cast<std::size_t>(action)];
+}
+
+void QTableAgent::update(std::size_t s, int a, float reward, std::size_t s2,
+                         bool done) {
+  const double* next_row = q_.data() + s2 * actions_;
+  const double best_next =
+      done ? 0.0 : *std::max_element(next_row, next_row + actions_);
+  const double target = static_cast<double>(reward) + config_.gamma * best_next;
+  double* cell = &q_[s * actions_ + static_cast<std::size_t>(a)];
+
+  if (dev_ != nullptr) {
+    // The Numba-style vectorized update: one tiny kernel per step.
+    dev_->launch_linear("q_update", 1, 32, [&](const gpu::ThreadCtx& ctx) {
+      *cell += config_.alpha * (target - *cell);
+      ctx.add_flops(3.0);
+      ctx.add_bytes(2.0 * sizeof(double));
+    });
+  } else {
+    *cell += config_.alpha * (target - *cell);
+  }
+}
+
+EpisodeStats QTableAgent::run_episode() {
+  EpisodeStats stats;
+  stats.epsilon = epsilon_;
+  std::size_t s = state_of(env_.reset(rng_));
+  bool done = false;
+  while (!done) {
+    int a;
+    if (rng_.bernoulli(static_cast<double>(epsilon_))) {
+      a = static_cast<int>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(actions_) - 1));
+    } else {
+      a = greedy_action(s);
+    }
+    const StepResult r = env_.step(a);
+    const std::size_t s2 = state_of(r.observation);
+    update(s, a, r.reward, s2, r.done);
+    s = s2;
+    stats.total_reward += r.reward;
+    ++stats.steps;
+    done = r.done;
+  }
+  epsilon_ = std::max(config_.epsilon_end, epsilon_ * config_.epsilon_decay);
+  return stats;
+}
+
+std::vector<EpisodeStats> QTableAgent::train(int episodes) {
+  std::vector<EpisodeStats> out;
+  out.reserve(static_cast<std::size_t>(episodes));
+  for (int e = 0; e < episodes; ++e) out.push_back(run_episode());
+  return out;
+}
+
+}  // namespace sagesim::rl

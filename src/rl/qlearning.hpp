@@ -1,0 +1,58 @@
+// Tabular Q-learning (Watkins 1989) — the Week-11 "simple reinforcement
+// agent using CuPy/Numba" lab: the Q-table update is expressed as a small
+// device kernel, exactly how a Numba student would vectorize it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "rl/env.hpp"
+
+namespace sagesim::rl {
+
+struct QLearningConfig {
+  double alpha{0.2};            ///< learning rate
+  double gamma{0.98};
+  float epsilon_start{1.0f};
+  float epsilon_end{0.05f};
+  float epsilon_decay{0.97f};   ///< multiplicative per episode
+  std::uint64_t seed{31};
+};
+
+/// Tabular agent for environments with one-hot observations (GridWorld):
+/// the state id is the argmax of the observation vector.
+class QTableAgent {
+ public:
+  /// @param dev may be null (pure host) — the Q-update runs as a device
+  /// kernel when present.
+  QTableAgent(Environment& env, const QLearningConfig& config,
+              gpu::Device* dev);
+
+  /// Greedy action for @p state.
+  int greedy_action(std::size_t state) const;
+
+  /// Runs one epsilon-greedy episode with online Q updates.
+  EpisodeStats run_episode();
+
+  std::vector<EpisodeStats> train(int episodes);
+
+  float epsilon() const { return epsilon_; }
+  double q_value(std::size_t state, int action) const;
+  std::size_t state_count() const { return states_; }
+
+ private:
+  static std::size_t state_of(const std::vector<float>& observation);
+  void update(std::size_t s, int a, float reward, std::size_t s2, bool done);
+
+  Environment& env_;
+  QLearningConfig config_;
+  gpu::Device* dev_;
+  stats::Rng rng_;
+  std::size_t states_;
+  std::size_t actions_;
+  std::vector<double> q_;  ///< states_ x actions_, row-major
+  float epsilon_;
+};
+
+}  // namespace sagesim::rl

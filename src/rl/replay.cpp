@@ -1,0 +1,38 @@
+#include "rl/replay.hpp"
+
+#include <stdexcept>
+
+namespace sagesim::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("ReplayBuffer: capacity must be > 0");
+  buffer_.reserve(capacity);
+}
+
+void ReplayBuffer::push(Transition t) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(t));
+  } else {
+    buffer_[next_] = std::move(t);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t count,
+                                                    stats::Rng& rng) const {
+  if (buffer_.empty())
+    throw std::invalid_argument("ReplayBuffer::sample: empty buffer");
+  if (count == 0)
+    throw std::invalid_argument("ReplayBuffer::sample: count must be > 0");
+  std::vector<const Transition*> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(buffer_.size()) - 1));
+    out.push_back(&buffer_[idx]);
+  }
+  return out;
+}
+
+}  // namespace sagesim::rl

@@ -1,0 +1,40 @@
+// Uniform experience-replay buffer (Mnih et al. 2015).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace sagesim::rl {
+
+struct Transition {
+  std::vector<float> state;
+  int action{0};
+  float reward{0.0f};
+  std::vector<float> next_state;
+  bool done{false};
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  /// Adds a transition, evicting the oldest once full (ring buffer).
+  void push(Transition t);
+
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Samples @p count transitions uniformly with replacement.  Throws
+  /// std::invalid_argument when the buffer is empty or count == 0.
+  std::vector<const Transition*> sample(std::size_t count,
+                                        stats::Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_{0};
+  std::vector<Transition> buffer_;
+};
+
+}  // namespace sagesim::rl

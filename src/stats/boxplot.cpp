@@ -1,0 +1,59 @@
+#include "stats/boxplot.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace sagesim::stats {
+
+BoxplotData boxplot(std::span<const double> x) {
+  if (x.size() < 2) throw std::invalid_argument("boxplot: need n >= 2");
+  std::vector<double> s(x.begin(), x.end());
+  std::sort(s.begin(), s.end());
+
+  BoxplotData b;
+  b.q1 = quantile(s, 0.25);
+  b.median = quantile(s, 0.5);
+  b.q3 = quantile(s, 0.75);
+  b.iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * b.iqr;
+  const double hi_fence = b.q3 + 1.5 * b.iqr;
+
+  b.whisker_low = b.q1;
+  b.whisker_high = b.q3;
+  for (double v : s) {
+    if (v >= lo_fence) {
+      b.whisker_low = v;
+      break;
+    }
+  }
+  for (auto it = s.rbegin(); it != s.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_high = *it;
+      break;
+    }
+  }
+  for (double v : s)
+    if (v < lo_fence || v > hi_fence) b.outliers.push_back(v);
+  return b;
+}
+
+std::string to_text(const BoxplotData& b) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << '[' << b.whisker_low << " |-- " << b.q1 << " [" << b.median << "] "
+     << b.q3 << " --| " << b.whisker_high << "]  outliers: "
+     << b.outliers.size();
+  if (!b.outliers.empty()) {
+    os << " {";
+    for (std::size_t i = 0; i < b.outliers.size(); ++i)
+      os << (i ? ", " : "") << b.outliers[i];
+    os << '}';
+  }
+  return os.str();
+}
+
+}  // namespace sagesim::stats

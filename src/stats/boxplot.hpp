@@ -1,0 +1,26 @@
+// Boxplot data — Fig. 9 of the paper (box + whiskers + outliers).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sagesim::stats {
+
+struct BoxplotData {
+  double q1{0.0};
+  double median{0.0};
+  double q3{0.0};
+  double iqr{0.0};
+  double whisker_low{0.0};   ///< smallest value >= q1 - 1.5*iqr
+  double whisker_high{0.0};  ///< largest value <= q3 + 1.5*iqr
+  std::vector<double> outliers;  ///< values beyond the whiskers, ascending
+};
+
+/// Tukey boxplot statistics for @p x.  Requires n >= 2.
+BoxplotData boxplot(std::span<const double> x);
+
+/// Renders a one-line summary ("[low |-- q1 [med] q3 --| high] outliers: k").
+std::string to_text(const BoxplotData& b);
+
+}  // namespace sagesim::stats

@@ -1,0 +1,118 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sagesim::stats {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+double mean(std::span<const double> x) {
+  require(!x.empty(), "mean: empty input");
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double sample_variance(std::span<const double> x) {
+  require(x.size() >= 2, "sample_variance: need n >= 2");
+  const double m = mean(x);
+  double ss = 0.0;
+  for (double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size() - 1);
+}
+
+double sample_sd(std::span<const double> x) {
+  return std::sqrt(sample_variance(x));
+}
+
+double population_variance(std::span<const double> x) {
+  require(!x.empty(), "population_variance: empty input");
+  const double m = mean(x);
+  double ss = 0.0;
+  for (double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size());
+}
+
+double min(std::span<const double> x) {
+  require(!x.empty(), "min: empty input");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max(std::span<const double> x) {
+  require(!x.empty(), "max: empty input");
+  return *std::max_element(x.begin(), x.end());
+}
+
+double quantile(std::span<const double> x, double q) {
+  require(!x.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q outside [0, 1]");
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> x) { return quantile(x, 0.5); }
+
+double skewness(std::span<const double> x) {
+  require(x.size() >= 3, "skewness: need n >= 3");
+  const double n = static_cast<double>(x.size());
+  const double m = mean(x);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  if (m2 == 0.0) return 0.0;
+  const double g1 = m3 / std::pow(m2, 1.5);
+  return g1 * std::sqrt(n * (n - 1.0)) / (n - 2.0);
+}
+
+double excess_kurtosis(std::span<const double> x) {
+  require(x.size() >= 4, "excess_kurtosis: need n >= 4");
+  const double n = static_cast<double>(x.size());
+  const double m = mean(x);
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m4 /= n;
+  if (m2 == 0.0) return 0.0;
+  const double g2 = m4 / (m2 * m2) - 3.0;
+  return ((n + 1.0) * g2 + 6.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0));
+}
+
+Descriptives describe(std::span<const double> x) {
+  require(x.size() >= 2, "describe: need n >= 2");
+  Descriptives d;
+  d.mean = mean(x);
+  d.sd = sample_sd(x);
+  d.min = min(x);
+  d.q1 = quantile(x, 0.25);
+  d.median = median(x);
+  d.q3 = quantile(x, 0.75);
+  d.max = max(x);
+  d.count = x.size();
+  return d;
+}
+
+}  // namespace sagesim::stats

@@ -1,0 +1,52 @@
+// Descriptive statistics matching the paper's Table IV columns
+// (mean, sd, min, Q1, median, Q3, max, count) plus higher moments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sagesim::stats {
+
+double mean(std::span<const double> x);
+
+/// Sample variance (n-1 denominator).  Requires n >= 2.
+double sample_variance(std::span<const double> x);
+
+/// Sample standard deviation (n-1 denominator).  Requires n >= 2.
+double sample_sd(std::span<const double> x);
+
+/// Population variance (n denominator).  Requires n >= 1.
+double population_variance(std::span<const double> x);
+
+double min(std::span<const double> x);
+double max(std::span<const double> x);
+
+/// Quantile with linear interpolation between order statistics
+/// (numpy/R type-7).  @p q in [0, 1]; requires non-empty input.
+double quantile(std::span<const double> x, double q);
+
+double median(std::span<const double> x);
+
+/// Adjusted Fisher-Pearson sample skewness (g1 with small-sample
+/// correction); requires n >= 3.
+double skewness(std::span<const double> x);
+
+/// Excess kurtosis (sample-corrected); requires n >= 4.
+double excess_kurtosis(std::span<const double> x);
+
+/// All Table-IV columns in one pass.
+struct Descriptives {
+  double mean{0.0};
+  double sd{0.0};
+  double min{0.0};
+  double q1{0.0};
+  double median{0.0};
+  double q3{0.0};
+  double max{0.0};
+  std::size_t count{0};
+};
+
+/// Computes the full descriptive row.  Requires n >= 2.
+Descriptives describe(std::span<const double> x);
+
+}  // namespace sagesim::stats

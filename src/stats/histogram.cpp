@@ -1,0 +1,76 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace sagesim::stats {
+
+double Histogram::density(std::size_t i) const {
+  if (total == 0) return 0.0;
+  const double width = edges[i + 1] - edges[i];
+  return static_cast<double>(counts[i]) /
+         (static_cast<double>(total) * width);
+}
+
+Histogram histogram_fixed(std::span<const double> x, double lo, double hi,
+                          std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("histogram_fixed: bins == 0");
+  if (!(hi > lo)) throw std::invalid_argument("histogram_fixed: hi <= lo");
+
+  Histogram h;
+  h.edges.resize(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i)
+    h.edges[i] = lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(bins);
+  h.counts.assign(bins, 0);
+  for (double v : x) {
+    const double t = (v - lo) / (hi - lo);
+    auto bin = static_cast<long long>(std::floor(t * static_cast<double>(bins)));
+    bin = std::clamp<long long>(bin, 0, static_cast<long long>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(bin)];
+  }
+  h.total = x.size();
+  return h;
+}
+
+Histogram histogram_auto(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("histogram_auto: empty input");
+  const double lo = min(x);
+  const double hi = max(x);
+  if (lo == hi) return histogram_fixed(x, lo - 0.5, hi + 0.5, 1);
+
+  const double n = static_cast<double>(x.size());
+  const double iqr = quantile(x, 0.75) - quantile(x, 0.25);
+  double bin_width;
+  if (iqr > 0.0) {
+    bin_width = 2.0 * iqr / std::cbrt(n);  // Freedman–Diaconis
+  } else {
+    bin_width = (hi - lo) / (std::ceil(std::log2(n)) + 1.0);  // Sturges
+  }
+  const auto bins = static_cast<std::size_t>(
+      std::max(1.0, std::ceil((hi - lo) / bin_width)));
+  return histogram_fixed(x, lo, hi, bins);
+}
+
+std::string to_text(const Histogram& h, std::size_t width) {
+  std::size_t peak = 1;
+  for (std::size_t c : h.counts) peak = std::max(peak, c);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(h.counts[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << std::setw(9) << h.edges[i] << " - " << std::setw(9)
+       << h.edges[i + 1] << " | " << std::string(bar, '#') << ' '
+       << h.counts[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sagesim::stats

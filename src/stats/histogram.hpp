@@ -1,0 +1,37 @@
+// Histogram binning — the data series behind the paper's Fig. 6.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sagesim::stats {
+
+struct Histogram {
+  std::vector<double> edges;        ///< bin_count + 1 ascending edges
+  std::vector<std::size_t> counts;  ///< bin_count counts
+  std::size_t total{0};
+
+  std::size_t bin_count() const { return counts.size(); }
+  /// Midpoint of bin @p i.
+  double center(std::size_t i) const {
+    return 0.5 * (edges[i] + edges[i + 1]);
+  }
+  /// Density of bin @p i (count / (total * width)).
+  double density(std::size_t i) const;
+};
+
+/// Fixed-bin histogram over [lo, hi]; values outside are clamped into the
+/// first/last bin.  Requires bins >= 1 and hi > lo.
+Histogram histogram_fixed(std::span<const double> x, double lo, double hi,
+                          std::size_t bins);
+
+/// Automatic binning over [min, max] using the Freedman–Diaconis rule with a
+/// Sturges fallback (degenerate IQR), like numpy's "auto".
+Histogram histogram_auto(std::span<const double> x);
+
+/// Renders a unicode-free ASCII bar chart of @p h, one row per bin.
+std::string to_text(const Histogram& h, std::size_t width = 50);
+
+}  // namespace sagesim::stats

@@ -1,0 +1,99 @@
+#include "stats/likert.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sagesim::stats {
+
+const char* to_string(Likert v) {
+  switch (v) {
+    case Likert::kStronglyDisagree: return "Strongly Disagree";
+    case Likert::kDisagree: return "Disagree";
+    case Likert::kNeutral: return "Neutral";
+    case Likert::kAgree: return "Agree";
+    case Likert::kStronglyAgree: return "Strongly Agree";
+  }
+  return "?";
+}
+
+const char* to_string(Frequency v) {
+  switch (v) {
+    case Frequency::kNever: return "Never";
+    case Frequency::kSeldom: return "Seldom";
+    case Frequency::kSometimes: return "Sometimes";
+    case Frequency::kOften: return "Often";
+    case Frequency::kAlways: return "Always";
+  }
+  return "?";
+}
+
+double LikertSummary::percent(int v) const {
+  if (v < 1 || v > 5)
+    throw std::invalid_argument("LikertSummary::percent: value outside [1,5]");
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(counts[static_cast<std::size_t>(v - 1)]) /
+         static_cast<double>(total);
+}
+
+double LikertSummary::mean_score() const {
+  if (total == 0) return 0.0;
+  double sum = 0.0;
+  for (int v = 1; v <= 5; ++v)
+    sum += static_cast<double>(v) *
+           static_cast<double>(counts[static_cast<std::size_t>(v - 1)]);
+  return sum / static_cast<double>(total);
+}
+
+double LikertSummary::top2_fraction() const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[3] + counts[4]) /
+         static_cast<double>(total);
+}
+
+double LikertSummary::bottom2_fraction() const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[0] + counts[1]) /
+         static_cast<double>(total);
+}
+
+int LikertSummary::mode() const {
+  int best = 1;
+  for (int v = 2; v <= 5; ++v)
+    if (counts[static_cast<std::size_t>(v - 1)] >
+        counts[static_cast<std::size_t>(best - 1)])
+      best = v;
+  return best;
+}
+
+LikertSummary summarize_likert(std::span<const int> responses) {
+  LikertSummary s;
+  for (int r : responses) {
+    if (r < 1 || r > 5)
+      throw std::invalid_argument(
+          "summarize_likert: response outside [1, 5]: " + std::to_string(r));
+    ++s.counts[static_cast<std::size_t>(r - 1)];
+    ++s.total;
+  }
+  return s;
+}
+
+std::string to_text(const LikertSummary& s) {
+  std::ostringstream os;
+  static const char* kAbbrev[] = {"SD", "D", "N", "A", "SA"};
+  for (int v = 0; v < 5; ++v)
+    os << kAbbrev[v] << ':' << s.counts[static_cast<std::size_t>(v)] << ' ';
+  os << "(mean " << std::fixed << std::setprecision(2) << s.mean_score()
+     << ", n=" << s.total << ')';
+  return os.str();
+}
+
+std::vector<int> responses_from_counts(
+    const std::array<std::size_t, 5>& counts) {
+  std::vector<int> out;
+  for (int v = 1; v <= 5; ++v)
+    out.insert(out.end(), counts[static_cast<std::size_t>(v - 1)], v);
+  return out;
+}
+
+}  // namespace sagesim::stats

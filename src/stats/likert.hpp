@@ -1,0 +1,63 @@
+// Five-point Likert-scale aggregation — the machinery behind the paper's
+// survey figures (Figs. 3, 4, 10, 11).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sagesim::stats {
+
+/// Agreement scale used by the anonymous surveys (Fig. 4).
+enum class Likert : int {
+  kStronglyDisagree = 1,
+  kDisagree = 2,
+  kNeutral = 3,
+  kAgree = 4,
+  kStronglyAgree = 5,
+};
+
+/// Frequency scale used by the standardized course evaluation (Fig. 3).
+enum class Frequency : int {
+  kNever = 1,
+  kSeldom = 2,
+  kSometimes = 3,
+  kOften = 4,
+  kAlways = 5,
+};
+
+const char* to_string(Likert v);
+const char* to_string(Frequency v);
+
+/// Aggregated responses to one survey question.
+struct LikertSummary {
+  std::array<std::size_t, 5> counts{};  ///< index 0 == scale value 1
+  std::size_t total{0};
+
+  /// Percentage of responses at scale value @p v (1-based).
+  double percent(int v) const;
+  /// Mean scale score in [1, 5]; 0 when empty.
+  double mean_score() const;
+  /// Fraction agreeing or strongly agreeing (top-2 box).
+  double top2_fraction() const;
+  /// Fraction disagreeing or strongly disagreeing (bottom-2 box).
+  double bottom2_fraction() const;
+  /// Scale value with the most responses (ties: lowest value wins).
+  int mode() const;
+};
+
+/// Tallies integer responses in [1, 5]; throws std::invalid_argument for
+/// out-of-range values.
+LikertSummary summarize_likert(std::span<const int> responses);
+
+/// Renders "SD:2 D:2 N:1 A:2 SA:2 (mean 3.00, n=9)".
+std::string to_text(const LikertSummary& s);
+
+/// Builds a response vector from per-level counts
+/// {strongly-disagree, ..., strongly-agree} — handy for reconstructing the
+/// paper's reported distributions.
+std::vector<int> responses_from_counts(const std::array<std::size_t, 5>& counts);
+
+}  // namespace sagesim::stats

@@ -1,0 +1,246 @@
+#include "stats/nonparametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/dist.hpp"
+#include "stats/rank.hpp"
+
+namespace sagesim::stats {
+
+KruskalWallisResult kruskal_wallis(
+    std::span<const std::span<const double>> groups) {
+  const std::size_t k = groups.size();
+  if (k < 2)
+    throw std::invalid_argument("kruskal_wallis: need at least 2 groups");
+  std::vector<double> pooled;
+  std::vector<std::size_t> sizes;
+  for (const auto& g : groups) {
+    if (g.empty())
+      throw std::invalid_argument("kruskal_wallis: empty group");
+    pooled.insert(pooled.end(), g.begin(), g.end());
+    sizes.push_back(g.size());
+  }
+  const double n = static_cast<double>(pooled.size());
+  if (pooled.size() < 3)
+    throw std::invalid_argument("kruskal_wallis: need n >= 3 overall");
+
+  const auto ranks = rankdata(pooled);
+  double h = 0.0;
+  std::size_t offset = 0;
+  for (std::size_t g = 0; g < k; ++g) {
+    double rank_sum = 0.0;
+    for (std::size_t i = 0; i < sizes[g]; ++i) rank_sum += ranks[offset + i];
+    h += rank_sum * rank_sum / static_cast<double>(sizes[g]);
+    offset += sizes[g];
+  }
+  h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+  // Tie correction.
+  const double ties = tie_correction(pooled);
+  const double correction = 1.0 - ties / (n * n * n - n);
+  if (correction <= 0.0)
+    throw std::invalid_argument("kruskal_wallis: all values identical");
+  h /= correction;
+
+  KruskalWallisResult r;
+  r.h = h;
+  r.df = static_cast<double>(k - 1);
+  r.p_value = 1.0 - chi2_cdf(h, r.df);
+  return r;
+}
+
+WilcoxonResult wilcoxon_signed_rank(std::span<const double> before,
+                                    std::span<const double> after,
+                                    Alternative alt) {
+  if (before.size() != after.size())
+    throw std::invalid_argument("wilcoxon: paired samples differ in length");
+
+  std::vector<double> diffs;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double d = after[i] - before[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  WilcoxonResult r;
+  r.n_used = diffs.size();
+  if (r.n_used < 6)
+    throw std::invalid_argument(
+        "wilcoxon: need >= 6 non-zero differences for the normal "
+        "approximation");
+
+  std::vector<double> abs_diffs;
+  abs_diffs.reserve(diffs.size());
+  for (double d : diffs) abs_diffs.push_back(std::fabs(d));
+  const auto ranks = rankdata(abs_diffs);
+
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    if (diffs[i] > 0.0)
+      r.w_plus += ranks[i];
+    else
+      r.w_minus += ranks[i];
+  }
+
+  const double n = static_cast<double>(r.n_used);
+  const double mu = n * (n + 1.0) / 4.0;
+  const double tie_sum = tie_correction(abs_diffs);
+  const double sigma2 =
+      n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_sum / 48.0;
+  if (sigma2 <= 0.0)
+    throw std::invalid_argument("wilcoxon: degenerate variance");
+  const double sigma = std::sqrt(sigma2);
+
+  // Continuity-corrected z for W+ (after > before pushes W+ up).
+  switch (alt) {
+    case Alternative::kGreater:
+      r.z = (r.w_plus - mu - 0.5) / sigma;
+      r.p_value = 1.0 - normal_cdf(r.z);
+      break;
+    case Alternative::kLess:
+      r.z = (r.w_plus - mu + 0.5) / sigma;
+      r.p_value = normal_cdf(r.z);
+      break;
+    case Alternative::kTwoSided: {
+      const double shift = r.w_plus > mu ? -0.5 : (r.w_plus < mu ? 0.5 : 0.0);
+      r.z = (r.w_plus - mu + shift) / sigma;
+      r.p_value = two_sided_normal_p(r.z);
+      break;
+    }
+  }
+  r.p_value = std::clamp(r.p_value, 0.0, 1.0);
+  return r;
+}
+
+SpearmanResult spearman(std::span<const double> x,
+                        std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("spearman: length mismatch");
+  if (x.size() < 4) throw std::invalid_argument("spearman: need n >= 4");
+
+  const auto rx = rankdata(x);
+  const auto ry = rankdata(y);
+  const double n = static_cast<double>(x.size());
+
+  // Pearson correlation of the ranks (exact under ties).
+  const double mean_rank = (n + 1.0) / 2.0;
+  double num = 0.0, dx = 0.0, dy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (rx[i] - mean_rank) * (ry[i] - mean_rank);
+    dx += (rx[i] - mean_rank) * (rx[i] - mean_rank);
+    dy += (ry[i] - mean_rank) * (ry[i] - mean_rank);
+  }
+  SpearmanResult r;
+  if (dx == 0.0 || dy == 0.0)
+    throw std::invalid_argument("spearman: a variable is constant");
+  r.rho = num / std::sqrt(dx * dy);
+
+  // t-approximation for significance.
+  const double rho2 = std::min(r.rho * r.rho, 1.0 - 1e-15);
+  const double t = r.rho * std::sqrt((n - 2.0) / (1.0 - rho2));
+  r.p_value = 2.0 * (1.0 - t_cdf(std::fabs(t), n - 2.0));
+  r.p_value = std::clamp(r.p_value, 0.0, 1.0);
+  return r;
+}
+
+TTestResult t_test_one_sample(std::span<const double> x, double mu0,
+                              Alternative alt) {
+  if (x.size() < 2)
+    throw std::invalid_argument("t_test_one_sample: need n >= 2");
+  const double n = static_cast<double>(x.size());
+  TTestResult r;
+  r.df = n - 1.0;
+  const double se = sample_sd(x) / std::sqrt(n);
+  if (se == 0.0)
+    throw std::invalid_argument("t_test_one_sample: zero variance");
+  r.t = (mean(x) - mu0) / se;
+  switch (alt) {
+    case Alternative::kTwoSided:
+      r.p_value = 2.0 * (1.0 - t_cdf(std::fabs(r.t), r.df));
+      break;
+    case Alternative::kGreater:
+      r.p_value = 1.0 - t_cdf(r.t, r.df);
+      break;
+    case Alternative::kLess:
+      r.p_value = t_cdf(r.t, r.df);
+      break;
+  }
+  return r;
+}
+
+Chi2Result chi2_independence(
+    const std::vector<std::vector<double>>& table) {
+  const std::size_t rows = table.size();
+  if (rows < 2)
+    throw std::invalid_argument("chi2_independence: need >= 2 rows");
+  const std::size_t cols = table.front().size();
+  if (cols < 2)
+    throw std::invalid_argument("chi2_independence: need >= 2 columns");
+  for (const auto& row : table)
+    if (row.size() != cols)
+      throw std::invalid_argument("chi2_independence: ragged table");
+
+  std::vector<double> row_sum(rows, 0.0), col_sum(cols, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t cc = 0; cc < cols; ++cc) {
+      if (table[r][cc] < 0.0)
+        throw std::invalid_argument("chi2_independence: negative count");
+      row_sum[r] += table[r][cc];
+      col_sum[cc] += table[r][cc];
+      total += table[r][cc];
+    }
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("chi2_independence: empty table");
+  for (double s : row_sum)
+    if (s == 0.0)
+      throw std::invalid_argument("chi2_independence: all-zero row");
+  for (double s : col_sum)
+    if (s == 0.0)
+      throw std::invalid_argument("chi2_independence: all-zero column");
+
+  Chi2Result result;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t cc = 0; cc < cols; ++cc) {
+      const double expected = row_sum[r] * col_sum[cc] / total;
+      const double d = table[r][cc] - expected;
+      result.statistic += d * d / expected;
+    }
+  }
+  result.df = static_cast<double>((rows - 1) * (cols - 1));
+  result.p_value = 1.0 - chi2_cdf(result.statistic, result.df);
+  return result;
+}
+
+Chi2Result chi2_goodness_of_fit(std::span<const double> observed,
+                                std::span<const double> expected_weights) {
+  if (observed.size() != expected_weights.size() || observed.size() < 2)
+    throw std::invalid_argument(
+        "chi2_goodness_of_fit: need matching k >= 2 categories");
+  double total = 0.0, weight_total = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (observed[i] < 0.0 || expected_weights[i] < 0.0)
+      throw std::invalid_argument("chi2_goodness_of_fit: negative entry");
+    total += observed[i];
+    weight_total += expected_weights[i];
+  }
+  if (total <= 0.0 || weight_total <= 0.0)
+    throw std::invalid_argument("chi2_goodness_of_fit: empty input");
+
+  Chi2Result result;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = total * expected_weights[i] / weight_total;
+    if (expected <= 0.0)
+      throw std::invalid_argument(
+          "chi2_goodness_of_fit: zero expected count in a category");
+    const double d = observed[i] - expected;
+    result.statistic += d * d / expected;
+  }
+  result.df = static_cast<double>(observed.size() - 1);
+  result.p_value = 1.0 - chi2_cdf(result.statistic, result.df);
+  return result;
+}
+
+}  // namespace sagesim::stats

@@ -1,0 +1,69 @@
+// Additional nonparametric machinery beyond the paper's core trio —
+// the natural follow-ups an instructor reaches for when the cohort grows:
+// Kruskal–Wallis (k-group Mann–Whitney), Wilcoxon signed-rank (paired
+// mid/final survey waves), Spearman rank correlation, one-sample t.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/tests.hpp"
+
+namespace sagesim::stats {
+
+/// Kruskal–Wallis H test for k >= 2 independent groups (tie-corrected,
+/// chi-squared approximation with k-1 df).
+struct KruskalWallisResult {
+  double h{0.0};
+  double df{0.0};
+  double p_value{0.0};
+};
+KruskalWallisResult kruskal_wallis(
+    std::span<const std::span<const double>> groups);
+
+/// Wilcoxon signed-rank test for paired samples (e.g. the same student's
+/// mid-course vs final survey score).  Zero differences are dropped
+/// (Wilcoxon's convention); p-value uses the tie-corrected normal
+/// approximation with continuity correction.  Requires >= 6 non-zero
+/// differences for the approximation to be meaningful.
+struct WilcoxonResult {
+  double w_plus{0.0};    ///< rank sum of positive differences
+  double w_minus{0.0};
+  double z{0.0};
+  double p_value{0.0};
+  std::size_t n_used{0};  ///< non-zero differences
+};
+WilcoxonResult wilcoxon_signed_rank(std::span<const double> before,
+                                    std::span<const double> after,
+                                    Alternative alt = Alternative::kTwoSided);
+
+/// Spearman rank correlation coefficient with a t-distributed significance
+/// test (n >= 4).
+struct SpearmanResult {
+  double rho{0.0};
+  double p_value{0.0};  ///< two-sided
+};
+SpearmanResult spearman(std::span<const double> x, std::span<const double> y);
+
+/// One-sample t-test of H0: mean == mu0.
+TTestResult t_test_one_sample(std::span<const double> x, double mu0,
+                              Alternative alt = Alternative::kTwoSided);
+
+/// Chi-squared test of independence / homogeneity on an r x c contingency
+/// table of counts (e.g. satisfaction level x semester).  Cells with
+/// all-zero rows or columns are rejected.  Uses the chi2 distribution with
+/// (r-1)(c-1) df; no Yates correction.
+struct Chi2Result {
+  double statistic{0.0};
+  double df{0.0};
+  double p_value{0.0};
+};
+Chi2Result chi2_independence(
+    const std::vector<std::vector<double>>& table);
+
+/// Chi-squared goodness-of-fit of observed counts against expected
+/// proportions (normalized internally).  df = k - 1.
+Chi2Result chi2_goodness_of_fit(std::span<const double> observed,
+                                std::span<const double> expected_weights);
+
+}  // namespace sagesim::stats

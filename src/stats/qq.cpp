@@ -1,0 +1,57 @@
+#include "stats/qq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace sagesim::stats {
+
+QqSeries qq_normal(std::span<const double> x) {
+  if (x.size() < 3) throw std::invalid_argument("qq_normal: need n >= 3");
+  std::vector<double> s(x.begin(), x.end());
+  std::sort(s.begin(), s.end());
+  const double n = static_cast<double>(s.size());
+
+  QqSeries series;
+  series.points.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double p = (static_cast<double>(i + 1) - 0.375) / (n + 0.25);
+    series.points.push_back({inverse_normal_cdf(p), s[i]});
+  }
+  series.intercept = mean(s);
+  series.slope = sample_sd(s);
+
+  // Probability-plot correlation coefficient.
+  double mt = 0.0;
+  for (const auto& p : series.points) mt += p.theoretical;
+  mt /= n;
+  const double ms = series.intercept;
+  double num = 0.0, dt = 0.0, ds = 0.0;
+  for (const auto& p : series.points) {
+    num += (p.theoretical - mt) * (p.sample - ms);
+    dt += (p.theoretical - mt) * (p.theoretical - mt);
+    ds += (p.sample - ms) * (p.sample - ms);
+  }
+  series.correlation = (dt > 0.0 && ds > 0.0)
+                           ? num / std::sqrt(dt * ds)
+                           : 0.0;
+  return series;
+}
+
+std::string to_text(const QqSeries& s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "reference line: sample = " << s.intercept << " + " << s.slope
+     << " * theoretical   (r = " << s.correlation << ")\n";
+  os << std::setw(14) << "theoretical" << std::setw(12) << "sample" << '\n';
+  for (const auto& p : s.points)
+    os << std::setw(14) << p.theoretical << std::setw(12) << p.sample << '\n';
+  return os.str();
+}
+
+}  // namespace sagesim::stats

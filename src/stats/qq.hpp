@@ -1,0 +1,31 @@
+// Normal Q-Q plot series — Figs. 7 and 8 of the paper.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sagesim::stats {
+
+struct QqPoint {
+  double theoretical{0.0};  ///< standard normal quantile
+  double sample{0.0};       ///< ordered sample value
+};
+
+struct QqSeries {
+  std::vector<QqPoint> points;  ///< ascending by theoretical quantile
+  double slope{1.0};            ///< reference line: sample sd estimate
+  double intercept{0.0};        ///< reference line: sample mean
+  /// Pearson correlation between theoretical and sample quantiles — the
+  /// probability-plot correlation coefficient (near 1 for normal data).
+  double correlation{0.0};
+};
+
+/// Builds the normal Q-Q series for @p x using Blom plotting positions
+/// (i - 0.375)/(n + 0.25).  Requires n >= 3.
+QqSeries qq_normal(std::span<const double> x);
+
+/// Renders the series as a two-column table plus the reference line.
+std::string to_text(const QqSeries& s);
+
+}  // namespace sagesim::stats

@@ -1,0 +1,52 @@
+#include "stats/rank.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sagesim::stats {
+
+std::vector<double> rankdata(std::span<const double> x) {
+  const std::size_t n = x.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    // Positions i..j (0-based) share the midrank.
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<std::size_t> tie_group_sizes(std::span<const double> x) {
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::size_t> sizes;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    sizes.push_back(j - i + 1);
+    i = j + 1;
+  }
+  return sizes;
+}
+
+double tie_correction(std::span<const double> x) {
+  double sum = 0.0;
+  for (std::size_t t : tie_group_sizes(x)) {
+    const double td = static_cast<double>(t);
+    sum += td * td * td - td;
+  }
+  return sum;
+}
+
+}  // namespace sagesim::stats

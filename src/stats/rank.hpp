@@ -1,0 +1,22 @@
+// Ranking with midrank tie handling — the building block of the
+// Mann–Whitney U test.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sagesim::stats {
+
+/// Ranks of @p x (1-based); tied values receive the average of the ranks
+/// they span ("midranks"), matching scipy.stats.rankdata(method="average").
+std::vector<double> rankdata(std::span<const double> x);
+
+/// Sizes of each tie group (t_j >= 1 per distinct value), used by tie
+/// corrections.  Sum of sizes equals x.size().
+std::vector<std::size_t> tie_group_sizes(std::span<const double> x);
+
+/// Tie correction term sum(t^3 - t) over tie groups.
+double tie_correction(std::span<const double> x);
+
+}  // namespace sagesim::stats

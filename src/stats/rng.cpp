@@ -1,0 +1,96 @@
+#include "stats/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sagesim::stats {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double sd) {
+  std::normal_distribution<double> d(mean, sd);
+  return d(engine_);
+}
+
+double Rng::truncated_normal(double mean, double sd, double lo, double hi) {
+  if (!(hi > lo))
+    throw std::invalid_argument("truncated_normal: hi must exceed lo");
+  // Rejection with a clamped fallback after a bounded number of tries (the
+  // fallback only triggers for pathological [lo, hi] far in a tail).
+  for (int i = 0; i < 200; ++i) {
+    const double v = normal(mean, sd);
+    if (v >= lo && v <= hi) return v;
+  }
+  const double v = normal(mean, sd);
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+double Rng::exponential(double lambda) {
+  std::exponential_distribution<double> d(lambda);
+  return d(engine_);
+}
+
+double Rng::beta(double a, double b) {
+  std::gamma_distribution<double> ga(a, 1.0), gb(b, 1.0);
+  const double x = ga(engine_);
+  const double y = gb(engine_);
+  return x / (x + y);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("categorical: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("categorical: weights sum to zero");
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::vector<double> Rng::normals(std::size_t n, double mean, double sd) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = normal(mean, sd);
+  return out;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+std::uint64_t Rng::fork_seed() {
+  // SplitMix64 step over a fresh draw keeps children decorrelated.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace sagesim::stats

@@ -1,0 +1,57 @@
+// Deterministic random sources for workload and cohort generation.
+// Every stochastic component of sagesim draws from an Rng seeded explicitly,
+// so benches and tests regenerate identical tables.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace sagesim::stats {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Normal(mean, sd).
+  double normal(double mean = 0.0, double sd = 1.0);
+
+  /// Normal(mean, sd) rejected-sampled into [lo, hi].
+  double truncated_normal(double mean, double sd, double lo, double hi);
+
+  /// Exponential with rate @p lambda.
+  double exponential(double lambda = 1.0);
+
+  /// Beta(a, b) via two gamma draws.
+  double beta(double a, double b);
+
+  /// Bernoulli(p).
+  bool bernoulli(double p);
+
+  /// Samples an index from unnormalized non-negative weights.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// n i.i.d. normal draws.
+  std::vector<double> normals(std::size_t n, double mean = 0.0,
+                              double sd = 1.0);
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child seed (for parallel substreams).
+  std::uint64_t fork_seed();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sagesim::stats

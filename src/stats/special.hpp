@@ -1,0 +1,23 @@
+// Special functions needed by the distribution layer: inverse normal CDF,
+// regularized incomplete beta/gamma.  Implemented from the classic numeric
+// recipes (Acklam's rational approximation with a Halley refinement; Lentz's
+// continued fraction), accurate to ~1e-14 over their documented domains.
+#pragma once
+
+namespace sagesim::stats {
+
+/// Inverse of the standard normal CDF (quantile function).
+/// Domain: p in (0, 1); throws std::domain_error outside.
+double inverse_normal_cdf(double p);
+
+/// Regularized incomplete beta function I_x(a, b), a,b > 0, x in [0, 1].
+/// Throws std::domain_error outside the domain.
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double regularized_lower_gamma(double a, double x);
+
+/// log Beta(a, b).
+double log_beta(double a, double b);
+
+}  // namespace sagesim::stats

@@ -1,0 +1,347 @@
+#include "stats/tests.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/dist.hpp"
+#include "stats/rank.hpp"
+#include "stats/special.hpp"
+
+namespace sagesim::stats {
+
+// ---------------------------------------------------------------------------
+// Shapiro–Wilk (Royston 1995, Applied Statistics algorithm AS R94)
+// ---------------------------------------------------------------------------
+
+ShapiroWilkResult shapiro_wilk(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n < 3 || n > 5000)
+    throw std::invalid_argument("shapiro_wilk: valid for 3 <= n <= 5000");
+
+  std::vector<double> s(x.begin(), x.end());
+  std::sort(s.begin(), s.end());
+  if (s.front() == s.back())
+    throw std::invalid_argument("shapiro_wilk: sample has zero range");
+
+  const double nd = static_cast<double>(n);
+
+  // Expected values of standard normal order statistics (Blom's
+  // approximation) and the weight vector a.
+  std::vector<double> m(n);
+  double ssumm2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = inverse_normal_cdf((static_cast<double>(i + 1) - 0.375) /
+                              (nd + 0.25));
+    ssumm2 += m[i] * m[i];
+  }
+
+  std::vector<double> a(n, 0.0);
+  if (n == 3) {
+    a[0] = -std::numbers::sqrt2 / 2.0;
+    a[2] = std::numbers::sqrt2 / 2.0;
+  } else {
+    const double rsn = 1.0 / std::sqrt(nd);
+    const double rsn2 = rsn * rsn;
+    const double rsn3 = rsn2 * rsn;
+    const double rsn4 = rsn3 * rsn;
+    const double rsn5 = rsn4 * rsn;
+    const double norm = std::sqrt(ssumm2);
+
+    const double an = -2.706056 * rsn5 + 4.434685 * rsn4 - 2.071190 * rsn3 -
+                      0.147981 * rsn2 + 0.221157 * rsn + m[n - 1] / norm;
+    double phi;
+    if (n > 5) {
+      const double an1 = -3.582633 * rsn5 + 5.682633 * rsn4 -
+                         1.752461 * rsn3 - 0.293762 * rsn2 + 0.042981 * rsn +
+                         m[n - 2] / norm;
+      phi = (ssumm2 - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2]) /
+            (1.0 - 2.0 * an * an - 2.0 * an1 * an1);
+      a[n - 1] = an;
+      a[n - 2] = an1;
+      a[0] = -an;
+      a[1] = -an1;
+      const double sqrt_phi = std::sqrt(phi);
+      for (std::size_t i = 2; i + 2 < n; ++i) a[i] = m[i] / sqrt_phi;
+    } else {
+      phi = (ssumm2 - 2.0 * m[n - 1] * m[n - 1]) / (1.0 - 2.0 * an * an);
+      a[n - 1] = an;
+      a[0] = -an;
+      const double sqrt_phi = std::sqrt(phi);
+      for (std::size_t i = 1; i + 1 < n; ++i) a[i] = m[i] / sqrt_phi;
+    }
+  }
+
+  // W = (sum a_i x_(i))^2 / sum (x_i - xbar)^2
+  const double xbar = mean(s);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += a[i] * s[i];
+    den += (s[i] - xbar) * (s[i] - xbar);
+  }
+  ShapiroWilkResult r;
+  r.w = std::clamp(num * num / den, 0.0, 1.0);
+
+  // p-value transforms (Royston 1995).
+  if (n == 3) {
+    // Exact small-sample distribution (Royston 1995, eq. for n = 3).
+    constexpr double kStqr = 1.0471975511965976;  // asin(sqrt(3/4))
+    const double p =
+        6.0 / std::numbers::pi * (std::asin(std::sqrt(r.w)) - kStqr);
+    r.p_value = std::clamp(p, 0.0, 1.0);
+    return r;
+  }
+
+  double z;
+  if (n <= 11) {
+    const double g = -2.273 + 0.459 * nd;
+    const double mu =
+        0.5440 - 0.39978 * nd + 0.025054 * nd * nd - 0.0006714 * nd * nd * nd;
+    const double sigma = std::exp(1.3822 - 0.77857 * nd + 0.062767 * nd * nd -
+                                  0.0020322 * nd * nd * nd);
+    const double y = -std::log(g - std::log1p(-r.w));
+    z = (y - mu) / sigma;
+  } else {
+    const double ln_n = std::log(nd);
+    const double mu =
+        -1.5861 - 0.31082 * ln_n - 0.083751 * ln_n * ln_n +
+        0.0038915 * ln_n * ln_n * ln_n;
+    const double sigma =
+        std::exp(-0.4803 - 0.082676 * ln_n + 0.0030302 * ln_n * ln_n);
+    z = (std::log1p(-r.w) - mu) / sigma;
+  }
+  r.p_value = std::clamp(1.0 - normal_cdf(z), 0.0, 1.0);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Levene / Brown–Forsythe
+// ---------------------------------------------------------------------------
+
+LeveneResult levene(std::span<const std::span<const double>> groups,
+                    LeveneCenter center) {
+  const std::size_t k = groups.size();
+  if (k < 2) throw std::invalid_argument("levene: need at least 2 groups");
+  std::size_t total = 0;
+  for (const auto& g : groups) {
+    if (g.size() < 2)
+      throw std::invalid_argument("levene: each group needs n >= 2");
+    total += g.size();
+  }
+
+  // Z_ij = |x_ij - center_i|
+  std::vector<std::vector<double>> z(k);
+  std::vector<double> z_group_mean(k);
+  double z_grand = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double c = center == LeveneCenter::kMedian ? median(groups[i])
+                                                     : mean(groups[i]);
+    z[i].reserve(groups[i].size());
+    for (double v : groups[i]) z[i].push_back(std::fabs(v - c));
+    z_group_mean[i] = mean(z[i]);
+    for (double v : z[i]) z_grand += v;
+  }
+  z_grand /= static_cast<double>(total);
+
+  double between = 0.0;
+  double within = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double ni = static_cast<double>(z[i].size());
+    between += ni * (z_group_mean[i] - z_grand) * (z_group_mean[i] - z_grand);
+    for (double v : z[i])
+      within += (v - z_group_mean[i]) * (v - z_group_mean[i]);
+  }
+
+  LeveneResult r;
+  r.df_between = static_cast<double>(k - 1);
+  r.df_within = static_cast<double>(total - k);
+  if (within == 0.0)
+    throw std::invalid_argument("levene: zero within-group deviation");
+  r.statistic = (r.df_within / r.df_between) * (between / within);
+  r.p_value = 1.0 - f_cdf(r.statistic, r.df_between, r.df_within);
+  return r;
+}
+
+LeveneResult levene(std::span<const double> a, std::span<const double> b,
+                    LeveneCenter center) {
+  const std::span<const double> groups[] = {a, b};
+  return levene(std::span<const std::span<const double>>(groups, 2), center);
+}
+
+// ---------------------------------------------------------------------------
+// Mann–Whitney U
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Exact null CDF P(U <= u) for sample sizes (m, n) without ties.
+///
+/// The null count of arrangements with statistic u is the number of integer
+/// partitions of u into at most m parts, each part at most n, satisfying the
+/// recurrence (Mann & Whitney 1947):
+///     c(u; m, n) = c(u - n; m - 1, n) + c(u; m, n - 1)
+/// with c(0; ., .) = 1 and c(u < 0) = 0.  We iterate n in the outer loop and
+/// m in the inner loop so each cell needs only the current and previous
+/// n-layer.
+double exact_u_cdf(double u_stat, std::size_t m, std::size_t n) {
+  const std::size_t u_max = m * n;
+  const auto u_floor = static_cast<long long>(std::floor(u_stat + 1e-9));
+  if (u_floor < 0) return 0.0;
+  if (static_cast<std::size_t>(u_floor) >= u_max) return 1.0;
+
+  // layer[mm][u] = c(u; mm, nn) for the current nn.
+  std::vector<std::vector<double>> layer(
+      m + 1, std::vector<double>(u_max + 1, 0.0));
+  for (std::size_t mm = 0; mm <= m; ++mm) layer[mm][0] = 1.0;  // nn = 0
+
+  for (std::size_t nn = 1; nn <= n; ++nn) {
+    std::vector<std::vector<double>> next(
+        m + 1, std::vector<double>(u_max + 1, 0.0));
+    next[0][0] = 1.0;
+    for (std::size_t mm = 1; mm <= m; ++mm)
+      for (std::size_t u = 0; u <= u_max; ++u)
+        next[mm][u] =
+            (u >= nn ? next[mm - 1][u - nn] : 0.0) + layer[mm][u];
+    layer = std::move(next);
+  }
+
+  double total = 0.0;
+  double below = 0.0;
+  for (std::size_t u = 0; u <= u_max; ++u) {
+    total += layer[m][u];
+    if (u <= static_cast<std::size_t>(u_floor)) below += layer[m][u];
+  }
+  return below / total;
+}
+
+double one_sided_exact_p_greater(double u, std::size_t m, std::size_t n) {
+  // P(U >= u) = 1 - P(U <= u - 1)
+  return 1.0 - exact_u_cdf(u - 1.0, m, n);
+}
+
+}  // namespace
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b, Alternative alt) {
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+  if (n1 == 0 || n2 == 0)
+    throw std::invalid_argument("mann_whitney_u: empty sample");
+
+  // Joint ranking.
+  std::vector<double> pooled;
+  pooled.reserve(n1 + n2);
+  pooled.insert(pooled.end(), a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  const std::vector<double> ranks = rankdata(pooled);
+
+  double rank_sum_a = 0.0;
+  for (std::size_t i = 0; i < n1; ++i) rank_sum_a += ranks[i];
+
+  MannWhitneyResult r;
+  const double n1d = static_cast<double>(n1);
+  const double n2d = static_cast<double>(n2);
+  r.u = rank_sum_a - n1d * (n1d + 1.0) / 2.0;
+  r.u_other = n1d * n2d - r.u;
+
+  const double tie_sum = tie_correction(pooled);
+  const bool has_ties = tie_sum > 0.0;
+  const bool use_exact = !has_ties && n1 * n2 <= 400;
+
+  if (use_exact) {
+    r.exact = true;
+    const double p_greater = one_sided_exact_p_greater(r.u, n1, n2);
+    const double p_less = exact_u_cdf(r.u, n1, n2);
+    switch (alt) {
+      case Alternative::kGreater: r.p_value = p_greater; break;
+      case Alternative::kLess: r.p_value = p_less; break;
+      case Alternative::kTwoSided:
+        r.p_value = std::min(1.0, 2.0 * std::min(p_greater, p_less));
+        break;
+    }
+    return r;
+  }
+
+  // Tie-corrected normal approximation with continuity correction.
+  const double n = n1d + n2d;
+  const double mu = n1d * n2d / 2.0;
+  const double sigma2 =
+      n1d * n2d / 12.0 * ((n + 1.0) - tie_sum / (n * (n - 1.0)));
+  if (sigma2 <= 0.0)
+    throw std::invalid_argument("mann_whitney_u: all values identical");
+  const double sigma = std::sqrt(sigma2);
+
+  auto z_of = [&](double u, double cc) { return (u - mu + cc) / sigma; };
+  switch (alt) {
+    case Alternative::kGreater:
+      r.z = z_of(r.u, -0.5);
+      r.p_value = 1.0 - normal_cdf(r.z);
+      break;
+    case Alternative::kLess:
+      r.z = z_of(r.u, +0.5);
+      r.p_value = normal_cdf(r.z);
+      break;
+    case Alternative::kTwoSided: {
+      const double shift = r.u > mu ? -0.5 : (r.u < mu ? 0.5 : 0.0);
+      r.z = z_of(r.u, shift);
+      r.p_value = two_sided_normal_p(r.z);
+      break;
+    }
+  }
+  r.p_value = std::clamp(r.p_value, 0.0, 1.0);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// t-tests
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double p_from_t(double t, double df, Alternative alt) {
+  switch (alt) {
+    case Alternative::kTwoSided: return 2.0 * (1.0 - t_cdf(std::fabs(t), df));
+    case Alternative::kGreater: return 1.0 - t_cdf(t, df);
+    case Alternative::kLess: return t_cdf(t, df);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+TTestResult t_test_pooled(std::span<const double> a, std::span<const double> b,
+                          Alternative alt) {
+  if (a.size() < 2 || b.size() < 2)
+    throw std::invalid_argument("t_test_pooled: need n >= 2 per sample");
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  const double v1 = sample_variance(a);
+  const double v2 = sample_variance(b);
+  const double sp2 = ((n1 - 1.0) * v1 + (n2 - 1.0) * v2) / (n1 + n2 - 2.0);
+  TTestResult r;
+  r.df = n1 + n2 - 2.0;
+  r.t = (mean(a) - mean(b)) / std::sqrt(sp2 * (1.0 / n1 + 1.0 / n2));
+  r.p_value = p_from_t(r.t, r.df, alt);
+  return r;
+}
+
+TTestResult t_test_welch(std::span<const double> a, std::span<const double> b,
+                         Alternative alt) {
+  if (a.size() < 2 || b.size() < 2)
+    throw std::invalid_argument("t_test_welch: need n >= 2 per sample");
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  const double v1 = sample_variance(a) / n1;
+  const double v2 = sample_variance(b) / n2;
+  TTestResult r;
+  r.t = (mean(a) - mean(b)) / std::sqrt(v1 + v2);
+  r.df = (v1 + v2) * (v1 + v2) /
+         (v1 * v1 / (n1 - 1.0) + v2 * v2 / (n2 - 1.0));
+  r.p_value = p_from_t(r.t, r.df, alt);
+  return r;
+}
+
+}  // namespace sagesim::stats

@@ -1,0 +1,65 @@
+// Hypothesis tests — exactly the set the paper's Appendix C runs:
+// Shapiro–Wilk normality, Levene's homogeneity of variance, Mann–Whitney U,
+// and t-tests for completeness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sagesim::stats {
+
+/// Tail choice for two-sample tests.
+enum class Alternative { kTwoSided, kLess, kGreater };
+
+/// Shapiro–Wilk normality test (Royston 1995, AS R94).  Valid for
+/// 3 <= n <= 5000; throws std::invalid_argument outside that range or when
+/// the sample has zero range.
+struct ShapiroWilkResult {
+  double w{0.0};
+  double p_value{0.0};
+};
+ShapiroWilkResult shapiro_wilk(std::span<const double> x);
+
+/// Levene's test for equal variances across k >= 2 groups.
+/// center=kMedian gives the Brown–Forsythe variant (scipy's default).
+struct LeveneResult {
+  double statistic{0.0};  ///< F-distributed W statistic
+  double p_value{0.0};
+  double df_between{0.0};
+  double df_within{0.0};
+};
+enum class LeveneCenter { kMean, kMedian };
+LeveneResult levene(std::span<const std::span<const double>> groups,
+                    LeveneCenter center = LeveneCenter::kMedian);
+LeveneResult levene(std::span<const double> a, std::span<const double> b,
+                    LeveneCenter center = LeveneCenter::kMedian);
+
+/// Mann–Whitney U test.  U is reported for the *first* sample (number of
+/// (a, b) pairs with a > b, counting ties half), matching
+/// scipy.stats.mannwhitneyu(a, b).  The p-value uses the tie-corrected
+/// normal approximation with continuity correction for n1*n2 > 100, and the
+/// exact null distribution (no-ties recursion) otherwise.
+struct MannWhitneyResult {
+  double u{0.0};         ///< U statistic of the first sample
+  double u_other{0.0};   ///< n1*n2 - u
+  double z{0.0};         ///< normal-approximation z score (0 for exact path)
+  double p_value{0.0};
+  bool exact{false};     ///< whether the exact distribution was used
+};
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b,
+                                 Alternative alt = Alternative::kTwoSided);
+
+/// Two-sample t-tests (pooled and Welch), for the "what the paper would
+/// have run had the data been normal" comparison.
+struct TTestResult {
+  double t{0.0};
+  double df{0.0};
+  double p_value{0.0};
+};
+TTestResult t_test_pooled(std::span<const double> a, std::span<const double> b,
+                          Alternative alt = Alternative::kTwoSided);
+TTestResult t_test_welch(std::span<const double> a, std::span<const double> b,
+                         Alternative alt = Alternative::kTwoSided);
+
+}  // namespace sagesim::stats

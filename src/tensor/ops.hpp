@@ -1,0 +1,64 @@
+// Device-aware dense ops.  Every op takes an optional simulated device:
+// non-null → the op runs as a simulated kernel (results identical, time
+// modeled and traced); null → plain host loops (the "sequential CPU
+// baseline" the course compares against).
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "stats/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sagesim::tensor::ops {
+
+/// out = alpha * op(a) @ op(b) + (accumulate ? out : 0)
+/// where op(x) is x or x^T per the transpose flags.  Shapes are validated;
+/// out must be pre-sized to the result shape.
+void gemm(gpu::Device* dev, const Tensor& a, const Tensor& b, Tensor& out,
+          bool transpose_a = false, bool transpose_b = false,
+          float alpha = 1.0f, bool accumulate = false);
+
+/// Shared-memory tiled GEMM (device required): the Week-3 lab's optimized
+/// kernel.  No transpose support; tile size 16.
+void gemm_tiled(gpu::Device& dev, const Tensor& a, const Tensor& b,
+                Tensor& out);
+
+/// x += bias broadcast over rows (bias is 1 x cols).
+void add_bias(gpu::Device* dev, Tensor& x, const Tensor& bias);
+
+/// db = column sums of dy (db is 1 x cols).
+void bias_grad(gpu::Device* dev, const Tensor& dy, Tensor& db);
+
+/// out = max(x, 0), element-wise.
+void relu(gpu::Device* dev, const Tensor& x, Tensor& out);
+
+/// dx = dy where pre-activation x > 0, else 0.
+void relu_backward(gpu::Device* dev, const Tensor& x_pre, const Tensor& dy,
+                   Tensor& dx);
+
+/// Row-wise numerically-stable softmax.
+void softmax_rows(gpu::Device* dev, const Tensor& x, Tensor& out);
+
+/// out = a + b element-wise.
+void add(gpu::Device* dev, const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = a - b element-wise.
+void sub(gpu::Device* dev, const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = a * b element-wise (Hadamard).
+void hadamard(gpu::Device* dev, const Tensor& a, const Tensor& b, Tensor& out);
+
+/// x *= alpha.
+void scale(gpu::Device* dev, Tensor& x, float alpha);
+
+/// y += alpha * x.
+void axpy(gpu::Device* dev, float alpha, const Tensor& x, Tensor& y);
+
+/// Inverted dropout: out = x * mask / (1 - p); mask ~ Bernoulli(1 - p) is
+/// drawn on the host rng (deterministic) and returned for the backward pass.
+void dropout(gpu::Device* dev, const Tensor& x, Tensor& out, Tensor& mask,
+             float p, stats::Rng& rng);
+
+/// out = x^T.
+void transpose(gpu::Device* dev, const Tensor& x, Tensor& out);
+
+}  // namespace sagesim::tensor::ops

@@ -1,0 +1,104 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sagesim::tensor {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("Tensor: zero dimension");
+}
+
+Tensor Tensor::vector(std::size_t n) { return Tensor(n, 1); }
+
+Tensor Tensor::of(std::initializer_list<std::initializer_list<float>> rows) {
+  if (rows.size() == 0 || rows.begin()->size() == 0)
+    throw std::invalid_argument("Tensor::of: empty initializer");
+  Tensor t(rows.size(), rows.begin()->size());
+  std::size_t r = 0;
+  for (const auto& row : rows) {
+    if (row.size() != t.cols_)
+      throw std::invalid_argument("Tensor::of: ragged initializer");
+    std::size_t c = 0;
+    for (float v : row) t.at(r, c++) = v;
+    ++r;
+  }
+  return t;
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("Tensor::at(" + std::to_string(r) + "," +
+                            std::to_string(c) + ") outside " + shape_str());
+  return data_[r * cols_ + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("Tensor::at(" + std::to_string(r) + "," +
+                            std::to_string(c) + ") outside " + shape_str());
+  return data_[r * cols_ + c];
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  if (r >= rows_) throw std::out_of_range("Tensor::row: row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Tensor::row: row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::init_glorot(stats::Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / (static_cast<double>(rows_) + static_cast<double>(cols_)));
+  for (auto& v : data_)
+    v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void Tensor::init_he(stats::Rng& rng) {
+  const double sd = std::sqrt(2.0 / static_cast<double>(cols_));
+  for (auto& v : data_) v = static_cast<float>(rng.normal(0.0, sd));
+}
+
+void Tensor::init_uniform(stats::Rng& rng, float lo, float hi) {
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+std::size_t Tensor::argmax_row(std::size_t r) const {
+  const auto row_span = row(r);
+  return static_cast<std::size_t>(
+      std::max_element(row_span.begin(), row_span.end()) - row_span.begin());
+}
+
+float Tensor::norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+std::string Tensor::shape_str() const {
+  return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+}
+
+}  // namespace sagesim::tensor

@@ -1,0 +1,86 @@
+// Dense row-major float tensor (rank 1 or 2) — the data container shared by
+// nn, rl, and rag.  Storage lives on the host; compute is routed through
+// tensor/ops.hpp, which executes on a simulated GPU when one is supplied
+// ("data resident on device") or on plain host loops otherwise.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace sagesim::tensor {
+
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() = default;
+
+  /// rows x cols tensor, zero-initialized.
+  Tensor(std::size_t rows, std::size_t cols);
+
+  /// Rank-1 tensor of @p n elements (shape n x 1).
+  static Tensor vector(std::size_t n);
+
+  /// Builds from nested initializer lists: Tensor::of({{1,2},{3,4}}).
+  static Tensor of(std::initializer_list<std::initializer_list<float>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_; }
+  std::span<const float> span() const { return data_; }
+
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<float> row(std::size_t r);
+  std::span<const float> row(std::size_t r) const;
+
+  /// Sets every element to @p value.
+  void fill(float value);
+
+  /// Glorot/Xavier-uniform initialization (fan_in = cols, fan_out = rows).
+  void init_glorot(stats::Rng& rng);
+
+  /// He-normal initialization (fan_in = cols).
+  void init_he(stats::Rng& rng);
+
+  /// Uniform [lo, hi) initialization.
+  void init_uniform(stats::Rng& rng, float lo, float hi);
+
+  /// Sum of all elements.
+  float sum() const;
+
+  /// Index of the max element of row @p r.
+  std::size_t argmax_row(std::size_t r) const;
+
+  /// Frobenius norm.
+  float norm() const;
+
+  /// Element count sanity + shape string "3x4" for messages.
+  std::string shape_str() const;
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<float> data_;
+};
+
+/// Throws std::invalid_argument with a readable message unless the two
+/// shapes match.
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op);
+
+}  // namespace sagesim::tensor

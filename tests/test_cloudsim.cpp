@@ -1,0 +1,329 @@
+// Unit tests for cloudsim: CIDR/VPC networking, IAM policy, instance
+// lifecycle, provisioning, budgets, idle reaping, cost reporting.
+#include <gtest/gtest.h>
+
+#include "cloudsim/cost.hpp"
+#include "cloudsim/provisioner.hpp"
+
+namespace cloud = sagesim::cloud;
+
+// --- CIDR / VPC --------------------------------------------------------------
+
+TEST(Cidr, ParsesAndRendersRoundTrip) {
+  const auto c = cloud::Cidr::parse("10.0.0.0/16");
+  EXPECT_EQ(c.prefix_len(), 16);
+  EXPECT_EQ(c.to_string(), "10.0.0.0/16");
+  EXPECT_EQ(c.address_count(), 65536u);
+}
+
+TEST(Cidr, RejectsMalformedInput) {
+  EXPECT_THROW(cloud::Cidr::parse("10.0.0.0"), std::invalid_argument);
+  EXPECT_THROW(cloud::Cidr::parse("10.0.0.300/16"), std::invalid_argument);
+  EXPECT_THROW(cloud::Cidr::parse("10.0.0.0/33"), std::invalid_argument);
+  // host bits below prefix
+  EXPECT_THROW(cloud::Cidr::parse("10.0.0.1/16"), std::invalid_argument);
+  EXPECT_THROW(cloud::Cidr::parse("banana/16"), std::invalid_argument);
+}
+
+TEST(Cidr, ContainsAndOverlaps) {
+  const auto vpc = cloud::Cidr::parse("10.0.0.0/16");
+  const auto sub = cloud::Cidr::parse("10.0.1.0/24");
+  const auto other = cloud::Cidr::parse("10.1.0.0/16");
+  EXPECT_TRUE(vpc.contains(sub));
+  EXPECT_FALSE(sub.contains(vpc));
+  EXPECT_TRUE(vpc.overlaps(sub));
+  EXPECT_FALSE(vpc.overlaps(other));
+  EXPECT_TRUE(vpc.contains(cloud::parse_ip("10.0.200.5")));
+  EXPECT_FALSE(vpc.contains(cloud::parse_ip("10.1.0.5")));
+}
+
+TEST(IpUtils, RoundTrip) {
+  EXPECT_EQ(cloud::ip_to_string(cloud::parse_ip("192.168.4.1")),
+            "192.168.4.1");
+  EXPECT_THROW(cloud::parse_ip("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(cloud::parse_ip("1.2.3.4.5"), std::invalid_argument);
+}
+
+TEST(Vpc, SubnetAllocationSkipsReservedAddresses) {
+  cloud::Vpc vpc("vpc-test", cloud::Cidr::parse("10.0.0.0/16"));
+  auto& sub = vpc.create_subnet("10.0.1.0/24", "us-east-1a");
+  // AWS reserves .0-.3 and broadcast: first assignable is .4.
+  EXPECT_EQ(cloud::ip_to_string(sub.allocate_address()), "10.0.1.4");
+  EXPECT_EQ(cloud::ip_to_string(sub.allocate_address()), "10.0.1.5");
+}
+
+TEST(Vpc, RejectsOutsideAndOverlappingSubnets) {
+  cloud::Vpc vpc("vpc-test", cloud::Cidr::parse("10.0.0.0/16"));
+  vpc.create_subnet("10.0.1.0/24", "us-east-1a");
+  EXPECT_THROW(vpc.create_subnet("10.9.0.0/8", "us-east-1a"),
+               std::invalid_argument);
+  EXPECT_THROW(vpc.create_subnet("10.0.1.128/25", "us-east-1a"),
+               std::invalid_argument);
+  EXPECT_THROW(vpc.create_subnet("192.168.0.0/24", "us-east-1a"),
+               std::invalid_argument);
+}
+
+TEST(Vpc, SameNetworkChecksBothSides) {
+  cloud::Vpc vpc("vpc-test", cloud::Cidr::parse("10.0.0.0/16"));
+  EXPECT_TRUE(vpc.same_network(cloud::parse_ip("10.0.1.4"),
+                               cloud::parse_ip("10.0.2.4")));
+  EXPECT_FALSE(vpc.same_network(cloud::parse_ip("10.0.1.4"),
+                                cloud::parse_ip("172.16.0.1")));
+}
+
+TEST(Subnet, ExhaustionThrows) {
+  cloud::Vpc vpc("vpc-test", cloud::Cidr::parse("10.0.0.0/16"));
+  auto& sub = vpc.create_subnet("10.0.1.0/28", "us-east-1a");  // 16 addrs
+  // 16 - 4 reserved - 1 broadcast = 11 assignable.
+  for (int i = 0; i < 11; ++i) EXPECT_NO_THROW(sub.allocate_address());
+  EXPECT_THROW(sub.allocate_address(), std::runtime_error);
+}
+
+// --- instance types ----------------------------------------------------------
+
+TEST(Catalog, CourseMixMatchesPaperRates) {
+  // §III.A.1: ~$1.262/hr single-GPU, ~$2.314/hr multi-GPU sessions.
+  EXPECT_NEAR(cloud::catalog::course_single_gpu_rate(), 1.262, 0.05);
+  EXPECT_NEAR(cloud::catalog::course_multi_gpu_rate(), 2.314, 0.05);
+}
+
+TEST(Catalog, LookupAndPartition) {
+  EXPECT_EQ(cloud::catalog::by_name("g4dn.xlarge").gpu_count, 1u);
+  EXPECT_EQ(cloud::catalog::by_name("p3.8xlarge").gpu_count, 4u);
+  EXPECT_THROW(cloud::catalog::by_name("m5.large"), std::invalid_argument);
+  for (const auto& t : cloud::catalog::single_gpu())
+    EXPECT_EQ(t.gpu_count, 1u);
+  for (const auto& t : cloud::catalog::multi_gpu()) EXPECT_GT(t.gpu_count, 1u);
+}
+
+// --- IAM -----------------------------------------------------------------------
+
+TEST(Iam, StudentRoleAllowsCoreActionsWithinCaps) {
+  const auto role = cloud::student_role("alice");
+  EXPECT_TRUE(role.evaluate(cloud::Action::kRunInstances, 1, 0).allowed);
+  EXPECT_TRUE(role.evaluate(cloud::Action::kCreateVpc).allowed);
+  EXPECT_TRUE(
+      role.evaluate(cloud::Action::kCreateSageMakerNotebook, 1, 0).allowed);
+}
+
+TEST(Iam, StudentRoleDeniesOverCap) {
+  const auto role = cloud::student_role("alice");
+  const auto too_many_gpus =
+      role.evaluate(cloud::Action::kRunInstances, 4, 0);
+  EXPECT_FALSE(too_many_gpus.allowed);
+  EXPECT_NE(too_many_gpus.reason.find("cap"), std::string::npos);
+  const auto too_many_running =
+      role.evaluate(cloud::Action::kRunInstances, 1, 3);
+  EXPECT_FALSE(too_many_running.allowed);
+}
+
+TEST(Iam, DefaultDeny) {
+  const cloud::IamRole empty("nobody", {});
+  EXPECT_FALSE(empty.evaluate(cloud::Action::kRunInstances, 1, 0).allowed);
+}
+
+TEST(Iam, InstructorIsUncapped) {
+  const auto role = cloud::instructor_role();
+  EXPECT_TRUE(role.evaluate(cloud::Action::kRunInstances, 32, 10).allowed);
+}
+
+// --- instance lifecycle ----------------------------------------------------------
+
+TEST(Instance, LifecycleTransitions) {
+  cloud::Instance inst("i-1", cloud::catalog::by_name("g4dn.xlarge"), "alice",
+                       cloud::parse_ip("10.0.1.4"), "subnet-0", 0.0);
+  EXPECT_EQ(inst.state(), cloud::InstanceState::kPending);
+  inst.mark_running(0.0);
+  EXPECT_EQ(inst.state(), cloud::InstanceState::kRunning);
+  EXPECT_THROW(inst.mark_running(0.1), std::logic_error);
+  inst.begin_stopping(1.0);
+  EXPECT_THROW(inst.touch(1.1), std::logic_error);
+  inst.mark_terminated(1.5);
+  EXPECT_THROW(inst.mark_terminated(2.0), std::logic_error);
+}
+
+TEST(Instance, BillingAccruesHours) {
+  cloud::Instance inst("i-1", cloud::catalog::by_name("g4dn.xlarge"), "alice",
+                       0, "subnet-0", 2.0);
+  inst.mark_running(2.0);
+  EXPECT_NEAR(inst.billable_hours(4.5), 2.5, 1e-12);
+  EXPECT_NEAR(inst.accrued_cost(4.5), 2.5 * 0.526, 1e-9);
+  inst.mark_terminated(5.0);
+  EXPECT_NEAR(inst.billable_hours(100.0), 3.0, 1e-12);  // frozen at term
+}
+
+TEST(Instance, IdleHoursTrackActivity) {
+  cloud::Instance inst("i-1", cloud::catalog::by_name("g4dn.xlarge"), "alice",
+                       0, "subnet-0", 0.0);
+  inst.mark_running(0.0);
+  inst.touch(1.0);
+  EXPECT_NEAR(inst.idle_hours(3.0), 2.0, 1e-12);
+}
+
+// --- provisioner ------------------------------------------------------------------
+
+TEST(Provisioner, LaunchAssignsAddressesInDefaultVpc) {
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("alice");
+  const auto ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 2});
+  ASSERT_EQ(ids.size(), 2u);
+  const auto& a = aws.instance(ids[0]);
+  const auto& b = aws.instance(ids[1]);
+  EXPECT_NE(a.private_ip(), b.private_ip());
+  EXPECT_EQ(a.subnet_id(), b.subnet_id());
+  EXPECT_EQ(a.state(), cloud::InstanceState::kRunning);
+}
+
+TEST(Provisioner, EnforcesIamCaps) {
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("alice");
+  EXPECT_THROW(aws.launch(role, {.type_name = "p3.8xlarge", .count = 1}),
+               std::runtime_error);  // 4 GPUs > cap of 3
+  aws.launch(role, {.type_name = "g4dn.xlarge", .count = 3});
+  EXPECT_THROW(aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1}),
+               std::runtime_error);  // concurrent cap
+}
+
+TEST(Provisioner, TerminateWritesLedgerRecord) {
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("alice");
+  const auto ids = aws.launch(
+      role, {.type_name = "g5.xlarge", .count = 1, .assessment = "lab3"});
+  aws.advance_time(2.0);
+  aws.terminate(role, ids[0]);
+  ASSERT_EQ(aws.ledger().size(), 1u);
+  const auto& rec = aws.ledger().front();
+  EXPECT_EQ(rec.assessment, "lab3");
+  EXPECT_NEAR(rec.hours, 2.0, 1e-12);
+  EXPECT_NEAR(rec.cost_usd, 2.0 * 1.006, 1e-9);
+}
+
+TEST(Provisioner, CannotTerminateOthersInstances) {
+  cloud::Provisioner aws;
+  const auto alice = cloud::student_role("alice");
+  const auto bob = cloud::student_role("bob");
+  const auto ids = aws.launch(alice, {.type_name = "g4dn.xlarge", .count = 1});
+  EXPECT_THROW(aws.terminate(bob, ids[0]), std::runtime_error);
+  EXPECT_NO_THROW(aws.terminate(cloud::instructor_role(), ids[0]));
+}
+
+TEST(Provisioner, BudgetCapBlocksLaunches) {
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("alice");
+  aws.set_budget_cap(role.name(), {10.0});
+  const auto ids = aws.launch(role, {.type_name = "p3.2xlarge", .count = 1});
+  aws.advance_time(3.0);  // $9.18 accrued
+  EXPECT_THROW(aws.launch(role, {.type_name = "p3.2xlarge", .count = 1}),
+               std::runtime_error);
+  aws.terminate(role, ids[0]);
+  EXPECT_NEAR(aws.accrued_cost(role.name()), 3.0 * 3.06, 1e-9);
+}
+
+TEST(Provisioner, IdleReaperTerminatesForgottenInstances) {
+  cloud::Provisioner aws;
+  aws.enable_idle_reaper(1.0);
+  const auto role = cloud::student_role("alice");
+  const auto ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1});
+  aws.advance_time(0.5);
+  aws.touch(ids[0]);
+  aws.advance_time(0.5);
+  EXPECT_EQ(aws.reaped_count(), 0u);  // only 0.5h idle
+  aws.advance_time(3.0);
+  EXPECT_EQ(aws.reaped_count(), 1u);
+  EXPECT_EQ(aws.instance(ids[0]).state(), cloud::InstanceState::kTerminated);
+  ASSERT_EQ(aws.ledger().size(), 1u);
+  // Billed through reap time (last activity 0.5 + threshold 1.0 = 1.5), not
+  // through observation time (4.0).
+  EXPECT_NEAR(aws.ledger().front().hours, 1.5, 1e-9);
+}
+
+TEST(Provisioner, AdvanceTimeRejectsNegative) {
+  cloud::Provisioner aws;
+  EXPECT_THROW(aws.advance_time(-1.0), std::invalid_argument);
+}
+
+// --- cost report --------------------------------------------------------------------
+
+TEST(CostReport, RollupsAndMeans) {
+  cloud::Provisioner aws;
+  const auto alice = cloud::student_role("alice");
+  const auto bob = cloud::student_role("bob");
+  auto ids = aws.launch(alice, {.type_name = "g4dn.xlarge", .count = 1,
+                                .assessment = "lab1"});
+  aws.advance_time(2.0);
+  aws.terminate(alice, ids[0]);
+  ids = aws.launch(bob, {.type_name = "g5.xlarge", .count = 1,
+                         .assessment = "lab1"});
+  aws.advance_time(4.0);
+  aws.terminate(bob, ids[0]);
+
+  const cloud::CostReport report(aws.ledger());
+  EXPECT_EQ(report.record_count(), 2u);
+  EXPECT_NEAR(report.total_hours(), 6.0, 1e-9);
+  EXPECT_NEAR(report.mean_hours_per_owner(), 3.0, 1e-9);
+  const auto by_owner = report.by_owner();
+  ASSERT_EQ(by_owner.size(), 2u);
+  EXPECT_EQ(by_owner[0].key, "student/bob");  // higher cost first
+  const auto by_assessment = report.by_assessment();
+  ASSERT_EQ(by_assessment.size(), 1u);
+  EXPECT_EQ(by_assessment[0].sessions, 2u);
+}
+
+TEST(CostReport, SingleVsMultiGpuSessionRates) {
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("alice");
+  // Single-GPU session.
+  auto ids = aws.launch(role, {.type_name = "g5.xlarge", .count = 1,
+                               .assessment = "lab1"});
+  aws.advance_time(2.0);
+  aws.terminate(role, ids[0]);
+  // Multi-GPU (3-node cluster) session.
+  ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 3,
+                          .assessment = "assignment3"});
+  aws.advance_time(1.0);
+  for (const auto& id : ids) aws.terminate(role, id);
+
+  const cloud::CostReport report(aws.ledger());
+  EXPECT_NEAR(report.avg_single_gpu_rate(), 1.006, 1e-6);
+  EXPECT_NEAR(report.avg_multi_gpu_session_rate(), 3 * 0.526, 1e-6);
+}
+
+// --- AWS Educate sessions -----------------------------------------------------------
+
+TEST(Educate, SessionsAreFreeAndBudgetExempt) {
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("alice");
+  aws.set_budget_cap(role.name(), {1.0});  // tiny budget
+  // A paid p3 would blow the cap; Educate is exempt.
+  const auto ids = aws.launch(role, {.type_name = "p3.2xlarge", .count = 1,
+                                     .assessment = "lab2",
+                                     .educate = true});
+  aws.advance_time(5.0);
+  aws.terminate(role, ids[0]);
+  ASSERT_EQ(aws.ledger().size(), 1u);
+  EXPECT_TRUE(aws.ledger().front().educate);
+  EXPECT_DOUBLE_EQ(aws.ledger().front().cost_usd, 0.0);
+  EXPECT_NEAR(aws.ledger().front().hours, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(aws.accrued_cost(role.name()), 0.0);
+}
+
+TEST(Educate, CostReportExcludesEducateHours) {
+  // Appendix A: "We did not include the computational hours of GPU
+  // instances from AWS Educate."
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("alice");
+  auto ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1});
+  aws.advance_time(2.0);
+  aws.terminate(role, ids[0]);
+  ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1,
+                          .educate = true});
+  aws.advance_time(3.0);
+  aws.terminate(role, ids[0]);
+
+  const cloud::CostReport report(aws.ledger());
+  EXPECT_NEAR(report.total_hours(), 2.0, 1e-9);     // paid only
+  EXPECT_NEAR(report.educate_hours(), 3.0, 1e-9);   // tracked separately
+  EXPECT_NEAR(report.total_cost(), 2.0 * 0.526, 1e-9);
+  // Rollups only see paid sessions.
+  EXPECT_EQ(report.by_owner().front().sessions, 1u);
+}

@@ -1,0 +1,245 @@
+// Tests for the core module: Algorithm 1 (distributed GCN training) and
+// the LabRunner integration surface.
+#include <gtest/gtest.h>
+
+#include "core/distributed_gcn.hpp"
+#include "core/lab_runner.hpp"
+#include "core/version.hpp"
+
+namespace core = sagesim::core;
+namespace graph = sagesim::graph;
+namespace gpu = sagesim::gpu;
+namespace dflow = sagesim::dflow;
+using sagesim::stats::Rng;
+
+namespace {
+
+graph::Dataset small_dataset(std::uint64_t seed = 77) {
+  Rng rng(seed);
+  graph::PlantedPartitionParams p;
+  p.num_nodes = 240;
+  p.num_classes = 3;
+  p.feature_dim = 16;
+  p.intra_edge_prob = 0.06;
+  p.inter_edge_prob = 0.003;
+  p.feature_noise_sd = 1.0;
+  return graph::planted_partition(p, rng);
+}
+
+core::DistributedGcnConfig fast_config(int k) {
+  core::DistributedGcnConfig cfg;
+  cfg.num_partitions = k;
+  cfg.epochs = 25;
+  cfg.hidden = 8;
+  cfg.dropout = 0.1f;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Version, IsPopulated) {
+  EXPECT_STREQ(sagesim::version(), "1.0.0");
+  EXPECT_NE(std::string(sagesim::description()).find("sagesim"),
+            std::string::npos);
+}
+
+TEST(Alg1, SequentialBaselineLearns) {
+  const auto ds = small_dataset();
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  dflow::Cluster cluster(dm);
+  const auto res = core::train_distributed_gcn(ds, cluster, fast_config(1));
+  EXPECT_EQ(res.epoch_losses.size(), 25u);
+  EXPECT_LT(res.epoch_losses.back(), 0.7 * res.epoch_losses.front());
+  EXPECT_GT(res.test_accuracy, 0.7);
+  EXPECT_EQ(res.partition.edge_cut, 0u);
+  EXPECT_EQ(res.cut_edges_dropped, 0u);
+}
+
+TEST(Alg1, DistributedTrainingLearnsOnEveryWorkerCount) {
+  const auto ds = small_dataset();
+  for (int k : {2, 3}) {
+    gpu::DeviceManager dm(static_cast<std::size_t>(k), gpu::spec::t4());
+    dflow::Cluster cluster(dm);
+    const auto res = core::train_distributed_gcn(ds, cluster, fast_config(k));
+    EXPECT_LT(res.epoch_losses.back(), res.epoch_losses.front()) << "k=" << k;
+    EXPECT_GT(res.test_accuracy, 0.6) << "k=" << k;
+    EXPECT_EQ(res.gpu_utilization.size(), static_cast<std::size_t>(k));
+  }
+}
+
+TEST(Alg1, MetisPartitionCutsFewerEdgesThanRandom) {
+  const auto ds = small_dataset();
+  gpu::DeviceManager dm_a(2, gpu::spec::t4());
+  dflow::Cluster cluster_a(dm_a);
+  auto cfg = fast_config(2);
+  cfg.epochs = 3;
+  const auto metis = core::train_distributed_gcn(ds, cluster_a, cfg);
+
+  gpu::DeviceManager dm_b(2, gpu::spec::t4());
+  dflow::Cluster cluster_b(dm_b);
+  cfg.strategy = core::PartitionStrategy::kRandom;
+  const auto random = core::train_distributed_gcn(ds, cluster_b, cfg);
+
+  EXPECT_LT(metis.partition.edge_cut, random.partition.edge_cut);
+  EXPECT_LT(metis.cut_edges_dropped, random.cut_edges_dropped);
+}
+
+TEST(Alg1, SimulatedTimeIncludesSchedulerOverhead) {
+  const auto ds = small_dataset();
+  gpu::DeviceManager dm(2, gpu::spec::t4());
+  dflow::Cluster cluster(dm);
+  auto cfg = fast_config(2);
+  cfg.epochs = 5;
+  const auto res = core::train_distributed_gcn(ds, cluster, cfg);
+  // 5 epochs x 2k tasks x 1 ms = 20 ms of scheduler time at minimum.
+  EXPECT_GE(res.train_sim_seconds, 5 * 2 * 2 * cfg.scheduler_overhead_s);
+  const double sched =
+      dm.timeline().total_time(sagesim::prof::EventKind::kScheduler);
+  EXPECT_NEAR(sched, 5 * 2 * 2 * cfg.scheduler_overhead_s, 1e-9);
+}
+
+TEST(Alg1, ValidatesConfiguration) {
+  const auto ds = small_dataset();
+  gpu::DeviceManager dm(2, gpu::spec::t4());
+  dflow::Cluster cluster(dm);
+  auto cfg = fast_config(4);  // more partitions than workers
+  EXPECT_THROW(core::train_distributed_gcn(ds, cluster, cfg),
+               std::invalid_argument);
+  cfg = fast_config(0);
+  EXPECT_THROW(core::train_distributed_gcn(ds, cluster, cfg),
+               std::invalid_argument);
+  cfg = fast_config(2);
+  cfg.epochs = 0;
+  EXPECT_THROW(core::train_distributed_gcn(ds, cluster, cfg),
+               std::invalid_argument);
+}
+
+TEST(Alg1, BlockStrategyRuns) {
+  const auto ds = small_dataset();
+  gpu::DeviceManager dm(2, gpu::spec::t4());
+  dflow::Cluster cluster(dm);
+  auto cfg = fast_config(2);
+  cfg.strategy = core::PartitionStrategy::kBlock;
+  cfg.epochs = 3;
+  const auto res = core::train_distributed_gcn(ds, cluster, cfg);
+  EXPECT_GT(res.partition.edge_cut, 0u);
+}
+
+TEST(Alg1, StrategyNamesAreStable) {
+  EXPECT_STREQ(core::to_string(core::PartitionStrategy::kMetis), "metis");
+  EXPECT_STREQ(core::to_string(core::PartitionStrategy::kRandom), "random");
+  EXPECT_STREQ(core::to_string(core::PartitionStrategy::kBlock), "block");
+}
+
+// --- LabRunner ----------------------------------------------------------------
+
+TEST(LabRunner, TitleLookup) {
+  EXPECT_NE(core::LabRunner::title_of(3).find("memory profiling"),
+            std::string::npos);
+  EXPECT_THROW(core::LabRunner::title_of(7), std::invalid_argument);
+  EXPECT_THROW(core::LabRunner::title_of(16), std::invalid_argument);
+}
+
+TEST(LabRunner, Week1AwsSetupPasses) {
+  core::LabRunner runner(123);
+  const auto r = runner.run(1);
+  EXPECT_TRUE(r.passed) << r.notes;
+  EXPECT_EQ(r.week, 1);
+}
+
+TEST(LabRunner, Week2MatmulCorrectnessPasses) {
+  core::LabRunner runner(123);
+  const auto r = runner.run(2);
+  EXPECT_TRUE(r.passed) << r.notes;
+  EXPECT_GT(r.sim_gpu_seconds, 0.0);
+}
+
+TEST(LabRunner, Week3ProfilingDetectsTransfers) {
+  core::LabRunner runner(123);
+  const auto r = runner.run(3);
+  EXPECT_TRUE(r.passed) << r.notes;
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(LabRunner, Week6DataframePipelinePasses) {
+  core::LabRunner runner(123);
+  const auto r = runner.run(6);
+  EXPECT_TRUE(r.passed) << r.notes;
+}
+
+TEST(LabRunner, Week10DdpPasses) {
+  core::LabRunner runner(123);
+  const auto r = runner.run(10);
+  EXPECT_TRUE(r.passed) << r.notes;
+}
+
+TEST(LabRunner, Week12RagRetrievalPasses) {
+  core::LabRunner runner(123);
+  const auto r = runner.run(12);
+  EXPECT_TRUE(r.passed) << r.notes;
+}
+
+// --- Workflow builder ------------------------------------------------------------
+
+#include "cloudsim/provisioner.hpp"
+#include "core/workflow.hpp"
+
+namespace {
+
+struct WorkflowFixture : ::testing::Test {
+  gpu::DeviceManager devices{1, gpu::spec::test_tiny()};
+  sagesim::cloud::Provisioner aws;
+  core::WorkflowContext ctx{devices, aws};
+};
+
+}  // namespace
+
+TEST_F(WorkflowFixture, StagesRunInOrderAndShareState) {
+  core::Workflow wf("test");
+  wf.stage("produce", [](core::WorkflowContext& c) { c.put("x", 41); })
+      .stage("consume", [](core::WorkflowContext& c) {
+        c.get<int>("x") += 1;
+      });
+  const auto report = wf.run(ctx);
+  EXPECT_TRUE(report.ok);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_TRUE(report.stages[0].ok);
+  EXPECT_EQ(ctx.get<int>("x"), 42);
+}
+
+TEST_F(WorkflowFixture, FailureSkipsLaterStagesButRunsTeardown) {
+  bool teardown_ran = false, later_ran = false;
+  core::Workflow wf("failing");
+  wf.stage("boom", [](core::WorkflowContext&) {
+      throw std::runtime_error("exploded");
+    })
+      .stage("later", [&](core::WorkflowContext&) { later_ran = true; })
+      .stage("teardown", [&](core::WorkflowContext&) { teardown_ran = true; },
+             /*always_run=*/true);
+  const auto report = wf.run(ctx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(later_ran);
+  EXPECT_TRUE(teardown_ran);
+  EXPECT_EQ(report.stages[0].error, "exploded");
+  EXPECT_NE(report.stages[1].error.find("skipped"), std::string::npos);
+}
+
+TEST_F(WorkflowFixture, TracksSimGpuTimePerStage) {
+  core::Workflow wf("timed");
+  wf.stage("kernel", [](core::WorkflowContext& c) {
+    c.devices().device(0).launch_linear("k", 1u << 16, 128,
+                                        [](const gpu::ThreadCtx&) {});
+  });
+  const auto report = wf.run(ctx);
+  EXPECT_GT(report.stages[0].sim_gpu_seconds, 0.0);
+  EXPECT_GT(report.total_sim_gpu_seconds, 0.0);
+}
+
+TEST_F(WorkflowFixture, ContextValidation) {
+  EXPECT_THROW(ctx.get<int>("missing"), std::out_of_range);
+  ctx.put("s", std::string("hello"));
+  EXPECT_THROW(ctx.get<int>("s"), std::bad_any_cast);
+  EXPECT_TRUE(ctx.has("s"));
+  core::Workflow wf("bad");
+  EXPECT_THROW(wf.stage("null", nullptr), std::invalid_argument);
+}

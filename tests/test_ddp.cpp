@@ -1,0 +1,205 @@
+// Unit tests for ddp: gradient synchronization equivalence with single-GPU
+// training, ring-vs-naive agreement, and the data-parallel trainer.
+#include <gtest/gtest.h>
+
+#include "ddp/grad_sync.hpp"
+#include "ddp/trainer.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+
+namespace ddp = sagesim::ddp;
+namespace nn = sagesim::nn;
+namespace gpu = sagesim::gpu;
+namespace tensor = sagesim::tensor;
+using sagesim::stats::Rng;
+
+namespace {
+
+std::unique_ptr<nn::Sequential> make_mlp(std::uint64_t seed, std::size_t in,
+                                         std::size_t hidden,
+                                         std::size_t out) {
+  Rng rng(seed);
+  auto m = std::make_unique<nn::Sequential>();
+  m->emplace<nn::Dense>(in, hidden, rng);
+  m->emplace<nn::ReLU>();
+  m->emplace<nn::Dense>(hidden, out, rng);
+  return m;
+}
+
+}  // namespace
+
+TEST(GradSync, AveragesGradientsAcrossReplicas) {
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  auto m0 = make_mlp(1, 4, 8, 2);
+  auto m1 = make_mlp(1, 4, 8, 2);
+
+  // Hand-set distinct gradients.
+  for (nn::Param* p : m0->params())
+    for (std::size_t i = 0; i < p->size(); ++i) p->grad[i] = 2.0f;
+  for (nn::Param* p : m1->params())
+    for (std::size_t i = 0; i < p->size(); ++i) p->grad[i] = 4.0f;
+
+  ddp::GradientSynchronizer sync(dm, {m0->params(), m1->params()});
+  sync.sync();
+
+  for (nn::Param* p : m0->params())
+    for (std::size_t i = 0; i < p->size(); ++i)
+      ASSERT_FLOAT_EQ(p->grad[i], 3.0f);
+  for (nn::Param* p : m1->params())
+    for (std::size_t i = 0; i < p->size(); ++i)
+      ASSERT_FLOAT_EQ(p->grad[i], 3.0f);
+}
+
+TEST(GradSync, NaiveAlgoGivesSameResult) {
+  gpu::DeviceManager dm(3, gpu::spec::test_tiny());
+  std::vector<std::unique_ptr<nn::Sequential>> models;
+  std::vector<std::vector<nn::Param*>> params;
+  for (int r = 0; r < 3; ++r) {
+    models.push_back(make_mlp(1, 3, 4, 2));
+    auto ps = models.back()->params();
+    float v = static_cast<float>(r + 1);
+    for (nn::Param* p : ps)
+      for (std::size_t i = 0; i < p->size(); ++i) p->grad[i] = v;
+    params.push_back(std::move(ps));
+  }
+  ddp::GradientSynchronizer sync(dm, params, ddp::AllReduceAlgo::kNaive);
+  sync.sync();
+  for (const auto& ps : params)
+    for (nn::Param* p : ps)
+      for (std::size_t i = 0; i < p->size(); ++i)
+        ASSERT_FLOAT_EQ(p->grad[i], 2.0f);  // mean of 1,2,3
+}
+
+TEST(GradSync, ValidatesReplicaShapes) {
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  auto a = make_mlp(1, 4, 8, 2);
+  auto b = make_mlp(1, 4, 16, 2);  // different hidden width
+  EXPECT_THROW(ddp::GradientSynchronizer(dm, {a->params(), b->params()}),
+               std::invalid_argument);
+  auto c = make_mlp(1, 4, 8, 2);
+  EXPECT_THROW(ddp::GradientSynchronizer(dm, {a->params()}),
+               std::invalid_argument);
+}
+
+TEST(GradSync, BroadcastParamsMakesReplicasIdentical) {
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  auto a = make_mlp(1, 4, 8, 2);
+  auto b = make_mlp(999, 4, 8, 2);  // different init
+  std::vector<std::vector<nn::Param*>> replicas{a->params(), b->params()};
+  ddp::broadcast_params(dm, replicas);
+  Rng rng(5);
+  tensor::Tensor x(3, 4);
+  x.init_uniform(rng, -1, 1);
+  const auto ya = a->forward(nullptr, x, false);
+  const auto yb = b->forward(nullptr, x, false);
+  for (std::size_t i = 0; i < ya.size(); ++i) ASSERT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(DdpEquivalence, TwoGpuStepMatchesSingleGpuFullBatch) {
+  // The fundamental DDP contract: averaging per-shard gradients of a
+  // *linear* loss-mean equals the full-batch gradient when shards are
+  // equal-sized, so one DDP step == one full-batch step.
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster(dm);
+
+  Rng rng(7);
+  const std::size_t n = 64, d = 6;
+  tensor::Tensor x(n, d);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t f = 0; f < d; ++f)
+      x.at(i, f) = static_cast<float>(rng.normal(y[i] == 0 ? -1 : 1, 1));
+  }
+
+  // Reference: single full-batch SGD step (no dropout anywhere).
+  auto ref = make_mlp(123, d, 8, 2);
+  nn::Sgd ref_opt(0.1f);
+  ref->zero_grad();
+  auto loss = nn::softmax_cross_entropy(nullptr, ref->forward(nullptr, x, true), y);
+  ref->backward(nullptr, loss.dlogits);
+  auto ref_params = ref->params();
+  ref_opt.step(nullptr, ref_params);
+
+  // DDP: 2 replicas, same init seed.
+  ddp::DataParallelTrainer trainer(
+      cluster, [&] { return make_mlp(123, d, 8, 2); },
+      [] { return std::make_unique<nn::Sgd>(0.1f); });
+  trainer.step(x, y);
+
+  const auto y_ref = ref->forward(nullptr, x, false);
+  const auto y_ddp = trainer.predict(x);
+  for (std::size_t i = 0; i < y_ref.size(); ++i)
+    ASSERT_NEAR(y_ref[i], y_ddp[i], 1e-4f) << "at " << i;
+}
+
+TEST(DdpTrainer, LossDecreasesOverSteps) {
+  gpu::DeviceManager dm(4, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster(dm);
+  Rng rng(8);
+  const std::size_t n = 128, d = 8;
+  tensor::Tensor x(n, d);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t f = 0; f < d; ++f)
+      x.at(i, f) = static_cast<float>(rng.normal(y[i] == 0 ? -0.7 : 0.7, 1));
+  }
+  ddp::DataParallelTrainer trainer(
+      cluster, [&] { return make_mlp(55, d, 16, 2); },
+      [] { return std::make_unique<nn::Adam>(5e-3f); });
+  double first = 0.0, last = 0.0;
+  for (int s = 0; s < 25; ++s) {
+    const auto stats = trainer.step(x, y);
+    if (s == 0) first = stats.mean_loss;
+    last = stats.mean_loss;
+    EXPECT_GT(stats.sim_time_s, 0.0);
+  }
+  EXPECT_LT(last, first);
+  EXPECT_GT(nn::accuracy(trainer.predict(x), y), 0.8);
+}
+
+TEST(DdpTrainer, RingAndNaiveConvergeIdentically) {
+  Rng rng(9);
+  const std::size_t n = 64, d = 4;
+  tensor::Tensor x(n, d);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t f = 0; f < d; ++f)
+      x.at(i, f) = static_cast<float>(rng.normal(y[i] == 0 ? -1 : 1, 0.5));
+  }
+
+  auto run = [&](ddp::AllReduceAlgo algo) {
+    gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+    sagesim::dflow::Cluster cluster(dm);
+    ddp::DataParallelTrainer trainer(
+        cluster, [&] { return make_mlp(321, d, 8, 2); },
+        [] { return std::make_unique<nn::Sgd>(0.05f); }, algo);
+    for (int s = 0; s < 10; ++s) trainer.step(x, y);
+    return trainer.predict(x);
+  };
+  const auto ring = run(ddp::AllReduceAlgo::kRing);
+  const auto naive = run(ddp::AllReduceAlgo::kNaive);
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    ASSERT_NEAR(ring[i], naive[i], 1e-4f);
+}
+
+TEST(DdpTrainer, RejectsDegenerateInputs) {
+  gpu::DeviceManager dm(1, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster(dm);
+  EXPECT_THROW(ddp::DataParallelTrainer(
+                   cluster, [] { return make_mlp(1, 2, 4, 2); },
+                   [] { return std::make_unique<nn::Sgd>(0.1f); }),
+               std::invalid_argument);  // single worker
+
+  gpu::DeviceManager dm2(2, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster2(dm2);
+  ddp::DataParallelTrainer trainer(
+      cluster2, [] { return make_mlp(1, 2, 4, 2); },
+      [] { return std::make_unique<nn::Sgd>(0.1f); });
+  tensor::Tensor x(1, 2);  // batch smaller than world size
+  const std::vector<int> y{0};
+  EXPECT_THROW(trainer.step(x, y), std::invalid_argument);
+}

@@ -1,0 +1,291 @@
+// Unit tests for dflow: futures, the Dask-like cluster, and collectives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dflow/cluster.hpp"
+#include "dflow/collectives.hpp"
+
+namespace dflow = sagesim::dflow;
+namespace gpu = sagesim::gpu;
+
+namespace {
+
+gpu::DeviceManager make_devices(std::size_t n) {
+  return gpu::DeviceManager(n, gpu::spec::test_tiny());
+}
+
+}  // namespace
+
+// --- Future -------------------------------------------------------------------
+
+TEST(Future, DeliversValue) {
+  dflow::Future f;
+  EXPECT_FALSE(f.ready());
+  f.deliver(std::string("hello"));
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.get<std::string>(), "hello");
+}
+
+TEST(Future, ImmediateIsReady) {
+  auto f = dflow::Future::immediate(42);
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.get<int>(), 42);
+}
+
+TEST(Future, PropagatesFailure) {
+  dflow::Future f;
+  f.fail(std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_THROW(f.wait(), std::runtime_error);
+}
+
+TEST(Future, DoubleDeliveryIsAnError) {
+  dflow::Future f;
+  f.deliver(1);
+  EXPECT_THROW(f.deliver(2), std::logic_error);
+}
+
+TEST(Future, CopiesShareState) {
+  dflow::Future f;
+  dflow::Future g = f;
+  f.deliver(7);
+  EXPECT_EQ(g.get<int>(), 7);
+}
+
+TEST(Future, TypeMismatchThrowsBadAnyCast) {
+  auto f = dflow::Future::immediate(3.14);
+  EXPECT_THROW(f.get<int>(), std::bad_any_cast);
+}
+
+TEST(Future, WaitBlocksUntilDelivery) {
+  dflow::Future f;
+  std::thread producer([f]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    f.deliver(99);
+  });
+  EXPECT_EQ(f.get<int>(), 99);
+  producer.join();
+}
+
+// --- Cluster -------------------------------------------------------------------
+
+TEST(Cluster, OneWorkerPerDevice) {
+  auto dm = make_devices(3);
+  dflow::Cluster cluster(dm);
+  EXPECT_EQ(cluster.world_size(), 3);
+}
+
+TEST(Cluster, SubmitRunsOnRequestedRank) {
+  auto dm = make_devices(2);
+  dflow::Cluster cluster(dm);
+  auto f = cluster.submit(
+      "who", [](dflow::WorkerCtx& ctx) -> std::any { return ctx.rank; }, {},
+      1);
+  EXPECT_EQ(f.get<int>(), 1);
+}
+
+TEST(Cluster, SubmitRejectsBadRank) {
+  auto dm = make_devices(2);
+  dflow::Cluster cluster(dm);
+  EXPECT_THROW(cluster.submit("x", [](dflow::WorkerCtx&) -> std::any {
+                 return {};
+               }, {}, 5),
+               std::out_of_range);
+}
+
+TEST(Cluster, MapCoversAllRanks) {
+  auto dm = make_devices(4);
+  dflow::Cluster cluster(dm);
+  auto futures = cluster.map("rank", [](dflow::WorkerCtx& ctx) -> std::any {
+    return ctx.rank * 10;
+  });
+  ASSERT_EQ(futures.size(), 4u);
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(futures[static_cast<std::size_t>(r)].get<int>(), r * 10);
+}
+
+TEST(Cluster, DependenciesRunBeforeDependents) {
+  auto dm = make_devices(2);
+  dflow::Cluster cluster(dm);
+  std::atomic<int> stage{0};
+  auto first = cluster.submit("first", [&](dflow::WorkerCtx&) -> std::any {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stage.store(1);
+    return {};
+  }, {}, 0);
+  auto second = cluster.submit(
+      "second",
+      [&](dflow::WorkerCtx&) -> std::any { return stage.load(); },
+      {first}, 1);
+  EXPECT_EQ(second.get<int>(), 1);
+}
+
+TEST(Cluster, DependencyFailurePropagates) {
+  auto dm = make_devices(2);
+  dflow::Cluster cluster(dm);
+  auto bad = cluster.submit("bad", [](dflow::WorkerCtx&) -> std::any {
+    throw std::runtime_error("dep failed");
+  });
+  auto dependent = cluster.submit(
+      "dep", [](dflow::WorkerCtx&) -> std::any { return 1; }, {bad});
+  EXPECT_THROW(dependent.wait(), std::runtime_error);
+}
+
+TEST(Cluster, WorkerSeesItsDevice) {
+  auto dm = make_devices(2);
+  dflow::Cluster cluster(dm);
+  auto results = cluster.run_on_all("dev", [&](dflow::WorkerCtx& ctx) -> std::any {
+    return ctx.device->ordinal();
+  });
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(std::any_cast<int>(results[0]), 0);
+  EXPECT_EQ(std::any_cast<int>(results[1]), 1);
+}
+
+TEST(Cluster, ScatterRequiresOnePerWorker) {
+  auto dm = make_devices(2);
+  dflow::Cluster cluster(dm);
+  EXPECT_THROW(cluster.scatter({std::any(1)}), std::invalid_argument);
+  auto futures = cluster.scatter({std::any(1), std::any(2)});
+  EXPECT_EQ(futures[1].get<int>(), 2);
+}
+
+TEST(Cluster, WaitAllDrainsEverything) {
+  auto dm = make_devices(2);
+  dflow::Cluster cluster(dm);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i)
+    cluster.submit("t", [&](dflow::WorkerCtx&) -> std::any {
+      done.fetch_add(1);
+      return {};
+    });
+  cluster.wait_all();
+  EXPECT_EQ(done.load(), 20);
+  EXPECT_EQ(cluster.completed_tasks(), 20u);
+}
+
+TEST(Cluster, ManyChainedTasksDoNotDeadlock) {
+  auto dm = make_devices(3);
+  dflow::Cluster cluster(dm);
+  dflow::Future prev = dflow::Future::immediate(0);
+  for (int i = 1; i <= 50; ++i) {
+    prev = cluster.submit(
+        "chain",
+        [prev](dflow::WorkerCtx&) -> std::any {
+          return prev.get<int>() + 1;
+        },
+        {prev});
+  }
+  EXPECT_EQ(prev.get<int>(), 50);
+}
+
+// --- collectives ----------------------------------------------------------------
+
+class AllReduceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllReduceTest, RingSumsAcrossDevices) {
+  const std::size_t k = GetParam();
+  auto dm = make_devices(k);
+  const std::size_t n = 1000;
+
+  std::vector<gpu::DeviceBuffer<float>> bufs;
+  std::vector<dflow::CollectiveBuffer> views;
+  for (std::size_t r = 0; r < k; ++r) {
+    std::vector<float> host(n);
+    for (std::size_t i = 0; i < n; ++i)
+      host[i] = static_cast<float>(r + 1) * static_cast<float>(i % 7);
+    bufs.push_back(gpu::make_buffer<float>(dm.device(r), host));
+    views.push_back({r, bufs.back().data()});
+  }
+  dflow::ring_allreduce_sum(dm, views, n);
+
+  const float rank_sum = static_cast<float>(k * (k + 1)) / 2.0f;
+  for (std::size_t r = 0; r < k; ++r) {
+    const auto host = bufs[r].to_host();
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_FLOAT_EQ(host[i], rank_sum * static_cast<float>(i % 7))
+          << "rank " << r << " element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, AllReduceTest,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+TEST(Collectives, NaiveMatchesRing) {
+  auto dm = make_devices(4);
+  const std::size_t n = 257;  // non-divisible by k
+  std::vector<gpu::DeviceBuffer<float>> ring_bufs, naive_bufs;
+  std::vector<dflow::CollectiveBuffer> ring_views, naive_views;
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::vector<float> host(n);
+    for (std::size_t i = 0; i < n; ++i)
+      host[i] = static_cast<float>((r * 31 + i) % 13) - 6.0f;
+    ring_bufs.push_back(gpu::make_buffer<float>(dm.device(r), host));
+    naive_bufs.push_back(gpu::make_buffer<float>(dm.device(r), host));
+    ring_views.push_back({r, ring_bufs.back().data()});
+    naive_views.push_back({r, naive_bufs.back().data()});
+  }
+  dflow::ring_allreduce_sum(dm, ring_views, n);
+  dflow::naive_allreduce_sum(dm, naive_views, n);
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto a = ring_bufs[r].to_host();
+    const auto b = naive_bufs[r].to_host();
+    for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Collectives, BroadcastCopiesRoot) {
+  auto dm = make_devices(3);
+  const std::size_t n = 64;
+  std::vector<gpu::DeviceBuffer<float>> bufs;
+  std::vector<dflow::CollectiveBuffer> views;
+  for (std::size_t r = 0; r < 3; ++r) {
+    std::vector<float> host(n, static_cast<float>(r));
+    bufs.push_back(gpu::make_buffer<float>(dm.device(r), host));
+    views.push_back({r, bufs.back().data()});
+  }
+  dflow::broadcast(dm, views, n, 2);
+  for (std::size_t r = 0; r < 3; ++r)
+    EXPECT_FLOAT_EQ(bufs[r].to_host()[0], 2.0f);
+}
+
+TEST(Collectives, ScaleDividesEverywhere) {
+  auto dm = make_devices(2);
+  const std::size_t n = 32;
+  std::vector<gpu::DeviceBuffer<float>> bufs;
+  std::vector<dflow::CollectiveBuffer> views;
+  for (std::size_t r = 0; r < 2; ++r) {
+    std::vector<float> host(n, 10.0f);
+    bufs.push_back(gpu::make_buffer<float>(dm.device(r), host));
+    views.push_back({r, bufs.back().data()});
+  }
+  dflow::scale_buffers(dm, views, n, 0.5f);
+  EXPECT_FLOAT_EQ(bufs[0].to_host()[5], 5.0f);
+  EXPECT_FLOAT_EQ(bufs[1].to_host()[31], 5.0f);
+}
+
+TEST(Collectives, ValidatesInputs) {
+  auto dm = make_devices(2);
+  std::vector<dflow::CollectiveBuffer> one = {{0, nullptr}};
+  EXPECT_THROW(dflow::ring_allreduce_sum(dm, one, 10), std::invalid_argument);
+  std::vector<dflow::CollectiveBuffer> nulls = {{0, nullptr}, {1, nullptr}};
+  EXPECT_THROW(dflow::ring_allreduce_sum(dm, nulls, 10),
+               std::invalid_argument);
+}
+
+TEST(Collectives, RingAdvancesSimulatedTime) {
+  auto dm = make_devices(2);
+  const std::size_t n = 4096;
+  std::vector<gpu::DeviceBuffer<float>> bufs;
+  std::vector<dflow::CollectiveBuffer> views;
+  for (std::size_t r = 0; r < 2; ++r) {
+    bufs.emplace_back(dm.device(r), n);
+    views.push_back({r, bufs.back().data()});
+  }
+  const double before = dm.now_s();
+  dflow::ring_allreduce_sum(dm, views, n);
+  EXPECT_GT(dm.now_s(), before);
+  EXPECT_GT(dm.timeline().total_time(sagesim::prof::EventKind::kMemcpyD2D),
+            0.0);
+}

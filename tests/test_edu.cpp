@@ -1,0 +1,413 @@
+// Unit tests for edu: cohort calibration against Table IV, grading scheme
+// of §IV.A, survey models against the reported counts, enrollment
+// consistency, and the AWS usage model against §III.A.1 / Appendix A.
+#include <gtest/gtest.h>
+
+#include "edu/aws_usage.hpp"
+#include "edu/cohort.hpp"
+#include "edu/enrollment.hpp"
+#include "edu/grading.hpp"
+#include "edu/survey.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/tests.hpp"
+
+namespace edu = sagesim::edu;
+namespace stats = sagesim::stats;
+
+// --- cohort ---------------------------------------------------------------------
+
+TEST(Cohort, GeneratesRequestedComposition) {
+  edu::CohortParams params;
+  params.graduates = 20;
+  params.undergraduates = 20;
+  const auto cohort = edu::generate_cohort(params, 1);
+  EXPECT_EQ(cohort.size(), 40u);
+  EXPECT_EQ(edu::scores_of(cohort, edu::Level::kGraduate).size(), 20u);
+  EXPECT_EQ(edu::scores_of(cohort, edu::Level::kUndergraduate).size(), 20u);
+}
+
+TEST(Cohort, DeterministicGivenSeed) {
+  edu::CohortParams params;
+  const auto a = edu::generate_cohort(params, 7);
+  const auto b = edu::generate_cohort(params, 7);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].total_score, b[i].total_score);
+}
+
+TEST(Cohort, CalibratedToTableIvMoments) {
+  // Large cohort: the generator's population moments should sit near the
+  // paper's reported Table IV statistics.
+  edu::CohortParams params;
+  params.graduates = 4000;
+  params.undergraduates = 4000;
+  const auto cohort = edu::generate_cohort(params, 11);
+  const auto grad = edu::scores_of(cohort, edu::Level::kGraduate);
+  const auto ug = edu::scores_of(cohort, edu::Level::kUndergraduate);
+
+  EXPECT_NEAR(stats::mean(grad), 94.36, 1.5);
+  EXPECT_NEAR(stats::sample_sd(grad), 6.91, 2.0);
+  EXPECT_NEAR(stats::mean(ug), 83.51, 1.5);
+  EXPECT_NEAR(stats::sample_sd(ug), 11.33, 2.0);
+  // Graduates skew left (tight upper cluster, long lower tail).
+  EXPECT_LT(stats::skewness(grad), -1.0);
+  // Medians: grads near the cap.
+  EXPECT_GT(stats::median(grad), 95.0);
+}
+
+TEST(Cohort, GradDistributionIsNonNormalUgLess) {
+  // The paper's Table III shape: graduate scores fail Shapiro-Wilk much
+  // harder than undergraduate scores.
+  edu::CohortParams params;
+  const auto cohort = edu::generate_cohort(params, 42);
+  const auto grad = edu::scores_of(cohort, edu::Level::kGraduate);
+  const auto ug = edu::scores_of(cohort, edu::Level::kUndergraduate);
+  const auto sw_grad = stats::shapiro_wilk(grad);
+  const auto sw_ug = stats::shapiro_wilk(ug);
+  EXPECT_LT(sw_grad.w, sw_ug.w);
+  EXPECT_LT(sw_grad.p_value, 0.05);
+}
+
+TEST(Cohort, LetterGradeCutoffs) {
+  EXPECT_EQ(edu::letter_grade(95.0), 'A');
+  EXPECT_EQ(edu::letter_grade(90.0), 'A');
+  EXPECT_EQ(edu::letter_grade(89.99), 'B');
+  EXPECT_EQ(edu::letter_grade(70.0), 'C');
+  EXPECT_EQ(edu::letter_grade(65.0), 'D');
+  EXPECT_EQ(edu::letter_grade(10.0), 'F');
+  EXPECT_THROW(edu::letter_grade(101.0), std::invalid_argument);
+}
+
+TEST(Cohort, GradeDistributionSums) {
+  edu::CohortParams params;
+  const auto cohort = edu::generate_cohort(params, 3);
+  const auto dist = edu::grade_distribution(cohort);
+  EXPECT_EQ(dist.total(), cohort.size());
+  EXPECT_GT(dist.fraction_a(), 0.0);
+}
+
+// --- grading scheme ---------------------------------------------------------------
+
+TEST(Grading, DefaultSchemeIsValid) {
+  edu::GradingScheme scheme;
+  EXPECT_NO_THROW(scheme.validate());
+  EXPECT_NEAR(scheme.total_weight(), 1.0, 1e-12);
+}
+
+TEST(Grading, ValidateEnforcesPaperConstraints) {
+  edu::GradingScheme scheme;
+  scheme.labs_weight = 0.30;  // breaks the 50% interactive split
+  EXPECT_THROW(scheme.validate(), std::invalid_argument);
+  scheme = edu::GradingScheme{};
+  scheme.lab_count = 10;  // outside 12-14
+  EXPECT_THROW(scheme.validate(), std::invalid_argument);
+}
+
+TEST(Grading, WeightedTotalMatchesHandComputation) {
+  edu::GradingScheme scheme;
+  edu::ComponentScores s;
+  s.labs.assign(static_cast<std::size_t>(scheme.lab_count), 80.0);
+  s.assignments.assign(4, 90.0);
+  s.project = 100.0;
+  s.participation = 100.0;
+  s.midterm = 70.0;
+  s.final_exam = 80.0;
+  const double expected = 0.25 * 80 + 0.25 * 90 + 0.15 * 100 + 0.10 * 100 +
+                          0.125 * 70 + 0.125 * 80;
+  EXPECT_NEAR(edu::weighted_total(scheme, s), expected, 1e-9);
+}
+
+TEST(Grading, WeightedTotalValidatesRanges) {
+  edu::GradingScheme scheme;
+  edu::ComponentScores s;
+  s.labs = {120.0};  // out of range
+  s.assignments = {90.0};
+  EXPECT_THROW(edu::weighted_total(scheme, s), std::invalid_argument);
+  edu::ComponentScores empty;
+  EXPECT_THROW(edu::weighted_total(scheme, empty), std::invalid_argument);
+}
+
+TEST(Grading, ExamAveragesSitInPaperBand) {
+  // "The exam average remained remarkably consistent ... between 75-80%."
+  edu::GradingScheme scheme;
+  stats::Rng rng(5);
+  double midterm_sum = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const auto s = edu::simulate_components(
+        scheme, edu::Level::kUndergraduate, edu::Semester::kFall2024, rng);
+    midterm_sum += s.midterm;
+  }
+  EXPECT_NEAR(midterm_sum / n, 77.5, 2.0);
+}
+
+TEST(Grading, SpringLiftImprovesInteractiveScores) {
+  edu::GradingScheme scheme;
+  stats::Rng rng_f(6), rng_s(6);
+  double fall = 0.0, spring = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const auto f = edu::simulate_components(
+        scheme, edu::Level::kUndergraduate, edu::Semester::kFall2024, rng_f);
+    const auto s = edu::simulate_components(scheme,
+                                            edu::Level::kUndergraduate,
+                                            edu::Semester::kSpring2025, rng_s);
+    fall += edu::weighted_total(scheme, f);
+    spring += edu::weighted_total(scheme, s);
+  }
+  EXPECT_GT(spring / n, fall / n + 1.0);  // Fig. 2's Spring uplift
+}
+
+// --- surveys --------------------------------------------------------------------
+
+TEST(Survey, ReportedCountsMatchQuotedNumbers) {
+  // Fig. 4a Fall 2024: 2 SD, 2 D, 1 N, 2 A, 2 SA (quoted verbatim).
+  const auto f24 =
+      edu::reported_counts(edu::SurveyQuestion::kNumbaCuda,
+                           edu::SurveyWave::kFinal, edu::Semester::kFall2024);
+  EXPECT_EQ(f24, (std::array<std::size_t, 5>{2, 2, 1, 2, 2}));
+
+  // Fig. 4b Spring 2025 mid-course: 12 disagreeing, 8 neutral, 11 agreeing.
+  const auto s25 = edu::reported_counts(edu::SurveyQuestion::kAwsGpuCluster,
+                                        edu::SurveyWave::kMidCourse,
+                                        edu::Semester::kSpring2025);
+  EXPECT_EQ(s25[0] + s25[1], 12u);
+  EXPECT_EQ(s25[2], 8u);
+  EXPECT_EQ(s25[3] + s25[4], 11u);
+
+  // Fig. 4d Spring 2025: ten students disagreeing.
+  const auto multi = edu::reported_counts(edu::SurveyQuestion::kMultiGpu,
+                                          edu::SurveyWave::kFinal,
+                                          edu::Semester::kSpring2025);
+  EXPECT_EQ(multi[0] + multi[1], 10u);
+}
+
+TEST(Survey, ProfilingConfidenceDipsAfterMidterm) {
+  // §IV.C / Fig. 4c: confidence declines between mid and final in both
+  // semesters, with a smaller dip in Spring.
+  using edu::SurveyQuestion;
+  using edu::SurveyWave;
+  auto mean_of = [](const std::array<std::size_t, 5>& counts) {
+    const auto responses = stats::responses_from_counts(counts);
+    return stats::summarize_likert(responses).mean_score();
+  };
+  const double f24_dip =
+      mean_of(edu::reported_counts(SurveyQuestion::kProfilingTools,
+                                   SurveyWave::kMidCourse,
+                                   edu::Semester::kFall2024)) -
+      mean_of(edu::reported_counts(SurveyQuestion::kProfilingTools,
+                                   SurveyWave::kFinal,
+                                   edu::Semester::kFall2024));
+  const double s25_dip =
+      mean_of(edu::reported_counts(SurveyQuestion::kProfilingTools,
+                                   SurveyWave::kMidCourse,
+                                   edu::Semester::kSpring2025)) -
+      mean_of(edu::reported_counts(SurveyQuestion::kProfilingTools,
+                                   SurveyWave::kFinal,
+                                   edu::Semester::kSpring2025));
+  EXPECT_GT(f24_dip, 0.0);
+  EXPECT_GT(s25_dip, 0.0);
+  EXPECT_LT(s25_dip, f24_dip);  // "less pronounced" in Spring
+}
+
+TEST(Survey, AwsConfidenceImprovesMidToFinal) {
+  using edu::SurveyQuestion;
+  using edu::SurveyWave;
+  for (const auto sem :
+       {edu::Semester::kFall2024, edu::Semester::kSpring2025}) {
+    auto mean_of = [](const std::array<std::size_t, 5>& counts) {
+      return stats::summarize_likert(stats::responses_from_counts(counts))
+          .mean_score();
+    };
+    EXPECT_GT(mean_of(edu::reported_counts(SurveyQuestion::kAwsGpuCluster,
+                                           SurveyWave::kFinal, sem)),
+              mean_of(edu::reported_counts(SurveyQuestion::kAwsGpuCluster,
+                                           SurveyWave::kMidCourse, sem)));
+  }
+}
+
+TEST(Survey, MultiGpuIsFinalOnly) {
+  EXPECT_THROW(edu::reported_counts(edu::SurveyQuestion::kMultiGpu,
+                                    edu::SurveyWave::kMidCourse,
+                                    edu::Semester::kFall2024),
+               std::invalid_argument);
+}
+
+TEST(Survey, SampledResponsesFollowReportedDistribution) {
+  stats::Rng rng(9);
+  const auto responses = edu::sample_responses(
+      edu::SurveyQuestion::kAwsGpuCluster, edu::SurveyWave::kFinal,
+      edu::Semester::kSpring2025, 5000, rng);
+  const auto summary = stats::summarize_likert(responses);
+  // Final S25 distribution is strongly agree-leaning.
+  EXPECT_GT(summary.top2_fraction(), 0.6);
+  EXPECT_LT(summary.bottom2_fraction(), 0.15);
+}
+
+TEST(Survey, EvalDistributionsAreNormalizedAndShaped) {
+  for (int q = 0; q < edu::kEvalQuestionCount; ++q) {
+    for (const auto level :
+         {edu::Level::kUndergraduate, edu::Level::kGraduate}) {
+      const auto dist =
+          edu::eval_distribution(static_cast<edu::EvalQuestion>(q), level);
+      double total = 0.0;
+      for (double p : dist) total += p;
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+  // Fig. 3: lab questions have lower "Always" than content questions.
+  const auto content = edu::eval_distribution(edu::EvalQuestion::kKnowledge,
+                                              edu::Level::kUndergraduate);
+  const auto lab = edu::eval_distribution(edu::EvalQuestion::kLabExplained,
+                                          edu::Level::kUndergraduate);
+  EXPECT_GT(content[4], lab[4]);
+}
+
+TEST(Survey, SatisfactionMatchesAppendixD) {
+  const auto f24 = edu::reported_satisfaction(edu::Semester::kFall2024);
+  EXPECT_EQ(f24[4], 7u);  // 87.5% of 8
+  EXPECT_EQ(f24[0], 1u);  // the isolated Very Low
+  const auto s25 = edu::reported_satisfaction(edu::Semester::kSpring2025);
+  EXPECT_EQ(s25[4], 6u);
+  EXPECT_EQ(s25[3], 4u);
+  EXPECT_THROW(edu::reported_satisfaction(edu::Semester::kSummer2025),
+               std::invalid_argument);
+}
+
+// --- enrollment -------------------------------------------------------------------
+
+TEST(Enrollment, ConsistentWithEveryPaperNumber) {
+  const auto terms = edu::enrollment_by_term();
+  ASSERT_EQ(terms.size(), 3u);
+  // Spring 2025: "fifteen graduate students enroll".
+  EXPECT_EQ(edu::enrollment(edu::Semester::kSpring2025).graduates, 15u);
+  // "about thirty-nine students" across Fall 2024 + Spring 2025.
+  const auto total = edu::enrollment(edu::Semester::kFall2024).total() +
+                     edu::enrollment(edu::Semester::kSpring2025).total();
+  EXPECT_NEAR(static_cast<double>(total), 39.0, 2.0);
+  // Appendix C analyzes 20 graduates across the two terms.
+  EXPECT_EQ(edu::enrollment(edu::Semester::kFall2024).graduates +
+                edu::enrollment(edu::Semester::kSpring2025).graduates,
+            20u);
+  // Appendix D: 18 evaluation respondents (8 + 10).
+  EXPECT_EQ(edu::evaluation_respondents(edu::Semester::kFall2024) +
+                edu::evaluation_respondents(edu::Semester::kSpring2025),
+            18u);
+}
+
+// --- AWS usage ---------------------------------------------------------------------
+
+TEST(AwsUsage, ReproducesPaperCostEnvelope) {
+  edu::UsageParams params;
+  params.semester = edu::Semester::kSpring2025;
+  params.students = 10;
+  const auto usage = edu::simulate_semester_usage(params, 21);
+  // §III.A.1: 40-45 hours and $50-60 per student for the semester.
+  EXPECT_GE(usage.mean_hours_per_student, 35.0);
+  EXPECT_LE(usage.mean_hours_per_student, 50.0);
+  EXPECT_GE(usage.mean_cost_per_student, 40.0);
+  EXPECT_LE(usage.mean_cost_per_student, 70.0);
+  // Blended rates near the reported $1.262 and $2.314.
+  EXPECT_NEAR(usage.avg_single_gpu_rate, 1.262, 0.25);
+  EXPECT_NEAR(usage.avg_multi_gpu_rate, 2.314, 0.5);
+}
+
+TEST(AwsUsage, SpringRunsMoreLabs) {
+  edu::UsageParams fall;
+  fall.semester = edu::Semester::kFall2024;
+  edu::UsageParams spring;
+  spring.semester = edu::Semester::kSpring2025;
+  EXPECT_EQ(fall.aws_lab_count(), 12);
+  EXPECT_EQ(spring.aws_lab_count(), 14);
+
+  const auto fall_usage = edu::simulate_semester_usage(fall, 22);
+  const auto spring_usage = edu::simulate_semester_usage(spring, 22);
+  // Appendix A: Spring's average hours rise due to the two extra labs.
+  EXPECT_GT(spring_usage.mean_hours_per_student,
+            fall_usage.mean_hours_per_student);
+}
+
+TEST(AwsUsage, DeterministicAndBudgetRespecting) {
+  edu::UsageParams params;
+  params.students = 3;
+  const auto a = edu::simulate_semester_usage(params, 30);
+  const auto b = edu::simulate_semester_usage(params, 30);
+  EXPECT_DOUBLE_EQ(a.mean_cost_per_student, b.mean_cost_per_student);
+  // No student exceeds the $100 cap ("no one found it necessary to request
+  // additional funds").
+  for (const auto& row :
+       sagesim::cloud::CostReport(a.provisioner.ledger()).by_owner())
+    EXPECT_LE(row.cost_usd, 100.0);
+}
+
+// --- Appendix B: extra credit -------------------------------------------------------
+
+#include "edu/extra_credit.hpp"
+
+TEST(ExtraCredit, ReportedOutcomesMatchAppendixB) {
+  const auto lab_f24 = edu::reported_extra_credit(
+      edu::ExtraCredit::kBuildYourOwnLab, edu::Semester::kFall2024);
+  EXPECT_EQ(lab_f24.attempts, 0u);  // "No students attempted"
+
+  const auto lab_s25 = edu::reported_extra_credit(
+      edu::ExtraCredit::kBuildYourOwnLab, edu::Semester::kSpring2025);
+  EXPECT_EQ(lab_s25.attempts, 3u);       // "three students submitted"
+  EXPECT_EQ(lab_s25.met_outcomes, 0u);   // "none ... fully met"
+
+  const auto review = edu::reported_extra_credit(
+      edu::ExtraCredit::kPaperReview, edu::Semester::kSpring2025);
+  EXPECT_NEAR(review.completion_rate, 0.6, 0.05);  // "approximately 60%"
+  EXPECT_GT(review.met_outcomes, 0u);
+}
+
+TEST(ExtraCredit, RejectsUnofferedCombinations) {
+  EXPECT_THROW(edu::reported_extra_credit(edu::ExtraCredit::kPaperReview,
+                                          edu::Semester::kFall2024),
+               std::invalid_argument);
+  EXPECT_THROW(edu::reported_extra_credit(edu::ExtraCredit::kBuildYourOwnLab,
+                                          edu::Semester::kSummer2025),
+               std::invalid_argument);
+}
+
+TEST(ExtraCredit, SamplingFollowsReportedRates) {
+  stats::Rng rng(60);
+  int attempted = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i)
+    if (edu::sample_extra_credit(edu::ExtraCredit::kPaperReview,
+                                 edu::Semester::kSpring2025, rng)
+            .attempted)
+      ++attempted;
+  EXPECT_NEAR(static_cast<double>(attempted) / n, 0.6, 0.03);
+
+  // Build-your-own-lab submissions never meet outcomes in Spring 2025.
+  for (int i = 0; i < 200; ++i)
+    EXPECT_FALSE(edu::sample_extra_credit(edu::ExtraCredit::kBuildYourOwnLab,
+                                          edu::Semester::kSpring2025, rng)
+                     .met_outcomes);
+}
+
+// --- integration: paired survey waves through Wilcoxon -----------------------------
+
+#include "stats/nonparametric.hpp"
+
+TEST(SurveyIntegration, WilcoxonConfirmsAwsConfidenceGain) {
+  // Treat each simulated student's mid and final AWS-cluster responses as a
+  // pair; the signed-rank test should confirm the §IV.C improvement.
+  stats::Rng rng(71);
+  const std::size_t n = 31;  // Spring 2025 respondents
+  std::vector<double> mid, fin;
+  const auto mid_r = edu::sample_responses(edu::SurveyQuestion::kAwsGpuCluster,
+                                           edu::SurveyWave::kMidCourse,
+                                           edu::Semester::kSpring2025, n, rng);
+  const auto fin_r = edu::sample_responses(edu::SurveyQuestion::kAwsGpuCluster,
+                                           edu::SurveyWave::kFinal,
+                                           edu::Semester::kSpring2025, n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    mid.push_back(mid_r[i]);
+    fin.push_back(fin_r[i]);
+  }
+  const auto w =
+      stats::wilcoxon_signed_rank(mid, fin, stats::Alternative::kGreater);
+  EXPECT_LT(w.p_value, 0.05);
+  EXPECT_GT(w.w_plus, w.w_minus);
+}

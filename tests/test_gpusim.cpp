@@ -1,0 +1,532 @@
+// Unit tests for the simulated GPU: memory, occupancy, timing, launches,
+// streams, transfers, multi-GPU peer copies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "gpusim/device_manager.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace gpu = sagesim::gpu;
+using gpu::Dim3;
+
+namespace {
+
+std::shared_ptr<sagesim::prof::Timeline> timeline() {
+  return std::make_shared<sagesim::prof::Timeline>();
+}
+
+}  // namespace
+
+// --- Dim3 -------------------------------------------------------------------
+
+TEST(Dim3Test, DefaultsToUnit) {
+  constexpr Dim3 d;
+  EXPECT_EQ(d.total(), 1u);
+}
+
+TEST(Dim3Test, TotalMultiplies) {
+  constexpr Dim3 d{4, 3, 2};
+  EXPECT_EQ(d.total(), 24u);
+}
+
+TEST(Dim3Test, DivUpRoundsUp) {
+  EXPECT_EQ(gpu::div_up(100, 32), 4u);
+  EXPECT_EQ(gpu::div_up(96, 32), 3u);
+  EXPECT_EQ(gpu::div_up(1, 32), 1u);
+}
+
+// --- DeviceSpec / catalog ---------------------------------------------------
+
+TEST(DeviceSpec, PresetsHaveDatasheetShapes) {
+  const auto t4 = gpu::spec::t4();
+  EXPECT_NEAR(t4.peak_flops(), 8.1e12, 0.3e12);  // ~8.1 TFLOP/s FP32
+  const auto v100 = gpu::spec::v100();
+  EXPECT_GT(v100.peak_bytes_per_s(), t4.peak_bytes_per_s());
+}
+
+TEST(DeviceSpec, ByNameRoundTrips) {
+  for (const auto& name : gpu::spec::names())
+    EXPECT_NO_THROW(gpu::spec::by_name(name));
+  EXPECT_THROW(gpu::spec::by_name("h100"), std::invalid_argument);
+}
+
+// --- DeviceMemory -----------------------------------------------------------
+
+TEST(DeviceMemory, AllocatesAndTracks) {
+  gpu::DeviceMemory mem(1 << 20);
+  void* p = mem.allocate(1024);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(mem.used_bytes(), 1024u);
+  EXPECT_EQ(mem.live_allocations(), 1u);
+  mem.free(p);
+  EXPECT_EQ(mem.used_bytes(), 0u);
+}
+
+TEST(DeviceMemory, PeakTracksHighWater) {
+  gpu::DeviceMemory mem(1 << 20);
+  void* a = mem.allocate(1000);
+  void* b = mem.allocate(2000);
+  mem.free(a);
+  mem.free(b);
+  EXPECT_EQ(mem.peak_bytes(), 3000u);
+}
+
+TEST(DeviceMemory, ThrowsOnExhaustion) {
+  gpu::DeviceMemory mem(1024);
+  EXPECT_THROW(mem.allocate(2048), gpu::DeviceOutOfMemory);
+  void* p = mem.allocate(1024);
+  EXPECT_THROW(mem.allocate(1), gpu::DeviceOutOfMemory);
+  mem.free(p);
+  EXPECT_NO_THROW(mem.allocate(1024));
+}
+
+TEST(DeviceMemory, RejectsZeroByteAndUnknownFree) {
+  gpu::DeviceMemory mem(1024);
+  EXPECT_THROW(mem.allocate(0), std::invalid_argument);
+  int x = 0;
+  EXPECT_THROW(mem.free(&x), std::invalid_argument);
+}
+
+TEST(DeviceMemory, OwnsInteriorPointers) {
+  gpu::DeviceMemory mem(1 << 20);
+  auto* p = static_cast<std::byte*>(mem.allocate(1000));
+  EXPECT_TRUE(mem.owns(p));
+  EXPECT_TRUE(mem.owns(p + 500));
+  EXPECT_TRUE(mem.owns(p + 999));
+  EXPECT_FALSE(mem.owns(p + 1000));
+  EXPECT_EQ(mem.size_of(p + 400), 600u);
+  mem.free(p);
+  EXPECT_FALSE(mem.owns(p));
+}
+
+// --- Occupancy --------------------------------------------------------------
+
+TEST(Occupancy, FullBlocksReachFullOccupancy) {
+  const auto spec = gpu::spec::t4();  // 1024 threads/SM
+  const auto r = gpu::occupancy_for(spec, Dim3{256});
+  EXPECT_EQ(r.warps_per_block, 8u);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+  EXPECT_DOUBLE_EQ(r.lane_efficiency, 1.0);
+}
+
+TEST(Occupancy, PartialWarpLowersLaneEfficiency) {
+  const auto spec = gpu::spec::t4();
+  const auto r = gpu::occupancy_for(spec, Dim3{33});
+  EXPECT_EQ(r.warps_per_block, 2u);
+  EXPECT_NEAR(r.lane_efficiency, 33.0 / 64.0, 1e-12);
+}
+
+TEST(Occupancy, SharedMemoryLimitsBlocks) {
+  const auto spec = gpu::spec::test_tiny();  // 16 KB smem/SM
+  const auto r = gpu::occupancy_for(spec, Dim3{32}, 8 << 10);
+  EXPECT_EQ(r.active_blocks_per_sm, 2u);
+  EXPECT_STREQ(r.limiter, "shared_mem");
+}
+
+TEST(Occupancy, RejectsUnlaunchableBlocks) {
+  const auto spec = gpu::spec::t4();
+  EXPECT_THROW(gpu::occupancy_for(spec, Dim3{2048}), std::invalid_argument);
+  EXPECT_THROW(gpu::occupancy_for(spec, Dim3{32}, 1 << 20),
+               std::invalid_argument);
+}
+
+TEST(Occupancy, SuggestedBlockSizeIsWarpMultipleAndOptimal) {
+  const auto spec = gpu::spec::t4();
+  const auto block = gpu::suggest_block_size(spec);
+  EXPECT_EQ(block % spec.warp_size, 0u);
+  const auto r = gpu::occupancy_for(spec, Dim3{block});
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+// --- TimingModel ------------------------------------------------------------
+
+TEST(TimingModel, LaunchOverheadFloorsKernelTime) {
+  gpu::TimingModel model(gpu::spec::t4());
+  gpu::KernelWork none;
+  EXPECT_NEAR(model.kernel_seconds(none), 6e-6, 1e-9);
+}
+
+TEST(TimingModel, ComputeBoundScalesWithFlops) {
+  gpu::TimingModel model(gpu::spec::t4());
+  gpu::KernelWork w;
+  w.threads = 1u << 20;
+  w.flops = model.spec().peak_flops();  // one second of peak math
+  const double t = model.kernel_seconds(w);
+  EXPECT_NEAR(t, 1.0, 0.01);
+}
+
+TEST(TimingModel, MemoryBoundScalesWithBytes) {
+  gpu::TimingModel model(gpu::spec::t4());
+  gpu::KernelWork w;
+  w.threads = 1024;
+  w.global_bytes = model.spec().peak_bytes_per_s();  // one second of traffic
+  EXPECT_NEAR(model.kernel_seconds(w), 1.0, 0.01);
+}
+
+TEST(TimingModel, LowOccupancySlowsComputeBoundKernels) {
+  gpu::TimingModel model(gpu::spec::t4());
+  gpu::KernelWork fast, slow;
+  fast.threads = slow.threads = 1u << 20;
+  fast.flops = slow.flops = 1e12;
+  fast.occupancy = 1.0;
+  slow.occupancy = 0.25;
+  EXPECT_GT(model.kernel_seconds(slow), 2.0 * model.kernel_seconds(fast));
+}
+
+TEST(TimingModel, TransferHasLatencyPlusBandwidth) {
+  gpu::TimingModel model(gpu::spec::test_tiny());  // 1 GB/s PCIe, 10 us lat
+  EXPECT_NEAR(model.transfer_seconds(0), 10e-6, 1e-9);
+  EXPECT_NEAR(model.transfer_seconds(1'000'000'000), 1.0 + 10e-6, 1e-3);
+}
+
+// --- Device: launches, transfers, streams ------------------------------------
+
+TEST(Device, LaunchComputesRealResults) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  std::vector<int> data(1000, 0);
+  dev.launch_linear("fill", data.size(), 128, [&](const gpu::ThreadCtx& ctx) {
+    data[ctx.global_x()] = static_cast<int>(ctx.global_x());
+  });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Device, LaunchRecordsTimelineEvent) {
+  auto tl = timeline();
+  gpu::Device dev(0, gpu::spec::test_tiny(), tl);
+  dev.launch_linear("noop", 256, 64, [](const gpu::ThreadCtx&) {});
+  const auto kernels = tl->snapshot(sagesim::prof::EventKind::kKernel);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].name, "noop");
+  EXPECT_GT(kernels[0].duration_s, 0.0);
+}
+
+TEST(Device, LaunchAdvancesStreamCursor) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  const double before = dev.stream_time(0);
+  dev.launch_linear("noop", 256, 64, [](const gpu::ThreadCtx&) {});
+  EXPECT_GT(dev.stream_time(0), before);
+}
+
+TEST(Device, CountersDriveModeledDuration) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  const auto cheap = dev.launch_linear("cheap", 1024, 128,
+                                       [](const gpu::ThreadCtx&) {});
+  const auto costly =
+      dev.launch_linear("costly", 1024, 128, [](const gpu::ThreadCtx& ctx) {
+        ctx.add_flops(1e6);  // per thread: 1 Gflop total
+      });
+  EXPECT_GT(costly.duration_s, cheap.duration_s);
+}
+
+TEST(Device, ValidatesLaunchConfiguration) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  const auto noop = [](const gpu::ThreadCtx&) {};
+  EXPECT_THROW(dev.launch("bad", Dim3{0}, Dim3{32}, noop),
+               std::invalid_argument);
+  EXPECT_THROW(dev.launch("bad", Dim3{1}, Dim3{2048}, noop),
+               std::invalid_argument);
+  gpu::LaunchOptions opts;
+  opts.stream = 7;
+  EXPECT_THROW(dev.launch("bad", Dim3{1}, Dim3{32}, noop, opts),
+               std::out_of_range);
+}
+
+TEST(Device, TwoDimensionalLaunchCoversGrid) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  std::vector<int> hits(16 * 16, 0);
+  dev.launch("2d", Dim3{4, 4}, Dim3{4, 4}, [&](const gpu::ThreadCtx& ctx) {
+    hits[ctx.global_y() * 16 + ctx.global_x()] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Device, BlockKernelSharedMemoryWorks) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  std::vector<float> block_sums(4, 0.0f);
+  gpu::LaunchOptions opts;
+  opts.shared_mem_bytes = 64 * sizeof(float);
+  dev.launch_blocks(
+      "block_reduce", Dim3{4}, Dim3{64},
+      [&](const gpu::BlockCtx& ctx) {
+        auto shared = ctx.shared_as<float>();
+        ctx.for_each_thread([&](const Dim3& tid) {
+          shared[tid.x] = 1.0f;  // phase 1: stage
+        });
+        float sum = 0.0f;  // phase 2: reduce (single "thread 0" role)
+        for (std::uint32_t i = 0; i < 64; ++i) sum += shared[i];
+        block_sums[ctx.block_idx.x] = sum;
+      },
+      opts);
+  for (float s : block_sums) EXPECT_FLOAT_EQ(s, 64.0f);
+}
+
+TEST(Device, CopiesRoundTripAndAreTimed) {
+  auto tl = timeline();
+  gpu::Device dev(0, gpu::spec::test_tiny(), tl);
+  std::vector<float> host(256);
+  std::iota(host.begin(), host.end(), 0.0f);
+  auto buf = gpu::make_buffer<float>(dev, host);
+  auto back = buf.to_host();
+  EXPECT_EQ(back, host);
+  EXPECT_GT(tl->total_time(sagesim::prof::EventKind::kMemcpyH2D), 0.0);
+  EXPECT_GT(tl->total_time(sagesim::prof::EventKind::kMemcpyD2H), 0.0);
+}
+
+TEST(Device, CopyValidatesDevicePointers) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  std::vector<float> host(16);
+  EXPECT_THROW(dev.copy_h2d(host.data(), host.data(), 16),
+               std::invalid_argument);
+  gpu::DeviceBuffer<float> buf(dev, 16);
+  EXPECT_THROW(dev.copy_h2d(buf.data(), host.data(), 1024),
+               std::invalid_argument);
+}
+
+TEST(Device, DeviceBufferMoveSemantics) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  gpu::DeviceBuffer<float> a(dev, 128);
+  const float* ptr = a.data();
+  gpu::DeviceBuffer<float> b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(dev.memory().live_allocations(), 1u);
+  b = gpu::DeviceBuffer<float>(dev, 64);
+  EXPECT_EQ(dev.memory().live_allocations(), 1u);
+}
+
+TEST(Device, StreamsAdvanceIndependently) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  const int s1 = dev.create_stream();
+  gpu::LaunchOptions on_s1;
+  on_s1.stream = s1;
+  dev.launch_linear("k", 4096, 64, [](const gpu::ThreadCtx&) {}, on_s1);
+  EXPECT_GT(dev.stream_time(s1), 0.0);
+  EXPECT_DOUBLE_EQ(dev.stream_time(0), 0.0);
+}
+
+TEST(Device, EventsOrderStreams) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  const int s1 = dev.create_stream();
+  gpu::LaunchOptions on_s1;
+  on_s1.stream = s1;
+  dev.launch_linear("k", 4096, 64, [](const gpu::ThreadCtx&) {}, on_s1);
+  const auto ev = dev.record_event(s1);
+  dev.wait_event(0, ev);
+  EXPECT_GE(dev.stream_time(0), ev.time_s);
+}
+
+TEST(Device, SynchronizeAlignsAllStreams) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  const int s1 = dev.create_stream();
+  gpu::LaunchOptions on_s1;
+  on_s1.stream = s1;
+  dev.launch_linear("k", 4096, 64, [](const gpu::ThreadCtx&) {}, on_s1);
+  const double t = dev.synchronize();
+  EXPECT_GE(dev.stream_time(0), t - 1e-12);
+  EXPECT_GE(t, dev.stream_time(s1) - 1e-9);
+}
+
+// --- DeviceManager ----------------------------------------------------------
+
+TEST(DeviceManager, CreatesDevicesWithSharedTimeline) {
+  gpu::DeviceManager dm(3, gpu::spec::test_tiny());
+  EXPECT_EQ(dm.device_count(), 3u);
+  dm.device(1).launch_linear("k", 64, 64, [](const gpu::ThreadCtx&) {});
+  EXPECT_EQ(dm.timeline().snapshot(sagesim::prof::EventKind::kKernel).size(),
+            1u);
+  EXPECT_THROW(dm.device(3), std::out_of_range);
+}
+
+TEST(DeviceManager, PeerCopyMovesBytesAndTime) {
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  auto& d0 = dm.device(0);
+  auto& d1 = dm.device(1);
+  std::vector<float> host(64, 3.5f);
+  auto src = gpu::make_buffer<float>(d0, host);
+  gpu::DeviceBuffer<float> dst(d1, 64);
+  dm.copy_peer(1, dst.data(), 0, src.data(), 64 * sizeof(float));
+  // Both devices advanced to the common fence (read before any further op).
+  EXPECT_NEAR(d0.stream_time(0), d1.stream_time(0), 1e-12);
+  const auto back = dst.to_host();
+  EXPECT_FLOAT_EQ(back[0], 3.5f);
+  EXPECT_FLOAT_EQ(back[63], 3.5f);
+}
+
+TEST(DeviceManager, PeerCopyValidatesOwnership) {
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  gpu::DeviceBuffer<float> a(dm.device(0), 16);
+  gpu::DeviceBuffer<float> b(dm.device(1), 16);
+  // Swapped device ordinals: pointers owned by the *other* device.
+  EXPECT_THROW(dm.copy_peer(0, b.data(), 1, a.data(), 16 * sizeof(float)),
+               std::invalid_argument);
+}
+
+TEST(DeviceManager, NowIsMaxOverDevices) {
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  dm.device(1).launch_linear("k", 1u << 16, 64, [](const gpu::ThreadCtx&) {});
+  EXPECT_DOUBLE_EQ(dm.now_s(), dm.device(1).stream_time(0));
+}
+
+// --- Executor ----------------------------------------------------------------
+
+TEST(Executor, ParallelForCoversRangeExactlyOnce) {
+  gpu::Executor exec(4);
+  std::vector<std::atomic<int>> hits(1000);
+  exec.parallel_for(1000, [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, PropagatesExceptions) {
+  gpu::Executor exec(2);
+  EXPECT_THROW(exec.parallel_for(100,
+                                 [](std::uint64_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Executor, HandlesZeroAndOne) {
+  gpu::Executor exec(2);
+  int count = 0;
+  exec.parallel_for(0, [&](std::uint64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  exec.parallel_for(1, [&](std::uint64_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+// --- Unified memory -----------------------------------------------------------
+
+#include "gpusim/unified.hpp"
+
+TEST(UnifiedMemory, PagesStartHostResident) {
+  gpu::Device dev(0, gpu::spec::t4(), timeline());
+  gpu::ManagedBuffer<float> buf(dev, 1 << 20);  // 4 MiB -> 2 pages
+  EXPECT_EQ(buf.allocation().page_count(), 2u);
+  EXPECT_EQ(buf.allocation().device_resident_pages(), 0u);
+  EXPECT_EQ(buf.allocation().page_location(0), gpu::PageLocation::kHost);
+}
+
+TEST(UnifiedMemory, DemandFaultMigratesTouchedPagesOnly) {
+  gpu::Device dev(0, gpu::spec::t4(), timeline());
+  gpu::ManagedBuffer<float> buf(dev, 4u << 20);  // 16 MiB -> 8 pages
+  // Touch the first 1 MiB: one page.
+  buf.fault_to_device(0, 1u << 18);
+  EXPECT_EQ(buf.allocation().device_resident_pages(), 1u);
+  EXPECT_EQ(buf.allocation().total_faults(), 1u);
+  // Touching it again is free.
+  buf.fault_to_device(0, 1u << 18);
+  EXPECT_EQ(buf.allocation().total_faults(), 1u);
+}
+
+TEST(UnifiedMemory, PrefetchMovesEverythingInOneTransfer) {
+  auto tl = timeline();
+  gpu::Device dev(0, gpu::spec::t4(), tl);
+  gpu::ManagedBuffer<float> buf(dev, 4u << 20);
+  const auto moved = buf.allocation().prefetch(gpu::PageLocation::kDevice);
+  EXPECT_EQ(moved, 8u);
+  EXPECT_EQ(buf.allocation().device_resident_pages(), 8u);
+  EXPECT_EQ(buf.allocation().total_faults(), 0u);  // no demand faults
+  const auto events = tl->snapshot(sagesim::prof::EventKind::kMemcpyH2D);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().name, "um_prefetch_h2d");
+}
+
+TEST(UnifiedMemory, DemandPagingCostsMoreThanPrefetch) {
+  auto tl1 = timeline();
+  gpu::Device dev1(0, gpu::spec::t4(), tl1);
+  gpu::ManagedBuffer<float> faulty(dev1, 16u << 20);  // 64 MiB
+  faulty.fault_to_device(0, faulty.size());
+  const double fault_time = dev1.stream_time(0);
+
+  auto tl2 = timeline();
+  gpu::Device dev2(0, gpu::spec::t4(), tl2);
+  gpu::ManagedBuffer<float> prefetched(dev2, 16u << 20);
+  prefetched.prefetch_to_device();
+  const double prefetch_time = dev2.stream_time(0);
+
+  EXPECT_GT(fault_time, 1.5 * prefetch_time);  // fault latency dominates
+}
+
+TEST(UnifiedMemory, RoundTripMigration) {
+  gpu::Device dev(0, gpu::spec::t4(), timeline());
+  gpu::ManagedBuffer<float> buf(dev, 1u << 20);
+  buf.prefetch_to_device();
+  EXPECT_EQ(buf.allocation().device_resident_pages(), 2u);
+  buf.prefetch_to_host();
+  EXPECT_EQ(buf.allocation().device_resident_pages(), 0u);
+  // Data is real memory throughout.
+  buf.data()[12345] = 7.5f;
+  EXPECT_FLOAT_EQ(buf.data()[12345], 7.5f);
+}
+
+TEST(UnifiedMemory, ValidatesRanges) {
+  gpu::Device dev(0, gpu::spec::t4(), timeline());
+  gpu::ManagedBuffer<float> buf(dev, 1024);
+  EXPECT_THROW(buf.allocation().fault_range(gpu::PageLocation::kDevice, 0,
+                                            1 << 20),
+               std::out_of_range);
+  EXPECT_THROW(gpu::ManagedAllocation(dev, 0), std::invalid_argument);
+  EXPECT_THROW(buf.allocation().page_location(99), std::out_of_range);
+}
+
+TEST(UnifiedMemory, CountsAgainstDeviceCapacity) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());  // 64 MiB
+  EXPECT_THROW(gpu::ManagedAllocation(dev, 128u << 20), gpu::DeviceOutOfMemory);
+}
+
+TEST(Device, PageableTransferSlowerThanPinned) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  gpu::DeviceBuffer<float> buf(dev, 1 << 20);
+  std::vector<float> host(1 << 20);
+  const double t0 = dev.stream_time(0);
+  dev.copy_h2d(buf.data(), host.data(), buf.bytes(), 0, /*pinned=*/true);
+  const double pinned = dev.stream_time(0) - t0;
+  dev.copy_h2d(buf.data(), host.data(), buf.bytes(), 0, /*pinned=*/false);
+  const double pageable = dev.stream_time(0) - t0 - pinned;
+  EXPECT_GT(pageable, 1.5 * pinned);
+}
+
+// --- parameterized launch-config sweep -------------------------------------------
+
+class LaunchConfigSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint32_t>> {};
+
+TEST_P(LaunchConfigSweep, LinearLaunchCoversExactlyOnce) {
+  const auto [n, block] = GetParam();
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  std::vector<std::atomic<int>> hits(n);
+  dev.launch_linear("cover", n, block, [&](const gpu::ThreadCtx& ctx) {
+    hits[ctx.global_x()].fetch_add(1);
+  });
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, LaunchConfigSweep,
+    ::testing::Values(std::pair<std::uint64_t, std::uint32_t>{1, 32},
+                      std::pair<std::uint64_t, std::uint32_t>{31, 32},
+                      std::pair<std::uint64_t, std::uint32_t>{32, 32},
+                      std::pair<std::uint64_t, std::uint32_t>{33, 32},
+                      std::pair<std::uint64_t, std::uint32_t>{1000, 128},
+                      std::pair<std::uint64_t, std::uint32_t>{4096, 256},
+                      std::pair<std::uint64_t, std::uint32_t>{5000, 1024}));
+
+class OccupancySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OccupancySweep, InvariantsHoldForAllBlockSizes) {
+  const auto size = GetParam();
+  const auto spec = gpu::spec::t4();
+  const auto r = gpu::occupancy_for(spec, gpu::Dim3{size});
+  EXPECT_GT(r.occupancy, 0.0);
+  EXPECT_LE(r.occupancy, 1.0);
+  EXPECT_GT(r.lane_efficiency, 0.0);
+  EXPECT_LE(r.lane_efficiency, 1.0);
+  EXPECT_LE(r.active_threads_per_sm, spec.max_threads_per_sm);
+  EXPECT_GE(r.active_blocks_per_sm, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, OccupancySweep,
+                         ::testing::Values(1u, 17u, 32u, 33u, 64u, 96u, 128u,
+                                           255u, 256u, 512u, 1000u, 1024u));

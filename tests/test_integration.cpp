@@ -1,0 +1,165 @@
+// Cross-module integration tests: full workflows a course student would run,
+// exercising several libraries together.
+#include <gtest/gtest.h>
+
+#include "cloudsim/provisioner.hpp"
+#include "core/distributed_gcn.hpp"
+#include "core/lab_runner.hpp"
+#include "edu/aws_usage.hpp"
+#include "edu/cohort.hpp"
+#include "prof/bottleneck.hpp"
+#include "prof/chrome_trace.hpp"
+#include "prof/report.hpp"
+#include "rag/pipeline.hpp"
+#include "stats/tests.hpp"
+#include "tensor/ops.hpp"
+
+namespace core = sagesim::core;
+namespace gpu = sagesim::gpu;
+namespace prof = sagesim::prof;
+namespace stats = sagesim::stats;
+using sagesim::stats::Rng;
+
+// Workflow 1: the Week-3 story — stage data, run naive & tiled matmul,
+// profile, export a chrome trace, and confirm the analyzer sees what the
+// student should see.
+TEST(Integration, MatmulProfilingWorkflow) {
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  auto& dev = dm.device(0);
+  Rng rng(1);
+
+  const std::size_t n = 192;
+  sagesim::tensor::Tensor a(n, n), b(n, n), naive(n, n), tiled(n, n);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+
+  auto da = gpu::make_buffer<float>(dev, a.span());
+  auto db = gpu::make_buffer<float>(dev, b.span());
+  sagesim::tensor::ops::gemm(&dev, a, b, naive);
+  sagesim::tensor::ops::gemm_tiled(dev, a, b, tiled);
+
+  // Same math.
+  for (std::size_t i = 0; i < naive.size(); ++i)
+    ASSERT_NEAR(naive[i], tiled[i], 1e-3f);
+
+  // Tiled kernel is modeled faster (same flops, far less traffic).
+  double naive_s = 0.0, tiled_s = 0.0;
+  for (const auto& e : dm.timeline().snapshot(prof::EventKind::kKernel)) {
+    if (e.name == "gemm_naive") naive_s = e.duration_s;
+    if (e.name == "gemm_tiled") tiled_s = e.duration_s;
+  }
+  EXPECT_LT(tiled_s, naive_s);
+
+  // Analyzer produces a verdict and the trace exports.
+  const auto report = prof::analyze(dm.timeline(),
+                                    dev.spec().balance_flops_per_byte());
+  EXPECT_FALSE(report.kernels.empty());
+  std::ostringstream os;
+  prof::write_chrome_trace(dm.timeline(), os);
+  EXPECT_GT(os.str().size(), 100u);
+}
+
+// Workflow 2: Algorithm 1's paper claims — distributed GCN shows minimal
+// wall-clock improvement but does not lose (and typically gains) accuracy,
+// while METIS keeps workers busier than random partitioning on utilization.
+TEST(Integration, Algorithm1PaperShape) {
+  Rng rng(2);
+  sagesim::graph::PlantedPartitionParams p;
+  p.num_nodes = 400;
+  p.num_classes = 4;
+  p.feature_dim = 24;
+  p.intra_edge_prob = 0.04;
+  p.inter_edge_prob = 0.002;
+  p.feature_noise_sd = 1.5;
+  const auto ds = sagesim::graph::planted_partition(p, rng);
+
+  core::DistributedGcnConfig cfg;
+  cfg.epochs = 20;
+  cfg.hidden = 8;
+  cfg.dropout = 0.1f;
+
+  gpu::DeviceManager dm1(1, gpu::spec::t4());
+  sagesim::dflow::Cluster c1(dm1);
+  cfg.num_partitions = 1;
+  const auto seq = core::train_distributed_gcn(ds, c1, cfg);
+
+  gpu::DeviceManager dm4(4, gpu::spec::t4());
+  sagesim::dflow::Cluster c4(dm4);
+  cfg.num_partitions = 4;
+  const auto dist = core::train_distributed_gcn(ds, c4, cfg);
+
+  // "Minimal performance improvement": no 2x win at course scale.
+  EXPECT_GT(dist.train_sim_seconds, 0.5 * seq.train_sim_seconds);
+  // Accuracy holds up (within a few points) despite dropped cut edges.
+  EXPECT_GT(dist.test_accuracy, seq.test_accuracy - 0.08);
+  EXPECT_GT(dist.cut_edges_dropped, 0u);
+}
+
+// Workflow 3: the semester-as-a-system — run the AWS usage model, compute
+// the cost report, generate the cohort, and run the paper's Appendix C
+// statistics end to end.
+TEST(Integration, SemesterStatisticsPipeline) {
+  // AWS side.
+  sagesim::edu::UsageParams usage_params;
+  usage_params.students = 6;
+  const auto usage = sagesim::edu::simulate_semester_usage(usage_params, 3);
+  EXPECT_GT(usage.mean_cost_per_student, 0.0);
+
+  // Cohort + hypothesis tests (Appendix C).
+  sagesim::edu::CohortParams cohort_params;
+  const auto cohort = sagesim::edu::generate_cohort(cohort_params, 4);
+  const auto grad =
+      sagesim::edu::scores_of(cohort, sagesim::edu::Level::kGraduate);
+  const auto ug =
+      sagesim::edu::scores_of(cohort, sagesim::edu::Level::kUndergraduate);
+
+  const auto sw_grad = stats::shapiro_wilk(grad);
+  const auto levene = stats::levene(grad, ug);
+  const auto mw = stats::mann_whitney_u(grad, ug);
+
+  // Paper shape: graduate normality strongly rejected; variances not
+  // wildly different; graduates significantly outperform undergraduates.
+  EXPECT_LT(sw_grad.p_value, 0.05);
+  EXPECT_LT(mw.p_value, 0.05);
+  EXPECT_GT(mw.u, mw.u_other);
+  EXPECT_GT(levene.p_value, 0.001);
+}
+
+// Workflow 4: RAG serving with a cost-aware cloud session around it —
+// provision an instance, run the pipeline, terminate, and check the bill.
+TEST(Integration, RagServingSessionWithBilling) {
+  namespace cloud = sagesim::cloud;
+  namespace rag = sagesim::rag;
+
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("week14");
+  const auto ids = aws.launch(
+      role, {.type_name = "g5.xlarge", .count = 1, .assessment = "lab13"});
+
+  gpu::DeviceManager dm(1, gpu::spec::a10g());
+  Rng rng(5);
+  rag::SyntheticCorpusParams params;
+  params.num_docs = 300;
+  const auto synth = rag::synthetic_corpus(params, rng);
+  rag::RagConfig cfg;
+  cfg.embed_dim = 128;
+  rag::RagPipeline pipeline(synth.corpus,
+                            std::make_unique<rag::BruteForceIndex>(128),
+                            &dm.device(0), cfg);
+  const auto answer = pipeline.answer(rag::synthetic_query(params, 1, rng));
+  EXPECT_FALSE(answer.retrieved.empty());
+
+  // The simulated serving session consumed sim-time; bill ~1 hour.
+  aws.advance_time(1.0);
+  aws.terminate(role, ids[0]);
+  EXPECT_NEAR(aws.ledger().front().cost_usd, 1.006, 1e-6);
+}
+
+// Workflow 5: the entire 13-lab course smoke-passes.
+TEST(Integration, AllCourseLabsPass) {
+  core::LabRunner runner(2025);
+  const auto reports = runner.run_all();
+  ASSERT_EQ(reports.size(), 13u);
+  for (const auto& r : reports)
+    EXPECT_TRUE(r.passed) << "week " << r.week << ": " << r.notes;
+}

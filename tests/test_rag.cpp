@@ -1,0 +1,434 @@
+// Unit tests for rag: tokenizer, corpus generation, encoders, indexes
+// (exact vs IVF recall), generator, end-to-end pipeline.
+#include <gtest/gtest.h>
+
+#include "gpusim/device_manager.hpp"
+#include "rag/pipeline.hpp"
+
+namespace rag = sagesim::rag;
+namespace gpu = sagesim::gpu;
+using sagesim::stats::Rng;
+
+// --- tokenizer -----------------------------------------------------------------
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  const auto t = rag::tokenize("Hello, World! GPU-programming 101");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0], "hello");
+  EXPECT_EQ(t[1], "world");
+  EXPECT_EQ(t[2], "gpu");
+  EXPECT_EQ(t[4], "101");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(rag::tokenize("").empty());
+  EXPECT_TRUE(rag::tokenize("!!! ---").empty());
+}
+
+TEST(Vocabulary, AddAndLookup) {
+  rag::Vocabulary v;
+  const auto id = v.add("gpu");
+  EXPECT_EQ(v.add("gpu"), id);  // idempotent
+  EXPECT_EQ(v.id_of("gpu"), id);
+  EXPECT_EQ(v.id_of("missing"), rag::Vocabulary::kUnk);
+  EXPECT_EQ(v.word_of(id), "gpu");
+  EXPECT_THROW(v.word_of(9999), std::out_of_range);
+  EXPECT_EQ(v.size(), 2u);  // <unk> + gpu
+}
+
+// --- corpus --------------------------------------------------------------------
+
+TEST(Corpus, AddAndRetrieve) {
+  rag::Corpus c;
+  const auto id = c.add("hello world", 3);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.doc(id).topic, 3);
+  EXPECT_THROW(c.doc(5), std::out_of_range);
+}
+
+TEST(SyntheticCorpus, DocumentsCarryTopicVocabulary) {
+  Rng rng(1);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 50;
+  p.num_topics = 5;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  EXPECT_EQ(synth.corpus.size(), 50u);
+  for (const auto& doc : synth.corpus.docs()) {
+    EXPECT_GE(doc.topic, 0);
+    EXPECT_LT(doc.topic, 5);
+    EXPECT_EQ(rag::tokenize(doc.text).size(), p.doc_length);
+  }
+}
+
+TEST(SyntheticCorpus, QueryUsesTopicWords) {
+  Rng rng(2);
+  rag::SyntheticCorpusParams p;
+  const auto q = rag::synthetic_query(p, 2, rng);
+  for (const auto& tok : rag::tokenize(q)) {
+    const auto idx = std::stoul(tok.substr(2));
+    EXPECT_GE(idx, 2u * p.words_per_topic);
+    EXPECT_LT(idx, 3u * p.words_per_topic);
+  }
+  EXPECT_THROW(rag::synthetic_query(p, 99, rng), std::invalid_argument);
+}
+
+// --- encoder --------------------------------------------------------------------
+
+TEST(TfIdfEncoder, VectorsAreNormalized) {
+  Rng rng(3);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 30;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  rag::TfIdfEncoder enc(64);
+  enc.fit(synth.corpus);
+  const auto v = enc.encode(synth.corpus.doc(0).text);
+  EXPECT_NEAR(v.norm(), 1.0f, 1e-5f);
+  EXPECT_EQ(v.cols(), 64u);
+}
+
+TEST(TfIdfEncoder, SameTopicDocsAreCloser) {
+  Rng rng(4);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 200;
+  p.num_topics = 4;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  rag::TfIdfEncoder enc(128);
+  enc.fit(synth.corpus);
+
+  auto dot = [](const sagesim::tensor::Tensor& a,
+                const sagesim::tensor::Tensor& b) {
+    float s = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+
+  // Average same-topic vs cross-topic similarity over a few pairs.
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = i + 1; j < 30; ++j) {
+      const auto vi = enc.encode(synth.corpus.doc(i).text);
+      const auto vj = enc.encode(synth.corpus.doc(j).text);
+      if (synth.corpus.doc(i).topic == synth.corpus.doc(j).topic) {
+        same += dot(vi, vj);
+        ++same_n;
+      } else {
+        cross += dot(vi, vj);
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same / same_n, cross / cross_n + 0.1);
+}
+
+TEST(TfIdfEncoder, RequiresFit) {
+  rag::TfIdfEncoder enc(32);
+  EXPECT_THROW(enc.encode("hello"), std::logic_error);
+  EXPECT_THROW(rag::TfIdfEncoder(0), std::invalid_argument);
+}
+
+// --- indexes --------------------------------------------------------------------
+
+namespace {
+
+struct IndexFixture : ::testing::Test {
+  Rng rng{5};
+  rag::SyntheticCorpusParams params;
+  rag::SyntheticCorpus synth;
+  rag::TfIdfEncoder enc{512};
+  sagesim::tensor::Tensor vectors{1, 1};
+
+  IndexFixture() {
+    params.num_docs = 300;
+    params.num_topics = 10;
+    synth = rag::synthetic_corpus(params, rng);
+    enc.fit(synth.corpus);
+    vectors = enc.encode_corpus(synth.corpus);
+  }
+};
+
+}  // namespace
+
+TEST_F(IndexFixture, BruteForceTopHitIsOnTopic) {
+  rag::BruteForceIndex index(512);
+  index.add(vectors);
+  EXPECT_EQ(index.size(), 300u);
+  int hits = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto q = enc.encode(rag::synthetic_query(params, t, rng));
+    const auto res = index.search(nullptr, q, 5);
+    ASSERT_EQ(res.size(), 1u);
+    ASSERT_EQ(res[0].size(), 5u);
+    if (synth.corpus.doc(res[0][0].id).topic == t) ++hits;
+    // Scores descend.
+    for (std::size_t i = 1; i < res[0].size(); ++i)
+      EXPECT_GE(res[0][i - 1].score, res[0][i].score);
+  }
+  EXPECT_GE(hits, 9);
+}
+
+TEST_F(IndexFixture, BruteForceDeviceMatchesHost) {
+  rag::BruteForceIndex index(512);
+  index.add(vectors);
+  const auto q = enc.encode(rag::synthetic_query(params, 3, rng));
+  gpu::DeviceManager dm(1, gpu::spec::test_tiny());
+  const auto host = index.search(nullptr, q, 10);
+  const auto dev = index.search(&dm.device(0), q, 10);
+  ASSERT_EQ(host[0].size(), dev[0].size());
+  for (std::size_t i = 0; i < host[0].size(); ++i)
+    EXPECT_EQ(host[0][i].id, dev[0][i].id);
+}
+
+TEST_F(IndexFixture, IvfRequiresTraining) {
+  rag::IvfFlatIndex index(512, 8, 2);
+  EXPECT_THROW(index.add(vectors), std::logic_error);
+  index.train(nullptr, vectors);
+  EXPECT_TRUE(index.trained());
+  index.add(vectors);
+  EXPECT_EQ(index.size(), 300u);
+}
+
+TEST_F(IndexFixture, IvfRecallHighWithEnoughProbes) {
+  rag::BruteForceIndex exact(512);
+  exact.add(vectors);
+  rag::IvfFlatIndex ivf(512, 10, 10);  // probe everything -> exact
+  ivf.train(nullptr, vectors);
+  ivf.add(vectors);
+
+  sagesim::tensor::Tensor queries(5, 512);
+  for (int t = 0; t < 5; ++t) {
+    const auto q = enc.encode(rag::synthetic_query(params, t, rng));
+    std::copy(q.data(), q.data() + 512, queries.data() + t * 512);
+  }
+  const auto gt = exact.search(nullptr, queries, 10);
+  const auto approx = ivf.search(nullptr, queries, 10);
+  EXPECT_NEAR(rag::recall_at_k(gt, approx), 1.0, 1e-9);
+
+  // Fewer probes: recall may drop but should stay useful.
+  ivf.set_nprobe(2);
+  const auto approx2 = ivf.search(nullptr, queries, 10);
+  EXPECT_GE(rag::recall_at_k(gt, approx2), 0.5);
+}
+
+TEST_F(IndexFixture, IvfValidatesParameters) {
+  EXPECT_THROW(rag::IvfFlatIndex(512, 0, 1), std::invalid_argument);
+  EXPECT_THROW(rag::IvfFlatIndex(512, 4, 5), std::invalid_argument);
+  rag::IvfFlatIndex index(512, 8, 2);
+  sagesim::tensor::Tensor tiny(4, 512);
+  EXPECT_THROW(index.train(nullptr, tiny), std::invalid_argument);
+  index.train(nullptr, vectors);
+  EXPECT_THROW(index.set_nprobe(0), std::invalid_argument);
+}
+
+TEST_F(IndexFixture, SearchValidatesInputs) {
+  rag::BruteForceIndex index(512);
+  sagesim::tensor::Tensor q(1, 512);
+  EXPECT_THROW(index.search(nullptr, q, 5), std::logic_error);  // empty
+  index.add(vectors);
+  EXPECT_THROW(index.search(nullptr, q, 0), std::invalid_argument);
+  sagesim::tensor::Tensor wrong(1, 64);
+  EXPECT_THROW(index.search(nullptr, wrong, 5), std::invalid_argument);
+}
+
+TEST(RecallAtK, ComputesFraction) {
+  std::vector<std::vector<rag::SearchHit>> exact{{{1, 1.0f}, {2, 0.9f}}};
+  std::vector<std::vector<rag::SearchHit>> approx{{{1, 1.0f}, {9, 0.8f}}};
+  EXPECT_NEAR(rag::recall_at_k(exact, approx), 0.5, 1e-12);
+  EXPECT_THROW(rag::recall_at_k(exact, {}), std::invalid_argument);
+}
+
+// --- generator -------------------------------------------------------------------
+
+TEST(Generator, FitAndGenerateDeterministic) {
+  Rng rng(6);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 100;
+  const auto synth = rag::synthetic_corpus(p, rng);
+
+  rag::GeneratorConfig cfg;
+  cfg.max_tokens = 10;
+  cfg.seed = 42;
+  rag::BigramGenerator g1(cfg), g2(cfg);
+  g1.fit(synth.corpus);
+  g2.fit(synth.corpus);
+  const auto t1 = g1.generate("wd0 wd1", {});
+  const auto t2 = g2.generate("wd0 wd1", {});
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(rag::tokenize(t1).size(), 10u);
+}
+
+TEST(Generator, RetrievalConditioningShiftsVocabulary) {
+  Rng rng(7);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 200;
+  p.num_topics = 4;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  rag::GeneratorConfig cfg;
+  cfg.max_tokens = 40;
+  cfg.retrieval_boost = 50.0;
+  rag::BigramGenerator gen(cfg);
+  gen.fit(synth.corpus);
+
+  // Context: documents of topic 1 only.
+  std::vector<std::string> context;
+  for (const auto& d : synth.corpus.docs())
+    if (d.topic == 1 && context.size() < 4) context.push_back(d.text);
+
+  const auto out = gen.generate("wd999999", context);
+  int on_topic = 0, total = 0;
+  for (const auto& tok : rag::tokenize(out)) {
+    ++total;
+    const auto idx = std::stoul(tok.substr(2));
+    if (idx >= p.words_per_topic && idx < 2 * p.words_per_topic) ++on_topic;
+  }
+  EXPECT_GT(on_topic * 2, total);  // majority from topic 1's lexicon
+}
+
+TEST(Generator, PerplexityLowerOnInDistributionText) {
+  Rng rng(8);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 150;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  rag::BigramGenerator gen;
+  gen.fit(synth.corpus);
+  const double in_dist = gen.perplexity(synth.corpus.doc(0).text);
+  const double gibberish = gen.perplexity("zz yy xx qq pp oo nn mm");
+  EXPECT_LT(in_dist, gibberish);
+}
+
+TEST(Generator, RequiresFitAndValidInput) {
+  rag::BigramGenerator gen;
+  EXPECT_THROW(gen.generate("x", {}), std::logic_error);
+  EXPECT_THROW(gen.perplexity("x"), std::logic_error);
+  rag::GeneratorConfig bad;
+  bad.temperature = 0.0;
+  EXPECT_THROW(rag::BigramGenerator{bad}, std::invalid_argument);
+}
+
+// --- pipeline --------------------------------------------------------------------
+
+TEST(Pipeline, EndToEndAnswersWithLatencyBreakdown) {
+  Rng rng(9);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 200;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+
+  rag::RagConfig cfg;
+  cfg.embed_dim = 128;
+  cfg.top_k = 3;
+  rag::RagPipeline pipeline(synth.corpus,
+                            std::make_unique<rag::BruteForceIndex>(128),
+                            &dm.device(0), cfg);
+  const auto a = pipeline.answer(rag::synthetic_query(p, 2, rng));
+  EXPECT_EQ(a.retrieved.size(), 3u);
+  EXPECT_FALSE(a.text.empty());
+  EXPECT_GT(a.encode_s, 0.0);
+  EXPECT_GT(a.retrieve_s, 0.0);
+  EXPECT_GT(a.generate_s, 0.0);
+  EXPECT_NEAR(a.total_s(), a.encode_s + a.retrieve_s + a.generate_s, 1e-15);
+}
+
+TEST(Pipeline, BatchingAmortizesRetrieval) {
+  Rng rng(10);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 400;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  rag::RagConfig cfg;
+  cfg.embed_dim = 128;
+  rag::RagPipeline pipeline(synth.corpus,
+                            std::make_unique<rag::BruteForceIndex>(128),
+                            &dm.device(0), cfg);
+  const auto single = pipeline.answer(rag::synthetic_query(p, 0, rng));
+  std::vector<std::string> queries;
+  for (int i = 0; i < 16; ++i)
+    queries.push_back(rag::synthetic_query(p, i % p.num_topics, rng));
+  const auto batched = pipeline.answer_batch(queries);
+  ASSERT_EQ(batched.size(), 16u);
+  EXPECT_LT(batched[0].retrieve_s, single.retrieve_s);
+}
+
+TEST(Pipeline, ValidatesConstruction) {
+  Rng rng(11);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 20;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  rag::RagConfig cfg;
+  cfg.embed_dim = 64;
+  EXPECT_THROW(rag::RagPipeline(synth.corpus, nullptr, nullptr, cfg),
+               std::invalid_argument);
+  EXPECT_THROW(rag::RagPipeline(synth.corpus,
+                                std::make_unique<rag::BruteForceIndex>(128),
+                                nullptr, cfg),
+               std::invalid_argument);  // dim mismatch
+}
+
+TEST(Pipeline, CpuFallbackWorks) {
+  Rng rng(12);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 50;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  rag::RagConfig cfg;
+  cfg.embed_dim = 64;
+  rag::RagPipeline pipeline(synth.corpus,
+                            std::make_unique<rag::BruteForceIndex>(64),
+                            nullptr, cfg);
+  const auto a = pipeline.answer(rag::synthetic_query(p, 1, rng));
+  EXPECT_FALSE(a.text.empty());
+  EXPECT_GT(a.total_s(), 0.0);
+}
+
+// --- latency tracker -----------------------------------------------------------
+
+#include "rag/latency.hpp"
+
+TEST(LatencyTracker, PercentilesAndMean) {
+  rag::LatencyTracker t;
+  for (int i = 1; i <= 100; ++i) t.record(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+  EXPECT_NEAR(t.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(t.p99(), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(t.max(), 100.0);
+  EXPECT_EQ(t.count(), 100u);
+}
+
+TEST(LatencyTracker, SloCheck) {
+  rag::LatencyTracker t;
+  for (int i = 0; i < 99; ++i) t.record(0.001);
+  t.record(0.100);  // one slow outlier
+  EXPECT_TRUE(t.meets_slo(95.0, 0.002));
+  EXPECT_FALSE(t.meets_slo(100.0, 0.002));
+}
+
+TEST(LatencyTracker, Validation) {
+  rag::LatencyTracker t;
+  EXPECT_THROW(t.mean(), std::invalid_argument);
+  EXPECT_THROW(t.record(-1.0), std::invalid_argument);
+  t.record(1.0);
+  EXPECT_THROW(t.percentile(101.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(t.percentile(50.0), 1.0);
+}
+
+TEST(LatencyTracker, TracksPipelineRequests) {
+  Rng rng(30);
+  rag::SyntheticCorpusParams p;
+  p.num_docs = 100;
+  const auto synth = rag::synthetic_corpus(p, rng);
+  gpu::DeviceManager dm(1, gpu::spec::t4());
+  rag::RagConfig cfg;
+  cfg.embed_dim = 128;
+  rag::RagPipeline pipeline(synth.corpus,
+                            std::make_unique<rag::BruteForceIndex>(128),
+                            &dm.device(0), cfg);
+  rag::LatencyTracker tracker;
+  for (int i = 0; i < 10; ++i)
+    tracker.record(
+        pipeline.answer(rag::synthetic_query(p, i % p.num_topics, rng))
+            .total_s());
+  EXPECT_EQ(tracker.count(), 10u);
+  EXPECT_GT(tracker.p95(), 0.0);
+  EXPECT_FALSE(tracker.summary().empty());
+}

@@ -1,0 +1,310 @@
+// Unit tests for rl: environment dynamics, replay buffer, DQN training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/device_manager.hpp"
+#include "rl/dqn.hpp"
+
+namespace rl = sagesim::rl;
+using sagesim::stats::Rng;
+
+// --- CartPole -----------------------------------------------------------------
+
+TEST(CartPole, ResetGivesSmallState) {
+  rl::CartPole env;
+  Rng rng(1);
+  const auto obs = env.reset(rng);
+  ASSERT_EQ(obs.size(), 4u);
+  for (float v : obs) EXPECT_LE(std::fabs(v), 0.05f);
+}
+
+TEST(CartPole, StepBeforeResetThrows) {
+  rl::CartPole env;
+  EXPECT_THROW(env.step(0), std::logic_error);
+}
+
+TEST(CartPole, RejectsBadAction) {
+  rl::CartPole env;
+  Rng rng(2);
+  env.reset(rng);
+  EXPECT_THROW(env.step(2), std::invalid_argument);
+  EXPECT_THROW(env.step(-1), std::invalid_argument);
+}
+
+TEST(CartPole, ConstantActionEventuallyFails) {
+  rl::CartPole env;
+  Rng rng(3);
+  env.reset(rng);
+  int steps = 0;
+  bool done = false;
+  while (!done && steps < 500) {
+    done = env.step(1).done;  // always push right: pole falls
+    ++steps;
+  }
+  EXPECT_TRUE(done);
+  EXPECT_LT(steps, 200);  // falls quickly
+}
+
+TEST(CartPole, ForceMovesCartInActionDirection) {
+  rl::CartPole env;
+  Rng rng(4);
+  env.reset(rng);
+  float x_last = 0.0f;
+  for (int i = 0; i < 10; ++i) {
+    const auto r = env.step(1);
+    if (r.done) return;  // rare but possible; nothing to assert then
+    x_last = r.observation[0];
+  }
+  // pushing right should produce positive cart velocity contribution
+  EXPECT_GT(x_last, -0.05f);
+}
+
+TEST(CartPole, EpisodeCapsAt500) {
+  // A lucky alternating policy can balance for a while; verify the step
+  // counter and cap machinery using the steps_taken accessor.
+  rl::CartPole env;
+  Rng rng(5);
+  env.reset(rng);
+  EXPECT_EQ(env.steps_taken(), 0);
+  env.step(0);
+  EXPECT_EQ(env.steps_taken(), 1);
+}
+
+// --- GridWorld -----------------------------------------------------------------
+
+TEST(GridWorld, OneHotObservation) {
+  rl::GridWorld env(3);
+  Rng rng(6);
+  const auto obs = env.reset(rng);
+  ASSERT_EQ(obs.size(), 9u);
+  EXPECT_FLOAT_EQ(obs[0], 1.0f);
+  float total = 0.0f;
+  for (float v : obs) total += v;
+  EXPECT_FLOAT_EQ(total, 1.0f);
+}
+
+TEST(GridWorld, WallsAreNoOps) {
+  rl::GridWorld env(3);
+  Rng rng(7);
+  env.reset(rng);
+  const auto r = env.step(0);  // up from (0,0): blocked
+  EXPECT_FLOAT_EQ(r.observation[0], 1.0f);
+  EXPECT_FALSE(r.done);
+}
+
+TEST(GridWorld, ShortestPathReachesGoal) {
+  rl::GridWorld env(3);
+  Rng rng(8);
+  env.reset(rng);
+  // right, right, down, down
+  env.step(3);
+  env.step(3);
+  env.step(1);
+  const auto r = env.step(1);
+  EXPECT_TRUE(r.done);
+  EXPECT_FLOAT_EQ(r.reward, 1.0f);
+}
+
+TEST(GridWorld, StepPenaltyIsNegative) {
+  rl::GridWorld env(4);
+  Rng rng(9);
+  env.reset(rng);
+  EXPECT_LT(env.step(3).reward, 0.0f);
+}
+
+TEST(GridWorld, RejectsTinyGrids) {
+  EXPECT_THROW(rl::GridWorld(1), std::invalid_argument);
+}
+
+// --- ReplayBuffer ---------------------------------------------------------------
+
+TEST(Replay, PushAndSize) {
+  rl::ReplayBuffer buf(3);
+  EXPECT_EQ(buf.size(), 0u);
+  buf.push({{1.0f}, 0, 1.0f, {2.0f}, false});
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(Replay, EvictsOldestWhenFull) {
+  rl::ReplayBuffer buf(2);
+  buf.push({{1.0f}, 1, 0.0f, {}, false});
+  buf.push({{2.0f}, 2, 0.0f, {}, false});
+  buf.push({{3.0f}, 3, 0.0f, {}, false});  // evicts action-1
+  EXPECT_EQ(buf.size(), 2u);
+  Rng rng(10);
+  bool saw_action1 = false;
+  for (int i = 0; i < 200; ++i)
+    for (const auto* t : buf.sample(2, rng))
+      if (t->action == 1) saw_action1 = true;
+  EXPECT_FALSE(saw_action1);
+}
+
+TEST(Replay, SampleValidation) {
+  rl::ReplayBuffer buf(4);
+  Rng rng(11);
+  EXPECT_THROW(buf.sample(1, rng), std::invalid_argument);
+  buf.push({{1.0f}, 0, 0.0f, {}, false});
+  EXPECT_THROW(buf.sample(0, rng), std::invalid_argument);
+  EXPECT_EQ(buf.sample(10, rng).size(), 10u);  // with replacement
+  EXPECT_THROW(rl::ReplayBuffer(0), std::invalid_argument);
+}
+
+// --- DQN ------------------------------------------------------------------------
+
+TEST(Dqn, EpsilonDecaysToFloor) {
+  rl::GridWorld env(3);
+  rl::DqnConfig cfg;
+  cfg.epsilon_start = 1.0f;
+  cfg.epsilon_end = 0.1f;
+  cfg.epsilon_decay = 0.5f;
+  cfg.warmup_transitions = 1000000;  // never train, just explore
+  rl::DqnAgent agent(env, cfg, nullptr);
+  agent.train(10);
+  EXPECT_NEAR(agent.epsilon(), 0.1f, 1e-6f);
+}
+
+TEST(Dqn, ReplayFillsDuringEpisodes) {
+  rl::GridWorld env(3);
+  rl::DqnConfig cfg;
+  cfg.warmup_transitions = 1000000;
+  rl::DqnAgent agent(env, cfg, nullptr);
+  const auto stats = agent.train(3);
+  EXPECT_EQ(stats.size(), 3u);
+  EXPECT_GT(agent.replay().size(), 0u);
+  int total_steps = 0;
+  for (const auto& s : stats) total_steps += s.steps;
+  EXPECT_EQ(agent.replay().size(), static_cast<std::size_t>(total_steps));
+}
+
+TEST(Dqn, GreedyActionIsDeterministic) {
+  rl::GridWorld env(3);
+  rl::DqnConfig cfg;
+  rl::DqnAgent agent(env, cfg, nullptr);
+  const std::vector<float> obs(9, 0.0f);
+  const int a1 = agent.greedy_action(obs);
+  const int a2 = agent.greedy_action(obs);
+  EXPECT_EQ(a1, a2);
+  EXPECT_GE(a1, 0);
+  EXPECT_LT(a1, 4);
+}
+
+TEST(Dqn, LearnsGridWorldPolicy) {
+  rl::GridWorld env(3);
+  rl::DqnConfig cfg;
+  cfg.seed = 99;
+  cfg.hidden = 32;
+  cfg.warmup_transitions = 50;
+  cfg.batch_size = 32;
+  cfg.epsilon_decay = 0.92f;
+  cfg.lr = 3e-3f;
+  rl::DqnAgent agent(env, cfg, nullptr);
+  const auto stats = agent.train(40);
+
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 5; ++i)
+    early += stats[static_cast<std::size_t>(i)].total_reward;
+  for (std::size_t i = stats.size() - 5; i < stats.size(); ++i)
+    late += stats[i].total_reward;
+  EXPECT_GT(late / 5.0, early / 5.0);  // reward improves
+  EXPECT_GT(late / 5.0, 0.5);          // reliably reaches the goal
+}
+
+TEST(Dqn, TrainingOnDeviceRecordsKernels) {
+  sagesim::gpu::DeviceManager dm(1, sagesim::gpu::spec::test_tiny());
+  rl::GridWorld env(3);
+  rl::DqnConfig cfg;
+  cfg.warmup_transitions = 20;
+  cfg.batch_size = 8;
+  rl::DqnAgent agent(env, cfg, &dm.device(0));
+  agent.train(2);
+  EXPECT_GT(dm.timeline().snapshot(sagesim::prof::EventKind::kKernel).size(),
+            10u);
+}
+
+TEST(Dqn, EpisodeStatsAreConsistent) {
+  rl::CartPole env;
+  rl::DqnConfig cfg;
+  cfg.warmup_transitions = 16;
+  cfg.batch_size = 8;
+  rl::DqnAgent agent(env, cfg, nullptr);
+  const auto s = agent.run_episode();
+  EXPECT_GT(s.steps, 0);
+  EXPECT_NEAR(s.total_reward, static_cast<double>(s.steps), 1e-9);
+  EXPECT_FLOAT_EQ(s.epsilon, 1.0f);  // epsilon reported pre-decay
+}
+
+// --- tabular Q-learning ----------------------------------------------------------
+
+#include "rl/qlearning.hpp"
+
+TEST(QTable, StartsUniformAndGreedyDeterministic) {
+  rl::GridWorld env(3);
+  rl::QLearningConfig cfg;
+  rl::QTableAgent agent(env, cfg, nullptr);
+  EXPECT_EQ(agent.state_count(), 9u);
+  EXPECT_DOUBLE_EQ(agent.q_value(0, 0), 0.0);
+  EXPECT_EQ(agent.greedy_action(0), agent.greedy_action(0));
+  EXPECT_THROW(agent.q_value(99, 0), std::out_of_range);
+}
+
+TEST(QTable, LearnsGridWorldFasterThanDqn) {
+  rl::GridWorld env(4);
+  rl::QLearningConfig cfg;
+  cfg.seed = 321;
+  rl::QTableAgent agent(env, cfg, nullptr);
+  const auto stats = agent.train(120);
+  double late = 0.0;
+  for (std::size_t i = stats.size() - 10; i < stats.size(); ++i)
+    late += stats[i].total_reward;
+  late /= 10.0;
+  EXPECT_GT(late, 0.7);  // near-optimal path on a 4x4 grid
+}
+
+TEST(QTable, QValuesPropagateFromGoal) {
+  rl::GridWorld env(3);
+  rl::QLearningConfig cfg;
+  cfg.seed = 33;
+  rl::QTableAgent agent(env, cfg, nullptr);
+  agent.train(150);
+  // The state next to the goal (cell 7, below-left of goal 8) should value
+  // the "right" action (3) near +1.
+  EXPECT_GT(agent.q_value(7, 3), 0.4);
+  // The start state's best value reflects the discounted path.
+  const int best = agent.greedy_action(0);
+  EXPECT_GT(agent.q_value(0, best), 0.3);
+}
+
+TEST(QTable, DeviceVariantMatchesHostLearning) {
+  sagesim::gpu::DeviceManager dm(1, sagesim::gpu::spec::test_tiny());
+  rl::GridWorld env(3);
+  rl::QLearningConfig cfg;
+  cfg.seed = 55;
+  rl::QTableAgent host_agent(env, cfg, nullptr);
+  rl::GridWorld env2(3);
+  rl::QTableAgent dev_agent(env2, cfg, &dm.device(0));
+  const auto h = host_agent.train(50);
+  const auto d = dev_agent.train(50);
+  // Identical seeds and environments: identical trajectories.
+  ASSERT_EQ(h.size(), d.size());
+  for (std::size_t i = 0; i < h.size(); ++i)
+    EXPECT_DOUBLE_EQ(h[i].total_reward, d[i].total_reward);
+  EXPECT_GT(dm.timeline().size(), 100u);  // q_update kernels recorded
+}
+
+TEST(QTable, EpsilonAnneals) {
+  rl::GridWorld env(3);
+  rl::QLearningConfig cfg;
+  cfg.epsilon_decay = 0.5f;
+  cfg.epsilon_end = 0.2f;
+  rl::QTableAgent agent(env, cfg, nullptr);
+  agent.train(8);
+  EXPECT_NEAR(agent.epsilon(), 0.2f, 1e-6f);
+}
+
+TEST(QTable, ValidatesConfig) {
+  rl::GridWorld env(3);
+  rl::QLearningConfig cfg;
+  cfg.alpha = 0.0;
+  EXPECT_THROW(rl::QTableAgent(env, cfg, nullptr), std::invalid_argument);
+}
