@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allreduce.dir/ablation_allreduce.cpp.o"
+  "CMakeFiles/ablation_allreduce.dir/ablation_allreduce.cpp.o.d"
+  "ablation_allreduce"
+  "ablation_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_partition.cpp" "bench/CMakeFiles/ablation_partition.dir/ablation_partition.cpp.o" "gcc" "bench/CMakeFiles/ablation_partition.dir/ablation_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sagesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddp/CMakeFiles/sagesim_ddp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dflow/CMakeFiles/sagesim_dflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/sagesim_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sagesim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sagesim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rag/CMakeFiles/sagesim_rag.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sagesim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/sagesim_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sagesim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/edu/CMakeFiles/sagesim_edu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sagesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

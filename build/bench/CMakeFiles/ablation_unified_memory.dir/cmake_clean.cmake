@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unified_memory.dir/ablation_unified_memory.cpp.o"
+  "CMakeFiles/ablation_unified_memory.dir/ablation_unified_memory.cpp.o.d"
+  "ablation_unified_memory"
+  "ablation_unified_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unified_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

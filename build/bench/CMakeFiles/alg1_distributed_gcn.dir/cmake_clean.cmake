@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alg1_distributed_gcn.dir/alg1_distributed_gcn.cpp.o"
+  "CMakeFiles/alg1_distributed_gcn.dir/alg1_distributed_gcn.cpp.o.d"
+  "alg1_distributed_gcn"
+  "alg1_distributed_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg1_distributed_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alg1_distributed_gcn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_b_extra_credit.dir/appendix_b_extra_credit.cpp.o"
+  "CMakeFiles/appendix_b_extra_credit.dir/appendix_b_extra_credit.cpp.o.d"
+  "appendix_b_extra_credit"
+  "appendix_b_extra_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_b_extra_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_enrollment.dir/fig01_enrollment.cpp.o"
+  "CMakeFiles/fig01_enrollment.dir/fig01_enrollment.cpp.o.d"
+  "fig01_enrollment"
+  "fig01_enrollment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

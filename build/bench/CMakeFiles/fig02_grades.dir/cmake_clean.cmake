@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_grades.dir/fig02_grades.cpp.o"
+  "CMakeFiles/fig02_grades.dir/fig02_grades.cpp.o.d"
+  "fig02_grades"
+  "fig02_grades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_grades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_course_eval.dir/fig03_course_eval.cpp.o"
+  "CMakeFiles/fig03_course_eval.dir/fig03_course_eval.cpp.o.d"
+  "fig03_course_eval"
+  "fig03_course_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_course_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_surveys.dir/fig04_surveys.cpp.o"
+  "CMakeFiles/fig04_surveys.dir/fig04_surveys.cpp.o.d"
+  "fig04_surveys"
+  "fig04_surveys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_surveys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_aws_cost.dir/fig05_aws_cost.cpp.o"
+  "CMakeFiles/fig05_aws_cost.dir/fig05_aws_cost.cpp.o.d"
+  "fig05_aws_cost"
+  "fig05_aws_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_aws_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

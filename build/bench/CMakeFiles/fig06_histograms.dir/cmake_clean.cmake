@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_histograms.dir/fig06_histograms.cpp.o"
+  "CMakeFiles/fig06_histograms.dir/fig06_histograms.cpp.o.d"
+  "fig06_histograms"
+  "fig06_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

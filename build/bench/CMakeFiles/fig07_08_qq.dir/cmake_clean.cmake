@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_qq.dir/fig07_08_qq.cpp.o"
+  "CMakeFiles/fig07_08_qq.dir/fig07_08_qq.cpp.o.d"
+  "fig07_08_qq"
+  "fig07_08_qq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_qq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mannwhitney.dir/fig09_mannwhitney.cpp.o"
+  "CMakeFiles/fig09_mannwhitney.dir/fig09_mannwhitney.cpp.o.d"
+  "fig09_mannwhitney"
+  "fig09_mannwhitney.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mannwhitney.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

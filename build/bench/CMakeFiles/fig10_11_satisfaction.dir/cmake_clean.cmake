@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_satisfaction.dir/fig10_11_satisfaction.cpp.o"
+  "CMakeFiles/fig10_11_satisfaction.dir/fig10_11_satisfaction.cpp.o.d"
+  "fig10_11_satisfaction"
+  "fig10_11_satisfaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

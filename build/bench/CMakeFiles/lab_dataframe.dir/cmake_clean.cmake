@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_dataframe.dir/lab_dataframe.cpp.o"
+  "CMakeFiles/lab_dataframe.dir/lab_dataframe.cpp.o.d"
+  "lab_dataframe"
+  "lab_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_ddp_scaling.dir/lab_ddp_scaling.cpp.o"
+  "CMakeFiles/lab_ddp_scaling.dir/lab_ddp_scaling.cpp.o.d"
+  "lab_ddp_scaling"
+  "lab_ddp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_ddp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_dqn.dir/lab_dqn.cpp.o"
+  "CMakeFiles/lab_dqn.dir/lab_dqn.cpp.o.d"
+  "lab_dqn"
+  "lab_dqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_dqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_matmul_profile.dir/lab_matmul_profile.cpp.o"
+  "CMakeFiles/lab_matmul_profile.dir/lab_matmul_profile.cpp.o.d"
+  "lab_matmul_profile"
+  "lab_matmul_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_matmul_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

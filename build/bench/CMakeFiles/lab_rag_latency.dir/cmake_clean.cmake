@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_rag_latency.dir/lab_rag_latency.cpp.o"
+  "CMakeFiles/lab_rag_latency.dir/lab_rag_latency.cpp.o.d"
+  "lab_rag_latency"
+  "lab_rag_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_rag_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

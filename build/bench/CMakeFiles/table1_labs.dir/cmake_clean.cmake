@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_labs.dir/table1_labs.cpp.o"
+  "CMakeFiles/table1_labs.dir/table1_labs.cpp.o.d"
+  "table1_labs"
+  "table1_labs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_labs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_assumptions.dir/table3_assumptions.cpp.o"
+  "CMakeFiles/table3_assumptions.dir/table3_assumptions.cpp.o.d"
+  "table3_assumptions"
+  "table3_assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

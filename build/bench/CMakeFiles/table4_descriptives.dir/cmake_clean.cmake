@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_descriptives.dir/table4_descriptives.cpp.o"
+  "CMakeFiles/table4_descriptives.dir/table4_descriptives.cpp.o.d"
+  "table4_descriptives"
+  "table4_descriptives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_descriptives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

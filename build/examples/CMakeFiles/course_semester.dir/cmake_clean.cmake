@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_semester.dir/course_semester.cpp.o"
+  "CMakeFiles/course_semester.dir/course_semester.cpp.o.d"
+  "course_semester"
+  "course_semester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_semester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_gcn.dir/distributed_gcn.cpp.o"
+  "CMakeFiles/distributed_gcn.dir/distributed_gcn.cpp.o.d"
+  "distributed_gcn"
+  "distributed_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqn_agent.dir/dqn_agent.cpp.o"
+  "CMakeFiles/dqn_agent.dir/dqn_agent.cpp.o.d"
+  "dqn_agent"
+  "dqn_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqn_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloudsim/cost.cpp" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/cost.cpp.o" "gcc" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/cost.cpp.o.d"
+  "/root/repo/src/cloudsim/iam.cpp" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/iam.cpp.o" "gcc" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/iam.cpp.o.d"
+  "/root/repo/src/cloudsim/instance.cpp" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/instance.cpp.o" "gcc" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/instance.cpp.o.d"
+  "/root/repo/src/cloudsim/instance_type.cpp" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/instance_type.cpp.o" "gcc" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/instance_type.cpp.o.d"
+  "/root/repo/src/cloudsim/provisioner.cpp" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/provisioner.cpp.o" "gcc" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/provisioner.cpp.o.d"
+  "/root/repo/src/cloudsim/vpc.cpp" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/vpc.cpp.o" "gcc" "src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/vpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_cloudsim.dir/cost.cpp.o"
+  "CMakeFiles/sagesim_cloudsim.dir/cost.cpp.o.d"
+  "CMakeFiles/sagesim_cloudsim.dir/iam.cpp.o"
+  "CMakeFiles/sagesim_cloudsim.dir/iam.cpp.o.d"
+  "CMakeFiles/sagesim_cloudsim.dir/instance.cpp.o"
+  "CMakeFiles/sagesim_cloudsim.dir/instance.cpp.o.d"
+  "CMakeFiles/sagesim_cloudsim.dir/instance_type.cpp.o"
+  "CMakeFiles/sagesim_cloudsim.dir/instance_type.cpp.o.d"
+  "CMakeFiles/sagesim_cloudsim.dir/provisioner.cpp.o"
+  "CMakeFiles/sagesim_cloudsim.dir/provisioner.cpp.o.d"
+  "CMakeFiles/sagesim_cloudsim.dir/vpc.cpp.o"
+  "CMakeFiles/sagesim_cloudsim.dir/vpc.cpp.o.d"
+  "libsagesim_cloudsim.a"
+  "libsagesim_cloudsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_cloudsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

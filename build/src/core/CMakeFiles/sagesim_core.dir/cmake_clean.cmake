@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_core.dir/distributed_gcn.cpp.o"
+  "CMakeFiles/sagesim_core.dir/distributed_gcn.cpp.o.d"
+  "CMakeFiles/sagesim_core.dir/lab_runner.cpp.o"
+  "CMakeFiles/sagesim_core.dir/lab_runner.cpp.o.d"
+  "CMakeFiles/sagesim_core.dir/version.cpp.o"
+  "CMakeFiles/sagesim_core.dir/version.cpp.o.d"
+  "CMakeFiles/sagesim_core.dir/workflow.cpp.o"
+  "CMakeFiles/sagesim_core.dir/workflow.cpp.o.d"
+  "libsagesim_core.a"
+  "libsagesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

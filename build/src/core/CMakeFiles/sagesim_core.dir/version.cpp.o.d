@@ -1,0 +1,3 @@
+src/core/CMakeFiles/sagesim_core.dir/version.cpp.o: \
+ /root/repo/src/core/version.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/version.hpp

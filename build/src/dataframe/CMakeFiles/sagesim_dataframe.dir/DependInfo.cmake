@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataframe/column.cpp" "src/dataframe/CMakeFiles/sagesim_dataframe.dir/column.cpp.o" "gcc" "src/dataframe/CMakeFiles/sagesim_dataframe.dir/column.cpp.o.d"
+  "/root/repo/src/dataframe/csv.cpp" "src/dataframe/CMakeFiles/sagesim_dataframe.dir/csv.cpp.o" "gcc" "src/dataframe/CMakeFiles/sagesim_dataframe.dir/csv.cpp.o.d"
+  "/root/repo/src/dataframe/dataframe.cpp" "src/dataframe/CMakeFiles/sagesim_dataframe.dir/dataframe.cpp.o" "gcc" "src/dataframe/CMakeFiles/sagesim_dataframe.dir/dataframe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/sagesim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

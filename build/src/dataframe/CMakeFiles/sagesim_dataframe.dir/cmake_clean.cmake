@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_dataframe.dir/column.cpp.o"
+  "CMakeFiles/sagesim_dataframe.dir/column.cpp.o.d"
+  "CMakeFiles/sagesim_dataframe.dir/csv.cpp.o"
+  "CMakeFiles/sagesim_dataframe.dir/csv.cpp.o.d"
+  "CMakeFiles/sagesim_dataframe.dir/dataframe.cpp.o"
+  "CMakeFiles/sagesim_dataframe.dir/dataframe.cpp.o.d"
+  "libsagesim_dataframe.a"
+  "libsagesim_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

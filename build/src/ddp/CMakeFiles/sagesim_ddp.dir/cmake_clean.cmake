@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_ddp.dir/grad_sync.cpp.o"
+  "CMakeFiles/sagesim_ddp.dir/grad_sync.cpp.o.d"
+  "CMakeFiles/sagesim_ddp.dir/trainer.cpp.o"
+  "CMakeFiles/sagesim_ddp.dir/trainer.cpp.o.d"
+  "libsagesim_ddp.a"
+  "libsagesim_ddp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_ddp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dflow/cluster.cpp" "src/dflow/CMakeFiles/sagesim_dflow.dir/cluster.cpp.o" "gcc" "src/dflow/CMakeFiles/sagesim_dflow.dir/cluster.cpp.o.d"
+  "/root/repo/src/dflow/collectives.cpp" "src/dflow/CMakeFiles/sagesim_dflow.dir/collectives.cpp.o" "gcc" "src/dflow/CMakeFiles/sagesim_dflow.dir/collectives.cpp.o.d"
+  "/root/repo/src/dflow/future.cpp" "src/dflow/CMakeFiles/sagesim_dflow.dir/future.cpp.o" "gcc" "src/dflow/CMakeFiles/sagesim_dflow.dir/future.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/sagesim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

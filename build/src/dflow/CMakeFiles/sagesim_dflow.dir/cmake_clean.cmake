@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_dflow.dir/cluster.cpp.o"
+  "CMakeFiles/sagesim_dflow.dir/cluster.cpp.o.d"
+  "CMakeFiles/sagesim_dflow.dir/collectives.cpp.o"
+  "CMakeFiles/sagesim_dflow.dir/collectives.cpp.o.d"
+  "CMakeFiles/sagesim_dflow.dir/future.cpp.o"
+  "CMakeFiles/sagesim_dflow.dir/future.cpp.o.d"
+  "libsagesim_dflow.a"
+  "libsagesim_dflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_dflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sagesim_dflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edu/aws_usage.cpp" "src/edu/CMakeFiles/sagesim_edu.dir/aws_usage.cpp.o" "gcc" "src/edu/CMakeFiles/sagesim_edu.dir/aws_usage.cpp.o.d"
+  "/root/repo/src/edu/cohort.cpp" "src/edu/CMakeFiles/sagesim_edu.dir/cohort.cpp.o" "gcc" "src/edu/CMakeFiles/sagesim_edu.dir/cohort.cpp.o.d"
+  "/root/repo/src/edu/enrollment.cpp" "src/edu/CMakeFiles/sagesim_edu.dir/enrollment.cpp.o" "gcc" "src/edu/CMakeFiles/sagesim_edu.dir/enrollment.cpp.o.d"
+  "/root/repo/src/edu/extra_credit.cpp" "src/edu/CMakeFiles/sagesim_edu.dir/extra_credit.cpp.o" "gcc" "src/edu/CMakeFiles/sagesim_edu.dir/extra_credit.cpp.o.d"
+  "/root/repo/src/edu/grading.cpp" "src/edu/CMakeFiles/sagesim_edu.dir/grading.cpp.o" "gcc" "src/edu/CMakeFiles/sagesim_edu.dir/grading.cpp.o.d"
+  "/root/repo/src/edu/survey.cpp" "src/edu/CMakeFiles/sagesim_edu.dir/survey.cpp.o" "gcc" "src/edu/CMakeFiles/sagesim_edu.dir/survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sagesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudsim/CMakeFiles/sagesim_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

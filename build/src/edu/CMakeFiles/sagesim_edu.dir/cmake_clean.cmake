@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_edu.dir/aws_usage.cpp.o"
+  "CMakeFiles/sagesim_edu.dir/aws_usage.cpp.o.d"
+  "CMakeFiles/sagesim_edu.dir/cohort.cpp.o"
+  "CMakeFiles/sagesim_edu.dir/cohort.cpp.o.d"
+  "CMakeFiles/sagesim_edu.dir/enrollment.cpp.o"
+  "CMakeFiles/sagesim_edu.dir/enrollment.cpp.o.d"
+  "CMakeFiles/sagesim_edu.dir/extra_credit.cpp.o"
+  "CMakeFiles/sagesim_edu.dir/extra_credit.cpp.o.d"
+  "CMakeFiles/sagesim_edu.dir/grading.cpp.o"
+  "CMakeFiles/sagesim_edu.dir/grading.cpp.o.d"
+  "CMakeFiles/sagesim_edu.dir/survey.cpp.o"
+  "CMakeFiles/sagesim_edu.dir/survey.cpp.o.d"
+  "libsagesim_edu.a"
+  "libsagesim_edu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_edu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

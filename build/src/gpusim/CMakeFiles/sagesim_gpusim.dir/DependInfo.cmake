@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_manager.cpp" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/device_manager.cpp.o" "gcc" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/device_manager.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/executor.cpp" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/executor.cpp.o" "gcc" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/executor.cpp.o.d"
+  "/root/repo/src/gpusim/memory.cpp" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/memory.cpp.o" "gcc" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/memory.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/occupancy.cpp.o" "gcc" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/timing.cpp" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/timing.cpp.o" "gcc" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/timing.cpp.o.d"
+  "/root/repo/src/gpusim/unified.cpp" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/unified.cpp.o" "gcc" "src/gpusim/CMakeFiles/sagesim_gpusim.dir/unified.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

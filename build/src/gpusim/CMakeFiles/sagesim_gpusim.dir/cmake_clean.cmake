@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_gpusim.dir/device.cpp.o"
+  "CMakeFiles/sagesim_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/sagesim_gpusim.dir/device_manager.cpp.o"
+  "CMakeFiles/sagesim_gpusim.dir/device_manager.cpp.o.d"
+  "CMakeFiles/sagesim_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/sagesim_gpusim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/sagesim_gpusim.dir/executor.cpp.o"
+  "CMakeFiles/sagesim_gpusim.dir/executor.cpp.o.d"
+  "CMakeFiles/sagesim_gpusim.dir/memory.cpp.o"
+  "CMakeFiles/sagesim_gpusim.dir/memory.cpp.o.d"
+  "CMakeFiles/sagesim_gpusim.dir/occupancy.cpp.o"
+  "CMakeFiles/sagesim_gpusim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/sagesim_gpusim.dir/timing.cpp.o"
+  "CMakeFiles/sagesim_gpusim.dir/timing.cpp.o.d"
+  "CMakeFiles/sagesim_gpusim.dir/unified.cpp.o"
+  "CMakeFiles/sagesim_gpusim.dir/unified.cpp.o.d"
+  "libsagesim_gpusim.a"
+  "libsagesim_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

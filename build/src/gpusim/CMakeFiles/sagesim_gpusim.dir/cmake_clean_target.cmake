@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsagesim_gpusim.a"
+)

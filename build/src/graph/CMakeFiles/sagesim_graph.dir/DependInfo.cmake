@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/sagesim_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/sagesim_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/sagesim_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/sagesim_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/sagesim_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/sagesim_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/metis_like.cpp" "src/graph/CMakeFiles/sagesim_graph.dir/metis_like.cpp.o" "gcc" "src/graph/CMakeFiles/sagesim_graph.dir/metis_like.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/sagesim_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/sagesim_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/spmm.cpp" "src/graph/CMakeFiles/sagesim_graph.dir/spmm.cpp.o" "gcc" "src/graph/CMakeFiles/sagesim_graph.dir/spmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sagesim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sagesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sagesim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/sagesim_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/sagesim_graph.dir/csr.cpp.o"
+  "CMakeFiles/sagesim_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/sagesim_graph.dir/generators.cpp.o"
+  "CMakeFiles/sagesim_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/sagesim_graph.dir/metis_like.cpp.o"
+  "CMakeFiles/sagesim_graph.dir/metis_like.cpp.o.d"
+  "CMakeFiles/sagesim_graph.dir/partition.cpp.o"
+  "CMakeFiles/sagesim_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/sagesim_graph.dir/spmm.cpp.o"
+  "CMakeFiles/sagesim_graph.dir/spmm.cpp.o.d"
+  "libsagesim_graph.a"
+  "libsagesim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gcn.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/gcn.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/gcn.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/schedule.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/schedule.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/sagesim_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/sagesim_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sagesim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sagesim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sagesim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sagesim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

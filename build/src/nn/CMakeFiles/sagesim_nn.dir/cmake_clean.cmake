@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/conv.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/dense.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/gcn.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/gcn.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/layer.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/loss.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/metrics.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/optim.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/schedule.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/schedule.cpp.o.d"
+  "CMakeFiles/sagesim_nn.dir/sequential.cpp.o"
+  "CMakeFiles/sagesim_nn.dir/sequential.cpp.o.d"
+  "libsagesim_nn.a"
+  "libsagesim_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/bottleneck.cpp" "src/prof/CMakeFiles/sagesim_prof.dir/bottleneck.cpp.o" "gcc" "src/prof/CMakeFiles/sagesim_prof.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/prof/chrome_trace.cpp" "src/prof/CMakeFiles/sagesim_prof.dir/chrome_trace.cpp.o" "gcc" "src/prof/CMakeFiles/sagesim_prof.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/prof/host_timer.cpp" "src/prof/CMakeFiles/sagesim_prof.dir/host_timer.cpp.o" "gcc" "src/prof/CMakeFiles/sagesim_prof.dir/host_timer.cpp.o.d"
+  "/root/repo/src/prof/report.cpp" "src/prof/CMakeFiles/sagesim_prof.dir/report.cpp.o" "gcc" "src/prof/CMakeFiles/sagesim_prof.dir/report.cpp.o.d"
+  "/root/repo/src/prof/trace.cpp" "src/prof/CMakeFiles/sagesim_prof.dir/trace.cpp.o" "gcc" "src/prof/CMakeFiles/sagesim_prof.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

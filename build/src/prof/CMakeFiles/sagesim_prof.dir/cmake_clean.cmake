@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_prof.dir/bottleneck.cpp.o"
+  "CMakeFiles/sagesim_prof.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/sagesim_prof.dir/chrome_trace.cpp.o"
+  "CMakeFiles/sagesim_prof.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/sagesim_prof.dir/host_timer.cpp.o"
+  "CMakeFiles/sagesim_prof.dir/host_timer.cpp.o.d"
+  "CMakeFiles/sagesim_prof.dir/report.cpp.o"
+  "CMakeFiles/sagesim_prof.dir/report.cpp.o.d"
+  "CMakeFiles/sagesim_prof.dir/trace.cpp.o"
+  "CMakeFiles/sagesim_prof.dir/trace.cpp.o.d"
+  "libsagesim_prof.a"
+  "libsagesim_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

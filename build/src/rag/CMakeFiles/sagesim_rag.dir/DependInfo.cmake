@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rag/corpus.cpp" "src/rag/CMakeFiles/sagesim_rag.dir/corpus.cpp.o" "gcc" "src/rag/CMakeFiles/sagesim_rag.dir/corpus.cpp.o.d"
+  "/root/repo/src/rag/encoder.cpp" "src/rag/CMakeFiles/sagesim_rag.dir/encoder.cpp.o" "gcc" "src/rag/CMakeFiles/sagesim_rag.dir/encoder.cpp.o.d"
+  "/root/repo/src/rag/generator.cpp" "src/rag/CMakeFiles/sagesim_rag.dir/generator.cpp.o" "gcc" "src/rag/CMakeFiles/sagesim_rag.dir/generator.cpp.o.d"
+  "/root/repo/src/rag/index.cpp" "src/rag/CMakeFiles/sagesim_rag.dir/index.cpp.o" "gcc" "src/rag/CMakeFiles/sagesim_rag.dir/index.cpp.o.d"
+  "/root/repo/src/rag/latency.cpp" "src/rag/CMakeFiles/sagesim_rag.dir/latency.cpp.o" "gcc" "src/rag/CMakeFiles/sagesim_rag.dir/latency.cpp.o.d"
+  "/root/repo/src/rag/pipeline.cpp" "src/rag/CMakeFiles/sagesim_rag.dir/pipeline.cpp.o" "gcc" "src/rag/CMakeFiles/sagesim_rag.dir/pipeline.cpp.o.d"
+  "/root/repo/src/rag/tokenizer.cpp" "src/rag/CMakeFiles/sagesim_rag.dir/tokenizer.cpp.o" "gcc" "src/rag/CMakeFiles/sagesim_rag.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sagesim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sagesim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/sagesim_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sagesim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

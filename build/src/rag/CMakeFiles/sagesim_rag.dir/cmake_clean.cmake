@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_rag.dir/corpus.cpp.o"
+  "CMakeFiles/sagesim_rag.dir/corpus.cpp.o.d"
+  "CMakeFiles/sagesim_rag.dir/encoder.cpp.o"
+  "CMakeFiles/sagesim_rag.dir/encoder.cpp.o.d"
+  "CMakeFiles/sagesim_rag.dir/generator.cpp.o"
+  "CMakeFiles/sagesim_rag.dir/generator.cpp.o.d"
+  "CMakeFiles/sagesim_rag.dir/index.cpp.o"
+  "CMakeFiles/sagesim_rag.dir/index.cpp.o.d"
+  "CMakeFiles/sagesim_rag.dir/latency.cpp.o"
+  "CMakeFiles/sagesim_rag.dir/latency.cpp.o.d"
+  "CMakeFiles/sagesim_rag.dir/pipeline.cpp.o"
+  "CMakeFiles/sagesim_rag.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sagesim_rag.dir/tokenizer.cpp.o"
+  "CMakeFiles/sagesim_rag.dir/tokenizer.cpp.o.d"
+  "libsagesim_rag.a"
+  "libsagesim_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

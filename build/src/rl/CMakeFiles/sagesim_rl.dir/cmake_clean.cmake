@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_rl.dir/dqn.cpp.o"
+  "CMakeFiles/sagesim_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/sagesim_rl.dir/env.cpp.o"
+  "CMakeFiles/sagesim_rl.dir/env.cpp.o.d"
+  "CMakeFiles/sagesim_rl.dir/qlearning.cpp.o"
+  "CMakeFiles/sagesim_rl.dir/qlearning.cpp.o.d"
+  "CMakeFiles/sagesim_rl.dir/replay.cpp.o"
+  "CMakeFiles/sagesim_rl.dir/replay.cpp.o.d"
+  "libsagesim_rl.a"
+  "libsagesim_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/boxplot.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/boxplot.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/boxplot.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/dist.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/dist.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/dist.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/likert.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/likert.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/likert.cpp.o.d"
+  "/root/repo/src/stats/nonparametric.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/nonparametric.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/nonparametric.cpp.o.d"
+  "/root/repo/src/stats/qq.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/qq.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/qq.cpp.o.d"
+  "/root/repo/src/stats/rank.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/rank.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/rank.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/tests.cpp" "src/stats/CMakeFiles/sagesim_stats.dir/tests.cpp.o" "gcc" "src/stats/CMakeFiles/sagesim_stats.dir/tests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_stats.dir/boxplot.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/boxplot.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/dist.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/dist.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/histogram.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/likert.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/likert.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/nonparametric.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/nonparametric.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/qq.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/qq.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/rank.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/rank.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/rng.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/special.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/special.cpp.o.d"
+  "CMakeFiles/sagesim_stats.dir/tests.cpp.o"
+  "CMakeFiles/sagesim_stats.dir/tests.cpp.o.d"
+  "libsagesim_stats.a"
+  "libsagesim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sagesim_tensor.dir/ops.cpp.o"
+  "CMakeFiles/sagesim_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/sagesim_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/sagesim_tensor.dir/tensor.cpp.o.d"
+  "libsagesim_tensor.a"
+  "libsagesim_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sagesim_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

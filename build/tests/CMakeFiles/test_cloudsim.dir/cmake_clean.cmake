@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloudsim.dir/test_cloudsim.cpp.o"
+  "CMakeFiles/test_cloudsim.dir/test_cloudsim.cpp.o.d"
+  "test_cloudsim"
+  "test_cloudsim.pdb"
+  "test_cloudsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloudsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dflow.dir/test_dflow.cpp.o"
+  "CMakeFiles/test_dflow.dir/test_dflow.cpp.o.d"
+  "test_dflow"
+  "test_dflow.pdb"
+  "test_dflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

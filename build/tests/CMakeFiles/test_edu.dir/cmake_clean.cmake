@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edu.dir/test_edu.cpp.o"
+  "CMakeFiles/test_edu.dir/test_edu.cpp.o.d"
+  "test_edu"
+  "test_edu.pdb"
+  "test_edu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
