@@ -1,38 +1,114 @@
 #include "core/workflow.hpp"
 
+#include "runtime/scheduler.hpp"
+
 namespace sagesim::core {
 
 Workflow& Workflow::stage(std::string stage_name, StageFn fn,
                           bool always_run) {
+  StageOptions opts;
+  opts.always_run = always_run;
+  if (!stages_.empty()) opts.after.push_back(stages_.back().name);
+  return stage(std::move(stage_name), std::move(fn), std::move(opts));
+}
+
+Workflow& Workflow::stage(std::string stage_name, StageFn fn,
+                          StageOptions opts) {
   if (!fn) throw std::invalid_argument("Workflow::stage: null stage function");
-  stages_.push_back({std::move(stage_name), std::move(fn), always_run});
+  Stage s;
+  s.fn = std::move(fn);
+  s.always_run = opts.always_run;
+  s.after.reserve(opts.after.size());
+  for (const auto& dep : opts.after) {
+    auto it = index_of_.find(dep);
+    if (it == index_of_.end())
+      throw std::invalid_argument("Workflow::stage: '" + stage_name +
+                                  "' depends on unknown stage '" + dep + "'");
+    s.after.push_back(it->second);
+  }
+  s.name = std::move(stage_name);
+  index_of_[s.name] = stages_.size();
+  stages_.push_back(std::move(s));
   return *this;
+}
+
+void Workflow::run_stage(std::size_t index, WorkflowContext& ctx,
+                         WorkflowReport& report,
+                         std::vector<std::uint8_t>& failed,
+                         std::vector<std::uint8_t>& poisoned) const {
+  const Stage& s = stages_[index];
+  StageReport& sr = report.stages[index];
+  sr.name = s.name;
+
+  // A dependency that failed, was skipped, or carries upstream failure
+  // poisons this stage.  always_run stages execute anyway but stay
+  // poisoned, so cleanup does not resurrect the pipeline for dependents.
+  bool upstream_bad = false;
+  for (const std::size_t dep : s.after)
+    if (failed[dep] || poisoned[dep]) upstream_bad = true;
+  poisoned[index] = upstream_bad ? 1 : 0;
+  if (upstream_bad && !s.always_run) {
+    sr.error = "skipped (earlier stage failed)";
+    return;
+  }
+
+  const double t0 = ctx.devices().now_s();
+  try {
+    s.fn(ctx);
+    sr.ok = true;
+  } catch (const std::exception& e) {
+    sr.error = e.what();
+    failed[index] = 1;
+  } catch (...) {
+    sr.error = "unknown exception";
+    failed[index] = 1;
+  }
+  sr.sim_gpu_seconds = ctx.devices().now_s() - t0;
 }
 
 WorkflowReport Workflow::run(WorkflowContext& ctx) const {
   WorkflowReport report;
-  bool failed = false;
-  for (const auto& s : stages_) {
-    StageReport sr;
-    sr.name = s.name;
-    if (failed && !s.always_run) {
-      sr.error = "skipped (earlier stage failed)";
-      report.stages.push_back(std::move(sr));
-      continue;
+  report.stages.resize(stages_.size());
+  std::vector<std::uint8_t> failed(stages_.size(), 0);
+  std::vector<std::uint8_t> poisoned(stages_.size(), 0);
+
+  auto& sched = runtime::Scheduler::shared();
+  // Declaration order is a topological order (`after` only references
+  // earlier stages), so the inline path needs no extra sorting.  It is
+  // taken when concurrency cannot help (one worker) or could deadlock
+  // (run() already occupies a pool worker, e.g. a workflow nested inside a
+  // stage).
+  const bool inline_run =
+      sched.worker_count() == 1 || sched.current_worker() >= 0;
+
+  if (inline_run) {
+    for (std::size_t i = 0; i < stages_.size(); ++i)
+      run_stage(i, ctx, report, failed, poisoned);
+  } else {
+    // Stage tasks never fail at the runtime level (run_stage captures
+    // exceptions into the report), so dependency edges are pure ordering:
+    // they always fire and run_stage reads its deps' outcomes race-free.
+    std::vector<runtime::AnyFuture> handles;
+    handles.reserve(stages_.size());
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      runtime::SubmitOptions opts;
+      opts.name = name_ + ":" + stages_[i].name;
+      for (const std::size_t dep : stages_[i].after)
+        opts.deps.push_back(handles[dep]);
+      handles.push_back(sched.submit_any(
+          std::move(opts), [this, i, &ctx, &report, &failed,
+                            &poisoned]() -> std::any {
+            run_stage(i, ctx, report, failed, poisoned);
+            return {};
+          }));
     }
-    const double t0 = ctx.devices().now_s();
-    try {
-      s.fn(ctx);
-      sr.ok = true;
-    } catch (const std::exception& e) {
-      sr.error = e.what();
-      failed = true;
-    }
-    sr.sim_gpu_seconds = ctx.devices().now_s() - t0;
-    report.total_sim_gpu_seconds += sr.sim_gpu_seconds;
-    report.stages.push_back(std::move(sr));
+    for (const auto& h : handles) h.wait();
   }
-  report.ok = !failed;
+
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    report.total_sim_gpu_seconds += report.stages[i].sim_gpu_seconds;
+    if (failed[i]) report.ok = false;
+  }
   return report;
 }
 

@@ -1,11 +1,26 @@
 // The AI-workflow builder: named stages over a shared context, each timed
 // and reported — the way the course frames every end-to-end exercise
 // ("provision -> stage data -> train -> evaluate -> tear down").
+//
+// Workflows are DAGs since the runtime unification.  The historical linear
+// API is sugar: each `stage(name, fn)` call implicitly depends on the
+// previously declared stage.  `stage(name, fn, StageOptions{.after = ...})`
+// declares explicit dependencies instead; stages with disjoint ancestry run
+// concurrently on the shared task-graph runtime (runtime::Scheduler).
+//
+// Failure semantics (preserved from the linear builder): a throwing stage
+// marks the workflow failed; every stage downstream of a failure is skipped
+// unless it was added with `always_run` (teardown).  An always_run stage
+// still waits for its dependencies and still passes the failure "poison"
+// through to its dependents, so cleanup cannot resurrect a failed pipeline.
 #pragma once
 
 #include <any>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -17,7 +32,10 @@
 namespace sagesim::core {
 
 /// Shared state stages communicate through: the simulated GPUs, the cloud
-/// control plane, and a typed blackboard.
+/// control plane, and a typed blackboard.  The blackboard is thread-safe at
+/// the operation level (concurrent stages may put/get distinct keys);
+/// stages that hand a value from one to another must be ordered with
+/// `after` — that dependency edge is what makes the write visible.
 class WorkflowContext {
  public:
   WorkflowContext(gpu::DeviceManager& devices, cloud::Provisioner& aws)
@@ -29,13 +47,16 @@ class WorkflowContext {
   /// Stores a value under @p key (overwrites).
   template <typename T>
   void put(const std::string& key, T value) {
+    std::lock_guard lock(mutex_);
     blackboard_[key] = std::move(value);
   }
 
   /// Typed read; throws std::out_of_range for missing keys and
-  /// std::bad_any_cast on type mismatch.
+  /// std::bad_any_cast on type mismatch.  The returned reference stays
+  /// valid across later put() calls of other keys (node-based map).
   template <typename T>
   T& get(const std::string& key) {
+    std::lock_guard lock(mutex_);
     auto it = blackboard_.find(key);
     if (it == blackboard_.end())
       throw std::out_of_range("WorkflowContext: no key '" + key + "'");
@@ -45,12 +66,14 @@ class WorkflowContext {
   }
 
   bool has(const std::string& key) const {
+    std::lock_guard lock(mutex_);
     return blackboard_.contains(key);
   }
 
  private:
   gpu::DeviceManager* devices_;
   cloud::Provisioner* aws_;
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, std::any> blackboard_;
 };
 
@@ -63,26 +86,44 @@ struct StageReport {
 };
 
 struct WorkflowReport {
-  std::vector<StageReport> stages;
+  std::vector<StageReport> stages;  ///< declaration order
   bool ok{true};
   double total_sim_gpu_seconds{0.0};
 };
 
-/// A linear pipeline of named stages.  Stages run in order; a throwing
-/// stage marks the workflow failed and skips the rest (unless the stage
-/// was added with `always_run` — teardown stages).
+/// Explicit-dependency form of Workflow::stage.
+struct StageOptions {
+  /// Names of previously declared stages this stage runs after.  Empty
+  /// means the stage is a root and may start immediately.
+  std::vector<std::string> after;
+  /// Teardown semantics: run even when an upstream stage failed.
+  bool always_run{false};
+};
+
+/// A DAG of named stages (linear pipelines as the degenerate chain).
 class Workflow {
  public:
   using StageFn = std::function<void(WorkflowContext&)>;
 
   explicit Workflow(std::string name) : name_(std::move(name)) {}
 
-  /// Appends a stage.  @p always_run stages execute even after a failure
-  /// (cleanup/teardown semantics).
+  /// Appends a stage that implicitly depends on the previously declared
+  /// stage (linear sugar).  @p always_run stages execute even after an
+  /// upstream failure (cleanup/teardown semantics).
   Workflow& stage(std::string stage_name, StageFn fn,
                   bool always_run = false);
 
-  /// Runs all stages against @p ctx.
+  /// Appends a stage with explicit dependencies.  Every name in
+  /// opts.after must refer to a previously declared stage (throws
+  /// std::invalid_argument otherwise); later declarations win when names
+  /// repeat.
+  Workflow& stage(std::string stage_name, StageFn fn, StageOptions opts);
+
+  /// Runs the DAG against @p ctx.  Independent stages run concurrently on
+  /// the shared runtime pool; when the pool has a single worker (or run()
+  /// is itself executing on a pool worker), stages execute inline in
+  /// declaration order — always a valid topological order, since `after`
+  /// can only reference earlier stages.
   WorkflowReport run(WorkflowContext& ctx) const;
 
   const std::string& name() const { return name_; }
@@ -93,9 +134,17 @@ class Workflow {
     std::string name;
     StageFn fn;
     bool always_run{false};
+    std::vector<std::size_t> after;  ///< indices of dependency stages
   };
+
+  void run_stage(std::size_t index, WorkflowContext& ctx,
+                 WorkflowReport& report,
+                 std::vector<std::uint8_t>& failed,
+                 std::vector<std::uint8_t>& poisoned) const;
+
   std::string name_;
   std::vector<Stage> stages_;
+  std::unordered_map<std::string, std::size_t> index_of_;  ///< latest wins
 };
 
 }  // namespace sagesim::core

@@ -39,40 +39,62 @@ StepStats DataParallelTrainer::step(const tensor::Tensor& x,
 
   const double t0 = cluster_.devices().now_s();
 
-  // Shard rows contiguously.
-  std::vector<double> losses(world, 0.0);
-  cluster_.run_on_all("ddp_step", [&](dflow::WorkerCtx& ctx) -> std::any {
-    const auto r = static_cast<std::size_t>(ctx.rank);
-    const std::size_t begin = r * x.rows() / world;
-    const std::size_t end = (r + 1) * x.rows() / world;
-    const std::size_t rows = end - begin;
+  // One step = one task DAG on the unified runtime:
+  // forward/backward per rank (pinned) -> gradient all-reduce (unpinned,
+  // stealable) -> optimizer step per rank (pinned).  The dependency edges
+  // replace the two host-side barriers the step used to take.
+  std::vector<dflow::Future> grads;
+  grads.reserve(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    grads.push_back(cluster_.submit(
+        "ddp_step:" + std::to_string(r),
+        [&, r](dflow::WorkerCtx& ctx) -> std::any {
+          const std::size_t begin = r * x.rows() / world;
+          const std::size_t end = (r + 1) * x.rows() / world;
+          const std::size_t rows = end - begin;
 
-    tensor::Tensor shard(rows, x.cols());
-    std::copy(x.data() + begin * x.cols(), x.data() + end * x.cols(),
-              shard.data());
-    std::vector<int> labels(y.begin() + static_cast<std::ptrdiff_t>(begin),
-                            y.begin() + static_cast<std::ptrdiff_t>(end));
+          tensor::Tensor shard(rows, x.cols());
+          std::copy(x.data() + begin * x.cols(), x.data() + end * x.cols(),
+                    shard.data());
+          std::vector<int> labels(
+              y.begin() + static_cast<std::ptrdiff_t>(begin),
+              y.begin() + static_cast<std::ptrdiff_t>(end));
 
-    auto& model = *models_[r];
-    model.zero_grad();
-    tensor::Tensor logits = model.forward(ctx.device, shard, /*train=*/true);
-    auto loss = nn::softmax_cross_entropy(ctx.device, logits, labels);
-    model.backward(ctx.device, loss.dlogits);
-    losses[r] = loss.loss;
-    return loss.loss;
-  });
+          auto& model = *models_[r];
+          model.zero_grad();
+          tensor::Tensor logits =
+              model.forward(ctx.device, shard, /*train=*/true);
+          auto loss = nn::softmax_cross_entropy(ctx.device, logits, labels);
+          model.backward(ctx.device, loss.dlogits);
+          return loss.loss;
+        },
+        {}, static_cast<int>(r)));
+  }
 
-  // Synchronous gradient averaging, then local optimizer steps.
-  sync_->sync();
-  cluster_.run_on_all("ddp_optim", [&](dflow::WorkerCtx& ctx) -> std::any {
-    const auto r = static_cast<std::size_t>(ctx.rank);
-    auto params = models_[r]->params();
-    optimizers_[r]->step(ctx.device, params);
-    return {};
-  });
+  dflow::Future reduced = cluster_.submit(
+      "ddp_allreduce",
+      [&](dflow::WorkerCtx&) -> std::any {
+        sync_->sync();
+        return {};
+      },
+      grads, /*rank=*/-1);
+
+  std::vector<dflow::Future> steps;
+  steps.reserve(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    steps.push_back(cluster_.submit(
+        "ddp_optim:" + std::to_string(r),
+        [&, r](dflow::WorkerCtx& ctx) -> std::any {
+          auto params = models_[r]->params();
+          optimizers_[r]->step(ctx.device, params);
+          return {};
+        },
+        {reduced}, static_cast<int>(r)));
+  }
+  for (const auto& f : steps) f.wait();
 
   StepStats stats;
-  for (double l : losses) stats.mean_loss += l;
+  for (const auto& f : grads) stats.mean_loss += f.get<double>();
   stats.mean_loss /= static_cast<double>(world);
   stats.sim_time_s = cluster_.devices().now_s() - t0;
   return stats;

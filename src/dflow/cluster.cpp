@@ -1,60 +1,40 @@
 #include "dflow/cluster.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace sagesim::dflow {
 
-// Scheduling safety: a task's dependencies are always futures obtained from
-// *earlier* submit/scatter calls, so dependency order agrees with submission
-// order.  Per-worker FIFO queues therefore guarantee that blocking on a
-// dependency inside a worker cannot deadlock: the globally earliest
-// unfinished task always has all dependencies finished and is either running
-// or at the head of its queue (induction over submission order).
-struct Cluster::TaskNode {
-  std::string name;
-  TaskFn fn;
-  std::vector<Future> deps;
-  Future future;
-  int rank{0};
-};
-
-Cluster::Cluster(gpu::DeviceManager& devices) : devices_(devices) {
-  const auto n = devices_.device_count();
-  queues_.resize(n);
-  workers_.reserve(n);
-  for (std::size_t r = 0; r < n; ++r)
-    workers_.emplace_back([this, r] { worker_loop(static_cast<int>(r)); });
-}
-
-Cluster::~Cluster() {
-  {
-    std::lock_guard lock(mutex_);
-    stop_ = true;
-  }
-  cv_.notify_all();
-  for (auto& w : workers_) w.join();
-}
+// Scheduling safety: the runtime only makes a task runnable once every
+// declared dependency has completed, so workers never block inside the pool
+// waiting for another task.  Blocking on an *undeclared* future inside a
+// task body is safe exactly when the old per-rank-FIFO induction held:
+// the blocked-on task was submitted earlier and is pinned to a different
+// rank, unpinned (stealable by any idle worker), or earlier in the same
+// rank's FIFO lane.
+Cluster::Cluster(gpu::DeviceManager& devices)
+    : devices_(devices),
+      scheduler_(static_cast<unsigned>(devices.device_count())) {}
 
 Future Cluster::submit(std::string name, TaskFn fn, std::vector<Future> deps,
                        int rank) {
   if (rank >= world_size())
     throw std::out_of_range("Cluster::submit: rank " + std::to_string(rank) +
                             " >= world size " + std::to_string(world_size()));
-  auto node = std::make_shared<TaskNode>();
-  node->name = std::move(name);
-  node->fn = std::move(fn);
-  node->deps = std::move(deps);
-  node->future.set_name(node->name);
+  if (!fn) throw std::invalid_argument("Cluster::submit: null task function");
 
-  {
-    std::lock_guard lock(mutex_);
-    node->rank = rank >= 0 ? rank : next_rank_;
-    if (rank < 0) next_rank_ = (next_rank_ + 1) % world_size();
-    queues_[static_cast<std::size_t>(node->rank)].push_back(node);
-    ++pending_;
-  }
-  cv_.notify_all();
-  return node->future;
+  runtime::SubmitOptions opts;
+  opts.name = std::move(name);
+  opts.lane = rank < 0 ? -1 : rank;
+  opts.deps = std::move(deps);
+  return scheduler_.submit_any(
+      std::move(opts), [this, f = std::move(fn)]() -> std::any {
+        WorkerCtx ctx;
+        ctx.rank = scheduler_.current_worker();
+        ctx.world_size = world_size();
+        ctx.device = &devices_.device(static_cast<std::size_t>(ctx.rank));
+        return f(ctx);
+      });
 }
 
 std::vector<Future> Cluster::map(const std::string& name, const TaskFn& fn) {
@@ -87,43 +67,6 @@ std::vector<std::any> Cluster::gather(const std::vector<Future>& futures) {
   return out;
 }
 
-void Cluster::wait_all() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [&] { return pending_ == 0; });
-}
-
-void Cluster::worker_loop(int rank) {
-  auto& queue = queues_[static_cast<std::size_t>(rank)];
-  WorkerCtx ctx;
-  ctx.rank = rank;
-  ctx.world_size = world_size();
-  ctx.device = &devices_.device(static_cast<std::size_t>(rank));
-
-  for (;;) {
-    std::shared_ptr<TaskNode> node;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || !queue.empty(); });
-      if (queue.empty()) return;  // stop requested and drained
-      node = std::move(queue.front());
-      queue.pop_front();
-    }
-
-    try {
-      for (const auto& dep : node->deps) dep.wait();  // rethrows failures
-      std::any result = node->fn(ctx);
-      node->future.deliver(std::move(result));
-    } catch (...) {
-      node->future.fail(std::current_exception());
-    }
-
-    completed_.fetch_add(1);
-    {
-      std::lock_guard lock(mutex_);
-      --pending_;
-      if (pending_ == 0) idle_cv_.notify_all();
-    }
-  }
-}
+void Cluster::wait_all() { scheduler_.wait_idle(); }
 
 }  // namespace sagesim::dflow

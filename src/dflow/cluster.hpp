@@ -8,26 +8,29 @@
 //  * map(fns)             — fan-out over workers
 //  * run_on_all(fn)       — SPMD step on every worker (DDP-style)
 //  * scatter/gather       — data placement helpers
+//
+// Execution rides the unified task-graph runtime (src/runtime): the cluster
+// owns a runtime::Scheduler with one worker lane per device.  Tasks
+// submitted with an explicit rank are pinned to that lane (device
+// affinity); tasks submitted with rank < 0 go into the shared stealable
+// pool, so a rank stuck on a long task no longer strands work that used to
+// be round-robin-assigned to it — an idle rank steals it.
 #pragma once
 
 #include <any>
-#include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "dflow/future.hpp"
 #include "gpusim/device_manager.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace sagesim::dflow {
 
 /// Execution context a task receives: its worker rank and that worker's
-/// simulated GPU.
+/// simulated GPU.  For unpinned (stealable) tasks, the rank is whichever
+/// worker picked the task up.
 struct WorkerCtx {
   int rank{0};
   int world_size{1};
@@ -38,20 +41,21 @@ using TaskFn = std::function<std::any(WorkerCtx&)>;
 
 class Cluster {
  public:
-  /// One worker thread per device in @p devices.  The cluster borrows the
+  /// One worker lane per device in @p devices.  The cluster borrows the
   /// manager; it must outlive the cluster.
   explicit Cluster(gpu::DeviceManager& devices);
-  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  int world_size() const { return static_cast<int>(workers_.size()); }
+  int world_size() const {
+    return static_cast<int>(scheduler_.worker_count());
+  }
   gpu::DeviceManager& devices() { return devices_; }
 
   /// Submits a task.  It runs once every dependency has completed, on
-  /// @p rank (or a round-robin-chosen worker when rank < 0).  Dependency
-  /// *failures* propagate: the task fails without running.
+  /// @p rank (or any idle worker when rank < 0 — the stealable pool).
+  /// Dependency *failures* propagate: the task fails without running.
   Future submit(std::string name, TaskFn fn, std::vector<Future> deps = {},
                 int rank = -1);
 
@@ -72,24 +76,16 @@ class Cluster {
   /// Blocks until every submitted task has finished.
   void wait_all();
 
-  /// Number of tasks executed so far.
-  std::size_t completed_tasks() const { return completed_.load(); }
+  /// Number of tasks that reached a terminal state (ran, failed, or was
+  /// skipped by a failed dependency).
+  std::size_t completed_tasks() const { return scheduler_.tasks_completed(); }
+
+  /// The cluster's underlying task-graph scheduler (rank == lane).
+  runtime::Scheduler& scheduler() { return scheduler_; }
 
  private:
-  struct TaskNode;
-  void worker_loop(int rank);
-
   gpu::DeviceManager& devices_;
-  std::vector<std::thread> workers_;
-
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::vector<std::deque<std::shared_ptr<TaskNode>>> queues_;  // per rank
-  bool stop_{false};
-  std::size_t pending_{0};  // submitted but not finished
-  std::atomic<std::size_t> completed_{0};
-  int next_rank_{0};
+  runtime::Scheduler scheduler_;
 };
 
 }  // namespace sagesim::dflow

@@ -1,4 +1,5 @@
 #include "dflow/future.hpp"
 
-// Header-only today; this TU anchors the library target and keeps the header
-// compiling standalone.
+// dflow::Future is an alias of runtime::AnyFuture (see runtime/future.hpp);
+// this TU anchors the library target and keeps the header compiling
+// standalone.

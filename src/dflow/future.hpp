@@ -1,104 +1,16 @@
 // Futures for the dflow scheduler — dask.distributed.Future analogue.
-// Values are type-erased (std::any); typed access goes through get<T>().
+//
+// Since the runtime unification this is an alias of the runtime's
+// type-erased future: same shared state, same producer API
+// (deliver/fail/immediate), same typed access through get<T>().  Anything
+// that holds a dflow::Future can hand it straight to runtime::Scheduler as
+// a dependency, and vice versa.
 #pragma once
 
-#include <any>
-#include <condition_variable>
-#include <exception>
-#include <memory>
-#include <mutex>
-#include <stdexcept>
-#include <string>
+#include "runtime/future.hpp"
 
 namespace sagesim::dflow {
 
-namespace detail {
-
-struct FutureState {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool ready{false};
-  std::any value;
-  std::exception_ptr error;
-  std::string name;
-};
-
-}  // namespace detail
-
-/// Shared handle to a task's eventual result.  Copyable; all copies observe
-/// the same completion.
-class Future {
- public:
-  Future() : state_(std::make_shared<detail::FutureState>()) {}
-  explicit Future(std::shared_ptr<detail::FutureState> state)
-      : state_(std::move(state)) {}
-
-  /// Task display name (empty for immediate futures).
-  const std::string& name() const { return state_->name; }
-
-  /// True once a value or error has been delivered.
-  bool ready() const {
-    std::lock_guard lock(state_->mutex);
-    return state_->ready;
-  }
-
-  /// Blocks until completion; rethrows the task's exception if it failed.
-  void wait() const {
-    std::unique_lock lock(state_->mutex);
-    state_->cv.wait(lock, [&] { return state_->ready; });
-    if (state_->error) std::rethrow_exception(state_->error);
-  }
-
-  /// Blocks and returns the value as T.  Throws std::bad_any_cast on type
-  /// mismatch and rethrows task failures.
-  template <typename T>
-  T get() const {
-    wait();
-    std::lock_guard lock(state_->mutex);
-    return std::any_cast<T>(state_->value);
-  }
-
-  /// Blocks and returns the raw type-erased value.
-  std::any get_any() const {
-    wait();
-    std::lock_guard lock(state_->mutex);
-    return state_->value;
-  }
-
-  /// Creates an already-completed future holding @p value.
-  static Future immediate(std::any value) {
-    Future f;
-    f.deliver(std::move(value));
-    return f;
-  }
-
-  // --- producer side (used by the scheduler) ---
-
-  void deliver(std::any value) {
-    {
-      std::lock_guard lock(state_->mutex);
-      if (state_->ready)
-        throw std::logic_error("Future: value delivered twice");
-      state_->value = std::move(value);
-      state_->ready = true;
-    }
-    state_->cv.notify_all();
-  }
-
-  void fail(std::exception_ptr error) {
-    {
-      std::lock_guard lock(state_->mutex);
-      if (state_->ready) throw std::logic_error("Future: completed twice");
-      state_->error = std::move(error);
-      state_->ready = true;
-    }
-    state_->cv.notify_all();
-  }
-
-  void set_name(std::string name) { state_->name = std::move(name); }
-
- private:
-  std::shared_ptr<detail::FutureState> state_;
-};
+using Future = runtime::AnyFuture;
 
 }  // namespace sagesim::dflow

@@ -2,38 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
-#include <memory>
+#include <mutex>
 
 namespace sagesim::gpu {
 
 Executor::Executor(unsigned workers) {
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  threads_.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
-}
-
-Executor::~Executor() {
-  {
-    std::lock_guard lock(mutex_);
-    stop_ = true;
-  }
-  cv_.notify_all();
-  for (auto& t : threads_) t.join();
-}
-
-void Executor::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
-    task();
+  if (workers == 0) {
+    sched_ = &runtime::Scheduler::shared();
+  } else {
+    owned_ = std::make_unique<runtime::Scheduler>(workers);
+    sched_ = owned_.get();
   }
 }
 
@@ -46,9 +26,10 @@ struct ForState {
   std::uint64_t chunks;
   const std::function<void(std::uint64_t)>* fn;
   std::atomic<std::uint64_t> next_chunk{0};
-  std::atomic<std::uint64_t> done_chunks{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::uint64_t done_chunks{0};  // guarded by mutex
+  std::exception_ptr first_error;  // guarded by mutex
 
   void run_chunks() {
     for (;;) {
@@ -56,13 +37,17 @@ struct ForState {
       if (c >= chunks) return;
       const std::uint64_t begin = c * n / chunks;
       const std::uint64_t end = (c + 1) * n / chunks;
+      std::exception_ptr error;
       try {
         for (std::uint64_t i = begin; i < end; ++i) (*fn)(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      done_chunks.fetch_add(1, std::memory_order_release);
+      {
+        std::lock_guard lock(mutex);
+        if (error && !first_error) first_error = error;
+        if (++done_chunks == chunks) done_cv.notify_all();
+      }
     }
   }
 };
@@ -82,22 +67,23 @@ void Executor::parallel_for(std::uint64_t n,
   state->n = n;
   // Enough chunks for balance, few enough to amortize queueing.
   state->chunks = std::min<std::uint64_t>(n, workers * 4ull);
-  state->fn = &fn;  // fn outlives the wait loop below
+  state->fn = &fn;  // fn outlives the wait below
 
-  {
-    std::lock_guard lock(mutex_);
-    for (unsigned i = 0; i + 1 < workers && i + 1 < state->chunks; ++i)
-      tasks_.push([state] { state->run_chunks(); });
-  }
-  cv_.notify_all();
+  // Stealable helper tasks; the caller participates too, so every chunk is
+  // claimed even if the pool is saturated (nested parallel_for included).
+  // Helpers are unnamed: per-chunk spans would swamp the runtime timeline.
+  for (unsigned i = 0; i + 1 < workers && i + 1 < state->chunks; ++i)
+    sched_->submit_any({}, [state]() -> std::any {
+      state->run_chunks();
+      return {};
+    });
   state->run_chunks();
 
-  // All chunks are claimed exactly once, so this wait is bounded.  `fn` must
-  // stay alive until every claimed chunk finishes, which this loop ensures.
-  while (state->done_chunks.load(std::memory_order_acquire) < state->chunks)
-    std::this_thread::yield();
-
-  std::lock_guard lock(state->error_mutex);
+  // Every chunk is claimed exactly once and each claimant finishes what it
+  // claimed, so this wait is bounded; `fn` stays alive until the last
+  // claimed chunk signals.
+  std::unique_lock lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->done_chunks == state->chunks; });
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 

@@ -1,33 +1,35 @@
-// Host thread pool that executes simulated kernels block-parallel.
+// Host-parallel execution of simulated kernels, block-parallel.
 //
-// Blocks are independent by the CUDA contract, so the pool may run them in
-// any order on any worker; per-block WorkCounters are merged with one atomic
-// add per block.  The pool is a process-wide resource shared by all
-// simulated devices (they model separate machines, but the simulation itself
-// runs on one host).
+// Blocks are independent by the CUDA contract, so chunks of the block range
+// may run in any order on any worker; per-block WorkCounters are merged with
+// one atomic add per block.  Since the runtime unification, Executor is a
+// thin facade over runtime::Scheduler: parallel_for submits stealable chunk
+// tasks to the pool, participates from the calling thread, and sleeps on a
+// condition variable until the last chunk finishes (no spin-yield).
+//
+// Executor::shared() rides the process-wide runtime::Scheduler::shared()
+// pool (sized by SAGESIM_WORKERS / hardware); an Executor constructed with
+// an explicit worker count owns a private pool of that size.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
+#include <memory>
+
+#include "runtime/scheduler.hpp"
 
 namespace sagesim::gpu {
 
 class Executor {
  public:
-  /// Creates a pool with @p workers threads; 0 picks
-  /// std::thread::hardware_concurrency() (at least 1).
+  /// Wraps the process-shared runtime pool when @p workers == 0; otherwise
+  /// owns a private pool with exactly @p workers threads.
   explicit Executor(unsigned workers = 0);
-  ~Executor();
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  unsigned worker_count() const { return static_cast<unsigned>(threads_.size()); }
+  unsigned worker_count() const { return sched_->worker_count(); }
 
   /// Runs fn(i) for i in [0, n), distributing chunks over the pool and
   /// blocking until all complete.  Exceptions from @p fn are rethrown on the
@@ -35,17 +37,15 @@ class Executor {
   void parallel_for(std::uint64_t n,
                     const std::function<void(std::uint64_t)>& fn);
 
+  /// The underlying task-graph scheduler.
+  runtime::Scheduler& scheduler() { return *sched_; }
+
   /// Process-wide shared pool.
   static Executor& shared();
 
  private:
-  void worker_loop();
-
-  std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool stop_{false};
+  std::unique_ptr<runtime::Scheduler> owned_;  ///< set iff workers > 0
+  runtime::Scheduler* sched_;
 };
 
 }  // namespace sagesim::gpu

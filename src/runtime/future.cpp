@@ -1,0 +1,4 @@
+#include "runtime/future.hpp"
+
+// complete_task lives in scheduler.cpp (it drives scheduler bookkeeping);
+// this TU anchors the header and keeps it compiling standalone.

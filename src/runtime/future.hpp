@@ -1,0 +1,227 @@
+// Futures for the sagesim task-graph runtime.
+//
+// One shared-state type backs every future in the system: scheduler-owned
+// task results, externally delivered promises (dflow::Future's producer
+// API), and already-completed immediates.  The type-erased AnyFuture is the
+// wire format the scheduler speaks (dflow::Future is an alias of it); the
+// typed Future<T> wrapper adds compile-time result types and continuation
+// sugar (`then`).
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sagesim::runtime {
+
+class Scheduler;
+
+/// Error a cancelled task's future completes with; propagates to dependents
+/// like any other task failure.
+class TaskCancelled : public std::runtime_error {
+ public:
+  explicit TaskCancelled(const std::string& task)
+      : std::runtime_error("task cancelled: " + task) {}
+};
+
+namespace detail {
+
+enum class TaskStatus : std::uint8_t { kPending, kRunning, kDone };
+
+/// Shared state of one node in the task graph.  States created by
+/// Scheduler::submit* carry a body (`fn`) and scheduling fields; states
+/// created bare (external promises, immediates) have owner == nullptr and
+/// only use the completion half.
+struct TaskState {
+  // --- identity / scheduling (immutable after submit) ---
+  std::string name;
+  Scheduler* owner{nullptr};
+  int lane{-1};  ///< pinned worker index, -1 == stealable
+
+  /// Task body; cleared on completion to release captures.
+  std::function<std::any()> fn;
+
+  /// Unfinished dependencies + one submission guard (see submit_any).
+  std::atomic<int> deps_remaining{0};
+  std::atomic<TaskStatus> status{TaskStatus::kPending};
+  std::atomic<bool> cancel_requested{false};
+
+  // --- completion (guarded by mutex) ---
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ready{false};
+  std::any value;
+  std::exception_ptr error;
+  std::exception_ptr dep_error;  ///< first failed dependency, if any
+  /// Dependents registered before this state completed.
+  std::vector<std::shared_ptr<TaskState>> children;
+};
+
+/// Completes @p state with a value or error and iteratively propagates to
+/// dependents (no recursion: failure cascades over long chains stay
+/// bounded-stack).  Throws std::logic_error on double completion.
+void complete_task(std::shared_ptr<TaskState> state, std::any value,
+                   std::exception_ptr error);
+
+}  // namespace detail
+
+/// Type-erased shared handle to a task's eventual result — the scheduler's
+/// native future and dflow's Future.  Copyable; all copies observe the same
+/// completion.  Default construction creates a fresh, externally-deliverable
+/// promise (matching the historical dflow::Future contract).
+class AnyFuture {
+ public:
+  AnyFuture() : state_(std::make_shared<detail::TaskState>()) {}
+  explicit AnyFuture(std::shared_ptr<detail::TaskState> state)
+      : state_(std::move(state)) {}
+
+  /// Task display name (empty for bare promises/immediates).
+  const std::string& name() const { return state_->name; }
+
+  /// True once a value or error has been delivered.
+  bool ready() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->ready;
+  }
+
+  /// Blocks until completion; rethrows the task's exception if it failed.
+  void wait() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    if (state_->error) std::rethrow_exception(state_->error);
+  }
+
+  /// Blocks and returns the value as T.  Throws std::bad_any_cast on type
+  /// mismatch and rethrows task failures.
+  template <typename T>
+  T get() const {
+    wait();
+    std::lock_guard lock(state_->mutex);
+    return std::any_cast<T>(state_->value);
+  }
+
+  /// Blocks and returns the raw type-erased value.
+  std::any get_any() const {
+    wait();
+    std::lock_guard lock(state_->mutex);
+    return state_->value;
+  }
+
+  /// Requests cancellation.  Best effort: a task that has not started
+  /// running when the request lands completes with TaskCancelled instead of
+  /// executing; a running task finishes normally.  Returns true when the
+  /// request was observed before the task started.
+  bool cancel() {
+    state_->cancel_requested.store(true, std::memory_order_relaxed);
+    return state_->status.load(std::memory_order_acquire) ==
+           detail::TaskStatus::kPending;
+  }
+
+  /// True when the future completed with TaskCancelled.
+  bool cancelled() const {
+    std::lock_guard lock(state_->mutex);
+    if (!state_->ready || !state_->error) return false;
+    try {
+      std::rethrow_exception(state_->error);
+    } catch (const TaskCancelled&) {
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  /// Creates an already-completed future holding @p value.
+  static AnyFuture immediate(std::any value) {
+    AnyFuture f;
+    f.deliver(std::move(value));
+    return f;
+  }
+
+  // --- producer side (external promises; the scheduler uses the same
+  // path internally) ---
+
+  /// Delivers a value; throws std::logic_error if already completed.
+  void deliver(std::any value) {
+    detail::complete_task(state_, std::move(value), nullptr);
+  }
+
+  /// Delivers a failure; throws std::logic_error if already completed.
+  void fail(std::exception_ptr error) {
+    detail::complete_task(state_, {}, std::move(error));
+  }
+
+  void set_name(std::string name) { state_->name = std::move(name); }
+
+  const std::shared_ptr<detail::TaskState>& state() const { return state_; }
+
+ private:
+  std::shared_ptr<detail::TaskState> state_;
+};
+
+/// Typed view over an AnyFuture.  `then` continuation sugar lives here; the
+/// continuation is submitted to the future's owning scheduler (or the
+/// process-shared one for bare futures) with a dependency edge on *this, so
+/// it never blocks a worker.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(AnyFuture erased) : erased_(std::move(erased)) {}
+
+  bool ready() const { return erased_.ready(); }
+  void wait() const { erased_.wait(); }
+  bool cancel() { return erased_.cancel(); }
+  bool cancelled() const { return erased_.cancelled(); }
+  const std::string& name() const { return erased_.name(); }
+
+  /// Blocks; returns the typed value (rethrows failures).
+  T get() const { return erased_.template get<T>(); }
+
+  /// Schedules fn(value) once this future completes; returns the
+  /// continuation's future.  Defined in scheduler.hpp (needs Scheduler).
+  template <typename F>
+  auto then(std::string name, F&& fn) const;
+
+  const AnyFuture& erased() const { return erased_; }
+  AnyFuture& erased() { return erased_; }
+
+ private:
+  AnyFuture erased_;
+};
+
+template <>
+class Future<void> {
+ public:
+  Future() = default;
+  explicit Future(AnyFuture erased) : erased_(std::move(erased)) {}
+
+  bool ready() const { return erased_.ready(); }
+  void wait() const { erased_.wait(); }
+  bool cancel() { return erased_.cancel(); }
+  bool cancelled() const { return erased_.cancelled(); }
+  const std::string& name() const { return erased_.name(); }
+
+  /// Blocks until completion (rethrows failures).
+  void get() const { erased_.wait(); }
+
+  template <typename F>
+  auto then(std::string name, F&& fn) const;
+
+  const AnyFuture& erased() const { return erased_; }
+  AnyFuture& erased() { return erased_; }
+
+ private:
+  AnyFuture erased_;
+};
+
+}  // namespace sagesim::runtime

@@ -2,6 +2,8 @@
 // the LabRunner integration surface.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "core/distributed_gcn.hpp"
 #include "core/lab_runner.hpp"
 #include "core/version.hpp"
@@ -242,4 +244,111 @@ TEST_F(WorkflowFixture, ContextValidation) {
   EXPECT_TRUE(ctx.has("s"));
   core::Workflow wf("bad");
   EXPECT_THROW(wf.stage("null", nullptr), std::invalid_argument);
+}
+
+TEST_F(WorkflowFixture, DagDiamondRespectsExplicitDeps) {
+  // fetch -> {clean, featurize} -> train: the join must observe both
+  // branches regardless of which execution path (inline or pooled) runs.
+  std::atomic<int> clock{0};
+  std::atomic<int> fetch_t{-1}, clean_t{-1}, feat_t{-1}, train_t{-1};
+  core::Workflow wf("diamond");
+  wf.stage("fetch", [&](core::WorkflowContext& c) {
+      fetch_t = clock.fetch_add(1);
+      c.put("rows", 100);
+    })
+      .stage("clean",
+             [&](core::WorkflowContext& c) {
+               clean_t = clock.fetch_add(1);
+               c.put("clean_rows", c.get<int>("rows") - 10);
+             },
+             core::StageOptions{.after = {"fetch"}})
+      .stage("featurize",
+             [&](core::WorkflowContext& c) {
+               feat_t = clock.fetch_add(1);
+               c.put("features", c.get<int>("rows") * 8);
+             },
+             core::StageOptions{.after = {"fetch"}})
+      .stage("train",
+             [&](core::WorkflowContext& c) {
+               train_t = clock.fetch_add(1);
+               c.put("model",
+                     c.get<int>("clean_rows") + c.get<int>("features"));
+             },
+             core::StageOptions{.after = {"clean", "featurize"}});
+  const auto report = wf.run(ctx);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(ctx.get<int>("model"), 890);
+  EXPECT_LT(fetch_t.load(), clean_t.load());
+  EXPECT_LT(fetch_t.load(), feat_t.load());
+  EXPECT_GT(train_t.load(), clean_t.load());
+  EXPECT_GT(train_t.load(), feat_t.load());
+}
+
+TEST_F(WorkflowFixture, DagUnknownDependencyThrowsAtDeclaration) {
+  core::Workflow wf("bad-dep");
+  wf.stage("a", [](core::WorkflowContext&) {});
+  EXPECT_THROW(wf.stage("b", [](core::WorkflowContext&) {},
+                        core::StageOptions{.after = {"nope"}}),
+               std::invalid_argument);
+  // Forward references are unknown names too: DAGs are built append-only.
+  EXPECT_THROW(wf.stage("c", [](core::WorkflowContext&) {},
+                        core::StageOptions{.after = {"c"}}),
+               std::invalid_argument);
+}
+
+TEST_F(WorkflowFixture, DagFailureOnlyPoisonsDescendants) {
+  bool sibling_ran = false, child_of_bad_ran = false;
+  core::Workflow wf("partial-failure");
+  wf.stage("root", [](core::WorkflowContext&) {})
+      .stage("bad",
+             [](core::WorkflowContext&) { throw std::runtime_error("x"); },
+             core::StageOptions{.after = {"root"}})
+      .stage("sibling",
+             [&](core::WorkflowContext&) { sibling_ran = true; },
+             core::StageOptions{.after = {"root"}})
+      .stage("child_of_bad",
+             [&](core::WorkflowContext&) { child_of_bad_ran = true; },
+             core::StageOptions{.after = {"bad"}});
+  const auto report = wf.run(ctx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(sibling_ran);       // disjoint branch is unaffected
+  EXPECT_FALSE(child_of_bad_ran); // downstream of the failure is skipped
+  EXPECT_NE(report.stages[3].error.find("skipped"), std::string::npos);
+}
+
+TEST_F(WorkflowFixture, DagAlwaysRunStaysPoisoned) {
+  // Teardown runs after a failure, but the poison passes through it: a
+  // stage downstream of teardown must still be skipped.
+  bool teardown_ran = false, resurrected = false;
+  core::Workflow wf("poison");
+  wf.stage("bad",
+           [](core::WorkflowContext&) { throw std::runtime_error("x"); })
+      .stage("teardown",
+             [&](core::WorkflowContext&) { teardown_ran = true; },
+             core::StageOptions{.after = {"bad"}, .always_run = true})
+      .stage("after_teardown",
+             [&](core::WorkflowContext&) { resurrected = true; },
+             core::StageOptions{.after = {"teardown"}});
+  const auto report = wf.run(ctx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(teardown_ran);
+  EXPECT_FALSE(resurrected);
+}
+
+TEST_F(WorkflowFixture, DagRootsWithoutDepsMayStartImmediately) {
+  // Two independent roots plus a join; also exercises StageOptions with an
+  // empty `after` list (explicit root).
+  core::Workflow wf("roots");
+  wf.stage("left", [](core::WorkflowContext& c) { c.put("l", 1); },
+           core::StageOptions{})
+      .stage("right", [](core::WorkflowContext& c) { c.put("r", 2); },
+             core::StageOptions{})
+      .stage("join",
+             [](core::WorkflowContext& c) {
+               c.put("sum", c.get<int>("l") + c.get<int>("r"));
+             },
+             core::StageOptions{.after = {"left", "right"}});
+  const auto report = wf.run(ctx);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(ctx.get<int>("sum"), 3);
 }
