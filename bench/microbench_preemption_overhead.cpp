@@ -1,0 +1,119 @@
+// Preemption-overhead microbenchmark: what fault tolerance costs.
+//
+// Three runs of the same seeded distributed GCN (Algorithm 1, k = 2):
+//   baseline   — fault-free fast path (whole run as one task DAG)
+//   checkpoint — chunked path with epoch checkpoints, no faults injected
+//   preempt20  — 20% of epoch tasks preempted (seeded), recovered through
+//                checkpoint/restart
+// The checkpoint row isolates the cost of durability (chunk barriers +
+// serialization); the preempt20 row adds the recovery cost (re-run chunks,
+// fresh scheduler dispatch).  Final losses must agree bit-identically —
+// that is the fault-tolerance contract, checked here too.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "core/distributed_gcn.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double host_ms{0.0};
+  core::DistributedGcnResult r;
+};
+
+core::DistributedGcnConfig base_config() {
+  core::DistributedGcnConfig cfg;
+  cfg.num_partitions = 2;
+  cfg.epochs = 24;
+  cfg.hidden = 16;
+  cfg.dropout = 0.3f;
+  return cfg;
+}
+
+Row run(const char* name, const core::DistributedGcnConfig& cfg,
+        double preempt_probability) {
+  gpu::DeviceManager dm(2, gpu::spec::t4());
+  dflow::ClusterOptions opts;
+  if (preempt_probability > 0.0) {
+    runtime::FaultConfig faults;
+    faults.seed = 2026;
+    faults.preempt_probability = preempt_probability;
+    faults.name_filter = "gcn_epoch";
+    opts.faults = faults;
+  }
+  dflow::Cluster cluster(dm, opts);
+
+  stats::Rng rng(7);
+  const auto dataset = graph::pubmed_like(rng, 0.03);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = core::try_train_distributed_gcn(dataset, cluster, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!result) {
+    std::printf("%s FAILED: %s\n", name, result.status().to_string().c_str());
+    std::exit(1);
+  }
+  Row row{name, std::chrono::duration<double, std::milli>(t1 - t0).count(),
+          std::move(*result)};
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("microbench_preemption_overhead",
+                "checkpoint/restart cost of 20% preemption vs fault-free");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sagesim_bench_preempt")
+          .string();
+
+  auto cfg = base_config();
+  const Row baseline = run("baseline  ", cfg, 0.0);
+
+  cfg.fault.enabled = true;
+  cfg.fault.checkpoint_every = 4;
+  cfg.fault.max_chunk_attempts = 64;
+  cfg.fault.checkpoint_dir = dir + "/ckpt_clean";
+  std::filesystem::remove_all(cfg.fault.checkpoint_dir);
+  const Row ckpt = run("checkpoint", cfg, 0.0);
+
+  cfg.fault.checkpoint_dir = dir + "/ckpt_preempt";
+  std::filesystem::remove_all(cfg.fault.checkpoint_dir);
+  const Row preempt = run("preempt20 ", cfg, 0.2);
+
+  bench::section("runs (same seed, 24 epochs, k=2)");
+  std::printf("%-11s %10s %10s %12s %9s %9s %9s\n", "run", "host ms",
+              "sim s", "final loss", "restarts", "ckpt w", "ckpt r");
+  for (const Row* row : {&baseline, &ckpt, &preempt})
+    std::printf("%-11s %10.1f %10.3f %12.6f %9zu %9zu %9zu\n", row->name,
+                row->host_ms, row->r.train_sim_seconds,
+                row->r.epoch_losses.back(), row->r.chunk_restarts,
+                row->r.checkpoints_written, row->r.checkpoints_restored);
+
+  bench::section("overhead vs baseline");
+  const double ck_over = ckpt.r.train_sim_seconds /
+                         baseline.r.train_sim_seconds;
+  const double pr_over = preempt.r.train_sim_seconds /
+                         baseline.r.train_sim_seconds;
+  std::printf("checkpointing alone : %.2fx sim time\n", ck_over);
+  std::printf("20%% preemption      : %.2fx sim time "
+              "(%zu chunk re-runs absorbed)\n",
+              pr_over, preempt.r.chunk_restarts);
+
+  const double drift = std::fabs(preempt.r.epoch_losses.back() -
+                                 baseline.r.epoch_losses.back());
+  std::printf("final-loss drift    : %.1e  (contract: < 1e-6, "
+              "bit-identical in practice)\n", drift);
+  if (drift >= 1e-6) {
+    std::printf("FAIL: preempted run diverged from fault-free\n");
+    return 1;
+  }
+  return 0;
+}

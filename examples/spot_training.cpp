@@ -1,0 +1,128 @@
+// Elastic training on simulated spot capacity: a SpotFleet follows a price
+// trace with two spikes; each spike issues preemption notices, reclaims the
+// slots after the grace window, and the market hands capacity back once the
+// price drops.  dflow::apply_spot_events folds those transitions into the
+// cluster's rank membership while a DDP trainer keeps stepping — pinned
+// work on a reclaimed rank fails retryably and migrates to survivors, and
+// an epoch checkpoint taken at the *notice* (the 2-minute warning, used
+// exactly as intended) lets the run rewind if anything is lost.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "cloudsim/provisioner.hpp"
+#include "cloudsim/spot.hpp"
+#include "ddp/trainer.hpp"
+#include "dflow/elastic.hpp"
+#include "nn/dense.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+std::unique_ptr<nn::Sequential> make_model() {
+  stats::Rng rng(4);
+  auto m = std::make_unique<nn::Sequential>();
+  m->emplace<nn::Dense>(8, 16, rng);
+  m->emplace<nn::ReLU>();
+  m->emplace<nn::Dense>(16, 2, rng);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  // Capacity: acquire through the Status-returning control plane first.
+  cloud::Provisioner aws;
+  const auto role = cloud::student_role("spot-lab");
+  cloud::Provisioner::LaunchRequest req;
+  req.type_name = "g4dn.xlarge";
+  req.count = 2;
+  const auto instances = aws.try_launch(role, req);
+  if (!instances) {
+    std::printf("launch failed: %s\n", instances.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("acquired %zu spot-backed instances\n", instances->size());
+
+  // The market: base price under our bid, two spikes above it.
+  cloud::SpotFleetConfig market;
+  market.trace = cloud::synthetic_price_trace(/*horizon_h=*/4.0,
+                                              /*base_price=*/0.4,
+                                              /*spike_price=*/1.6,
+                                              /*spikes=*/2,
+                                              /*spike_width_h=*/0.4);
+  market.bid_usd = 1.0;
+  market.grace_window_h = 0.05;
+  market.reacquire_delay_h = 0.1;
+  cloud::SpotFleet fleet(2, market);
+
+  gpu::DeviceManager dm(2, gpu::spec::t4());
+  dflow::Cluster cluster(dm);
+
+  ddp::TrainerOptions topts;
+  topts.checkpoint_dir =
+      (std::filesystem::temp_directory_path() / "sagesim_spot_training")
+          .string();
+  std::filesystem::remove_all(topts.checkpoint_dir);
+  ddp::DataParallelTrainer trainer(
+      cluster, make_model, [] { return std::make_unique<nn::Sgd>(0.05f); },
+      topts);
+
+  // A fixed toy batch (two Gaussian blobs).
+  stats::Rng rng(11);
+  tensor::Tensor x(32, 8);
+  std::vector<int> y(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t j = 0; j < 8; ++j)
+      x.data()[i * 8 + j] =
+          static_cast<float>(rng.normal(y[i] == 0 ? -1.0 : 1.0, 0.5));
+  }
+
+  const int steps = 16;
+  const double dt_h = 4.0 / steps;
+  std::uint64_t completed = 0;
+  for (int s = 0; s < steps; ++s) {
+    const double t = (s + 1) * dt_h;
+    const auto events = fleet.advance(t);
+    if (!events) {
+      std::printf("market error: %s\n", events.status().to_string().c_str());
+      return 1;
+    }
+    for (const auto& ev : *events) {
+      std::printf("  t=%.2fh  slot %d -> %-9s ($%.2f vs bid $%.2f)\n",
+                  ev.time_h, ev.slot, cloud::to_string(ev.state),
+                  fleet.price_at(ev.time_h), market.bid_usd);
+      if (ev.state == cloud::SpotSlotState::kNoticed) {
+        // The 2-minute warning: checkpoint while the rank still exists.
+        const Status st = trainer.save_checkpoint(completed);
+        std::printf("           notice -> checkpoint at step %llu %s\n",
+                    static_cast<unsigned long long>(completed),
+                    st.ok() ? "saved" : st.to_string().c_str());
+      }
+    }
+    dflow::apply_spot_events(cluster, *events);
+
+    const Expected<ddp::StepStats> stats = trainer.try_step(x, y);
+    if (!stats) {
+      // Both ranks gone: rewind to the notice-time checkpoint and continue
+      // once capacity returns.
+      std::printf("step %2d FAILED (%s) — restoring last checkpoint\n", s,
+                  stats.status().to_string().c_str());
+      const auto epoch = trainer.restore_latest();
+      if (epoch) completed = *epoch;
+      continue;
+    }
+    ++completed;
+    std::printf("step %2d  loss %.4f  active ranks %d/%d\n", s,
+                stats->mean_loss, cluster.active_world_size(),
+                cluster.world_size());
+  }
+
+  std::printf("\nmarket summary: %zu preemptions, %zu re-acquisitions, "
+              "%llu/%d steps completed\n",
+              fleet.preemption_count(), fleet.reacquisition_count(),
+              static_cast<unsigned long long>(completed), steps);
+  return 0;
+}

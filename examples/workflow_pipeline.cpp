@@ -54,10 +54,10 @@ int main() {
 
   const auto report = wf.run(ctx);
   std::printf("\nworkflow '%s' %s — stages:\n", "capstone",
-              report.ok ? "succeeded" : "FAILED");
+              report.ok() ? "succeeded" : "FAILED");
   for (const auto& s : report.stages)
-    std::printf("  [%s] %-14s %s (%.3fs sim GPU)\n", s.ok ? "ok" : "!!",
-                s.name.c_str(), s.ok ? "" : s.error.c_str(),
+    std::printf("  [%s] %-14s %s (%.3fs sim GPU)\n", s.ok() ? "ok" : "!!",
+                s.name.c_str(), s.ok() ? "" : s.error().c_str(),
                 s.sim_gpu_seconds);
-  return report.ok ? 0 : 1;
+  return report.ok() ? 0 : 1;
 }

@@ -86,6 +86,20 @@ std::vector<std::string> Provisioner::launch(const IamRole& role,
   return ids;
 }
 
+Expected<std::vector<std::string>> Provisioner::try_launch(
+    const IamRole& role, const LaunchRequest& request) {
+  try {
+    return launch(role, request);
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(e.what());
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    if (what.find("budget cap") != std::string::npos)
+      return Status::resource_exhausted(what);
+    return Status::failed_precondition(what);
+  }
+}
+
 Instance& Provisioner::instance(const std::string& id) {
   for (auto& i : instances_)
     if (i->id() == id) return *i;

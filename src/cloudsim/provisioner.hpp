@@ -13,6 +13,7 @@
 #include "cloudsim/iam.hpp"
 #include "cloudsim/instance.hpp"
 #include "cloudsim/vpc.hpp"
+#include "runtime/status.hpp"
 
 namespace sagesim::cloud {
 
@@ -69,8 +70,17 @@ class Provisioner {
 
   /// Launches instances under @p role.  Returns instance ids.
   /// Throws std::runtime_error carrying the IAM/budget denial reason.
+  /// Deprecated shim over try_launch for exception-style call sites.
   std::vector<std::string> launch(const IamRole& role,
                                   const LaunchRequest& request);
+
+  /// launch with failures as values: budget denials are
+  /// kResourceExhausted (retryable capacity story: free budget or wait),
+  /// IAM/placement denials kFailedPrecondition, malformed requests
+  /// kInvalidArgument.  The re-acquisition path of elastic training calls
+  /// this in a retry loop rather than catching.
+  Expected<std::vector<std::string>> try_launch(const IamRole& role,
+                                                const LaunchRequest& request);
 
   /// Terminates an instance (owner or instructor only) and writes its usage
   /// record.

@@ -1,0 +1,154 @@
+#include "cloudsim/spot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sagesim::cloud {
+
+const char* to_string(SpotSlotState s) {
+  switch (s) {
+    case SpotSlotState::kHeld: return "held";
+    case SpotSlotState::kNoticed: return "noticed";
+    case SpotSlotState::kReclaimed: return "reclaimed";
+  }
+  return "?";
+}
+
+SpotFleet::SpotFleet(int slots, SpotFleetConfig config)
+    : config_(std::move(config)),
+      slots_(static_cast<std::size_t>(std::max(slots, 0))) {
+  if (slots <= 0)
+    throw std::invalid_argument("SpotFleet: need at least one slot");
+  if (config_.trace.empty())
+    throw std::invalid_argument("SpotFleet: empty price trace");
+  if (!std::is_sorted(config_.trace.begin(), config_.trace.end(),
+                      [](const SpotPricePoint& a, const SpotPricePoint& b) {
+                        return a.time_h < b.time_h;
+                      }))
+    throw std::invalid_argument("SpotFleet: price trace must be sorted");
+  if (config_.grace_window_h < 0.0 || config_.reacquire_delay_h < 0.0)
+    throw std::invalid_argument("SpotFleet: negative window/delay");
+}
+
+double SpotFleet::price_at(double time_h) const {
+  double price = config_.trace.front().price_usd;
+  for (const auto& p : config_.trace) {
+    if (p.time_h > time_h) break;
+    price = p.price_usd;
+  }
+  return price;
+}
+
+Expected<std::vector<SpotEvent>> SpotFleet::advance(double to_h) {
+  if (to_h < now_h_)
+    return Status::invalid_argument("SpotFleet::advance: clock went backwards");
+  std::vector<SpotEvent> events;
+
+  // Applies every transition due at time t; repeats until quiescent so a
+  // zero grace window can chain notice -> reclaim at the same instant.
+  const auto apply_at = [&](double t) {
+    const double price = price_at(t);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Slot& slot = slots_[i];
+        switch (slot.state) {
+          case SpotSlotState::kHeld:
+            if (price > config_.bid_usd) {
+              slot.state = SpotSlotState::kNoticed;
+              slot.reclaim_at_h = t + config_.grace_window_h;
+              events.push_back({t, static_cast<int>(i), slot.state});
+              changed = true;
+            }
+            break;
+          case SpotSlotState::kNoticed:
+            // The notice is final: reclaim fires after the grace window
+            // even when the price has recovered meanwhile.
+            if (t >= slot.reclaim_at_h) {
+              slot.state = SpotSlotState::kReclaimed;
+              slot.reacquire_at_h = price <= config_.bid_usd
+                                        ? t + config_.reacquire_delay_h
+                                        : 0.0;
+              ++preemptions_;
+              events.push_back({t, static_cast<int>(i), slot.state});
+              changed = true;
+            }
+            break;
+          case SpotSlotState::kReclaimed:
+            if (slot.reacquire_at_h == 0.0 && price <= config_.bid_usd) {
+              slot.reacquire_at_h = t + config_.reacquire_delay_h;
+            } else if (slot.reacquire_at_h > 0.0 && t >= slot.reacquire_at_h) {
+              if (price <= config_.bid_usd) {
+                slot.state = SpotSlotState::kHeld;
+                slot.reacquire_at_h = 0.0;
+                ++reacquisitions_;
+                events.push_back({t, static_cast<int>(i), slot.state});
+                changed = true;
+              } else {
+                slot.reacquire_at_h = 0.0;  // price spiked again: wait
+              }
+            }
+            break;
+        }
+      }
+    }
+  };
+
+  double cur = now_h_;
+  apply_at(cur);
+  while (cur < to_h) {
+    double next = to_h;
+    for (const auto& p : config_.trace)
+      if (p.time_h > cur && p.time_h < next) next = p.time_h;
+    for (const auto& slot : slots_) {
+      if (slot.state == SpotSlotState::kNoticed && slot.reclaim_at_h > cur &&
+          slot.reclaim_at_h < next)
+        next = slot.reclaim_at_h;
+      if (slot.state == SpotSlotState::kReclaimed &&
+          slot.reacquire_at_h > cur && slot.reacquire_at_h < next)
+        next = slot.reacquire_at_h;
+    }
+    cur = next;
+    apply_at(cur);
+  }
+  now_h_ = to_h;
+  return events;
+}
+
+SpotSlotState SpotFleet::slot_state(int slot) const {
+  if (slot < 0 || slot >= slot_count())
+    throw std::out_of_range("SpotFleet::slot_state: slot " +
+                            std::to_string(slot) + " out of range");
+  return slots_[static_cast<std::size_t>(slot)].state;
+}
+
+int SpotFleet::held_count() const {
+  int n = 0;
+  for (const auto& slot : slots_)
+    if (slot.state == SpotSlotState::kHeld) ++n;
+  return n;
+}
+
+std::vector<SpotPricePoint> synthetic_price_trace(double horizon_h,
+                                                  double base_price,
+                                                  double spike_price,
+                                                  int spikes,
+                                                  double spike_width_h) {
+  if (horizon_h <= 0.0 || spikes < 0 || spike_width_h < 0.0)
+    throw std::invalid_argument("synthetic_price_trace: bad shape");
+  std::vector<SpotPricePoint> trace{{0.0, base_price}};
+  for (int s = 0; s < spikes; ++s) {
+    const double start =
+        horizon_h * (static_cast<double>(s) + 0.5) / std::max(spikes, 1);
+    trace.push_back({start, spike_price});
+    trace.push_back({start + spike_width_h, base_price});
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const SpotPricePoint& a, const SpotPricePoint& b) {
+              return a.time_h < b.time_h;
+            });
+  return trace;
+}
+
+}  // namespace sagesim::cloud

@@ -1,0 +1,104 @@
+// Spot-instance market simulation: price traces, preemption notices with a
+// grace window, and capacity re-acquisition — the cloud-side source of the
+// fault model (§III.A cost controls taken to their logical end: train on
+// interruptible capacity).
+//
+// A SpotFleet holds one slot per simulated GPU rank and follows a
+// step-function price trace.  When the price crosses above the bid, every
+// held slot receives a *preemption notice* (the 2-minute warning); after
+// grace_window_h the slot is reclaimed.  Once the price falls back to or
+// under the bid, reclaimed slots re-acquire capacity after
+// reacquire_delay_h.  advance() returns the ordered event stream between
+// the previous and the new clock value; dflow::apply_spot_events (see
+// dflow/elastic.hpp) folds that stream into Cluster rank membership so a
+// rank disappears mid-collective and later rejoins.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/status.hpp"
+
+namespace sagesim::cloud {
+
+/// One step of a spot price trace: price_usd holds from time_h until the
+/// next point (step function, sorted ascending by time_h).
+struct SpotPricePoint {
+  double time_h{0.0};
+  double price_usd{0.0};
+};
+
+struct SpotFleetConfig {
+  std::vector<SpotPricePoint> trace;  ///< must be non-empty and sorted
+  double bid_usd{1.0};                ///< preempt while price > bid
+  double grace_window_h{0.05};        ///< notice-to-reclaim window
+  double reacquire_delay_h{0.1};      ///< price-drop-to-capacity delay
+};
+
+enum class SpotSlotState : std::uint8_t {
+  kHeld,      ///< capacity attached
+  kNoticed,   ///< preemption notice received, grace window running
+  kReclaimed  ///< capacity gone
+};
+
+const char* to_string(SpotSlotState s);
+
+/// One slot transition, in simulated time order.
+struct SpotEvent {
+  double time_h{0.0};
+  int slot{0};  ///< == the dflow rank the slot backs
+  SpotSlotState state{SpotSlotState::kHeld};
+};
+
+class SpotFleet {
+ public:
+  /// @p slots slots, all initially kHeld at the trace origin.  Throws on an
+  /// empty or unsorted trace (API misuse).
+  SpotFleet(int slots, SpotFleetConfig config);
+
+  /// Price in effect at @p time_h (first point's price before the trace).
+  double price_at(double time_h) const;
+
+  /// Advances the market clock to @p to_h (monotonic; going backwards is
+  /// invalid_argument) and returns every slot transition in between,
+  /// ordered by time.  A notice issued during the window is *final*: the
+  /// slot is reclaimed after the grace window even if the price recovers —
+  /// matching the real contract.
+  Expected<std::vector<SpotEvent>> advance(double to_h);
+
+  SpotSlotState slot_state(int slot) const;
+  int held_count() const;
+  int slot_count() const { return static_cast<int>(slots_.size()); }
+  double now_h() const { return now_h_; }
+
+  /// Totals over the fleet's lifetime (overhead reporting).
+  std::size_t preemption_count() const { return preemptions_; }
+  std::size_t reacquisition_count() const { return reacquisitions_; }
+
+  const SpotFleetConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    SpotSlotState state{SpotSlotState::kHeld};
+    double reclaim_at_h{0.0};    ///< valid while kNoticed
+    double reacquire_at_h{0.0};  ///< valid while kReclaimed, 0 == unknown
+  };
+
+  SpotFleetConfig config_;
+  std::vector<Slot> slots_;
+  double now_h_{0.0};
+  std::size_t preemptions_{0};
+  std::size_t reacquisitions_{0};
+};
+
+/// Synthetic price trace: a base price with @p spikes evenly spaced
+/// excursions above @p spike_price, each @p spike_width_h long — enough to
+/// exercise notice/reclaim/re-acquire cycles without hand-writing traces.
+std::vector<SpotPricePoint> synthetic_price_trace(double horizon_h,
+                                                  double base_price,
+                                                  double spike_price,
+                                                  int spikes,
+                                                  double spike_width_h);
+
+}  // namespace sagesim::cloud

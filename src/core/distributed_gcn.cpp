@@ -1,10 +1,13 @@
 #include "core/distributed_gcn.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "ddp/grad_sync.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
 #include "nn/optim.hpp"
@@ -58,9 +61,57 @@ Shard make_shard(const graph::Dataset& dataset,
   return shard;
 }
 
+graph::Partition build_partition(const graph::Dataset& dataset,
+                                 const DistributedGcnConfig& config, int k) {
+  graph::Partition part;
+  if (k == 1) {
+    part.num_parts = 1;
+    part.assignment.assign(dataset.graph.num_nodes(), 0);
+    return part;
+  }
+  switch (config.strategy) {
+    case PartitionStrategy::kMetis: {
+      graph::MetisOptions opts;
+      opts.seed = config.seed;
+      part = graph::metis_like(dataset.graph, k, opts);
+      break;
+    }
+    case PartitionStrategy::kRandom: {
+      stats::Rng prng(config.seed);
+      part = graph::random_partition(dataset.graph, k, prng);
+      break;
+    }
+    case PartitionStrategy::kBlock:
+      part = graph::block_partition(dataset.graph, k);
+      break;
+  }
+  return part;
+}
+
+std::vector<Shard> build_shards(const graph::Dataset& dataset,
+                                const graph::Partition& part, int k,
+                                std::size_t& cut_edges_dropped) {
+  const auto part_nodes = part.part_nodes();
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>(k));
+  cut_edges_dropped = 0;
+  for (int p = 0; p < k; ++p) {
+    if (part_nodes[static_cast<std::size_t>(p)].empty())
+      throw std::runtime_error("train_distributed_gcn: empty partition " +
+                               std::to_string(p));
+    shards.push_back(
+        make_shard(dataset, part_nodes[static_cast<std::size_t>(p)]));
+    cut_edges_dropped += shards.back().sub.cut_edges_dropped;
+    if (shards.back().train_rows.empty())
+      throw std::runtime_error(
+          "train_distributed_gcn: partition without train nodes");
+  }
+  return shards;
+}
+
 }  // namespace
 
-DistributedGcnResult train_distributed_gcn(
+Expected<DistributedGcnResult> try_train_distributed_gcn(
     const graph::Dataset& dataset, dflow::Cluster& cluster,
     const DistributedGcnConfig& config) {
   const int k = config.num_partitions;
@@ -71,52 +122,31 @@ DistributedGcnResult train_distributed_gcn(
         "train_distributed_gcn: more partitions than cluster workers");
   if (config.epochs < 1)
     throw std::invalid_argument("train_distributed_gcn: epochs must be >= 1");
+  const GcnFaultOptions& ft = config.fault;
+  if (ft.enabled) {
+    if (ft.checkpoint_dir.empty())
+      throw std::invalid_argument(
+          "train_distributed_gcn: fault tolerance needs a checkpoint_dir");
+    if (ft.checkpoint_every < 1)
+      throw std::invalid_argument(
+          "train_distributed_gcn: checkpoint_every must be >= 1");
+    if (ft.max_chunk_attempts < 1)
+      throw std::invalid_argument(
+          "train_distributed_gcn: max_chunk_attempts must be >= 1");
+  }
 
   auto& devices = cluster.devices();
   const double sim_t0 = devices.now_s();
 
   // --- Algorithm 1, lines 2-3: Â and the k-way partition. ------------------
-  graph::Partition part;
-  if (k == 1) {
-    part.num_parts = 1;
-    part.assignment.assign(dataset.graph.num_nodes(), 0);
-  } else {
-    switch (config.strategy) {
-      case PartitionStrategy::kMetis: {
-        graph::MetisOptions opts;
-        opts.seed = config.seed;
-        part = graph::metis_like(dataset.graph, k, opts);
-        break;
-      }
-      case PartitionStrategy::kRandom: {
-        stats::Rng prng(config.seed);
-        part = graph::random_partition(dataset.graph, k, prng);
-        break;
-      }
-      case PartitionStrategy::kBlock:
-        part = graph::block_partition(dataset.graph, k);
-        break;
-    }
-  }
+  graph::Partition part = build_partition(dataset, config, k);
 
   DistributedGcnResult result;
   result.partition = graph::evaluate_partition(dataset.graph, part);
 
   // --- Lines 5-6: build and distribute shards. -----------------------------
-  const auto part_nodes = part.part_nodes();
-  std::vector<Shard> shards;
-  shards.reserve(static_cast<std::size_t>(k));
-  for (int p = 0; p < k; ++p) {
-    if (part_nodes[static_cast<std::size_t>(p)].empty())
-      throw std::runtime_error("train_distributed_gcn: empty partition " +
-                               std::to_string(p));
-    shards.push_back(
-        make_shard(dataset, part_nodes[static_cast<std::size_t>(p)]));
-    result.cut_edges_dropped += shards.back().sub.cut_edges_dropped;
-    if (shards.back().train_rows.empty())
-      throw std::runtime_error(
-          "train_distributed_gcn: partition without train nodes");
-  }
+  std::vector<Shard> shards =
+      build_shards(dataset, part, k, result.cut_edges_dropped);
 
   // --- Lines 7-8: global model, broadcast θ. -------------------------------
   // Replicas share the init seed, so their parameters start identical (the
@@ -130,39 +160,46 @@ DistributedGcnResult train_distributed_gcn(
 
   std::vector<std::unique_ptr<nn::Gcn>> replicas;
   std::vector<std::unique_ptr<nn::Sgd>> optimizers;
-  for (int r = 0; r < k; ++r) {
-    replicas.push_back(std::make_unique<nn::Gcn>(
-        &shards[static_cast<std::size_t>(r)].adj, model_cfg));
-    optimizers.push_back(
-        std::make_unique<nn::Sgd>(config.learning_rate, 0.9f));
-  }
-
   std::unique_ptr<ddp::GradientSynchronizer> sync;
-  if (k > 1) {
-    std::vector<std::vector<nn::Param*>> param_sets;
-    param_sets.reserve(replicas.size());
-    for (auto& r : replicas) param_sets.push_back(r->params());
-    ddp::broadcast_params(devices, param_sets);
-    sync = std::make_unique<ddp::GradientSynchronizer>(devices, param_sets);
-  }
+  // Partition p trains on cluster rank rank_of_part[p]; the identity map
+  // until preemption forces a remap onto surviving ranks.
+  std::vector<int> rank_of_part;
 
-  // --- Lines 9-14: synchronized epochs, expressed as one task DAG. ---------
+  auto build_replicas = [&]() {
+    const int kw = static_cast<int>(shards.size());
+    replicas.clear();
+    optimizers.clear();
+    sync.reset();
+    for (int r = 0; r < kw; ++r) {
+      replicas.push_back(std::make_unique<nn::Gcn>(
+          &shards[static_cast<std::size_t>(r)].adj, model_cfg));
+      optimizers.push_back(
+          std::make_unique<nn::Sgd>(config.learning_rate, 0.9f));
+    }
+    if (kw > 1) {
+      std::vector<std::vector<nn::Param*>> param_sets;
+      param_sets.reserve(replicas.size());
+      for (auto& r : replicas) param_sets.push_back(r->params());
+      ddp::broadcast_params(devices, param_sets);
+      sync = std::make_unique<ddp::GradientSynchronizer>(devices, param_sets);
+    }
+  };
+  build_replicas();
+  rank_of_part.resize(static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) rank_of_part[static_cast<std::size_t>(r)] = r;
+
+  // --- Lines 9-14: synchronized epochs, expressed as task DAGs. ------------
   // Per epoch and rank r:  loss[e][r] -> allreduce[e] -> step[e][r], and
-  // loss[e+1][r] depends on step[e][r].  The whole training run is submitted
-  // up front and synchronized only once at the end — the runtime's
-  // dependency edges replace the per-epoch host barriers.  Loss/step tasks
-  // are pinned to their rank (device affinity); the gradient all-reduce is
-  // unpinned and runs on whichever worker frees up first.
+  // loss[e+1][r] depends on step[e][r].  Loss/step tasks are pinned to their
+  // rank (device affinity); the gradient all-reduce is unpinned and runs on
+  // whichever worker frees up first.
   double scheduler_s = 0.0;
-  std::vector<dflow::Future> prev_step(static_cast<std::size_t>(k));
-  for (auto& f : prev_step) f = dflow::Future::immediate({});
-  std::vector<std::vector<dflow::Future>> epoch_loss_futures;
-  epoch_loss_futures.reserve(static_cast<std::size_t>(config.epochs));
-
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  auto submit_epoch =
+      [&](std::vector<dflow::Future>& prev) -> std::vector<dflow::Future> {
+    const int kw = static_cast<int>(shards.size());
     std::vector<dflow::Future> losses;
-    losses.reserve(static_cast<std::size_t>(k));
-    for (int r = 0; r < k; ++r) {
+    losses.reserve(static_cast<std::size_t>(kw));
+    for (int r = 0; r < kw; ++r) {
       losses.push_back(cluster.submit(
           "gcn_epoch",
           [&, r](dflow::WorkerCtx& ctx) -> std::any {
@@ -176,7 +213,8 @@ DistributedGcnResult train_distributed_gcn(
             model.backward(ctx.device, loss.dlogits);
             return loss.loss;
           },
-          {prev_step[static_cast<std::size_t>(r)]}, r));
+          {prev[static_cast<std::size_t>(r)]},
+          rank_of_part[static_cast<std::size_t>(r)]));
     }
 
     dflow::Future reduced = cluster.submit(
@@ -187,55 +225,286 @@ DistributedGcnResult train_distributed_gcn(
         },
         losses, /*rank=*/-1);
 
-    for (int r = 0; r < k; ++r) {
-      prev_step[static_cast<std::size_t>(r)] = cluster.submit(
+    for (int r = 0; r < kw; ++r) {
+      prev[static_cast<std::size_t>(r)] = cluster.submit(
           "sgd_step",
           [&, r](dflow::WorkerCtx& ctx) -> std::any {
             auto params = replicas[static_cast<std::size_t>(r)]->params();
             optimizers[static_cast<std::size_t>(r)]->step(ctx.device, params);
             return {};
           },
-          {reduced}, r);
+          {reduced}, rank_of_part[static_cast<std::size_t>(r)]);
     }
-    epoch_loss_futures.push_back(std::move(losses));
 
     // Dask control plane: dispatch of the epoch's 2k+1 tasks is serialized
     // on the scheduler — the overhead that erases most of the wall-clock
-    // win for course-scale graphs.
-    scheduler_s += 2.0 * static_cast<double>(k) * config.scheduler_overhead_s;
+    // win for course-scale graphs.  Re-run chunks pay it again, which is
+    // exactly the recovery overhead the preemption bench measures.
+    scheduler_s += 2.0 * static_cast<double>(kw) * config.scheduler_overhead_s;
+    return losses;
+  };
+
+  // Submits epochs [begin_e, end_e), waits out the whole sub-DAG, and folds
+  // the per-epoch mean losses into the result.  Any task failure (injected
+  // preemption, reclaimed rank, real exception) surfaces as the Status of
+  // the first failed step; nothing is appended to epoch_losses in that case
+  // and — because every future has been waited — no in-flight task still
+  // references the shard/replica state the caller may now rebuild.
+  auto run_chunk = [&](int begin_e, int end_e) -> Status {
+    const int kw = static_cast<int>(shards.size());
+    std::vector<dflow::Future> prev(static_cast<std::size_t>(kw));
+    for (auto& f : prev) f = dflow::Future::immediate({});
+    std::vector<std::vector<dflow::Future>> chunk_losses;
+    chunk_losses.reserve(static_cast<std::size_t>(end_e - begin_e));
+    for (int e = begin_e; e < end_e; ++e)
+      chunk_losses.push_back(submit_epoch(prev));
+
+    Status first{};
+    for (auto& f : prev) {
+      const Status s = f.wait_status();
+      if (!s.ok() && first.ok()) first = s;
+    }
+    if (!first.ok()) return first;
+
+    for (const auto& losses : chunk_losses) {
+      double epoch_loss = 0.0;
+      for (const auto& f : losses) {
+        Expected<double> v = f.result<double>();
+        if (!v) return v.status();
+        epoch_loss += *v;
+      }
+      result.epoch_losses.push_back(epoch_loss / static_cast<double>(kw));
+    }
+    return {};
+  };
+
+  auto finish = [&]() -> DistributedGcnResult {
+    prof::TraceEvent sched;
+    sched.name = "dask_scheduler";
+    sched.kind = prof::EventKind::kScheduler;
+    sched.start_s = sim_t0;
+    sched.duration_s = scheduler_s;
+    devices.timeline().record(std::move(sched));
+
+    result.train_sim_seconds = (devices.now_s() - sim_t0) + scheduler_s;
+
+    // Evaluation: full-graph forward with replica 0's weights.
+    const graph::NormalizedAdjacency full_adj =
+        graph::normalized_adjacency(dataset.graph);
+    replicas[0]->set_adjacency(&full_adj);
+    const tensor::Tensor logits = replicas[0]->forward(
+        &devices.device(0), dataset.features, /*train=*/false);
+    result.test_accuracy =
+        nn::masked_accuracy(logits, dataset.labels, dataset.test_nodes);
+    replicas[0]->set_adjacency(&shards[0].adj);
+
+    for (const int rank : rank_of_part)
+      result.gpu_utilization.push_back(
+          prof::kernel_utilization(devices.timeline(), rank));
+    result.final_world = static_cast<int>(shards.size());
+    return result;
+  };
+
+  if (!ft.enabled) {
+    // Fast path: the whole training run is one DAG, submitted up front and
+    // synchronized once at the end — dependency edges replace the per-epoch
+    // host barriers.
+    const Status s = run_chunk(0, config.epochs);
+    if (!s.ok()) return s;
+    return finish();
   }
 
-  // One barrier for the whole run (the final steps transitively cover the
-  // entire DAG), then fold the per-epoch mean losses out of the futures.
-  for (auto& f : prev_step) f.wait();
-  for (const auto& losses : epoch_loss_futures) {
-    double epoch_loss = 0.0;
-    for (const auto& f : losses) epoch_loss += f.get<double>();
-    result.epoch_losses.push_back(epoch_loss / static_cast<double>(k));
+  // --- Fault-tolerant path: chunked epochs with checkpoint/restart. --------
+  // Parameters and optimizer velocity are identical across replicas after
+  // every synchronized step (averaged gradients are the only update), so
+  // the checkpoint stores replica 0's copy once; the dropout RNG streams
+  // are genuinely per-replica and are stored per rank — restoring them is
+  // what makes a re-run of a chunk bit-identical to a run that was never
+  // preempted.
+  auto save_ckpt = [&](std::uint64_t epoch) -> Status {
+    nn::Checkpoint ckpt;
+    ckpt.epoch = epoch;
+    ckpt.scalars["k"] = static_cast<double>(shards.size());
+    const auto params0 = replicas[0]->params();
+    for (std::size_t p = 0; p < params0.size(); ++p)
+      ckpt.tensors["param" + std::to_string(p)] = params0[p]->value;
+    const auto opt_state = optimizers[0]->state();
+    for (std::size_t s = 0; s < opt_state.size(); ++s)
+      ckpt.tensors["opt" + std::to_string(s)] = opt_state[s];
+    ckpt.scalars["opt_n"] = static_cast<double>(opt_state.size());
+    ckpt.scalars["opt_t"] =
+        static_cast<double>(optimizers[0]->step_count());
+    for (std::size_t e = 0; e < result.epoch_losses.size(); ++e)
+      ckpt.scalars["loss." + std::to_string(e)] = result.epoch_losses[e];
+    for (std::size_t r = 0; r < replicas.size(); ++r)
+      ckpt.blobs["rng" + std::to_string(r)] =
+          nn::serialize_engine(replicas[r]->rng().engine());
+    const Status s = nn::save_checkpoint(
+        nn::checkpoint_path(ft.checkpoint_dir, ft.checkpoint_prefix, epoch),
+        ckpt);
+    if (s.ok()) ++result.checkpoints_written;
+    return s;
+  };
+
+  auto restore_ckpt = [&](const nn::Checkpoint& ckpt,
+                          bool restore_rng) -> Status {
+    for (auto& replica : replicas) {
+      auto params = replica->params();
+      for (std::size_t p = 0; p < params.size(); ++p) {
+        const auto it = ckpt.tensors.find("param" + std::to_string(p));
+        if (it == ckpt.tensors.end() ||
+            !it->second.same_shape(params[p]->value))
+          return Status::failed_precondition(
+              "train_distributed_gcn: checkpoint parameter mismatch");
+        params[p]->value = it->second;
+      }
+    }
+    const auto n_it = ckpt.scalars.find("opt_n");
+    const std::size_t opt_n =
+        n_it == ckpt.scalars.end() ? 0
+                                   : static_cast<std::size_t>(n_it->second);
+    std::vector<tensor::Tensor> opt_state;
+    opt_state.reserve(opt_n);
+    for (std::size_t s = 0; s < opt_n; ++s) {
+      const auto it = ckpt.tensors.find("opt" + std::to_string(s));
+      if (it == ckpt.tensors.end())
+        return Status::failed_precondition(
+            "train_distributed_gcn: checkpoint optimizer state missing");
+      opt_state.push_back(it->second);
+    }
+    const auto t_it = ckpt.scalars.find("opt_t");
+    for (auto& opt : optimizers) {
+      opt->set_state(opt_state);
+      if (t_it != ckpt.scalars.end())
+        opt->set_step_count(static_cast<std::uint64_t>(t_it->second));
+    }
+    if (restore_rng) {
+      for (std::size_t r = 0; r < replicas.size(); ++r) {
+        const auto it = ckpt.blobs.find("rng" + std::to_string(r));
+        if (it == ckpt.blobs.end())
+          return Status::failed_precondition(
+              "train_distributed_gcn: checkpoint RNG stream missing");
+        const Status s =
+            nn::deserialize_engine(it->second, replicas[r]->rng().engine());
+        if (!s.ok()) return s;
+      }
+    }
+    result.epoch_losses.clear();
+    result.epoch_losses.reserve(static_cast<std::size_t>(ckpt.epoch));
+    for (std::uint64_t e = 0; e < ckpt.epoch; ++e) {
+      const auto it = ckpt.scalars.find("loss." + std::to_string(e));
+      if (it == ckpt.scalars.end())
+        return Status::failed_precondition(
+            "train_distributed_gcn: checkpoint loss history missing");
+      result.epoch_losses.push_back(it->second);
+    }
+    return {};
+  };
+
+  // Resume-on-entry: a same-k checkpoint in the directory means this call
+  // is the restarted half of a preempted run — pick up where it left off.
+  int epoch = 0;
+  if (Expected<nn::Checkpoint> latest = nn::load_latest_checkpoint(
+          ft.checkpoint_dir, ft.checkpoint_prefix)) {
+    const auto kit = latest->scalars.find("k");
+    if (kit != latest->scalars.end() &&
+        static_cast<int>(kit->second) == static_cast<int>(shards.size())) {
+      const Status rs = restore_ckpt(*latest, /*restore_rng=*/true);
+      if (!rs.ok()) return rs;
+      epoch = static_cast<int>(latest->epoch);
+      ++result.checkpoints_restored;
+    }
   }
-  prof::TraceEvent sched;
-  sched.name = "dask_scheduler";
-  sched.kind = prof::EventKind::kScheduler;
-  sched.start_s = sim_t0;
-  sched.duration_s = scheduler_s;
-  devices.timeline().record(std::move(sched));
+  if (epoch == 0) {
+    // Epoch-0 checkpoint right after init, so every recovery — including a
+    // failure in the very first chunk — restores through the same path.
+    const Status s = save_ckpt(0);
+    if (!s.ok()) return s;
+  }
 
-  result.train_sim_seconds = (devices.now_s() - sim_t0) + scheduler_s;
+  while (epoch < config.epochs) {
+    Status chunk_status{};
+    bool chunk_ok = false;
+    for (int attempt = 1; attempt <= ft.max_chunk_attempts; ++attempt) {
+      const int chunk_end =
+          std::min(epoch + ft.checkpoint_every, config.epochs);
+      chunk_status = run_chunk(epoch, chunk_end);
+      if (chunk_status.ok()) {
+        epoch = chunk_end;
+        chunk_ok = true;
+        break;
+      }
+      if (!chunk_status.retryable()) return chunk_status;
+      ++result.chunk_restarts;
 
-  // --- Evaluation: full-graph forward with replica 0's weights. ------------
-  const graph::NormalizedAdjacency full_adj =
-      graph::normalized_adjacency(dataset.graph);
-  replicas[0]->set_adjacency(&full_adj);
-  const tensor::Tensor logits = replicas[0]->forward(
-      &devices.device(0), dataset.features, /*train=*/false);
-  result.test_accuracy =
-      nn::masked_accuracy(logits, dataset.labels, dataset.test_nodes);
-  replicas[0]->set_adjacency(&shards[0].adj);
+      // Elastic step: ranks reclaimed for good get their partitions moved
+      // to survivors; if there are not enough survivors, shrink the world
+      // by re-partitioning METIS across what is left (when allowed).
+      bool lost = false;
+      for (const int rank : rank_of_part)
+        if (!cluster.rank_available(rank)) lost = true;
+      if (lost) {
+        const std::vector<int> survivors = cluster.active_ranks();
+        if (survivors.empty())
+          return Status::unavailable(
+              "train_distributed_gcn: every rank is preempted");
+        const int cur_k = static_cast<int>(shards.size());
+        if (static_cast<int>(survivors.size()) >= cur_k) {
+          rank_of_part.assign(survivors.begin(), survivors.begin() + cur_k);
+        } else if (ft.allow_shrink) {
+          const int new_k = static_cast<int>(survivors.size());
+          try {
+            part = build_partition(dataset, config, new_k);
+            result.partition = graph::evaluate_partition(dataset.graph, part);
+            shards =
+                build_shards(dataset, part, new_k, result.cut_edges_dropped);
+            build_replicas();
+          } catch (const std::exception& e) {
+            return Status::failed_precondition(
+                std::string("train_distributed_gcn: re-shard failed: ") +
+                e.what());
+          }
+          rank_of_part = survivors;
+          ++result.reshards;
+        } else {
+          return Status::unavailable(
+              "train_distributed_gcn: rank lost with allow_shrink=false: " +
+              chunk_status.message());
+        }
+      }
 
-  for (int r = 0; r < k; ++r)
-    result.gpu_utilization.push_back(
-        prof::kernel_utilization(devices.timeline(), r));
-  return result;
+      Expected<nn::Checkpoint> latest = nn::load_latest_checkpoint(
+          ft.checkpoint_dir, ft.checkpoint_prefix);
+      if (!latest) return latest.status();
+      // After a shrink the checkpoint predates the new shard layout: the
+      // parameter/optimizer tensors are shard-independent and carry over,
+      // but the per-replica RNG streams do not (fresh seeds; bit-identity
+      // is abandoned, as documented on GcnFaultOptions::allow_shrink).
+      const auto kit = latest->scalars.find("k");
+      const bool same_k =
+          kit != latest->scalars.end() &&
+          static_cast<int>(kit->second) == static_cast<int>(shards.size());
+      const Status rs = restore_ckpt(*latest, /*restore_rng=*/same_k);
+      if (!rs.ok()) return rs;
+      epoch = static_cast<int>(latest->epoch);
+      ++result.checkpoints_restored;
+    }
+    if (!chunk_ok)
+      return Status::unavailable(
+          "train_distributed_gcn: chunk at epoch " + std::to_string(epoch) +
+          " failed after " + std::to_string(ft.max_chunk_attempts) +
+          " attempts: " + chunk_status.message());
+    const Status s = save_ckpt(static_cast<std::uint64_t>(epoch));
+    if (!s.ok()) return s;
+  }
+
+  return finish();
+}
+
+DistributedGcnResult train_distributed_gcn(const graph::Dataset& dataset,
+                                           dflow::Cluster& cluster,
+                                           const DistributedGcnConfig& config) {
+  return try_train_distributed_gcn(dataset, cluster, config).value();
 }
 
 }  // namespace sagesim::core

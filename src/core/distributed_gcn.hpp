@@ -31,6 +31,30 @@ enum class PartitionStrategy : std::uint8_t { kMetis, kRandom, kBlock };
 
 const char* to_string(PartitionStrategy s);
 
+/// Fault tolerance for Algorithm 1: epoch-granular checkpoint/restart plus
+/// elastic shrink.  When enabled, epochs are submitted in chunks of
+/// checkpoint_every; a chunk that fails retryably (injected preemption,
+/// reclaimed spot rank) is re-run from the last checkpoint — fault decisions
+/// are drawn at submit time, so the re-run consumes fresh draws and
+/// converges.  Because the checkpoint carries parameters, optimizer
+/// velocity, per-epoch losses *and every replica's dropout RNG stream*, a
+/// preempted run resumes bit-identically: same-seed fault-free and
+/// fault-injected runs reach the same final loss.
+struct GcnFaultOptions {
+  bool enabled{false};
+  /// Where epoch checkpoints live; required when enabled.
+  std::string checkpoint_dir;
+  std::string checkpoint_prefix{"gcn"};
+  /// Epochs per chunk (checkpoint cadence).
+  int checkpoint_every{5};
+  /// Re-runs of one chunk before giving up (kUnavailable after).
+  int max_chunk_attempts{8};
+  /// On permanently lost ranks (Cluster::rank_available false), re-partition
+  /// METIS to the surviving ranks and continue with a smaller world instead
+  /// of failing.  A shrink abandons bit-identity (different shards).
+  bool allow_shrink{false};
+};
+
 struct DistributedGcnConfig {
   int num_partitions{2};          ///< k (== number of GPU workers used)
   PartitionStrategy strategy{PartitionStrategy::kMetis};
@@ -43,6 +67,7 @@ struct DistributedGcnConfig {
   /// the documented dask.distributed overhead); dispatch is serialized on
   /// the scheduler.
   double scheduler_overhead_s{1e-3};
+  GcnFaultOptions fault;
 };
 
 struct DistributedGcnResult {
@@ -52,11 +77,25 @@ struct DistributedGcnResult {
   graph::PartitionQuality partition;     ///< quality of the split used
   std::size_t cut_edges_dropped{0};      ///< boundary edges lost to halos
   std::vector<double> gpu_utilization;   ///< kernel-busy fraction per device
+  // --- fault-tolerance accounting (zero on fault-free runs) ---------------
+  std::size_t chunk_restarts{0};         ///< chunks re-run from a checkpoint
+  std::size_t checkpoints_written{0};
+  std::size_t checkpoints_restored{0};   ///< includes the resume-on-entry
+  std::size_t reshards{0};               ///< elastic shrink re-partitions
+  int final_world{0};                    ///< ranks still training at the end
 };
 
 /// Trains on @p dataset with @p k workers pinned to @p cluster's devices.
 /// Requires cluster.world_size() >= config.num_partitions >= 1; k == 1
 /// degenerates to sequential training on device 0 (the baseline).
+/// Operational failures (chunk attempts exhausted, unusable checkpoints)
+/// come back as a Status; argument misuse throws.
+Expected<DistributedGcnResult> try_train_distributed_gcn(
+    const graph::Dataset& dataset, dflow::Cluster& cluster,
+    const DistributedGcnConfig& config);
+
+/// Deprecated shim over try_train_distributed_gcn: rethrows failures as
+/// StatusError.
 DistributedGcnResult train_distributed_gcn(const graph::Dataset& dataset,
                                            dflow::Cluster& cluster,
                                            const DistributedGcnConfig& config);

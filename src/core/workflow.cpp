@@ -15,9 +15,12 @@ Workflow& Workflow::stage(std::string stage_name, StageFn fn,
 Workflow& Workflow::stage(std::string stage_name, StageFn fn,
                           StageOptions opts) {
   if (!fn) throw std::invalid_argument("Workflow::stage: null stage function");
+  if (opts.max_attempts < 1)
+    throw std::invalid_argument("Workflow::stage: max_attempts must be >= 1");
   Stage s;
   s.fn = std::move(fn);
   s.always_run = opts.always_run;
+  s.max_attempts = opts.max_attempts;
   s.after.reserve(opts.after.size());
   for (const auto& dep : opts.after) {
     auto it = index_of_.find(dep);
@@ -48,21 +51,23 @@ void Workflow::run_stage(std::size_t index, WorkflowContext& ctx,
     if (failed[dep] || poisoned[dep]) upstream_bad = true;
   poisoned[index] = upstream_bad ? 1 : 0;
   if (upstream_bad && !s.always_run) {
-    sr.error = "skipped (earlier stage failed)";
+    sr.status = Status::cancelled("skipped (earlier stage failed)");
     return;
   }
 
   const double t0 = ctx.devices().now_s();
-  try {
-    s.fn(ctx);
-    sr.ok = true;
-  } catch (const std::exception& e) {
-    sr.error = e.what();
-    failed[index] = 1;
-  } catch (...) {
-    sr.error = "unknown exception";
-    failed[index] = 1;
+  for (int attempt = 1; attempt <= s.max_attempts; ++attempt) {
+    ++sr.attempts;
+    try {
+      s.fn(ctx);
+      sr.status = Status{};
+      break;
+    } catch (...) {
+      sr.status = Status::from_exception(std::current_exception());
+    }
+    if (!sr.status.retryable()) break;  // only transient failures re-run
   }
+  if (!sr.status.ok()) failed[index] = 1;
   sr.sim_gpu_seconds = ctx.devices().now_s() - t0;
 }
 
@@ -107,7 +112,8 @@ WorkflowReport Workflow::run(WorkflowContext& ctx) const {
 
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     report.total_sim_gpu_seconds += report.stages[i].sim_gpu_seconds;
-    if (failed[i]) report.ok = false;
+    if (failed[i] && report.status.ok())
+      report.status = report.stages[i].status;
   }
   return report;
 }

@@ -28,6 +28,7 @@
 
 #include "cloudsim/provisioner.hpp"
 #include "gpusim/device_manager.hpp"
+#include "runtime/status.hpp"
 
 namespace sagesim::core {
 
@@ -77,18 +78,27 @@ class WorkflowContext {
   std::unordered_map<std::string, std::any> blackboard_;
 };
 
-/// Result of one stage.
+/// Result of one stage.  Outcomes are Status-backed: a skipped stage reads
+/// kCancelled, a thrown exception is classified by Status::from_exception
+/// (so a stage preempted by fault injection reads kPreempted, retryable).
 struct StageReport {
   std::string name;
-  bool ok{false};
-  std::string error;          ///< exception message when !ok
+  Status status;                ///< ok, the failure, or kCancelled (skipped)
+  int attempts{0};              ///< execution attempts (0 when skipped)
   double sim_gpu_seconds{0.0};  ///< device time the stage consumed
+
+  bool ok() const { return status.ok(); }
+  /// Failure/skip message; empty on success.
+  const std::string& error() const { return status.message(); }
 };
 
 struct WorkflowReport {
   std::vector<StageReport> stages;  ///< declaration order
-  bool ok{true};
+  Status status;                    ///< first stage failure, or ok
   double total_sim_gpu_seconds{0.0};
+
+  bool ok() const { return status.ok(); }
+  const std::string& error() const { return status.message(); }
 };
 
 /// Explicit-dependency form of Workflow::stage.
@@ -98,6 +108,9 @@ struct StageOptions {
   std::vector<std::string> after;
   /// Teardown semantics: run even when an upstream stage failed.
   bool always_run{false};
+  /// Total execution attempts for *retryable* failures (preemption,
+  /// deadline, unavailability); non-retryable failures never re-run.
+  int max_attempts{1};
 };
 
 /// A DAG of named stages (linear pipelines as the degenerate chain).
@@ -134,6 +147,7 @@ class Workflow {
     std::string name;
     StageFn fn;
     bool always_run{false};
+    int max_attempts{1};
     std::vector<std::size_t> after;  ///< indices of dependency stages
   };
 

@@ -1,14 +1,17 @@
 #include "ddp/trainer.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "nn/checkpoint.hpp"
 
 namespace sagesim::ddp {
 
 DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
                                          const ModelFactory& model,
                                          const OptimizerFactory& optimizer,
-                                         AllReduceAlgo algo)
-    : cluster_(cluster) {
+                                         TrainerOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
   const int world = cluster_.world_size();
   if (world < 2)
     throw std::invalid_argument(
@@ -25,11 +28,18 @@ DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
   for (auto& m : models_) replicas.push_back(m->params());
   broadcast_params(cluster_.devices(), replicas);
   sync_ = std::make_unique<GradientSynchronizer>(cluster_.devices(), replicas,
-                                                 algo);
+                                                 options_.algo);
 }
 
-StepStats DataParallelTrainer::step(const tensor::Tensor& x,
-                                    std::span<const int> y) {
+DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
+                                         const ModelFactory& model,
+                                         const OptimizerFactory& optimizer,
+                                         AllReduceAlgo algo)
+    : DataParallelTrainer(cluster, model, optimizer,
+                          TrainerOptions{.algo = algo}) {}
+
+Expected<StepStats> DataParallelTrainer::try_step(const tensor::Tensor& x,
+                                                  std::span<const int> y) {
   if (y.size() != x.rows())
     throw std::invalid_argument("DataParallelTrainer::step: one label per row");
   const auto world = static_cast<std::size_t>(cluster_.world_size());
@@ -41,12 +51,16 @@ StepStats DataParallelTrainer::step(const tensor::Tensor& x,
 
   // One step = one task DAG on the unified runtime:
   // forward/backward per rank (pinned) -> gradient all-reduce (unpinned,
-  // stealable) -> optimizer step per rank (pinned).  The dependency edges
-  // replace the two host-side barriers the step used to take.
+  // stealable) -> optimizer step per rank (pinned).  Every node goes
+  // through submit_retry: an injected preemption fails the attempt *before*
+  // the body runs, so re-running is always safe; the real bodies are also
+  // idempotent (zero_grad at the top; averaging already-equal grads is a
+  // fixed point), so a retry after a genuine mid-body failure converges
+  // too.
   std::vector<dflow::Future> grads;
   grads.reserve(world);
   for (std::size_t r = 0; r < world; ++r) {
-    grads.push_back(cluster_.submit(
+    grads.push_back(cluster_.submit_retry(
         "ddp_step:" + std::to_string(r),
         [&, r](dflow::WorkerCtx& ctx) -> std::any {
           const std::size_t begin = r * x.rows() / world;
@@ -68,36 +82,122 @@ StepStats DataParallelTrainer::step(const tensor::Tensor& x,
           model.backward(ctx.device, loss.dlogits);
           return loss.loss;
         },
-        {}, static_cast<int>(r)));
+        {}, static_cast<int>(r), options_.retry, options_.task_timeout_s));
   }
 
-  dflow::Future reduced = cluster_.submit(
+  dflow::Future reduced = cluster_.submit_retry(
       "ddp_allreduce",
       [&](dflow::WorkerCtx&) -> std::any {
         sync_->sync();
         return {};
       },
-      grads, /*rank=*/-1);
+      grads, /*rank=*/-1, options_.retry, options_.task_timeout_s);
 
   std::vector<dflow::Future> steps;
   steps.reserve(world);
   for (std::size_t r = 0; r < world; ++r) {
-    steps.push_back(cluster_.submit(
+    steps.push_back(cluster_.submit_retry(
         "ddp_optim:" + std::to_string(r),
         [&, r](dflow::WorkerCtx& ctx) -> std::any {
           auto params = models_[r]->params();
           optimizers_[r]->step(ctx.device, params);
           return {};
         },
-        {reduced}, static_cast<int>(r)));
+        {reduced}, static_cast<int>(r), options_.retry,
+        options_.task_timeout_s));
   }
-  for (const auto& f : steps) f.wait();
+  for (const auto& f : steps) {
+    const Status s = f.wait_status();
+    if (!s.ok()) return s;
+  }
 
   StepStats stats;
-  for (const auto& f : grads) stats.mean_loss += f.get<double>();
+  for (const auto& f : grads) {
+    Expected<double> loss = f.result<double>();
+    if (!loss) return loss.status();
+    stats.mean_loss += *loss;
+  }
   stats.mean_loss /= static_cast<double>(world);
   stats.sim_time_s = cluster_.devices().now_s() - t0;
   return stats;
+}
+
+StepStats DataParallelTrainer::step(const tensor::Tensor& x,
+                                    std::span<const int> y) {
+  return try_step(x, y).value();
+}
+
+Status DataParallelTrainer::save_checkpoint(std::uint64_t epoch) const {
+  if (options_.checkpoint_dir.empty())
+    return Status::failed_precondition(
+        "DataParallelTrainer: checkpointing disabled (no checkpoint_dir)");
+  nn::Checkpoint ckpt;
+  ckpt.epoch = epoch;
+  ckpt.scalars["world"] = static_cast<double>(models_.size());
+  for (std::size_t r = 0; r < models_.size(); ++r) {
+    const std::string base = "r" + std::to_string(r) + ".";
+    auto params = models_[r]->params();
+    for (std::size_t p = 0; p < params.size(); ++p)
+      ckpt.tensors[base + "param" + std::to_string(p)] = params[p]->value;
+    const auto opt_state = optimizers_[r]->state();
+    for (std::size_t s = 0; s < opt_state.size(); ++s)
+      ckpt.tensors[base + "opt" + std::to_string(s)] = opt_state[s];
+    ckpt.scalars[base + "opt_n"] = static_cast<double>(opt_state.size());
+    ckpt.scalars[base + "opt_t"] =
+        static_cast<double>(optimizers_[r]->step_count());
+  }
+  return nn::save_checkpoint(
+      nn::checkpoint_path(options_.checkpoint_dir, options_.checkpoint_prefix,
+                          epoch),
+      ckpt);
+}
+
+Expected<std::uint64_t> DataParallelTrainer::restore_latest() {
+  if (options_.checkpoint_dir.empty())
+    return Status::failed_precondition(
+        "DataParallelTrainer: checkpointing disabled (no checkpoint_dir)");
+  Expected<nn::Checkpoint> loaded = nn::load_latest_checkpoint(
+      options_.checkpoint_dir, options_.checkpoint_prefix);
+  if (!loaded) return loaded.status();
+  const nn::Checkpoint& ckpt = *loaded;
+
+  const auto world_it = ckpt.scalars.find("world");
+  if (world_it == ckpt.scalars.end() ||
+      static_cast<std::size_t>(world_it->second) != models_.size())
+    return Status::failed_precondition(
+        "DataParallelTrainer: checkpoint world size mismatch");
+
+  for (std::size_t r = 0; r < models_.size(); ++r) {
+    const std::string base = "r" + std::to_string(r) + ".";
+    auto params = models_[r]->params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      const auto it = ckpt.tensors.find(base + "param" + std::to_string(p));
+      if (it == ckpt.tensors.end() ||
+          !it->second.same_shape(params[p]->value))
+        return Status::failed_precondition(
+            "DataParallelTrainer: checkpoint parameter shape mismatch");
+      params[p]->value = it->second;
+    }
+    const auto n_it = ckpt.scalars.find(base + "opt_n");
+    const std::size_t opt_n =
+        n_it == ckpt.scalars.end() ? 0
+                                   : static_cast<std::size_t>(n_it->second);
+    std::vector<tensor::Tensor> opt_state;
+    opt_state.reserve(opt_n);
+    for (std::size_t s = 0; s < opt_n; ++s) {
+      const auto it = ckpt.tensors.find(base + "opt" + std::to_string(s));
+      if (it == ckpt.tensors.end())
+        return Status::failed_precondition(
+            "DataParallelTrainer: checkpoint optimizer state missing");
+      opt_state.push_back(it->second);
+    }
+    optimizers_[r]->set_state(std::move(opt_state));
+    if (const auto t_it = ckpt.scalars.find(base + "opt_t");
+        t_it != ckpt.scalars.end())
+      optimizers_[r]->set_step_count(
+          static_cast<std::uint64_t>(t_it->second));
+  }
+  return ckpt.epoch;
 }
 
 tensor::Tensor DataParallelTrainer::predict(const tensor::Tensor& x) {

@@ -28,19 +28,55 @@ struct StepStats {
   double sim_time_s{0.0};   ///< simulated wall time consumed by the step
 };
 
+/// Aggregate trainer configuration (the ClusterOptions analogue one layer
+/// up): collective algorithm, checkpoint placement, retry/deadline policy.
+struct TrainerOptions {
+  AllReduceAlgo algo{AllReduceAlgo::kRing};
+  /// Directory for epoch checkpoints; empty disables save/restore.
+  std::string checkpoint_dir;
+  std::string checkpoint_prefix{"ddp"};
+  /// Backoff schedule for retryable step-task failures (preemption,
+  /// deadline, unavailable rank).
+  dflow::RetryPolicy retry;
+  /// Per-attempt wall-clock deadline for each step task; 0 == none.
+  double task_timeout_s{0.0};
+};
+
 class DataParallelTrainer {
  public:
+  DataParallelTrainer(dflow::Cluster& cluster, const ModelFactory& model,
+                      const OptimizerFactory& optimizer,
+                      TrainerOptions options);
+
+  /// Deprecated shim (pre-TrainerOptions signature).
   DataParallelTrainer(dflow::Cluster& cluster, const ModelFactory& model,
                       const OptimizerFactory& optimizer,
                       AllReduceAlgo algo = AllReduceAlgo::kRing);
 
   int world_size() const { return cluster_.world_size(); }
+  const TrainerOptions& options() const { return options_; }
 
   /// One synchronous step: shards (X, y) across ranks by contiguous row
   /// ranges, runs forward/backward per rank in parallel, all-reduces
-  /// gradients, and steps every optimizer.  Returns the mean loss across
-  /// ranks and the simulated time the step consumed.
+  /// gradients, and steps every optimizer.  Each task rides the cluster's
+  /// retry policy, so injected preemptions are absorbed transparently; the
+  /// returned Status is the first *unrecovered* failure.  Malformed input
+  /// (label/row mismatch, batch < world) still throws — API misuse.
+  Expected<StepStats> try_step(const tensor::Tensor& x,
+                               std::span<const int> y);
+
+  /// Deprecated shim over try_step: rethrows failures as StatusError.
   StepStats step(const tensor::Tensor& x, std::span<const int> y);
+
+  /// Writes an epoch checkpoint (per-replica parameters + optimizer state)
+  /// under options().checkpoint_dir.  kFailedPrecondition when
+  /// checkpointing is disabled.
+  Status save_checkpoint(std::uint64_t epoch) const;
+
+  /// Restores the newest loadable checkpoint, skipping corrupt files, and
+  /// returns its epoch.  kUnavailable when none exists; kFailedPrecondition
+  /// when the checkpoint's world size or shapes do not match.
+  Expected<std::uint64_t> restore_latest();
 
   /// Inference on rank 0's replica.
   tensor::Tensor predict(const tensor::Tensor& x);
@@ -49,6 +85,7 @@ class DataParallelTrainer {
 
  private:
   dflow::Cluster& cluster_;
+  TrainerOptions options_;
   std::vector<std::unique_ptr<nn::Sequential>> models_;
   std::vector<std::unique_ptr<nn::Optimizer>> optimizers_;
   std::unique_ptr<GradientSynchronizer> sync_;

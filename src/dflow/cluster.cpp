@@ -1,6 +1,10 @@
 #include "dflow/cluster.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace sagesim::dflow {
@@ -13,20 +17,40 @@ namespace sagesim::dflow {
 // rank, unpinned (stealable by any idle worker), or earlier in the same
 // rank's FIFO lane.
 Cluster::Cluster(gpu::DeviceManager& devices)
+    : Cluster(devices, ClusterOptions{}) {}
+
+Cluster::Cluster(gpu::DeviceManager& devices, ClusterOptions options)
     : devices_(devices),
-      scheduler_(static_cast<unsigned>(devices.device_count())) {}
+      options_(std::move(options)),
+      scheduler_(static_cast<unsigned>(devices.device_count())),
+      rank_up_(devices.device_count(), 1) {
+  if (options_.faults)
+    scheduler_.set_fault_injector(
+        std::make_shared<runtime::FaultInjector>(*options_.faults));
+}
 
 Future Cluster::submit(std::string name, TaskFn fn, std::vector<Future> deps,
-                       int rank) {
+                       int rank, double timeout_s) {
   if (rank >= world_size())
     throw std::out_of_range("Cluster::submit: rank " + std::to_string(rank) +
                             " >= world size " + std::to_string(world_size()));
   if (!fn) throw std::invalid_argument("Cluster::submit: null task function");
 
+  if (rank >= 0 && !rank_available(rank)) {
+    // Spot semantics: the lane's instance is reclaimed.  Fail fast and
+    // retryably instead of queueing onto capacity that may never return.
+    Future failed;
+    failed.set_name(name);
+    failed.fail(std::make_exception_ptr(StatusError(Status::unavailable(
+        "rank " + std::to_string(rank) + " is preempted"))));
+    return failed;
+  }
+
   runtime::SubmitOptions opts;
   opts.name = std::move(name);
   opts.lane = rank < 0 ? -1 : rank;
   opts.deps = std::move(deps);
+  opts.timeout_s = timeout_s > 0.0 ? timeout_s : options_.default_timeout_s;
   return scheduler_.submit_any(
       std::move(opts), [this, f = std::move(fn)]() -> std::any {
         WorkerCtx ctx;
@@ -35,6 +59,82 @@ Future Cluster::submit(std::string name, TaskFn fn, std::vector<Future> deps,
         ctx.device = &devices_.device(static_cast<std::size_t>(ctx.rank));
         return f(ctx);
       });
+}
+
+namespace {
+
+/// One logical submit_retry call.  Owns the outer promise; each attempt's
+/// completion callback either settles it or launches the next attempt.
+/// Keeps itself alive through the callback captures.
+struct RetryJob : std::enable_shared_from_this<RetryJob> {
+  Cluster* cluster{nullptr};
+  std::string name;
+  TaskFn fn;
+  std::vector<Future> deps;
+  int rank{-1};
+  RetryPolicy policy;
+  double timeout_s{0.0};
+  int attempt{0};
+  Future outer;
+
+  void launch() {
+    ++attempt;
+    double backoff_ms = 0.0;
+    if (attempt >= 2) {
+      backoff_ms = policy.initial_backoff_ms *
+                   std::pow(policy.multiplier, attempt - 2);
+      backoff_ms = std::min(backoff_ms, policy.max_backoff_ms);
+    }
+    // Retries of work pinned to a reclaimed rank degrade to the stealable
+    // pool: surviving ranks absorb it instead of waiting for re-acquisition.
+    int target = rank;
+    if (target >= 0 && !cluster->rank_available(target)) target = -1;
+
+    std::string attempt_name = name;
+    if (attempt > 1)
+      attempt_name += ":retry" + std::to_string(attempt - 1);
+
+    Future f = cluster->submit(
+        std::move(attempt_name),
+        [self = shared_from_this(), backoff_ms](WorkerCtx& ctx) {
+          if (backoff_ms > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff_ms));
+          return self->fn(ctx);
+        },
+        deps, target, timeout_s);
+    f.on_ready([self = shared_from_this()](const Future& done) {
+      const Status s = done.wait_status();  // ready: does not block
+      if (s.ok()) {
+        self->outer.deliver(done.get_any());
+      } else if (s.retryable() && self->attempt < self->policy.max_attempts) {
+        self->launch();
+      } else {
+        self->outer.fail(std::make_exception_ptr(StatusError(s)));
+      }
+    });
+  }
+};
+
+}  // namespace
+
+Future Cluster::submit_retry(std::string name, TaskFn fn,
+                             std::vector<Future> deps, int rank,
+                             std::optional<RetryPolicy> policy,
+                             double timeout_s) {
+  if (!fn)
+    throw std::invalid_argument("Cluster::submit_retry: null task function");
+  auto job = std::make_shared<RetryJob>();
+  job->cluster = this;
+  job->name = std::move(name);
+  job->fn = std::move(fn);
+  job->deps = std::move(deps);
+  job->rank = rank;
+  job->policy = policy.value_or(options_.retry);
+  job->timeout_s = timeout_s;
+  job->outer.set_name(job->name);
+  job->launch();
+  return job->outer;
 }
 
 std::vector<Future> Cluster::map(const std::string& name, const TaskFn& fn) {
@@ -65,6 +165,48 @@ std::vector<std::any> Cluster::gather(const std::vector<Future>& futures) {
   out.reserve(futures.size());
   for (const auto& f : futures) out.push_back(f.get_any());
   return out;
+}
+
+Expected<std::vector<std::any>> Cluster::try_gather(
+    const std::vector<Future>& futures) {
+  std::vector<std::any> out;
+  out.reserve(futures.size());
+  for (const auto& f : futures) {
+    const Status s = f.wait_status();
+    if (!s.ok()) return s;
+    out.push_back(f.get_any());
+  }
+  return out;
+}
+
+void Cluster::preempt_rank(int rank) {
+  if (rank < 0 || rank >= world_size())
+    throw std::out_of_range("Cluster::preempt_rank: rank " +
+                            std::to_string(rank) + " out of range");
+  std::lock_guard lock(ranks_mutex_);
+  rank_up_[static_cast<std::size_t>(rank)] = 0;
+}
+
+void Cluster::restore_rank(int rank) {
+  if (rank < 0 || rank >= world_size())
+    throw std::out_of_range("Cluster::restore_rank: rank " +
+                            std::to_string(rank) + " out of range");
+  std::lock_guard lock(ranks_mutex_);
+  rank_up_[static_cast<std::size_t>(rank)] = 1;
+}
+
+bool Cluster::rank_available(int rank) const {
+  if (rank < 0 || rank >= world_size()) return false;
+  std::lock_guard lock(ranks_mutex_);
+  return rank_up_[static_cast<std::size_t>(rank)] != 0;
+}
+
+std::vector<int> Cluster::active_ranks() const {
+  std::lock_guard lock(ranks_mutex_);
+  std::vector<int> up;
+  for (std::size_t r = 0; r < rank_up_.size(); ++r)
+    if (rank_up_[r] != 0) up.push_back(static_cast<int>(r));
+  return up;
 }
 
 void Cluster::wait_all() { scheduler_.wait_idle(); }

@@ -19,6 +19,9 @@
 
 #include <any>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,11 +42,36 @@ struct WorkerCtx {
 
 using TaskFn = std::function<std::any(WorkerCtx&)>;
 
+/// Exponential-backoff retry schedule for retryable failures (preemption,
+/// missed deadlines, unavailable ranks).  Attempt n >= 2 sleeps
+/// initial_backoff_ms * multiplier^(n-2), capped at max_backoff_ms, before
+/// re-running the task body.
+struct RetryPolicy {
+  int max_attempts{3};
+  double initial_backoff_ms{1.0};
+  double multiplier{2.0};
+  double max_backoff_ms{50.0};
+};
+
+/// Aggregate cluster configuration (satellite of the fault-tolerance API):
+/// one struct instead of a parade of constructor arguments.
+struct ClusterOptions {
+  /// When set, the cluster seeds a runtime::FaultInjector with this config
+  /// and attaches it to its scheduler; every submit then draws a fault plan.
+  std::optional<runtime::FaultConfig> faults;
+  /// Deadline applied to every submit that does not pass its own timeout;
+  /// 0 == no deadline.
+  double default_timeout_s{0.0};
+  /// Policy used by submit_retry when the caller does not pass one.
+  RetryPolicy retry;
+};
+
 class Cluster {
  public:
   /// One worker lane per device in @p devices.  The cluster borrows the
   /// manager; it must outlive the cluster.
   explicit Cluster(gpu::DeviceManager& devices);
+  Cluster(gpu::DeviceManager& devices, ClusterOptions options);
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -56,8 +84,20 @@ class Cluster {
   /// Submits a task.  It runs once every dependency has completed, on
   /// @p rank (or any idle worker when rank < 0 — the stealable pool).
   /// Dependency *failures* propagate: the task fails without running.
+  /// Submitting pinned work to a preempted rank returns a future already
+  /// failed with kUnavailable (retryable) — the spot-instance contract.
   Future submit(std::string name, TaskFn fn, std::vector<Future> deps = {},
-                int rank = -1);
+                int rank = -1, double timeout_s = 0.0);
+
+  /// submit + automatic retry: retryable failures (preemption, deadline,
+  /// unavailable rank) re-run the body under @p policy's backoff schedule.
+  /// A retry whose pinned rank is down degrades to the stealable pool, so
+  /// work migrates off reclaimed capacity instead of waiting for it.  The
+  /// returned future completes with the first success or the last failure.
+  Future submit_retry(std::string name, TaskFn fn,
+                      std::vector<Future> deps = {}, int rank = -1,
+                      std::optional<RetryPolicy> policy = std::nullopt,
+                      double timeout_s = 0.0);
 
   /// Submits one task per worker rank; returns the futures in rank order.
   std::vector<Future> map(const std::string& name, const TaskFn& fn);
@@ -73,6 +113,32 @@ class Cluster {
   /// Waits for @p futures and collects their values.
   std::vector<std::any> gather(const std::vector<Future>& futures);
 
+  /// gather with failures as values: the first non-ok outcome (in input
+  /// order) is returned as its Status instead of being rethrown.
+  Expected<std::vector<std::any>> try_gather(
+      const std::vector<Future>& futures);
+
+  // --- elasticity: spot-style rank loss and re-acquisition ---------------
+
+  /// Marks @p rank's simulated instance as reclaimed.  Already-running work
+  /// finishes (the grace window); *new* pinned submits to the rank fail
+  /// immediately with kUnavailable until restore_rank.  Out-of-range ranks
+  /// throw (API misuse).
+  void preempt_rank(int rank);
+
+  /// Brings a reclaimed rank back (re-acquired capacity rejoining).
+  void restore_rank(int rank);
+
+  /// True when the rank currently holds capacity.
+  bool rank_available(int rank) const;
+
+  /// Ranks currently up, ascending.  Shrinks under preemption; the elastic
+  /// layers (ddp, distributed GCN) re-shard over exactly this set.
+  std::vector<int> active_ranks() const;
+  int active_world_size() const {
+    return static_cast<int>(active_ranks().size());
+  }
+
   /// Blocks until every submitted task has finished.
   void wait_all();
 
@@ -83,9 +149,19 @@ class Cluster {
   /// The cluster's underlying task-graph scheduler (rank == lane).
   runtime::Scheduler& scheduler() { return scheduler_; }
 
+  const ClusterOptions& options() const { return options_; }
+
+  /// The injector seeded from options().faults, or nullptr.
+  std::shared_ptr<runtime::FaultInjector> fault_injector() const {
+    return scheduler_.fault_injector();
+  }
+
  private:
   gpu::DeviceManager& devices_;
+  ClusterOptions options_;
   runtime::Scheduler scheduler_;
+  mutable std::mutex ranks_mutex_;
+  std::vector<char> rank_up_;  ///< guarded by ranks_mutex_
 };
 
 }  // namespace sagesim::dflow

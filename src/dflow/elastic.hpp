@@ -1,0 +1,46 @@
+// Spot-market -> cluster-membership binding: folds a SpotFleet event stream
+// into dflow::Cluster rank availability.  Slot i backs rank i.
+//
+//  * kNoticed    — the grace window: running work may finish, nothing is
+//                  killed yet (callers can use the warning to checkpoint);
+//  * kReclaimed  — preempt_rank: new pinned submits fail retryably, retries
+//                  degrade to surviving ranks;
+//  * kHeld       — restore_rank: re-acquired capacity rejoins the world.
+//
+// Header-only so dflow carries no cloudsim link dependency; only programs
+// that simulate a spot market include this.
+#pragma once
+
+#include <vector>
+
+#include "cloudsim/spot.hpp"
+#include "dflow/cluster.hpp"
+
+namespace sagesim::dflow {
+
+/// Applies @p events (ordered, from cloud::SpotFleet::advance) to
+/// @p cluster.  Events for slots outside the cluster's world are ignored —
+/// the fleet may be larger than the training job.  Returns the number of
+/// rank state changes applied.
+inline int apply_spot_events(Cluster& cluster,
+                             const std::vector<cloud::SpotEvent>& events) {
+  int applied = 0;
+  for (const auto& ev : events) {
+    if (ev.slot < 0 || ev.slot >= cluster.world_size()) continue;
+    switch (ev.state) {
+      case cloud::SpotSlotState::kNoticed:
+        break;  // grace window: membership unchanged
+      case cloud::SpotSlotState::kReclaimed:
+        cluster.preempt_rank(ev.slot);
+        ++applied;
+        break;
+      case cloud::SpotSlotState::kHeld:
+        cluster.restore_rank(ev.slot);
+        ++applied;
+        break;
+    }
+  }
+  return applied;
+}
+
+}  // namespace sagesim::dflow

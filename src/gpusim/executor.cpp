@@ -26,6 +26,7 @@ struct ForState {
   std::uint64_t chunks;
   const std::function<void(std::uint64_t)>* fn;
   std::atomic<std::uint64_t> next_chunk{0};
+  std::atomic<bool> aborted{false};
   std::mutex mutex;
   std::condition_variable done_cv;
   std::uint64_t done_chunks{0};  // guarded by mutex
@@ -38,10 +39,17 @@ struct ForState {
       const std::uint64_t begin = c * n / chunks;
       const std::uint64_t end = (c + 1) * n / chunks;
       std::exception_ptr error;
-      try {
-        for (std::uint64_t i = begin; i < end; ++i) (*fn)(i);
-      } catch (...) {
-        error = std::current_exception();
+      // A thrown body aborts the loop: chunks claimed after the failure is
+      // published are drained without invoking fn (chunks already mid-body
+      // on other workers still finish).  Claim accounting is unchanged, so
+      // the caller's wait stays bounded.
+      if (!aborted.load(std::memory_order_acquire)) {
+        try {
+          for (std::uint64_t i = begin; i < end; ++i) (*fn)(i);
+        } catch (...) {
+          error = std::current_exception();
+          aborted.store(true, std::memory_order_release);
+        }
       }
       {
         std::lock_guard lock(mutex);

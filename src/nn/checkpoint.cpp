@@ -1,0 +1,242 @@
+#include "nn/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace sagesim::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'G', 'S', 'M', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- payload writer/reader (host-endian; the simulator never ships files
+// across architectures) -----------------------------------------------------
+
+template <typename T>
+void put(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Reader {
+  const std::string& buf;
+  std::size_t pos{0};
+  bool failed{false};
+
+  template <typename T>
+  T get() {
+    T v{};
+    if (failed || pos + sizeof(T) > buf.size()) {
+      failed = true;
+      return v;
+    }
+    std::memcpy(&v, buf.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+
+  std::string get_str() {
+    const auto n = get<std::uint32_t>();
+    if (failed || pos + n > buf.size()) {
+      failed = true;
+      return {};
+    }
+    std::string s = buf.substr(pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+std::string encode_payload(const Checkpoint& ckpt) {
+  std::string p;
+  put<std::uint32_t>(p, static_cast<std::uint32_t>(ckpt.tensors.size()));
+  for (const auto& [name, t] : ckpt.tensors) {
+    put_str(p, name);
+    put<std::uint64_t>(p, t.rows());
+    put<std::uint64_t>(p, t.cols());
+    p.append(reinterpret_cast<const char*>(t.data()),
+             t.size() * sizeof(float));
+  }
+  put<std::uint32_t>(p, static_cast<std::uint32_t>(ckpt.blobs.size()));
+  for (const auto& [name, blob] : ckpt.blobs) {
+    put_str(p, name);
+    put_str(p, blob);
+  }
+  put<std::uint32_t>(p, static_cast<std::uint32_t>(ckpt.scalars.size()));
+  for (const auto& [name, value] : ckpt.scalars) {
+    put_str(p, name);
+    put<double>(p, value);
+  }
+  return p;
+}
+
+bool decode_payload(const std::string& payload, Checkpoint& ckpt) {
+  Reader r{payload};
+  const auto n_tensors = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_tensors && !r.failed; ++i) {
+    std::string name = r.get_str();
+    const auto rows = r.get<std::uint64_t>();
+    const auto cols = r.get<std::uint64_t>();
+    if (r.failed) break;
+    tensor::Tensor t(static_cast<std::size_t>(rows),
+                     static_cast<std::size_t>(cols));
+    const std::size_t bytes = t.size() * sizeof(float);
+    if (r.pos + bytes > payload.size()) {
+      r.failed = true;
+      break;
+    }
+    std::memcpy(t.data(), payload.data() + r.pos, bytes);
+    r.pos += bytes;
+    ckpt.tensors.emplace(std::move(name), std::move(t));
+  }
+  const auto n_blobs = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_blobs && !r.failed; ++i) {
+    std::string name = r.get_str();
+    std::string blob = r.get_str();
+    if (!r.failed) ckpt.blobs.emplace(std::move(name), std::move(blob));
+  }
+  const auto n_scalars = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_scalars && !r.failed; ++i) {
+    std::string name = r.get_str();
+    const double value = r.get<double>();
+    if (!r.failed) ckpt.scalars.emplace(std::move(name), value);
+  }
+  return !r.failed && r.pos == payload.size();
+}
+
+}  // namespace
+
+Status save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  const std::string payload = encode_payload(ckpt);
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(file, kVersion);
+  put<std::uint64_t>(file, ckpt.epoch);
+  put<std::uint64_t>(file, payload.size());
+  put<std::uint64_t>(file, fnv1a64(payload));
+  file.append(payload);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return Status::internal("checkpoint: cannot open " + tmp);
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+    out.flush();
+    if (!out)
+      return Status::internal("checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return Status::internal("checkpoint: rename to " + path + " failed");
+  return {};
+}
+
+Expected<Checkpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Status::unavailable("checkpoint: no file at " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string file = ss.str();
+
+  constexpr std::size_t kHeader =
+      sizeof(kMagic) + sizeof(std::uint32_t) + 3 * sizeof(std::uint64_t);
+  if (file.size() < kHeader)
+    return Status::data_loss("checkpoint: truncated header in " + path);
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0)
+    return Status::data_loss("checkpoint: bad magic in " + path);
+
+  Reader r{file, sizeof(kMagic)};
+  const auto version = r.get<std::uint32_t>();
+  if (version != kVersion)
+    return Status::data_loss("checkpoint: unsupported version " +
+                             std::to_string(version) + " in " + path);
+  Checkpoint ckpt;
+  ckpt.epoch = r.get<std::uint64_t>();
+  const auto payload_bytes = r.get<std::uint64_t>();
+  const auto checksum = r.get<std::uint64_t>();
+  if (file.size() - kHeader != payload_bytes)
+    return Status::data_loss("checkpoint: truncated payload in " + path);
+  const std::string payload = file.substr(kHeader);
+  if (fnv1a64(payload) != checksum)
+    return Status::data_loss("checkpoint: checksum mismatch in " + path);
+  if (!decode_payload(payload, ckpt))
+    return Status::data_loss("checkpoint: malformed payload in " + path);
+  return ckpt;
+}
+
+std::string checkpoint_path(const std::string& dir, const std::string& prefix,
+                            std::uint64_t epoch) {
+  return dir + "/" + prefix + "_epoch" + std::to_string(epoch) + ".ckpt";
+}
+
+Expected<Checkpoint> load_latest_checkpoint(const std::string& dir,
+                                            const std::string& prefix) {
+  std::error_code ec;
+  std::vector<std::pair<std::uint64_t, std::string>> candidates;
+  const std::string stem_prefix = prefix + "_epoch";
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem_prefix, 0) != 0) continue;
+    if (entry.path().extension() != ".ckpt") continue;
+    const std::string digits =
+        entry.path().stem().string().substr(stem_prefix.size());
+    char* end = nullptr;
+    const std::uint64_t epoch = std::strtoull(digits.c_str(), &end, 10);
+    if (end == digits.c_str() || *end != '\0') continue;
+    candidates.emplace_back(epoch, entry.path().string());
+  }
+  if (ec)
+    return Status::unavailable("checkpoint: cannot scan " + dir);
+  std::sort(candidates.rbegin(), candidates.rend());  // newest first
+
+  Status last = Status::unavailable("checkpoint: none under " + dir +
+                                    " with prefix " + prefix);
+  for (const auto& [epoch, path] : candidates) {
+    Expected<Checkpoint> loaded = load_checkpoint(path);
+    if (loaded) return loaded;  // fall back past corrupt/truncated files
+    last = loaded.status();
+  }
+  return last;
+}
+
+std::string serialize_engine(const std::mt19937_64& engine) {
+  std::ostringstream ss;
+  ss << engine;
+  return ss.str();
+}
+
+Status deserialize_engine(const std::string& blob, std::mt19937_64& engine) {
+  std::istringstream ss(blob);
+  ss >> engine;
+  if (ss.fail())
+    return Status::data_loss("checkpoint: malformed RNG engine state");
+  return {};
+}
+
+}  // namespace sagesim::nn

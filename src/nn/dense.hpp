@@ -48,6 +48,10 @@ class Dropout : public Layer {
   tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy) override;
   std::string name() const override { return "dropout"; }
 
+  /// Mask RNG stream; checkpoint/restore serializes its engine so resumed
+  /// runs replay the exact masks.
+  stats::Rng& rng() { return rng_; }
+
  private:
   float p_;
   stats::Rng rng_;

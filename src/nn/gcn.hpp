@@ -65,6 +65,12 @@ class Gcn {
 
   const Config& config() const { return config_; }
 
+  /// Dropout RNG stream — the only RNG that advances during training
+  /// (rng_ is consumed entirely by weight init).  Checkpoint/restore
+  /// serializes its engine so a resumed run replays the exact dropout
+  /// masks — required for the bit-identical-resume guarantee.
+  stats::Rng& rng() { return dropout_.rng(); }
+
  private:
   Config config_;
   stats::Rng rng_;  // declared before the convs: init order matters

@@ -102,4 +102,18 @@ void Adam::step(gpu::Device* dev, std::span<Param* const> params) {
   }
 }
 
+std::vector<tensor::Tensor> Adam::state() const {
+  std::vector<tensor::Tensor> out = m_;
+  out.insert(out.end(), v_.begin(), v_.end());
+  return out;
+}
+
+void Adam::set_state(std::vector<tensor::Tensor> state) {
+  if (state.size() % 2 != 0)
+    throw std::invalid_argument("Adam::set_state: odd tensor count");
+  const std::size_t half = state.size() / 2;
+  m_.assign(state.begin(), state.begin() + static_cast<std::ptrdiff_t>(half));
+  v_.assign(state.begin() + static_cast<std::ptrdiff_t>(half), state.end());
+}
+
 }  // namespace sagesim::nn

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "gpusim/device.hpp"
@@ -18,6 +20,23 @@ class Optimizer {
   /// then the caller typically zero_grad()s.  Per-parameter state is keyed
   /// by position, so the same parameter list must be passed every step.
   virtual void step(gpu::Device* dev, std::span<Param* const> params) = 0;
+
+  // --- checkpointing hooks: per-parameter state in a stable order ---------
+
+  /// Snapshot of the optimizer's state tensors (empty when stateless or not
+  /// yet initialized by a first step()).
+  virtual std::vector<tensor::Tensor> state() const { return {}; }
+
+  /// Restores a snapshot taken by state().  Passing a vector whose layout
+  /// does not match this optimizer is a programmer error (throws).
+  virtual void set_state(std::vector<tensor::Tensor> state) {
+    if (!state.empty())
+      throw std::invalid_argument("Optimizer::set_state: stateless optimizer");
+  }
+
+  /// Monotonic step counter (bias correction etc.); 0 when untracked.
+  virtual std::uint64_t step_count() const { return 0; }
+  virtual void set_step_count(std::uint64_t /*t*/) {}
 };
 
 class Sgd final : public Optimizer {
@@ -27,6 +46,11 @@ class Sgd final : public Optimizer {
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
+
+  std::vector<tensor::Tensor> state() const override { return velocity_; }
+  void set_state(std::vector<tensor::Tensor> state) override {
+    velocity_ = std::move(state);
+  }
 
  private:
   float lr_;
@@ -40,6 +64,12 @@ class Adam final : public Optimizer {
   explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
                 float eps = 1e-8f, float weight_decay = 0.0f);
   void step(gpu::Device* dev, std::span<Param* const> params) override;
+
+  /// m tensors followed by v tensors (even total size).
+  std::vector<tensor::Tensor> state() const override;
+  void set_state(std::vector<tensor::Tensor> state) override;
+  std::uint64_t step_count() const override { return t_; }
+  void set_step_count(std::uint64_t t) override { t_ = t; }
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

@@ -10,17 +10,21 @@
 
 #include <any>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "runtime/status.hpp"
 
 namespace sagesim::runtime {
 
@@ -56,6 +60,13 @@ struct TaskState {
   std::atomic<TaskStatus> status{TaskStatus::kPending};
   std::atomic<bool> cancel_requested{false};
 
+  // --- fault-tolerance plan (immutable after submit) ---
+  bool inject_preempt{false};   ///< FaultInjector: fail with Preempted
+  double inject_delay_ms{0.0};  ///< FaultInjector: stall before running
+  /// Wall-clock deadline derived from SubmitOptions::timeout_s; a worker
+  /// that pops the task past it fails it with DeadlineExceeded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
   // --- completion (guarded by mutex) ---
   std::mutex mutex;
   std::condition_variable cv;
@@ -65,6 +76,10 @@ struct TaskState {
   std::exception_ptr dep_error;  ///< first failed dependency, if any
   /// Dependents registered before this state completed.
   std::vector<std::shared_ptr<TaskState>> children;
+  /// Completion callbacks registered before this state completed; invoked
+  /// exactly once (after dependents are counted down) off the state's lock.
+  std::vector<std::function<void(const std::shared_ptr<TaskState>&)>>
+      callbacks;
 };
 
 /// Completes @p state with a value or error and iteratively propagates to
@@ -95,19 +110,45 @@ class AnyFuture {
   }
 
   /// Blocks until completion; rethrows the task's exception if it failed.
+  /// Prefer wait_status()/result<T>() — failures as values — in new code.
   void wait() const {
     std::unique_lock lock(state_->mutex);
     state_->cv.wait(lock, [&] { return state_->ready; });
     if (state_->error) std::rethrow_exception(state_->error);
   }
 
+  /// Blocks until completion and returns the outcome as a Status: ok on
+  /// success, the classified failure otherwise (kPreempted and
+  /// kDeadlineExceeded come back retryable).  Never throws.
+  Status wait_status() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    return Status::from_exception(state_->error);
+  }
+
   /// Blocks and returns the value as T.  Throws std::bad_any_cast on type
-  /// mismatch and rethrows task failures.
+  /// mismatch and rethrows task failures.  Deprecated shim over result<T>()
+  /// for call sites that want exception semantics.
   template <typename T>
   T get() const {
     wait();
     std::lock_guard lock(state_->mutex);
     return std::any_cast<T>(state_->value);
+  }
+
+  /// Blocks and returns the typed value or the failure as a value: the
+  /// canonical accessor.  A type mismatch is an kInternal status rather
+  /// than an exception.
+  template <typename T>
+  Expected<T> result() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    if (state_->error) return Status::from_exception(state_->error);
+    const T* value = std::any_cast<T>(&state_->value);
+    if (value == nullptr)
+      return Status::internal("future '" + state_->name +
+                              "' holds a different type");
+    return *value;
   }
 
   /// Blocks and returns the raw type-erased value.
@@ -117,14 +158,39 @@ class AnyFuture {
     return state_->value;
   }
 
+  /// Registers a completion callback, invoked exactly once with *this once
+  /// the future reaches a terminal state (immediately when already done).
+  /// Callbacks run on the completing thread, off the state's lock; keep
+  /// them short — resubmit to a scheduler for real work.
+  void on_ready(std::function<void(const AnyFuture&)> callback) const {
+    bool fire_now = false;
+    {
+      std::lock_guard lock(state_->mutex);
+      if (state_->ready) {
+        fire_now = true;
+      } else {
+        state_->callbacks.push_back(
+            [cb = std::move(callback)](
+                const std::shared_ptr<detail::TaskState>& s) {
+              cb(AnyFuture(s));
+            });
+      }
+    }
+    if (fire_now) callback(*this);
+  }
+
   /// Requests cancellation.  Best effort: a task that has not started
   /// running when the request lands completes with TaskCancelled instead of
-  /// executing; a running task finishes normally.  Returns true when the
-  /// request was observed before the task started.
-  bool cancel() {
+  /// executing; a running task finishes normally.  Returns ok when the
+  /// request was observed before the task started, kFailedPrecondition
+  /// when the task was already running or done.
+  Status cancel() {
     state_->cancel_requested.store(true, std::memory_order_relaxed);
-    return state_->status.load(std::memory_order_acquire) ==
-           detail::TaskStatus::kPending;
+    if (state_->status.load(std::memory_order_acquire) ==
+        detail::TaskStatus::kPending)
+      return Status{};
+    return Status::failed_precondition("task already started: " +
+                                       state_->name);
   }
 
   /// True when the future completed with TaskCancelled.
@@ -180,12 +246,16 @@ class Future {
 
   bool ready() const { return erased_.ready(); }
   void wait() const { erased_.wait(); }
-  bool cancel() { return erased_.cancel(); }
+  Status wait_status() const { return erased_.wait_status(); }
+  Status cancel() { return erased_.cancel(); }
   bool cancelled() const { return erased_.cancelled(); }
   const std::string& name() const { return erased_.name(); }
 
   /// Blocks; returns the typed value (rethrows failures).
   T get() const { return erased_.template get<T>(); }
+
+  /// Blocks; returns the typed value or the failure as a value.
+  Expected<T> result() const { return erased_.template result<T>(); }
 
   /// Schedules fn(value) once this future completes; returns the
   /// continuation's future.  Defined in scheduler.hpp (needs Scheduler).
@@ -207,12 +277,16 @@ class Future<void> {
 
   bool ready() const { return erased_.ready(); }
   void wait() const { erased_.wait(); }
-  bool cancel() { return erased_.cancel(); }
+  Status wait_status() const { return erased_.wait_status(); }
+  Status cancel() { return erased_.cancel(); }
   bool cancelled() const { return erased_.cancelled(); }
   const std::string& name() const { return erased_.name(); }
 
   /// Blocks until completion (rethrows failures).
   void get() const { erased_.wait(); }
+
+  /// Blocks; ok or the failure as a value.
+  Expected<void> result() const { return erased_.wait_status(); }
 
   template <typename F>
   auto then(std::string name, F&& fn) const;

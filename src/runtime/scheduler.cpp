@@ -66,13 +66,27 @@ AnyFuture Scheduler::submit_any(SubmitOptions opts,
   task->owner = this;
   task->lane = opts.lane < 0 ? -1 : opts.lane;
   task->fn = std::move(fn);
+  if (opts.timeout_s > 0.0)
+    task->deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts.timeout_s));
   // +1 submission guard: the task cannot fire until registration against
   // every dependency is finished, even if deps complete concurrently.
   task->deps_remaining.store(static_cast<int>(opts.deps.size()) + 1,
                              std::memory_order_relaxed);
+  std::shared_ptr<FaultInjector> injector;
   {
     std::lock_guard lock(mutex_);
     ++pending_;
+    injector = fault_injector_;
+  }
+  if (injector) {
+    // Decide faults here, in submission order, so the pattern for a given
+    // seed is independent of worker interleaving.
+    const FaultDecision plan = injector->plan(task->name);
+    task->inject_preempt = plan.preempt;
+    task->inject_delay_ms = plan.delay_ms;
   }
 
   for (const auto& dep : opts.deps) {
@@ -188,10 +202,22 @@ void Scheduler::run_task(const std::shared_ptr<detail::TaskState>& task,
   const auto t0 = std::chrono::steady_clock::now();
   std::any value;
   std::exception_ptr error;
-  try {
-    value = task->fn();
-  } catch (...) {
-    error = std::current_exception();
+  if (task->deadline && t0 > *task->deadline) {
+    error = std::make_exception_ptr(DeadlineExceeded(task->name));
+  } else if (task->inject_preempt) {
+    // The lane's simulated instance was reclaimed: fail without running the
+    // body so the failure is observable but side-effect free.
+    error = std::make_exception_ptr(
+        Preempted("task '" + task->name + "' lost its lane"));
+  } else {
+    if (task->inject_delay_ms > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(task->inject_delay_ms));
+    try {
+      value = task->fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
   }
   if (!task->name.empty()) {
     const auto t1 = std::chrono::steady_clock::now();
@@ -202,6 +228,9 @@ void Scheduler::run_task(const std::shared_ptr<detail::TaskState>& task,
     span.duration_s = std::chrono::duration<double>(t1 - t0).count();
     span.counters["worker"] = static_cast<double>(id);
     if (error) span.counters["failed"] = 1.0;
+    if (task->inject_preempt) span.counters["preempted"] = 1.0;
+    if (task->inject_delay_ms > 0.0)
+      span.counters["injected_delay_ms"] = task->inject_delay_ms;
     timeline_.record(std::move(span));
   }
   detail::complete_task(task, std::move(value), error);
@@ -255,6 +284,8 @@ void complete_task(std::shared_ptr<TaskState> state, std::any value,
     auto& s = item.state;
 
     std::vector<std::shared_ptr<TaskState>> children;
+    std::vector<std::function<void(const std::shared_ptr<TaskState>&)>>
+        callbacks;
     {
       std::lock_guard lock(s->mutex);
       if (s->ready)
@@ -265,6 +296,7 @@ void complete_task(std::shared_ptr<TaskState> state, std::any value,
       s->ready = true;
       s->fn = nullptr;  // release captures promptly
       children.swap(s->children);
+      callbacks.swap(s->callbacks);
     }
     s->status.store(TaskStatus::kDone, std::memory_order_release);
     s->cv.notify_all();
@@ -291,6 +323,7 @@ void complete_task(std::shared_ptr<TaskState> state, std::any value,
         child->owner->make_ready(child);
       }
     }
+    for (auto& cb : callbacks) cb(s);
   }
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "prof/trace.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/future.hpp"
 
 namespace sagesim::runtime {
@@ -47,6 +48,9 @@ struct SubmitOptions {
   std::string name;                ///< trace/span label ("" = untraced)
   int lane{-1};                    ///< pinned worker, -1 == stealable
   std::vector<AnyFuture> deps;     ///< must complete before the task runs
+  /// Wall-clock budget from submission; a task popped past its deadline
+  /// fails with DeadlineExceeded (retryable) without running.  0 == none.
+  double timeout_s{0.0};
 };
 
 /// Resolves a requested worker count: @p requested if > 0, else the
@@ -81,12 +85,13 @@ class Scheduler {
   /// Typed submit: wraps @p fn (no arguments) and returns Future<R>.
   template <typename F>
   auto submit(std::string name, F&& fn, std::vector<AnyFuture> deps = {},
-              int lane = -1) {
+              int lane = -1, double timeout_s = 0.0) {
     using R = std::invoke_result_t<std::decay_t<F>>;
     SubmitOptions opts;
     opts.name = std::move(name);
     opts.lane = lane;
     opts.deps = std::move(deps);
+    opts.timeout_s = timeout_s;
     if constexpr (std::is_void_v<R>) {
       return Future<void>(submit_any(
           std::move(opts),
@@ -116,6 +121,19 @@ class Scheduler {
   /// Host-time spans of executed named tasks (kind kScheduler, counter
   /// "worker"); timestamps are seconds since scheduler construction.
   prof::Timeline& timeline() { return timeline_; }
+
+  /// Attaches (or detaches, with nullptr) a fault injector.  Each subsequent
+  /// submit consults injector->plan() in submission order; the decision is
+  /// baked into the task, so execution-time interleaving cannot perturb a
+  /// seeded fault pattern.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    std::lock_guard lock(mutex_);
+    fault_injector_ = std::move(injector);
+  }
+  std::shared_ptr<FaultInjector> fault_injector() const {
+    std::lock_guard lock(mutex_);
+    return fault_injector_;
+  }
 
  private:
   friend void detail::complete_task(std::shared_ptr<detail::TaskState>,
@@ -147,6 +165,7 @@ class Scheduler {
   std::size_t pending_{0};    ///< submitted, not yet terminal
   std::size_t completed_{0};  ///< reached a terminal state
   std::size_t next_spot_{0};  ///< round-robin for external submits
+  std::shared_ptr<FaultInjector> fault_injector_;  ///< guarded by mutex_
 
   prof::Timeline timeline_;
   std::chrono::steady_clock::time_point epoch_{

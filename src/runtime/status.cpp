@@ -1,0 +1,67 @@
+#include "runtime/status.hpp"
+
+#include <any>
+
+#include "runtime/future.hpp"
+
+namespace sagesim {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kPreempted: return "preempted";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kDataLoss: return "data_loss";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = sagesim::to_string(code_);
+  if (retryable_) out += " (retryable)";
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void Status::throw_if_error() const {
+  if (!ok()) throw StatusError(*this);
+}
+
+Status Status::from_exception(std::exception_ptr error) {
+  if (!error) return Status{};
+  try {
+    std::rethrow_exception(error);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const Preempted& e) {
+    return Status::preempted(e.what());
+  } catch (const DeadlineExceeded& e) {
+    return Status::deadline_exceeded(e.what());
+  } catch (const runtime::TaskCancelled& e) {
+    return Status::cancelled(e.what());
+  } catch (const std::bad_any_cast& e) {
+    return Status::internal(std::string("future type mismatch: ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(e.what());
+  } catch (const std::out_of_range& e) {
+    return Status::out_of_range(e.what());
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kUnknown, e.what());
+  } catch (...) {
+    return Status::error(ErrorCode::kUnknown, "non-standard exception");
+  }
+}
+
+}  // namespace sagesim

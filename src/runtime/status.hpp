@@ -1,0 +1,219 @@
+// Failures as values: the sagesim Status / Expected<T> error surface.
+//
+// Fallible *operations* across dflow/core/ddp return Status (or Expected<T>
+// for value-producing calls) instead of the historical mix of bools,
+// sentinels and thrown exceptions.  A Status carries an error code, a
+// human-readable message, and a retryability flag — the bit the
+// fault-tolerance layer keys on: a retryable failure (spot preemption, a
+// missed deadline, a transiently unavailable rank) is worth re-running,
+// a non-retryable one (bad argument, data loss, type mismatch) is not.
+//
+// Exceptions remain for API *misuse* (programmer error: null callbacks,
+// out-of-range ranks at construction) per the repo's conventions; Status is
+// for operational failures that a correct program must handle.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sagesim {
+
+/// Canonical error space (a deliberately small absl-/gRPC-like set).
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     ///< caller passed something unusable
+  kOutOfRange,          ///< index/rank outside the valid domain
+  kFailedPrecondition,  ///< operation illegal in the current state
+  kDeadlineExceeded,    ///< per-task deadline/timeout elapsed (retryable)
+  kCancelled,           ///< cancellation observed before execution
+  kPreempted,           ///< simulated spot/capacity preemption (retryable)
+  kResourceExhausted,   ///< budget/capacity cap hit
+  kUnavailable,         ///< rank/instance currently down (retryable)
+  kDataLoss,            ///< corrupt or truncated persistent state
+  kInternal,            ///< invariant violation inside sagesim
+  kUnknown,             ///< unclassified failure
+};
+
+/// Stable display name ("ok", "preempted", ...).
+const char* to_string(ErrorCode code);
+
+/// Simulated spot-capacity preemption: the instance backing a lane/rank was
+/// reclaimed mid-task.  Always classified retryable — re-running the work on
+/// surviving or re-acquired capacity is the expected response.
+class Preempted : public std::runtime_error {
+ public:
+  explicit Preempted(const std::string& what)
+      : std::runtime_error("preempted: " + what) {}
+};
+
+/// A task outlived its submit-time deadline; classified retryable.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error("deadline exceeded: " + what) {}
+};
+
+class Status {
+ public:
+  /// Default construction is success; `return {};` / `return Status{};` is
+  /// the OK spelling (a static `ok()` factory would collide with the query).
+  Status() = default;
+
+  /// Builds a failure status.  @p code must not be kOk.
+  static Status error(ErrorCode code, std::string message,
+                      bool retryable = false) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    s.retryable_ = retryable;
+    return s;
+  }
+
+  // Named constructors for the common codes.  Retryability defaults encode
+  // the fault model: preemption/unavailability/deadline are transient.
+  static Status invalid_argument(std::string m) {
+    return error(ErrorCode::kInvalidArgument, std::move(m));
+  }
+  static Status out_of_range(std::string m) {
+    return error(ErrorCode::kOutOfRange, std::move(m));
+  }
+  static Status failed_precondition(std::string m) {
+    return error(ErrorCode::kFailedPrecondition, std::move(m));
+  }
+  static Status deadline_exceeded(std::string m) {
+    return error(ErrorCode::kDeadlineExceeded, std::move(m), true);
+  }
+  static Status cancelled(std::string m) {
+    return error(ErrorCode::kCancelled, std::move(m));
+  }
+  static Status preempted(std::string m) {
+    return error(ErrorCode::kPreempted, std::move(m), true);
+  }
+  static Status resource_exhausted(std::string m) {
+    return error(ErrorCode::kResourceExhausted, std::move(m));
+  }
+  static Status unavailable(std::string m) {
+    return error(ErrorCode::kUnavailable, std::move(m), true);
+  }
+  static Status data_loss(std::string m) {
+    return error(ErrorCode::kDataLoss, std::move(m));
+  }
+  static Status internal(std::string m) {
+    return error(ErrorCode::kInternal, std::move(m));
+  }
+
+  /// Classifies an exception into a Status: sagesim's own error types map to
+  /// their codes (Preempted -> kPreempted retryable, DeadlineExceeded ->
+  /// kDeadlineExceeded retryable, TaskCancelled -> kCancelled, StatusError
+  /// -> its embedded status); standard logic errors map to the argument
+  /// codes; anything else is kUnknown with the exception's what().
+  static Status from_exception(std::exception_ptr error);
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when the failure is transient and a retry may succeed.
+  bool retryable() const { return retryable_; }
+
+  /// "preempted (retryable): rank 2 reclaimed" — for logs and test output.
+  std::string to_string() const;
+
+  /// Throws StatusError when not ok; no-op on success.  The bridge for
+  /// callers that prefer exceptions (and for the deprecated shims).
+  void throw_if_error() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.retryable_ == b.retryable_;
+  }
+
+ private:
+  ErrorCode code_{ErrorCode::kOk};
+  bool retryable_{false};
+  std::string message_;
+};
+
+/// Exception form of a Status, thrown by throw_if_error() and the shims.
+/// Derives from std::runtime_error so legacy catch sites keep working.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Either a T or a failure Status.  The value-producing analogue of Status:
+/// `Expected<Stats> s = trainer.try_step(...)` then branch on s.
+template <typename T>
+class Expected {
+ public:
+  /// Success.  Implicit so functions can `return value;`.
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure.  Implicit so functions can `return Status::preempted(...);`.
+  /// An ok() status here is a programmer error.
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok())
+      throw std::logic_error("Expected<T>: constructed from OK status");
+  }
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  /// OK when a value is present, the failure otherwise.
+  const Status& status() const { return status_; }
+
+  /// Access; throws StatusError when holding a failure.
+  T& value() & {
+    if (!value_) throw StatusError(status_);
+    return *value_;
+  }
+  const T& value() const& {
+    if (!value_) throw StatusError(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!value_) throw StatusError(status_);
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return value_ ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  Status status_;  // ok() iff value_ holds
+  std::optional<T> value_;
+};
+
+/// Status-only specialization so `Expected<void>` works generically.
+template <>
+class Expected<void> {
+ public:
+  Expected() = default;                                       // success
+  Expected(Status status) : status_(std::move(status)) {}     // NOLINT
+  bool has_value() const { return status_.ok(); }
+  explicit operator bool() const { return has_value(); }
+  const Status& status() const { return status_; }
+  void value() const { status_.throw_if_error(); }
+
+ private:
+  Status status_;
+};
+
+}  // namespace sagesim

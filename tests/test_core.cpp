@@ -203,9 +203,9 @@ TEST_F(WorkflowFixture, StagesRunInOrderAndShareState) {
         c.get<int>("x") += 1;
       });
   const auto report = wf.run(ctx);
-  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.ok());
   ASSERT_EQ(report.stages.size(), 2u);
-  EXPECT_TRUE(report.stages[0].ok);
+  EXPECT_TRUE(report.stages[0].ok());
   EXPECT_EQ(ctx.get<int>("x"), 42);
 }
 
@@ -219,11 +219,11 @@ TEST_F(WorkflowFixture, FailureSkipsLaterStagesButRunsTeardown) {
       .stage("teardown", [&](core::WorkflowContext&) { teardown_ran = true; },
              /*always_run=*/true);
   const auto report = wf.run(ctx);
-  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.ok());
   EXPECT_FALSE(later_ran);
   EXPECT_TRUE(teardown_ran);
-  EXPECT_EQ(report.stages[0].error, "exploded");
-  EXPECT_NE(report.stages[1].error.find("skipped"), std::string::npos);
+  EXPECT_EQ(report.stages[0].error(), "exploded");
+  EXPECT_NE(report.stages[1].error().find("skipped"), std::string::npos);
 }
 
 TEST_F(WorkflowFixture, TracksSimGpuTimePerStage) {
@@ -276,7 +276,7 @@ TEST_F(WorkflowFixture, DagDiamondRespectsExplicitDeps) {
              },
              core::StageOptions{.after = {"clean", "featurize"}});
   const auto report = wf.run(ctx);
-  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.ok());
   EXPECT_EQ(ctx.get<int>("model"), 890);
   EXPECT_LT(fetch_t.load(), clean_t.load());
   EXPECT_LT(fetch_t.load(), feat_t.load());
@@ -310,10 +310,10 @@ TEST_F(WorkflowFixture, DagFailureOnlyPoisonsDescendants) {
              [&](core::WorkflowContext&) { child_of_bad_ran = true; },
              core::StageOptions{.after = {"bad"}});
   const auto report = wf.run(ctx);
-  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.ok());
   EXPECT_TRUE(sibling_ran);       // disjoint branch is unaffected
   EXPECT_FALSE(child_of_bad_ran); // downstream of the failure is skipped
-  EXPECT_NE(report.stages[3].error.find("skipped"), std::string::npos);
+  EXPECT_NE(report.stages[3].error().find("skipped"), std::string::npos);
 }
 
 TEST_F(WorkflowFixture, DagAlwaysRunStaysPoisoned) {
@@ -330,7 +330,7 @@ TEST_F(WorkflowFixture, DagAlwaysRunStaysPoisoned) {
              [&](core::WorkflowContext&) { resurrected = true; },
              core::StageOptions{.after = {"teardown"}});
   const auto report = wf.run(ctx);
-  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.ok());
   EXPECT_TRUE(teardown_ran);
   EXPECT_FALSE(resurrected);
 }
@@ -349,6 +349,6 @@ TEST_F(WorkflowFixture, DagRootsWithoutDepsMayStartImmediately) {
              },
              core::StageOptions{.after = {"left", "right"}});
   const auto report = wf.run(ctx);
-  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.ok());
   EXPECT_EQ(ctx.get<int>("sum"), 3);
 }

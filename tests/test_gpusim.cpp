@@ -387,6 +387,23 @@ TEST(Executor, PropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(Executor, AbortsRemainingChunksAfterError) {
+  gpu::Executor exec(2);
+  // i == 0 lives in the first claimed chunk and throws immediately.  With
+  // abort-on-error only chunks already mid-body keep running; the rest are
+  // drained without invoking fn, so far fewer than half the indices run.
+  std::atomic<std::uint64_t> ran{0};
+  const std::uint64_t n = 10000;
+  EXPECT_THROW(exec.parallel_for(n,
+                                 [&](std::uint64_t i) {
+                                   if (i == 0)
+                                     throw std::runtime_error("poison");
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), n / 2);
+}
+
 TEST(Executor, HandlesZeroAndOne) {
   gpu::Executor exec(2);
   int count = 0;

@@ -220,7 +220,7 @@ TEST(Runtime, CancelPreventsExecution) {
   std::atomic<bool> ran{false};
   auto f = sched.submit("cancellable", [&] { ran.store(true); return 1; },
                         {gate});
-  EXPECT_TRUE(f.cancel());
+  EXPECT_TRUE(f.cancel().ok());
   gate.deliver({});
   EXPECT_THROW(f.get(), rt::TaskCancelled);
   EXPECT_TRUE(f.cancelled());
@@ -243,7 +243,7 @@ TEST(Runtime, CancelAfterCompletionIsHarmless) {
   rt::Scheduler sched(2);
   auto f = sched.submit("done", [] { return 5; });
   EXPECT_EQ(f.get(), 5);
-  EXPECT_FALSE(f.cancel());
+  EXPECT_EQ(f.cancel().code(), sagesim::ErrorCode::kFailedPrecondition);
   EXPECT_FALSE(f.cancelled());
   EXPECT_EQ(f.get(), 5);
 }

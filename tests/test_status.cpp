@@ -1,0 +1,127 @@
+// Unit tests for the sagesim::Status / Expected<T> error surface: codes,
+// retryability defaults, exception classification, and the Expected value
+// semantics every try_* API in dflow/core/ddp builds on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/future.hpp"
+#include "runtime/status.hpp"
+
+using sagesim::ErrorCode;
+using sagesim::Expected;
+using sagesim::Status;
+using sagesim::StatusError;
+
+TEST(Status, DefaultConstructedIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_FALSE(s.retryable());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, NamedConstructorsCarryCodeAndMessage) {
+  const Status s = Status::failed_precondition("not ready");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(s.message(), "not ready");
+  EXPECT_FALSE(s.retryable());
+}
+
+TEST(Status, TransientCodesAreRetryableByDefault) {
+  EXPECT_TRUE(Status::preempted("x").retryable());
+  EXPECT_TRUE(Status::deadline_exceeded("x").retryable());
+  EXPECT_TRUE(Status::unavailable("x").retryable());
+  EXPECT_FALSE(Status::invalid_argument("x").retryable());
+  EXPECT_FALSE(Status::data_loss("x").retryable());
+  EXPECT_FALSE(Status::internal("x").retryable());
+}
+
+TEST(Status, ToStringNamesCodeAndRetryability) {
+  const std::string s = Status::preempted("rank 2 reclaimed").to_string();
+  EXPECT_NE(s.find("preempted"), std::string::npos);
+  EXPECT_NE(s.find("retryable"), std::string::npos);
+  EXPECT_NE(s.find("rank 2 reclaimed"), std::string::npos);
+}
+
+TEST(Status, ThrowIfErrorRoundTripsThroughStatusError) {
+  Status{}.throw_if_error();  // no-op on success
+  try {
+    Status::data_loss("torn checkpoint").throw_if_error();
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), ErrorCode::kDataLoss);
+    EXPECT_EQ(e.status().message(), "torn checkpoint");
+  }
+}
+
+TEST(Status, FromExceptionClassifiesSagesimErrors) {
+  auto classify = [](auto&& make) {
+    try {
+      make();
+    } catch (...) {
+      return Status::from_exception(std::current_exception());
+    }
+    return Status{};
+  };
+  const Status pre =
+      classify([] { throw sagesim::Preempted("lane 1"); });
+  EXPECT_EQ(pre.code(), ErrorCode::kPreempted);
+  EXPECT_TRUE(pre.retryable());
+
+  const Status dl =
+      classify([] { throw sagesim::DeadlineExceeded("10ms"); });
+  EXPECT_EQ(dl.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(dl.retryable());
+
+  const Status embedded = classify(
+      [] { throw StatusError(Status::unavailable("rank down")); });
+  EXPECT_EQ(embedded.code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(embedded.retryable());
+
+  EXPECT_EQ(classify([] { throw std::invalid_argument("bad"); }).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(classify([] { throw std::out_of_range("oob"); }).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(classify([] { throw std::runtime_error("other"); }).code(),
+            ErrorCode::kUnknown);
+  EXPECT_EQ(classify([] { throw 42; }).code(), ErrorCode::kUnknown);
+}
+
+TEST(Status, EqualityComparesCodeAndRetryabilityNotMessage) {
+  EXPECT_EQ(Status::preempted("a"), Status::preempted("b"));
+  EXPECT_FALSE(Status::preempted("a") == Status::unavailable("a"));
+  EXPECT_EQ(Status{}, Status{});
+}
+
+TEST(Expected, HoldsValueOnSuccess) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e.status().ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsStatusOnFailure) {
+  Expected<int> e = Status::preempted("gone");
+  ASSERT_FALSE(e);
+  EXPECT_EQ(e.status().code(), ErrorCode::kPreempted);
+  EXPECT_THROW(e.value(), StatusError);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Expected, RejectsOkStatusConstruction) {
+  EXPECT_THROW(([] { Expected<int> e{Status{}}; }()), std::logic_error);
+}
+
+TEST(Expected, VoidSpecializationTracksStatus) {
+  Expected<void> good;
+  EXPECT_TRUE(good.has_value());
+  good.value();  // no throw
+
+  Expected<void> bad = Status::data_loss("short read");
+  EXPECT_FALSE(bad);
+  EXPECT_THROW(bad.value(), StatusError);
+}
