@@ -20,10 +20,8 @@ namespace {
 std::unique_ptr<nn::Sequential> make_model(std::size_t in) {
   stats::Rng rng(99);
   auto m = std::make_unique<nn::Sequential>();
-  m->emplace<nn::Dense>(in, 256, rng);
-  m->emplace<nn::ReLU>();
-  m->emplace<nn::Dense>(256, 256, rng);
-  m->emplace<nn::ReLU>();
+  m->emplace<nn::Dense>(in, 256, rng, nn::Activation::kRelu);
+  m->emplace<nn::Dense>(256, 256, rng, nn::Activation::kRelu);
   m->emplace<nn::Dense>(256, 10, rng);
   return m;
 }

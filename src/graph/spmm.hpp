@@ -10,9 +10,29 @@ namespace sagesim::graph {
 
 /// Y = A X where A is a weighted CSR operator (e.g. the normalized
 /// adjacency) and X is num_nodes x d.  Runs as a simulated row-parallel
-/// kernel when @p dev is non-null, host loops otherwise.
+/// kernel when @p dev is non-null; on the host it dispatches on
+/// tensor::ops::host_backend() — the cache-blocked parallel kernel by
+/// default, the serial reference row loop under kNaive.  Both host paths
+/// and the device path are bit-identical (per-row edge order is fixed).
 /// Shapes validated: X.rows() == A.num_nodes(), Y same shape as X.
 void spmm(gpu::Device* dev, const NormalizedAdjacency& a,
           const tensor::Tensor& x, tensor::Tensor& y);
 
+namespace detail {
+
+/// Serial reference: one row at a time, edges ascending, all d columns per
+/// edge.
+void spmm_host_reference(const NormalizedAdjacency& a, const tensor::Tensor& x,
+                         tensor::Tensor& y);
+
+/// Cache-blocked parallel kernel: row blocks are distributed over
+/// gpu::Executor::parallel_for, and the feature dimension is tiled so the
+/// gathered slices of X stay L1/L2-resident while a block's rows (which
+/// share neighbors under any community structure) reuse them.  Per output
+/// element the edge accumulation order is unchanged, so the result is
+/// bit-identical to the reference.
+void spmm_host_blocked(const NormalizedAdjacency& a, const tensor::Tensor& x,
+                       tensor::Tensor& y);
+
+}  // namespace detail
 }  // namespace sagesim::graph

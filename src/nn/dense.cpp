@@ -7,8 +7,10 @@
 namespace sagesim::nn {
 
 Dense::Dense(std::size_t in_features, std::size_t out_features,
-             stats::Rng& rng)
-    : weight_(in_features, out_features), bias_(1, out_features) {
+             stats::Rng& rng, Activation activation)
+    : weight_(in_features, out_features),
+      bias_(1, out_features),
+      activation_(activation) {
   weight_.value.init_glorot(rng);
   bias_.value.fill(0.0f);
 }
@@ -22,23 +24,35 @@ tensor::Tensor Dense::forward(gpu::Device* dev, const tensor::Tensor& x,
                                 std::to_string(weight_.value.rows()));
   cached_input_ = x;
   tensor::Tensor y(x.rows(), weight_.value.cols());
-  tensor::ops::gemm(dev, x, weight_.value, y);
-  tensor::ops::add_bias(dev, y, bias_.value);
+  if (activation_ == Activation::kRelu) {
+    cached_pre_ = tensor::Tensor(x.rows(), weight_.value.cols());
+    tensor::ops::gemm_bias_relu(dev, x, weight_.value, bias_.value,
+                                cached_pre_, y);
+  } else {
+    tensor::ops::gemm_bias(dev, x, weight_.value, bias_.value, y);
+  }
   return y;
 }
 
 tensor::Tensor Dense::backward(gpu::Device* dev, const tensor::Tensor& dy) {
   if (cached_input_.empty())
     throw std::logic_error("Dense::backward before forward");
+  const tensor::Tensor* grad = &dy;
+  tensor::Tensor dpre;
+  if (activation_ == Activation::kRelu) {
+    dpre = tensor::Tensor(dy.rows(), dy.cols());
+    tensor::ops::relu_backward(dev, cached_pre_, dy, dpre);
+    grad = &dpre;
+  }
   // dW += x^T dy ; db += column sums ; dx = dy W^T
-  tensor::ops::gemm(dev, cached_input_, dy, weight_.grad,
+  tensor::ops::gemm(dev, cached_input_, *grad, weight_.grad,
                     /*ta=*/true, /*tb=*/false, 1.0f, /*accumulate=*/true);
-  tensor::Tensor db(1, dy.cols());
-  tensor::ops::bias_grad(dev, dy, db);
+  tensor::Tensor db(1, grad->cols());
+  tensor::ops::bias_grad(dev, *grad, db);
   tensor::ops::axpy(dev, 1.0f, db, bias_.grad);
 
   tensor::Tensor dx(cached_input_.rows(), cached_input_.cols());
-  tensor::ops::gemm(dev, dy, weight_.value, dx, /*ta=*/false, /*tb=*/true);
+  tensor::ops::gemm(dev, *grad, weight_.value, dx, /*ta=*/false, /*tb=*/true);
   return dx;
 }
 

@@ -6,16 +6,23 @@
 
 namespace sagesim::nn {
 
-/// Fully connected layer: y = x W + b, W is in x out.
+/// Fully connected layer: y = x W + b, W is in x out.  With
+/// Activation::kRelu the ReLU is fused into the GEMM's output pass
+/// (one sweep over y instead of three kernel launches) and the backward
+/// applies the ReLU mask before the weight/input gradients — equivalent to
+/// a separate ReLU layer, minus the extra passes.
 class Dense : public Layer {
  public:
-  Dense(std::size_t in_features, std::size_t out_features, stats::Rng& rng);
+  Dense(std::size_t in_features, std::size_t out_features, stats::Rng& rng,
+        Activation activation = Activation::kNone);
 
   tensor::Tensor forward(gpu::Device* dev, const tensor::Tensor& x,
                          bool train) override;
   tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
-  std::string name() const override { return "dense"; }
+  std::string name() const override {
+    return activation_ == Activation::kRelu ? "dense_relu" : "dense";
+  }
 
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
@@ -23,7 +30,9 @@ class Dense : public Layer {
  private:
   Param weight_;
   Param bias_;
+  Activation activation_;
   tensor::Tensor cached_input_;
+  tensor::Tensor cached_pre_;  ///< pre-activation, kRelu only
 };
 
 /// Element-wise ReLU.

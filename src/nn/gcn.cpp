@@ -8,8 +8,11 @@ namespace sagesim::nn {
 
 GcnConv::GcnConv(const graph::NormalizedAdjacency* adj,
                  std::size_t in_features, std::size_t out_features,
-                 stats::Rng& rng)
-    : adj_(adj), weight_(in_features, out_features), bias_(1, out_features) {
+                 stats::Rng& rng, Activation activation)
+    : adj_(adj),
+      weight_(in_features, out_features),
+      bias_(1, out_features),
+      activation_(activation) {
   if (adj_ == nullptr)
     throw std::invalid_argument("GcnConv: adjacency must not be null");
   weight_.value.init_glorot(rng);
@@ -34,24 +37,38 @@ tensor::Tensor GcnConv::forward(gpu::Device* dev, const tensor::Tensor& x,
   cached_agg_ = tensor::Tensor(x.rows(), x.cols());
   graph::spmm(dev, *adj_, x, cached_agg_);  // Â X
   tensor::Tensor y(x.rows(), weight_.value.cols());
-  tensor::ops::gemm(dev, cached_agg_, weight_.value, y);  // (Â X) W
-  tensor::ops::add_bias(dev, y, bias_.value);
+  if (activation_ == Activation::kRelu) {
+    // act((Â X) W + b) in a single output pass.
+    cached_pre_ = tensor::Tensor(x.rows(), weight_.value.cols());
+    tensor::ops::gemm_bias_relu(dev, cached_agg_, weight_.value, bias_.value,
+                                cached_pre_, y);
+  } else {
+    tensor::ops::gemm_bias(dev, cached_agg_, weight_.value, bias_.value, y);
+  }
   return y;
 }
 
 tensor::Tensor GcnConv::backward(gpu::Device* dev, const tensor::Tensor& dy) {
   if (cached_agg_.empty())
     throw std::logic_error("GcnConv::backward before forward");
+  const tensor::Tensor* grad = &dy;
+  tensor::Tensor dpre;
+  if (activation_ == Activation::kRelu) {
+    dpre = tensor::Tensor(dy.rows(), dy.cols());
+    tensor::ops::relu_backward(dev, cached_pre_, dy, dpre);
+    grad = &dpre;
+  }
   // dW += (Â X)^T dy ; db += colsum(dy)
-  tensor::ops::gemm(dev, cached_agg_, dy, weight_.grad, /*ta=*/true,
+  tensor::ops::gemm(dev, cached_agg_, *grad, weight_.grad, /*ta=*/true,
                     /*tb=*/false, 1.0f, /*accumulate=*/true);
-  tensor::Tensor db(1, dy.cols());
-  tensor::ops::bias_grad(dev, dy, db);
+  tensor::Tensor db(1, grad->cols());
+  tensor::ops::bias_grad(dev, *grad, db);
   tensor::ops::axpy(dev, 1.0f, db, bias_.grad);
 
   // dX = Â^T (dy W^T) = Â (dy W^T), Â symmetric.
-  tensor::Tensor dywt(dy.rows(), weight_.value.rows());
-  tensor::ops::gemm(dev, dy, weight_.value, dywt, /*ta=*/false, /*tb=*/true);
+  tensor::Tensor dywt(grad->rows(), weight_.value.rows());
+  tensor::ops::gemm(dev, *grad, weight_.value, dywt, /*ta=*/false,
+                    /*tb=*/true);
   tensor::Tensor dx(dywt.rows(), dywt.cols());
   graph::spmm(dev, *adj_, dywt, dx);
   return dx;
@@ -60,8 +77,7 @@ tensor::Tensor GcnConv::backward(gpu::Device* dev, const tensor::Tensor& dy) {
 Gcn::Gcn(const graph::NormalizedAdjacency* adj, const Config& config)
     : config_(config),
       rng_(config.seed),
-      conv1_(adj, config.in_features, config.hidden, rng_),
-      relu_(),
+      conv1_(adj, config.in_features, config.hidden, rng_, Activation::kRelu),
       dropout_(config.dropout, config.seed ^ 0x5eedull),
       conv2_(adj, config.hidden, config.num_classes, rng_) {
   if (config.in_features == 0 || config.num_classes == 0)
@@ -70,8 +86,7 @@ Gcn::Gcn(const graph::NormalizedAdjacency* adj, const Config& config)
 
 tensor::Tensor Gcn::forward(gpu::Device* dev, const tensor::Tensor& x,
                             bool train) {
-  tensor::Tensor h = conv1_.forward(dev, x, train);
-  h = relu_.forward(dev, h, train);
+  tensor::Tensor h = conv1_.forward(dev, x, train);  // fused ReLU epilogue
   h = dropout_.forward(dev, h, train);
   return conv2_.forward(dev, h, train);
 }
@@ -79,7 +94,6 @@ tensor::Tensor Gcn::forward(gpu::Device* dev, const tensor::Tensor& x,
 void Gcn::backward(gpu::Device* dev, const tensor::Tensor& dlogits) {
   tensor::Tensor g = conv2_.backward(dev, dlogits);
   g = dropout_.backward(dev, g);
-  g = relu_.backward(dev, g);
   conv1_.backward(dev, g);
 }
 

@@ -11,13 +11,16 @@
 
 namespace sagesim::nn {
 
-/// One GCN convolution: H = Â X W + b.  The layer borrows the normalized
-/// adjacency; the caller keeps it alive and consistent with the node order
-/// of the inputs.
+/// One GCN convolution: H = act(Â X W + b).  The layer borrows the
+/// normalized adjacency; the caller keeps it alive and consistent with the
+/// node order of the inputs.  With Activation::kRelu the activation is
+/// fused into the GEMM's output pass (gemm_bias_relu): the forward makes
+/// one sweep over H instead of three kernel launches.
 class GcnConv : public Layer {
  public:
   GcnConv(const graph::NormalizedAdjacency* adj, std::size_t in_features,
-          std::size_t out_features, stats::Rng& rng);
+          std::size_t out_features, stats::Rng& rng,
+          Activation activation = Activation::kNone);
 
   /// Swaps the graph operator (used when the same weights are applied to a
   /// different subgraph, e.g. distributed training replicas).
@@ -33,7 +36,9 @@ class GcnConv : public Layer {
   const graph::NormalizedAdjacency* adj_;
   Param weight_;
   Param bias_;
+  Activation activation_;
   tensor::Tensor cached_agg_;  ///< Â X, needed for dW
+  tensor::Tensor cached_pre_;  ///< pre-activation, kRelu only
 };
 
 /// Two-layer GCN: logits = Â ReLU(Â X W0 + b0) W1 + b1, with dropout on the
@@ -74,8 +79,7 @@ class Gcn {
  private:
   Config config_;
   stats::Rng rng_;  // declared before the convs: init order matters
-  GcnConv conv1_;
-  ReLU relu_;
+  GcnConv conv1_;  ///< fused Â X W0 + b0 -> ReLU
   Dropout dropout_;
   GcnConv conv2_;
 };

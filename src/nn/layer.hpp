@@ -11,6 +11,11 @@
 
 namespace sagesim::nn {
 
+/// Epilogue a matmul-backed layer fuses into its output pass (see
+/// tensor::ops::gemm_bias_relu): kRelu folds the activation into the layer
+/// instead of a separate elementwise sweep.
+enum class Activation { kNone, kRelu };
+
 /// A trainable parameter and its gradient accumulator.
 struct Param {
   tensor::Tensor value;

@@ -1,0 +1,268 @@
+#include "tensor/gemm_host.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define SAGESIM_GEMM_AVX2 1
+#include <immintrin.h>
+#endif
+
+#include "gpusim/executor.hpp"
+
+namespace sagesim::tensor::ops {
+
+namespace {
+
+HostBackend backend_from_env() {
+  const char* env = std::getenv("SAGESIM_HOST_BACKEND");
+  if (env != nullptr && std::string(env) == "naive") return HostBackend::kNaive;
+  return HostBackend::kBlocked;
+}
+
+std::atomic<HostBackend>& backend_slot() {
+  static std::atomic<HostBackend> slot{backend_from_env()};
+  return slot;
+}
+
+}  // namespace
+
+HostBackend host_backend() {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+void set_host_backend(HostBackend backend) {
+  backend_slot().store(backend, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+namespace {
+
+// Register-tile shape of the micro-kernel: MR rows of A against an
+// NR-column panel of B.  The panel width is ISA-dispatched: 4x8 keeps the
+// whole accumulator tile in eight 128-bit vector registers at the baseline
+// x86-64 ISA (the portable floor), 4x16 fills eight 256-bit registers when
+// AVX2 is available at runtime.  Wider tiles than the register file spill
+// the accumulators and fall off a cliff.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNrSse = 8;
+// Rows per packed A panel: the parallel grain.  One panel's packed form
+// (MC x k floats) stays L2-resident for the course's k range.
+constexpr std::size_t kMc = 64;
+
+inline float a_at(const GemmSpec& s, std::size_t i, std::size_t p) {
+  return s.ta ? s.a[p * s.lda + i] : s.a[i * s.lda + p];
+}
+
+inline float b_at(const GemmSpec& s, std::size_t p, std::size_t j) {
+  return s.tb ? s.b[j * s.ldb + p] : s.b[p * s.ldb + j];
+}
+
+// Shared by both backends so the epilogue math is one code path: the
+// reduction result is transformed and stored with the exact same float
+// operation sequence either way.  The epilogue is a template parameter so
+// the switch is resolved once per row span and the jj loop vectorizes —
+// cells are independent, so span order does not affect bit-identity.
+template <Epilogue E>
+void write_span(const GemmSpec& s, std::size_t i, std::size_t j0,
+                std::size_t jw, const float* __restrict accrow) {
+  float* __restrict c = s.c + i * s.n + j0;
+  const float* __restrict bias =
+      s.bias != nullptr ? s.bias + j0 : nullptr;
+  float* __restrict pre =
+      s.pre != nullptr ? s.pre + i * s.n + j0 : nullptr;
+  for (std::size_t jj = 0; jj < jw; ++jj) {
+    float r = s.alpha * accrow[jj];
+    if (s.accumulate) r = c[jj] + r;
+    if constexpr (E == Epilogue::kNone) {
+      c[jj] = r;
+    } else if constexpr (E == Epilogue::kBias) {
+      c[jj] = r + bias[jj];
+    } else {
+      const float p = r + bias[jj];
+      if (pre != nullptr) pre[jj] = p;
+      c[jj] = p > 0.0f ? p : 0.0f;
+    }
+  }
+}
+
+inline void write_row(const GemmSpec& s, std::size_t i, std::size_t j0,
+                      std::size_t jw, const float* accrow) {
+  switch (s.epilogue) {
+    case Epilogue::kNone:
+      write_span<Epilogue::kNone>(s, i, j0, jw, accrow);
+      break;
+    case Epilogue::kBias:
+      write_span<Epilogue::kBias>(s, i, j0, jw, accrow);
+      break;
+    case Epilogue::kBiasRelu:
+      write_span<Epilogue::kBiasRelu>(s, i, j0, jw, accrow);
+      break;
+  }
+}
+
+inline void write_cell(const GemmSpec& s, std::size_t i, std::size_t j,
+                       float acc) {
+  write_row(s, i, j, 1, &acc);
+}
+
+/// Packs the NR-wide column panel @p jp of op(B) into @p dst, p-major with
+/// zero padding past n.  After packing, the micro-kernel reads B with unit
+/// stride whether or not tb was set.
+template <std::size_t NR>
+void pack_b_panel(const GemmSpec& s, std::size_t jp, float* dst) {
+  const std::size_t j0 = jp * NR;
+  const std::size_t jw = std::min(NR, s.n - j0);
+  for (std::size_t p = 0; p < s.k; ++p, dst += NR) {
+    for (std::size_t jj = 0; jj < jw; ++jj) dst[jj] = b_at(s, p, j0 + jj);
+    for (std::size_t jj = jw; jj < NR; ++jj) dst[jj] = 0.0f;
+  }
+}
+
+/// Packs rows [i0, i0 + mrows) of op(A) into MR-row micro-panels, p-major
+/// with zero padding past m.
+void pack_a_panel(const GemmSpec& s, std::size_t i0, std::size_t mrows,
+                  float* dst) {
+  for (std::size_t mi = 0; mi * kMr < mrows; ++mi) {
+    const std::size_t ib = i0 + mi * kMr;
+    const std::size_t iw = std::min(kMr, mrows - mi * kMr);
+    for (std::size_t p = 0; p < s.k; ++p, dst += kMr) {
+      for (std::size_t ii = 0; ii < iw; ++ii) dst[ii] = a_at(s, ib + ii, p);
+      for (std::size_t ii = iw; ii < kMr; ++ii) dst[ii] = 0.0f;
+    }
+  }
+}
+
+/// MR x NR micro-kernel (portable): both operands stream from packed
+/// panels with unit stride; each accumulator advances in ascending k,
+/// which is the bit-identity contract with the naive reference.
+/// __restrict is what lets the compiler keep the accumulator tile in
+/// registers across the whole k loop instead of emitting alias version
+/// checks per row.
+void micro_kernel_sse(const float* __restrict ap, const float* __restrict bp,
+                      std::size_t k, float* __restrict acc) {
+  for (std::size_t p = 0; p < k; ++p, ap += kMr, bp += kNrSse) {
+    for (std::size_t ii = 0; ii < kMr; ++ii) {
+      const float av = ap[ii];
+      float* __restrict row = acc + ii * kNrSse;
+      for (std::size_t jj = 0; jj < kNrSse; ++jj) row[jj] += av * bp[jj];
+    }
+  }
+}
+
+#if defined(SAGESIM_GEMM_AVX2)
+constexpr std::size_t kNrAvx2 = 16;
+
+/// 4x16 micro-kernel holding the accumulator tile in eight ymm registers.
+/// Plain vmulps/vaddps (no FMA), ascending k per cell — bit-identical to
+/// the portable and naive paths.
+__attribute__((target("avx2"))) void micro_kernel_avx2(
+    const float* __restrict ap, const float* __restrict bp, std::size_t k,
+    float* __restrict acc) {
+  __m256 c0[kMr], c1[kMr];
+  for (std::size_t ii = 0; ii < kMr; ++ii) {
+    c0[ii] = _mm256_setzero_ps();
+    c1[ii] = _mm256_setzero_ps();
+  }
+  for (std::size_t p = 0; p < k; ++p, ap += kMr, bp += kNrAvx2) {
+    const __m256 b0 = _mm256_loadu_ps(bp);
+    const __m256 b1 = _mm256_loadu_ps(bp + 8);
+    for (std::size_t ii = 0; ii < kMr; ++ii) {
+      const __m256 av = _mm256_set1_ps(ap[ii]);
+      c0[ii] = _mm256_add_ps(c0[ii], _mm256_mul_ps(av, b0));
+      c1[ii] = _mm256_add_ps(c1[ii], _mm256_mul_ps(av, b1));
+    }
+  }
+  for (std::size_t ii = 0; ii < kMr; ++ii) {
+    _mm256_storeu_ps(acc + ii * kNrAvx2, c0[ii]);
+    _mm256_storeu_ps(acc + ii * kNrAvx2 + 8, c1[ii]);
+  }
+}
+
+bool gemm_use_avx2() {
+  static const bool v = __builtin_cpu_supports("avx2") > 0;
+  return v;
+}
+#endif  // SAGESIM_GEMM_AVX2
+
+template <std::size_t NR, typename MicroKernel>
+void run_row_panel(const GemmSpec& s, const float* bpack, std::size_t ip,
+                   MicroKernel mk) {
+  const std::size_t i0 = ip * kMc;
+  const std::size_t mrows = std::min(kMc, s.m - i0);
+  std::vector<float> apack(((mrows + kMr - 1) / kMr) * s.k * kMr);
+  pack_a_panel(s, i0, mrows, apack.data());
+
+  const std::size_t npanels = (s.n + NR - 1) / NR;
+  for (std::size_t mi = 0; mi * kMr < mrows; ++mi) {
+    const std::size_t iw = std::min(kMr, mrows - mi * kMr);
+    const float* ap = apack.data() + mi * s.k * kMr;
+    for (std::size_t jp = 0; jp < npanels; ++jp) {
+      std::array<float, kMr * NR> acc{};
+      mk(ap, bpack + jp * s.k * NR, s.k, acc.data());
+      const std::size_t j0 = jp * NR;
+      const std::size_t jw = std::min(NR, s.n - j0);
+      for (std::size_t ii = 0; ii < iw; ++ii)
+        write_row(s, i0 + mi * kMr + ii, j0, jw, acc.data() + ii * NR);
+    }
+  }
+}
+
+template <std::size_t NR, typename MicroKernel>
+void run_blocked(const GemmSpec& s, MicroKernel mk) {
+  const std::size_t npanels = (s.n + NR - 1) / NR;
+  std::vector<float> bpack(npanels * s.k * NR);
+  const std::size_t mpanels = (s.m + kMc - 1) / kMc;
+
+  // Below ~64^3 the packing traffic rivals the multiply itself and the
+  // parallel fork/join dominates; run everything on the calling thread.
+  const bool serial = s.m * s.n * s.k < kMc * kMc * kMc;
+  if (serial) {
+    for (std::size_t jp = 0; jp < npanels; ++jp)
+      pack_b_panel<NR>(s, jp, bpack.data() + jp * s.k * NR);
+    for (std::size_t ip = 0; ip < mpanels; ++ip)
+      run_row_panel<NR>(s, bpack.data(), ip, mk);
+    return;
+  }
+
+  auto& ex = gpu::Executor::shared();
+  ex.parallel_for(npanels, [&](std::uint64_t jp) {
+    pack_b_panel<NR>(s, static_cast<std::size_t>(jp),
+                     bpack.data() + static_cast<std::size_t>(jp) * s.k * NR);
+  });
+  ex.parallel_for(mpanels, [&](std::uint64_t ip) {
+    run_row_panel<NR>(s, bpack.data(), static_cast<std::size_t>(ip), mk);
+  });
+}
+
+}  // namespace
+
+void gemm_host_naive(const GemmSpec& s) {
+  for (std::size_t i = 0; i < s.m; ++i) {
+    for (std::size_t j = 0; j < s.n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < s.k; ++p) acc += a_at(s, i, p) * b_at(s, p, j);
+      write_cell(s, i, j, acc);
+    }
+  }
+}
+
+void gemm_host_blocked(const GemmSpec& s) {
+  if (s.m == 0 || s.n == 0) return;
+
+#if defined(SAGESIM_GEMM_AVX2)
+  if (gemm_use_avx2()) {
+    run_blocked<kNrAvx2>(s, micro_kernel_avx2);
+    return;
+  }
+#endif
+  run_blocked<kNrSse>(s, micro_kernel_sse);
+}
+
+}  // namespace detail
+}  // namespace sagesim::tensor::ops

@@ -1,0 +1,64 @@
+// Host GEMM engine: the packed/blocked parallel kernel behind
+// tensor::ops::gemm and its fused-epilogue variants, plus the naive
+// reference loops it is benchmarked and regression-tested against.
+//
+// Both backends accumulate every output element as the same ascending-k
+// chain of float multiply-adds, so they are bit-identical by construction:
+// packing changes the memory layout, never the reduction order.  That is
+// what lets the training stack swap kernels without perturbing the
+// checkpoint bit-identity ladder (see DESIGN.md "Compute kernels").
+#pragma once
+
+#include <cstddef>
+
+namespace sagesim::tensor::ops {
+
+/// Which implementation host-path (dev == nullptr) dense/sparse kernels
+/// run.  kBlocked (default) is the packed, cache-blocked, parallel engine;
+/// kNaive forces the serial reference loops.  The two are bit-identical,
+/// so the toggle exists for benchmarking and regression guards, not
+/// numerics.  First use reads SAGESIM_HOST_BACKEND=naive|blocked.
+enum class HostBackend { kBlocked, kNaive };
+HostBackend host_backend();
+void set_host_backend(HostBackend backend);
+
+namespace detail {
+
+/// Output transform applied in the same pass that writes C.
+enum class Epilogue {
+  kNone,      ///< c = alpha * ab (+ c if accumulate)
+  kBias,      ///< ... + bias[j]
+  kBiasRelu,  ///< pre = ... + bias[j]; c = max(pre, 0)
+};
+
+/// A fully-described host GEMM: C(m x n) = alpha * op(A) @ op(B) with
+/// optional accumulate and fused epilogue.  Leading dimensions are those of
+/// the *stored* operands (lda = a.cols() regardless of ta); C is dense
+/// m x n.  `pre`, when non-null under kBiasRelu, receives the
+/// pre-activation (needed for the ReLU backward pass).
+struct GemmSpec {
+  const float* a{nullptr};
+  const float* b{nullptr};
+  float* c{nullptr};
+  std::size_t m{0}, n{0}, k{0};
+  std::size_t lda{0}, ldb{0};
+  bool ta{false}, tb{false};
+  float alpha{1.0f};
+  bool accumulate{false};
+  const float* bias{nullptr};  ///< 1 x n, required for kBias/kBiasRelu
+  float* pre{nullptr};         ///< m x n pre-activation sink (may be null)
+  Epilogue epilogue{Epilogue::kNone};
+};
+
+/// Serial reference: triple loop, float accumulator ascending in k.
+void gemm_host_naive(const GemmSpec& spec);
+
+/// Packed + register-blocked + parallel engine.  Packs B once into
+/// column-panel-major panels (erasing the tb strided-access penalty), packs
+/// each MC-row A panel into micro-panels (erasing ta), and runs an
+/// MR x NR register-tiled micro-kernel over row panels distributed through
+/// gpu::Executor::parallel_for.  Bit-identical to gemm_host_naive.
+void gemm_host_blocked(const GemmSpec& spec);
+
+}  // namespace detail
+}  // namespace sagesim::tensor::ops

@@ -46,44 +46,121 @@ GemmDims gemm_dims(const Tensor& a, const Tensor& b, const Tensor& out,
   return {m, n, k};
 }
 
+detail::GemmSpec gemm_spec(const Tensor& a, const Tensor& b, Tensor& out,
+                           bool ta, bool tb, float alpha, bool accumulate) {
+  const auto [m, n, k] = gemm_dims(a, b, out, ta, tb);
+  detail::GemmSpec s;
+  s.a = a.data();
+  s.b = b.data();
+  s.c = out.data();
+  s.m = m;
+  s.n = n;
+  s.k = k;
+  s.lda = a.cols();
+  s.ldb = b.cols();
+  s.ta = ta;
+  s.tb = tb;
+  s.alpha = alpha;
+  s.accumulate = accumulate;
+  return s;
+}
+
+void gemm_host(const detail::GemmSpec& s) {
+  // Tiny problems: the packing traffic is pure overhead; both paths are
+  // bit-identical so the crossover is a pure speed choice.
+  if (host_backend() == HostBackend::kNaive || s.m * s.n * s.k < 4096)
+    detail::gemm_host_naive(s);
+  else
+    detail::gemm_host_blocked(s);
+}
+
+/// Simulated-device launch of a per-output-cell GEMM kernel with the
+/// epilogue fused into the same thread; @p extra_flops / @p extra_bytes
+/// model the epilogue's cost on top of the naive 2k flops per cell.
+void gemm_device(gpu::Device& dev, const char* name,
+                 const detail::GemmSpec& s, double extra_flops,
+                 double extra_bytes) {
+  const gpu::Dim3 block{16, 16};
+  const gpu::Dim3 grid{gpu::div_up(s.n, 16), gpu::div_up(s.m, 16)};
+  dev.launch(name, grid, block, [&](const gpu::ThreadCtx& ctx) {
+    const std::size_t j = ctx.global_x();
+    const std::size_t i = ctx.global_y();
+    if (i >= s.m || j >= s.n) return;
+    float acc = 0.0f;
+    for (std::size_t p = 0; p < s.k; ++p) {
+      const float av = s.ta ? s.a[p * s.lda + i] : s.a[i * s.lda + p];
+      const float bv = s.tb ? s.b[j * s.ldb + p] : s.b[p * s.ldb + j];
+      acc += av * bv;
+    }
+    float r = s.alpha * acc;
+    float* c = s.c + i * s.n + j;
+    if (s.accumulate) r = *c + r;
+    switch (s.epilogue) {
+      case detail::Epilogue::kNone:
+        *c = r;
+        break;
+      case detail::Epilogue::kBias:
+        *c = r + s.bias[j];
+        break;
+      case detail::Epilogue::kBiasRelu: {
+        const float pre = r + s.bias[j];
+        if (s.pre != nullptr) s.pre[i * s.n + j] = pre;
+        *c = pre > 0.0f ? pre : 0.0f;
+        break;
+      }
+    }
+    // Naive kernel: every operand element is fetched from global memory.
+    ctx.add_flops(2.0 * static_cast<double>(s.k) + extra_flops);
+    ctx.add_bytes(static_cast<double>(2 * s.k + 1) * sizeof(float) +
+                  extra_bytes);
+  });
+}
+
+void check_bias(const Tensor& bias, const Tensor& out, const char* op) {
+  if (bias.rows() != 1 || bias.cols() != out.cols())
+    throw std::invalid_argument(std::string(op) + ": bias must be 1x" +
+                                std::to_string(out.cols()));
+}
+
 }  // namespace
 
 void gemm(gpu::Device* dev, const Tensor& a, const Tensor& b, Tensor& out,
           bool ta, bool tb, float alpha, bool accumulate) {
-  const auto [m, n, k] = gemm_dims(a, b, out, ta, tb);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::size_t lda = a.cols();
-  const std::size_t ldb = b.cols();
+  const detail::GemmSpec s = gemm_spec(a, b, out, ta, tb, alpha, accumulate);
+  if (dev != nullptr)
+    gemm_device(*dev, "gemm_naive", s, 0.0, 0.0);
+  else
+    gemm_host(s);
+}
 
-  auto cell = [=](std::size_t i, std::size_t j) {
-    double acc = 0.0;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = ta ? pa[p * lda + i] : pa[i * lda + p];
-      const float bv = tb ? pb[j * ldb + p] : pb[p * ldb + j];
-      acc += static_cast<double>(av) * bv;
-    }
-    const float r = alpha * static_cast<float>(acc);
-    po[i * n + j] = accumulate ? po[i * n + j] + r : r;
-  };
+void gemm_bias(gpu::Device* dev, const Tensor& a, const Tensor& b,
+               const Tensor& bias, Tensor& out, bool ta, bool tb) {
+  detail::GemmSpec s = gemm_spec(a, b, out, ta, tb, 1.0f, false);
+  check_bias(bias, out, "gemm_bias");
+  s.bias = bias.data();
+  s.epilogue = detail::Epilogue::kBias;
+  if (dev != nullptr)
+    // Epilogue: one extra add per cell, one bias read; the written result
+    // is already counted by the base kernel.
+    gemm_device(*dev, "gemm_bias", s, 1.0, sizeof(float));
+  else
+    gemm_host(s);
+}
 
-  if (dev != nullptr) {
-    const gpu::Dim3 block{16, 16};
-    const gpu::Dim3 grid{gpu::div_up(n, 16), gpu::div_up(m, 16)};
-    dev->launch("gemm_naive", grid, block, [&](const gpu::ThreadCtx& ctx) {
-      const std::size_t j = ctx.global_x();
-      const std::size_t i = ctx.global_y();
-      if (i >= m || j >= n) return;
-      cell(i, j);
-      // Naive kernel: every operand element is fetched from global memory.
-      ctx.add_flops(2.0 * static_cast<double>(k));
-      ctx.add_bytes(static_cast<double>(2 * k + 1) * sizeof(float));
-    });
-  } else {
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = 0; j < n; ++j) cell(i, j);
-  }
+void gemm_bias_relu(gpu::Device* dev, const Tensor& a, const Tensor& b,
+                    const Tensor& bias, Tensor& pre, Tensor& out, bool ta,
+                    bool tb) {
+  detail::GemmSpec s = gemm_spec(a, b, out, ta, tb, 1.0f, false);
+  check_bias(bias, out, "gemm_bias_relu");
+  require_same_shape(pre, out, "gemm_bias_relu");
+  s.bias = bias.data();
+  s.pre = pre.data();
+  s.epilogue = detail::Epilogue::kBiasRelu;
+  if (dev != nullptr)
+    // Epilogue: bias add + clamp per cell; bias read + pre-activation write.
+    gemm_device(*dev, "gemm_bias_relu", s, 2.0, 2.0 * sizeof(float));
+  else
+    gemm_host(s);
 }
 
 void gemm_tiled(gpu::Device& dev, const Tensor& a, const Tensor& b,
@@ -155,8 +232,18 @@ void add_bias(gpu::Device* dev, Tensor& x, const Tensor& bias) {
   float* px = x.data();
   const float* pb = bias.data();
   const std::size_t cols = x.cols();
-  elementwise(dev, "add_bias", x.size(), 1.0, 3.0 * sizeof(float),
-              [=](std::size_t i) { px[i] += pb[i % cols]; });
+  if (dev != nullptr) {
+    elementwise(dev, "add_bias", x.size(), 1.0, 3.0 * sizeof(float),
+                [=](std::size_t i) { px[i] += pb[i % cols]; });
+    return;
+  }
+  // Host: row-major sweep — no per-element modulo, and the bias row stays
+  // hot in L1 across rows.
+  const std::size_t rows = x.rows();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = px + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += pb[c];
+  }
 }
 
 void bias_grad(gpu::Device* dev, const Tensor& dy, Tensor& db) {
@@ -291,16 +378,45 @@ void transpose(gpu::Device* dev, const Tensor& x, Tensor& out) {
     throw std::invalid_argument("transpose: out must be " +
                                 std::to_string(x.cols()) + "x" +
                                 std::to_string(x.rows()));
+  constexpr std::size_t kTile = 32;
   const float* px = x.data();
   float* po = out.data();
   const std::size_t rows = x.rows();
   const std::size_t cols = x.cols();
-  elementwise(dev, "transpose", x.size(), 0.0, 2.0 * sizeof(float),
-              [=](std::size_t i) {
-                const std::size_t r = i / cols;
-                const std::size_t c = i % cols;
-                po[c * rows + r] = px[i];
-              });
+
+  // 32x32 tiles: both the read and the scattered write stay within a tile
+  // that fits in L1, instead of striding the full output per element.
+  auto tile_op = [=](std::size_t r0, std::size_t c0) {
+    const std::size_t r1 = std::min(r0 + kTile, rows);
+    const std::size_t c1 = std::min(c0 + kTile, cols);
+    for (std::size_t r = r0; r < r1; ++r)
+      for (std::size_t c = c0; c < c1; ++c) po[c * rows + r] = px[r * cols + c];
+  };
+
+  const std::size_t tiles_r = (rows + kTile - 1) / kTile;
+  const std::size_t tiles_c = (cols + kTile - 1) / kTile;
+  if (dev != nullptr) {
+    // One simulated block per tile; traffic is unchanged from the
+    // elementwise formulation (each element read and written once).
+    dev->launch_blocks(
+        "transpose",
+        {static_cast<std::uint32_t>(tiles_c),
+         static_cast<std::uint32_t>(tiles_r)},
+        {kTile, kTile},
+        [&](const gpu::BlockCtx& ctx) {
+          const std::size_t r0 = static_cast<std::size_t>(ctx.block_idx.y) * kTile;
+          const std::size_t c0 = static_cast<std::size_t>(ctx.block_idx.x) * kTile;
+          tile_op(r0, c0);
+          const double elems =
+              static_cast<double>(std::min(kTile, rows - r0)) *
+              static_cast<double>(std::min(kTile, cols - c0));
+          ctx.add_bytes(2.0 * elems * sizeof(float));
+        });
+  } else {
+    for (std::size_t tr = 0; tr < tiles_r; ++tr)
+      for (std::size_t tc = 0; tc < tiles_c; ++tc)
+        tile_op(tr * kTile, tc * kTile);
+  }
 }
 
 }  // namespace sagesim::tensor::ops

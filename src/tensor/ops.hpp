@@ -1,11 +1,14 @@
 // Device-aware dense ops.  Every op takes an optional simulated device:
 // non-null → the op runs as a simulated kernel (results identical, time
-// modeled and traced); null → plain host loops (the "sequential CPU
-// baseline" the course compares against).
+// modeled and traced); null → host execution.  The host path runs the
+// packed/blocked parallel engine from gemm_host.hpp by default; the serial
+// naive loops (the course's "sequential CPU baseline") stay reachable via
+// set_host_backend(HostBackend::kNaive) and are bit-identical.
 #pragma once
 
 #include "gpusim/device.hpp"
 #include "stats/rng.hpp"
+#include "tensor/gemm_host.hpp"
 #include "tensor/tensor.hpp"
 
 namespace sagesim::tensor::ops {
@@ -16,6 +19,19 @@ namespace sagesim::tensor::ops {
 void gemm(gpu::Device* dev, const Tensor& a, const Tensor& b, Tensor& out,
           bool transpose_a = false, bool transpose_b = false,
           float alpha = 1.0f, bool accumulate = false);
+
+/// out = op(a) @ op(b) + bias (bias is 1 x n, broadcast over rows), fused
+/// into the GEMM's output pass — one sweep over out instead of two.
+void gemm_bias(gpu::Device* dev, const Tensor& a, const Tensor& b,
+               const Tensor& bias, Tensor& out, bool transpose_a = false,
+               bool transpose_b = false);
+
+/// pre = op(a) @ op(b) + bias;  out = max(pre, 0) — the Dense/GCN hidden
+/// layer forward in a single output pass.  @p pre receives the
+/// pre-activation (same shape as out) for the ReLU backward.
+void gemm_bias_relu(gpu::Device* dev, const Tensor& a, const Tensor& b,
+                    const Tensor& bias, Tensor& pre, Tensor& out,
+                    bool transpose_a = false, bool transpose_b = false);
 
 /// Shared-memory tiled GEMM (device required): the Week-3 lab's optimized
 /// kernel.  No transpose support; tile size 16.

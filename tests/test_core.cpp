@@ -7,6 +7,7 @@
 #include "core/distributed_gcn.hpp"
 #include "core/lab_runner.hpp"
 #include "core/version.hpp"
+#include "tensor/gemm_host.hpp"
 
 namespace core = sagesim::core;
 namespace graph = sagesim::graph;
@@ -351,4 +352,31 @@ TEST_F(WorkflowFixture, DagRootsWithoutDepsMayStartImmediately) {
   const auto report = wf.run(ctx);
   EXPECT_TRUE(report.ok());
   EXPECT_EQ(ctx.get<int>("sum"), 3);
+}
+
+TEST(Alg1, KernelBackendSwapKeepsTrainingBitIdentical) {
+  // Regression guard for the packed/blocked kernel engine: swapping the
+  // host GEMM/SpMM backend must not move the training trajectory by a
+  // single bit.  This is the checkpoint-compatibility contract — a
+  // checkpoint written under one backend must resume identically under
+  // the other.
+  namespace ops = sagesim::tensor::ops;
+  const auto ds = small_dataset();
+  const ops::HostBackend initial = ops::host_backend();
+
+  auto run = [&](ops::HostBackend backend) {
+    ops::set_host_backend(backend);
+    gpu::DeviceManager dm(2, gpu::spec::t4());
+    dflow::Cluster cluster(dm);
+    return core::train_distributed_gcn(ds, cluster, fast_config(2));
+  };
+  const auto naive = run(ops::HostBackend::kNaive);
+  const auto blocked = run(ops::HostBackend::kBlocked);
+  ops::set_host_backend(initial);
+
+  ASSERT_EQ(naive.epoch_losses.size(), blocked.epoch_losses.size());
+  for (std::size_t e = 0; e < naive.epoch_losses.size(); ++e)
+    ASSERT_EQ(naive.epoch_losses[e], blocked.epoch_losses[e])
+        << "epoch " << e;
+  EXPECT_EQ(naive.test_accuracy, blocked.test_accuracy);
 }

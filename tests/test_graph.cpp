@@ -481,3 +481,56 @@ TEST(Generators, RedditLikePartitionsWellWithMetis) {
   EXPECT_LT(graph::evaluate_partition(ds.graph, metis).edge_cut,
             graph::evaluate_partition(ds.graph, random).edge_cut);
 }
+
+// --- blocked SpMM conformance -----------------------------------------------------
+//
+// The cache-blocked (and, on capable hosts, AVX2) SpMM keeps the per-row
+// ascending-edge accumulation order of the reference loop, so results must
+// be bit-identical — exact equality, no tolerance.
+
+#include "tensor/gemm_host.hpp"
+
+namespace {
+
+class SpmmBlockedConformance : public ::testing::TestWithParam<int> {};
+
+}  // namespace
+
+TEST_P(SpmmBlockedConformance, MatchesReferenceBitwise) {
+  const auto d = static_cast<std::size_t>(GetParam());
+  Rng rng(1000 + GetParam());
+  const auto g = graph::erdos_renyi(150, 0.05, rng);
+  const auto a = graph::normalized_adjacency(g);
+  sagesim::tensor::Tensor x(a.num_nodes(), d);
+  x.init_uniform(rng, -1, 1);
+  sagesim::tensor::Tensor y_ref(a.num_nodes(), d), y_blk(a.num_nodes(), d);
+  graph::detail::spmm_host_reference(a, x, y_ref);
+  graph::detail::spmm_host_blocked(a, x, y_blk);
+  for (std::size_t i = 0; i < y_ref.size(); ++i)
+    ASSERT_EQ(y_ref[i], y_blk[i]) << "d=" << d << " at " << i;
+}
+
+// Widths straddle every kernel-shape boundary: scalar tail only (1, 7),
+// one/several 8-lane groups (8, 16), 32+tail (33), the full 64-wide path
+// (64), and 64+32 (96).
+INSTANTIATE_TEST_SUITE_P(Widths, SpmmBlockedConformance,
+                         ::testing::Values(1, 7, 8, 16, 33, 64, 96));
+
+TEST(SpmmBackendDispatch, PublicEntryHonorsHostBackend) {
+  namespace ops = sagesim::tensor::ops;
+  Rng rng(321);
+  const auto g = graph::rmat(8, 4, rng);
+  const auto a = graph::normalized_adjacency(g);
+  sagesim::tensor::Tensor x(a.num_nodes(), 24);
+  x.init_uniform(rng, -1, 1);
+  sagesim::tensor::Tensor y_naive(a.num_nodes(), 24),
+      y_blocked(a.num_nodes(), 24);
+  const ops::HostBackend initial = ops::host_backend();
+  ops::set_host_backend(ops::HostBackend::kNaive);
+  graph::spmm(nullptr, a, x, y_naive);
+  ops::set_host_backend(ops::HostBackend::kBlocked);
+  graph::spmm(nullptr, a, x, y_blocked);
+  ops::set_host_backend(initial);
+  for (std::size_t i = 0; i < y_naive.size(); ++i)
+    ASSERT_EQ(y_naive[i], y_blocked[i]) << "at " << i;
+}

@@ -325,3 +325,169 @@ TEST_P(TiledGemmSweep, MatchesNaiveAtAwkwardSizes) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, TiledGemmSweep,
                          ::testing::Values(1, 15, 16, 17, 32, 33, 100));
+
+// --- blocked-vs-naive backend conformance ---------------------------------------
+//
+// The packed/blocked engine promises bit-identical results to the naive
+// triple loop (same per-cell float accumulation order), which is what
+// keeps checkpoint-resume bit-exact across backend swaps.  Every
+// comparison below is exact float equality, not tolerance.
+
+namespace {
+
+struct BackendGuard {
+  ops::HostBackend prev{ops::host_backend()};
+  explicit BackendGuard(ops::HostBackend b) { ops::set_host_backend(b); }
+  ~BackendGuard() { ops::set_host_backend(prev); }
+};
+
+tensor::Tensor transposed(const tensor::Tensor& a) {
+  tensor::Tensor t(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) t.at(c, r) = a.at(r, c);
+  return t;
+}
+
+void expect_bitwise(const tensor::Tensor& a, const tensor::Tensor& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << "at flat index " << i;
+}
+
+}  // namespace
+
+TEST(HostBackend, SwitchRoundTrips) {
+  const ops::HostBackend initial = ops::host_backend();
+  ops::set_host_backend(ops::HostBackend::kNaive);
+  EXPECT_EQ(ops::host_backend(), ops::HostBackend::kNaive);
+  ops::set_host_backend(ops::HostBackend::kBlocked);
+  EXPECT_EQ(ops::host_backend(), ops::HostBackend::kBlocked);
+  ops::set_host_backend(initial);
+}
+
+class GemmBackendConformance
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmBackendConformance, BlockedMatchesNaiveBitwise) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7919 + k * 131 + n));
+  tensor::Tensor a(static_cast<std::size_t>(m), static_cast<std::size_t>(k));
+  tensor::Tensor b(static_cast<std::size_t>(k), static_cast<std::size_t>(n));
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+  const tensor::Tensor at = transposed(a), bt = transposed(b);
+
+  tensor::Tensor seed(static_cast<std::size_t>(m),
+                      static_cast<std::size_t>(n));
+  seed.init_uniform(rng, -1, 1);
+
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const bool accumulate : {false, true}) {
+        for (const float alpha : {1.0f, 0.5f}) {
+          const tensor::Tensor& lhs = ta ? at : a;
+          const tensor::Tensor& rhs = tb ? bt : b;
+          tensor::Tensor naive = seed, blocked = seed;
+          {
+            BackendGuard g(ops::HostBackend::kNaive);
+            ops::gemm(nullptr, lhs, rhs, naive, ta, tb, alpha, accumulate);
+          }
+          {
+            BackendGuard g(ops::HostBackend::kBlocked);
+            ops::gemm(nullptr, lhs, rhs, blocked, ta, tb, alpha, accumulate);
+          }
+          for (std::size_t i = 0; i < naive.size(); ++i)
+            ASSERT_EQ(naive[i], blocked[i])
+                << "ta=" << ta << " tb=" << tb << " acc=" << accumulate
+                << " alpha=" << alpha << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+// Ragged shapes straddle every panel boundary: micro-tile remainders in m
+// (MR=4), panel remainders in n for both the 8- and 16-wide layouts, and
+// k values that are not multiples of anything.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmBackendConformance,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 2},
+                      std::tuple{4, 8, 8}, std::tuple{5, 9, 7},
+                      std::tuple{17, 31, 13}, std::tuple{64, 64, 64},
+                      std::tuple{65, 67, 66}, std::tuple{128, 33, 96}));
+
+TEST(GemmFusedEpilogue, MatchesDecomposedPassesBitwise) {
+  Rng rng(2024);
+  const std::size_t m = 37, k = 19, n = 29;
+  tensor::Tensor a(m, k), b(k, n), bias(1, n);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+  bias.init_uniform(rng, -0.5f, 0.5f);
+
+  for (const auto backend :
+       {ops::HostBackend::kNaive, ops::HostBackend::kBlocked}) {
+    BackendGuard g(backend);
+    // gemm_bias == gemm then add_bias.
+    tensor::Tensor fused(m, n), ref(m, n);
+    ops::gemm_bias(nullptr, a, b, bias, fused);
+    ops::gemm(nullptr, a, b, ref);
+    ops::add_bias(nullptr, ref, bias);
+    expect_bitwise(fused, ref);
+
+    // gemm_bias_relu == gemm then add_bias then relu, and the cached
+    // pre-activation equals the biased GEMM.
+    tensor::Tensor pre(m, n), out(m, n), ref_out(m, n);
+    ops::gemm_bias_relu(nullptr, a, b, bias, pre, out);
+    expect_bitwise(pre, ref);
+    ops::relu(nullptr, ref, ref_out);
+    expect_bitwise(out, ref_out);
+  }
+}
+
+TEST(GemmFusedEpilogue, BlockedMatchesNaiveWithTransposes) {
+  Rng rng(77);
+  const std::size_t m = 21, k = 34, n = 18;
+  tensor::Tensor a(m, k), b(k, n), bias(1, n);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+  bias.init_uniform(rng, -0.5f, 0.5f);
+  const tensor::Tensor at = transposed(a), bt = transposed(b);
+
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      const tensor::Tensor& lhs = ta ? at : a;
+      const tensor::Tensor& rhs = tb ? bt : b;
+      tensor::Tensor pre_n(m, n), out_n(m, n), pre_b(m, n), out_b(m, n);
+      {
+        BackendGuard g(ops::HostBackend::kNaive);
+        ops::gemm_bias_relu(nullptr, lhs, rhs, bias, pre_n, out_n, ta, tb);
+      }
+      {
+        BackendGuard g(ops::HostBackend::kBlocked);
+        ops::gemm_bias_relu(nullptr, lhs, rhs, bias, pre_b, out_b, ta, tb);
+      }
+      expect_bitwise(pre_n, pre_b);
+      expect_bitwise(out_n, out_b);
+    }
+  }
+}
+
+TEST(GemmDevicePath, MatchesHostBitwise) {
+  // The simulated-device GEMM runs the same float ascending-k accumulation
+  // and shared epilogue as the host backends, so it is bit-identical too —
+  // this is what lets lab code validate device kernels against host
+  // references with exact comparison.
+  Rng rng(31);
+  const std::size_t m = 23, k = 41, n = 17;
+  gpu::DeviceManager dm(1, gpu::spec::test_tiny());
+  tensor::Tensor a(m, k), b(k, n);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+  tensor::Tensor dev_out(m, n), host_out(m, n);
+  ops::gemm(&dm.device(0), a, b, dev_out);
+  {
+    BackendGuard g(ops::HostBackend::kBlocked);
+    ops::gemm(nullptr, a, b, host_out);
+  }
+  expect_bitwise(dev_out, host_out);
+}
