@@ -9,6 +9,9 @@
 #include <filesystem>
 
 #include "core/distributed_gcn.hpp"
+#include "mem/buffer.hpp"
+#include "mem/pool.hpp"
+#include "prof/report.hpp"
 
 using namespace sagesim;
 
@@ -45,6 +48,7 @@ int main() {
     dflow::Cluster cluster(dm);
     cfg.num_partitions = 4;
     cfg.strategy = core::PartitionStrategy::kMetis;
+    mem::reset_transfer_ledger();  // per-run data-movement numbers
     metis = core::train_distributed_gcn(dataset, cluster, cfg);
     const auto& r = metis;
     std::printf("metis k=4   : loss %.3f -> %.3f, test acc %.1f%%, "
@@ -55,6 +59,13 @@ int main() {
     std::printf("per-GPU kernel utilization:");
     for (double u : r.gpu_utilization) std::printf(" %.0f%%", 100.0 * u);
     std::printf("\n");
+
+    // Data-plane accounting for the run: explicit placement makes every
+    // H2D/D2H byte show up here, deterministically.
+    std::printf("\ntransfers (metis k=4):\n%s",
+                prof::transfer_table(dm.timeline()).c_str());
+    std::printf("%s", mem::ledger_report().c_str());
+    std::printf("\n%s", mem::pool_report().c_str());
   }
 
   // The baseline students try first: random partitioning.

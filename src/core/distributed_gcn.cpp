@@ -188,6 +188,33 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
   rank_of_part.resize(static_cast<std::size_t>(k));
   for (int r = 0; r < k; ++r) rank_of_part[static_cast<std::size_t>(r)] = r;
 
+  // Line 4, "Distribute Gi, Xi, Yi to worker i", as explicit placement:
+  // every shard's features and adjacency plus its replica's parameters and
+  // gradients move to the owning rank's device through accounted H2D
+  // transfers.  Kernels compute the same bits at either placement (device
+  // storage is host-reachable), so this changes the transfer ledger — a
+  // pinned, testable quantity — and nothing else.  Idempotent: tensors
+  // already on the right device are left alone, so re-running after a remap
+  // or restore only uploads what actually moved.
+  auto place_all = [&]() -> Status {
+    for (std::size_t p = 0; p < shards.size(); ++p) {
+      auto& dev = devices.device(
+          static_cast<std::size_t>(rank_of_part[p]));
+      Status s = shards[p].features.to_device(dev);
+      if (!s.ok()) return s;
+      s = shards[p].adj.to_device(dev);
+      if (!s.ok()) return s;
+      for (nn::Param* prm : replicas[p]->params()) {
+        s = prm->value.to_device(dev);
+        if (!s.ok()) return s;
+        s = prm->grad.to_device(dev);
+        if (!s.ok()) return s;
+      }
+    }
+    return {};
+  };
+  if (const Status s = place_all(); !s.ok()) return s;
+
   // --- Lines 9-14: synchronized epochs, expressed as task DAGs. ------------
   // Per epoch and rank r:  loss[e][r] -> allreduce[e] -> step[e][r], and
   // loss[e+1][r] depends on step[e][r].  Loss/step tasks are pinned to their
@@ -288,6 +315,11 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
 
     result.train_sim_seconds = (devices.now_s() - sim_t0) + scheduler_s;
 
+    // The trained model leaves the cluster: replica 0's parameters come
+    // back to the host (accounted D2H) before evaluation consumes them.
+    for (nn::Param* prm : replicas[0]->params())
+      prm->value.to_host().throw_if_error();
+
     // Evaluation: full-graph forward with replica 0's weights.
     const graph::NormalizedAdjacency full_adj =
         graph::normalized_adjacency(dataset.graph);
@@ -327,10 +359,10 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
     ckpt.scalars["k"] = static_cast<double>(shards.size());
     const auto params0 = replicas[0]->params();
     for (std::size_t p = 0; p < params0.size(); ++p)
-      ckpt.tensors["param" + std::to_string(p)] = params0[p]->value;
+      ckpt.put("param" + std::to_string(p), params0[p]->value);
     const auto opt_state = optimizers[0]->state();
     for (std::size_t s = 0; s < opt_state.size(); ++s)
-      ckpt.tensors["opt" + std::to_string(s)] = opt_state[s];
+      ckpt.put("opt" + std::to_string(s), opt_state[s]);
     ckpt.scalars["opt_n"] = static_cast<double>(opt_state.size());
     ckpt.scalars["opt_t"] =
         static_cast<double>(optimizers[0]->step_count());
@@ -411,6 +443,8 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
         static_cast<int>(kit->second) == static_cast<int>(shards.size())) {
       const Status rs = restore_ckpt(*latest, /*restore_rng=*/true);
       if (!rs.ok()) return rs;
+      // Restored parameters are host tensors; put them back on-device.
+      if (const Status ps = place_all(); !ps.ok()) return ps;
       epoch = static_cast<int>(latest->epoch);
       ++result.checkpoints_restored;
     }
@@ -486,6 +520,9 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
           static_cast<int>(kit->second) == static_cast<int>(shards.size());
       const Status rs = restore_ckpt(*latest, /*restore_rng=*/same_k);
       if (!rs.ok()) return rs;
+      // Re-place after the remap/re-shard and restore: moved partitions and
+      // freshly restored (host) parameters go to their new owning devices.
+      if (const Status ps = place_all(); !ps.ok()) return ps;
       epoch = static_cast<int>(latest->epoch);
       ++result.checkpoints_restored;
     }

@@ -1,4 +1,6 @@
-// Typed columns for the cuDF-like dataframe.
+// Typed columns for the cuDF-like dataframe.  Numeric columns store their
+// values in mem::TypedBuffer (pooled, placement-aware) so dataframe data is
+// visible to the device-memory simulation; string columns stay host-only.
 #pragma once
 
 #include <cstdint>
@@ -6,6 +8,13 @@
 #include <string>
 #include <variant>
 #include <vector>
+
+#include "mem/buffer.hpp"
+#include "runtime/status.hpp"
+
+namespace sagesim::gpu {
+class Device;
+}
 
 namespace sagesim::df {
 
@@ -41,9 +50,21 @@ class Column {
   /// Renamed copy.
   Column renamed(std::string new_name) const;
 
+  // --- placement ---------------------------------------------------------
+
+  /// Moves numeric storage to @p device (accounted H2D); string columns
+  /// fail with kFailedPrecondition.
+  Status to_device(gpu::Device& device, int stream = 0);
+
+  /// Moves numeric storage back to the host (accounted D2H).
+  Status to_host(int stream = 0);
+
+  /// kHost for string columns, the buffer placement otherwise.
+  mem::Placement placement() const;
+
  private:
   std::string name_;
-  std::variant<std::vector<double>, std::vector<std::int64_t>,
+  std::variant<mem::TypedBuffer<double>, mem::TypedBuffer<std::int64_t>,
                std::vector<std::string>>
       data_;
 };

@@ -29,13 +29,17 @@ GradientSynchronizer::GradientSynchronizer(
   for (const nn::Param* p : reference) flat_size_ += p->size();
 
   buckets_.reserve(replicas_.size());
-  for (std::size_t r = 0; r < replicas_.size(); ++r)
-    buckets_.emplace_back(devices_.device(r), flat_size_);
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    Expected<mem::Buffer> bucket = mem::Buffer::on_device(
+        devices_.device(r), flat_size_ * sizeof(float));
+    bucket.status().throw_if_error();
+    buckets_.push_back(std::move(bucket).value());
+  }
 }
 
 void GradientSynchronizer::pack(std::size_t rank) {
   auto& dev = devices_.device(rank);
-  float* bucket = buckets_[rank].data();
+  float* bucket = buckets_[rank].view<float>().data();
   std::size_t offset = 0;
   for (nn::Param* p : replicas_[rank]) {
     const float* g = p->grad.data();
@@ -51,7 +55,7 @@ void GradientSynchronizer::pack(std::size_t rank) {
 
 void GradientSynchronizer::unpack(std::size_t rank) {
   auto& dev = devices_.device(rank);
-  const float* bucket = buckets_[rank].data();
+  const float* bucket = buckets_[rank].view<float>().data();
   std::size_t offset = 0;
   for (nn::Param* p : replicas_[rank]) {
     float* g = p->grad.data();
@@ -72,7 +76,7 @@ void GradientSynchronizer::sync() {
   std::vector<dflow::CollectiveBuffer> bufs;
   bufs.reserve(k);
   for (std::size_t r = 0; r < k; ++r)
-    bufs.push_back({r, buckets_[r].data()});
+    bufs.push_back({r, buckets_[r].view<float>().data()});
 
   switch (algo_) {
     case AllReduceAlgo::kRing:

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gpusim/device_manager.hpp"
+#include "mem/buffer.hpp"
 #include "nn/layer.hpp"
 
 namespace sagesim::ddp {
@@ -46,7 +47,7 @@ class GradientSynchronizer {
   std::vector<std::vector<nn::Param*>> replicas_;
   AllReduceAlgo algo_;
   std::size_t flat_size_{0};
-  std::vector<gpu::DeviceBuffer<float>> buckets_;  ///< one per rank
+  std::vector<mem::Buffer> buckets_;  ///< one per rank, pooled device memory
 };
 
 /// Copies rank 0's parameter values to every other replica (initial

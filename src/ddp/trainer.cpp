@@ -27,6 +27,17 @@ DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
   replicas.reserve(models_.size());
   for (auto& m : models_) replicas.push_back(m->params());
   broadcast_params(cluster_.devices(), replicas);
+  // Place every replica's parameters and gradients on its rank's device up
+  // front — the explicit placement transition (accounted H2D) that DDP's
+  // "model.to(device)" performs.  Compute is unchanged: device storage stays
+  // host-reachable, so kernels read the same bits either way.
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    auto& dev = cluster_.devices().device(r);
+    for (nn::Param* p : replicas[r]) {
+      p->value.to_device(dev).throw_if_error();
+      p->grad.to_device(dev).throw_if_error();
+    }
+  }
   sync_ = std::make_unique<GradientSynchronizer>(cluster_.devices(), replicas,
                                                  options_.algo);
 }
@@ -70,6 +81,8 @@ Expected<StepStats> DataParallelTrainer::try_step(const tensor::Tensor& x,
           tensor::Tensor shard(rows, x.cols());
           std::copy(x.data() + begin * x.cols(), x.data() + end * x.cols(),
                     shard.data());
+          if (ctx.device != nullptr)
+            shard.to_device(*ctx.device).throw_if_error();
           std::vector<int> labels(
               y.begin() + static_cast<std::ptrdiff_t>(begin),
               y.begin() + static_cast<std::ptrdiff_t>(end));
@@ -138,10 +151,10 @@ Status DataParallelTrainer::save_checkpoint(std::uint64_t epoch) const {
     const std::string base = "r" + std::to_string(r) + ".";
     auto params = models_[r]->params();
     for (std::size_t p = 0; p < params.size(); ++p)
-      ckpt.tensors[base + "param" + std::to_string(p)] = params[p]->value;
+      ckpt.put(base + "param" + std::to_string(p), params[p]->value);
     const auto opt_state = optimizers_[r]->state();
     for (std::size_t s = 0; s < opt_state.size(); ++s)
-      ckpt.tensors[base + "opt" + std::to_string(s)] = opt_state[s];
+      ckpt.put(base + "opt" + std::to_string(s), opt_state[s]);
     ckpt.scalars[base + "opt_n"] = static_cast<double>(opt_state.size());
     ckpt.scalars[base + "opt_t"] =
         static_cast<double>(optimizers_[r]->step_count());
@@ -171,12 +184,25 @@ Expected<std::uint64_t> DataParallelTrainer::restore_latest() {
     const std::string base = "r" + std::to_string(r) + ".";
     auto params = models_[r]->params();
     for (std::size_t p = 0; p < params.size(); ++p) {
-      const auto it = ckpt.tensors.find(base + "param" + std::to_string(p));
+      const std::string name = base + "param" + std::to_string(p);
+      const auto it = ckpt.tensors.find(name);
       if (it == ckpt.tensors.end() ||
           !it->second.same_shape(params[p]->value))
         return Status::failed_precondition(
             "DataParallelTrainer: checkpoint parameter shape mismatch");
-      params[p]->value = it->second;
+      params[p]->value = it->second;  // host copy; re-place below
+      const nn::TensorPlacement place = ckpt.placement_of(name);
+      if (place.placement != mem::Placement::kHost) {
+        if (place.device < 0 ||
+            place.device >=
+                static_cast<std::int32_t>(cluster_.devices().device_count()))
+          return Status::failed_precondition(
+              "DataParallelTrainer: checkpoint placement names device " +
+              std::to_string(place.device) + " not present in this cluster");
+        const Status moved = params[p]->value.to_device(
+            cluster_.devices().device(static_cast<std::size_t>(place.device)));
+        if (!moved.ok()) return moved;
+      }
     }
     const auto n_it = ckpt.scalars.find(base + "opt_n");
     const std::size_t opt_n =

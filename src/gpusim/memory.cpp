@@ -1,16 +1,65 @@
 #include "gpusim/memory.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
+#include <unordered_set>
 
 namespace sagesim::gpu {
 
+namespace {
+
+// Liveness registry keyed by the monotonic instance id.  Leaked so buffers
+// freed during static destruction can still consult it.
+std::mutex& live_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::unordered_set<std::uint64_t>& live_ids() {
+  static auto* ids = new std::unordered_set<std::uint64_t>();
+  return *ids;
+}
+
+std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+DeviceMemory::DeviceMemory(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes), id_(next_id()) {
+  std::lock_guard lock(live_mutex());
+  live_ids().insert(id_);
+}
+
+DeviceMemory::~DeviceMemory() {
+  std::lock_guard lock(live_mutex());
+  live_ids().erase(id_);
+}
+
+bool DeviceMemory::alive(std::uint64_t id) {
+  std::lock_guard lock(live_mutex());
+  return live_ids().count(id) != 0;
+}
+
 void* DeviceMemory::allocate(std::size_t bytes) {
+  Expected<void*> p = try_allocate(bytes);
+  if (p) return *p;
+  // Preserve the historical exception surface for the throwing path.
+  if (p.status().code() == ErrorCode::kInvalidArgument)
+    throw std::invalid_argument(p.status().message());
+  throw DeviceOutOfMemory(p.status().message());
+}
+
+Expected<void*> DeviceMemory::try_allocate(std::size_t bytes) {
   if (bytes == 0)
-    throw std::invalid_argument("DeviceMemory::allocate: zero-byte request");
+    return Status::invalid_argument(
+        "DeviceMemory::allocate: zero-byte request");
   std::lock_guard lock(mutex_);
   if (used_ + bytes > capacity_)
-    throw DeviceOutOfMemory(
+    return Status::resource_exhausted(
         "device out of memory: requested " + std::to_string(bytes) +
         " bytes with " + std::to_string(capacity_ - used_) + " of " +
         std::to_string(capacity_) + " free");

@@ -11,6 +11,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "runtime/status.hpp"
+
 namespace sagesim::gpu {
 
 /// Thrown when a device allocation exceeds remaining global memory.
@@ -26,17 +28,24 @@ class DeviceOutOfMemory : public std::runtime_error {
 /// just like real device pointers.
 class DeviceMemory {
  public:
-  explicit DeviceMemory(std::uint64_t capacity_bytes)
-      : capacity_(capacity_bytes) {}
+  explicit DeviceMemory(std::uint64_t capacity_bytes);
 
   DeviceMemory(const DeviceMemory&) = delete;
   DeviceMemory& operator=(const DeviceMemory&) = delete;
+
+  ~DeviceMemory();
 
   /// Allocates @p bytes of "device" memory.  The returned pointer is real
   /// host memory owned by this object; it stays valid until free().
   /// Throws DeviceOutOfMemory when capacity would be exceeded and
   /// std::invalid_argument for zero-byte requests.
   void* allocate(std::size_t bytes);
+
+  /// Status-bearing allocation: kInvalidArgument for zero-byte requests,
+  /// kResourceExhausted (non-retryable) when capacity would be exceeded.
+  /// The failure-as-value twin of allocate() for callers on the
+  /// Status/Expected surface (mem::Pool, fallible training paths).
+  Expected<void*> try_allocate(std::size_t bytes);
 
   /// Releases an allocation obtained from allocate().  Requires the *base*
   /// pointer; throws std::invalid_argument otherwise.
@@ -54,6 +63,15 @@ class DeviceMemory {
   std::uint64_t peak_bytes() const;
   std::size_t live_allocations() const;
 
+  /// Process-unique id of this instance (monotonic, never reused — unlike
+  /// heap addresses).  Lets caching layers key per-instance state safely
+  /// across device teardown/rebuild.
+  std::uint64_t id() const { return id_; }
+
+  /// True while the instance with @p id is alive.  Caching layers check this
+  /// before releasing blocks into a possibly-destroyed DeviceMemory.
+  static bool alive(std::uint64_t id);
+
  private:
   struct Block {
     std::unique_ptr<std::byte[]> storage;
@@ -66,6 +84,7 @@ class DeviceMemory {
       const void* ptr) const;
 
   const std::uint64_t capacity_;
+  const std::uint64_t id_;
   mutable std::mutex mutex_;
   std::uint64_t used_{0};
   std::uint64_t peak_{0};

@@ -25,14 +25,27 @@ CsrGraph CsrGraph::from_edges(
   directed.erase(std::unique(directed.begin(), directed.end()),
                  directed.end());
 
+  std::vector<std::size_t> offsets(num_nodes + 1, 0);
+  for (const auto& [u, _] : directed) ++offsets[u + 1];
+  for (std::size_t i = 1; i <= num_nodes; ++i) offsets[i] += offsets[i - 1];
+  std::vector<NodeId> adjacency;
+  adjacency.reserve(directed.size());
+  for (const auto& [_, v] : directed) adjacency.push_back(v);
+
   CsrGraph g;
-  g.offsets_.assign(num_nodes + 1, 0);
-  for (const auto& [u, _] : directed) ++g.offsets_[u + 1];
-  for (std::size_t i = 1; i <= num_nodes; ++i)
-    g.offsets_[i] += g.offsets_[i - 1];
-  g.adjacency_.reserve(directed.size());
-  for (const auto& [_, v] : directed) g.adjacency_.push_back(v);
+  g.offsets_ = mem::TypedBuffer<std::size_t>(offsets);
+  g.adjacency_ = mem::TypedBuffer<NodeId>(adjacency);
   return g;
+}
+
+Status CsrGraph::to_device(gpu::Device& device, int stream) {
+  if (Status s = offsets_.to_device(device, stream); !s.ok()) return s;
+  return adjacency_.to_device(device, stream);
+}
+
+Status CsrGraph::to_host(int stream) {
+  if (Status s = offsets_.to_host(stream); !s.ok()) return s;
+  return adjacency_.to_host(stream);
 }
 
 std::span<const NodeId> CsrGraph::neighbors(NodeId u) const {
@@ -61,10 +74,21 @@ std::vector<std::pair<NodeId, NodeId>> CsrGraph::edge_list() const {
   return out;
 }
 
+Status NormalizedAdjacency::to_device(gpu::Device& device, int stream) {
+  if (Status s = offsets.to_device(device, stream); !s.ok()) return s;
+  if (Status s = columns.to_device(device, stream); !s.ok()) return s;
+  return values.to_device(device, stream);
+}
+
+Status NormalizedAdjacency::to_host(int stream) {
+  if (Status s = offsets.to_host(stream); !s.ok()) return s;
+  if (Status s = columns.to_host(stream); !s.ok()) return s;
+  return values.to_host(stream);
+}
+
 NormalizedAdjacency normalized_adjacency(const CsrGraph& g) {
   const std::size_t n = g.num_nodes();
-  NormalizedAdjacency a;
-  a.offsets.assign(n + 1, 0);
+  std::vector<std::size_t> offsets(n + 1, 0);
 
   std::vector<float> inv_sqrt_deg(n);
   for (NodeId u = 0; u < n; ++u)
@@ -72,26 +96,33 @@ NormalizedAdjacency normalized_adjacency(const CsrGraph& g) {
         1.0f / std::sqrt(static_cast<float>(g.degree(u)) + 1.0f);
 
   for (NodeId u = 0; u < n; ++u)
-    a.offsets[u + 1] = a.offsets[u] + g.degree(u) + 1;  // +1 self-loop
-  a.columns.reserve(a.offsets[n]);
-  a.values.reserve(a.offsets[n]);
+    offsets[u + 1] = offsets[u] + g.degree(u) + 1;  // +1 self-loop
+  std::vector<NodeId> columns;
+  std::vector<float> values;
+  columns.reserve(offsets[n]);
+  values.reserve(offsets[n]);
 
   for (NodeId u = 0; u < n; ++u) {
     bool self_emitted = false;
     for (NodeId v : g.neighbors(u)) {
       if (!self_emitted && v > u) {
-        a.columns.push_back(u);
-        a.values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[u]);
+        columns.push_back(u);
+        values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[u]);
         self_emitted = true;
       }
-      a.columns.push_back(v);
-      a.values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[v]);
+      columns.push_back(v);
+      values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[v]);
     }
     if (!self_emitted) {
-      a.columns.push_back(u);
-      a.values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[u]);
+      columns.push_back(u);
+      values.push_back(inv_sqrt_deg[u] * inv_sqrt_deg[u]);
     }
   }
+
+  NormalizedAdjacency a;
+  a.offsets = mem::TypedBuffer<std::size_t>(offsets);
+  a.columns = mem::TypedBuffer<NodeId>(columns);
+  a.values = mem::TypedBuffer<float>(values);
   return a;
 }
 

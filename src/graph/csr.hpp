@@ -8,6 +8,13 @@
 #include <utility>
 #include <vector>
 
+#include "mem/buffer.hpp"
+#include "runtime/status.hpp"
+
+namespace sagesim::gpu {
+class Device;
+}
+
 namespace sagesim::graph {
 
 using NodeId = std::uint32_t;
@@ -43,22 +50,34 @@ class CsrGraph {
   /// All undirected edges (u < v), for serialization and partitioners.
   std::vector<std::pair<NodeId, NodeId>> edge_list() const;
 
+  /// Moves the index arrays to @p device (accounted H2D) / back to host.
+  Status to_device(gpu::Device& device, int stream = 0);
+  Status to_host(int stream = 0);
+  mem::Placement placement() const { return offsets_.placement(); }
+
  private:
-  std::vector<std::size_t> offsets_;   ///< size num_nodes + 1
-  std::vector<NodeId> adjacency_;      ///< concatenated sorted neighbor lists
+  mem::TypedBuffer<std::size_t> offsets_;  ///< size num_nodes + 1
+  mem::TypedBuffer<NodeId> adjacency_;     ///< concatenated sorted neighbors
 };
 
 /// Symmetric-normalized adjacency with self-loops in CSR form, stored with
 /// explicit weights: Â[u][v] = 1 / sqrt((deg(u)+1)(deg(v)+1)).
 struct NormalizedAdjacency {
-  std::vector<std::size_t> offsets;
-  std::vector<NodeId> columns;
-  std::vector<float> values;
+  mem::TypedBuffer<std::size_t> offsets;
+  mem::TypedBuffer<NodeId> columns;
+  mem::TypedBuffer<float> values;
 
   std::size_t num_nodes() const {
     return offsets.empty() ? 0 : offsets.size() - 1;
   }
   std::size_t nnz() const { return columns.size(); }
+
+  /// Moves all three arrays to @p device (accounted H2D) / back to host.
+  /// A partial failure (device OOM mid-move) leaves the moved arrays on the
+  /// device and the rest on the host; placement() reports the offsets array.
+  Status to_device(gpu::Device& device, int stream = 0);
+  Status to_host(int stream = 0);
+  mem::Placement placement() const { return offsets.placement(); }
 };
 
 /// Computes Â = D^-1/2 (A + I) D^-1/2 for @p g.

@@ -1,0 +1,221 @@
+#include "mem/pool.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <iomanip>
+#include <new>
+#include <sstream>
+#include <utility>
+
+#include "gpusim/device.hpp"
+#include "prof/check.hpp"
+
+namespace sagesim::mem {
+
+namespace {
+
+/// Pools created through the host_pool()/device_pool() factories, for
+/// pool_report().  Entries are never removed: factory pools are leaked by
+/// design (buffers freed at static destruction time must still find them).
+std::mutex g_registry_mutex;
+std::vector<Pool*>& registry() {
+  static std::vector<Pool*>* pools = new std::vector<Pool*>();
+  return *pools;
+}
+
+void register_pool(Pool* pool) {
+  std::lock_guard lock(g_registry_mutex);
+  registry().push_back(pool);
+}
+
+}  // namespace
+
+Pool::Pool(std::string name, UpstreamAlloc upstream_alloc,
+           UpstreamFree upstream_free, bool enabled)
+    : name_(std::move(name)),
+      upstream_alloc_(std::move(upstream_alloc)),
+      upstream_free_(std::move(upstream_free)),
+      enabled_(enabled) {
+  if (!upstream_alloc_ || !upstream_free_)
+    throw std::invalid_argument("Pool: upstream callbacks must not be null");
+}
+
+Pool::~Pool() { flush(); }
+
+std::size_t Pool::size_class(std::size_t bytes) {
+  if (bytes == 0 || bytes > kMaxPooled) return 0;
+  return std::max(kMinClass, std::bit_ceil(bytes));
+}
+
+Expected<void*> Pool::upstream_allocate_locked(std::size_t bytes) {
+  Expected<void*> p = upstream_alloc_(bytes);
+  if (!p && !free_lists_.empty()) {
+    // Cached blocks count against upstream capacity; give them back and
+    // retry once before surfacing the failure.
+    flush_locked();
+    p = upstream_alloc_(bytes);
+  }
+  return p;
+}
+
+Expected<void*> Pool::allocate(std::size_t bytes) {
+  if (bytes == 0)
+    return Status::invalid_argument("Pool::allocate: zero-byte request");
+  std::lock_guard lock(mutex_);
+  const std::size_t cls = enabled_ ? size_class(bytes) : 0;
+  if (cls == 0) {
+    Expected<void*> p = upstream_allocate_locked(bytes);
+    if (!p) return p.status();
+    ++stats_.pass_through;
+    stats_.bytes_served += bytes;
+    stats_.bytes_live += bytes;
+    live_.emplace(*p, Live{bytes, 0});
+    return *p;
+  }
+  auto it = free_lists_.find(cls);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    void* p = it->second.back();
+    it->second.pop_back();
+    ++stats_.hits;
+    stats_.bytes_served += bytes;
+    stats_.bytes_cached -= cls;
+    stats_.bytes_live += cls;
+    live_.emplace(p, Live{cls, cls});
+    return p;
+  }
+  Expected<void*> p = upstream_allocate_locked(cls);
+  if (!p) return p.status();
+  ++stats_.misses;
+  stats_.bytes_served += bytes;
+  stats_.bytes_live += cls;
+  live_.emplace(*p, Live{cls, cls});
+  return *p;
+}
+
+void Pool::free(void* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard lock(mutex_);
+  auto it = live_.find(ptr);
+  if (it == live_.end())
+    throw std::invalid_argument("Pool::free: pointer not owned by pool '" +
+                                name_ + "'");
+  const Live info = it->second;
+  live_.erase(it);
+  stats_.bytes_live -= info.block_bytes;
+  if (info.class_bytes == 0) {
+    upstream_free_(ptr);
+    return;
+  }
+  free_lists_[info.class_bytes].push_back(ptr);
+  stats_.bytes_cached += info.class_bytes;
+}
+
+void Pool::flush_locked() {
+  for (auto& [cls, list] : free_lists_)
+    for (void* p : list) upstream_free_(p);
+  free_lists_.clear();
+  stats_.bytes_cached = 0;
+  ++stats_.flushes;
+}
+
+void Pool::flush() {
+  std::lock_guard lock(mutex_);
+  flush_locked();
+}
+
+PoolStats Pool::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void Pool::reset_stats() {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t cached = stats_.bytes_cached;
+  const std::uint64_t live = stats_.bytes_live;
+  stats_ = PoolStats{};
+  stats_.bytes_cached = cached;
+  stats_.bytes_live = live;
+}
+
+bool pool_enabled_from_env() {
+  const char* v = std::getenv("SAGESIM_MEM_POOL");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "off" || s == "0" || s == "false");
+}
+
+Pool& host_pool() {
+  static Pool* pool = [] {
+    auto* p = new Pool(
+        "host",
+        [](std::size_t bytes) -> Expected<void*> {
+          return ::operator new(bytes, std::align_val_t{64});
+        },
+        [](void* ptr) { ::operator delete(ptr, std::align_val_t{64}); },
+        pool_enabled_from_env());
+    register_pool(p);
+    return p;
+  }();
+  return *pool;
+}
+
+Pool& device_pool(gpu::Device& device) {
+  static std::mutex* map_mutex = new std::mutex();
+  static auto* pools = new std::unordered_map<std::uint64_t, Pool*>();
+  gpu::Device* dev = &device;
+  const std::uint64_t mem_id = device.memory().id();
+  std::lock_guard lock(*map_mutex);
+  auto it = pools->find(mem_id);
+  if (it != pools->end()) return *it->second;
+  auto* p = new Pool(
+      "device" + std::to_string(device.ordinal()),
+      [dev](std::size_t bytes) -> Expected<void*> {
+        Expected<void*> ptr = dev->memory().try_allocate(bytes);
+        if (ptr)
+          dev->charge("cudaMalloc", prof::EventKind::kApi,
+                      dev->timing().api_overhead_seconds());
+        return ptr;
+      },
+      [dev, mem_id](void* ptr) {
+        // The pool outlives its device; blocks freed after the DeviceMemory
+        // died were already released by its destructor.
+        if (!gpu::DeviceMemory::alive(mem_id)) return;
+        dev->memory().free(ptr);
+        dev->charge("cudaFree", prof::EventKind::kApi,
+                    dev->timing().api_overhead_seconds());
+      },
+      pool_enabled_from_env());
+  register_pool(p);
+  pools->emplace(mem_id, p);
+  return *p;
+}
+
+std::string pool_report() {
+  std::vector<Pool*> pools;
+  {
+    std::lock_guard lock(g_registry_mutex);
+    pools = registry();
+  }
+  std::ostringstream os;
+  os << "memory pools\n";
+  os << "  " << std::left << std::setw(10) << "pool" << std::right
+     << std::setw(10) << "hits" << std::setw(10) << "misses" << std::setw(9)
+     << "hit%" << std::setw(12) << "served MB" << std::setw(12) << "cached MB"
+     << std::setw(12) << "live MB" << '\n';
+  for (Pool* p : pools) {
+    const PoolStats s = p->stats();
+    os << "  " << std::left << std::setw(10) << p->name() << std::right
+       << std::setw(10) << s.hits << std::setw(10) << s.misses << std::setw(8)
+       << std::fixed << std::setprecision(1) << 100.0 * s.hit_rate() << '%'
+       << std::setw(12) << std::setprecision(2)
+       << static_cast<double>(s.bytes_served) / (1024.0 * 1024.0)
+       << std::setw(12)
+       << static_cast<double>(s.bytes_cached) / (1024.0 * 1024.0)
+       << std::setw(12)
+       << static_cast<double>(s.bytes_live) / (1024.0 * 1024.0) << '\n';
+  }
+  if (pools.empty()) os << "  (no pools created)\n";
+  return os.str();
+}
+
+}  // namespace sagesim::mem

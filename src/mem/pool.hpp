@@ -1,0 +1,130 @@
+// Size-class pooling allocator fronting both the host heap and simulated
+// gpusim::DeviceMemory.  Freed blocks are cached per power-of-two class and
+// recycled, so steady-state training loops stop paying cudaMalloc/cudaFree
+// (and host malloc) per step — the Week 3/4 lesson that allocation churn,
+// not arithmetic, dominates naive GPU code.  Per-pool hit/miss/byte counters
+// make the recycling visible and testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/status.hpp"
+
+namespace sagesim::gpu {
+class Device;
+}
+
+namespace sagesim::mem {
+
+/// Counter snapshot for one Pool.
+struct PoolStats {
+  std::uint64_t hits{0};          ///< requests served from a free list
+  std::uint64_t misses{0};        ///< requests that went upstream
+  std::uint64_t pass_through{0};  ///< oversize/disabled requests (not pooled)
+  std::uint64_t flushes{0};       ///< free-list purges (explicit or OOM retry)
+  std::uint64_t bytes_served{0};  ///< sum of requested bytes over all allocs
+  std::uint64_t bytes_cached{0};  ///< bytes currently parked in free lists
+  std::uint64_t bytes_live{0};    ///< bytes currently handed out to callers
+
+  /// Fraction of *poolable* requests served without touching upstream.
+  double hit_rate() const {
+    const std::uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// A caching allocator over an arbitrary upstream (host heap or one device's
+/// DeviceMemory).  Thread-safe.  Blocks are bucketed into power-of-two size
+/// classes between kMinClass and kMaxPooled; larger requests pass straight
+/// through to upstream.  When upstream allocation fails and the pool holds
+/// cached blocks, the pool flushes them and retries once — mirroring the
+/// "free your cache before declaring OOM" behavior of real caching
+/// allocators (e.g. the CUDA async memory pool).
+class Pool {
+ public:
+  using UpstreamAlloc = std::function<Expected<void*>(std::size_t)>;
+  using UpstreamFree = std::function<void(void*)>;
+
+  static constexpr std::size_t kMinClass = 64;
+  static constexpr std::size_t kMaxPooled = std::size_t{1} << 26;  // 64 MiB
+
+  /// @param enabled  when false every request passes through (still tracked,
+  ///                 so free() works); the SAGESIM_MEM_POOL=off escape hatch.
+  Pool(std::string name, UpstreamAlloc upstream_alloc,
+       UpstreamFree upstream_free, bool enabled = true);
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Returns cached blocks to upstream before dying.
+  ~Pool();
+
+  /// Rounds @p bytes up to its size class, or 0 when the request is not
+  /// poolable (oversize).  Exposed for tests.
+  static std::size_t size_class(std::size_t bytes);
+
+  /// Allocates at least @p bytes.  Fails with kInvalidArgument for zero
+  /// bytes and propagates upstream failure (kResourceExhausted for device
+  /// OOM) after one flush-and-retry.
+  Expected<void*> allocate(std::size_t bytes);
+
+  /// Returns a block from allocate() to the pool (cached, not released).
+  /// Throws std::invalid_argument for pointers this pool did not hand out.
+  void free(void* ptr);
+
+  /// Releases every cached block to upstream.
+  void flush();
+
+  PoolStats stats() const;
+  void reset_stats();
+
+  const std::string& name() const { return name_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  struct Live {
+    std::size_t block_bytes{0};  ///< size-class bytes, or raw size if 0 class
+    std::size_t class_bytes{0};  ///< 0 for pass-through blocks
+  };
+
+  Expected<void*> upstream_allocate_locked(std::size_t bytes);
+  void flush_locked();
+
+  const std::string name_;
+  const UpstreamAlloc upstream_alloc_;
+  const UpstreamFree upstream_free_;
+  const bool enabled_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, std::vector<void*>> free_lists_;
+  std::unordered_map<void*, Live> live_;
+  PoolStats stats_;
+};
+
+/// True unless SAGESIM_MEM_POOL is set to "off"/"0"/"false" — the documented
+/// escape hatch that turns every pooled allocation into a direct upstream
+/// call (for debugging lifetime issues under ASan, or measuring the pool's
+/// own benefit).
+bool pool_enabled_from_env();
+
+/// Process-wide pool over the host heap (64-byte aligned).  Never destroyed.
+Pool& host_pool();
+
+/// The pool fronting @p device's DeviceMemory.  One pool per DeviceMemory
+/// *instance* (keyed by its unique id, not its address), created on first
+/// use and intentionally leaked: a pool whose device has died is simply
+/// never consulted again.  Allocation misses charge cudaMalloc API time to
+/// the device's stream 0, exactly like Device::device_malloc.
+Pool& device_pool(gpu::Device& device);
+
+/// Human-readable table of every pool created so far (host + per-device):
+/// hits, misses, hit rate, cached/live bytes.  Appended to prof reports.
+std::string pool_report();
+
+}  // namespace sagesim::mem

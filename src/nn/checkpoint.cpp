@@ -10,12 +10,17 @@
 #include <utility>
 #include <vector>
 
+#include "gpusim/device.hpp"
+
 namespace sagesim::nn {
 
 namespace {
 
 constexpr char kMagic[8] = {'S', 'G', 'S', 'M', 'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kVersion = 1;
+// v2 added a per-tensor placement byte + device ordinal; v1 files still
+// load (host placement for everything).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 std::uint64_t fnv1a64(const std::string& bytes) {
   std::uint64_t h = 1469598103934665603ull;
@@ -76,6 +81,9 @@ std::string encode_payload(const Checkpoint& ckpt) {
     put_str(p, name);
     put<std::uint64_t>(p, t.rows());
     put<std::uint64_t>(p, t.cols());
+    const TensorPlacement place = ckpt.placement_of(name);
+    put<std::uint8_t>(p, static_cast<std::uint8_t>(place.placement));
+    put<std::int32_t>(p, place.device);
     p.append(reinterpret_cast<const char*>(t.data()),
              t.size() * sizeof(float));
   }
@@ -92,13 +100,24 @@ std::string encode_payload(const Checkpoint& ckpt) {
   return p;
 }
 
-bool decode_payload(const std::string& payload, Checkpoint& ckpt) {
+bool decode_payload(const std::string& payload, std::uint32_t version,
+                    Checkpoint& ckpt) {
   Reader r{payload};
   const auto n_tensors = r.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < n_tensors && !r.failed; ++i) {
     std::string name = r.get_str();
     const auto rows = r.get<std::uint64_t>();
     const auto cols = r.get<std::uint64_t>();
+    TensorPlacement place;
+    if (version >= 2) {
+      const auto raw = r.get<std::uint8_t>();
+      place.device = r.get<std::int32_t>();
+      if (raw > static_cast<std::uint8_t>(mem::Placement::kManaged)) {
+        r.failed = true;
+        break;
+      }
+      place.placement = static_cast<mem::Placement>(raw);
+    }
     if (r.failed) break;
     tensor::Tensor t(static_cast<std::size_t>(rows),
                      static_cast<std::size_t>(cols));
@@ -109,6 +128,7 @@ bool decode_payload(const std::string& payload, Checkpoint& ckpt) {
     }
     std::memcpy(t.data(), payload.data() + r.pos, bytes);
     r.pos += bytes;
+    ckpt.placements.emplace(name, place);
     ckpt.tensors.emplace(std::move(name), std::move(t));
   }
   const auto n_blobs = r.get<std::uint32_t>();
@@ -127,6 +147,19 @@ bool decode_payload(const std::string& payload, Checkpoint& ckpt) {
 }
 
 }  // namespace
+
+void Checkpoint::put(const std::string& name, const tensor::Tensor& t) {
+  TensorPlacement place;
+  place.placement = t.placement();
+  place.device = t.device() != nullptr ? t.device()->ordinal() : -1;
+  placements[name] = place;
+  tensors[name] = t.host_copy();
+}
+
+TensorPlacement Checkpoint::placement_of(const std::string& name) const {
+  auto it = placements.find(name);
+  return it == placements.end() ? TensorPlacement{} : it->second;
+}
 
 Status save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
   const std::string payload = encode_payload(ckpt);
@@ -173,7 +206,7 @@ Expected<Checkpoint> load_checkpoint(const std::string& path) {
 
   Reader r{file, sizeof(kMagic)};
   const auto version = r.get<std::uint32_t>();
-  if (version != kVersion)
+  if (version < kMinVersion || version > kVersion)
     return Status::data_loss("checkpoint: unsupported version " +
                              std::to_string(version) + " in " + path);
   Checkpoint ckpt;
@@ -185,7 +218,7 @@ Expected<Checkpoint> load_checkpoint(const std::string& path) {
   const std::string payload = file.substr(kHeader);
   if (fnv1a64(payload) != checksum)
     return Status::data_loss("checkpoint: checksum mismatch in " + path);
-  if (!decode_payload(payload, ckpt))
+  if (!decode_payload(payload, version, ckpt))
     return Status::data_loss("checkpoint: malformed payload in " + path);
   return ckpt;
 }

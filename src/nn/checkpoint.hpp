@@ -22,16 +22,33 @@
 #include <random>
 #include <string>
 
+#include "mem/buffer.hpp"
 #include "runtime/status.hpp"
 #include "tensor/tensor.hpp"
 
 namespace sagesim::nn {
 
+/// Where a checkpointed tensor lived at save time, so restore can put it
+/// back (format v2; v1 files load with host placement for everything).
+struct TensorPlacement {
+  mem::Placement placement{mem::Placement::kHost};
+  std::int32_t device{-1};  ///< device ordinal, -1 for host
+};
+
 struct Checkpoint {
   std::uint64_t epoch{0};  ///< completed epochs at save time
   std::map<std::string, tensor::Tensor> tensors;
+  std::map<std::string, TensorPlacement> placements;
   std::map<std::string, std::string> blobs;
   std::map<std::string, double> scalars;
+
+  /// The blessed snapshot path: records @p t's placement and stores an
+  /// explicit host copy (accounted D2H when @p t is device-resident) —
+  /// checkpoints never silently read device memory.
+  void put(const std::string& name, const tensor::Tensor& t);
+
+  /// Placement recorded for @p name (host when absent, e.g. v1 files).
+  TensorPlacement placement_of(const std::string& name) const;
 };
 
 /// Atomic save (tmp + rename).  I/O failures come back as kInternal.

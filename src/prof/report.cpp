@@ -54,6 +54,40 @@ double kernel_utilization(const Timeline& timeline, int device) {
   return std::min(1.0, busy / span);
 }
 
+std::string transfer_table(const Timeline& timeline) {
+  struct Row {
+    const char* label;
+    EventKind kind;
+  };
+  static constexpr Row kRows[] = {
+      {"H2D", EventKind::kMemcpyH2D},
+      {"D2H", EventKind::kMemcpyD2H},
+      {"D2D", EventKind::kMemcpyD2D},
+  };
+  std::ostringstream os;
+  os << std::left << std::setw(10) << "direction" << std::right << std::setw(8)
+     << "count" << std::setw(14) << "bytes" << std::setw(12) << "time(ms)"
+     << std::setw(9) << "GB/s" << '\n';
+  os << std::string(53, '-') << '\n';
+  for (const auto& row : kRows) {
+    std::size_t count = 0;
+    double bytes = 0.0;
+    double time_s = 0.0;
+    for (const auto& e : timeline.snapshot(row.kind)) {
+      ++count;
+      time_s += e.duration_s;
+      if (const auto it = e.counters.find("bytes"); it != e.counters.end())
+        bytes += it->second;
+    }
+    const double gbps = time_s > 0.0 ? bytes / time_s / 1e9 : 0.0;
+    os << std::left << std::setw(10) << row.label << std::right << std::setw(8)
+       << count << std::setw(14) << std::fixed << std::setprecision(0) << bytes
+       << std::setw(12) << std::setprecision(3) << time_s * 1e3 << std::setw(9)
+       << std::setprecision(2) << gbps << '\n';
+  }
+  return os.str();
+}
+
 std::string device_utilization(const Timeline& timeline) {
   std::map<int, bool> devices;
   for (const auto& e : timeline.snapshot(EventKind::kKernel))

@@ -16,6 +16,11 @@ std::string summary_table(const Timeline& timeline);
 /// device spent executing kernels ("GPU utilization" in the labs).
 std::string device_utilization(const Timeline& timeline);
 
+/// Per-direction transfer accounting (H2D / D2H / D2D): event count, total
+/// bytes from the "bytes" counter, total time, and effective GB/s — the
+/// "nvprof --print-gpu-trace" memcpy summary the data-movement lab reads.
+std::string transfer_table(const Timeline& timeline);
+
 /// Fraction of the run span during which device @p device executed kernels.
 /// Returns 0 for an empty timeline or a device with no kernel events.
 /// Overlapping kernel intervals (multiple streams) are merged, so the result

@@ -45,10 +45,21 @@ BruteForceIndex::BruteForceIndex(std::size_t dim) : dim_(dim) {
 void BruteForceIndex::add(const tensor::Tensor& vectors) {
   if (vectors.cols() != dim_)
     throw std::invalid_argument("BruteForceIndex::add: dim mismatch");
-  data_.insert(data_.end(), vectors.data(),
-               vectors.data() + vectors.size());
+  // Grow by rebuilding the arena on the host (adds are batched at corpus
+  // build time, so this is a handful of pooled allocations, not per-row).
+  mem::TypedBuffer<float> grown((count_ + vectors.rows()) * dim_);
+  std::copy(data_.begin(), data_.end(), grown.data());
+  std::copy(vectors.data(), vectors.data() + vectors.size(),
+            grown.data() + count_ * dim_);
+  data_ = std::move(grown);
   count_ += vectors.rows();
 }
+
+Status BruteForceIndex::to_device(gpu::Device& device, int stream) {
+  return data_.to_device(device, stream);
+}
+
+Status BruteForceIndex::to_host(int stream) { return data_.to_host(stream); }
 
 std::vector<std::vector<SearchHit>> BruteForceIndex::search(
     gpu::Device* dev, const tensor::Tensor& queries, std::size_t k) const {
@@ -100,7 +111,7 @@ void IvfFlatIndex::train(gpu::Device* dev, const tensor::Tensor& sample,
   // Init: distinct random rows.
   stats::Rng rng(seed_);
   const auto perm = rng.permutation(sample.rows());
-  centroids_.assign(nlist_ * dim_, 0.0f);
+  centroids_ = mem::TypedBuffer<float>(nlist_ * dim_);
   for (std::size_t c = 0; c < nlist_; ++c)
     std::copy(sample.data() + perm[c] * dim_,
               sample.data() + (perm[c] + 1) * dim_,

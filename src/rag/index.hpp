@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "mem/buffer.hpp"
+#include "runtime/status.hpp"
 #include "stats/rng.hpp"
 #include "tensor/tensor.hpp"
 
@@ -45,10 +47,16 @@ class BruteForceIndex final : public VectorIndex {
   std::size_t size() const override { return count_; }
   std::size_t dim() const override { return dim_; }
 
+  /// Moves the embedding matrix to @p device (accounted H2D) / back.
+  /// add() rebuilds on the host; move again afterwards if needed.
+  Status to_device(gpu::Device& device, int stream = 0);
+  Status to_host(int stream = 0);
+  mem::Placement placement() const { return data_.placement(); }
+
  private:
   std::size_t dim_;
   std::size_t count_{0};
-  std::vector<float> data_;  ///< row-major count_ x dim_
+  mem::TypedBuffer<float> data_;  ///< row-major count_ x dim_
 };
 
 /// IVF-Flat: k-means centroids partition the collection; queries probe the
@@ -84,7 +92,7 @@ class IvfFlatIndex final : public VectorIndex {
   std::uint64_t seed_;
   bool trained_{false};
   std::size_t count_{0};
-  std::vector<float> centroids_;              ///< nlist_ x dim_
+  mem::TypedBuffer<float> centroids_;         ///< nlist_ x dim_
   std::vector<std::vector<std::uint32_t>> list_ids_;
   std::vector<std::vector<float>> list_vecs_;  ///< flattened rows per list
 };

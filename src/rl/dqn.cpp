@@ -18,11 +18,11 @@ void build_mlp(nn::Sequential& model, std::size_t in, std::size_t hidden,
   model.emplace<nn::Dense>(hidden, out, rng);
 }
 
-tensor::Tensor batch_of(const std::vector<const Transition*>& batch,
+tensor::Tensor batch_of(const std::vector<TransitionView>& batch,
                         bool next_state, std::size_t obs_size) {
   tensor::Tensor x(batch.size(), obs_size);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const auto& src = next_state ? batch[i]->next_state : batch[i]->state;
+    const auto src = next_state ? batch[i].next_state : batch[i].state;
     std::copy(src.begin(), src.end(), x.data() + i * obs_size);
   }
   return x;
@@ -63,11 +63,11 @@ double DqnAgent::train_step() {
   targets.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     float best_next = 0.0f;
-    if (!batch[i]->done) {
+    if (!batch[i].done) {
       best_next = next_q.at(i, next_q.argmax_row(i));
     }
-    targets.push_back({i, static_cast<std::size_t>(batch[i]->action),
-                       batch[i]->reward + config_.gamma * best_next});
+    targets.push_back({i, static_cast<std::size_t>(batch[i].action),
+                       batch[i].reward + config_.gamma * best_next});
   }
 
   online_.zero_grad();

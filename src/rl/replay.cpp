@@ -1,5 +1,6 @@
 #include "rl/replay.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sagesim::rl {
@@ -7,32 +8,78 @@ namespace sagesim::rl {
 ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0)
     throw std::invalid_argument("ReplayBuffer: capacity must be > 0");
-  buffer_.reserve(capacity);
 }
 
 void ReplayBuffer::push(Transition t) {
-  if (buffer_.size() < capacity_) {
-    buffer_.push_back(std::move(t));
-  } else {
-    buffer_[next_] = std::move(t);
+  if (!dims_set_) {
+    state_dim_ = t.state.size();
+    next_dim_ = t.next_state.size();
+    if (state_dim_ != 0)
+      states_ = mem::TypedBuffer<float>(capacity_ * state_dim_);
+    if (next_dim_ != 0)
+      next_states_ = mem::TypedBuffer<float>(capacity_ * next_dim_);
+    actions_ = mem::TypedBuffer<int>(capacity_);
+    rewards_ = mem::TypedBuffer<float>(capacity_);
+    dones_ = mem::TypedBuffer<std::uint8_t>(capacity_);
+    dims_set_ = true;
   }
+  if (t.state.size() != state_dim_ || t.next_state.size() != next_dim_)
+    throw std::invalid_argument(
+        "ReplayBuffer::push: transition dimensions changed mid-stream");
+
+  const std::size_t slot = size_ < capacity_ ? size_ : next_;
+  if (state_dim_ != 0)
+    std::copy(t.state.begin(), t.state.end(),
+              states_.data() + slot * state_dim_);
+  if (next_dim_ != 0)
+    std::copy(t.next_state.begin(), t.next_state.end(),
+              next_states_.data() + slot * next_dim_);
+  actions_[slot] = t.action;
+  rewards_[slot] = t.reward;
+  dones_[slot] = t.done ? 1 : 0;
+
+  if (size_ < capacity_) ++size_;
   next_ = (next_ + 1) % capacity_;
 }
 
-std::vector<const Transition*> ReplayBuffer::sample(std::size_t count,
-                                                    stats::Rng& rng) const {
-  if (buffer_.empty())
+std::vector<TransitionView> ReplayBuffer::sample(std::size_t count,
+                                                 stats::Rng& rng) const {
+  if (size_ == 0)
     throw std::invalid_argument("ReplayBuffer::sample: empty buffer");
   if (count == 0)
     throw std::invalid_argument("ReplayBuffer::sample: count must be > 0");
-  std::vector<const Transition*> out;
+  std::vector<TransitionView> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const auto idx = static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(buffer_.size()) - 1));
-    out.push_back(&buffer_[idx]);
+        rng.uniform_int(0, static_cast<std::int64_t>(size_) - 1));
+    TransitionView v;
+    if (state_dim_ != 0)
+      v.state = states_.span().subspan(idx * state_dim_, state_dim_);
+    v.action = actions_[idx];
+    v.reward = rewards_[idx];
+    if (next_dim_ != 0)
+      v.next_state = next_states_.span().subspan(idx * next_dim_, next_dim_);
+    v.done = dones_[idx] != 0;
+    out.push_back(v);
   }
   return out;
+}
+
+Status ReplayBuffer::to_device(gpu::Device& device, int stream) {
+  if (Status s = states_.to_device(device, stream); !s.ok()) return s;
+  if (Status s = next_states_.to_device(device, stream); !s.ok()) return s;
+  if (Status s = actions_.to_device(device, stream); !s.ok()) return s;
+  if (Status s = rewards_.to_device(device, stream); !s.ok()) return s;
+  return dones_.to_device(device, stream);
+}
+
+Status ReplayBuffer::to_host(int stream) {
+  if (Status s = states_.to_host(stream); !s.ok()) return s;
+  if (Status s = next_states_.to_host(stream); !s.ok()) return s;
+  if (Status s = actions_.to_host(stream); !s.ok()) return s;
+  if (Status s = rewards_.to_host(stream); !s.ok()) return s;
+  return dones_.to_host(stream);
 }
 
 }  // namespace sagesim::rl

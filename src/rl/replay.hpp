@@ -1,13 +1,27 @@
 // Uniform experience-replay buffer (Mnih et al. 2015).
+//
+// Transitions are stored in flat mem::TypedBuffer arenas (capacity x dim)
+// rather than per-transition vectors, so replay memory is a handful of
+// pooled, placement-aware allocations instead of thousands of tiny host
+// heap blocks — and sampled minibatches read contiguous rows.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "mem/buffer.hpp"
+#include "runtime/status.hpp"
 #include "stats/rng.hpp"
+
+namespace sagesim::gpu {
+class Device;
+}
 
 namespace sagesim::rl {
 
+/// Push-side transition (owning vectors, copied into the arenas).
 struct Transition {
   std::vector<float> state;
   int action{0};
@@ -16,25 +30,51 @@ struct Transition {
   bool done{false};
 };
 
+/// Sample-side transition: zero-copy views into the arenas.  Valid until the
+/// next push() or placement change.
+struct TransitionView {
+  std::span<const float> state;
+  int action{0};
+  float reward{0.0f};
+  std::span<const float> next_state;
+  bool done{false};
+};
+
 class ReplayBuffer {
  public:
   explicit ReplayBuffer(std::size_t capacity);
 
   /// Adds a transition, evicting the oldest once full (ring buffer).
+  /// State/next-state dimensions are fixed by the first push; a mismatch
+  /// later throws std::invalid_argument.
   void push(Transition t);
 
-  std::size_t size() const { return buffer_.size(); }
+  std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
 
   /// Samples @p count transitions uniformly with replacement.  Throws
   /// std::invalid_argument when the buffer is empty or count == 0.
-  std::vector<const Transition*> sample(std::size_t count,
-                                        stats::Rng& rng) const;
+  std::vector<TransitionView> sample(std::size_t count, stats::Rng& rng) const;
+
+  /// Moves the arenas to @p device (accounted H2D) / back to the host.
+  /// Views returned by sample() track the move (simulated device memory is
+  /// host-reachable).
+  Status to_device(gpu::Device& device, int stream = 0);
+  Status to_host(int stream = 0);
+  mem::Placement placement() const { return states_.placement(); }
 
  private:
   std::size_t capacity_;
   std::size_t next_{0};
-  std::vector<Transition> buffer_;
+  std::size_t size_{0};
+  bool dims_set_{false};
+  std::size_t state_dim_{0};
+  std::size_t next_dim_{0};
+  mem::TypedBuffer<float> states_;        ///< capacity x state_dim
+  mem::TypedBuffer<float> next_states_;   ///< capacity x next_dim
+  mem::TypedBuffer<int> actions_;
+  mem::TypedBuffer<float> rewards_;
+  mem::TypedBuffer<std::uint8_t> dones_;
 };
 
 }  // namespace sagesim::rl

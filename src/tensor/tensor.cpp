@@ -6,10 +6,10 @@
 
 namespace sagesim::tensor {
 
-Tensor::Tensor(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+Tensor::Tensor(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
   if (rows == 0 || cols == 0)
     throw std::invalid_argument("Tensor: zero dimension");
+  data_ = mem::TypedBuffer<float>(rows * cols);
 }
 
 Tensor Tensor::vector(std::size_t n) { return Tensor(n, 1); }
@@ -93,6 +93,20 @@ float Tensor::norm() const {
 
 std::string Tensor::shape_str() const {
   return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+Status Tensor::to_device(gpu::Device& device, int stream) {
+  return data_.to_device(device, stream);
+}
+
+Status Tensor::to_host(int stream) { return data_.to_host(stream); }
+
+Tensor Tensor::host_copy() const {
+  Tensor t;
+  t.rows_ = rows_;
+  t.cols_ = cols_;
+  t.data_ = data_.host_copy();
+  return t;
 }
 
 void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {

@@ -1,7 +1,10 @@
 // Dense row-major float tensor (rank 1 or 2) — the data container shared by
-// nn, rl, and rag.  Storage lives on the host; compute is routed through
-// tensor/ops.hpp, which executes on a simulated GPU when one is supplied
-// ("data resident on device") or on plain host loops otherwise.
+// nn, rl, and rag.  Storage is a mem::Buffer with an explicit placement:
+// host by default, moved with to_device()/to_host() (accounted H2D/D2H
+// transfers through the device's memory pool).  Compute is routed through
+// tensor/ops.hpp, which executes on a simulated GPU when one is supplied or
+// on plain host loops otherwise; either way the element bytes are the same,
+// so results are bit-identical across placements.
 #pragma once
 
 #include <cstddef>
@@ -10,7 +13,13 @@
 #include <string>
 #include <vector>
 
+#include "mem/buffer.hpp"
+#include "runtime/status.hpp"
 #include "stats/rng.hpp"
+
+namespace sagesim::gpu {
+class Device;
+}
 
 namespace sagesim::tensor {
 
@@ -38,8 +47,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::span<float> span() { return data_; }
-  std::span<const float> span() const { return data_; }
+  std::span<float> span() { return data_.span(); }
+  std::span<const float> span() const { return data_.span(); }
 
   float& at(std::size_t r, std::size_t c);
   float at(std::size_t r, std::size_t c) const;
@@ -73,10 +82,30 @@ class Tensor {
   /// Element count sanity + shape string "3x4" for messages.
   std::string shape_str() const;
 
+  // --- placement ---------------------------------------------------------
+
+  /// Moves the storage to @p device (accounted H2D through the device's
+  /// memory pool).  On device OOM returns kResourceExhausted and the host
+  /// copy stays valid and untouched.  No-op when already resident there.
+  Status to_device(gpu::Device& device, int stream = 0);
+
+  /// Moves the storage back to the host (accounted D2H).
+  Status to_host(int stream = 0);
+
+  mem::Placement placement() const { return data_.placement(); }
+  gpu::Device* device() const { return data_.device(); }
+
+  /// Host-placed deep copy; device-resident tensors are explicitly
+  /// downloaded (accounted D2H) — the checkpoint snapshot path.
+  Tensor host_copy() const;
+
+  /// This tensor's lifetime H2D/D2H transfer counters.
+  mem::TransferCounters transfers() const { return data_.buffer().transfers(); }
+
  private:
   std::size_t rows_{0};
   std::size_t cols_{0};
-  std::vector<float> data_;
+  mem::TypedBuffer<float> data_;
 };
 
 /// Throws std::invalid_argument with a readable message unless the two

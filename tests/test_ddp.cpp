@@ -8,6 +8,11 @@
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
 
+#include <filesystem>
+
+#include "mem/buffer.hpp"
+#include "mem/pool.hpp"
+
 namespace ddp = sagesim::ddp;
 namespace nn = sagesim::nn;
 namespace gpu = sagesim::gpu;
@@ -202,4 +207,104 @@ TEST(DdpTrainer, RejectsDegenerateInputs) {
   tensor::Tensor x(1, 2);  // batch smaller than world size
   const std::vector<int> y{0};
   EXPECT_THROW(trainer.step(x, y), std::invalid_argument);
+}
+
+TEST(DdpTrainer, PlacesReplicasOnRankDevices) {
+  namespace mem = sagesim::mem;
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster(dm);
+  ddp::DataParallelTrainer trainer(
+      cluster, [] { return make_mlp(11, 4, 8, 2); },
+      [] { return std::make_unique<nn::Sgd>(0.1f); });
+  for (int r = 0; r < 2; ++r) {
+    for (nn::Param* p : trainer.replica(r).params()) {
+      EXPECT_EQ(p->value.placement(), mem::Placement::kDevice);
+      EXPECT_EQ(p->grad.placement(), mem::Placement::kDevice);
+      ASSERT_NE(p->value.device(), nullptr);
+      EXPECT_EQ(p->value.device()->ordinal(), r);
+    }
+  }
+}
+
+TEST(DdpTrainer, CheckpointRoundTripsPlacement) {
+  namespace mem = sagesim::mem;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sagesim_test_ddp_place")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster(dm);
+  Rng rng(14);
+  const std::size_t n = 32, d = 4;
+  tensor::Tensor x(n, d);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t f = 0; f < d; ++f)
+      x.at(i, f) = static_cast<float>(rng.normal(y[i] == 0 ? -1 : 1, 1));
+  }
+
+  ddp::TrainerOptions opts;
+  opts.checkpoint_dir = dir;
+  ddp::DataParallelTrainer a(
+      cluster, [] { return make_mlp(77, 4, 8, 2); },
+      [] { return std::make_unique<nn::Sgd>(0.1f); }, opts);
+  for (int s = 0; s < 3; ++s) a.step(x, y);
+  ASSERT_TRUE(a.save_checkpoint(3).ok());
+  const auto ref = a.predict(x);
+
+  // A fresh trainer restores values AND placement: every parameter comes
+  // back device-resident on the rank it was saved from.
+  ddp::DataParallelTrainer b(
+      cluster, [] { return make_mlp(1234, 4, 8, 2); },  // different init
+      [] { return std::make_unique<nn::Sgd>(0.1f); }, opts);
+  sagesim::Expected<std::uint64_t> epoch = b.restore_latest();
+  ASSERT_TRUE(epoch);
+  EXPECT_EQ(*epoch, 3u);
+  for (int r = 0; r < 2; ++r) {
+    for (nn::Param* p : b.replica(r).params()) {
+      EXPECT_EQ(p->value.placement(), mem::Placement::kDevice);
+      ASSERT_NE(p->value.device(), nullptr);
+      EXPECT_EQ(p->value.device()->ordinal(), r);
+    }
+  }
+  const auto restored = b.predict(x);
+  ASSERT_EQ(ref.size(), restored.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(ref[i], restored[i]) << "at " << i;  // bit-identical restore
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DdpTrainer, PoolHitRateExceedsNinetyPercentAfterWarmup) {
+  namespace mem = sagesim::mem;
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster(dm);
+  Rng rng(15);
+  const std::size_t n = 64, d = 8;
+  tensor::Tensor x(n, d);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t f = 0; f < d; ++f)
+      x.at(i, f) = static_cast<float>(rng.normal(y[i] == 0 ? -1 : 1, 1));
+  }
+  ddp::DataParallelTrainer trainer(
+      cluster, [] { return make_mlp(5, 8, 16, 2); },
+      [] { return std::make_unique<nn::Adam>(1e-3f); });
+  for (int s = 0; s < 3; ++s) trainer.step(x, y);  // warm every size class
+
+  mem::host_pool().reset_stats();
+  mem::device_pool(dm.device(0)).reset_stats();
+  mem::device_pool(dm.device(1)).reset_stats();
+  for (int s = 0; s < 20; ++s) trainer.step(x, y);
+
+  // Steady state allocates the same sizes every step, so the free lists
+  // serve (nearly) everything; a sub-90% rate means recycling regressed.
+  EXPECT_GT(mem::host_pool().stats().hit_rate(), 0.9);
+  for (int r = 0; r < 2; ++r) {
+    const mem::PoolStats s = mem::device_pool(dm.device(r)).stats();
+    EXPECT_GT(s.hit_rate(), 0.9) << "device " << r;
+    EXPECT_GT(s.hits, 0u);
+  }
 }

@@ -135,8 +135,8 @@ TEST(Replay, EvictsOldestWhenFull) {
   Rng rng(10);
   bool saw_action1 = false;
   for (int i = 0; i < 200; ++i)
-    for (const auto* t : buf.sample(2, rng))
-      if (t->action == 1) saw_action1 = true;
+    for (const auto& t : buf.sample(2, rng))
+      if (t.action == 1) saw_action1 = true;
   EXPECT_FALSE(saw_action1);
 }
 

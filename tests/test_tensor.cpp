@@ -491,3 +491,59 @@ TEST(GemmDevicePath, MatchesHostBitwise) {
   }
   expect_bitwise(dev_out, host_out);
 }
+
+// --- placement ------------------------------------------------------------------
+
+TEST(TensorPlacement, DeviceRoundTripPreservesBytes) {
+  namespace mem = sagesim::mem;
+  gpu::DeviceManager dm(1, gpu::spec::test_tiny());
+  Rng rng(41);
+  tensor::Tensor t(9, 7);
+  t.init_uniform(rng, -2, 2);
+  const tensor::Tensor before = t;  // deep copy
+
+  ASSERT_TRUE(t.to_device(dm.device(0)).ok());
+  EXPECT_EQ(t.placement(), mem::Placement::kDevice);
+  EXPECT_EQ(t.device(), &dm.device(0));
+  ASSERT_TRUE(t.to_host().ok());
+  EXPECT_EQ(t.placement(), mem::Placement::kHost);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    ASSERT_EQ(t[i], before[i]) << "at " << i;  // bit-identical round trip
+  EXPECT_EQ(t.transfers().h2d_count, 1u);
+  EXPECT_EQ(t.transfers().d2h_count, 1u);
+  EXPECT_EQ(t.transfers().h2d_bytes, t.size() * sizeof(float));
+}
+
+TEST(TensorPlacement, HostCopySnapshotsDeviceResidentTensor) {
+  namespace mem = sagesim::mem;
+  gpu::DeviceManager dm(1, gpu::spec::test_tiny());
+  tensor::Tensor t(3, 3);
+  t.fill(2.5f);
+  ASSERT_TRUE(t.to_device(dm.device(0)).ok());
+  const tensor::Tensor h = t.host_copy();
+  EXPECT_EQ(h.placement(), mem::Placement::kHost);
+  EXPECT_FLOAT_EQ(h.at(2, 2), 2.5f);
+  EXPECT_EQ(t.placement(), mem::Placement::kDevice);  // source unmoved
+}
+
+TEST(TensorPlacement, OverCapacityToDeviceFailsAndHostCopyStaysValid) {
+  namespace mem = sagesim::mem;
+  // test_tiny models 64 MiB of device memory; this tensor needs ~80 MB.
+  gpu::DeviceManager dm(1, gpu::spec::test_tiny());
+  tensor::Tensor t(1024, 20000);
+  t.fill(1.25f);
+
+  const sagesim::Status s = t.to_device(dm.device(0));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), sagesim::ErrorCode::kResourceExhausted);
+
+  // The failed transition must leave the tensor exactly as it was: host
+  // placement, every element readable and intact, no transfers charged.
+  EXPECT_EQ(t.placement(), mem::Placement::kHost);
+  EXPECT_EQ(t.device(), nullptr);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.25f);
+  EXPECT_FLOAT_EQ(t.at(1023, 19999), 1.25f);
+  EXPECT_EQ(t.transfers().h2d_count, 0u);
+  // And the tensor stays fully usable on the host.
+  EXPECT_FLOAT_EQ(t.sum(), 1.25f * 1024 * 20000);
+}
