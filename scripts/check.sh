@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full local gate: tier-1 build + tests, the sanitizer suites, and the perf
+# smoke runs.  Everything a PR must keep green, in one command:
+#
+#   scripts/check.sh            # tier-1 + asan + tsan + perf smoke
+#   scripts/check.sh --fast     # tier-1 only
+#
+# Build trees: build/ (tier-1), build-asan/, build-tsan/.  Sanitizer trees
+# skip bench and examples — the sanitized test binaries are the point.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc)
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+step "tier-1: ctest"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "--fast: skipping sanitizer suites"
+  exit 0
+fi
+
+step "asan: build + asan.* suite"
+cmake -B build-asan -S . -DSAGESIM_SANITIZE=address \
+  -DSAGESIM_BUILD_BENCH=OFF -DSAGESIM_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -L asan
+
+step "tsan: build + tsan.* suite"
+cmake -B build-tsan -S . -DSAGESIM_SANITIZE=thread \
+  -DSAGESIM_BUILD_BENCH=OFF -DSAGESIM_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -L tsan
+
+step "perf: microbench smoke"
+ctest --test-dir build --output-on-failure -L perf
+
+echo
+echo "all checks passed"

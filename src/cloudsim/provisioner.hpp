@@ -58,11 +58,11 @@ class Provisioner {
   // --- instances ----------------------------------------------------------
 
   struct LaunchRequest {
-    std::string type_name;
+    std::string type_name{};
     std::uint32_t count{1};
-    std::string vpc_id;      ///< empty = default VPC (created on demand)
-    std::string subnet_id;   ///< empty = first subnet of the VPC
-    std::string assessment;  ///< tag for cost attribution
+    std::string vpc_id{};      ///< empty = default VPC (created on demand)
+    std::string subnet_id{};   ///< empty = first subnet of the VPC
+    std::string assessment{};  ///< tag for cost attribution
     /// Launch through AWS Educate: free of charge, exempt from the budget
     /// cap, tagged so cost reports can exclude it (SIII.A.1).
     bool educate{false};

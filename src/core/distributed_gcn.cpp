@@ -181,7 +181,10 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
       param_sets.reserve(replicas.size());
       for (auto& r : replicas) param_sets.push_back(r->params());
       ddp::broadcast_params(devices, param_sets);
-      sync = std::make_unique<ddp::GradientSynchronizer>(devices, param_sets);
+      sync = std::make_unique<ddp::GradientSynchronizer>(
+          devices, param_sets,
+          ddp::SyncOptions{.bucket_bytes = config.ddp_bucket_bytes,
+                           .overlap = config.ddp_overlap});
     }
   };
   build_replicas();
@@ -237,7 +240,15 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
                 model.forward(ctx.device, shard.features, /*train=*/true);
             auto loss = nn::masked_softmax_cross_entropy(
                 ctx.device, logits, shard.labels, shard.train_rows);
-            model.backward(ctx.device, loss.dlogits);
+            if (sync) {
+              // DDP-style backward hook: buckets fire on the comm streams
+              // while the rest of backward still runs.
+              model.backward(ctx.device, loss.dlogits, [&](nn::Param* p) {
+                sync->notify_grad_ready(static_cast<std::size_t>(r), p);
+              });
+            } else {
+              model.backward(ctx.device, loss.dlogits);
+            }
             return loss.loss;
           },
           {prev[static_cast<std::size_t>(r)]},
@@ -278,6 +289,10 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
   // and — because every future has been waited — no in-flight task still
   // references the shard/replica state the caller may now rebuild.
   auto run_chunk = [&](int begin_e, int end_e) -> Status {
+    // Quiescent on entry (any prior chunk's futures were waited out): drop
+    // readiness state an aborted attempt may have left behind, so a re-run
+    // never mixes stale notifications with fresh ones.
+    if (sync) sync->reset_pending();
     const int kw = static_cast<int>(shards.size());
     std::vector<dflow::Future> prev(static_cast<std::size_t>(kw));
     for (auto& f : prev) f = dflow::Future::immediate({});

@@ -67,6 +67,12 @@ struct DistributedGcnConfig {
   /// the documented dask.distributed overhead); dispatch is serialized on
   /// the scheduler.
   double scheduler_overhead_s{1e-3};
+  /// Gradient-bucket size for DDP sync; 0 uses ddp::default_bucket_bytes().
+  /// The GCN's parameters are small, so per-layer overlap needs buckets well
+  /// below the 4 MiB default.
+  std::size_t ddp_bucket_bytes{0};
+  /// Overlap bucket allreduce with backward compute on the comm streams.
+  bool ddp_overlap{true};
   GcnFaultOptions fault;
 };
 

@@ -1,11 +1,28 @@
 #include "dataframe/csv.hpp"
 
+#include <array>
 #include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace sagesim::df {
+
+namespace {
+
+/// Shortest round-trippable decimal form of @p v (std::to_chars emits the
+/// minimal digits that parse back to the same double — locale-independent,
+/// unlike operator<<, whose default 6 significant digits lose precision).
+std::string format_f64(double v) {
+  std::array<char, 32> buf;
+  const auto [p, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc()) throw std::runtime_error("write_csv: format failed");
+  return std::string(buf.data(), p);
+}
+
+}  // namespace
 
 void write_csv(const DataFrame& frame, std::ostream& os) {
   const auto names = frame.column_names();
@@ -17,7 +34,7 @@ void write_csv(const DataFrame& frame, std::ostream& os) {
       if (i) os << ',';
       const Column& c = frame.col(names[i]);
       switch (c.dtype()) {
-        case DType::kFloat64: os << c.f64()[r]; break;
+        case DType::kFloat64: os << format_f64(c.f64()[r]); break;
         case DType::kInt64: os << c.i64()[r]; break;
         case DType::kString: os << c.str()[r]; break;
       }
@@ -51,27 +68,34 @@ bool parse_i64(const std::string& s, std::int64_t& v) {
 }
 
 bool parse_f64(const std::string& s, double& v) {
-  if (s.empty()) return false;
-  try {
-    std::size_t pos = 0;
-    v = std::stod(s, &pos);
-    return pos == s.size();
-  } catch (const std::exception&) {
-    return false;
-  }
+  // std::from_chars, not std::stod: stod honors the global locale (a comma
+  // decimal separator silently truncates "1.5" to 1) and throws on
+  // non-numeric cells, which the type-sniffing loop below hits constantly.
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [p, ec] = std::from_chars(begin, end, v);
+  return ec == std::errc() && p == end && !s.empty();
 }
 
 }  // namespace
 
 DataFrame read_csv(std::istream& is) {
+  // CRLF input: getline stops at '\n', leaving the '\r' glued to the last
+  // cell ("3.14\r" is neither an int nor a float, so a CRLF file silently
+  // degrades every numeric column to strings).
+  const auto strip_cr = [](std::string& l) {
+    if (!l.empty() && l.back() == '\r') l.pop_back();
+  };
   std::string line;
   if (!std::getline(is, line))
     throw std::runtime_error("read_csv: empty input");
+  strip_cr(line);
   const auto header = split_line(line);
   if (header.empty()) throw std::runtime_error("read_csv: empty header");
 
   std::vector<std::vector<std::string>> cells(header.size());
   while (std::getline(is, line)) {
+    strip_cr(line);
     if (line.empty()) continue;
     const auto row = split_line(line);
     if (row.size() != header.size())

@@ -26,7 +26,6 @@ DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
   std::vector<std::vector<nn::Param*>> replicas;
   replicas.reserve(models_.size());
   for (auto& m : models_) replicas.push_back(m->params());
-  broadcast_params(cluster_.devices(), replicas);
   // Place every replica's parameters and gradients on its rank's device up
   // front — the explicit placement transition (accounted H2D) that DDP's
   // "model.to(device)" performs.  Compute is unchanged: device storage stays
@@ -38,8 +37,14 @@ DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
       p->grad.to_device(dev).throw_if_error();
     }
   }
-  sync_ = std::make_unique<GradientSynchronizer>(cluster_.devices(), replicas,
-                                                 options_.algo);
+  // Broadcast after placement, so rank 0's weights travel the peer links as
+  // accounted device-to-device copies.
+  broadcast_params(cluster_.devices(), replicas);
+  sync_ = std::make_unique<GradientSynchronizer>(
+      cluster_.devices(), replicas,
+      SyncOptions{.algo = options_.algo,
+                  .bucket_bytes = options_.bucket_bytes,
+                  .overlap = options_.overlap});
 }
 
 DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
@@ -59,6 +64,10 @@ Expected<StepStats> DataParallelTrainer::try_step(const tensor::Tensor& x,
         "DataParallelTrainer::step: batch smaller than world size");
 
   const double t0 = cluster_.devices().now_s();
+
+  // Quiescent here (every prior step's futures were waited out), so any
+  // readiness state left by an aborted attempt is safe to drop.
+  sync_->reset_pending();
 
   // One step = one task DAG on the unified runtime:
   // forward/backward per rank (pinned) -> gradient all-reduce (unpinned,
@@ -92,7 +101,13 @@ Expected<StepStats> DataParallelTrainer::try_step(const tensor::Tensor& x,
           tensor::Tensor logits =
               model.forward(ctx.device, shard, /*train=*/true);
           auto loss = nn::softmax_cross_entropy(ctx.device, logits, labels);
-          model.backward(ctx.device, loss.dlogits);
+          if (options_.overlap) {
+            model.backward(ctx.device, loss.dlogits, [&](nn::Param* p) {
+              sync_->notify_grad_ready(r, p);
+            });
+          } else {
+            model.backward(ctx.device, loss.dlogits);
+          }
           return loss.loss;
         },
         {}, static_cast<int>(r), options_.retry, options_.task_timeout_s));

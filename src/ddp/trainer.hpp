@@ -32,12 +32,18 @@ struct StepStats {
 /// up): collective algorithm, checkpoint placement, retry/deadline policy.
 struct TrainerOptions {
   AllReduceAlgo algo{AllReduceAlgo::kRing};
+  /// Gradient bucket granularity in bytes; 0 == SAGESIM_DDP_BUCKET_MB
+  /// (default 4 MiB).  See SyncOptions::bucket_bytes.
+  std::size_t bucket_bytes{0};
+  /// Overlap bucketed gradient communication with backward compute on the
+  /// per-device comm streams.  See SyncOptions::overlap.
+  bool overlap{true};
   /// Directory for epoch checkpoints; empty disables save/restore.
-  std::string checkpoint_dir;
+  std::string checkpoint_dir{};
   std::string checkpoint_prefix{"ddp"};
   /// Backoff schedule for retryable step-task failures (preemption,
   /// deadline, unavailable rank).
-  dflow::RetryPolicy retry;
+  dflow::RetryPolicy retry{};
   /// Per-attempt wall-clock deadline for each step task; 0 == none.
   double task_timeout_s{0.0};
 };

@@ -1,7 +1,15 @@
 // Multi-GPU collectives over simulated devices — the gradient-aggregation
 // layer of Algorithm 1 ("Aggregate gradients from all workers") and of the
-// Week-10 DDP lab.  Data movement goes through DeviceManager::copy_peer, so
-// simulated time reflects the collective's real communication pattern.
+// Week-10 DDP lab.  Data movement goes through DeviceManager::copy_peer or
+// the ring-hop schedule, so simulated time reflects the collective's real
+// communication pattern.
+//
+// Accumulation-order contract: every reduction folds contributions in
+// ascending rank order (rank 0 + rank 1 + ... + rank k-1) regardless of the
+// algorithm, the chunking, or how a caller splits one logical reduction into
+// buckets.  Float addition is not associative, so this is what makes a
+// bucketed ring bit-identical to a flat naive all-reduce — the contract the
+// DDP bit-identity tests pin.
 #pragma once
 
 #include <cstddef>
@@ -11,30 +19,39 @@
 
 namespace sagesim::dflow {
 
-/// One participant's view of a collective: its device ordinal and its device
-/// buffer of @p count floats.
+/// One participant's view of a collective: its device ordinal, its device
+/// buffer of @p count floats, the stream the collective occupies on that
+/// device, and the earliest simulated time the data is valid (0 == already
+/// valid at the stream cursor).
 struct CollectiveBuffer {
   std::size_t device{0};
   float* data{nullptr};
+  int stream{0};
+  double ready_s{0.0};
 };
 
 /// Ring all-reduce (sum): reduce-scatter then all-gather, the standard
 /// 2*(k-1)-step ring used by NCCL/DDP.  After the call every buffer holds
-/// the element-wise sum.  Chunked so each step moves count/k elements.
-/// Throws std::invalid_argument for mismatched/empty inputs.
+/// the element-wise sum, folded in ascending rank order (see the contract
+/// above); the hop schedule — what each link carries at each step — is the
+/// genuine ring, which is what the simulated clock charges.  Chunked so each
+/// step moves ~count/k elements.  @p bucket tags the recorded trace events
+/// (counter "bucket") when >= 0.  Throws std::invalid_argument for
+/// mismatched/empty/duplicate-device inputs.
 void ring_allreduce_sum(gpu::DeviceManager& devices,
                         const std::vector<CollectiveBuffer>& buffers,
-                        std::size_t count);
+                        std::size_t count, int bucket = -1);
 
 /// Naive all-reduce baseline: gather everything to rank 0, reduce there,
-/// broadcast back.  Same result, (2k - 2) full-size transfers through one
-/// hot link — the ablation bench contrasts this with the ring.
+/// broadcast back.  Same result bits (ascending fold), (2k - 2) full-size
+/// transfers through one hot link — the ablation bench contrasts this with
+/// the ring.
 void naive_allreduce_sum(gpu::DeviceManager& devices,
                          const std::vector<CollectiveBuffer>& buffers,
-                         std::size_t count);
+                         std::size_t count, int bucket = -1);
 
 /// In-place average after a sum all-reduce: divides by participant count on
-/// each device (charged as a tiny device kernel).
+/// each device (charged as a tiny device kernel on each buffer's stream).
 void scale_buffers(gpu::DeviceManager& devices,
                    const std::vector<CollectiveBuffer>& buffers,
                    std::size_t count, float factor);

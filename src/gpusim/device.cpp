@@ -28,6 +28,15 @@ int Device::create_stream() {
   return ordinal;
 }
 
+int Device::comm_stream() {
+  std::lock_guard lock(mutex_);
+  if (comm_stream_ < 0) {
+    comm_stream_ = static_cast<int>(streams_.size());
+    streams_.emplace_back(comm_stream_);
+  }
+  return comm_stream_;
+}
+
 std::size_t Device::stream_count() const {
   std::lock_guard lock(mutex_);
   return streams_.size();

@@ -47,6 +47,12 @@ class Device {
   /// Creates a new stream and returns its ordinal (stream 0 always exists).
   int create_stream();
 
+  /// Ordinal of the dedicated communication stream (collectives overlap
+  /// compute on stream 0), created lazily on first use.  Comm work enqueued
+  /// here advances concurrently with stream 0 and is fenced back explicitly
+  /// by the caller (e.g. GradientSynchronizer::sync()).
+  int comm_stream();
+
   /// Number of streams (>= 1).
   std::size_t stream_count() const;
 
@@ -124,8 +130,9 @@ class Device {
   DeviceMemory memory_;
   std::shared_ptr<prof::Timeline> timeline_;
   Executor* executor_;
-  mutable std::mutex mutex_;  // guards streams_
+  mutable std::mutex mutex_;  // guards streams_ and comm_stream_
   std::vector<Stream> streams_;
+  int comm_stream_{-1};
 };
 
 /// Typed RAII handle over a device allocation (thrust::device_vector-lite).

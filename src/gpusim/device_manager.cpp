@@ -42,7 +42,8 @@ const Device& DeviceManager::device(std::size_t ordinal) const {
 
 void DeviceManager::copy_peer(std::size_t dst_dev, void* dst,
                               std::size_t src_dev, const void* src,
-                              std::size_t bytes) {
+                              std::size_t bytes, int dst_stream,
+                              int src_stream) {
   Device& d = device(dst_dev);
   Device& s = device(src_dev);
   if (!d.memory().owns(dst))
@@ -54,13 +55,14 @@ void DeviceManager::copy_peer(std::size_t dst_dev, void* dst,
 
   std::memcpy(dst, src, bytes);
 
-  // The transfer occupies the peer link: both devices' stream 0 advance to a
-  // common completion time.
+  // The transfer occupies the peer link: the participating streams on both
+  // devices advance to a common completion time.
   const double dur = s.timing().peer_transfer_seconds(bytes);
-  const double start = std::max(s.stream_time(0), d.stream_time(0));
-  const Event fence{start + dur, static_cast<int>(src_dev), 0};
-  s.wait_event(0, fence);
-  d.wait_event(0, fence);
+  const double start =
+      std::max(s.stream_time(src_stream), d.stream_time(dst_stream));
+  const Event fence{start + dur, static_cast<int>(src_dev), src_stream};
+  s.wait_event(src_stream, fence);
+  d.wait_event(dst_stream, fence);
 
   prof::TraceEvent e;
   e.name = "memcpy_peer";
@@ -68,9 +70,10 @@ void DeviceManager::copy_peer(std::size_t dst_dev, void* dst,
   e.start_s = start;
   e.duration_s = dur;
   e.device = static_cast<int>(src_dev);
-  e.stream = 0;
+  e.stream = src_stream;
   e.counters["bytes"] = static_cast<double>(bytes);
   e.counters["dst_device"] = static_cast<double>(dst_dev);
+  e.counters["comm"] = 1.0;
   timeline_->record(std::move(e));
 }
 

@@ -32,9 +32,12 @@ class DeviceManager {
 
   /// Copies @p bytes from device memory on @p src_dev to device memory on
   /// @p dst_dev (cudaMemcpyPeer analogue).  Charges peer-link time on both
-  /// devices' stream 0 and records one kMemcpyD2D event.
+  /// devices — @p dst_stream on the destination and @p src_stream on the
+  /// source, so neither side can start later work before the wire is free —
+  /// and records one kMemcpyD2D event.
   void copy_peer(std::size_t dst_dev, void* dst, std::size_t src_dev,
-                 const void* src, std::size_t bytes);
+                 const void* src, std::size_t bytes, int dst_stream = 0,
+                 int src_stream = 0);
 
   /// Synchronizes every device; returns the latest completion time.
   double synchronize_all();

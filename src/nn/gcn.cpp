@@ -92,9 +92,18 @@ tensor::Tensor Gcn::forward(gpu::Device* dev, const tensor::Tensor& x,
 }
 
 void Gcn::backward(gpu::Device* dev, const tensor::Tensor& dlogits) {
+  backward(dev, dlogits, ParamReadyHook{});
+}
+
+void Gcn::backward(gpu::Device* dev, const tensor::Tensor& dlogits,
+                   const ParamReadyHook& on_param_ready) {
   tensor::Tensor g = conv2_.backward(dev, dlogits);
+  if (on_param_ready)
+    for (Param* p : conv2_.params()) on_param_ready(p);
   g = dropout_.backward(dev, g);
   conv1_.backward(dev, g);
+  if (on_param_ready)
+    for (Param* p : conv1_.params()) on_param_ready(p);
 }
 
 std::vector<Param*> Gcn::params() {

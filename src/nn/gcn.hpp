@@ -62,6 +62,12 @@ class Gcn {
   /// Backprop from dL/dlogits; accumulates parameter gradients.
   void backward(gpu::Device* dev, const tensor::Tensor& dlogits);
 
+  /// Backprop with a gradient-readiness hook: @p on_param_ready fires for
+  /// conv2's parameters as soon as its backward completes and for conv1's
+  /// after the full pass — the order DDP buckets consume.
+  void backward(gpu::Device* dev, const tensor::Tensor& dlogits,
+                const ParamReadyHook& on_param_ready);
+
   std::vector<Param*> params();
   void zero_grad();
 

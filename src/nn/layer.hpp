@@ -2,6 +2,7 @@
 // way the course teaches backprop before reaching for autograd frameworks.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,12 @@ struct Param {
   std::size_t size() const { return value.size(); }
   void zero_grad() { grad.fill(0.0f); }
 };
+
+/// Callback fired during backward the moment one parameter's gradient is
+/// fully accumulated (the autograd hook DDP uses to launch bucketed
+/// gradient communication while the rest of backward still runs).  May be
+/// empty; called on the thread running backward.
+using ParamReadyHook = std::function<void(Param*)>;
 
 class Layer {
  public:

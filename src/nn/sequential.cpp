@@ -22,11 +22,19 @@ tensor::Tensor Sequential::forward(gpu::Device* dev, const tensor::Tensor& x,
 
 tensor::Tensor Sequential::backward(gpu::Device* dev,
                                     const tensor::Tensor& dy) {
+  return backward(dev, dy, ParamReadyHook{});
+}
+
+tensor::Tensor Sequential::backward(gpu::Device* dev, const tensor::Tensor& dy,
+                                    const ParamReadyHook& on_param_ready) {
   if (layers_.empty())
     throw std::logic_error("Sequential::backward: no layers");
   tensor::Tensor g = dy;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = (*it)->backward(dev, g);
+    if (on_param_ready)
+      for (Param* p : (*it)->params()) on_param_ready(p);
+  }
   return g;
 }
 

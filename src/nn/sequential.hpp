@@ -27,6 +27,12 @@ class Sequential {
   /// Backprop through all layers; returns dL/dx.
   tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy);
 
+  /// Backprop with a gradient-readiness hook: @p on_param_ready fires for
+  /// each of a layer's parameters right after that layer's backward
+  /// completes — last layer first, the order DDP buckets consume.
+  tensor::Tensor backward(gpu::Device* dev, const tensor::Tensor& dy,
+                          const ParamReadyHook& on_param_ready);
+
   std::vector<Param*> params();
   void zero_grad();
 

@@ -88,6 +88,95 @@ std::string transfer_table(const Timeline& timeline) {
   return os.str();
 }
 
+bool is_comm_event(const TraceEvent& event) {
+  if (event.kind == EventKind::kRange) return false;
+  if (event.counters.find("comm") != event.counters.end()) return true;
+  if (event.kind != EventKind::kKernel) return false;
+  static constexpr const char* kCommKernels[] = {
+      "allreduce_accumulate", "allreduce_scale", "naive_reduce",
+      "ddp_pack",             "ddp_unpack",
+  };
+  for (const char* name : kCommKernels)
+    if (event.name == name) return true;
+  return false;
+}
+
+namespace {
+
+/// Sorts and merges [start, end) intervals in place.
+void merge_intervals(std::vector<std::pair<double, double>>& iv) {
+  if (iv.empty()) return;
+  std::sort(iv.begin(), iv.end());
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first <= iv[out].second) {
+      iv[out].second = std::max(iv[out].second, iv[i].second);
+    } else {
+      iv[++out] = iv[i];
+    }
+  }
+  iv.resize(out + 1);
+}
+
+/// Length of [s, e) covered by the merged, sorted interval set.
+double covered(const std::vector<std::pair<double, double>>& iv, double s,
+               double e) {
+  double total = 0.0;
+  for (const auto& [a, b] : iv) {
+    if (b <= s) continue;
+    if (a >= e) break;
+    total += std::min(b, e) - std::max(a, s);
+  }
+  return total;
+}
+
+}  // namespace
+
+CommOverlap comm_overlap(const Timeline& timeline, int device) {
+  CommOverlap out;
+  std::vector<std::pair<double, double>> compute;
+  std::vector<const TraceEvent*> comm;
+  const auto events = timeline.snapshot();
+  for (const auto& e : events) {
+    if (e.device != device || e.duration_s <= 0.0) continue;
+    if (is_comm_event(e)) {
+      ++out.events;
+      out.comm_s += e.duration_s;
+      comm.push_back(&e);
+    } else if (e.kind == EventKind::kKernel) {
+      compute.emplace_back(e.start_s, e.end_s());
+    }
+  }
+  merge_intervals(compute);
+  for (const TraceEvent* e : comm)
+    out.hidden_s += covered(compute, e->start_s, e->end_s());
+  out.exposed_s = out.comm_s - out.hidden_s;
+  return out;
+}
+
+std::string comm_overlap_table(const Timeline& timeline) {
+  std::map<int, bool> devices;
+  for (const auto& e : timeline.snapshot())
+    if (e.device >= 0 && is_comm_event(e)) devices[e.device] = true;
+  std::ostringstream os;
+  os << std::left << std::setw(8) << "device" << std::right << std::setw(8)
+     << "events" << std::setw(12) << "comm(ms)" << std::setw(12)
+     << "hidden(ms)" << std::setw(13) << "exposed(ms)" << std::setw(10)
+     << "hidden%" << '\n';
+  os << std::string(63, '-') << '\n';
+  for (const auto& [dev, _] : devices) {
+    const CommOverlap o = comm_overlap(timeline, dev);
+    const double pct = o.comm_s > 0.0 ? 100.0 * o.hidden_s / o.comm_s : 0.0;
+    os << std::left << std::setw(8) << dev << std::right << std::setw(8)
+       << o.events << std::fixed << std::setprecision(3) << std::setw(12)
+       << o.comm_s * 1e3 << std::setw(12) << o.hidden_s * 1e3 << std::setw(13)
+       << o.exposed_s * 1e3 << std::setprecision(1) << std::setw(10) << pct
+       << '\n';
+  }
+  if (devices.empty()) os << "no communication recorded\n";
+  return os.str();
+}
+
 std::string device_utilization(const Timeline& timeline) {
   std::map<int, bool> devices;
   for (const auto& e : timeline.snapshot(EventKind::kKernel))

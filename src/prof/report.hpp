@@ -27,4 +27,29 @@ std::string transfer_table(const Timeline& timeline);
 /// is always in [0, 1].
 double kernel_utilization(const Timeline& timeline, int device);
 
+/// True when @p event is gradient/collective communication: either tagged
+/// with a "comm" counter (ring hops, peer copies, broadcasts) or a kernel
+/// recorded under one of the collective kernel names (pack/unpack,
+/// accumulate, scale — launches cannot attach custom counters).
+bool is_comm_event(const TraceEvent& event);
+
+/// Communication-overlap accounting for one device: how much simulated comm
+/// time ran on the device, and how much of it was hidden under concurrent
+/// compute (non-comm kernel intervals on the same device) vs exposed —
+/// the stall a training step actually pays.
+struct CommOverlap {
+  double comm_s{0.0};     ///< total communication seconds
+  double hidden_s{0.0};   ///< overlapped by concurrent compute
+  double exposed_s{0.0};  ///< comm_s - hidden_s
+  std::size_t events{0};  ///< number of communication events
+};
+
+/// Computes CommOverlap for @p device.  Range markers (kRange) are skipped
+/// so per-bucket envelope events do not double-count their hops.
+CommOverlap comm_overlap(const Timeline& timeline, int device);
+
+/// One row per device with comm/hidden/exposed seconds and the hidden
+/// fraction — the report the DDP overlap lab reads.
+std::string comm_overlap_table(const Timeline& timeline);
+
 }  // namespace sagesim::prof

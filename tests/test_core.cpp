@@ -393,6 +393,8 @@ TEST(Alg1, TransferCountsArePinnedAndDeterministic) {
 
   struct Snap {
     std::size_t h2d_events{0}, d2h_events{0};
+    std::size_t broadcast_events{0};
+    double broadcast_bytes{0.0};
     mem::TransferCounters ledger;
   };
   auto run = [&](int epochs) {
@@ -402,9 +404,19 @@ TEST(Alg1, TransferCountsArePinnedAndDeterministic) {
     cfg.epochs = epochs;
     mem::reset_transfer_ledger();
     (void)core::train_distributed_gcn(ds, cluster, cfg);
-    return Snap{dm.timeline().snapshot(prof::EventKind::kMemcpyH2D).size(),
-                dm.timeline().snapshot(prof::EventKind::kMemcpyD2H).size(),
-                mem::transfer_ledger()};
+    Snap snap{dm.timeline().snapshot(prof::EventKind::kMemcpyH2D).size(),
+              dm.timeline().snapshot(prof::EventKind::kMemcpyD2H).size(),
+              0,
+              0.0,
+              mem::transfer_ledger()};
+    for (const auto& e :
+         dm.timeline().snapshot(prof::EventKind::kMemcpyD2D)) {
+      if (e.name != "param_broadcast") continue;
+      ++snap.broadcast_events;
+      if (const auto it = e.counters.find("bytes"); it != e.counters.end())
+        snap.broadcast_bytes += it->second;
+    }
+    return snap;
   };
 
   const auto one = run(1);
@@ -414,6 +426,11 @@ TEST(Alg1, TransferCountsArePinnedAndDeterministic) {
   EXPECT_EQ(one.ledger.d2h_count, 4u);
   EXPECT_GT(one.ledger.h2d_bytes, 0u);
   EXPECT_GT(one.ledger.d2h_bytes, 0u);
+  // The initial θ broadcast is accounted wire traffic too: one modeled hop
+  // per parameter per non-root rank (regression — it used to be a silent
+  // host memcpy).
+  EXPECT_EQ(one.broadcast_events, 4u);  // 4 params x 1 non-root rank
+  EXPECT_GT(one.broadcast_bytes, 0.0);
 
   // Steady-state epochs move zero additional bytes — shards and weights
   // stay device-resident — and a rerun is byte-for-byte deterministic.
@@ -422,4 +439,6 @@ TEST(Alg1, TransferCountsArePinnedAndDeterministic) {
   EXPECT_EQ(five.d2h_events, 4u);
   EXPECT_EQ(five.ledger.h2d_bytes, one.ledger.h2d_bytes);
   EXPECT_EQ(five.ledger.d2h_bytes, one.ledger.d2h_bytes);
+  EXPECT_EQ(five.broadcast_events, one.broadcast_events);
+  EXPECT_EQ(five.broadcast_bytes, one.broadcast_bytes);
 }

@@ -235,6 +235,38 @@ TEST(Csv, RoundTripPreservesTypesAndValues) {
   EXPECT_DOUBLE_EQ(back.col("price").f64()[3], 3.0);
 }
 
+TEST(Csv, CrlfLinesParseAsNumericColumns) {
+  // Regression: CRLF input left '\r' glued to the last cell, so "2.5\r"
+  // failed the numeric sniff and the whole column silently became strings.
+  std::stringstream ss("id,score\r\n1,2.5\r\n2,-0.125\r\n");
+  const auto frame = df::read_csv(ss);
+  EXPECT_EQ(frame.num_rows(), 2u);
+  EXPECT_EQ(frame.col("id").dtype(), df::DType::kInt64);
+  EXPECT_EQ(frame.col("score").dtype(), df::DType::kFloat64);
+  EXPECT_EQ(frame.col("id").i64()[1], 2);
+  EXPECT_DOUBLE_EQ(frame.col("score").f64()[0], 2.5);
+  EXPECT_DOUBLE_EQ(frame.col("score").f64()[1], -0.125);
+}
+
+TEST(Csv, RoundTripPreservesDoubleBitsExactly) {
+  // Regression: write_csv used operator<< (6 significant digits), so values
+  // like 1/3 or 0.1 came back off by ~1e-7 relative.  to_chars emits the
+  // shortest representation that parses back to the same bits.
+  const std::vector<double> vals{0.1,
+                                 1.0 / 3.0,
+                                 3.141592653589793,
+                                 -2.5e17,
+                                 1e-300,
+                                 123456789.123456789};
+  const df::DataFrame frame({df::Column("v", vals)});
+  std::stringstream ss;
+  df::write_csv(frame, ss);
+  const auto back = df::read_csv(ss);
+  ASSERT_EQ(back.col("v").dtype(), df::DType::kFloat64);
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    EXPECT_EQ(back.col("v").f64()[i], vals[i]) << "row " << i;
+}
+
 TEST(Csv, RejectsMalformedRows) {
   std::stringstream ss("a,b\n1,2\n3\n");
   EXPECT_THROW(df::read_csv(ss), std::runtime_error);

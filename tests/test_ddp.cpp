@@ -87,6 +87,147 @@ TEST(GradSync, ValidatesReplicaShapes) {
                std::invalid_argument);
 }
 
+namespace {
+
+/// Fills every replica's gradients with a deterministic rank- and
+/// index-dependent pattern so averaging mistakes show up at exact bits.
+void fill_grads(std::vector<std::vector<nn::Param*>>& replicas) {
+  for (std::size_t r = 0; r < replicas.size(); ++r)
+    for (nn::Param* p : replicas[r])
+      for (std::size_t i = 0; i < p->size(); ++i)
+        p->grad[i] = static_cast<float>(r + 1) * 0.375f +
+                     static_cast<float>(i % 11) * 0.0625f -
+                     static_cast<float>(i % 5);
+}
+
+std::vector<float> collect_grads(
+    const std::vector<std::vector<nn::Param*>>& replicas) {
+  std::vector<float> out;
+  for (const auto& ps : replicas)
+    for (const nn::Param* p : ps)
+      for (std::size_t i = 0; i < p->size(); ++i) out.push_back(p->grad[i]);
+  return out;
+}
+
+}  // namespace
+
+// Bucketing and overlap are schedule choices; the averaged bits must not
+// depend on them.  Every config below must match the flat single-bucket
+// result exactly — bitwise — for every allreduce algorithm.
+class GradSyncBucketedConformance
+    : public ::testing::TestWithParam<ddp::AllReduceAlgo> {};
+
+TEST_P(GradSyncBucketedConformance, MatchesFlatBitIdentically) {
+  const ddp::AllReduceAlgo algo = GetParam();
+  const std::size_t world = 3;
+
+  auto run = [&](std::size_t bucket_bytes, bool overlap,
+                 bool notify) -> std::vector<float> {
+    gpu::DeviceManager dm(world, gpu::spec::test_tiny());
+    std::vector<std::unique_ptr<nn::Sequential>> models;
+    std::vector<std::vector<nn::Param*>> replicas;
+    for (std::size_t r = 0; r < world; ++r) {
+      models.push_back(make_mlp(1, 5, 9, 3));
+      replicas.push_back(models.back()->params());
+    }
+    fill_grads(replicas);
+    ddp::GradientSynchronizer sync(
+        dm, replicas,
+        ddp::SyncOptions{
+            .algo = algo, .bucket_bytes = bucket_bytes, .overlap = overlap});
+    if (notify) {
+      // Reverse parameter order, ranks interleaved — the order backward
+      // produces gradients; full buckets fire on the comm streams here.
+      for (std::size_t i = replicas[0].size(); i-- > 0;)
+        for (std::size_t r = 0; r < world; ++r)
+          sync.notify_grad_ready(r, replicas[r][i]);
+    }
+    sync.sync();
+    return collect_grads(replicas);
+  };
+
+  const std::vector<float> flat =
+      run(std::size_t{1} << 30, /*overlap=*/false, /*notify=*/false);
+  EXPECT_EQ(flat, run(100, false, false)) << "bucketed != flat";
+  EXPECT_EQ(flat, run(100, true, true)) << "bucketed+overlap != flat";
+  EXPECT_EQ(flat, run(100, true, false))
+      << "overlap without notifications != flat";
+  EXPECT_EQ(flat, run(40, true, true)) << "one-param buckets != flat";
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, GradSyncBucketedConformance,
+                         ::testing::Values(ddp::AllReduceAlgo::kRing,
+                                           ddp::AllReduceAlgo::kNaive));
+
+TEST(GradSync, DuplicateNotificationsAreIgnored) {
+  // A retried backward task re-reports parameters it already reported; the
+  // averaged result must not double-count.
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  auto m0 = make_mlp(1, 4, 8, 2);
+  auto m1 = make_mlp(1, 4, 8, 2);
+  std::vector<std::vector<nn::Param*>> replicas{m0->params(), m1->params()};
+  fill_grads(replicas);
+  const std::vector<float> before = collect_grads(replicas);
+
+  ddp::GradientSynchronizer sync(
+      dm, replicas, ddp::SyncOptions{.bucket_bytes = 64, .overlap = true});
+  for (int repeat = 0; repeat < 3; ++repeat)
+    for (std::size_t i = replicas[0].size(); i-- > 0;)
+      for (std::size_t r = 0; r < 2; ++r)
+        sync.notify_grad_ready(r, replicas[r][i]);
+  sync.sync();
+
+  const std::vector<float> averaged = collect_grads(replicas);
+  for (std::size_t i = 0; i < before.size() / 2; ++i)
+    ASSERT_FLOAT_EQ(averaged[i], (before[i] + before[before.size() / 2 + i]) / 2)
+        << "element " << i;
+}
+
+TEST(GradSync, NotifyValidatesRankAndParam) {
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  auto m0 = make_mlp(1, 4, 8, 2);
+  auto m1 = make_mlp(1, 4, 8, 2);
+  ddp::GradientSynchronizer sync(dm, {m0->params(), m1->params()});
+  EXPECT_THROW(sync.notify_grad_ready(2, m0->params()[0]),
+               std::out_of_range);
+  nn::Param stranger(2, 2);
+  EXPECT_THROW(sync.notify_grad_ready(0, &stranger), std::invalid_argument);
+  // Wrong rank's param pointer is also a bug worth catching early.
+  EXPECT_THROW(sync.notify_grad_ready(0, m1->params()[0]),
+               std::invalid_argument);
+}
+
+TEST(GradSync, BroadcastDevicePlacedParamsUsesAccountedPeerCopies) {
+  // Regression: broadcast_params used to memcpy device-placed replicas on
+  // the host — no trace event, no simulated time on either device, and a
+  // hop priced as if device 0 always sent.  Device-resident replicas must
+  // travel as genuine peer copies that advance both endpoints' clocks.
+  namespace prof = sagesim::prof;
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  auto a = make_mlp(1, 4, 8, 2);
+  auto b = make_mlp(999, 4, 8, 2);  // different init
+  std::vector<std::vector<nn::Param*>> replicas{a->params(), b->params()};
+  for (std::size_t r = 0; r < 2; ++r)
+    for (nn::Param* p : replicas[r])
+      p->value.to_device(dm.device(r)).throw_if_error();
+
+  ddp::broadcast_params(dm, replicas);
+
+  // Values propagated from rank 0...
+  for (std::size_t i = 0; i < replicas[0].size(); ++i)
+    for (std::size_t j = 0; j < replicas[0][i]->size(); ++j)
+      ASSERT_FLOAT_EQ(replicas[1][i]->value[j], replicas[0][i]->value[j]);
+  // ...as accounted D2D copies, one per parameter...
+  std::size_t peer_copies = 0;
+  for (const auto& e : dm.timeline().snapshot(prof::EventKind::kMemcpyD2D))
+    if (e.name == "memcpy_peer") ++peer_copies;
+  EXPECT_EQ(peer_copies, replicas[0].size());
+  // ...that cost simulated time on BOTH devices (the link is busy at each
+  // end), not just the sender.
+  EXPECT_GT(dm.device(0).stream_time(0), 0.0);
+  EXPECT_GT(dm.device(1).stream_time(0), 0.0);
+}
+
 TEST(GradSync, BroadcastParamsMakesReplicasIdentical) {
   gpu::DeviceManager dm(2, gpu::spec::test_tiny());
   auto a = make_mlp(1, 4, 8, 2);

@@ -274,6 +274,61 @@ TEST(Collectives, ValidatesInputs) {
                std::invalid_argument);
 }
 
+TEST(Collectives, RejectsDuplicateDevices) {
+  // Two participants on one device would share staging and peer links and
+  // silently double-count; the regression is that this used to "work".
+  auto dm = make_devices(3);
+  const std::size_t n = 16;
+  std::vector<gpu::DeviceBuffer<float>> bufs;
+  for (int i = 0; i < 3; ++i) bufs.emplace_back(dm.device(0), n);
+  std::vector<dflow::CollectiveBuffer> dup = {{0, bufs[0].data()},
+                                              {1, bufs[1].data()},
+                                              {0, bufs[2].data()}};
+  EXPECT_THROW(dflow::ring_allreduce_sum(dm, dup, n), std::invalid_argument);
+  EXPECT_THROW(dflow::naive_allreduce_sum(dm, dup, n), std::invalid_argument);
+  EXPECT_THROW(dflow::broadcast(dm, dup, n, 0), std::invalid_argument);
+}
+
+TEST(Collectives, CountSmallerThanWorldSizeStillReduces) {
+  // k = 5 ranks over 3 elements: most ring chunks are empty (the kernel and
+  // hop layers must tolerate n == 0 without launching).
+  const std::size_t k = 5, n = 3;
+  auto dm = make_devices(k);
+  std::vector<gpu::DeviceBuffer<float>> bufs;
+  std::vector<dflow::CollectiveBuffer> views;
+  for (std::size_t r = 0; r < k; ++r) {
+    std::vector<float> host(n, static_cast<float>(r + 1));
+    bufs.push_back(gpu::make_buffer<float>(dm.device(r), host));
+    views.push_back({r, bufs.back().data()});
+  }
+  dflow::ring_allreduce_sum(dm, views, n);
+  for (std::size_t r = 0; r < k; ++r) {
+    const auto host = bufs[r].to_host();
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_FLOAT_EQ(host[i], 15.0f);  // 1+2+3+4+5
+  }
+}
+
+TEST(Collectives, SingleElementAllReduce) {
+  const std::size_t k = 3;
+  auto dm = make_devices(k);
+  std::vector<gpu::DeviceBuffer<float>> ring_bufs, naive_bufs;
+  std::vector<dflow::CollectiveBuffer> ring_views, naive_views;
+  for (std::size_t r = 0; r < k; ++r) {
+    std::vector<float> host{static_cast<float>(2 * r + 1)};
+    ring_bufs.push_back(gpu::make_buffer<float>(dm.device(r), host));
+    naive_bufs.push_back(gpu::make_buffer<float>(dm.device(r), host));
+    ring_views.push_back({r, ring_bufs.back().data()});
+    naive_views.push_back({r, naive_bufs.back().data()});
+  }
+  dflow::ring_allreduce_sum(dm, ring_views, 1);
+  dflow::naive_allreduce_sum(dm, naive_views, 1);
+  for (std::size_t r = 0; r < k; ++r) {
+    EXPECT_FLOAT_EQ(ring_bufs[r].to_host()[0], 9.0f);  // 1+3+5
+    EXPECT_FLOAT_EQ(naive_bufs[r].to_host()[0], 9.0f);
+  }
+}
+
 TEST(Collectives, RingAdvancesSimulatedTime) {
   auto dm = make_devices(2);
   const std::size_t n = 4096;
