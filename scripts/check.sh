@@ -43,5 +43,15 @@ ctest --test-dir build-tsan --output-on-failure -L tsan
 step "perf: microbench smoke"
 ctest --test-dir build --output-on-failure -L perf
 
+step "perf: multi-worker kernel smoke"
+# Exercise the compute plans on an oversubscribed pool (worker count beyond
+# SAGESIM_WORKERS and likely beyond the core count) — bit-identity and
+# completion are the assertions here, not speed.
+SAGESIM_WORKERS=4 ./build/bench/microbench_gemm --smoke --workers 1,4 \
+  --json /dev/null >/dev/null
+SAGESIM_WORKERS=4 ./build/bench/microbench_spmm --smoke --workers 1,4 \
+  --json /dev/null >/dev/null
+echo "multi-worker smoke ok"
+
 echo
 echo "all checks passed"

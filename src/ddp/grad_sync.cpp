@@ -4,20 +4,45 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "compute/autotuner.hpp"
 #include "dflow/collectives.hpp"
 
 namespace sagesim::ddp {
 
-std::size_t default_bucket_bytes() {
+namespace {
+
+/// SAGESIM_DDP_BUCKET_MB in bytes, or 0 when unset/unparseable.
+std::size_t env_bucket_bytes() {
   static const std::size_t cached = [] {
     if (const char* env = std::getenv("SAGESIM_DDP_BUCKET_MB")) {
       char* end = nullptr;
       const unsigned long mb = std::strtoul(env, &end, 10);
       if (end != env && mb > 0) return static_cast<std::size_t>(mb) << 20;
     }
-    return std::size_t{4} << 20;
+    return std::size_t{0};
   }();
   return cached;
+}
+
+constexpr std::size_t kDefaultBucketBytes = std::size_t{4} << 20;
+
+}  // namespace
+
+std::size_t default_bucket_bytes() {
+  const std::size_t env = env_bucket_bytes();
+  return env != 0 ? env : kDefaultBucketBytes;
+}
+
+std::size_t resolve_bucket_bytes(std::size_t flat_bytes, std::size_t ranks) {
+  // Explicit env override > tuned value > default.  The env var stays the
+  // strongest so a user can pin the bucket size while experimenting even
+  // with a tuning cache in place.
+  const std::size_t env = env_bucket_bytes();
+  if (env != 0) return env;
+  const std::size_t tuned =
+      compute::Autotuner::shared().ddp_bucket_bytes(flat_bytes, ranks);
+  if (tuned != 0) return tuned;
+  return kDefaultBucketBytes;
 }
 
 GradientSynchronizer::GradientSynchronizer(
@@ -29,8 +54,6 @@ GradientSynchronizer::GradientSynchronizer(
   if (replicas_.size() > devices_.device_count())
     throw std::invalid_argument(
         "GradientSynchronizer: more replicas than devices");
-  if (options_.bucket_bytes == 0) options_.bucket_bytes = default_bucket_bytes();
-
   const auto& reference = replicas_.front();
   for (const auto& replica : replicas_) {
     if (replica.size() != reference.size())
@@ -42,6 +65,12 @@ GradientSynchronizer::GradientSynchronizer(
             "GradientSynchronizer: parameter shape mismatch across replicas");
   }
   for (const nn::Param* p : reference) flat_size_ += p->size();
+
+  // Bucket sizing waits until the replica's flat size is known so the
+  // autotuner can be consulted with the real (bytes, ranks) shape key.
+  if (options_.bucket_bytes == 0)
+    options_.bucket_bytes =
+        resolve_bucket_bytes(flat_size_ * sizeof(float), replicas_.size());
 
   build_plan();
 

@@ -23,8 +23,10 @@ enum class AllReduceAlgo : std::uint8_t {
 /// overlap that DDP's backward hooks provide).
 struct SyncOptions {
   AllReduceAlgo algo{AllReduceAlgo::kRing};
-  /// Bucket granularity in bytes.  0 reads SAGESIM_DDP_BUCKET_MB (MiB,
-  /// default 4).  Parameters are bucketed in reverse registration order —
+  /// Bucket granularity in bytes.  0 resolves via resolve_bucket_bytes:
+  /// SAGESIM_DDP_BUCKET_MB (MiB) wins, then a compute::Autotuner entry for
+  /// the replica's (bytes, ranks) shape, then the 4 MiB default.
+  /// Parameters are bucketed in reverse registration order —
   /// the order backward produces gradients — and one parameter never splits
   /// across buckets.
   std::size_t bucket_bytes{0};
@@ -37,6 +39,12 @@ struct SyncOptions {
 
 /// Resolves SyncOptions::bucket_bytes == 0 (env var or 4 MiB default).
 std::size_t default_bucket_bytes();
+
+/// Full resolution chain for SyncOptions::bucket_bytes == 0: an explicit
+/// SAGESIM_DDP_BUCKET_MB wins, then a compute::Autotuner entry for the
+/// (replica bytes, rank count) shape, then the 4 MiB default.  This is what
+/// the synchronizer's constructor applies once the replica size is known.
+std::size_t resolve_bucket_bytes(std::size_t flat_bytes, std::size_t ranks);
 
 /// Synchronizes gradients across replicas.
 ///

@@ -63,18 +63,24 @@ struct ForState {
 }  // namespace
 
 void Executor::parallel_for(std::uint64_t n,
-                            const std::function<void(std::uint64_t)>& fn) {
+                            const std::function<void(std::uint64_t)>& fn,
+                            std::uint64_t grain) {
   if (n == 0) return;
   const unsigned workers = worker_count();
-  if (n == 1 || workers == 1) {
+  // Enough chunks for balance, few enough to amortize queueing — and no
+  // chunk smaller than the caller's grain.
+  const std::uint64_t by_grain =
+      grain > 1 ? std::max<std::uint64_t>(1, n / grain) : n;
+  const std::uint64_t chunks =
+      std::min({n, static_cast<std::uint64_t>(workers) * 4u, by_grain});
+  if (chunks == 1 || workers == 1) {
     for (std::uint64_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
   auto state = std::make_shared<ForState>();
   state->n = n;
-  // Enough chunks for balance, few enough to amortize queueing.
-  state->chunks = std::min<std::uint64_t>(n, workers * 4ull);
+  state->chunks = chunks;
   state->fn = &fn;  // fn outlives the wait below
 
   // Stealable helper tasks; the caller participates too, so every chunk is

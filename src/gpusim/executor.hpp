@@ -34,8 +34,15 @@ class Executor {
   /// Runs fn(i) for i in [0, n), distributing chunks over the pool and
   /// blocking until all complete.  Exceptions from @p fn are rethrown on the
   /// calling thread (first one wins).
-  void parallel_for(std::uint64_t n,
-                    const std::function<void(std::uint64_t)>& fn);
+  ///
+  /// @p grain is the minimum number of items per chunk: the range is split
+  /// into at most n / grain chunks (and never more than workers * 4), so
+  /// callers whose per-item work is tiny — e.g. the SpMM row partitioner on
+  /// a small graph — can keep the fork/join overhead proportional to the
+  /// useful work.  When the grain leaves a single chunk, the whole range
+  /// runs on the calling thread with no scheduler round-trip.
+  void parallel_for(std::uint64_t n, const std::function<void(std::uint64_t)>& fn,
+                    std::uint64_t grain = 1);
 
   /// The underlying task-graph scheduler.
   runtime::Scheduler& scheduler() { return *sched_; }

@@ -2,6 +2,7 @@
 // heart of GCN layers: Y = Â X.
 #pragma once
 
+#include "compute/autotuner.hpp"
 #include "gpusim/device.hpp"
 #include "graph/csr.hpp"
 #include "tensor/tensor.hpp"
@@ -25,14 +26,23 @@ namespace detail {
 void spmm_host_reference(const NormalizedAdjacency& a, const tensor::Tensor& x,
                          tensor::Tensor& y);
 
-/// Cache-blocked parallel kernel: row blocks are distributed over
-/// gpu::Executor::parallel_for, and the feature dimension is tiled so the
-/// gathered slices of X stay L1/L2-resident while a block's rows (which
-/// share neighbors under any community structure) reuse them.  Per output
-/// element the edge accumulation order is unchanged, so the result is
-/// bit-identical to the reference.
+/// Cache-blocked parallel kernel: the row range is decomposed into
+/// compute-plan row blocks (sized by the autotuned SpmmTiling) distributed
+/// over the work-stealing pool with a min-grain floor, and the feature
+/// dimension is tiled (width capped by the tiling) so the gathered slices
+/// of X stay L1/L2-resident while a block's rows (which share neighbors
+/// under any community structure) reuse them.  Per output element the edge
+/// accumulation order is unchanged, so the result is bit-identical to the
+/// reference at any worker count.  Consults compute::Autotuner for the
+/// (nodes, nnz, d) shape key.
 void spmm_host_blocked(const NormalizedAdjacency& a, const tensor::Tensor& x,
                        tensor::Tensor& y);
+
+/// Same kernel with an explicit tiling — the entry point the autotuner's
+/// search and the worker-sweep tests drive.
+void spmm_host_blocked_tiled(const NormalizedAdjacency& a,
+                             const tensor::Tensor& x, tensor::Tensor& y,
+                             compute::SpmmTiling tiling);
 
 }  // namespace detail
 }  // namespace sagesim::graph

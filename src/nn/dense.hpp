@@ -11,6 +11,10 @@ namespace sagesim::nn {
 /// (one sweep over y instead of three kernel launches) and the backward
 /// applies the ReLU mask before the weight/input gradients — equivalent to
 /// a separate ReLU layer, minus the extra passes.
+///
+/// On the host path (dev == nullptr) the GEMMs execute as compute plans
+/// with autotuned tilings (see compute/plan.hpp); results stay bit-exact
+/// at any worker count, so layers never need to care about SAGESIM_WORKERS.
 class Dense : public Layer {
  public:
   Dense(std::size_t in_features, std::size_t out_features, stats::Rng& rng,

@@ -1,7 +1,6 @@
 #include "tensor/gemm_host.hpp"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <string>
@@ -12,7 +11,7 @@
 #include <immintrin.h>
 #endif
 
-#include "gpusim/executor.hpp"
+#include "compute/plan.hpp"
 
 namespace sagesim::tensor::ops {
 
@@ -43,17 +42,9 @@ namespace detail {
 
 namespace {
 
-// Register-tile shape of the micro-kernel: MR rows of A against an
-// NR-column panel of B.  The panel width is ISA-dispatched: 4x8 keeps the
-// whole accumulator tile in eight 128-bit vector registers at the baseline
-// x86-64 ISA (the portable floor), 4x16 fills eight 256-bit registers when
-// AVX2 is available at runtime.  Wider tiles than the register file spill
-// the accumulators and fall off a cliff.
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNrSse = 8;
-// Rows per packed A panel: the parallel grain.  One panel's packed form
-// (MC x k floats) stays L2-resident for the course's k range.
-constexpr std::size_t kMc = 64;
+// Below this m*n*k the packing traffic rivals the multiply itself and the
+// fork/join dominates: the whole plan runs inline on the calling thread.
+constexpr std::size_t kSerialFlopFloor = 64 * 64 * 64;
 
 inline float a_at(const GemmSpec& s, std::size_t i, std::size_t p) {
   return s.ta ? s.a[p * s.lda + i] : s.a[i * s.lda + p];
@@ -111,133 +102,203 @@ inline void write_cell(const GemmSpec& s, std::size_t i, std::size_t j,
   write_row(s, i, j, 1, &acc);
 }
 
-/// Packs the NR-wide column panel @p jp of op(B) into @p dst, p-major with
-/// zero padding past n.  After packing, the micro-kernel reads B with unit
-/// stride whether or not tb was set.
-template <std::size_t NR>
-void pack_b_panel(const GemmSpec& s, std::size_t jp, float* dst) {
-  const std::size_t j0 = jp * NR;
-  const std::size_t jw = std::min(NR, s.n - j0);
-  for (std::size_t p = 0; p < s.k; ++p, dst += NR) {
-    for (std::size_t jj = 0; jj < jw; ++jj) dst[jj] = b_at(s, p, j0 + jj);
-    for (std::size_t jj = jw; jj < NR; ++jj) dst[jj] = 0.0f;
+// --- micro-kernels ---------------------------------------------------------
+//
+// Every micro-kernel continues a partial reduction: @p acc holds the tile's
+// running sums (MR rows x NR columns, row-major), the kernel folds k more
+// ascending-k terms into it, and stores it back.  The round trip through a
+// float array is exact, which is what makes KC slabbing bit-identical to
+// one unbroken k loop.  The kernel shape is constrained by the register
+// file: the accumulator tile plus one B panel row and the broadcast A value
+// must fit, or the accumulators spill and performance falls off a cliff.
+
+using MicroFn = void (*)(const float* __restrict, const float* __restrict,
+                         std::size_t, float* __restrict);
+
+/// Portable MR x NR kernel.  The local copy (rather than accumulating in
+/// `acc` directly) is what lets GCC scalar-replace the tile into registers
+/// across the whole k loop.
+template <std::size_t MR, std::size_t NR>
+void micro_portable(const float* __restrict ap, const float* __restrict bp,
+                    std::size_t k, float* __restrict acc) {
+  float local[MR * NR];
+  for (std::size_t i = 0; i < MR * NR; ++i) local[i] = acc[i];
+  for (std::size_t p = 0; p < k; ++p, ap += MR, bp += NR) {
+    for (std::size_t ii = 0; ii < MR; ++ii) {
+      const float av = ap[ii];
+      float* __restrict row = local + ii * NR;
+      for (std::size_t jj = 0; jj < NR; ++jj) row[jj] += av * bp[jj];
+    }
+  }
+  for (std::size_t i = 0; i < MR * NR; ++i) acc[i] = local[i];
+}
+
+#if defined(SAGESIM_GEMM_AVX2)
+
+/// MR x (8*NG) kernel holding the accumulator tile in ymm registers.
+/// Plain vmulps/vaddps (no FMA), ascending k per cell — bit-identical to
+/// the portable and naive paths.
+template <std::size_t MR, std::size_t NG>
+__attribute__((target("avx2"))) void micro_avx2(const float* __restrict ap,
+                                                const float* __restrict bp,
+                                                std::size_t k,
+                                                float* __restrict acc) {
+  __m256 c[MR][NG];
+  for (std::size_t ii = 0; ii < MR; ++ii)
+    for (std::size_t g = 0; g < NG; ++g)
+      c[ii][g] = _mm256_loadu_ps(acc + (ii * NG + g) * 8);
+  for (std::size_t p = 0; p < k; ++p, ap += MR, bp += NG * 8) {
+    __m256 b[NG];
+    for (std::size_t g = 0; g < NG; ++g) b[g] = _mm256_loadu_ps(bp + g * 8);
+    for (std::size_t ii = 0; ii < MR; ++ii) {
+      const __m256 av = _mm256_set1_ps(ap[ii]);
+      for (std::size_t g = 0; g < NG; ++g)
+        c[ii][g] = _mm256_add_ps(c[ii][g], _mm256_mul_ps(av, b[g]));
+    }
+  }
+  for (std::size_t ii = 0; ii < MR; ++ii)
+    for (std::size_t g = 0; g < NG; ++g)
+      _mm256_storeu_ps(acc + (ii * NG + g) * 8, c[ii][g]);
+}
+
+/// Fused-multiply-add variant — the SAGESIM_FAST_MATH opt-in.  vfmadd
+/// keeps the intermediate product at infinite precision before the add, so
+/// results match the reference to tolerance, NOT bitwise: this kernel is
+/// excluded from the bit-identity guarantees (and therefore from the
+/// checkpoint-compatibility contract).
+template <std::size_t MR, std::size_t NG>
+__attribute__((target("avx2,fma"))) void micro_fma(const float* __restrict ap,
+                                                   const float* __restrict bp,
+                                                   std::size_t k,
+                                                   float* __restrict acc) {
+  __m256 c[MR][NG];
+  for (std::size_t ii = 0; ii < MR; ++ii)
+    for (std::size_t g = 0; g < NG; ++g)
+      c[ii][g] = _mm256_loadu_ps(acc + (ii * NG + g) * 8);
+  for (std::size_t p = 0; p < k; ++p, ap += MR, bp += NG * 8) {
+    __m256 b[NG];
+    for (std::size_t g = 0; g < NG; ++g) b[g] = _mm256_loadu_ps(bp + g * 8);
+    for (std::size_t ii = 0; ii < MR; ++ii) {
+      const __m256 av = _mm256_set1_ps(ap[ii]);
+      for (std::size_t g = 0; g < NG; ++g)
+        c[ii][g] = _mm256_fmadd_ps(av, b[g], c[ii][g]);
+    }
+  }
+  for (std::size_t ii = 0; ii < MR; ++ii)
+    for (std::size_t g = 0; g < NG; ++g)
+      _mm256_storeu_ps(acc + (ii * NG + g) * 8, c[ii][g]);
+}
+
+#endif  // SAGESIM_GEMM_AVX2
+
+/// The runtime tiling actually executed: sanitized fields + the selected
+/// micro-kernel.
+struct Tiling {
+  std::size_t mr, nr, mc, nc, kc;  ///< nc/kc of 0 mean full extent
+  MicroFn fn;
+};
+
+/// Clamps a requested tiling to the supported micro-kernel set for the
+/// runtime ISA and rounds the macro tiles to whole micro-panels.  Any
+/// GemmTiling therefore executes *something* valid — a stale tuning-cache
+/// entry can cost speed, never correctness.
+Tiling sanitize(const compute::GemmTiling& req, const GemmSpec& s) {
+  Tiling t{};
+  const bool fma = compute::fast_math() && compute::isa_has_fma();
+#if defined(SAGESIM_GEMM_AVX2)
+  if (compute::isa() == compute::Isa::kAvx2) {
+    t.nr = req.nr == 8 ? 8 : 16;
+    if (t.nr == 16)
+      t.mr = req.mr == 6 ? 6 : 4;
+    else
+      t.mr = req.mr == 8 ? 8 : 4;
+    if (t.nr == 16 && t.mr == 4) t.fn = fma ? micro_fma<4, 2> : micro_avx2<4, 2>;
+    if (t.nr == 16 && t.mr == 6) t.fn = fma ? micro_fma<6, 2> : micro_avx2<6, 2>;
+    if (t.nr == 8 && t.mr == 4) t.fn = fma ? micro_fma<4, 1> : micro_avx2<4, 1>;
+    if (t.nr == 8 && t.mr == 8) t.fn = micro_portable<8, 8>;
+  }
+#endif
+  if (t.fn == nullptr) {  // portable floor
+    (void)fma;
+    t.nr = 8;
+    t.mr = req.mr == 8 ? 8 : 4;
+    t.fn = t.mr == 8 ? micro_portable<8, 8> : micro_portable<4, 8>;
+  }
+  t.mc = std::max(t.mr, req.mc - req.mc % t.mr);
+  t.nc = req.nc == 0 || req.nc >= s.n
+             ? 0
+             : std::max(t.nr, req.nc - req.nc % t.nr);
+  t.kc = req.kc == 0 || req.kc >= s.k ? 0 : std::max<std::size_t>(8, req.kc);
+  return t;
+}
+
+// --- packing ---------------------------------------------------------------
+
+/// Packs columns [j0, j0 + jcols) of op(B) into NR-wide, p-major panels
+/// with zero padding past the edge.  After packing, the micro-kernel reads
+/// B with unit stride whether or not tb was set.
+void pack_b_block(const GemmSpec& s, std::size_t j0, std::size_t jcols,
+                  std::size_t nr, float* dst) {
+  for (std::size_t jp = 0; jp * nr < jcols; ++jp) {
+    const std::size_t jb = j0 + jp * nr;
+    const std::size_t jw = std::min(nr, j0 + jcols - jb);
+    for (std::size_t p = 0; p < s.k; ++p, dst += nr) {
+      for (std::size_t jj = 0; jj < jw; ++jj) dst[jj] = b_at(s, p, jb + jj);
+      for (std::size_t jj = jw; jj < nr; ++jj) dst[jj] = 0.0f;
+    }
   }
 }
 
 /// Packs rows [i0, i0 + mrows) of op(A) into MR-row micro-panels, p-major
 /// with zero padding past m.
 void pack_a_panel(const GemmSpec& s, std::size_t i0, std::size_t mrows,
-                  float* dst) {
-  for (std::size_t mi = 0; mi * kMr < mrows; ++mi) {
-    const std::size_t ib = i0 + mi * kMr;
-    const std::size_t iw = std::min(kMr, mrows - mi * kMr);
-    for (std::size_t p = 0; p < s.k; ++p, dst += kMr) {
+                  std::size_t mr, float* dst) {
+  for (std::size_t mi = 0; mi * mr < mrows; ++mi) {
+    const std::size_t ib = i0 + mi * mr;
+    const std::size_t iw = std::min(mr, mrows - mi * mr);
+    for (std::size_t p = 0; p < s.k; ++p, dst += mr) {
       for (std::size_t ii = 0; ii < iw; ++ii) dst[ii] = a_at(s, ib + ii, p);
-      for (std::size_t ii = iw; ii < kMr; ++ii) dst[ii] = 0.0f;
+      for (std::size_t ii = iw; ii < mr; ++ii) dst[ii] = 0.0f;
     }
   }
 }
 
-/// MR x NR micro-kernel (portable): both operands stream from packed
-/// panels with unit stride; each accumulator advances in ascending k,
-/// which is the bit-identity contract with the naive reference.
-/// __restrict is what lets the compiler keep the accumulator tile in
-/// registers across the whole k loop instead of emitting alias version
-/// checks per row.
-void micro_kernel_sse(const float* __restrict ap, const float* __restrict bp,
-                      std::size_t k, float* __restrict acc) {
-  for (std::size_t p = 0; p < k; ++p, ap += kMr, bp += kNrSse) {
-    for (std::size_t ii = 0; ii < kMr; ++ii) {
-      const float av = ap[ii];
-      float* __restrict row = acc + ii * kNrSse;
-      for (std::size_t jj = 0; jj < kNrSse; ++jj) row[jj] += av * bp[jj];
+// --- tile execution --------------------------------------------------------
+
+/// Computes the MC x NC output tile [i0, i0+mrows) x [j0, j0+jcols) from
+/// packed panels.  Loop order: B panel outermost, then KC slabs, then the
+/// A micro-panels — each KC x NR slab of packed B stays L1-hot while it is
+/// swept across every micro-row.  The accumulator strip (one NR column of
+/// all micro-rows) lives in pooled scratch and round-trips through float
+/// between slabs, so the per-element reduction order is exactly the naive
+/// ascending-k chain.
+void run_tile(const GemmSpec& s, const Tiling& t, const float* apack,
+              std::size_t i0, std::size_t mrows, const float* bpack,
+              std::size_t j0, std::size_t jcols) {
+  const std::size_t micro_rows = (mrows + t.mr - 1) / t.mr;
+  const std::size_t npanels = (jcols + t.nr - 1) / t.nr;
+  const std::size_t kc = t.kc == 0 ? s.k : t.kc;
+  compute::Scratch acc_block(micro_rows * t.mr * t.nr * sizeof(float));
+  float* acc = acc_block.floats();
+
+  for (std::size_t jp = 0; jp < npanels; ++jp) {
+    const float* bp = bpack + jp * s.k * t.nr;
+    std::fill(acc, acc + micro_rows * t.mr * t.nr, 0.0f);
+    for (std::size_t p0 = 0; p0 < s.k; p0 += kc) {
+      const std::size_t pw = std::min(kc, s.k - p0);
+      for (std::size_t mi = 0; mi < micro_rows; ++mi)
+        t.fn(apack + (mi * s.k + p0) * t.mr, bp + p0 * t.nr, pw,
+             acc + mi * t.mr * t.nr);
     }
-  }
-}
-
-#if defined(SAGESIM_GEMM_AVX2)
-constexpr std::size_t kNrAvx2 = 16;
-
-/// 4x16 micro-kernel holding the accumulator tile in eight ymm registers.
-/// Plain vmulps/vaddps (no FMA), ascending k per cell — bit-identical to
-/// the portable and naive paths.
-__attribute__((target("avx2"))) void micro_kernel_avx2(
-    const float* __restrict ap, const float* __restrict bp, std::size_t k,
-    float* __restrict acc) {
-  __m256 c0[kMr], c1[kMr];
-  for (std::size_t ii = 0; ii < kMr; ++ii) {
-    c0[ii] = _mm256_setzero_ps();
-    c1[ii] = _mm256_setzero_ps();
-  }
-  for (std::size_t p = 0; p < k; ++p, ap += kMr, bp += kNrAvx2) {
-    const __m256 b0 = _mm256_loadu_ps(bp);
-    const __m256 b1 = _mm256_loadu_ps(bp + 8);
-    for (std::size_t ii = 0; ii < kMr; ++ii) {
-      const __m256 av = _mm256_set1_ps(ap[ii]);
-      c0[ii] = _mm256_add_ps(c0[ii], _mm256_mul_ps(av, b0));
-      c1[ii] = _mm256_add_ps(c1[ii], _mm256_mul_ps(av, b1));
-    }
-  }
-  for (std::size_t ii = 0; ii < kMr; ++ii) {
-    _mm256_storeu_ps(acc + ii * kNrAvx2, c0[ii]);
-    _mm256_storeu_ps(acc + ii * kNrAvx2 + 8, c1[ii]);
-  }
-}
-
-bool gemm_use_avx2() {
-  static const bool v = __builtin_cpu_supports("avx2") > 0;
-  return v;
-}
-#endif  // SAGESIM_GEMM_AVX2
-
-template <std::size_t NR, typename MicroKernel>
-void run_row_panel(const GemmSpec& s, const float* bpack, std::size_t ip,
-                   MicroKernel mk) {
-  const std::size_t i0 = ip * kMc;
-  const std::size_t mrows = std::min(kMc, s.m - i0);
-  std::vector<float> apack(((mrows + kMr - 1) / kMr) * s.k * kMr);
-  pack_a_panel(s, i0, mrows, apack.data());
-
-  const std::size_t npanels = (s.n + NR - 1) / NR;
-  for (std::size_t mi = 0; mi * kMr < mrows; ++mi) {
-    const std::size_t iw = std::min(kMr, mrows - mi * kMr);
-    const float* ap = apack.data() + mi * s.k * kMr;
-    for (std::size_t jp = 0; jp < npanels; ++jp) {
-      std::array<float, kMr * NR> acc{};
-      mk(ap, bpack + jp * s.k * NR, s.k, acc.data());
-      const std::size_t j0 = jp * NR;
-      const std::size_t jw = std::min(NR, s.n - j0);
+    const std::size_t jb = j0 + jp * t.nr;
+    const std::size_t jw = std::min(t.nr, j0 + jcols - jb);
+    for (std::size_t mi = 0; mi < micro_rows; ++mi) {
+      const std::size_t iw = std::min(t.mr, mrows - mi * t.mr);
       for (std::size_t ii = 0; ii < iw; ++ii)
-        write_row(s, i0 + mi * kMr + ii, j0, jw, acc.data() + ii * NR);
+        write_row(s, i0 + mi * t.mr + ii, jb, jw,
+                  acc + mi * t.mr * t.nr + ii * t.nr);
     }
   }
-}
-
-template <std::size_t NR, typename MicroKernel>
-void run_blocked(const GemmSpec& s, MicroKernel mk) {
-  const std::size_t npanels = (s.n + NR - 1) / NR;
-  std::vector<float> bpack(npanels * s.k * NR);
-  const std::size_t mpanels = (s.m + kMc - 1) / kMc;
-
-  // Below ~64^3 the packing traffic rivals the multiply itself and the
-  // parallel fork/join dominates; run everything on the calling thread.
-  const bool serial = s.m * s.n * s.k < kMc * kMc * kMc;
-  if (serial) {
-    for (std::size_t jp = 0; jp < npanels; ++jp)
-      pack_b_panel<NR>(s, jp, bpack.data() + jp * s.k * NR);
-    for (std::size_t ip = 0; ip < mpanels; ++ip)
-      run_row_panel<NR>(s, bpack.data(), ip, mk);
-    return;
-  }
-
-  auto& ex = gpu::Executor::shared();
-  ex.parallel_for(npanels, [&](std::uint64_t jp) {
-    pack_b_panel<NR>(s, static_cast<std::size_t>(jp),
-                     bpack.data() + static_cast<std::size_t>(jp) * s.k * NR);
-  });
-  ex.parallel_for(mpanels, [&](std::uint64_t ip) {
-    run_row_panel<NR>(s, bpack.data(), static_cast<std::size_t>(ip), mk);
-  });
 }
 
 }  // namespace
@@ -253,15 +314,79 @@ void gemm_host_naive(const GemmSpec& s) {
 }
 
 void gemm_host_blocked(const GemmSpec& s) {
-  if (s.m == 0 || s.n == 0) return;
+  gemm_host_blocked_tiled(
+      s, compute::Autotuner::shared().gemm_tiling(s.m, s.n, s.k));
+}
 
-#if defined(SAGESIM_GEMM_AVX2)
-  if (gemm_use_avx2()) {
-    run_blocked<kNrAvx2>(s, micro_kernel_avx2);
-    return;
+void gemm_host_blocked_tiled(const GemmSpec& s, compute::GemmTiling req) {
+  if (s.m == 0 || s.n == 0) return;
+  const Tiling t = sanitize(req, s);
+
+  const std::size_t mpanels = (s.m + t.mc - 1) / t.mc;
+  const std::size_t nc = t.nc == 0 ? s.n : t.nc;
+  const std::size_t nblocks = (s.n + nc - 1) / nc;
+
+  // Shared packing scratch, pooled: one A panel per macro row, one B block
+  // per macro column.  Offsets are in floats.
+  std::vector<std::size_t> a_off(mpanels + 1, 0), b_off(nblocks + 1, 0);
+  for (std::size_t ib = 0; ib < mpanels; ++ib) {
+    const std::size_t mrows = std::min(t.mc, s.m - ib * t.mc);
+    const std::size_t micro_rows = (mrows + t.mr - 1) / t.mr;
+    a_off[ib + 1] = a_off[ib] + micro_rows * t.mr * s.k;
   }
-#endif
-  run_blocked<kNrSse>(s, micro_kernel_sse);
+  for (std::size_t jb = 0; jb < nblocks; ++jb) {
+    const std::size_t jcols = std::min(nc, s.n - jb * nc);
+    const std::size_t panels = (jcols + t.nr - 1) / t.nr;
+    b_off[jb + 1] = b_off[jb] + panels * t.nr * s.k;
+  }
+  compute::Scratch apack(a_off[mpanels] * sizeof(float));
+  compute::Scratch bpack(b_off[nblocks] * sizeof(float));
+  float* ap = apack.floats();
+  float* bp = bpack.floats();
+
+  // The macro-tile task graph: pack nodes feed the (ib, jb) tile nodes
+  // that consume them.  Partitioning is over M x N only — every output
+  // element belongs to exactly one tile node — so the graph shape and the
+  // worker count cannot perturb result bits.
+  compute::Plan plan("gemm");
+  std::vector<std::size_t> a_ids(mpanels), b_ids(nblocks);
+  for (std::size_t jb = 0; jb < nblocks; ++jb) {
+    const std::size_t j0 = jb * nc;
+    const std::size_t jcols = std::min(nc, s.n - j0);
+    b_ids[jb] = plan.add(
+        [&s, &t, j0, jcols, dst = bp + b_off[jb]] {
+          pack_b_block(s, j0, jcols, t.nr, dst);
+        });
+  }
+  for (std::size_t ib = 0; ib < mpanels; ++ib) {
+    const std::size_t i0 = ib * t.mc;
+    const std::size_t mrows = std::min(t.mc, s.m - i0);
+    a_ids[ib] = plan.add(
+        [&s, &t, i0, mrows, dst = ap + a_off[ib]] {
+          pack_a_panel(s, i0, mrows, t.mr, dst);
+        });
+  }
+  for (std::size_t ib = 0; ib < mpanels; ++ib) {
+    const std::size_t i0 = ib * t.mc;
+    const std::size_t mrows = std::min(t.mc, s.m - i0);
+    for (std::size_t jb = 0; jb < nblocks; ++jb) {
+      const std::size_t j0 = jb * nc;
+      const std::size_t jcols = std::min(nc, s.n - j0);
+      plan.add(
+          [&s, &t, i0, mrows, j0, jcols, a_src = ap + a_off[ib],
+           b_src = bp + b_off[jb]] {
+            run_tile(s, t, a_src, i0, mrows, b_src, j0, jcols);
+          },
+          {a_ids[ib], b_ids[jb]});
+    }
+  }
+
+  // Min-grain: tiny shapes run the plan inline (compute::run's serial path
+  // claims no scheduler help below the grain either way, but the explicit
+  // floor keeps the decision in one place and cheap to reason about).
+  compute::RunOptions opts;
+  if (s.m * s.n * s.k < kSerialFlopFloor) opts.min_grain = plan.size();
+  compute::run(plan, opts);
 }
 
 }  // namespace detail

@@ -2,14 +2,27 @@
 // tensor::ops::gemm and its fused-epilogue variants, plus the naive
 // reference loops it is benchmarked and regression-tested against.
 //
+// Since the compute-plan refactor the blocked engine is a thin kernel
+// front-end: it consults compute::Autotuner for a shape-keyed tiling
+// (MR/NR register micro-tile, MC/NC macro panels, KC reduction slabs),
+// describes the macro-tile decomposition as a compute::Plan — pack-A and
+// pack-B nodes feeding dependency-counted tile nodes — and hands the plan
+// to compute::run, which executes it on the work-stealing runtime.
+//
 // Both backends accumulate every output element as the same ascending-k
-// chain of float multiply-adds, so they are bit-identical by construction:
-// packing changes the memory layout, never the reduction order.  That is
-// what lets the training stack swap kernels without perturbing the
-// checkpoint bit-identity ladder (see DESIGN.md "Compute kernels").
+// chain of float multiply-adds, so they are bit-identical by construction
+// at any worker count and under any tiling: packing changes the memory
+// layout and KC slabbing round-trips the partial sum through a float
+// (exact), never the reduction order.  That is what lets the training
+// stack swap kernels without perturbing the checkpoint bit-identity ladder
+// (see DESIGN.md "Compute plans & autotuning").  The one exception is the
+// opt-in SAGESIM_FAST_MATH FMA micro-kernel, which contracts multiply-adds
+// and is documented as tolerance-only.
 #pragma once
 
 #include <cstddef>
+
+#include "compute/autotuner.hpp"
 
 namespace sagesim::tensor::ops {
 
@@ -53,12 +66,16 @@ struct GemmSpec {
 /// Serial reference: triple loop, float accumulator ascending in k.
 void gemm_host_naive(const GemmSpec& spec);
 
-/// Packed + register-blocked + parallel engine.  Packs B once into
-/// column-panel-major panels (erasing the tb strided-access penalty), packs
-/// each MC-row A panel into micro-panels (erasing ta), and runs an
-/// MR x NR register-tiled micro-kernel over row panels distributed through
-/// gpu::Executor::parallel_for.  Bit-identical to gemm_host_naive.
+/// Packed + register-blocked + parallel engine with the autotuned (or
+/// default) tiling for the spec's shape.  Bit-identical to gemm_host_naive
+/// unless SAGESIM_FAST_MATH is enabled.
 void gemm_host_blocked(const GemmSpec& spec);
+
+/// Same engine with an explicit tiling — the entry point the autotuner's
+/// search and the worker-sweep tests drive.  Invalid tiling fields are
+/// sanitized to the nearest supported configuration (the micro-kernel set
+/// is ISA-constrained; see gemm_host.cpp).
+void gemm_host_blocked_tiled(const GemmSpec& spec, compute::GemmTiling tiling);
 
 }  // namespace detail
 }  // namespace sagesim::tensor::ops

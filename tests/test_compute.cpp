@@ -1,0 +1,564 @@
+// Tests for the compute module: kernel plans (dependency order, abort,
+// nesting, lanes, min-grain), the shape-keyed autotuner (round-trip
+// persistence, corrupt-cache degradation), and the worker-count sweeps
+// that pin the bit-identity contract — GEMM, SpMM and Algorithm 1 must
+// produce identical bits on 1, 2 and 8 workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "compute/autotuner.hpp"
+#include "compute/plan.hpp"
+#include "core/distributed_gcn.hpp"
+#include "ddp/grad_sync.hpp"
+#include "graph/generators.hpp"
+#include "graph/spmm.hpp"
+#include "tensor/gemm_host.hpp"
+
+namespace compute = sagesim::compute;
+namespace tensor = sagesim::tensor;
+namespace ops = sagesim::tensor::ops;
+namespace graph = sagesim::graph;
+namespace core = sagesim::core;
+namespace gpu = sagesim::gpu;
+namespace dflow = sagesim::dflow;
+using sagesim::stats::Rng;
+
+namespace {
+
+/// Scoped compute::set_executor override (restores the shared pool).
+struct ExecutorGuard {
+  explicit ExecutorGuard(gpu::Executor* ex) { compute::set_executor(ex); }
+  ~ExecutorGuard() { compute::set_executor(nullptr); }
+};
+
+struct FastMathGuard {
+  bool prev{compute::fast_math()};
+  explicit FastMathGuard(bool on) { compute::set_fast_math(on); }
+  ~FastMathGuard() { compute::set_fast_math(prev); }
+};
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+}  // namespace
+
+// --- plan construction -----------------------------------------------------------
+
+TEST(Plan, AddEnforcesTopologicalOrder) {
+  compute::Plan plan("topo");
+  const std::size_t a = plan.add([] {});
+  EXPECT_EQ(a, 0u);
+  const std::size_t b = plan.add([] {}, {a});
+  EXPECT_EQ(b, 1u);
+  // A dependency on itself or on a not-yet-added node is rejected.
+  EXPECT_THROW(plan.add([] {}, {2}), std::invalid_argument);
+  EXPECT_THROW(plan.add([] {}, {99}), std::invalid_argument);
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(Plan, EmptyPlanRunsTrivially) {
+  compute::Plan plan("empty");
+  EXPECT_TRUE(plan.empty());
+  compute::run(plan);  // no-op, no throw
+}
+
+TEST(Plan, RunRespectsDependencies) {
+  // Diamond: a -> {b, c} -> d, run on a private 2-worker pool.  Each node
+  // records the completion count it observed; dependencies bound what it
+  // must have seen.
+  gpu::Executor ex(2);
+  std::atomic<int> done{0};
+  int seen_b = -1, seen_c = -1, seen_d = -1;
+  compute::Plan plan("diamond");
+  const auto a = plan.add([&] { done.fetch_add(1); });
+  const auto b = plan.add([&] { seen_b = done.fetch_add(1); }, {a});
+  const auto c = plan.add([&] { seen_c = done.fetch_add(1); }, {a});
+  plan.add([&] { seen_d = done.fetch_add(1); }, {b, c});
+
+  compute::RunOptions opts;
+  opts.executor = &ex;
+  compute::run(plan, opts);
+
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_GE(seen_b, 1);  // a finished first
+  EXPECT_GE(seen_c, 1);
+  EXPECT_EQ(seen_d, 3);  // all three predecessors done
+}
+
+TEST(Plan, MinGrainRunsSeriallyOnCaller) {
+  gpu::Executor ex(2);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(4);
+  std::vector<std::size_t> order;
+  compute::Plan plan("serial");
+  for (std::size_t i = 0; i < 4; ++i)
+    plan.add([&ran, &order, i] {
+      ran[i] = std::this_thread::get_id();
+      order.push_back(i);
+    });
+
+  compute::RunOptions opts;
+  opts.executor = &ex;
+  opts.min_grain = 16;  // 4 nodes < 2 * 16 -> serial fallback
+  compute::run(plan, opts);
+
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+  ASSERT_EQ(order.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(order[i], i);  // index order
+}
+
+TEST(Plan, FirstExceptionAbortsDependentsAndRethrows) {
+  gpu::Executor ex(2);
+  std::atomic<bool> dependent_ran{false};
+  compute::Plan plan("boom");
+  const auto bad =
+      plan.add([] { throw std::runtime_error("tile exploded"); });
+  plan.add([&] { dependent_ran = true; }, {bad});
+
+  compute::RunOptions opts;
+  opts.executor = &ex;
+  EXPECT_THROW(compute::run(plan, opts), std::runtime_error);
+  // The dependent reached a terminal state without running its body.
+  EXPECT_FALSE(dependent_ran.load());
+}
+
+TEST(Plan, SerialFallbackAlsoRethrows) {
+  gpu::Executor ex(1);
+  std::atomic<bool> later_ran{false};
+  compute::Plan plan("boom-serial");
+  plan.add([] { throw std::out_of_range("first"); });
+  plan.add([&] { later_ran = true; });
+  compute::RunOptions opts;
+  opts.executor = &ex;
+  EXPECT_THROW(compute::run(plan, opts), std::out_of_range);
+  EXPECT_FALSE(later_ran.load());
+}
+
+TEST(Plan, NestedRunInsidePoolWorkerCompletes) {
+  // A plan node that itself runs a plan on the same pool — the shape
+  // core::Workflow stages produce when a stage calls a blocked kernel.
+  // Caller participation means this cannot deadlock, even 1-worker.
+  for (const unsigned workers : {1u, 2u}) {
+    gpu::Executor ex(workers);
+    compute::RunOptions opts;
+    opts.executor = &ex;
+    std::atomic<int> inner_done{0};
+    compute::Plan outer("outer");
+    for (int i = 0; i < 2; ++i)
+      outer.add([&] {
+        compute::Plan inner("inner");
+        for (int j = 0; j < 4; ++j) inner.add([&] { inner_done.fetch_add(1); });
+        compute::run(inner, opts);
+      });
+    compute::run(outer, opts);
+    EXPECT_EQ(inner_done.load(), 8) << "workers=" << workers;
+  }
+}
+
+TEST(Plan, PinnedLanesRunAndOutOfRangeLaneThrows) {
+  gpu::Executor ex(2);
+  compute::RunOptions opts;
+  opts.executor = &ex;
+
+  std::atomic<int> done{0};
+  compute::Plan plan("pinned");
+  const auto p0 = plan.add([&] { done.fetch_add(1); }, {}, /*lane=*/0);
+  const auto p1 = plan.add([&] { done.fetch_add(1); }, {}, /*lane=*/1);
+  plan.add([&] { done.fetch_add(1); }, {p0, p1});  // stealable join
+  compute::run(plan, opts);
+  EXPECT_EQ(done.load(), 3);
+
+  compute::Plan bad("bad-lane");
+  bad.add([] {}, {}, /*lane=*/5);
+  EXPECT_THROW(compute::run(bad, opts), std::out_of_range);
+}
+
+TEST(Plan, ScratchDrawsFromPool) {
+  compute::Scratch empty(0);
+  EXPECT_EQ(empty.data(), nullptr);
+  compute::Scratch block(1024 * sizeof(float));
+  ASSERT_NE(block.floats(), nullptr);
+  block.floats()[0] = 1.0f;
+  block.floats()[1023] = 2.0f;
+  EXPECT_EQ(block.floats()[0], 1.0f);
+}
+
+// --- executor grain --------------------------------------------------------------
+
+TEST(ParallelFor, GrainCollapsesSmallRangesToCaller) {
+  gpu::Executor ex(2);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(64);
+  ex.parallel_for(
+      64, [&](std::uint64_t i) { ran[i] = std::this_thread::get_id(); },
+      /*grain=*/64);
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, GrainStillVisitsEveryIndexOnce) {
+  gpu::Executor ex(2);
+  for (const std::uint64_t grain : {1ull, 7ull, 100ull, 1000ull}) {
+    std::vector<std::atomic<int>> hits(100);
+    for (auto& h : hits) h = 0;
+    ex.parallel_for(
+        100, [&](std::uint64_t i) { hits[i].fetch_add(1); }, grain);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "grain=" << grain << " i=" << i;
+  }
+}
+
+// --- autotuner -------------------------------------------------------------------
+
+TEST(Autotuner, ConsultFallsBackToDefaultsAndCountsMisses) {
+  compute::Autotuner tuner;
+  const auto t = tuner.gemm_tiling(64, 64, 64);
+  EXPECT_EQ(t.mr, 4u);
+  EXPECT_EQ(t.mc, 64u);
+  EXPECT_TRUE(t.nr == 8u || t.nr == 16u);  // ISA-dependent default
+  const auto s = tuner.spmm_tiling(1000, 5000, 64);
+  EXPECT_EQ(s.row_block, 64u);
+  EXPECT_EQ(tuner.ddp_bucket_bytes(1 << 20, 4), 0u);  // untuned -> caller default
+  const auto st = tuner.stats();
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.misses, 3u);
+}
+
+TEST(Autotuner, RecordThenConsultHits) {
+  compute::Autotuner tuner;
+  compute::GemmTiling t{6, 16, 128, 256, 128};
+  tuner.record_gemm(512, 512, 512, t);
+  EXPECT_EQ(tuner.gemm_tiling(512, 512, 512), t);
+  // A different shape is a different key.
+  EXPECT_FALSE(tuner.gemm_tiling(512, 512, 511) == t);
+  const auto st = tuner.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+}
+
+TEST(Autotuner, CacheRoundTripsThroughDisk) {
+  const std::string path = temp_path("tune_roundtrip.txt");
+  compute::Autotuner a;
+  const compute::GemmTiling gt{4, 8, 32, 128, 64};
+  const compute::SpmmTiling st{128, 32};
+  a.record_gemm(100, 200, 300, gt);
+  a.record_spmm(5000, 40000, 64, st);
+  a.record_ddp(1 << 22, 4, 2 << 20);
+  ASSERT_TRUE(a.save(path));
+
+  compute::Autotuner b;
+  ASSERT_TRUE(b.load(path));
+  EXPECT_TRUE(b.stats().loaded);
+  EXPECT_EQ(b.entry_count(), 3u);
+  EXPECT_EQ(b.gemm_tiling(100, 200, 300), gt);
+  EXPECT_EQ(b.spmm_tiling(5000, 40000, 64), st);
+  EXPECT_EQ(b.ddp_bucket_bytes(1 << 22, 4), std::size_t{2} << 20);
+  std::remove(path.c_str());
+}
+
+TEST(Autotuner, MissingFileStartsEmptyWithoutError) {
+  compute::Autotuner t;
+  EXPECT_TRUE(t.load(temp_path("does_not_exist_12345.txt")));
+  EXPECT_EQ(t.entry_count(), 0u);
+  EXPECT_FALSE(t.stats().corrupt);
+}
+
+TEST(Autotuner, CorruptCacheWarnsAndFallsBackToDefaults) {
+  const auto write_file = [](const std::string& path, const std::string& body) {
+    std::ofstream out(path);
+    out << body;
+  };
+  const compute::GemmTiling default_tiling =
+      compute::Autotuner{}.gemm_tiling(64, 64, 64);
+
+  struct Case {
+    const char* leaf;
+    const char* body;
+  };
+  const Case cases[] = {
+      {"tune_garbage.txt", "complete nonsense\nnot a cache\n"},
+      {"tune_badver.txt", "sagesim-tune-cache v999\n"},
+      {"tune_badentry.txt", "sagesim-tune-cache v1\ngemm broken entry here\n"},
+  };
+  for (const auto& c : cases) {
+    const std::string path = temp_path(c.leaf);
+    write_file(path, c.body);
+    compute::Autotuner t;
+    t.record_gemm(64, 64, 64, compute::GemmTiling{6, 16, 32, 0, 0});
+    EXPECT_FALSE(t.load(path)) << c.leaf;
+    EXPECT_TRUE(t.stats().corrupt) << c.leaf;
+    // Pre-existing entries are dropped too: the tuner is back at defaults,
+    // never in a half-loaded state.
+    EXPECT_EQ(t.entry_count(), 0u) << c.leaf;
+    EXPECT_EQ(t.gemm_tiling(64, 64, 64), default_tiling) << c.leaf;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Autotuner, TuneGemmPicksFastestCandidateAndRecordsIt) {
+  compute::Autotuner tuner;
+  const auto candidates = compute::Autotuner::gemm_candidates(128, 128, 128);
+  ASSERT_GE(candidates.size(), 2u);
+  // Deterministic fake timer: the second candidate is the "fastest".
+  const compute::GemmTiling want = candidates[1];
+  const auto timed = [&](const compute::GemmTiling& t) {
+    return t == want ? 1.0 : 2.0;
+  };
+  const auto winner = tuner.tune_gemm(128, 128, 128, timed);
+  EXPECT_EQ(winner, want);
+  EXPECT_EQ(tuner.gemm_tiling(128, 128, 128), want);
+  EXPECT_EQ(tuner.stats().searches, 1u);
+}
+
+TEST(Autotuner, SpmmAndDdpCandidatesAreSane) {
+  for (const auto& s : compute::Autotuner::spmm_candidates(64)) {
+    EXPECT_GE(s.row_block, 1u);
+    EXPECT_GE(s.tile_width, 8u);
+  }
+  const auto buckets = compute::Autotuner::ddp_bucket_candidates();
+  ASSERT_FALSE(buckets.empty());
+  for (const auto b : buckets) EXPECT_GE(b, std::size_t{1} << 20);
+}
+
+TEST(Autotuner, DdpBucketResolutionPrefersTunedValue) {
+  // resolve_bucket_bytes: env (unset in tests) > tuned > 4 MiB default.
+  auto& shared = compute::Autotuner::shared();
+  const std::size_t flat_bytes = 123456, ranks = 3;
+  shared.record_ddp(flat_bytes, ranks, std::size_t{8} << 20);
+  EXPECT_EQ(sagesim::ddp::resolve_bucket_bytes(flat_bytes, ranks),
+            std::size_t{8} << 20);
+  shared.clear();
+  EXPECT_EQ(sagesim::ddp::resolve_bucket_bytes(flat_bytes, ranks),
+            std::size_t{4} << 20);
+}
+
+// --- worker-count bit-identity sweeps --------------------------------------------
+//
+// The determinism contract: every output element is computed by exactly one
+// plan node with a fixed fold order, so the worker count is invisible in
+// the result bits.  Swept at 1, 2 and 8 workers via the compute-executor
+// override (no re-exec under SAGESIM_WORKERS needed).
+
+namespace {
+
+tensor::Tensor transposed_copy(const tensor::Tensor& a) {
+  tensor::Tensor t(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) t.at(c, r) = a.at(r, c);
+  return t;
+}
+
+}  // namespace
+
+TEST(WorkerSweep, GemmBitIdenticalAcrossWorkerCountsAndTilings) {
+  Rng rng(4242);
+  const std::size_t m = 65, k = 67, n = 66;
+  tensor::Tensor a(m, k), b(k, n);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+
+  ops::detail::GemmSpec spec;
+  spec.a = a.data();
+  spec.b = b.data();
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.lda = k;
+  spec.ldb = n;
+
+  tensor::Tensor ref(m, n);
+  spec.c = ref.data();
+  ops::detail::gemm_host_naive(spec);
+
+  const compute::GemmTiling tilings[] = {
+      compute::Autotuner{}.gemm_tiling(m, n, k),  // the default
+      {4, 8, 32, 16, 16},                         // small panels, KC slabs
+      {6, 16, 64, 128, 128},                      // wide micro-tile
+      {8, 8, 128, 0, 24},                         // portable-shaped + slabs
+  };
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    gpu::Executor ex(workers);
+    ExecutorGuard guard(&ex);
+    for (const auto& tiling : tilings) {
+      tensor::Tensor out(m, n);
+      spec.c = out.data();
+      ops::detail::gemm_host_blocked_tiled(spec, tiling);
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(ref[i], out[i]) << "workers=" << workers << " mr=" << tiling.mr
+                                  << " nr=" << tiling.nr << " at " << i;
+    }
+  }
+}
+
+TEST(WorkerSweep, GemmTransposedAccumulateBitIdentical) {
+  Rng rng(911);
+  const std::size_t m = 33, k = 40, n = 17;
+  tensor::Tensor a(m, k), b(k, n), seed(m, n);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+  seed.init_uniform(rng, -1, 1);
+  const tensor::Tensor at = transposed_copy(a), bt = transposed_copy(b);
+
+  ops::detail::GemmSpec spec;
+  spec.a = at.data();
+  spec.b = bt.data();
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.lda = at.cols();
+  spec.ldb = bt.cols();
+  spec.ta = true;
+  spec.tb = true;
+  spec.alpha = 0.5f;
+  spec.accumulate = true;
+
+  tensor::Tensor ref = seed;
+  spec.c = ref.data();
+  ops::detail::gemm_host_naive(spec);
+
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    gpu::Executor ex(workers);
+    ExecutorGuard guard(&ex);
+    tensor::Tensor out = seed;
+    spec.c = out.data();
+    ops::detail::gemm_host_blocked_tiled(spec, {4, 16, 16, 32, 16});
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_EQ(ref[i], out[i]) << "workers=" << workers << " at " << i;
+  }
+}
+
+TEST(WorkerSweep, SpmmBitIdenticalAcrossWorkerCountsAndTilings) {
+  Rng rng(777);
+  const auto g = graph::erdos_renyi(300, 0.03, rng);
+  const auto a = graph::normalized_adjacency(g);
+  for (const std::size_t d : {33u, 64u}) {
+    tensor::Tensor x(a.num_nodes(), d);
+    x.init_uniform(rng, -1, 1);
+    tensor::Tensor ref(a.num_nodes(), d);
+    graph::detail::spmm_host_reference(a, x, ref);
+
+    const compute::SpmmTiling tilings[] = {
+        {16, 16}, {64, 64}, {256, 32}, {1, 64}};
+    for (const unsigned workers : {1u, 2u, 8u}) {
+      gpu::Executor ex(workers);
+      ExecutorGuard guard(&ex);
+      for (const auto& tiling : tilings) {
+        tensor::Tensor y(a.num_nodes(), d);
+        graph::detail::spmm_host_blocked_tiled(a, x, y, tiling);
+        for (std::size_t i = 0; i < ref.size(); ++i)
+          ASSERT_EQ(ref[i], y[i])
+              << "workers=" << workers << " rb=" << tiling.row_block
+              << " tw=" << tiling.tile_width << " d=" << d << " at " << i;
+      }
+    }
+  }
+}
+
+TEST(WorkerSweep, Alg1TrainingBitIdenticalAcrossWorkerCounts) {
+  // End-to-end: the full distributed-GCN pipeline (GEMM + SpMM + DDP sync)
+  // must produce the same loss trajectory and accuracy at any compute
+  // worker count — the property that makes SAGESIM_WORKERS a pure
+  // performance knob.
+  Rng rng(77);
+  graph::PlantedPartitionParams p;
+  p.num_nodes = 180;
+  p.num_classes = 3;
+  p.feature_dim = 12;
+  p.intra_edge_prob = 0.06;
+  p.inter_edge_prob = 0.003;
+  p.feature_noise_sd = 1.0;
+  const auto ds = graph::planted_partition(p, rng);
+
+  core::DistributedGcnConfig cfg;
+  cfg.num_partitions = 2;
+  cfg.epochs = 8;
+  cfg.hidden = 8;
+  cfg.dropout = 0.1f;
+
+  auto run = [&](unsigned workers) {
+    gpu::Executor ex(workers);
+    ExecutorGuard guard(&ex);
+    gpu::DeviceManager dm(2, gpu::spec::t4());
+    dflow::Cluster cluster(dm);
+    return core::train_distributed_gcn(ds, cluster, cfg);
+  };
+
+  const auto base = run(1);
+  for (const unsigned workers : {2u, 8u}) {
+    const auto res = run(workers);
+    ASSERT_EQ(base.epoch_losses.size(), res.epoch_losses.size());
+    for (std::size_t e = 0; e < base.epoch_losses.size(); ++e)
+      ASSERT_EQ(base.epoch_losses[e], res.epoch_losses[e])
+          << "workers=" << workers << " epoch " << e;
+    EXPECT_EQ(base.test_accuracy, res.test_accuracy) << "workers=" << workers;
+  }
+}
+
+// --- opt-in fast math ------------------------------------------------------------
+
+TEST(FastMath, FmaKernelMatchesReferenceToTolerance) {
+  // SAGESIM_FAST_MATH swaps in FMA micro-kernels: contracted multiply-adds
+  // drop the intermediate rounding, so results are close-but-not-bitwise.
+  // This is the documented exception to the bit-identity contract.
+  if (compute::isa() != compute::Isa::kAvx2 || !compute::isa_has_fma())
+    GTEST_SKIP() << "no FMA on this host";
+
+  Rng rng(1234);
+  const std::size_t m = 64, k = 96, n = 48;
+  tensor::Tensor a(m, k), b(k, n);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+
+  ops::detail::GemmSpec spec;
+  spec.a = a.data();
+  spec.b = b.data();
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.lda = k;
+  spec.ldb = n;
+
+  tensor::Tensor ref(m, n);
+  spec.c = ref.data();
+  ops::detail::gemm_host_naive(spec);
+
+  FastMathGuard guard(true);
+  ASSERT_TRUE(compute::fast_math());
+  tensor::Tensor out(m, n);
+  spec.c = out.data();
+  ops::detail::gemm_host_blocked_tiled(spec, compute::GemmTiling{});
+  // |error| is bounded by ~k ulps of the accumulated magnitude; for k = 96
+  // and inputs in [-1, 1] a 1e-4 absolute tolerance is generous but still
+  // tight enough to catch an indexing bug (which produces O(1) errors).
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_NEAR(ref[i], out[i], 1e-4f) << "at " << i;
+}
+
+TEST(FastMath, OffByDefaultKeepsBitIdentity) {
+  ASSERT_FALSE(compute::fast_math());  // tests run without SAGESIM_FAST_MATH
+  Rng rng(555);
+  const std::size_t m = 32, k = 64, n = 32;
+  tensor::Tensor a(m, k), b(k, n);
+  a.init_uniform(rng, -1, 1);
+  b.init_uniform(rng, -1, 1);
+  ops::detail::GemmSpec spec;
+  spec.a = a.data();
+  spec.b = b.data();
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.lda = k;
+  spec.ldb = n;
+  tensor::Tensor ref(m, n), out(m, n);
+  spec.c = ref.data();
+  ops::detail::gemm_host_naive(spec);
+  spec.c = out.data();
+  ops::detail::gemm_host_blocked_tiled(spec, compute::GemmTiling{});
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(ref[i], out[i]) << "at " << i;
+}
