@@ -52,7 +52,8 @@ int main() {
     dflow::Cluster cluster(dm);
     auto cfg = base;
     cfg.num_partitions = k;
-    rows.push_back({k, "metis", core::train_distributed_gcn(ds, cluster, cfg)});
+    rows.push_back(
+        {k, "metis", core::try_train_distributed_gcn(ds, cluster, cfg).value()});
   }
   for (int k : {2, 4}) {
     gpu::DeviceManager dm(static_cast<std::size_t>(k), gpu::spec::t4());
@@ -61,7 +62,7 @@ int main() {
     cfg.num_partitions = k;
     cfg.strategy = core::PartitionStrategy::kRandom;
     rows.push_back(
-        {k, "random", core::train_distributed_gcn(ds, cluster, cfg)});
+        {k, "random", core::try_train_distributed_gcn(ds, cluster, cfg).value()});
   }
 
   bench::section("results (40 epochs each)");

@@ -73,7 +73,7 @@ int main() {
         [] { return std::make_unique<nn::Adam>(1e-3f); });
     double step_s = 0.0, last_loss = 0.0;
     for (int s = 0; s < 5; ++s) {
-      const auto st = trainer.step(x, y);
+      const auto st = trainer.try_step(x, y).value();
       step_s += st.sim_time_s;
       last_loss = st.mean_loss;
     }

@@ -53,7 +53,7 @@ int main() {
     rag::BruteForceIndex brute(kDim);
     brute.add(vectors);
     const double tb0 = dm_b.now_s();
-    const auto gt = brute.search(&dm_b.device(0), queries, 4);
+    const auto gt = brute.search(&dm_b.device(0), queries, 4).value();
     const double brute_s = (dm_b.now_s() - tb0) / 8.0;
 
     gpu::DeviceManager dm_i(1, gpu::spec::t4());
@@ -61,7 +61,7 @@ int main() {
     ivf.train(&dm_i.device(0), vectors);
     ivf.add(vectors);
     const double ti0 = dm_i.now_s();
-    const auto approx = ivf.search(&dm_i.device(0), queries, 4);
+    const auto approx = ivf.search(&dm_i.device(0), queries, 4).value();
     const double ivf_s = (dm_i.now_s() - ti0) / 8.0;
 
     std::printf("%8zu %15.1f us %15.1f us %11.2f\n", docs, brute_s * 1e6,
@@ -87,7 +87,7 @@ int main() {
       for (std::size_t i = 0; i < batch; ++i)
         queries.push_back(
             rag::synthetic_query(qp, static_cast<int>(i % 20), rng));
-      const auto answers = pipeline.answer_batch(queries);
+      const auto answers = pipeline.answer_batch(queries).value();
       const double per_query = answers.front().retrieve_s;
       std::printf("%8zu %17.1f us %20.0f\n", batch, per_query * 1e6,
                   1.0 / answers.front().total_s());
@@ -108,7 +108,7 @@ int main() {
 
     gpu::DeviceManager dm(1, gpu::spec::t4());
     const double t0 = dm.now_s();
-    index.search(&dm.device(0), q, 4);
+    index.search(&dm.device(0), q, 4).value();
     const double gpu_s = dm.now_s() - t0;
     // Host model: scalar dot products at ~5 GFLOP/s.
     const double host_s =

@@ -37,7 +37,7 @@ int main() {
     gpu::DeviceManager dm(1, gpu::spec::t4());
     dflow::Cluster cluster(dm);
     cfg.num_partitions = 1;
-    const auto r = core::train_distributed_gcn(dataset, cluster, cfg);
+    const auto r = core::try_train_distributed_gcn(dataset, cluster, cfg).value();
     std::printf("\nsequential  : loss %.3f -> %.3f, test acc %.1f%%, "
                 "sim time %.3fs\n",
                 r.epoch_losses.front(), r.epoch_losses.back(),
@@ -53,7 +53,7 @@ int main() {
     cfg.num_partitions = 4;
     cfg.strategy = core::PartitionStrategy::kMetis;
     mem::reset_transfer_ledger();  // per-run data-movement numbers
-    metis = core::train_distributed_gcn(dataset, cluster, cfg);
+    metis = core::try_train_distributed_gcn(dataset, cluster, cfg).value();
     const auto& r = metis;
     std::printf("metis k=4   : loss %.3f -> %.3f, test acc %.1f%%, "
                 "sim time %.3fs, edge cut %zu, halo lost %zu\n",
@@ -82,7 +82,7 @@ int main() {
     gpu::DeviceManager dm(4, gpu::spec::t4());
     dflow::Cluster cluster(dm);
     cfg.strategy = core::PartitionStrategy::kRandom;
-    const auto r = core::train_distributed_gcn(dataset, cluster, cfg);
+    const auto r = core::try_train_distributed_gcn(dataset, cluster, cfg).value();
     std::printf("random k=4  : test acc %.1f%%, edge cut %zu, halo lost %zu "
                 "(compare with METIS above)\n",
                 100.0 * r.test_accuracy, r.partition.edge_cut,

@@ -20,8 +20,10 @@ int main() {
   // --- 1. spin up an instance (what students do from the AWS console). ----
   cloud::Provisioner aws;
   const auto me = cloud::student_role("quickstart");
-  const auto ids = aws.launch(
-      me, {.type_name = "g4dn.xlarge", .count = 1, .assessment = "lab1"});
+  const auto ids =
+      aws.try_launch(me, {.type_name = "g4dn.xlarge", .count = 1,
+                          .assessment = "lab1"})
+          .value();
   std::printf("launched %s (%s, $%.3f/h)\n", ids[0].c_str(),
               aws.instance(ids[0]).type().name.c_str(),
               aws.instance(ids[0]).type().hourly_usd);

@@ -42,7 +42,7 @@ int main() {
     const auto query = rag::synthetic_query(params, topic, rng);
     std::printf("\nquery (topic %d): %s\n", topic, query.c_str());
     for (auto* pipeline : {&exact, &fast}) {
-      const auto a = pipeline->answer(query);
+      const auto a = pipeline->answer(query).value();
       std::printf("  [%s] retrieved topics:", pipeline == &exact ? "exact" : "ivf  ");
       for (const auto& h : a.retrieved)
         std::printf(" %d", synth.corpus.doc(h.id).topic);

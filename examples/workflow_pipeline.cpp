@@ -16,9 +16,11 @@ int main() {
   core::Workflow wf("capstone");
   wf.stage("provision", [](core::WorkflowContext& c) {
       const auto role = cloud::student_role("capstone");
-      const auto ids = c.aws().launch(
-          role, {.type_name = "g4dn.xlarge", .count = 2,
-                 .assessment = "project"});
+      const auto ids =
+          c.aws()
+              .try_launch(role, {.type_name = "g4dn.xlarge", .count = 2,
+                                 .assessment = "project"})
+              .value();
       c.put("role", role);
       c.put("instances", ids);
     })
@@ -31,8 +33,10 @@ int main() {
       core::DistributedGcnConfig cfg;
       cfg.num_partitions = 2;
       cfg.epochs = 30;
-      c.put("result", core::train_distributed_gcn(
-                          c.get<graph::Dataset>("dataset"), cluster, cfg));
+      c.put("result",
+            core::try_train_distributed_gcn(
+                c.get<graph::Dataset>("dataset"), cluster, cfg)
+                .value());
     })
     .stage("evaluate", [](core::WorkflowContext& c) {
       const auto& r = c.get<core::DistributedGcnResult>("result");

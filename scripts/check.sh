@@ -16,6 +16,15 @@ FAST=0
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
+step "static: no deprecated shims"
+# The bool/exception shims were removed once their callers migrated to the
+# try_*/Expected surface; nothing may reintroduce the marker.
+if grep -rn "Deprecated shim" src/; then
+  echo "error: deprecated shim marker found in src/ (migrate callers instead)"
+  exit 1
+fi
+echo "no deprecated shims"
+
 step "tier-1: configure + build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -52,6 +61,12 @@ SAGESIM_WORKERS=4 ./build/bench/microbench_gemm --smoke --workers 1,4 \
 SAGESIM_WORKERS=4 ./build/bench/microbench_spmm --smoke --workers 1,4 \
   --json /dev/null >/dev/null
 echo "multi-worker smoke ok"
+
+step "perf: rag serving smoke"
+# The serving path end to end — batcher, caches, open-loop harness — on a
+# 4-worker pool (the configuration the SLO claim is stated at).
+./build/bench/serve_rag --smoke --workers 4 --json /dev/null >/dev/null
+echo "rag serving smoke ok"
 
 echo
 echo "all checks passed"

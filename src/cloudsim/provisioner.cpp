@@ -34,8 +34,8 @@ std::string Provisioner::next_instance_id() {
   return "i-" + std::to_string(1000 + next_id_++);
 }
 
-std::vector<std::string> Provisioner::launch(const IamRole& role,
-                                             const LaunchRequest& request) {
+std::vector<std::string> Provisioner::launch_or_throw(
+    const IamRole& role, const LaunchRequest& request) {
   if (request.count == 0)
     throw std::invalid_argument("launch: count must be >= 1");
   const InstanceType& type = catalog::by_name(request.type_name);
@@ -89,13 +89,14 @@ std::vector<std::string> Provisioner::launch(const IamRole& role,
 Expected<std::vector<std::string>> Provisioner::try_launch(
     const IamRole& role, const LaunchRequest& request) {
   try {
-    return launch(role, request);
+    return launch_or_throw(role, request);
   } catch (const std::invalid_argument& e) {
     return Status::invalid_argument(e.what());
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
     if (what.find("budget cap") != std::string::npos)
-      return Status::resource_exhausted(what);
+      return Status::error(ErrorCode::kResourceExhausted, what,
+                           /*retryable=*/true);  // free budget, then retry
     return Status::failed_precondition(what);
   }
 }

@@ -68,17 +68,12 @@ class Provisioner {
     bool educate{false};
   };
 
-  /// Launches instances under @p role.  Returns instance ids.
-  /// Throws std::runtime_error carrying the IAM/budget denial reason.
-  /// Deprecated shim over try_launch for exception-style call sites.
-  std::vector<std::string> launch(const IamRole& role,
-                                  const LaunchRequest& request);
-
-  /// launch with failures as values: budget denials are
+  /// Launches instances under @p role with failures as values: budget
+  /// denials are
   /// kResourceExhausted (retryable capacity story: free budget or wait),
   /// IAM/placement denials kFailedPrecondition, malformed requests
   /// kInvalidArgument.  The re-acquisition path of elastic training calls
-  /// this in a retry loop rather than catching.
+  /// this in a retry loop rather than catching.  Returns instance ids.
   Expected<std::vector<std::string>> try_launch(const IamRole& role,
                                                 const LaunchRequest& request);
 
@@ -120,6 +115,10 @@ class Provisioner {
   std::size_t reaped_count() const { return reaped_; }
 
  private:
+  /// Throwing body of try_launch (std::runtime_error carrying the denial
+  /// reason); try_launch classifies the exceptions into Status codes.
+  std::vector<std::string> launch_or_throw(const IamRole& role,
+                                           const LaunchRequest& request);
   std::string next_instance_id();
   Vpc& default_vpc();
   void write_usage_record(const Instance& inst);

@@ -33,6 +33,12 @@ std::string ddp_key(std::size_t flat_bytes, std::size_t ranks) {
   return os.str();
 }
 
+std::string hnsw_key(std::size_t count, std::size_t dim, std::size_t k) {
+  std::ostringstream os;
+  os << count << ' ' << dim << ' ' << k;
+  return os.str();
+}
+
 /// Heuristic defaults — the hand-picked PR 3 constants, so an empty cache
 /// reproduces the previous engine exactly.
 GemmTiling default_gemm_tiling() {
@@ -111,6 +117,18 @@ std::size_t Autotuner::ddp_bucket_bytes(std::size_t flat_bytes,
   return 0;
 }
 
+std::size_t Autotuner::hnsw_ef(std::size_t count, std::size_t dim,
+                               std::size_t k) {
+  std::lock_guard lock(mutex_);
+  const auto it = hnsw_.find(hnsw_key(count, dim, k));
+  if (it != hnsw_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  return 0;
+}
+
 // --- record ----------------------------------------------------------------
 
 void Autotuner::record_gemm(std::size_t m, std::size_t n, std::size_t k,
@@ -131,6 +149,13 @@ void Autotuner::record_ddp(std::size_t flat_bytes, std::size_t ranks,
                            std::size_t bucket_bytes) {
   std::lock_guard lock(mutex_);
   ddp_[ddp_key(flat_bytes, ranks)] = bucket_bytes;
+  maybe_persist_locked();
+}
+
+void Autotuner::record_hnsw(std::size_t count, std::size_t dim, std::size_t k,
+                            std::size_t ef_search) {
+  std::lock_guard lock(mutex_);
+  hnsw_[hnsw_key(count, dim, k)] = ef_search;
   maybe_persist_locked();
 }
 
@@ -189,6 +214,10 @@ std::vector<SpmmTiling> Autotuner::spmm_candidates(std::size_t d) {
 std::vector<std::size_t> Autotuner::ddp_bucket_candidates() {
   return {std::size_t{1} << 20, std::size_t{2} << 20, std::size_t{4} << 20,
           std::size_t{8} << 20, std::size_t{16} << 20};
+}
+
+std::vector<std::size_t> Autotuner::hnsw_ef_candidates() {
+  return {16, 32, 64, 128, 256};
 }
 
 // --- search ----------------------------------------------------------------
@@ -256,6 +285,31 @@ std::size_t Autotuner::tune_ddp(
   return best;
 }
 
+std::size_t Autotuner::tune_hnsw(
+    std::size_t count, std::size_t dim, std::size_t k,
+    const std::function<double(std::size_t)>& time_fn) {
+  // Candidates are ordered smallest-ef first; with strict '<' the cheapest
+  // candidate that meets the recall target (time_fn returns +inf below it)
+  // wins, so ties in measured time resolve toward the faster search.
+  std::size_t best = 0;
+  double best_s = std::numeric_limits<double>::infinity();
+  for (const std::size_t ef : hnsw_ef_candidates()) {
+    const double s = time_fn(ef);
+    if (s < best_s) {
+      best_s = s;
+      best = ef;
+    }
+  }
+  if (best == 0) return 0;  // nothing met the target: leave untuned
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.searches;
+    hnsw_[hnsw_key(count, dim, k)] = best;
+    maybe_persist_locked();
+  }
+  return best;
+}
+
 // --- persistence -----------------------------------------------------------
 
 bool Autotuner::load(const std::string& path) {
@@ -265,6 +319,7 @@ bool Autotuner::load(const std::string& path) {
   std::map<std::string, GemmTiling> gemm;
   std::map<std::string, SpmmTiling> spmm;
   std::map<std::string, std::size_t> ddp;
+  std::map<std::string, std::size_t> hnsw;
 
   const auto reject = [&](const char* why) {
     std::fprintf(stderr,
@@ -275,6 +330,7 @@ bool Autotuner::load(const std::string& path) {
     gemm_.clear();
     spmm_.clear();
     ddp_.clear();
+    hnsw_.clear();
     stats_.corrupt = true;
     return false;
   };
@@ -315,6 +371,13 @@ bool Autotuner::load(const std::string& path) {
       std::ostringstream key;
       key << flat_bytes << ' ' << ranks;
       ddp[key.str()] = bucket;
+    } else if (tag == "hnsw") {
+      std::size_t count = 0, dim = 0, k = 0, ef = 0;
+      ls >> count >> dim >> k >> ef;
+      if (ls.fail() || ef == 0) return reject("has a corrupt hnsw entry");
+      std::ostringstream key;
+      key << count << ' ' << dim << ' ' << k;
+      hnsw[key.str()] = ef;
     } else {
       return reject("has an unknown entry kind");
     }
@@ -324,6 +387,7 @@ bool Autotuner::load(const std::string& path) {
   gemm_ = std::move(gemm);
   spmm_ = std::move(spmm);
   ddp_ = std::move(ddp);
+  hnsw_ = std::move(hnsw);
   stats_.loaded = true;
   return true;
 }
@@ -343,6 +407,8 @@ bool Autotuner::save_locked(const std::string& path) const {
   for (const auto& [key, t] : spmm_)
     out << "spmm " << key << ' ' << t.row_block << ' ' << t.tile_width << '\n';
   for (const auto& [key, b] : ddp_) out << "ddp " << key << ' ' << b << '\n';
+  for (const auto& [key, ef] : hnsw_)
+    out << "hnsw " << key << ' ' << ef << '\n';
   return static_cast<bool>(out);
 }
 
@@ -365,11 +431,12 @@ void Autotuner::clear() {
   gemm_.clear();
   spmm_.clear();
   ddp_.clear();
+  hnsw_.clear();
 }
 
 std::size_t Autotuner::entry_count() const {
   std::lock_guard lock(mutex_);
-  return gemm_.size() + spmm_.size() + ddp_.size();
+  return gemm_.size() + spmm_.size() + ddp_.size() + hnsw_.size();
 }
 
 }  // namespace sagesim::compute

@@ -75,6 +75,9 @@ class Autotuner {
   /// Tuned DDP bucket size for (replica bytes, ranks), or 0 when untuned —
   /// the caller (ddp::resolve_bucket_bytes) applies its own default.
   std::size_t ddp_bucket_bytes(std::size_t flat_bytes, std::size_t ranks);
+  /// Tuned HNSW search beam (ef_search) for an (index size, dim, k) shape,
+  /// or 0 when untuned — rag::HnswIndex applies its configured default.
+  std::size_t hnsw_ef(std::size_t count, std::size_t dim, std::size_t k);
 
   // --- record / search -----------------------------------------------------
   void record_gemm(std::size_t m, std::size_t n, std::size_t k, GemmTiling t);
@@ -82,12 +85,15 @@ class Autotuner {
                    SpmmTiling t);
   void record_ddp(std::size_t flat_bytes, std::size_t ranks,
                   std::size_t bucket_bytes);
+  void record_hnsw(std::size_t count, std::size_t dim, std::size_t k,
+                   std::size_t ef_search);
 
   /// Candidate grids, pruned to the shape and the runtime ISA.
   static std::vector<GemmTiling> gemm_candidates(std::size_t m, std::size_t n,
                                                  std::size_t k);
   static std::vector<SpmmTiling> spmm_candidates(std::size_t d);
   static std::vector<std::size_t> ddp_bucket_candidates();
+  static std::vector<std::size_t> hnsw_ef_candidates();
 
   /// Times every candidate with @p time_fn (seconds; lower is better),
   /// records the winner, persists the cache (when this is the shared
@@ -98,6 +104,12 @@ class Autotuner {
                        const std::function<double(const SpmmTiling&)>& time_fn);
   std::size_t tune_ddp(std::size_t flat_bytes, std::size_t ranks,
                        const std::function<double(std::size_t)>& time_fn);
+  /// Smaller ef is always faster but recalls less, so unlike the kernel
+  /// searches the cost function must fold the quality constraint in: return
+  /// +inf for candidates whose measured recall misses the caller's target
+  /// and seconds otherwise (rag::tune_hnsw_ef does exactly that).
+  std::size_t tune_hnsw(std::size_t count, std::size_t dim, std::size_t k,
+                        const std::function<double(std::size_t)>& time_fn);
 
   // --- persistence ---------------------------------------------------------
   /// Replaces the in-memory entries with the file's.  Returns false (and
@@ -126,6 +138,7 @@ class Autotuner {
   std::map<std::string, GemmTiling> gemm_;
   std::map<std::string, SpmmTiling> spmm_;
   std::map<std::string, std::size_t> ddp_;
+  std::map<std::string, std::size_t> hnsw_;
   TunerStats stats_;
   bool persist_{false};  ///< set for the shared instance when env path set
   std::string persist_path_;

@@ -553,10 +553,4 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
   return finish();
 }
 
-DistributedGcnResult train_distributed_gcn(const graph::Dataset& dataset,
-                                           dflow::Cluster& cluster,
-                                           const DistributedGcnConfig& config) {
-  return try_train_distributed_gcn(dataset, cluster, config).value();
-}
-
 }  // namespace sagesim::core

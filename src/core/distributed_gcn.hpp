@@ -100,10 +100,4 @@ Expected<DistributedGcnResult> try_train_distributed_gcn(
     const graph::Dataset& dataset, dflow::Cluster& cluster,
     const DistributedGcnConfig& config);
 
-/// Deprecated shim over try_train_distributed_gcn: rethrows failures as
-/// StatusError.
-DistributedGcnResult train_distributed_gcn(const graph::Dataset& dataset,
-                                           dflow::Cluster& cluster,
-                                           const DistributedGcnConfig& config);
-
 }  // namespace sagesim::core

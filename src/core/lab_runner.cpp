@@ -41,8 +41,9 @@ LabReport lab1_aws_setup(std::uint64_t /*seed*/) {
   cloud::Provisioner aws;
   const auto role = cloud::student_role("lab1");
   const auto ids =
-      aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1,
-                        .assessment = "lab1"});
+      aws.try_launch(role, {.type_name = "g4dn.xlarge", .count = 1,
+                            .assessment = "lab1"})
+          .value();
   aws.advance_time(1.0);
   aws.touch(ids.front());
   aws.terminate(role, ids.front());
@@ -287,7 +288,7 @@ LabReport lab10_ddp(std::uint64_t seed) {
 
   double first = 0.0, last = 0.0;
   for (int step = 0; step < 20; ++step) {
-    const auto s = trainer.step(x, y);
+    const auto s = trainer.try_step(x, y).value();
     if (step == 0) first = s.mean_loss;
     last = s.mean_loss;
   }
@@ -361,7 +362,9 @@ LabReport lab12_basic_rag(std::uint64_t seed) {
   const int probes = 10;
   for (int t = 0; t < probes; ++t) {
     const auto answer =
-        pipeline->answer(rag::synthetic_query(params, t % params.num_topics, rng));
+        pipeline
+            ->answer(rag::synthetic_query(params, t % params.num_topics, rng))
+            .value();
     if (!answer.retrieved.empty() &&
         synth.corpus.doc(answer.retrieved.front().id).topic ==
             t % params.num_topics)
@@ -386,7 +389,8 @@ LabReport lab13_gpu_rag(std::uint64_t seed) {
   auto pipeline = build_rag(&dm.device(0), synth.corpus, true, seed);
 
   const int topic = 3;
-  const auto answer = pipeline->answer(rag::synthetic_query(params, topic, rng));
+  const auto answer =
+      pipeline->answer(rag::synthetic_query(params, topic, rng)).value();
   // Generated tokens should lean on the retrieved topic's lexicon.
   int topic_words = 0, total_words = 0;
   for (const auto& tok : rag::tokenize(answer.text)) {
@@ -425,8 +429,9 @@ LabReport lab14_rag_deploy(std::uint64_t seed) {
     queries.push_back(rag::synthetic_query(params, i % params.num_topics, rng));
 
   double single_total = 0.0;
-  for (const auto& q : queries) single_total += pipeline->answer(q).total_s();
-  const auto batched = pipeline->answer_batch(queries);
+  for (const auto& q : queries)
+    single_total += pipeline->answer(q).value().total_s();
+  const auto batched = pipeline->answer_batch(queries).value();
   double batched_total = 0.0;
   for (const auto& a : batched) batched_total += a.total_s();
 

@@ -47,13 +47,6 @@ DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
                   .overlap = options_.overlap});
 }
 
-DataParallelTrainer::DataParallelTrainer(dflow::Cluster& cluster,
-                                         const ModelFactory& model,
-                                         const OptimizerFactory& optimizer,
-                                         AllReduceAlgo algo)
-    : DataParallelTrainer(cluster, model, optimizer,
-                          TrainerOptions{.algo = algo}) {}
-
 Expected<StepStats> DataParallelTrainer::try_step(const tensor::Tensor& x,
                                                   std::span<const int> y) {
   if (y.size() != x.rows())
@@ -148,11 +141,6 @@ Expected<StepStats> DataParallelTrainer::try_step(const tensor::Tensor& x,
   stats.mean_loss /= static_cast<double>(world);
   stats.sim_time_s = cluster_.devices().now_s() - t0;
   return stats;
-}
-
-StepStats DataParallelTrainer::step(const tensor::Tensor& x,
-                                    std::span<const int> y) {
-  return try_step(x, y).value();
 }
 
 Status DataParallelTrainer::save_checkpoint(std::uint64_t epoch) const {

@@ -53,12 +53,7 @@ class DataParallelTrainer {
  public:
   DataParallelTrainer(dflow::Cluster& cluster, const ModelFactory& model,
                       const OptimizerFactory& optimizer,
-                      TrainerOptions options);
-
-  /// Deprecated shim (pre-TrainerOptions signature).
-  DataParallelTrainer(dflow::Cluster& cluster, const ModelFactory& model,
-                      const OptimizerFactory& optimizer,
-                      AllReduceAlgo algo = AllReduceAlgo::kRing);
+                      TrainerOptions options = {});
 
   int world_size() const { return cluster_.world_size(); }
   const TrainerOptions& options() const { return options_; }
@@ -71,9 +66,6 @@ class DataParallelTrainer {
   /// (label/row mismatch, batch < world) still throws — API misuse.
   Expected<StepStats> try_step(const tensor::Tensor& x,
                                std::span<const int> y);
-
-  /// Deprecated shim over try_step: rethrows failures as StatusError.
-  StepStats step(const tensor::Tensor& x, std::span<const int> y);
 
   /// Writes an epoch checkpoint (per-replica parameters + optimizer state)
   /// under options().checkpoint_dir.  kFailedPrecondition when

@@ -2,7 +2,7 @@
 //
 // Since the runtime unification this is an alias of the runtime's
 // type-erased future: same shared state, same producer API
-// (deliver/fail/immediate), same typed access through get<T>().  Anything
+// (deliver/fail/immediate), same typed access through result<T>().  Anything
 // that holds a dflow::Future can hand it straight to runtime::Scheduler as
 // a dependency, and vice versa.
 #pragma once

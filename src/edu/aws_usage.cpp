@@ -21,7 +21,7 @@ void run_session(cloud::Provisioner& aws, const cloud::IamRole& role,
   req.count = count;
   req.assessment = assessment;
   req.educate = educate;
-  const auto ids = aws.launch(role, req);
+  const auto ids = aws.try_launch(role, req).value();
 
   // A live session touches its instances continuously; advance in sub-
   // threshold slices with touches so the reaper never fires mid-session.

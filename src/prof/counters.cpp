@@ -1,0 +1,59 @@
+#include "prof/counters.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace sagesim::prof {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  // unique_ptr keeps Counter addresses stable across rehash-free map growth.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: counters outlive statics
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::string counters_table(const std::string& prefix) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::size_t width = 0;
+  for (const auto& [name, c] : r.counters)
+    if (name.rfind(prefix, 0) == 0) width = std::max(width, name.size());
+  if (width == 0) return {};
+
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : r.counters) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    std::snprintf(line, sizeof(line), "%-*s %12llu\n", static_cast<int>(width),
+                  name.c_str(), static_cast<unsigned long long>(c->get()));
+    out += line;
+  }
+  return out;
+}
+
+void reset_counters() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (auto& [name, c] : r.counters) c->reset();
+}
+
+}  // namespace sagesim::prof

@@ -1,0 +1,38 @@
+// Process-wide named monotonic counters — the lightweight metrics channel
+// for subsystems whose events are too frequent to trace individually (cache
+// hits, admitted requests, batch flushes).  Counters are created on first
+// use, atomically incremented from any thread, and rendered as a sorted
+// table alongside the timeline reports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sagesim::prof {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// The counter registered under @p name, created (at zero) on first use.
+/// References stay valid for the process lifetime.
+Counter& counter(const std::string& name);
+
+/// Fixed-width "name  value" table of every counter whose name starts with
+/// @p prefix ("" = all), in lexicographic order.  Empty string when nothing
+/// matches.
+std::string counters_table(const std::string& prefix = "");
+
+/// Zeroes every registered counter (tests and bench repetitions).
+void reset_counters();
+
+}  // namespace sagesim::prof

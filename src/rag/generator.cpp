@@ -52,6 +52,19 @@ double BigramGenerator::bigram_prob(std::uint32_t prev,
 
 std::string BigramGenerator::generate(
     const std::string& prompt, const std::vector<std::string>& context_docs) {
+  return generate_with(rng_, prompt, context_docs);
+}
+
+std::string BigramGenerator::generate_seeded(
+    const std::string& prompt, const std::vector<std::string>& context_docs,
+    std::uint64_t seed) const {
+  stats::Rng rng(seed);
+  return generate_with(rng, prompt, context_docs);
+}
+
+std::string BigramGenerator::generate_with(
+    stats::Rng& rng, const std::string& prompt,
+    const std::vector<std::string>& context_docs) const {
   if (!fitted_) throw std::logic_error("BigramGenerator::generate before fit");
 
   // Context vocabulary for retrieval conditioning.
@@ -84,7 +97,7 @@ std::string BigramGenerator::generate(
     }
     weights[Vocabulary::kUnk] = 0.0;
     const auto next =
-        static_cast<std::uint32_t>(rng_.categorical(weights));
+        static_cast<std::uint32_t>(rng.categorical(weights));
     if (!out.empty()) out += ' ';
     out += vocab_.word_of(next);
     prev = next;

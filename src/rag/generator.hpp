@@ -36,6 +36,15 @@ class BigramGenerator {
   std::string generate(const std::string& prompt,
                        const std::vector<std::string>& context_docs);
 
+  /// Like generate(), but sampling from a fresh stream seeded with @p seed
+  /// instead of advancing the shared member stream: the output depends only
+  /// on (model, inputs, seed), never on call order, and the call is const
+  /// and safe from concurrent threads — the property the serving path needs
+  /// for serial == batched == cached bit-identity.
+  std::string generate_seeded(const std::string& prompt,
+                              const std::vector<std::string>& context_docs,
+                              std::uint64_t seed) const;
+
   /// Perplexity of @p text under the unconditioned bigram model (quality
   /// probe for tests).
   double perplexity(const std::string& text) const;
@@ -45,6 +54,8 @@ class BigramGenerator {
 
  private:
   double bigram_prob(std::uint32_t prev, std::uint32_t next) const;
+  std::string generate_with(stats::Rng& rng, const std::string& prompt,
+                            const std::vector<std::string>& context_docs) const;
 
   GeneratorConfig config_;
   stats::Rng rng_;

@@ -11,6 +11,13 @@ namespace sagesim::rag {
 
 namespace {
 
+/// Comparator shared by every index: score descending, ties toward the
+/// smaller id — total order, so hit lists are reproducible across paths.
+bool better_hit(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
 std::vector<SearchHit> top_k_from_scores(const float* scores,
                                          const std::uint32_t* ids,
                                          std::size_t n, std::size_t k) {
@@ -18,25 +25,32 @@ std::vector<SearchHit> top_k_from_scores(const float* scores,
   for (std::size_t i = 0; i < n; ++i)
     hits[i] = {ids == nullptr ? static_cast<std::uint32_t>(i) : ids[i],
                scores[i]};
+  // Approximate indexes may gather fewer than k candidates; the hit list is
+  // simply shorter then (k itself was validated against the index size).
   const std::size_t kk = std::min(k, n);
-  std::partial_sort(hits.begin(), hits.begin() + static_cast<std::ptrdiff_t>(kk),
-                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
-                      return a.score > b.score;
-                    });
+  std::partial_sort(hits.begin(),
+                    hits.begin() + static_cast<std::ptrdiff_t>(kk), hits.end(),
+                    better_hit);
   hits.resize(kk);
   return hits;
 }
 
-void validate_query(const tensor::Tensor& queries, std::size_t dim,
-                    std::size_t k) {
-  if (queries.cols() != dim)
-    throw std::invalid_argument("search: query dim " +
-                                std::to_string(queries.cols()) +
-                                " != index dim " + std::to_string(dim));
-  if (k == 0) throw std::invalid_argument("search: k must be > 0");
-}
-
 }  // namespace
+
+Status VectorIndex::validate_search(const tensor::Tensor& queries,
+                                    std::size_t k) const {
+  if (queries.cols() != dim())
+    return Status::invalid_argument(
+        "search: query dim " + std::to_string(queries.cols()) +
+        " != index dim " + std::to_string(dim()));
+  if (k == 0) return Status::invalid_argument("search: k must be > 0");
+  if (size() == 0)
+    return Status::failed_precondition("search: empty index");
+  if (k > size())
+    return Status::invalid_argument("search: k " + std::to_string(k) +
+                                    " > index size " + std::to_string(size()));
+  return {};
+}
 
 BruteForceIndex::BruteForceIndex(std::size_t dim) : dim_(dim) {
   if (dim == 0) throw std::invalid_argument("BruteForceIndex: dim == 0");
@@ -45,14 +59,16 @@ BruteForceIndex::BruteForceIndex(std::size_t dim) : dim_(dim) {
 void BruteForceIndex::add(const tensor::Tensor& vectors) {
   if (vectors.cols() != dim_)
     throw std::invalid_argument("BruteForceIndex::add: dim mismatch");
-  // Grow by rebuilding the arena on the host (adds are batched at corpus
+  // Grow by rebuilding the matrix on the host (adds are batched at corpus
   // build time, so this is a handful of pooled allocations, not per-row).
-  mem::TypedBuffer<float> grown((count_ + vectors.rows()) * dim_);
-  std::copy(data_.begin(), data_.end(), grown.data());
+  const tensor::Tensor old = data_.placement() == mem::Placement::kHost
+                                 ? std::move(data_)
+                                 : data_.host_copy();
+  tensor::Tensor grown(old.rows() + vectors.rows(), dim_);
+  std::copy(old.data(), old.data() + old.size(), grown.data());
   std::copy(vectors.data(), vectors.data() + vectors.size(),
-            grown.data() + count_ * dim_);
+            grown.data() + old.size());
   data_ = std::move(grown);
-  count_ += vectors.rows();
 }
 
 Status BruteForceIndex::to_device(gpu::Device& device, int stream) {
@@ -61,25 +77,23 @@ Status BruteForceIndex::to_device(gpu::Device& device, int stream) {
 
 Status BruteForceIndex::to_host(int stream) { return data_.to_host(stream); }
 
-std::vector<std::vector<SearchHit>> BruteForceIndex::search(
-    gpu::Device* dev, const tensor::Tensor& queries, std::size_t k) const {
-  validate_query(queries, dim_, k);
-  if (count_ == 0)
-    throw std::logic_error("BruteForceIndex::search: empty index");
+Expected<SearchResults> BruteForceIndex::search(gpu::Device* dev,
+                                                const tensor::Tensor& queries,
+                                                std::size_t k) const {
+  if (Status s = validate_search(queries, k); !s.ok()) return s;
 
-  // scores[q][d] = <query_q, doc_d>; one fused kernel via gemm with the
-  // collection treated as a count_ x dim_ tensor.
-  tensor::Tensor collection(count_, dim_);
-  std::copy(data_.begin(), data_.end(), collection.data());
-  tensor::Tensor scores(queries.rows(), count_);
-  tensor::ops::gemm(dev, queries, collection, scores, /*ta=*/false,
+  // scores[q][d] = <query_q, doc_d>; one fused kernel sweep via gemm with
+  // the stored collection as the count x dim right operand (no copy).
+  const std::size_t count = data_.rows();
+  tensor::Tensor scores(queries.rows(), count);
+  tensor::ops::gemm(dev, queries, data_, scores, /*ta=*/false,
                     /*tb=*/true);
 
-  std::vector<std::vector<SearchHit>> out;
+  SearchResults out;
   out.reserve(queries.rows());
   for (std::size_t q = 0; q < queries.rows(); ++q)
     out.push_back(
-        top_k_from_scores(scores.data() + q * count_, nullptr, count_, k));
+        top_k_from_scores(scores.data() + q * count, nullptr, count, k));
   return out;
 }
 
@@ -208,14 +222,14 @@ void IvfFlatIndex::add(const tensor::Tensor& vectors) {
   count_ += vectors.rows();
 }
 
-std::vector<std::vector<SearchHit>> IvfFlatIndex::search(
-    gpu::Device* dev, const tensor::Tensor& queries, std::size_t k) const {
-  validate_query(queries, dim_, k);
-  if (!trained_) throw std::logic_error("IvfFlatIndex::search before train()");
-  if (count_ == 0)
-    throw std::logic_error("IvfFlatIndex::search: empty index");
+Expected<SearchResults> IvfFlatIndex::search(gpu::Device* dev,
+                                             const tensor::Tensor& queries,
+                                             std::size_t k) const {
+  if (!trained_)
+    return Status::failed_precondition("IvfFlatIndex::search before train()");
+  if (Status s = validate_search(queries, k); !s.ok()) return s;
 
-  std::vector<std::vector<SearchHit>> out;
+  SearchResults out;
   out.reserve(queries.rows());
 
   for (std::size_t q = 0; q < queries.rows(); ++q) {
@@ -284,8 +298,7 @@ std::vector<std::vector<SearchHit>> IvfFlatIndex::search(
   return out;
 }
 
-double recall_at_k(const std::vector<std::vector<SearchHit>>& exact,
-                   const std::vector<std::vector<SearchHit>>& approx) {
+double recall_at_k(const SearchResults& exact, const SearchResults& approx) {
   if (exact.size() != approx.size() || exact.empty())
     throw std::invalid_argument("recall_at_k: mismatched query counts");
   double total = 0.0;

@@ -1,6 +1,13 @@
 // Vector indexes: exact brute-force scan and IVF-Flat (inverted-file with
 // k-means coarse quantizer) — the FAISS pair the course's RAG labs contrast.
 // Scoring is inner product over L2-normalized vectors (cosine).
+//
+// The query surface is Status-first: search() returns Expected<SearchResults>
+// and classifies misuse (dim mismatch, k == 0, k > size()) as
+// kInvalidArgument and state errors (empty index, untrained IVF) as
+// kFailedPrecondition instead of throwing or silently clamping.  Hit lists
+// are deterministically ordered — ties in score break toward the smaller id —
+// so serial, batched and cached retrieval paths are bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -17,22 +24,35 @@ namespace sagesim::rag {
 struct SearchHit {
   std::uint32_t id{0};
   float score{0.0f};
+  bool operator==(const SearchHit&) const = default;
 };
+
+/// One hit list per query row, best first; ties broken by ascending id.
+using SearchResults = std::vector<std::vector<SearchHit>>;
 
 class VectorIndex {
  public:
   virtual ~VectorIndex() = default;
 
   /// Appends @p vectors (rows) to the index; ids are assigned sequentially.
+  /// Throws std::invalid_argument on dim mismatch (construction-time
+  /// misuse, per the repo's exception conventions).
   virtual void add(const tensor::Tensor& vectors) = 0;
 
   /// Top-@p k hits per query row, best first.  Runs scoring kernels on
-  /// @p dev when non-null.
-  virtual std::vector<std::vector<SearchHit>> search(
-      gpu::Device* dev, const tensor::Tensor& queries, std::size_t k) const = 0;
+  /// @p dev when non-null.  Fails with kInvalidArgument when the query dim
+  /// differs from the index dim, k == 0, or k > size(); kFailedPrecondition
+  /// when the index is empty (or requires training that has not happened).
+  virtual Expected<SearchResults> search(gpu::Device* dev,
+                                         const tensor::Tensor& queries,
+                                         std::size_t k) const = 0;
 
   virtual std::size_t size() const = 0;
   virtual std::size_t dim() const = 0;
+
+ protected:
+  /// The shared argument checks behind every search() implementation.
+  Status validate_search(const tensor::Tensor& queries, std::size_t k) const;
 };
 
 /// Exact scan: scores = Q D^T, then top-k per row.
@@ -41,10 +61,10 @@ class BruteForceIndex final : public VectorIndex {
   explicit BruteForceIndex(std::size_t dim);
 
   void add(const tensor::Tensor& vectors) override;
-  std::vector<std::vector<SearchHit>> search(
-      gpu::Device* dev, const tensor::Tensor& queries,
-      std::size_t k) const override;
-  std::size_t size() const override { return count_; }
+  Expected<SearchResults> search(gpu::Device* dev,
+                                 const tensor::Tensor& queries,
+                                 std::size_t k) const override;
+  std::size_t size() const override { return data_.rows(); }
   std::size_t dim() const override { return dim_; }
 
   /// Moves the embedding matrix to @p device (accounted H2D) / back.
@@ -55,8 +75,7 @@ class BruteForceIndex final : public VectorIndex {
 
  private:
   std::size_t dim_;
-  std::size_t count_{0};
-  mem::TypedBuffer<float> data_;  ///< row-major count_ x dim_
+  tensor::Tensor data_;  ///< row-major count x dim_ embedding matrix
 };
 
 /// IVF-Flat: k-means centroids partition the collection; queries probe the
@@ -72,9 +91,9 @@ class IvfFlatIndex final : public VectorIndex {
   void train(gpu::Device* dev, const tensor::Tensor& sample, int iters = 10);
 
   void add(const tensor::Tensor& vectors) override;
-  std::vector<std::vector<SearchHit>> search(
-      gpu::Device* dev, const tensor::Tensor& queries,
-      std::size_t k) const override;
+  Expected<SearchResults> search(gpu::Device* dev,
+                                 const tensor::Tensor& queries,
+                                 std::size_t k) const override;
   std::size_t size() const override { return count_; }
   std::size_t dim() const override { return dim_; }
 
@@ -99,7 +118,6 @@ class IvfFlatIndex final : public VectorIndex {
 
 /// Recall@k of @p approx against ground-truth @p exact (fraction of exact
 /// ids recovered), averaged over queries.
-double recall_at_k(const std::vector<std::vector<SearchHit>>& exact,
-                   const std::vector<std::vector<SearchHit>>& approx);
+double recall_at_k(const SearchResults& exact, const SearchResults& approx);
 
 }  // namespace sagesim::rag

@@ -1,8 +1,38 @@
 #include "rag/pipeline.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace sagesim::rag {
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+}  // namespace
+
+ServeOptions ServeOptions::from_env() {
+  ServeOptions o;
+  o.max_batch = env_size("SAGESIM_RAG_MAX_BATCH", o.max_batch);
+  o.max_delay_us = env_size("SAGESIM_RAG_MAX_DELAY_US", o.max_delay_us);
+  o.embed_cache_entries =
+      env_size("SAGESIM_RAG_EMBED_CACHE", o.embed_cache_entries);
+  o.result_cache_entries =
+      env_size("SAGESIM_RAG_RESULT_CACHE", o.result_cache_entries);
+  o.deadline_s = env_double("SAGESIM_RAG_DEADLINE_S", o.deadline_s);
+  return o;
+}
 
 RagPipeline::RagPipeline(const Corpus& corpus,
                          std::unique_ptr<VectorIndex> index, gpu::Device* dev,
@@ -18,10 +48,26 @@ RagPipeline::RagPipeline(const Corpus& corpus,
     throw std::invalid_argument("RagPipeline: index dim != embed dim");
   if (corpus.size() == 0)
     throw std::invalid_argument("RagPipeline: empty corpus");
+  if (config.top_k == 0 || config.top_k > corpus.size())
+    throw std::invalid_argument("RagPipeline: need 0 < top_k <= corpus size");
 
   encoder_.fit(corpus);
   generator_.fit(corpus);
   index_->add(encoder_.encode_corpus(corpus));
+}
+
+std::uint64_t RagPipeline::query_id(const std::string& query) {
+  // FNV-1a, 64-bit: stable across processes, runs and serving paths.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const unsigned char c : query) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+tensor::Tensor RagPipeline::encode_query(const std::string& query) const {
+  return encoder_.encode(query);
 }
 
 double RagPipeline::generator_cost_s(std::size_t tokens) const {
@@ -35,10 +81,53 @@ double RagPipeline::generator_cost_s(std::size_t tokens) const {
   return flops / 5e9;  // host scalar rate
 }
 
-std::vector<RagAnswer> RagPipeline::answer_batch(
+Expected<std::vector<RagAnswer>> RagPipeline::answer_encoded(
+    const tensor::Tensor& encoded, const std::vector<std::string>& queries) {
+  if (queries.empty())
+    return Status::invalid_argument("answer_encoded: no queries");
+  if (encoded.rows() != queries.size() || encoded.cols() != config_.embed_dim)
+    return Status::invalid_argument(
+        "answer_encoded: encoded shape " + encoded.shape_str() + " != " +
+        std::to_string(queries.size()) + "x" +
+        std::to_string(config_.embed_dim));
+
+  // Batched retrieval: one sweep over the index.
+  const double t0 = dev_ != nullptr ? dev_->stream_time(0) : 0.0;
+  auto hits = index_->search(dev_, encoded, config_.top_k);
+  if (!hits.has_value()) return hits.status();
+  const double retrieve_total =
+      dev_ != nullptr
+          ? dev_->stream_time(0) - t0
+          : 2.0 * static_cast<double>(queries.size()) *
+                static_cast<double>(index_->size()) *
+                static_cast<double>(config_.embed_dim) / 5e9;
+  const double retrieve_s =
+      retrieve_total / static_cast<double>(queries.size());
+
+  std::vector<RagAnswer> answers;
+  answers.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    RagAnswer a;
+    a.id = query_id(queries[i]);
+    a.retrieved = (*hits)[i];
+    std::vector<std::string> context;
+    context.reserve(a.retrieved.size());
+    for (const auto& h : a.retrieved) context.push_back(corpus_.doc(h.id).text);
+    // Seed from (config seed, query id): the text depends only on the model
+    // and the query, never on batch composition or call order.
+    a.text = generator_.generate_seeded(queries[i], context,
+                                        config_.generator.seed ^ a.id);
+    a.retrieve_s = retrieve_s;
+    a.generate_s = generator_cost_s(config_.generator.max_tokens);
+    answers.push_back(std::move(a));
+  }
+  return answers;
+}
+
+Expected<std::vector<RagAnswer>> RagPipeline::answer_batch(
     const std::vector<std::string>& queries) {
   if (queries.empty())
-    throw std::invalid_argument("answer_batch: no queries");
+    return Status::invalid_argument("answer_batch: no queries");
 
   // Encode all queries (host-side feature hashing; charged analytically to
   // the device as an embedding kernel when one is present).
@@ -62,36 +151,16 @@ std::vector<RagAnswer> RagPipeline::answer_batch(
   }
   encode_s /= static_cast<double>(queries.size());
 
-  // Batched retrieval: one sweep over the index.
-  const double t0 = dev_ != nullptr ? dev_->stream_time(0) : 0.0;
-  const auto hits = index_->search(dev_, q, config_.top_k);
-  const double retrieve_total =
-      dev_ != nullptr
-          ? dev_->stream_time(0) - t0
-          : 2.0 * static_cast<double>(queries.size()) *
-                static_cast<double>(index_->size()) *
-                static_cast<double>(config_.embed_dim) / 5e9;
-  const double retrieve_s = retrieve_total / static_cast<double>(queries.size());
-
-  std::vector<RagAnswer> answers;
-  answers.reserve(queries.size());
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    RagAnswer a;
-    a.retrieved = hits[i];
-    std::vector<std::string> context;
-    context.reserve(a.retrieved.size());
-    for (const auto& h : a.retrieved) context.push_back(corpus_.doc(h.id).text);
-    a.text = generator_.generate(queries[i], context);
-    a.encode_s = encode_s;
-    a.retrieve_s = retrieve_s;
-    a.generate_s = generator_cost_s(config_.generator.max_tokens);
-    answers.push_back(std::move(a));
-  }
+  auto answers = answer_encoded(q, queries);
+  if (!answers.has_value()) return answers.status();
+  for (auto& a : *answers) a.encode_s = encode_s;
   return answers;
 }
 
-RagAnswer RagPipeline::answer(const std::string& query) {
-  return answer_batch({query}).front();
+Expected<RagAnswer> RagPipeline::answer(const std::string& query) {
+  auto batch = answer_batch({query});
+  if (!batch.has_value()) return batch.status();
+  return std::move(batch->front());
 }
 
 }  // namespace sagesim::rag

@@ -2,8 +2,17 @@
 // per-stage latency breakdown the Week-14 "real-time inference" lab
 // optimizes.  Latencies are simulated seconds from the device timeline
 // (retrieval kernels) plus analytic generator cost.
+//
+// The answer surface is Status-first (Expected<...>; kInvalidArgument on
+// misuse) and deterministic: every answer carries a stable query id (FNV-1a
+// of the query text) that also seeds generation, so the serial, batched and
+// cached serving paths produce bit-identical text and hit lists for the
+// same query.  ServeOptions carries the rag::Server knobs (batching, cache
+// sizes, per-request deadline) so one RagConfig describes both the offline
+// lab pipeline and the serving front end.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,10 +21,30 @@
 #include "rag/encoder.hpp"
 #include "rag/generator.hpp"
 #include "rag/index.hpp"
+#include "runtime/status.hpp"
 
 namespace sagesim::rag {
 
+/// Serving knobs consumed by rag::Server (and recorded in RagConfig so the
+/// bench and labs configure one struct).  Defaults favor low latency at
+/// modest load; from_env() reads the SAGESIM_RAG_* overrides documented in
+/// the README.
+struct ServeOptions {
+  std::size_t max_batch{16};     ///< flush the batcher at this many queries
+  std::size_t max_delay_us{200};  ///< ... or when the oldest waits this long
+  std::size_t embed_cache_entries{1024};   ///< LRU query-embedding cache (0 = off)
+  std::size_t result_cache_entries{4096};  ///< exact-match answer cache (0 = off)
+  double deadline_s{0.0};  ///< per-request wall deadline, 0 = none
+                           ///< (missed -> kDeadlineExceeded, retryable)
+
+  /// Overrides from SAGESIM_RAG_MAX_BATCH, SAGESIM_RAG_MAX_DELAY_US,
+  /// SAGESIM_RAG_EMBED_CACHE, SAGESIM_RAG_RESULT_CACHE,
+  /// SAGESIM_RAG_DEADLINE_S; unset variables keep the defaults.
+  static ServeOptions from_env();
+};
+
 struct RagAnswer {
+  std::uint64_t id{0};  ///< stable query id — cache key and generation seed
   std::string text;
   std::vector<SearchHit> retrieved;
   double encode_s{0.0};    ///< simulated query-encoding time
@@ -28,6 +57,7 @@ struct RagConfig {
   std::size_t top_k{4};
   std::size_t embed_dim{256};
   GeneratorConfig generator;
+  ServeOptions serve;
 };
 
 class RagPipeline {
@@ -35,19 +65,40 @@ class RagPipeline {
   /// Builds the pipeline over @p corpus with the given index.  The index
   /// must already be trained if it requires training; the pipeline fits the
   /// encoder and generator and fills the index.  @p dev may be null for the
-  /// CPU baseline.
+  /// CPU baseline.  Throws std::invalid_argument on construction misuse
+  /// (null index, dim mismatch, empty corpus, top_k outside [1, corpus]).
   RagPipeline(const Corpus& corpus, std::unique_ptr<VectorIndex> index,
               gpu::Device* dev, const RagConfig& config = {});
 
   /// Answers one query.
-  RagAnswer answer(const std::string& query);
+  Expected<RagAnswer> answer(const std::string& query);
 
   /// Answers a batch; retrieval is batched into one kernel sweep, which is
-  /// where the GPU throughput win comes from.
-  std::vector<RagAnswer> answer_batch(const std::vector<std::string>& queries);
+  /// where the GPU throughput win comes from.  Fails with kInvalidArgument
+  /// on an empty batch.
+  Expected<std::vector<RagAnswer>> answer_batch(
+      const std::vector<std::string>& queries);
+
+  /// The serving fast path: retrieval + generation over queries that are
+  /// already encoded (row i of @p encoded is @p queries[i] — the Server's
+  /// embedding cache supplies rows without re-encoding).  encode_s is left 0
+  /// for the caller to fill in.  Fails with kInvalidArgument on shape
+  /// mismatch.
+  Expected<std::vector<RagAnswer>> answer_encoded(
+      const tensor::Tensor& encoded, const std::vector<std::string>& queries);
+
+  /// Encodes one query into a 1 x embed_dim row (the embedding the Server
+  /// caches).  Pure w.r.t. pipeline state.
+  tensor::Tensor encode_query(const std::string& query) const;
+
+  /// Stable 64-bit id of a query text (FNV-1a) — identical across serial,
+  /// batched and cached paths; doubles as the result-cache key and the
+  /// per-query generation seed.
+  static std::uint64_t query_id(const std::string& query);
 
   const VectorIndex& index() const { return *index_; }
   const TfIdfEncoder& encoder() const { return encoder_; }
+  const RagConfig& config() const { return config_; }
   gpu::Device* device() { return dev_; }
 
  private:

@@ -126,16 +126,6 @@ class AnyFuture {
     return Status::from_exception(state_->error);
   }
 
-  /// Blocks and returns the value as T.  Throws std::bad_any_cast on type
-  /// mismatch and rethrows task failures.  Deprecated shim over result<T>()
-  /// for call sites that want exception semantics.
-  template <typename T>
-  T get() const {
-    wait();
-    std::lock_guard lock(state_->mutex);
-    return std::any_cast<T>(state_->value);
-  }
-
   /// Blocks and returns the typed value or the failure as a value: the
   /// canonical accessor.  A type mismatch is an kInternal status rather
   /// than an exception.
@@ -251,8 +241,10 @@ class Future {
   bool cancelled() const { return erased_.cancelled(); }
   const std::string& name() const { return erased_.name(); }
 
-  /// Blocks; returns the typed value (rethrows failures).
-  T get() const { return erased_.template get<T>(); }
+  /// Blocks; returns the typed value (rethrows failures; type mismatch is
+  /// std::bad_any_cast).  Prefer result() — failures as values — when the
+  /// failure is part of normal control flow.
+  T get() const { return std::any_cast<T>(erased_.get_any()); }
 
   /// Blocks; returns the typed value or the failure as a value.
   Expected<T> result() const { return erased_.template result<T>(); }

@@ -197,7 +197,7 @@ auto Future<T>::then(std::string name, F&& fn) const {
   return sched.submit(
       std::move(name),
       [self = erased_, f = std::forward<F>(fn)]() mutable {
-        return f(self.template get<T>());
+        return f(std::any_cast<T>(self.get_any()));
       },
       {erased_});
 }

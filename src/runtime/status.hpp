@@ -125,7 +125,7 @@ class Status {
   std::string to_string() const;
 
   /// Throws StatusError when not ok; no-op on success.  The bridge for
-  /// callers that prefer exceptions (and for the deprecated shims).
+  /// callers that prefer exceptions.
   void throw_if_error() const;
 
   friend bool operator==(const Status& a, const Status& b) {
@@ -138,8 +138,8 @@ class Status {
   std::string message_;
 };
 
-/// Exception form of a Status, thrown by throw_if_error() and the shims.
-/// Derives from std::runtime_error so legacy catch sites keep working.
+/// Exception form of a Status, thrown by throw_if_error().  Derives from
+/// std::runtime_error so legacy catch sites keep working.
 class StatusError : public std::runtime_error {
  public:
   explicit StatusError(Status status)

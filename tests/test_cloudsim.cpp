@@ -165,7 +165,8 @@ TEST(Instance, IdleHoursTrackActivity) {
 TEST(Provisioner, LaunchAssignsAddressesInDefaultVpc) {
   cloud::Provisioner aws;
   const auto role = cloud::student_role("alice");
-  const auto ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 2});
+  const auto ids =
+      aws.try_launch(role, {.type_name = "g4dn.xlarge", .count = 2}).value();
   ASSERT_EQ(ids.size(), 2u);
   const auto& a = aws.instance(ids[0]);
   const auto& b = aws.instance(ids[1]);
@@ -177,18 +178,26 @@ TEST(Provisioner, LaunchAssignsAddressesInDefaultVpc) {
 TEST(Provisioner, EnforcesIamCaps) {
   cloud::Provisioner aws;
   const auto role = cloud::student_role("alice");
-  EXPECT_THROW(aws.launch(role, {.type_name = "p3.8xlarge", .count = 1}),
-               std::runtime_error);  // 4 GPUs > cap of 3
-  aws.launch(role, {.type_name = "g4dn.xlarge", .count = 3});
-  EXPECT_THROW(aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1}),
-               std::runtime_error);  // concurrent cap
+  // 4 GPUs > cap of 3: an IAM denial is a failed precondition, not an
+  // exception.
+  const auto denied =
+      aws.try_launch(role, {.type_name = "p3.8xlarge", .count = 1});
+  ASSERT_FALSE(denied);
+  EXPECT_EQ(denied.status().code(), sagesim::ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(aws.try_launch(role, {.type_name = "g4dn.xlarge", .count = 3}));
+  const auto over =
+      aws.try_launch(role, {.type_name = "g4dn.xlarge", .count = 1});
+  ASSERT_FALSE(over);  // concurrent cap
+  EXPECT_EQ(over.status().code(), sagesim::ErrorCode::kFailedPrecondition);
 }
 
 TEST(Provisioner, TerminateWritesLedgerRecord) {
   cloud::Provisioner aws;
   const auto role = cloud::student_role("alice");
-  const auto ids = aws.launch(
-      role, {.type_name = "g5.xlarge", .count = 1, .assessment = "lab3"});
+  const auto ids =
+      aws.try_launch(role, {.type_name = "g5.xlarge", .count = 1,
+                            .assessment = "lab3"})
+          .value();
   aws.advance_time(2.0);
   aws.terminate(role, ids[0]);
   ASSERT_EQ(aws.ledger().size(), 1u);
@@ -202,7 +211,8 @@ TEST(Provisioner, CannotTerminateOthersInstances) {
   cloud::Provisioner aws;
   const auto alice = cloud::student_role("alice");
   const auto bob = cloud::student_role("bob");
-  const auto ids = aws.launch(alice, {.type_name = "g4dn.xlarge", .count = 1});
+  const auto ids =
+      aws.try_launch(alice, {.type_name = "g4dn.xlarge", .count = 1}).value();
   EXPECT_THROW(aws.terminate(bob, ids[0]), std::runtime_error);
   EXPECT_NO_THROW(aws.terminate(cloud::instructor_role(), ids[0]));
 }
@@ -211,10 +221,15 @@ TEST(Provisioner, BudgetCapBlocksLaunches) {
   cloud::Provisioner aws;
   const auto role = cloud::student_role("alice");
   aws.set_budget_cap(role.name(), {10.0});
-  const auto ids = aws.launch(role, {.type_name = "p3.2xlarge", .count = 1});
+  const auto ids =
+      aws.try_launch(role, {.type_name = "p3.2xlarge", .count = 1}).value();
   aws.advance_time(3.0);  // $9.18 accrued
-  EXPECT_THROW(aws.launch(role, {.type_name = "p3.2xlarge", .count = 1}),
-               std::runtime_error);
+  // Budget denials are kResourceExhausted: retryable capacity, not a bug.
+  const auto blocked =
+      aws.try_launch(role, {.type_name = "p3.2xlarge", .count = 1});
+  ASSERT_FALSE(blocked);
+  EXPECT_EQ(blocked.status().code(), sagesim::ErrorCode::kResourceExhausted);
+  EXPECT_TRUE(blocked.status().retryable());
   aws.terminate(role, ids[0]);
   EXPECT_NEAR(aws.accrued_cost(role.name()), 3.0 * 3.06, 1e-9);
 }
@@ -223,7 +238,8 @@ TEST(Provisioner, IdleReaperTerminatesForgottenInstances) {
   cloud::Provisioner aws;
   aws.enable_idle_reaper(1.0);
   const auto role = cloud::student_role("alice");
-  const auto ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1});
+  const auto ids =
+      aws.try_launch(role, {.type_name = "g4dn.xlarge", .count = 1}).value();
   aws.advance_time(0.5);
   aws.touch(ids[0]);
   aws.advance_time(0.5);
@@ -248,12 +264,14 @@ TEST(CostReport, RollupsAndMeans) {
   cloud::Provisioner aws;
   const auto alice = cloud::student_role("alice");
   const auto bob = cloud::student_role("bob");
-  auto ids = aws.launch(alice, {.type_name = "g4dn.xlarge", .count = 1,
-                                .assessment = "lab1"});
+  auto ids = aws.try_launch(alice, {.type_name = "g4dn.xlarge", .count = 1,
+                                    .assessment = "lab1"})
+                 .value();
   aws.advance_time(2.0);
   aws.terminate(alice, ids[0]);
-  ids = aws.launch(bob, {.type_name = "g5.xlarge", .count = 1,
-                         .assessment = "lab1"});
+  ids = aws.try_launch(bob, {.type_name = "g5.xlarge", .count = 1,
+                             .assessment = "lab1"})
+            .value();
   aws.advance_time(4.0);
   aws.terminate(bob, ids[0]);
 
@@ -273,13 +291,15 @@ TEST(CostReport, SingleVsMultiGpuSessionRates) {
   cloud::Provisioner aws;
   const auto role = cloud::student_role("alice");
   // Single-GPU session.
-  auto ids = aws.launch(role, {.type_name = "g5.xlarge", .count = 1,
-                               .assessment = "lab1"});
+  auto ids = aws.try_launch(role, {.type_name = "g5.xlarge", .count = 1,
+                                   .assessment = "lab1"})
+                 .value();
   aws.advance_time(2.0);
   aws.terminate(role, ids[0]);
   // Multi-GPU (3-node cluster) session.
-  ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 3,
-                          .assessment = "assignment3"});
+  ids = aws.try_launch(role, {.type_name = "g4dn.xlarge", .count = 3,
+                              .assessment = "assignment3"})
+            .value();
   aws.advance_time(1.0);
   for (const auto& id : ids) aws.terminate(role, id);
 
@@ -295,9 +315,11 @@ TEST(Educate, SessionsAreFreeAndBudgetExempt) {
   const auto role = cloud::student_role("alice");
   aws.set_budget_cap(role.name(), {1.0});  // tiny budget
   // A paid p3 would blow the cap; Educate is exempt.
-  const auto ids = aws.launch(role, {.type_name = "p3.2xlarge", .count = 1,
-                                     .assessment = "lab2",
-                                     .educate = true});
+  const auto ids =
+      aws.try_launch(role, {.type_name = "p3.2xlarge", .count = 1,
+                            .assessment = "lab2",
+                            .educate = true})
+          .value();
   aws.advance_time(5.0);
   aws.terminate(role, ids[0]);
   ASSERT_EQ(aws.ledger().size(), 1u);
@@ -312,11 +334,13 @@ TEST(Educate, CostReportExcludesEducateHours) {
   // instances from AWS Educate."
   cloud::Provisioner aws;
   const auto role = cloud::student_role("alice");
-  auto ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1});
+  auto ids =
+      aws.try_launch(role, {.type_name = "g4dn.xlarge", .count = 1}).value();
   aws.advance_time(2.0);
   aws.terminate(role, ids[0]);
-  ids = aws.launch(role, {.type_name = "g4dn.xlarge", .count = 1,
-                          .educate = true});
+  ids = aws.try_launch(role, {.type_name = "g4dn.xlarge", .count = 1,
+                              .educate = true})
+            .value();
   aws.advance_time(3.0);
   aws.terminate(role, ids[0]);
 

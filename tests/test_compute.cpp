@@ -485,7 +485,7 @@ TEST(WorkerSweep, Alg1TrainingBitIdenticalAcrossWorkerCounts) {
     ExecutorGuard guard(&ex);
     gpu::DeviceManager dm(2, gpu::spec::t4());
     dflow::Cluster cluster(dm);
-    return core::train_distributed_gcn(ds, cluster, cfg);
+    return core::try_train_distributed_gcn(ds, cluster, cfg).value();
   };
 
   const auto base = run(1);

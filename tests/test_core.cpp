@@ -51,7 +51,8 @@ TEST(Alg1, SequentialBaselineLearns) {
   const auto ds = small_dataset();
   gpu::DeviceManager dm(1, gpu::spec::t4());
   dflow::Cluster cluster(dm);
-  const auto res = core::train_distributed_gcn(ds, cluster, fast_config(1));
+  const auto res =
+      core::try_train_distributed_gcn(ds, cluster, fast_config(1)).value();
   EXPECT_EQ(res.epoch_losses.size(), 25u);
   EXPECT_LT(res.epoch_losses.back(), 0.7 * res.epoch_losses.front());
   EXPECT_GT(res.test_accuracy, 0.7);
@@ -64,7 +65,8 @@ TEST(Alg1, DistributedTrainingLearnsOnEveryWorkerCount) {
   for (int k : {2, 3}) {
     gpu::DeviceManager dm(static_cast<std::size_t>(k), gpu::spec::t4());
     dflow::Cluster cluster(dm);
-    const auto res = core::train_distributed_gcn(ds, cluster, fast_config(k));
+    const auto res =
+        core::try_train_distributed_gcn(ds, cluster, fast_config(k)).value();
     EXPECT_LT(res.epoch_losses.back(), res.epoch_losses.front()) << "k=" << k;
     EXPECT_GT(res.test_accuracy, 0.6) << "k=" << k;
     EXPECT_EQ(res.gpu_utilization.size(), static_cast<std::size_t>(k));
@@ -77,12 +79,14 @@ TEST(Alg1, MetisPartitionCutsFewerEdgesThanRandom) {
   dflow::Cluster cluster_a(dm_a);
   auto cfg = fast_config(2);
   cfg.epochs = 3;
-  const auto metis = core::train_distributed_gcn(ds, cluster_a, cfg);
+  const auto metis =
+      core::try_train_distributed_gcn(ds, cluster_a, cfg).value();
 
   gpu::DeviceManager dm_b(2, gpu::spec::t4());
   dflow::Cluster cluster_b(dm_b);
   cfg.strategy = core::PartitionStrategy::kRandom;
-  const auto random = core::train_distributed_gcn(ds, cluster_b, cfg);
+  const auto random =
+      core::try_train_distributed_gcn(ds, cluster_b, cfg).value();
 
   EXPECT_LT(metis.partition.edge_cut, random.partition.edge_cut);
   EXPECT_LT(metis.cut_edges_dropped, random.cut_edges_dropped);
@@ -94,7 +98,7 @@ TEST(Alg1, SimulatedTimeIncludesSchedulerOverhead) {
   dflow::Cluster cluster(dm);
   auto cfg = fast_config(2);
   cfg.epochs = 5;
-  const auto res = core::train_distributed_gcn(ds, cluster, cfg);
+  const auto res = core::try_train_distributed_gcn(ds, cluster, cfg).value();
   // 5 epochs x 2k tasks x 1 ms = 20 ms of scheduler time at minimum.
   EXPECT_GE(res.train_sim_seconds, 5 * 2 * 2 * cfg.scheduler_overhead_s);
   const double sched =
@@ -107,14 +111,14 @@ TEST(Alg1, ValidatesConfiguration) {
   gpu::DeviceManager dm(2, gpu::spec::t4());
   dflow::Cluster cluster(dm);
   auto cfg = fast_config(4);  // more partitions than workers
-  EXPECT_THROW(core::train_distributed_gcn(ds, cluster, cfg),
+  EXPECT_THROW((void)core::try_train_distributed_gcn(ds, cluster, cfg),
                std::invalid_argument);
   cfg = fast_config(0);
-  EXPECT_THROW(core::train_distributed_gcn(ds, cluster, cfg),
+  EXPECT_THROW((void)core::try_train_distributed_gcn(ds, cluster, cfg),
                std::invalid_argument);
   cfg = fast_config(2);
   cfg.epochs = 0;
-  EXPECT_THROW(core::train_distributed_gcn(ds, cluster, cfg),
+  EXPECT_THROW((void)core::try_train_distributed_gcn(ds, cluster, cfg),
                std::invalid_argument);
 }
 
@@ -125,7 +129,7 @@ TEST(Alg1, BlockStrategyRuns) {
   auto cfg = fast_config(2);
   cfg.strategy = core::PartitionStrategy::kBlock;
   cfg.epochs = 3;
-  const auto res = core::train_distributed_gcn(ds, cluster, cfg);
+  const auto res = core::try_train_distributed_gcn(ds, cluster, cfg).value();
   EXPECT_GT(res.partition.edge_cut, 0u);
 }
 
@@ -369,7 +373,7 @@ TEST(Alg1, KernelBackendSwapKeepsTrainingBitIdentical) {
     ops::set_host_backend(backend);
     gpu::DeviceManager dm(2, gpu::spec::t4());
     dflow::Cluster cluster(dm);
-    return core::train_distributed_gcn(ds, cluster, fast_config(2));
+    return core::try_train_distributed_gcn(ds, cluster, fast_config(2)).value();
   };
   const auto naive = run(ops::HostBackend::kNaive);
   const auto blocked = run(ops::HostBackend::kBlocked);
@@ -403,7 +407,7 @@ TEST(Alg1, TransferCountsArePinnedAndDeterministic) {
     auto cfg = fast_config(2);
     cfg.epochs = epochs;
     mem::reset_transfer_ledger();
-    (void)core::train_distributed_gcn(ds, cluster, cfg);
+    (void)core::try_train_distributed_gcn(ds, cluster, cfg).value();
     Snap snap{dm.timeline().snapshot(prof::EventKind::kMemcpyH2D).size(),
               dm.timeline().snapshot(prof::EventKind::kMemcpyD2H).size(),
               0,

@@ -272,7 +272,7 @@ TEST(DdpEquivalence, TwoGpuStepMatchesSingleGpuFullBatch) {
   ddp::DataParallelTrainer trainer(
       cluster, [&] { return make_mlp(123, d, 8, 2); },
       [] { return std::make_unique<nn::Sgd>(0.1f); });
-  trainer.step(x, y);
+  ASSERT_TRUE(trainer.try_step(x, y));
 
   const auto y_ref = ref->forward(nullptr, x, false);
   const auto y_ddp = trainer.predict(x);
@@ -297,7 +297,7 @@ TEST(DdpTrainer, LossDecreasesOverSteps) {
       [] { return std::make_unique<nn::Adam>(5e-3f); });
   double first = 0.0, last = 0.0;
   for (int s = 0; s < 25; ++s) {
-    const auto stats = trainer.step(x, y);
+    const auto stats = trainer.try_step(x, y).value();
     if (s == 0) first = stats.mean_loss;
     last = stats.mean_loss;
     EXPECT_GT(stats.sim_time_s, 0.0);
@@ -322,8 +322,9 @@ TEST(DdpTrainer, RingAndNaiveConvergeIdentically) {
     sagesim::dflow::Cluster cluster(dm);
     ddp::DataParallelTrainer trainer(
         cluster, [&] { return make_mlp(321, d, 8, 2); },
-        [] { return std::make_unique<nn::Sgd>(0.05f); }, algo);
-    for (int s = 0; s < 10; ++s) trainer.step(x, y);
+        [] { return std::make_unique<nn::Sgd>(0.05f); },
+        ddp::TrainerOptions{.algo = algo});
+    for (int s = 0; s < 10; ++s) EXPECT_TRUE(trainer.try_step(x, y));
     return trainer.predict(x);
   };
   const auto ring = run(ddp::AllReduceAlgo::kRing);
@@ -347,7 +348,7 @@ TEST(DdpTrainer, RejectsDegenerateInputs) {
       [] { return std::make_unique<nn::Sgd>(0.1f); });
   tensor::Tensor x(1, 2);  // batch smaller than world size
   const std::vector<int> y{0};
-  EXPECT_THROW(trainer.step(x, y), std::invalid_argument);
+  EXPECT_THROW((void)trainer.try_step(x, y), std::invalid_argument);
 }
 
 TEST(DdpTrainer, PlacesReplicasOnRankDevices) {
@@ -391,7 +392,7 @@ TEST(DdpTrainer, CheckpointRoundTripsPlacement) {
   ddp::DataParallelTrainer a(
       cluster, [] { return make_mlp(77, 4, 8, 2); },
       [] { return std::make_unique<nn::Sgd>(0.1f); }, opts);
-  for (int s = 0; s < 3; ++s) a.step(x, y);
+  for (int s = 0; s < 3; ++s) ASSERT_TRUE(a.try_step(x, y));
   ASSERT_TRUE(a.save_checkpoint(3).ok());
   const auto ref = a.predict(x);
 
@@ -433,12 +434,13 @@ TEST(DdpTrainer, PoolHitRateExceedsNinetyPercentAfterWarmup) {
   ddp::DataParallelTrainer trainer(
       cluster, [] { return make_mlp(5, 8, 16, 2); },
       [] { return std::make_unique<nn::Adam>(1e-3f); });
-  for (int s = 0; s < 3; ++s) trainer.step(x, y);  // warm every size class
+  for (int s = 0; s < 3; ++s)
+    ASSERT_TRUE(trainer.try_step(x, y));  // warm every size class
 
   mem::host_pool().reset_stats();
   mem::device_pool(dm.device(0)).reset_stats();
   mem::device_pool(dm.device(1)).reset_stats();
-  for (int s = 0; s < 20; ++s) trainer.step(x, y);
+  for (int s = 0; s < 20; ++s) ASSERT_TRUE(trainer.try_step(x, y));
 
   // Steady state allocates the same sizes every step, so the free lists
   // serve (nearly) everything; a sub-90% rate means recycling regressed.

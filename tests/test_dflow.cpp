@@ -25,13 +25,13 @@ TEST(Future, DeliversValue) {
   EXPECT_FALSE(f.ready());
   f.deliver(std::string("hello"));
   EXPECT_TRUE(f.ready());
-  EXPECT_EQ(f.get<std::string>(), "hello");
+  EXPECT_EQ(f.result<std::string>().value(), "hello");
 }
 
 TEST(Future, ImmediateIsReady) {
   auto f = dflow::Future::immediate(42);
   EXPECT_TRUE(f.ready());
-  EXPECT_EQ(f.get<int>(), 42);
+  EXPECT_EQ(f.result<int>().value(), 42);
 }
 
 TEST(Future, PropagatesFailure) {
@@ -50,12 +50,14 @@ TEST(Future, CopiesShareState) {
   dflow::Future f;
   dflow::Future g = f;
   f.deliver(7);
-  EXPECT_EQ(g.get<int>(), 7);
+  EXPECT_EQ(g.result<int>().value(), 7);
 }
 
-TEST(Future, TypeMismatchThrowsBadAnyCast) {
+TEST(Future, TypeMismatchIsInternalStatus) {
   auto f = dflow::Future::immediate(3.14);
-  EXPECT_THROW(f.get<int>(), std::bad_any_cast);
+  const auto r = f.result<int>();
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), sagesim::ErrorCode::kInternal);
 }
 
 TEST(Future, WaitBlocksUntilDelivery) {
@@ -64,7 +66,7 @@ TEST(Future, WaitBlocksUntilDelivery) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     f.deliver(99);
   });
-  EXPECT_EQ(f.get<int>(), 99);
+  EXPECT_EQ(f.result<int>().value(), 99);
   producer.join();
 }
 
@@ -82,7 +84,7 @@ TEST(Cluster, SubmitRunsOnRequestedRank) {
   auto f = cluster.submit(
       "who", [](dflow::WorkerCtx& ctx) -> std::any { return ctx.rank; }, {},
       1);
-  EXPECT_EQ(f.get<int>(), 1);
+  EXPECT_EQ(f.result<int>().value(), 1);
 }
 
 TEST(Cluster, SubmitRejectsBadRank) {
@@ -102,7 +104,7 @@ TEST(Cluster, MapCoversAllRanks) {
   });
   ASSERT_EQ(futures.size(), 4u);
   for (int r = 0; r < 4; ++r)
-    EXPECT_EQ(futures[static_cast<std::size_t>(r)].get<int>(), r * 10);
+    EXPECT_EQ(futures[static_cast<std::size_t>(r)].result<int>().value(), r * 10);
 }
 
 TEST(Cluster, DependenciesRunBeforeDependents) {
@@ -118,7 +120,7 @@ TEST(Cluster, DependenciesRunBeforeDependents) {
       "second",
       [&](dflow::WorkerCtx&) -> std::any { return stage.load(); },
       {first}, 1);
-  EXPECT_EQ(second.get<int>(), 1);
+  EXPECT_EQ(second.result<int>().value(), 1);
 }
 
 TEST(Cluster, DependencyFailurePropagates) {
@@ -148,7 +150,7 @@ TEST(Cluster, ScatterRequiresOnePerWorker) {
   dflow::Cluster cluster(dm);
   EXPECT_THROW(cluster.scatter({std::any(1)}), std::invalid_argument);
   auto futures = cluster.scatter({std::any(1), std::any(2)});
-  EXPECT_EQ(futures[1].get<int>(), 2);
+  EXPECT_EQ(futures[1].result<int>().value(), 2);
 }
 
 TEST(Cluster, WaitAllDrainsEverything) {
@@ -173,11 +175,11 @@ TEST(Cluster, ManyChainedTasksDoNotDeadlock) {
     prev = cluster.submit(
         "chain",
         [prev](dflow::WorkerCtx&) -> std::any {
-          return prev.get<int>() + 1;
+          return prev.result<int>().value() + 1;
         },
         {prev});
   }
-  EXPECT_EQ(prev.get<int>(), 50);
+  EXPECT_EQ(prev.result<int>().value(), 50);
 }
 
 // --- collectives ----------------------------------------------------------------

@@ -219,7 +219,7 @@ TEST(ClusterFault, SubmitRetrySurvivesInjectedPreemptions) {
   // injector (cap 2), the third runs clean.
   auto f = cluster.submit_retry("flaky",
                                 [](dflow::WorkerCtx&) -> std::any { return 7; });
-  EXPECT_EQ(f.get<int>(), 7);
+  EXPECT_EQ(f.result<int>().value(), 7);
   EXPECT_EQ(cluster.fault_injector()->preemptions(), 2u);
 }
 
@@ -255,13 +255,13 @@ TEST(ClusterFault, PinnedSubmitToPreemptedRankFailsFast) {
   // reclaimed rank instead of waiting for it.
   auto retried = cluster.submit_retry(
       "migrates", [](dflow::WorkerCtx&) -> std::any { return 5; }, {}, 0);
-  EXPECT_EQ(retried.get<int>(), 5);
+  EXPECT_EQ(retried.result<int>().value(), 5);
 
   cluster.restore_rank(0);
   EXPECT_TRUE(cluster.rank_available(0));
   auto back = cluster.submit(
       "pinned2", [](dflow::WorkerCtx&) -> std::any { return 6; }, {}, 0);
-  EXPECT_EQ(back.get<int>(), 6);
+  EXPECT_EQ(back.result<int>().value(), 6);
 }
 
 TEST(ClusterFault, TryGatherReturnsFirstFailureInOrder) {
@@ -339,11 +339,12 @@ TEST(DdpFault, CheckpointRestoreRewindsParameters) {
   for (std::size_t i = 0; i < probe.size(); ++i)
     probe.data()[i] = 0.25f * static_cast<float>(i);
 
-  for (int s = 0; s < 3; ++s) trainer.step(x, y);
+  for (int s = 0; s < 3; ++s) ASSERT_TRUE(trainer.try_step(x, y));
   ASSERT_TRUE(trainer.save_checkpoint(3).ok());
   const tensor::Tensor at_ckpt = trainer.predict(probe);
 
-  for (int s = 0; s < 2; ++s) trainer.step(x, y);  // drift past the save
+  for (int s = 0; s < 2; ++s)
+    ASSERT_TRUE(trainer.try_step(x, y));  // drift past the save
   const Expected<std::uint64_t> epoch = trainer.restore_latest();
   ASSERT_TRUE(epoch) << epoch.status().to_string();
   EXPECT_EQ(*epoch, 3u);

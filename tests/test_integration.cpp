@@ -81,12 +81,12 @@ TEST(Integration, Algorithm1PaperShape) {
   gpu::DeviceManager dm1(1, gpu::spec::t4());
   sagesim::dflow::Cluster c1(dm1);
   cfg.num_partitions = 1;
-  const auto seq = core::train_distributed_gcn(ds, c1, cfg);
+  const auto seq = core::try_train_distributed_gcn(ds, c1, cfg).value();
 
   gpu::DeviceManager dm4(4, gpu::spec::t4());
   sagesim::dflow::Cluster c4(dm4);
   cfg.num_partitions = 4;
-  const auto dist = core::train_distributed_gcn(ds, c4, cfg);
+  const auto dist = core::try_train_distributed_gcn(ds, c4, cfg).value();
 
   // "Minimal performance improvement": no 2x win at course scale.
   EXPECT_GT(dist.train_sim_seconds, 0.5 * seq.train_sim_seconds);
@@ -133,8 +133,10 @@ TEST(Integration, RagServingSessionWithBilling) {
 
   cloud::Provisioner aws;
   const auto role = cloud::student_role("week14");
-  const auto ids = aws.launch(
-      role, {.type_name = "g5.xlarge", .count = 1, .assessment = "lab13"});
+  const auto ids =
+      aws.try_launch(role, {.type_name = "g5.xlarge", .count = 1,
+                            .assessment = "lab13"})
+          .value();
 
   gpu::DeviceManager dm(1, gpu::spec::a10g());
   Rng rng(5);
@@ -146,7 +148,8 @@ TEST(Integration, RagServingSessionWithBilling) {
   rag::RagPipeline pipeline(synth.corpus,
                             std::make_unique<rag::BruteForceIndex>(128),
                             &dm.device(0), cfg);
-  const auto answer = pipeline.answer(rag::synthetic_query(params, 1, rng));
+  const auto answer =
+      pipeline.answer(rag::synthetic_query(params, 1, rng)).value();
   EXPECT_FALSE(answer.retrieved.empty());
 
   // The simulated serving session consumed sim-time; bill ~1 hour.
