@@ -1,0 +1,271 @@
+// Out-of-core sampling microbench: sampler throughput over the sharded
+// store, then the prefetch-overlap claim end to end — the same sampled GCN
+// step sequence with the double-buffered pipeline on vs the synchronous
+// staging control, on simulated T4s.
+//
+// Three numbers back the ISSUE-8 acceptance criteria:
+//   * sampler throughput (batches/s and sampled Medges/s, wall clock);
+//   * fraction of mini-batch H2D time hidden under concurrent kernels with
+//     prefetch on (>= 50% in the full run) vs the prefetch=off control;
+//   * peak resident bytes as a fraction of full materialization (< 40%).
+// The on/off runs must also report bit-identical step losses — overlap is
+// a latency optimization, never a semantics change.
+//
+// Writes the BENCH_graph.json baseline.
+//
+//   microbench_sampling [--smoke] [--scale N] [--json PATH] [--dir PATH]
+//
+// --smoke shrinks the graph (scale 14) so the perf.* ctest entry stays
+// fast; the committed baseline comes from the full scale-22 run.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/sampled_gcn.hpp"
+#include "dflow/cluster.hpp"
+#include "gpusim/device_manager.hpp"
+#include "gpusim/device_spec.hpp"
+#include "graph/ooc.hpp"
+#include "graph/sampler.hpp"
+#include "mem/pool.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TrainRow {
+  bool prefetch{false};
+  double sim_s{0.0};
+  double hidden_frac{0.0};
+  std::size_t h2d_bytes{0};
+  std::uint64_t peak_bytes{0};
+  std::uint64_t shard_loads{0};
+  std::uint64_t shard_evictions{0};
+  std::vector<double> losses;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t scale = 22;
+  std::string json_path = "BENCH_graph.json";
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+      scale = static_cast<std::size_t>(std::atoi(argv[++i]));
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) dir = argv[++i];
+  }
+  if (smoke && scale == 22) scale = 14;
+
+  bench::header("microbench_sampling",
+                "out-of-core sampler throughput + prefetch overlap");
+
+  graph::OocRmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = 20260809;
+  p.nodes_per_shard = smoke ? (std::size_t{1} << 10) : (std::size_t{1} << 16);
+  p.dir = dir.empty()
+              ? (std::filesystem::temp_directory_path() /
+                 ("sagesim_bench_graph_s" + std::to_string(scale)))
+                    .string()
+              : dir;
+
+  bench::section("generate (sharded RMAT, scale " + std::to_string(scale) +
+                 ")");
+  double t0 = wall_s();
+  const auto meta = graph::build_sharded_rmat(p);
+  if (!meta) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 meta.status().to_string().c_str());
+    return 1;
+  }
+  const double gen_s = wall_s() - t0;
+  std::printf("%zu nodes, %llu directed edges, %zu shards in %.1fs (%s)\n",
+              meta->num_nodes,
+              static_cast<unsigned long long>(meta->num_directed_edges),
+              meta->num_shards, gen_s, p.dir.c_str());
+
+  graph::OocFeatureSpec spec;
+  spec.dim = smoke ? 64 : 128;
+
+  // --- sampler throughput ---------------------------------------------------
+  bench::section("sampler throughput");
+  const std::size_t batch = smoke ? 128 : 1024;
+  const std::size_t throughput_batches = smoke ? 8 : 32;
+  graph::SamplerConfig sc;
+  sc.fanouts = {10, 5};
+  sc.seed = 7;
+  double sample_wall_s = 0.0;
+  graph::EdgeIdx sampled_edges = 0;
+  std::size_t sampled_nodes = 0, gathered_bytes = 0;
+  {
+    auto store = graph::ShardStore::open(*meta, /*max_resident=*/8);
+    if (!store) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   store.status().to_string().c_str());
+      return 1;
+    }
+    graph::NeighborSampler sampler(*store, spec, sc);
+    t0 = wall_s();
+    for (std::size_t i = 0; i < throughput_batches; ++i) {
+      const auto seeds = graph::schedule_seeds(
+          0, static_cast<graph::NodeId>(meta->num_nodes), batch, sc.seed,
+          /*epoch=*/0, i);
+      auto mb = sampler.sample(0, i, seeds);
+      if (!mb) {
+        std::fprintf(stderr, "sample failed: %s\n",
+                     mb.status().to_string().c_str());
+        return 1;
+      }
+      sampled_edges += mb->sampled_edges;
+      sampled_nodes += mb->nodes.size();
+      gathered_bytes += mb->h2d_bytes();
+    }
+    sample_wall_s = wall_s() - t0;
+  }
+  const double batches_per_s =
+      static_cast<double>(throughput_batches) / sample_wall_s;
+  std::printf("%zu batches of %zu seeds in %.2fs wall: %.1f batches/s, "
+              "%.2f Medges/s sampled, %.1f MB/s gathered\n",
+              throughput_batches, batch, sample_wall_s, batches_per_s,
+              static_cast<double>(sampled_edges) / sample_wall_s / 1e6,
+              static_cast<double>(gathered_bytes) / sample_wall_s / 1e6);
+
+  // --- prefetch overlap, end to end ----------------------------------------
+  bench::section("prefetch overlap (sampled GCN on simulated T4s)");
+  core::SampledGcnConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.epochs = 1;
+  cfg.batch_size = batch;
+  cfg.fanouts = {10, 5};
+  cfg.max_steps_per_epoch = smoke ? 4 : 8;
+  cfg.hidden = smoke ? 32 : 256;
+  cfg.max_resident_shards = 8;
+  cfg.seed = 42;
+
+  auto train = [&](bool prefetch) -> TrainRow {
+    gpu::DeviceManager dm(static_cast<std::size_t>(cfg.num_ranks),
+                          gpu::spec::t4());
+    dflow::Cluster cluster(dm);
+    core::SampledGcnConfig c = cfg;
+    c.prefetch = prefetch;
+    mem::flush_all_pools();
+    const auto run = core::try_train_sampled_gcn(*meta, spec, cluster, c);
+    if (!run) {
+      std::fprintf(stderr, "train failed: %s\n",
+                   run.status().to_string().c_str());
+      std::exit(1);
+    }
+    TrainRow row;
+    row.prefetch = prefetch;
+    row.sim_s = run->train_sim_seconds;
+    row.hidden_frac = run->h2d_hidden_frac;
+    row.h2d_bytes = run->h2d_bytes;
+    row.peak_bytes = run->peak_resident_bytes;
+    row.shard_loads = run->shard_loads;
+    row.shard_evictions = run->shard_evictions;
+    row.losses = run->step_losses;
+    return row;
+  };
+
+  const TrainRow off = train(false);
+  const TrainRow on = train(true);
+  const bool bit_identical = on.losses == off.losses;
+  const auto full = graph::full_materialization_bytes(*meta, spec);
+  const double peak_frac =
+      static_cast<double>(on.peak_bytes) / static_cast<double>(full);
+
+  std::printf("%-14s %12s %14s %14s %12s\n", "config", "sim step(ms)",
+              "H2D hidden", "peak MB", "shard loads");
+  for (const TrainRow* r : {&off, &on})
+    std::printf("%-14s %12.3f %13.1f%% %14.1f %12llu\n",
+                r->prefetch ? "prefetch" : "sync-control",
+                1e3 * r->sim_s / static_cast<double>(off.losses.size()),
+                100.0 * r->hidden_frac,
+                static_cast<double>(r->peak_bytes) / 1e6,
+                static_cast<unsigned long long>(r->shard_loads));
+  std::printf("H2D hidden with prefetch: %.1f%%  %s\n", 100.0 * on.hidden_frac,
+              bench::bar(on.hidden_frac, 1.0, 24).c_str());
+  std::printf("peak resident %.1f MB = %.1f%% of %.1f MB full "
+              "materialization\n",
+              static_cast<double>(on.peak_bytes) / 1e6, 100.0 * peak_frac,
+              static_cast<double>(full) / 1e6);
+  std::printf("step losses bit-identical (prefetch on vs off): %s\n",
+              bit_identical ? "yes" : "NO — BUG");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"graph\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f,
+                 "  \"scale\": %zu, \"edge_factor\": %zu, \"feature_dim\": "
+                 "%zu,\n",
+                 p.scale, p.edge_factor, spec.dim);
+    std::fprintf(f,
+                 "  \"num_nodes\": %zu, \"directed_edges\": %llu, "
+                 "\"generate_wall_s\": %.2f,\n",
+                 meta->num_nodes,
+                 static_cast<unsigned long long>(meta->num_directed_edges),
+                 gen_s);
+    std::fprintf(f,
+                 "  \"sampler\": {\"batch_seeds\": %zu, \"batches_per_s\": "
+                 "%.2f, \"medges_per_s\": %.2f, \"gather_mb_per_s\": %.1f},\n",
+                 batch, batches_per_s,
+                 static_cast<double>(sampled_edges) / sample_wall_s / 1e6,
+                 static_cast<double>(gathered_bytes) / sample_wall_s / 1e6);
+    std::fprintf(f, "  \"bit_identical\": %s,\n",
+                 bit_identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"full_materialization_mb\": %.1f, \"peak_resident_frac\": "
+                 "%.4f,\n",
+                 static_cast<double>(full) / 1e6, peak_frac);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (const TrainRow* r : {&off, &on})
+      std::fprintf(f,
+                   "    {\"prefetch\": %s, \"train_sim_s\": %.4f, "
+                   "\"h2d_hidden_frac\": %.4f, \"h2d_mb\": %.1f, "
+                   "\"peak_resident_mb\": %.1f, \"shard_loads\": %llu, "
+                   "\"shard_evictions\": %llu}%s\n",
+                   r->prefetch ? "true" : "false", r->sim_s, r->hidden_frac,
+                   static_cast<double>(r->h2d_bytes) / 1e6,
+                   static_cast<double>(r->peak_bytes) / 1e6,
+                   static_cast<unsigned long long>(r->shard_loads),
+                   static_cast<unsigned long long>(r->shard_evictions),
+                   r == &on ? "" : ",");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  bool ok = bit_identical;
+  if (!smoke) {
+    // The full-run acceptance gates; smoke graphs are too small for the
+    // ratios to be meaningful.
+    if (on.hidden_frac < 0.5) {
+      std::fprintf(stderr, "FAIL: H2D hidden %.1f%% < 50%%\n",
+                   100.0 * on.hidden_frac);
+      ok = false;
+    }
+    if (peak_frac >= 0.4) {
+      std::fprintf(stderr, "FAIL: peak resident %.1f%% >= 40%%\n",
+                   100.0 * peak_frac);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

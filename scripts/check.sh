@@ -68,5 +68,11 @@ step "perf: rag serving smoke"
 ./build/bench/serve_rag --smoke --workers 4 --json /dev/null >/dev/null
 echo "rag serving smoke ok"
 
+step "perf: out-of-core sampling smoke"
+# Sharded generation, sampler, and both staging configs end to end on a
+# small graph; asserts prefetch on/off losses stay bit-identical.
+./build/bench/microbench_sampling --smoke --json /dev/null >/dev/null
+echo "out-of-core sampling smoke ok"
+
 echo
 echo "all checks passed"

@@ -1,0 +1,91 @@
+// Out-of-core sampled mini-batch GCN training — Algorithm 1 rebuilt for
+// graphs whose edge list never fits in memory:
+//
+//   1. Shard-by-shard RMAT generation wrote the graph to disk (graph/ooc);
+//      only the 4-byte-per-node degree index stays resident.
+//   2. Each rank owns a contiguous, degree-balanced node range
+//      (degree_balanced_ranges — the streaming fallback for METIS).
+//   3. Per optimizer step, each rank trains on `grad_accum_steps` sampled
+//      mini-batches (GraphSAGE fixed-fanout subgraphs), accumulating local
+//      gradients, then all ranks synchronize through the same bucketed
+//      DDP all-reduce the full-batch trainer uses.
+//   4. A PrefetchPipeline per rank samples batch i+1 and stages its H2D
+//      copies on a dedicated transfer stream while batch i trains — the
+//      double-buffering that hides PCIe time under kernel time.
+//
+// Everything random is counter-based (graph::mix64), so the loss sequence
+// is a pure function of the config: bit-identical across worker counts,
+// prefetch on/off, and checkpoint/restart — the properties the pipeline
+// tests pin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distributed_gcn.hpp"  // GcnFaultOptions
+#include "dflow/cluster.hpp"
+#include "graph/ooc.hpp"
+
+namespace sagesim::core {
+
+struct SampledGcnConfig {
+  int num_ranks{2};                ///< data-parallel world (<= cluster size)
+  int epochs{2};
+  std::size_t batch_size{256};     ///< seed nodes per sampled mini-batch
+  std::vector<std::uint32_t> fanouts{10, 5};
+  /// Micro-batches accumulated per optimizer step (>= 1).  The sampled
+  /// analogue of ddp::TrainerOptions::grad_accum_steps: multi-rank step
+  /// semantics stay synchronized while per-batch memory stays bounded.
+  std::size_t grad_accum_steps{1};
+  /// Caps optimizer steps per epoch; 0 trains the full epoch (every rank's
+  /// node range, minus the ragged tail, exactly once).
+  std::size_t max_steps_per_epoch{0};
+  std::size_t hidden{16};
+  float dropout{0.3f};
+  float learning_rate{0.05f};
+  std::uint64_t seed{42};
+  bool prefetch{true};             ///< false == synchronous staging control
+  std::size_t prefetch_depth{2};   ///< batches in flight per rank
+  std::size_t max_resident_shards{8};  ///< ShardStore LRU bound
+  std::size_t ddp_bucket_bytes{0};
+  bool ddp_overlap{true};
+  /// Step-granular checkpoint/restart (checkpoint_every counts optimizer
+  /// steps here, not epochs).  allow_shrink is ignored: sampled ranges are
+  /// re-mapped onto surviving ranks, never re-partitioned.
+  GcnFaultOptions fault;
+};
+
+struct SampledGcnResult {
+  std::vector<double> step_losses;   ///< mean across ranks, per step
+  double train_sim_seconds{0.0};
+  std::size_t batches{0};            ///< micro-batches trained, all ranks
+  graph::EdgeIdx sampled_edges{0};   ///< subgraph edges across all batches
+  std::size_t h2d_bytes{0};          ///< mini-batch payload staged H2D
+  /// Fraction of mini-batch H2D time hidden under concurrent kernels
+  /// (prof::transfer_overlap over the ranks' devices).
+  double h2d_hidden_frac{0.0};
+  /// mem::process_peak_resident_bytes() high-water mark over the run — the
+  /// quantity the memory-ceiling test pins against
+  /// graph::full_materialization_bytes.
+  std::uint64_t peak_resident_bytes{0};
+  std::uint64_t shard_loads{0};
+  std::uint64_t shard_evictions{0};
+  /// Deterministic held-out loss: one fixed eval batch, no dropout.
+  double eval_loss{0.0};
+  // --- fault-tolerance accounting (zero on fault-free runs) ---------------
+  std::size_t chunk_restarts{0};
+  std::size_t checkpoints_written{0};
+  std::size_t checkpoints_restored{0};
+  int final_world{0};
+};
+
+/// Trains a 2-layer GCN on the out-of-core graph described by @p meta with
+/// @p config.num_ranks workers pinned to @p cluster's devices.  Features
+/// and labels are the deterministic hashed set described by @p features.
+/// Operational failures (missing shards, exhausted chunk attempts) come
+/// back as a Status; argument misuse throws.
+Expected<SampledGcnResult> try_train_sampled_gcn(
+    const graph::OocGraphMeta& meta, const graph::OocFeatureSpec& features,
+    dflow::Cluster& cluster, const SampledGcnConfig& config);
+
+}  // namespace sagesim::core

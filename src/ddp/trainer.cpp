@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "nn/checkpoint.hpp"
+#include "tensor/ops.hpp"
 
 namespace sagesim::ddp {
 
@@ -52,9 +53,13 @@ Expected<StepStats> DataParallelTrainer::try_step(const tensor::Tensor& x,
   if (y.size() != x.rows())
     throw std::invalid_argument("DataParallelTrainer::step: one label per row");
   const auto world = static_cast<std::size_t>(cluster_.world_size());
-  if (x.rows() < world)
+  const std::size_t accum = options_.grad_accum_steps;
+  if (accum == 0)
     throw std::invalid_argument(
-        "DataParallelTrainer::step: batch smaller than world size");
+        "DataParallelTrainer::step: grad_accum_steps must be >= 1");
+  if (x.rows() < world * accum)
+    throw std::invalid_argument(
+        "DataParallelTrainer::step: batch smaller than world * accum slices");
 
   const double t0 = cluster_.devices().now_s();
 
@@ -80,28 +85,44 @@ Expected<StepStats> DataParallelTrainer::try_step(const tensor::Tensor& x,
           const std::size_t end = (r + 1) * x.rows() / world;
           const std::size_t rows = end - begin;
 
-          tensor::Tensor shard(rows, x.cols());
-          std::copy(x.data() + begin * x.cols(), x.data() + end * x.cols(),
-                    shard.data());
-          if (ctx.device != nullptr)
-            shard.to_device(*ctx.device).throw_if_error();
-          std::vector<int> labels(
-              y.begin() + static_cast<std::ptrdiff_t>(begin),
-              y.begin() + static_cast<std::ptrdiff_t>(end));
-
           auto& model = *models_[r];
           model.zero_grad();
-          tensor::Tensor logits =
-              model.forward(ctx.device, shard, /*train=*/true);
-          auto loss = nn::softmax_cross_entropy(ctx.device, logits, labels);
-          if (options_.overlap) {
-            model.backward(ctx.device, loss.dlogits, [&](nn::Param* p) {
-              sync_->notify_grad_ready(r, p);
-            });
-          } else {
-            model.backward(ctx.device, loss.dlogits);
+          double shard_loss = 0.0;
+          for (std::size_t a = 0; a < accum; ++a) {
+            const std::size_t mb = begin + a * rows / accum;
+            const std::size_t me = begin + (a + 1) * rows / accum;
+            const std::size_t mrows = me - mb;
+
+            tensor::Tensor slice(mrows, x.cols());
+            std::copy(x.data() + mb * x.cols(), x.data() + me * x.cols(),
+                      slice.data());
+            if (ctx.device != nullptr)
+              slice.to_device(*ctx.device).throw_if_error();
+            std::vector<int> labels(
+                y.begin() + static_cast<std::ptrdiff_t>(mb),
+                y.begin() + static_cast<std::ptrdiff_t>(me));
+
+            tensor::Tensor logits =
+                model.forward(ctx.device, slice, /*train=*/true);
+            auto loss = nn::softmax_cross_entropy(ctx.device, logits, labels);
+            const float w =
+                static_cast<float>(mrows) / static_cast<float>(rows);
+            shard_loss += loss.loss * static_cast<double>(w);
+            if (accum > 1)
+              // Per-slice dlogits are means over mrows; re-weight so the
+              // accumulated gradient is the mean over the whole shard.
+              tensor::ops::scale(ctx.device, loss.dlogits, w);
+            // Sync hooks fire only on the final slice — earlier backwards
+            // must accumulate locally, not trigger a partial all-reduce.
+            if (options_.overlap && a + 1 == accum) {
+              model.backward(ctx.device, loss.dlogits, [&](nn::Param* p) {
+                sync_->notify_grad_ready(r, p);
+              });
+            } else {
+              model.backward(ctx.device, loss.dlogits);
+            }
           }
-          return loss.loss;
+          return shard_loss;
         },
         {}, static_cast<int>(r), options_.retry, options_.task_timeout_s));
   }

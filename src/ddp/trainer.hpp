@@ -39,6 +39,14 @@ struct TrainerOptions {
   /// Overlap bucketed gradient communication with backward compute on the
   /// per-device comm streams.  See SyncOptions::overlap.
   bool overlap{true};
+  /// Micro-batches per optimizer step (>= 1).  Each rank splits its shard
+  /// into this many contiguous slices and accumulates gradients across
+  /// them before the single all-reduce — the out-of-core trade: peak
+  /// activation memory shrinks by ~accum while the synchronized update
+  /// matches the full-shard step up to float re-association (per-slice
+  /// dlogits are rescaled by slice/shard row ratios, so the accumulated
+  /// gradient is the same mean over the shard).
+  std::size_t grad_accum_steps{1};
   /// Directory for epoch checkpoints; empty disables save/restore.
   std::string checkpoint_dir{};
   std::string checkpoint_prefix{"ddp"};

@@ -90,19 +90,25 @@ NormalizedAdjacency normalized_adjacency(const CsrGraph& g) {
   const std::size_t n = g.num_nodes();
   std::vector<std::size_t> offsets(n + 1, 0);
 
+  // 64-bit loop counters throughout: `u + 1` in 32 bits wraps at the last
+  // node of a 2^32-node graph, and the cumulative offsets themselves pass
+  // 2^31 well before that (RMAT scale 22, edge factor 16+).
   std::vector<float> inv_sqrt_deg(n);
-  for (NodeId u = 0; u < n; ++u)
+  for (std::size_t u = 0; u < n; ++u)
     inv_sqrt_deg[u] =
-        1.0f / std::sqrt(static_cast<float>(g.degree(u)) + 1.0f);
+        1.0f /
+        std::sqrt(static_cast<float>(g.degree(static_cast<NodeId>(u))) + 1.0f);
 
-  for (NodeId u = 0; u < n; ++u)
-    offsets[u + 1] = offsets[u] + g.degree(u) + 1;  // +1 self-loop
+  for (std::size_t u = 0; u < n; ++u)
+    offsets[u + 1] =
+        offsets[u] + g.degree(static_cast<NodeId>(u)) + 1;  // +1 self-loop
   std::vector<NodeId> columns;
   std::vector<float> values;
   columns.reserve(offsets[n]);
   values.reserve(offsets[n]);
 
-  for (NodeId u = 0; u < n; ++u) {
+  for (std::size_t ui = 0; ui < n; ++ui) {
+    const auto u = static_cast<NodeId>(ui);
     bool self_emitted = false;
     for (NodeId v : g.neighbors(u)) {
       if (!self_emitted && v > u) {
@@ -136,12 +142,13 @@ Subgraph induced_subgraph(const CsrGraph& g, std::span<const NodeId> nodes) {
 
   std::unordered_map<NodeId, NodeId> local_of;
   local_of.reserve(sub.global_ids.size());
-  for (NodeId i = 0; i < sub.global_ids.size(); ++i)
-    local_of.emplace(sub.global_ids[i], i);
+  for (std::size_t i = 0; i < sub.global_ids.size(); ++i)
+    local_of.emplace(sub.global_ids[i], static_cast<NodeId>(i));
 
   std::vector<std::pair<NodeId, NodeId>> edges;
-  for (NodeId lu = 0; lu < sub.global_ids.size(); ++lu) {
-    const NodeId gu = sub.global_ids[lu];
+  for (std::size_t li = 0; li < sub.global_ids.size(); ++li) {
+    const auto lu = static_cast<NodeId>(li);
+    const NodeId gu = sub.global_ids[li];
     for (NodeId gv : g.neighbors(gu)) {
       if (gv <= gu) continue;  // count each undirected edge once
       auto it = local_of.find(gv);

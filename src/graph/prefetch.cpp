@@ -1,0 +1,91 @@
+#include "graph/prefetch.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "gpusim/device.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace sagesim::graph {
+
+PrefetchPipeline::PrefetchPipeline(NeighborSampler& sampler, SeedFn seeds,
+                                   std::uint64_t epochs,
+                                   std::uint64_t batches_per_epoch,
+                                   std::uint64_t start_batch,
+                                   gpu::Device* device,
+                                   runtime::Scheduler& scheduler,
+                                   PrefetchOptions options)
+    : sampler_(&sampler),
+      seeds_(std::move(seeds)),
+      batches_per_epoch_(batches_per_epoch),
+      total_(epochs * batches_per_epoch),
+      device_(device),
+      scheduler_(&scheduler),
+      options_(options),
+      next_submit_(start_batch),
+      next_out_(start_batch) {
+  if (options_.depth == 0)
+    throw std::invalid_argument("PrefetchPipeline: depth must be >= 1");
+  if (!seeds_)
+    throw std::invalid_argument("PrefetchPipeline: seed function must be set");
+  if (start_batch > total_)
+    throw std::invalid_argument("PrefetchPipeline: start_batch out of range");
+  if (device_ != nullptr && options_.enabled)
+    transfer_stream_ = device_->create_stream();
+  if (options_.enabled) fill();
+}
+
+PrefetchPipeline::~PrefetchPipeline() {
+  for (auto& slot : in_flight_) slot.wait();
+}
+
+Expected<StagedBatch> PrefetchPipeline::produce(std::uint64_t flat) {
+  const std::uint64_t epoch = flat / batches_per_epoch_;
+  const std::uint64_t index = flat % batches_per_epoch_;
+  Expected<MiniBatch> batch =
+      sampler_->sample(epoch, index, seeds_(epoch, index));
+  if (!batch) return batch.status();
+  StagedBatch staged;
+  staged.batch = std::move(*batch);
+  if (device_ != nullptr) {
+    // Lookahead staging rides the dedicated transfer stream so the PCIe
+    // engine runs concurrently with stream-0 kernels; the synchronous
+    // control stages on stream 0, serializing copy after compute.
+    const int stream = options_.enabled ? transfer_stream_ : 0;
+    const Status s = staged.batch.to_device(*device_, stream);
+    if (!s.ok()) return s;
+    staged.on_device = true;
+    if (options_.enabled) staged.ready = device_->record_event(stream);
+  }
+  return staged;
+}
+
+void PrefetchPipeline::fill() {
+  while (in_flight_.size() < options_.depth && next_submit_ < total_) {
+    const std::uint64_t flat = next_submit_++;
+    in_flight_.push_back(scheduler_->submit(
+        "prefetch_batch",
+        [this, flat]() -> std::shared_ptr<Expected<StagedBatch>> {
+          return std::make_shared<Expected<StagedBatch>>(produce(flat));
+        }));
+  }
+}
+
+Expected<StagedBatch> PrefetchPipeline::next() {
+  if (next_out_ >= total_)
+    return Status::out_of_range("PrefetchPipeline: schedule exhausted");
+  if (!options_.enabled) {
+    // Synchronous control: sample and stage inline, nothing in flight.
+    const std::uint64_t flat = next_out_++;
+    return produce(flat);
+  }
+  Slot slot = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  ++next_out_;
+  fill();  // top the pipeline back up before blocking on the head
+  const Status s = slot.wait_status();
+  if (!s.ok()) return s;
+  return std::move(*slot.get());
+}
+
+}  // namespace sagesim::graph

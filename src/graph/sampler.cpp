@@ -1,0 +1,163 @@
+#include "graph/sampler.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "gpusim/device.hpp"
+
+namespace sagesim::graph {
+
+Status MiniBatch::to_device(gpu::Device& device, int stream) {
+  Status s = features.to_device(device, stream);
+  if (!s.ok()) return s;
+  return adj.to_device(device, stream);
+}
+
+NeighborSampler::NeighborSampler(ShardStore& store, OocFeatureSpec features,
+                                 SamplerConfig config)
+    : store_(&store), features_(features), config_(std::move(config)) {
+  if (config_.fanouts.empty())
+    throw std::invalid_argument("NeighborSampler: fanouts must be non-empty");
+  for (const std::uint32_t f : config_.fanouts)
+    if (f == 0)
+      throw std::invalid_argument("NeighborSampler: fanouts must be >= 1");
+}
+
+Expected<MiniBatch> NeighborSampler::sample(std::uint64_t epoch,
+                                            std::uint64_t index,
+                                            std::span<const NodeId> seeds) {
+  if (seeds.empty())
+    throw std::invalid_argument("NeighborSampler::sample: no seeds");
+  const std::size_t n = store_->meta().num_nodes;
+
+  MiniBatch batch;
+  batch.epoch = epoch;
+  batch.index = index;
+  batch.nodes.reserve(seeds.size() * (config_.fanouts[0] + 1));
+  std::unordered_map<NodeId, std::uint32_t> local_of;
+  local_of.reserve(batch.nodes.capacity());
+  for (const NodeId u : seeds) {
+    if (static_cast<std::size_t>(u) >= n)
+      throw std::invalid_argument("NeighborSampler::sample: seed out of range");
+    if (!local_of.emplace(u, static_cast<std::uint32_t>(batch.nodes.size()))
+             .second)
+      throw std::invalid_argument("NeighborSampler::sample: duplicate seed");
+    batch.nodes.push_back(u);
+  }
+  batch.num_seeds = seeds.size();
+
+  // Shard pins held for the whole batch: an LRU eviction racing this
+  // sampler cannot invalidate the neighbor spans below.
+  std::unordered_map<std::size_t, std::shared_ptr<const GraphShard>> pins;
+  const std::uint64_t misses_before = store_->stats().loads;
+  auto neighbors_of =
+      [&](NodeId u) -> Expected<std::span<const NodeId>> {
+    const std::size_t s = store_->meta().shard_of(u);
+    auto it = pins.find(s);
+    if (it == pins.end()) {
+      Expected<std::shared_ptr<const GraphShard>> shard = store_->acquire(s);
+      if (!shard) return shard.status();
+      it = pins.emplace(s, std::move(*shard)).first;
+    }
+    return it->second->neighbors(u);
+  };
+
+  // Layer-wise frontier expansion with fixed fanout.  The iteration order
+  // (insertion order of `nodes`) and every pick (hashed counters) are
+  // deterministic, so local ids — and with them every downstream float —
+  // are reproducible regardless of threading.
+  std::vector<std::pair<NodeId, NodeId>> edges;  // local ids
+  std::vector<NodeId> frontier(seeds.begin(), seeds.end());
+  std::vector<NodeId> next;
+  std::vector<std::uint32_t> picked;
+  const std::uint64_t h_batch =
+      mix64(mix64(config_.seed, epoch), index);
+  for (std::size_t layer = 0; layer < config_.fanouts.size(); ++layer) {
+    const std::uint32_t fanout = config_.fanouts[layer];
+    next.clear();
+    for (const NodeId u : frontier) {
+      const std::uint32_t deg = store_->degree(u);
+      if (deg == 0) continue;
+      Expected<std::span<const NodeId>> nb = neighbors_of(u);
+      if (!nb) return nb.status();
+      const std::uint32_t lu = local_of.find(u)->second;
+      auto take = [&](NodeId w) {
+        auto [it, fresh] = local_of.emplace(
+            w, static_cast<std::uint32_t>(batch.nodes.size()));
+        if (fresh) {
+          batch.nodes.push_back(w);
+          next.push_back(w);
+        }
+        edges.emplace_back(lu, it->second);
+      };
+      if (deg <= fanout) {
+        for (const NodeId w : *nb) take(w);
+      } else {
+        // Without replacement via rejection on hashed counters; fanout is
+        // small, so the linear duplicate scan beats a set.
+        const std::uint64_t h_node =
+            mix64(mix64(h_batch, u), static_cast<std::uint64_t>(layer));
+        picked.clear();
+        for (std::uint64_t c = 0; picked.size() < fanout; ++c) {
+          const auto idx =
+              static_cast<std::uint32_t>(mix64(h_node, c) % deg);
+          bool dup = false;
+          for (const std::uint32_t p : picked)
+            if (p == idx) {
+              dup = true;
+              break;
+            }
+          if (dup) continue;
+          picked.push_back(idx);
+          take((*nb)[idx]);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  batch.shard_misses =
+      static_cast<std::size_t>(store_->stats().loads - misses_before);
+
+  // The sampled subgraph becomes a symmetric normalized operator —
+  // from_edges dedupes and mirrors every (parent, child) pair, keeping Â
+  // symmetric, which GcnConv::backward relies on.
+  const CsrGraph sub = CsrGraph::from_edges(batch.nodes.size(), edges);
+  batch.sampled_edges = sub.num_edges();
+  batch.adj = normalized_adjacency(sub);
+
+  batch.features = tensor::Tensor(batch.nodes.size(), features_.dim);
+  ooc_fill_features(features_, batch.nodes, batch.features);
+  batch.labels.resize(batch.nodes.size());
+  for (std::size_t i = 0; i < batch.nodes.size(); ++i)
+    batch.labels[i] = ooc_label(features_, batch.nodes[i]);
+  batch.seed_rows.resize(batch.num_seeds);
+  for (std::uint32_t i = 0; i < batch.num_seeds; ++i) batch.seed_rows[i] = i;
+  return batch;
+}
+
+std::size_t batches_per_epoch(NodeId begin, NodeId end,
+                              std::size_t batch_size) {
+  if (end <= begin || batch_size == 0) return 0;
+  return static_cast<std::size_t>(end - begin) / batch_size;
+}
+
+std::vector<NodeId> schedule_seeds(NodeId begin, NodeId end,
+                                   std::size_t batch_size, std::uint64_t seed,
+                                   std::uint64_t epoch, std::uint64_t index) {
+  const std::uint64_t range = end - begin;
+  if (range == 0 || batch_size == 0 ||
+      (index + 1) * batch_size > range / batch_size * batch_size)
+    throw std::invalid_argument("schedule_seeds: batch out of range");
+  const std::uint64_t key = mix64(seed ^ 0x5eedULL, epoch);
+  std::vector<NodeId> out;
+  out.reserve(batch_size);
+  for (std::size_t j = 0; j < batch_size; ++j) {
+    const std::uint64_t pos = index * batch_size + j;
+    out.push_back(begin +
+                  static_cast<NodeId>(permuted_index(pos, range, key)));
+  }
+  return out;
+}
+
+}  // namespace sagesim::graph

@@ -1,0 +1,102 @@
+// GraphSAGE-style seeded neighbor sampling over an out-of-core ShardStore:
+// fixed-fanout frontier expansion producing self-contained mini-batch
+// subgraphs (normalized CSR slice + gathered features on mem::Buffer) that
+// a GCN trains on without ever touching the full graph.
+//
+// Randomness is counter-based: every neighbor pick hashes
+// (seed, epoch, batch, node, layer, counter) through mix64, so the sampled
+// batch sequence is a pure function of the configuration — bit-identical
+// across worker counts, across prefetch on/off, and across a restart that
+// re-enters the schedule at the same (epoch, batch) coordinates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/ooc.hpp"
+#include "runtime/status.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sagesim::gpu {
+class Device;
+}
+
+namespace sagesim::graph {
+
+struct SamplerConfig {
+  /// Neighbors sampled per node per layer, outermost hop first.  A node
+  /// with degree <= fanout keeps all of its neighbors.
+  std::vector<std::uint32_t> fanouts{10, 5};
+  std::uint64_t seed{7};
+};
+
+/// One self-contained training batch: local node ids are positions in
+/// `nodes` (seeds first), the operator is the symmetric-normalized
+/// adjacency of the sampled subgraph, and features/labels are gathered
+/// (hashed) rows for exactly the sampled nodes.
+struct MiniBatch {
+  std::uint64_t epoch{0};
+  std::uint64_t index{0};
+  std::vector<NodeId> nodes;  ///< local -> global, seeds occupy [0, num_seeds)
+  std::size_t num_seeds{0};
+  std::vector<std::uint32_t> seed_rows;  ///< loss mask: rows [0, num_seeds)
+  NormalizedAdjacency adj;               ///< over local ids
+  tensor::Tensor features;               ///< nodes.size() x feature dim
+  std::vector<int> labels;               ///< per local node
+  EdgeIdx sampled_edges{0};              ///< unique undirected subgraph edges
+  std::size_t shard_misses{0};           ///< shard loads this batch caused
+
+  /// Bytes the H2D staging of this batch moves (features + operator).
+  std::size_t h2d_bytes() const {
+    return features.rows() * features.cols() * sizeof(float) +
+           adj.offsets.size() * sizeof(std::size_t) +
+           adj.columns.size() * sizeof(NodeId) +
+           adj.values.size() * sizeof(float);
+  }
+
+  /// Stages features and the operator onto @p device (accounted H2D on
+  /// @p stream).  Labels and the loss mask stay host-side, like the
+  /// full-batch trainer.
+  Status to_device(gpu::Device& device, int stream = 0);
+};
+
+/// Stateless sampler over one ShardStore.  Thread-safe: concurrent sample()
+/// calls (the prefetch pipeline's lookahead) share the store's lock-guarded
+/// cache and hold shard pins for the duration of a batch.
+class NeighborSampler {
+ public:
+  NeighborSampler(ShardStore& store, OocFeatureSpec features,
+                  SamplerConfig config);
+
+  const SamplerConfig& config() const { return config_; }
+  const OocFeatureSpec& features() const { return features_; }
+  ShardStore& store() { return *store_; }
+
+  /// Samples the mini-batch rooted at @p seeds (global ids, unique).
+  /// (epoch, index) only key the hash stream — the caller owns the seed
+  /// schedule.  Operational failures (missing/corrupt shard files) come
+  /// back as a Status; malformed seeds throw.
+  Expected<MiniBatch> sample(std::uint64_t epoch, std::uint64_t index,
+                             std::span<const NodeId> seeds);
+
+ private:
+  ShardStore* store_;
+  OocFeatureSpec features_;
+  SamplerConfig config_;
+};
+
+/// Number of full batches one epoch yields over the node range [begin, end)
+/// (the remainder tail is dropped, so every epoch has identical shape).
+std::size_t batches_per_epoch(NodeId begin, NodeId end,
+                              std::size_t batch_size);
+
+/// The seed nodes of batch @p index of @p epoch: a batch_size slice of the
+/// keyed pseudo-shuffle (permuted_index) of [begin, end).  O(batch) time and
+/// memory — no permutation array — and unique by construction.
+std::vector<NodeId> schedule_seeds(NodeId begin, NodeId end,
+                                   std::size_t batch_size, std::uint64_t seed,
+                                   std::uint64_t epoch, std::uint64_t index);
+
+}  // namespace sagesim::graph

@@ -1,5 +1,7 @@
 #include "mem/pool.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdlib>
 #include <iomanip>
@@ -28,7 +30,49 @@ void register_pool(Pool* pool) {
   registry().push_back(pool);
 }
 
+// Process-wide residency gauge + high-water mark: bytes pools currently
+// hold from their upstreams (live + cached).  Updated on every upstream
+// allocate/free, never on pool hits — recycling a cached block does not
+// change how much real memory the process occupies.
+std::atomic<std::uint64_t> g_resident_bytes{0};
+std::atomic<std::uint64_t> g_resident_peak_bytes{0};
+
+void resident_add(std::uint64_t bytes) {
+  const std::uint64_t now =
+      g_resident_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = g_resident_peak_bytes.load(std::memory_order_relaxed);
+  while (peak < now && !g_resident_peak_bytes.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void resident_sub(std::uint64_t bytes) {
+  g_resident_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
 }  // namespace
+
+std::uint64_t process_resident_bytes() {
+  return g_resident_bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t process_peak_resident_bytes() {
+  return g_resident_peak_bytes.load(std::memory_order_relaxed);
+}
+
+void reset_process_peak_resident_bytes() {
+  g_resident_peak_bytes.store(g_resident_bytes.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+}
+
+void flush_all_pools() {
+  std::vector<Pool*> pools;
+  {
+    std::lock_guard lock(g_registry_mutex);
+    pools = registry();
+  }
+  for (Pool* p : pools) p->flush();
+}
 
 Pool::Pool(std::string name, UpstreamAlloc upstream_alloc,
            UpstreamFree upstream_free, bool enabled)
@@ -55,7 +99,12 @@ Expected<void*> Pool::upstream_allocate_locked(std::size_t bytes) {
     flush_locked();
     p = upstream_alloc_(bytes);
   }
+  if (p) resident_add(bytes);
   return p;
+}
+
+void Pool::note_live_locked() {
+  stats_.bytes_live_peak = std::max(stats_.bytes_live_peak, stats_.bytes_live);
 }
 
 Expected<void*> Pool::allocate(std::size_t bytes) {
@@ -69,6 +118,7 @@ Expected<void*> Pool::allocate(std::size_t bytes) {
     ++stats_.pass_through;
     stats_.bytes_served += bytes;
     stats_.bytes_live += bytes;
+    note_live_locked();
     live_.emplace(*p, Live{bytes, 0});
     return *p;
   }
@@ -80,6 +130,7 @@ Expected<void*> Pool::allocate(std::size_t bytes) {
     stats_.bytes_served += bytes;
     stats_.bytes_cached -= cls;
     stats_.bytes_live += cls;
+    note_live_locked();
     live_.emplace(p, Live{cls, cls});
     return p;
   }
@@ -88,6 +139,7 @@ Expected<void*> Pool::allocate(std::size_t bytes) {
   ++stats_.misses;
   stats_.bytes_served += bytes;
   stats_.bytes_live += cls;
+  note_live_locked();
   live_.emplace(*p, Live{cls, cls});
   return *p;
 }
@@ -104,6 +156,7 @@ void Pool::free(void* ptr) {
   stats_.bytes_live -= info.block_bytes;
   if (info.class_bytes == 0) {
     upstream_free_(ptr);
+    resident_sub(info.block_bytes);
     return;
   }
   free_lists_[info.class_bytes].push_back(ptr);
@@ -112,7 +165,10 @@ void Pool::free(void* ptr) {
 
 void Pool::flush_locked() {
   for (auto& [cls, list] : free_lists_)
-    for (void* p : list) upstream_free_(p);
+    for (void* p : list) {
+      upstream_free_(p);
+      resident_sub(cls);
+    }
   free_lists_.clear();
   stats_.bytes_cached = 0;
   ++stats_.flushes;
@@ -132,9 +188,16 @@ void Pool::reset_stats() {
   std::lock_guard lock(mutex_);
   const std::uint64_t cached = stats_.bytes_cached;
   const std::uint64_t live = stats_.bytes_live;
+  const std::uint64_t peak = stats_.bytes_live_peak;
   stats_ = PoolStats{};
   stats_.bytes_cached = cached;
   stats_.bytes_live = live;
+  stats_.bytes_live_peak = peak;
+}
+
+void Pool::reset_peak() {
+  std::lock_guard lock(mutex_);
+  stats_.bytes_live_peak = stats_.bytes_live;
 }
 
 bool pool_enabled_from_env() {
@@ -201,7 +264,7 @@ std::string pool_report() {
   os << "  " << std::left << std::setw(10) << "pool" << std::right
      << std::setw(10) << "hits" << std::setw(10) << "misses" << std::setw(9)
      << "hit%" << std::setw(12) << "served MB" << std::setw(12) << "cached MB"
-     << std::setw(12) << "live MB" << '\n';
+     << std::setw(12) << "live MB" << std::setw(12) << "peak MB" << '\n';
   for (Pool* p : pools) {
     const PoolStats s = p->stats();
     os << "  " << std::left << std::setw(10) << p->name() << std::right
@@ -212,9 +275,16 @@ std::string pool_report() {
        << std::setw(12)
        << static_cast<double>(s.bytes_cached) / (1024.0 * 1024.0)
        << std::setw(12)
-       << static_cast<double>(s.bytes_live) / (1024.0 * 1024.0) << '\n';
+       << static_cast<double>(s.bytes_live) / (1024.0 * 1024.0)
+       << std::setw(12)
+       << static_cast<double>(s.bytes_live_peak) / (1024.0 * 1024.0) << '\n';
   }
   if (pools.empty()) os << "  (no pools created)\n";
+  os << "  process resident " << std::fixed << std::setprecision(2)
+     << static_cast<double>(process_resident_bytes()) / (1024.0 * 1024.0)
+     << " MB, peak "
+     << static_cast<double>(process_peak_resident_bytes()) / (1024.0 * 1024.0)
+     << " MB\n";
   return os.str();
 }
 

@@ -31,6 +31,10 @@ struct PoolStats {
   std::uint64_t bytes_served{0};  ///< sum of requested bytes over all allocs
   std::uint64_t bytes_cached{0};  ///< bytes currently parked in free lists
   std::uint64_t bytes_live{0};    ///< bytes currently handed out to callers
+  /// High-water mark of bytes_live since construction (or the last
+  /// reset_peaks()) — the per-pool residency ceiling memory-budget tests
+  /// assert against.  reset_stats() preserves it like the live/cached gauges.
+  std::uint64_t bytes_live_peak{0};
 
   /// Fraction of *poolable* requests served without touching upstream.
   double hit_rate() const {
@@ -84,6 +88,12 @@ class Pool {
   PoolStats stats() const;
   void reset_stats();
 
+  /// Re-arms bytes_live_peak to the current bytes_live (scoping a memory
+  /// ceiling to one phase of a run, e.g. "training after the graph was
+  /// generated").  The process-wide peak has its own reset; see
+  /// reset_process_peak_resident_bytes().
+  void reset_peak();
+
   const std::string& name() const { return name_; }
   bool enabled() const { return enabled_; }
 
@@ -95,6 +105,7 @@ class Pool {
 
   Expected<void*> upstream_allocate_locked(std::size_t bytes);
   void flush_locked();
+  void note_live_locked();  ///< folds bytes_live into bytes_live_peak
 
   const std::string name_;
   const UpstreamAlloc upstream_alloc_;
@@ -124,7 +135,36 @@ Pool& host_pool();
 Pool& device_pool(gpu::Device& device);
 
 /// Human-readable table of every pool created so far (host + per-device):
-/// hits, misses, hit rate, cached/live bytes.  Appended to prof reports.
+/// hits, misses, hit rate, cached/live/peak bytes.  Appended to prof
+/// reports, with the process-wide resident gauge and high-water mark on the
+/// last line.
 std::string pool_report();
+
+// --- process-wide residency accounting -------------------------------------
+//
+// Every byte a Pool holds from its upstream — live blocks handed to callers
+// *plus* blocks parked in free lists (parked blocks still occupy real host
+// or device memory) — is mirrored into one process-wide atomic gauge with a
+// high-water mark.  This is the "did we ever materialize the full graph?"
+// number: out-of-core ceiling tests assert the peak instead of re-deriving
+// residency from transfer events.  Pool-less allocations (plain std::vector
+// scratch) are invisible by design; the data plane (Buffer/TypedBuffer/
+// Tensor) allocates exclusively through pools.
+
+/// Bytes currently held from upstream across all pools (live + cached).
+std::uint64_t process_resident_bytes();
+
+/// High-water mark of process_resident_bytes() since process start or the
+/// last reset_process_peak_resident_bytes().
+std::uint64_t process_peak_resident_bytes();
+
+/// Re-arms the process-wide peak to the current resident gauge.
+void reset_process_peak_resident_bytes();
+
+/// Flushes every registered factory pool's free lists back to upstream,
+/// dropping the resident gauge to just-live bytes.  Residency ceiling tests
+/// call this first so blocks cached by earlier work in the same process
+/// don't inflate the floor the peak is measured from.
+void flush_all_pools();
 
 }  // namespace sagesim::mem

@@ -177,6 +177,52 @@ std::string comm_overlap_table(const Timeline& timeline) {
   return os.str();
 }
 
+TransferOverlap transfer_overlap(const Timeline& timeline, int device) {
+  TransferOverlap out;
+  std::vector<std::pair<double, double>> compute;
+  std::vector<const TraceEvent*> copies;
+  const auto events = timeline.snapshot();
+  for (const auto& e : events) {
+    if (e.device != device || e.duration_s <= 0.0) continue;
+    if (e.kind == EventKind::kMemcpyH2D) {
+      ++out.events;
+      out.h2d_s += e.duration_s;
+      copies.push_back(&e);
+    } else if (e.kind == EventKind::kKernel && !is_comm_event(e)) {
+      compute.emplace_back(e.start_s, e.end_s());
+    }
+  }
+  merge_intervals(compute);
+  for (const TraceEvent* e : copies)
+    out.hidden_s += covered(compute, e->start_s, e->end_s());
+  out.exposed_s = out.h2d_s - out.hidden_s;
+  return out;
+}
+
+std::string transfer_overlap_table(const Timeline& timeline) {
+  std::map<int, bool> devices;
+  for (const auto& e : timeline.snapshot())
+    if (e.device >= 0 && e.kind == EventKind::kMemcpyH2D)
+      devices[e.device] = true;
+  std::ostringstream os;
+  os << std::left << std::setw(8) << "device" << std::right << std::setw(8)
+     << "events" << std::setw(12) << "h2d(ms)" << std::setw(12)
+     << "hidden(ms)" << std::setw(13) << "exposed(ms)" << std::setw(10)
+     << "hidden%" << '\n';
+  os << std::string(63, '-') << '\n';
+  for (const auto& [dev, _] : devices) {
+    const TransferOverlap o = transfer_overlap(timeline, dev);
+    const double pct = o.h2d_s > 0.0 ? 100.0 * o.hidden_s / o.h2d_s : 0.0;
+    os << std::left << std::setw(8) << dev << std::right << std::setw(8)
+       << o.events << std::fixed << std::setprecision(3) << std::setw(12)
+       << o.h2d_s * 1e3 << std::setw(12) << o.hidden_s * 1e3 << std::setw(13)
+       << o.exposed_s * 1e3 << std::setprecision(1) << std::setw(10) << pct
+       << '\n';
+  }
+  if (devices.empty()) os << "no H2D transfers recorded\n";
+  return os.str();
+}
+
 std::string device_utilization(const Timeline& timeline) {
   std::map<int, bool> devices;
   for (const auto& e : timeline.snapshot(EventKind::kKernel))

@@ -52,4 +52,25 @@ CommOverlap comm_overlap(const Timeline& timeline, int device);
 /// fraction — the report the DDP overlap lab reads.
 std::string comm_overlap_table(const Timeline& timeline);
 
+/// Host→device transfer-overlap accounting for one device: how much
+/// simulated H2D copy time ran, and how much of it was hidden under
+/// concurrent kernels on the same device (the prefetch pipeline staging
+/// batch i+1 while batch i computes) vs exposed — the stall a mini-batch
+/// step actually pays waiting on the PCIe bus.
+struct TransferOverlap {
+  double h2d_s{0.0};      ///< total H2D copy seconds
+  double hidden_s{0.0};   ///< overlapped by concurrent compute kernels
+  double exposed_s{0.0};  ///< h2d_s - hidden_s
+  std::size_t events{0};  ///< number of H2D copy events
+};
+
+/// Computes TransferOverlap for @p device.  Covers kMemcpyH2D events
+/// against merged non-comm kernel intervals, exactly like comm_overlap
+/// does for collective traffic.
+TransferOverlap transfer_overlap(const Timeline& timeline, int device);
+
+/// One row per device with H2D/hidden/exposed milliseconds and the hidden
+/// fraction — the report the prefetch-pipeline lab reads.
+std::string transfer_overlap_table(const Timeline& timeline);
+
 }  // namespace sagesim::prof

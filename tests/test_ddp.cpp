@@ -451,3 +451,59 @@ TEST(DdpTrainer, PoolHitRateExceedsNinetyPercentAfterWarmup) {
     EXPECT_GT(s.hits, 0u);
   }
 }
+
+TEST(DdpTrainer, GradAccumulationMatchesSingleMicroBatch) {
+  // Gradient accumulation contract: splitting each rank's shard into A
+  // contiguous micro-batches and accumulating (with per-slice dlogits
+  // rescaled by slice/shard row ratio) must recover the same mean-over-shard
+  // gradient as one pass — so A=4 and A=1 land on the same parameters up to
+  // float summation-order noise.  No dropout so forward is deterministic.
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster(dm);
+  Rng rng(11);
+  const std::size_t n = 64, d = 6;
+  tensor::Tensor x(n, d);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t f = 0; f < d; ++f)
+      x.at(i, f) = static_cast<float>(rng.normal(y[i] == 0 ? -1 : 1, 1));
+  }
+
+  auto run = [&](std::size_t accum) {
+    ddp::TrainerOptions opts;
+    opts.grad_accum_steps = accum;
+    ddp::DataParallelTrainer trainer(
+        cluster, [&] { return make_mlp(321, d, 8, 2); },
+        [] { return std::make_unique<nn::Sgd>(0.1f); }, opts);
+    for (int s = 0; s < 3; ++s) EXPECT_TRUE(trainer.try_step(x, y));
+    return trainer.predict(x);
+  };
+
+  const auto base = run(1);
+  const auto split = run(4);
+  ASSERT_EQ(base.size(), split.size());
+  for (std::size_t i = 0; i < base.size(); ++i)
+    ASSERT_NEAR(base[i], split[i], 1e-5f) << "at " << i;
+}
+
+TEST(DdpTrainer, GradAccumulationValidatesOptions) {
+  gpu::DeviceManager dm(2, gpu::spec::test_tiny());
+  sagesim::dflow::Cluster cluster(dm);
+  tensor::Tensor x(8, 4);
+  std::vector<int> y(8, 0);
+  ddp::TrainerOptions opts;
+  opts.grad_accum_steps = 0;
+  ddp::DataParallelTrainer zero(
+      cluster, [&] { return make_mlp(1, 4, 8, 2); },
+      [] { return std::make_unique<nn::Sgd>(0.1f); }, opts);
+  EXPECT_THROW((void)zero.try_step(x, y), std::invalid_argument);
+
+  // 8 rows / 2 ranks = 4 per shard; 8 micro-batches per shard would leave
+  // empty slices — rejected, not silently degenerate.
+  opts.grad_accum_steps = 8;
+  ddp::DataParallelTrainer shredded(
+      cluster, [&] { return make_mlp(1, 4, 8, 2); },
+      [] { return std::make_unique<nn::Sgd>(0.1f); }, opts);
+  EXPECT_THROW((void)shredded.try_step(x, y), std::invalid_argument);
+}

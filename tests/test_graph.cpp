@@ -9,6 +9,7 @@
 #include "gpusim/device_manager.hpp"
 #include "graph/generators.hpp"
 #include "graph/metis_like.hpp"
+#include "graph/ooc.hpp"
 #include "graph/partition.hpp"
 #include "graph/spmm.hpp"
 
@@ -533,4 +534,74 @@ TEST(SpmmBackendDispatch, PublicEntryHonorsHostBackend) {
   ops::set_host_backend(initial);
   for (std::size_t i = 0; i < y_naive.size(); ++i)
     ASSERT_EQ(y_naive[i], y_blocked[i]) << "at " << i;
+}
+
+// --- 64-bit index audit (out-of-core scale regression) ----------------------
+//
+// The out-of-core layer quotes cumulative edge quantities that pass 2^32 at
+// the scales ISSUE 8 targets.  These tests pin the arithmetic to 64 bits so a
+// future "optimization" to 32-bit counters fails loudly instead of wrapping
+// silently at scale 22+.
+
+TEST(OocIndexWidth, EdgeQuantitiesAre64Bit) {
+  static_assert(sizeof(graph::EdgeIdx) == 8,
+                "EdgeIdx must be 64-bit: scale-24 RMAT crosses 2^31 edges");
+  static_assert(
+      std::is_same_v<decltype(graph::OocRmatParams{}.target_edges()),
+                     graph::EdgeIdx>,
+      "target_edges must not narrow");
+  static_assert(std::is_same_v<decltype(graph::OocGraphMeta{}.full_csr_bytes()),
+                               graph::EdgeIdx>,
+                "full_csr_bytes must not narrow");
+
+  // scale 24, edge factor 512: 2^24 * 2^9 = 2^33 target edges.  A 32-bit
+  // product would report 0.
+  graph::OocRmatParams p;
+  p.scale = 24;
+  p.edge_factor = 512;
+  EXPECT_EQ(p.target_edges(), std::uint64_t{1} << 33);
+
+  // A hypothetical realized graph with ~5e9 directed edges: the CSR byte
+  // count (4 bytes per endpoint) crosses 2^34 and must survive intact.
+  graph::OocGraphMeta meta;
+  meta.num_nodes = std::size_t{1} << 24;
+  meta.nodes_per_shard = std::size_t{1} << 16;
+  meta.num_shards = 256;
+  meta.num_directed_edges = 5'000'000'000ull;
+  const graph::EdgeIdx bytes = meta.full_csr_bytes();
+  EXPECT_EQ(bytes, ((std::uint64_t{1} << 24) + 1) * sizeof(std::size_t) +
+                       5'000'000'000ull * sizeof(NodeId));
+  EXPECT_GT(bytes, std::uint64_t{1} << 34);
+}
+
+TEST(OocIndexWidth, FullMaterializationBytesSurvivesLargeGraphs) {
+  // scale 26 with 128-wide features: the feature matrix alone is 2^26 * 128
+  // * 4 = 2^35 bytes.  Everything must accumulate in EdgeIdx.
+  graph::OocGraphMeta meta;
+  meta.num_nodes = std::size_t{1} << 26;
+  meta.nodes_per_shard = std::size_t{1} << 16;
+  meta.num_shards = 1u << 10;
+  meta.num_directed_edges = 2'147'500'000ull;  // just past 2^31
+  graph::OocFeatureSpec spec;
+  spec.dim = 128;
+  const graph::EdgeIdx full = graph::full_materialization_bytes(meta, spec);
+  EXPECT_GT(full, std::uint64_t{1} << 35);  // features dominate
+  // And the norm-operator term ((m + n) pairs) kept its 64-bit width too:
+  // removing either term's cast drops > 2^31 of the total.
+  const graph::EdgeIdx features =
+      static_cast<graph::EdgeIdx>(meta.num_nodes) * spec.dim * sizeof(float);
+  EXPECT_GT(full - features, std::uint64_t{1} << 34);
+}
+
+TEST(OocIndexWidth, CsrOffsetsAreSizeT) {
+  // CsrGraph's offsets array is the in-core structure the audit hardened:
+  // its element type carries cumulative degree and must be 64-bit.
+  const auto g = triangle_plus_tail();
+  static_assert(
+      std::is_same_v<std::remove_cvref_t<decltype(g.degree(0))>, std::size_t>,
+      "degree sums must stay size_t");
+  const auto a = graph::normalized_adjacency(g);
+  static_assert(sizeof(a.offsets[0]) == 8,
+                "normalized adjacency offsets must be 64-bit");
+  EXPECT_EQ(a.offsets[a.num_nodes()], a.columns.size());
 }

@@ -451,3 +451,65 @@ TEST(Reports, TablesRenderWithoutCrashing) {
   const std::string ledger = mem::ledger_report();
   EXPECT_NE(ledger.find("H2D"), std::string::npos);
 }
+
+// --- residency gauge ---------------------------------------------------------
+
+TEST(Pool, LivePeakPersistsAfterFree) {
+  FakeUpstream up;
+  mem::Pool pool("peak", up.alloc_fn(), up.free_fn());
+  Expected<void*> a = pool.allocate(1000);  // 1024-byte class
+  Expected<void*> b = pool.allocate(1000);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(pool.stats().bytes_live, 2048u);
+  EXPECT_EQ(pool.stats().bytes_live_peak, 2048u);
+  pool.free(*a);
+  pool.free(*b);
+  // Live drops, the high-water mark does not: the peak records the worst
+  // simultaneous footprint, which is what residency ceilings assert.
+  EXPECT_EQ(pool.stats().bytes_live, 0u);
+  EXPECT_EQ(pool.stats().bytes_live_peak, 2048u);
+  // reset_stats keeps the gauge family; reset_peak re-arms to current live.
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().bytes_live_peak, 2048u);
+  pool.reset_peak();
+  EXPECT_EQ(pool.stats().bytes_live_peak, 0u);
+}
+
+TEST(Pool, ProcessResidentGaugeTracksFactoryPools) {
+  // The process gauge only counts factory pools (host_pool/device_pool), so
+  // drive the real host pool.  Flush first: cached blocks from earlier tests
+  // would otherwise sit between the two readings.
+  mem::flush_all_pools();
+  const std::uint64_t before = mem::process_resident_bytes();
+  mem::reset_process_peak_resident_bytes();
+  EXPECT_EQ(mem::process_peak_resident_bytes(), before);
+
+  Expected<void*> p = mem::host_pool().allocate(1 << 20);
+  ASSERT_TRUE(p);
+  EXPECT_GE(mem::process_resident_bytes(), before + (1u << 20));
+  EXPECT_GE(mem::process_peak_resident_bytes(), before + (1u << 20));
+
+  mem::host_pool().free(*p);
+  // Cached, not returned upstream: resident stays up...
+  EXPECT_GE(mem::process_resident_bytes(), before + (1u << 20));
+  mem::flush_all_pools();
+  // ...until a flush hands the block back.
+  EXPECT_LE(mem::process_resident_bytes(), before);
+  // The peak survives both the free and the flush.
+  EXPECT_GE(mem::process_peak_resident_bytes(), before + (1u << 20));
+}
+
+TEST(Pool, PassThroughBlocksHitTheGaugeToo) {
+  // Oversize allocations bypass the free lists but still occupy upstream
+  // memory; the gauge must see them or ceilings under-count big tensors.
+  mem::reset_process_peak_resident_bytes();
+  const std::uint64_t before = mem::process_resident_bytes();
+  const std::size_t big = mem::Pool::kMaxPooled + 1;
+  Expected<void*> p = mem::host_pool().allocate(big);
+  ASSERT_TRUE(p);
+  EXPECT_GE(mem::process_resident_bytes(), before + big);
+  mem::host_pool().free(*p);
+  // Pass-through frees go straight upstream — resident returns to baseline.
+  EXPECT_EQ(mem::process_resident_bytes(), before);
+  EXPECT_GE(mem::process_peak_resident_bytes(), before + big);
+}
