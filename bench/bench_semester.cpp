@@ -1,0 +1,272 @@
+// Semester-scale load test for the multi-tenant control plane (src/sched):
+// replays a Zipfian-bursty semester of lab, DDP-assignment, and RAG-session
+// submissions from ~1000 student tenants through sched::ClusterManager as an
+// open-loop generator — arrivals come from the load trace, not from service
+// completions, and retryable quota rejections re-enter at the manager's
+// suggested retry time instead of silently disappearing.
+//
+// Emits the BENCH_sched.json baseline (queue-wait p50/p99, fleet
+// utilization, preemption/restart counts, cost per student) and enforces
+// the acceptance invariants:
+//   * zero lost jobs (every submission is eventually admitted or its
+//     rejection is a permanent, accounted one — and this run expects none)
+//   * every admitted job completes
+//   * no tenant's attributed spend exceeds its budget cap
+//   * fleet utilization >= --min-util (0.70 in the full run)
+//
+// Usage: bench_semester [--smoke] [--tenants N] [--weeks W] [--seed S]
+//                       [--max-nodes N] [--json PATH]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cloudsim/cost.hpp"
+#include "cloudsim/spot.hpp"
+#include "sched/manager.hpp"
+#include "sched/semester.hpp"
+#include "sched/telemetry.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+struct Options {
+  std::size_t tenants{1000};
+  double weeks{14.0};
+  std::uint64_t seed{42};
+  int max_nodes{0};  // 0 == derive from expected load
+  double min_util{0.70};
+  bool smoke{false};
+  std::string json_path{"BENCH_sched.json"};
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](double fallback) {
+      return i + 1 < argc ? std::atof(argv[++i]) : fallback;
+    };
+    if (a == "--smoke") {
+      opt.smoke = true;
+    } else if (a == "--tenants") {
+      opt.tenants = static_cast<std::size_t>(next(200));
+    } else if (a == "--weeks") {
+      opt.weeks = next(2.0);
+    } else if (a == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(next(42));
+    } else if (a == "--max-nodes") {
+      opt.max_nodes = static_cast<int>(next(0));
+    } else if (a == "--min-util") {
+      opt.min_util = next(0.70);
+    } else if (a == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    }
+  }
+  if (opt.smoke) {
+    // The check.sh gate: a 200-tenant mini-semester that must lose nothing.
+    opt.tenants = std::min<std::size_t>(opt.tenants, 200);
+    opt.weeks = std::min(opt.weeks, 2.0);
+    opt.min_util = 0.0;  // too small a run to gate utilization honestly
+  }
+  return opt;
+}
+
+/// A submission awaiting (re-)admission: open-loop arrivals plus quota
+/// retries share one time-ordered queue.
+struct PendingSub {
+  double due_h{0.0};
+  std::size_t seq{0};  ///< FIFO tie-break
+  int tries{0};
+  sched::JobSpec spec;
+};
+
+struct PendingLater {
+  bool operator()(const PendingSub& a, const PendingSub& b) const {
+    return a.due_h != b.due_h ? a.due_h > b.due_h : a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  bench::header("bench_semester",
+                "multi-tenant fair-share control plane under semester load");
+
+  // --- load ---------------------------------------------------------------
+  sched::SemesterLoadConfig load_cfg;
+  load_cfg.tenants = opt.tenants;
+  load_cfg.weeks = opt.weeks;
+  load_cfg.seed = opt.seed;
+  const sched::SemesterLoad load = sched::generate_semester_load(load_cfg);
+
+  // --- fleet sized against the expected load ------------------------------
+  const double avg_concurrency = load.expected_gpu_hours / load.horizon_h;
+  sched::ManagerConfig cfg;
+  cfg.max_nodes =
+      opt.max_nodes > 0
+          ? opt.max_nodes
+          : std::clamp(static_cast<int>(std::ceil(avg_concurrency * 2.5)), 8,
+                       96);
+  cfg.min_nodes = 2;
+  cfg.spot_nodes = cfg.max_nodes / 3;
+  // One price spike every ~2 days: enough reclaim pressure to exercise
+  // checkpointed preemption without dominating the run.
+  cfg.spot.trace = cloud::synthetic_price_trace(
+      load.horizon_h * 1.5 + 500.0, /*base=*/0.2, /*spike=*/10.0,
+      /*spikes=*/static_cast<int>(load.horizon_h / 48.0) + 2,
+      /*spike_width_h=*/0.5);
+  sched::ClusterManager mgr(cfg);
+  for (const auto& t : load.roster) {
+    sched::TenantConfig tc;
+    tc.id = t.id;
+    tc.weight = t.weight;
+    tc.budget_usd = t.budget_usd;
+    mgr.register_tenant(std::move(tc));
+  }
+
+  bench::section("workload");
+  std::printf("  tenants              : %zu (%s)\n", load.roster.size(),
+              opt.smoke ? "smoke" : "full");
+  std::printf("  submissions          : %zu over %.0f h (%.1f weeks)\n",
+              load.submissions.size(), load.horizon_h, opt.weeks);
+  std::printf("  expected GPU hours   : %.0f (avg concurrency %.1f)\n",
+              load.expected_gpu_hours, avg_concurrency);
+  std::printf("  fleet                : %d..%d nodes, %d spot slots\n",
+              cfg.min_nodes, cfg.max_nodes, cfg.spot_nodes);
+
+  // --- open-loop replay with quota-retry re-entry -------------------------
+  constexpr int kMaxTries = 500;
+  std::priority_queue<PendingSub, std::vector<PendingSub>, PendingLater> todo;
+  std::size_t seq = 0;
+  for (const auto& sub : load.submissions)
+    todo.push(PendingSub{sub.arrive_h, seq++, 0, sub.spec});
+
+  std::size_t admitted = 0, rejected_forever = 0, lost = 0, retried = 0;
+  while (!todo.empty()) {
+    PendingSub sub = todo.top();
+    todo.pop();
+    if (sub.due_h > mgr.now_h()) mgr.advance_to(sub.due_h);
+    auto r = mgr.submit(sub.spec);
+    if (r) {
+      ++admitted;
+      continue;
+    }
+    if (!r.status().retryable()) {
+      ++rejected_forever;  // quota-shape or budget: accounted, not lost
+      continue;
+    }
+    if (++sub.tries >= kMaxTries) {
+      ++lost;
+      continue;
+    }
+    ++retried;
+    const double back_off = std::max(mgr.suggested_retry_h(sub.spec.tenant),
+                                     0.05 * sub.tries);
+    sub.due_h = mgr.now_h() + back_off;
+    sub.seq = seq++;
+    todo.push(std::move(sub));
+  }
+  const Status drained = mgr.drain(load.horizon_h + 24.0 * 365.0);
+  if (!drained.ok()) {
+    std::printf("FATAL: drain failed: %s\n", drained.to_string().c_str());
+    return 1;
+  }
+
+  // --- report --------------------------------------------------------------
+  const sched::SchedReport report = sched::build_report(mgr);
+  std::printf("%s", sched::to_text(report).c_str());
+  bench::section("open loop");
+  std::printf("  admitted             : %zu / %zu submissions\n", admitted,
+              load.submissions.size());
+  std::printf("  quota retries        : %zu re-entries\n", retried);
+  std::printf("  rejected permanently : %zu\n", rejected_forever);
+  std::printf("  lost (retry cap)     : %zu\n", lost);
+
+  // --- invariants -----------------------------------------------------------
+  int violations = 0;
+  auto require = [&](bool ok, const char* what) {
+    if (!ok) {
+      ++violations;
+      std::printf("INVARIANT VIOLATED: %s\n", what);
+    }
+  };
+  require(lost == 0, "no submission exhausts its retry budget");
+  require(rejected_forever == 0, "no submission is permanently rejected");
+  require(admitted == load.submissions.size(), "every submission is admitted");
+
+  std::size_t incomplete = 0;
+  for (const auto& rec : mgr.records())
+    if (rec.state != sched::JobState::kCompleted) ++incomplete;
+  require(incomplete == 0, "every admitted job completes");
+
+  const cloud::TenantLedger ledger = mgr.tenant_ledger();
+  std::size_t over_budget = 0;
+  for (const auto& row : ledger.by_tenant())
+    if (row.total_usd() > mgr.budget_cap(row.tenant) + 1e-3) ++over_budget;
+  require(over_budget == 0, "no tenant exceeds its budget cap");
+  require(report.utilization >= opt.min_util,
+          "fleet utilization meets the floor");
+
+  // --- baseline -------------------------------------------------------------
+  if (!opt.json_path.empty()) {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("FATAL: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"bench\": \"bench_semester\",\n"
+                 "  \"config\": {\"tenants\": %zu, \"weeks\": %.2f, "
+                 "\"seed\": %llu, \"smoke\": %s, \"min_nodes\": %d, "
+                 "\"max_nodes\": %d, \"spot_nodes\": %d},\n",
+                 load.roster.size(), opt.weeks,
+                 static_cast<unsigned long long>(opt.seed),
+                 opt.smoke ? "true" : "false", cfg.min_nodes, cfg.max_nodes,
+                 cfg.spot_nodes);
+    std::fprintf(f,
+                 "  \"load\": {\"submissions\": %zu, \"horizon_h\": %.1f, "
+                 "\"expected_gpu_hours\": %.1f, \"quota_retries\": %zu},\n",
+                 load.submissions.size(), load.horizon_h,
+                 load.expected_gpu_hours, retried);
+    std::fprintf(
+        f,
+        "  \"sched\": {\"jobs\": %zu, \"completed\": %zu, \"killed\": %zu, "
+        "\"failed\": %zu, \"rejected_quota\": %zu, \"rejected_budget\": %zu, "
+        "\"wait_p50_h\": %.4f, \"wait_p99_h\": %.4f, \"wait_mean_h\": %.4f, "
+        "\"wait_max_h\": %.4f, \"utilization\": %.4f, \"peak_nodes\": %d, "
+        "\"launches\": %zu, \"preemptions\": %zu, \"restarts\": %zu, "
+        "\"backfills\": %zu},\n",
+        report.jobs, report.completed, report.killed, report.failed,
+        report.rejected_quota, report.rejected_budget, report.wait_p50_h,
+        report.wait_p99_h, report.wait_mean_h, report.wait_max_h,
+        report.utilization, report.peak_nodes, report.launches,
+        report.preemptions, report.restarts, report.backfills);
+    std::fprintf(
+        f,
+        "  \"cost\": {\"total_usd\": %.2f, \"spot_usd\": %.2f, "
+        "\"ondemand_usd\": %.2f, \"gpu_hours\": %.1f, \"tenants_billed\": "
+        "%zu, \"cost_per_tenant_mean_usd\": %.3f, "
+        "\"cost_per_tenant_max_usd\": %.3f},\n",
+        report.total_usd, report.spot_usd, report.ondemand_usd,
+        report.gpu_hours, report.tenants, report.cost_per_tenant_mean_usd,
+        report.cost_per_tenant_max_usd);
+    std::fprintf(f,
+                 "  \"invariants\": {\"lost\": %zu, \"incomplete\": %zu, "
+                 "\"over_budget\": %zu, \"violations\": %d}\n",
+                 lost, incomplete, over_budget, violations);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", opt.json_path.c_str());
+  }
+
+  return violations == 0 ? 0 : 1;
+}

@@ -39,6 +39,11 @@ void run_semester(edu::Semester semester, std::uint64_t seed) {
   const cloud::CostReport report(usage.provisioner.ledger());
   std::printf("\n%s", to_text("cost by instance type", report.by_type()).c_str());
   std::printf("%s", to_text("cost by assessment", report.by_assessment()).c_str());
+  // The same tenant-ledger projection the sched fleet bills through
+  // (spot/on-demand split per student) — one reporting surface for both
+  // the per-student and multi-tenant paths.
+  std::printf("%s",
+              to_text("spend by tenant", report.by_tenant(), 10).c_str());
 }
 
 }  // namespace

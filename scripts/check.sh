@@ -74,5 +74,12 @@ step "perf: out-of-core sampling smoke"
 ./build/bench/microbench_sampling --smoke --json /dev/null >/dev/null
 echo "out-of-core sampling smoke ok"
 
+step "perf: scheduler smoke"
+# A 200-tenant mini-semester through the fair-share control plane: the
+# binary exits nonzero on any lost job, incomplete admitted job, or tenant
+# over its budget cap.
+./build/bench/bench_semester --smoke --json /dev/null >/dev/null
+echo "scheduler smoke ok (200-tenant mini-semester, zero lost jobs)"
+
 echo
 echo "all checks passed"

@@ -7,6 +7,53 @@
 
 namespace sagesim::cloud {
 
+void TenantLedger::add(LeaseRecord record) {
+  auto& row = by_tenant_[record.tenant];
+  row.tenant = record.tenant;
+  row.gpu_hours += record.gpu_hours;
+  (record.spot ? row.spot_usd : row.ondemand_usd) += record.cost_usd;
+  ++row.leases;
+  total_usd_ += record.cost_usd;
+  records_.push_back(std::move(record));
+}
+
+double TenantLedger::spend(const std::string& tenant) const {
+  auto it = by_tenant_.find(tenant);
+  return it == by_tenant_.end() ? 0.0 : it->second.total_usd();
+}
+
+double TenantLedger::gpu_hours(const std::string& tenant) const {
+  auto it = by_tenant_.find(tenant);
+  return it == by_tenant_.end() ? 0.0 : it->second.gpu_hours;
+}
+
+std::vector<TenantSpendRow> TenantLedger::by_tenant() const {
+  std::vector<TenantSpendRow> out;
+  out.reserve(by_tenant_.size());
+  for (const auto& [_, row] : by_tenant_) out.push_back(row);
+  std::sort(out.begin(), out.end(),
+            [](const TenantSpendRow& a, const TenantSpendRow& b) {
+              return a.total_usd() > b.total_usd();
+            });
+  return out;
+}
+
+TenantLedger lease_view(std::span<const UsageRecord> ledger) {
+  TenantLedger out;
+  for (const auto& r : ledger) {
+    if (r.educate) continue;  // free — no spend to attribute
+    LeaseRecord lease;
+    lease.lease_id = r.lease_id.empty() ? r.instance_id : r.lease_id;
+    lease.tenant = r.owner;
+    lease.instance_type = r.instance_type;
+    lease.gpu_hours = r.hours * std::max<std::uint32_t>(r.gpu_count, 1);
+    lease.cost_usd = r.cost_usd;
+    lease.spot = r.spot;
+    out.add(std::move(lease));
+  }
+  return out;
+}
+
 CostReport::CostReport(std::span<const UsageRecord> ledger)
     : ledger_(ledger.begin(), ledger.end()) {
   for (const auto& r : ledger_) {
@@ -57,6 +104,10 @@ std::vector<CostRow> CostReport::by_assessment() const {
   return rollup(ledger_, [](const UsageRecord& r) {
     return r.assessment.empty() ? std::string("(untagged)") : r.assessment;
   });
+}
+
+std::vector<TenantSpendRow> CostReport::by_tenant() const {
+  return lease_view(ledger_).by_tenant();
 }
 
 double CostReport::mean_hours_per_owner() const {
@@ -129,6 +180,35 @@ std::string to_text(const std::string& title, std::span<const CostRow> rows) {
     os << std::left << std::setw(28) << r.key << std::right << std::setw(10)
        << r.sessions << std::setw(12) << r.hours << std::setw(12) << r.cost_usd
        << '\n';
+  return os.str();
+}
+
+std::string to_text(const std::string& title,
+                    std::span<const TenantSpendRow> rows,
+                    std::size_t max_rows) {
+  std::ostringstream os;
+  os << "=== " << title << " ===\n";
+  os << std::left << std::setw(22) << "tenant" << std::right << std::setw(8)
+     << "leases" << std::setw(11) << "gpu-h" << std::setw(11) << "spot$"
+     << std::setw(11) << "ondem$" << std::setw(11) << "total$" << '\n';
+  os << std::string(74, '-') << '\n';
+  os << std::fixed << std::setprecision(2);
+  std::size_t shown = 0;
+  double elided_usd = 0.0;
+  for (const auto& r : rows) {
+    if (shown < max_rows) {
+      os << std::left << std::setw(22) << r.tenant << std::right
+         << std::setw(8) << r.leases << std::setw(11) << r.gpu_hours
+         << std::setw(11) << r.spot_usd << std::setw(11) << r.ondemand_usd
+         << std::setw(11) << r.total_usd() << '\n';
+      ++shown;
+    } else {
+      elided_usd += r.total_usd();
+    }
+  }
+  if (rows.size() > shown)
+    os << "... " << rows.size() - shown << " more tenants, $" << elided_usd
+       << " total\n";
   return os.str();
 }
 

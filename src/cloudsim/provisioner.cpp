@@ -38,7 +38,10 @@ std::vector<std::string> Provisioner::launch_or_throw(
     const IamRole& role, const LaunchRequest& request) {
   if (request.count == 0)
     throw std::invalid_argument("launch: count must be >= 1");
-  const InstanceType& type = catalog::by_name(request.type_name);
+  if (request.spot && request.spot_hourly_usd <= 0.0)
+    throw std::invalid_argument("launch: spot requests need spot_hourly_usd > 0");
+  InstanceType type = catalog::by_name(request.type_name);
+  if (request.spot) type.hourly_usd = request.spot_hourly_usd;
 
   const std::uint32_t requested_gpus = type.gpu_count * request.count;
   const std::string owner = role.name();
@@ -79,6 +82,8 @@ std::vector<std::string> Provisioner::launch_or_throw(
     if (!request.assessment.empty())
       inst->set_tag("Assessment", request.assessment);
     if (request.educate) inst->set_tag("Educate", "true");
+    if (request.spot) inst->set_tag("Spot", "true");
+    if (!request.lease_id.empty()) inst->set_tag("Lease", request.lease_id);
     inst->mark_running(now_h_);
     ids.push_back(inst->id());
     instances_.push_back(std::move(inst));
@@ -123,6 +128,9 @@ void Provisioner::write_usage_record(const Instance& inst) {
   rec.gpu_count = inst.type().gpu_count;
   rec.hours = inst.billable_hours(now_h_);
   rec.educate = inst.tags().contains("Educate");
+  rec.spot = inst.tags().contains("Spot");
+  if (auto it = inst.tags().find("Lease"); it != inst.tags().end())
+    rec.lease_id = it->second;
   rec.cost_usd = rec.educate ? 0.0 : inst.accrued_cost(now_h_);
   ledger_.push_back(std::move(rec));
 }
@@ -197,6 +205,9 @@ void Provisioner::reap_idle() {
       rec.gpu_count = i->type().gpu_count;
       rec.hours = i->billable_hours(now_h_);
       rec.educate = i->tags().contains("Educate");
+      rec.spot = i->tags().contains("Spot");
+      if (auto it = i->tags().find("Lease"); it != i->tags().end())
+        rec.lease_id = it->second;
       rec.cost_usd = rec.educate ? 0.0 : i->accrued_cost(now_h_);
       ledger_.push_back(std::move(rec));
       ++reaped_;

@@ -29,6 +29,12 @@ struct UsageRecord {
   /// AWS Educate session: provided free of charge and invisible to the
   /// instructor's usage insights (Appendix A excludes these hours).
   bool educate{false};
+  /// Billed at a spot rate (tag "Spot"); the tenant ledger splits spend on
+  /// this bit.
+  bool spot{false};
+  /// Lease the instance served (tag "Lease") — empty for directly-owned
+  /// instances; set by the sched control plane's fleet.
+  std::string lease_id;
 };
 
 /// Per-owner budget cap; launches are denied once accrued + projected cost
@@ -66,6 +72,15 @@ class Provisioner {
     /// Launch through AWS Educate: free of charge, exempt from the budget
     /// cap, tagged so cost reports can exclude it (SIII.A.1).
     bool educate{false};
+    /// Spot-market capacity: billed at @p spot_hourly_usd instead of the
+    /// catalog's on-demand rate (must be > 0 when set), tagged "Spot" so
+    /// the ledger splits spot from on-demand spend.  The interruption
+    /// contract lives in SpotFleet; the provisioner only prices it.
+    bool spot{false};
+    double spot_hourly_usd{0.0};
+    /// Lease tag for fleet instances serving multi-tenant workloads; the
+    /// tenant ledger (cloudsim/cost) attributes spend through it.
+    std::string lease_id{};
   };
 
   /// Launches instances under @p role with failures as values: budget

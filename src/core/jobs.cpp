@@ -1,0 +1,93 @@
+#include "core/jobs.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "rag/index.hpp"
+#include "rl/env.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::core {
+
+sched::JobSpec make_gcn_job(std::string tenant,
+                            std::shared_ptr<const graph::Dataset> dataset,
+                            DistributedGcnConfig config, double service_h) {
+  if (!dataset) throw std::invalid_argument("make_gcn_job: null dataset");
+  if (config.num_partitions < 1)
+    throw std::invalid_argument("make_gcn_job: num_partitions must be >= 1");
+  sched::JobSpec spec;
+  spec.tenant = std::move(tenant);
+  spec.kind = sched::JobKind::kGcnTraining;
+  spec.ranks = config.num_partitions;
+  spec.service_h = service_h;
+  spec.priority = config.num_partitions > 1 ? sched::JobClass::kBatch
+                                            : sched::JobClass::kNormal;
+  spec.checkpoint_dir = config.fault.checkpoint_dir;
+  spec.work = [dataset = std::move(dataset),
+               config](sched::JobContext& ctx) -> Expected<double> {
+    auto result = try_train_distributed_gcn(*dataset, *ctx.cluster, config);
+    if (!result) return result.status();
+    return result->epoch_losses.empty() ? 0.0 : result->epoch_losses.back();
+  };
+  return spec;
+}
+
+sched::JobSpec make_dqn_job(std::string tenant, rl::DqnConfig config,
+                            int episodes, std::size_t grid_n,
+                            double service_h) {
+  if (episodes < 1)
+    throw std::invalid_argument("make_dqn_job: episodes must be >= 1");
+  if (grid_n < 2)
+    throw std::invalid_argument("make_dqn_job: grid_n must be >= 2");
+  sched::JobSpec spec;
+  spec.tenant = std::move(tenant);
+  spec.kind = sched::JobKind::kDqnLab;
+  spec.ranks = 1;
+  spec.service_h = service_h;
+  spec.priority = sched::JobClass::kNormal;
+  spec.work = [config, episodes,
+               grid_n](sched::JobContext& ctx) -> Expected<double> {
+    rl::GridWorld env(grid_n);
+    rl::DqnAgent agent(env, config, &ctx.cluster->devices().device(0));
+    const std::vector<rl::EpisodeStats> stats = agent.train(episodes);
+    const std::size_t tail = std::max<std::size_t>(1, stats.size() / 4);
+    double reward = 0.0;
+    for (std::size_t i = stats.size() - tail; i < stats.size(); ++i)
+      reward += stats[i].total_reward;
+    return reward / static_cast<double>(tail);
+  };
+  return spec;
+}
+
+sched::JobSpec make_rag_job(std::string tenant,
+                            rag::SyntheticCorpusParams corpus_params,
+                            std::vector<std::string> queries,
+                            double service_h) {
+  if (queries.empty())
+    throw std::invalid_argument("make_rag_job: no queries");
+  sched::JobSpec spec;
+  spec.tenant = std::move(tenant);
+  spec.kind = sched::JobKind::kRagSession;
+  spec.ranks = 1;
+  spec.service_h = service_h;
+  spec.priority = sched::JobClass::kInteractive;
+  spec.work = [corpus_params, queries = std::move(queries)](
+                  sched::JobContext& ctx) -> Expected<double> {
+    stats::Rng rng(7);
+    const rag::SyntheticCorpus corpus =
+        rag::synthetic_corpus(corpus_params, rng);
+    rag::RagConfig config;
+    config.top_k = std::min<std::size_t>(4, corpus.corpus.size());
+    rag::RagPipeline pipeline(
+        corpus.corpus, std::make_unique<rag::BruteForceIndex>(config.embed_dim),
+        &ctx.cluster->devices().device(0), config);
+    auto answers = pipeline.answer_batch(queries);
+    if (!answers) return answers.status();
+    double total = 0.0;
+    for (const rag::RagAnswer& a : *answers) total += a.total_s();
+    return total / static_cast<double>(answers->size());
+  };
+  return spec;
+}
+
+}  // namespace sagesim::core

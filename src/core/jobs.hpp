@@ -1,0 +1,46 @@
+// Adapters that package the repo's workloads as schedulable jobs for the
+// multi-tenant control plane (src/sched): distributed GCN training, the
+// Week-9 DQN lab, and a RAG query session each become a JobSpec whose
+// payload runs the real entry point on the leased cluster the manager
+// grants — the same code paths the labs run, now admitted, fair-shared,
+// billed, and restarted by sched::ClusterManager.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distributed_gcn.hpp"
+#include "graph/generators.hpp"
+#include "rag/corpus.hpp"
+#include "rag/pipeline.hpp"
+#include "rl/dqn.hpp"
+#include "sched/job.hpp"
+
+namespace sagesim::core {
+
+/// Distributed GCN training as a gang job: ranks == num_partitions, and
+/// when config.fault.enabled the payload resumes bit-identically from
+/// config.fault.checkpoint_dir across manager restarts.  The payload
+/// returns the final epoch loss.  @p dataset is shared because restarts
+/// re-run the payload.
+sched::JobSpec make_gcn_job(std::string tenant,
+                            std::shared_ptr<const graph::Dataset> dataset,
+                            DistributedGcnConfig config,
+                            double service_h = 1.0);
+
+/// The DQN lab on a single leased GPU: trains @p episodes episodes on an
+/// n x n GridWorld and returns the mean reward of the final quarter.
+sched::JobSpec make_dqn_job(std::string tenant, rl::DqnConfig config,
+                            int episodes, std::size_t grid_n = 4,
+                            double service_h = 1.0);
+
+/// An interactive RAG session: builds a synthetic-corpus pipeline on the
+/// leased GPU, answers @p queries in one batch, and returns the mean
+/// simulated latency (seconds) per answer.
+sched::JobSpec make_rag_job(std::string tenant,
+                            rag::SyntheticCorpusParams corpus_params,
+                            std::vector<std::string> queries,
+                            double service_h = 0.25);
+
+}  // namespace sagesim::core

@@ -27,6 +27,22 @@ Cluster::Cluster(gpu::DeviceManager& devices, ClusterOptions options)
   if (options_.faults)
     scheduler_.set_fault_injector(
         std::make_shared<runtime::FaultInjector>(*options_.faults));
+  if (options_.lease &&
+      options_.lease->instance_ids.size() != devices.device_count())
+    throw std::invalid_argument(
+        "Cluster: lease holds " +
+        std::to_string(options_.lease->instance_ids.size()) +
+        " instances for " + std::to_string(devices.device_count()) +
+        " devices");
+}
+
+const std::string& Cluster::instance_id(int rank) const {
+  if (!options_.lease)
+    throw std::logic_error("Cluster::instance_id: cluster holds no lease");
+  if (rank < 0 || rank >= world_size())
+    throw std::out_of_range("Cluster::instance_id: rank " +
+                            std::to_string(rank) + " out of range");
+  return options_.lease->instance_ids[static_cast<std::size_t>(rank)];
 }
 
 Future Cluster::submit(std::string name, TaskFn fn, std::vector<Future> deps,
@@ -35,6 +51,16 @@ Future Cluster::submit(std::string name, TaskFn fn, std::vector<Future> deps,
     throw std::out_of_range("Cluster::submit: rank " + std::to_string(rank) +
                             " >= world size " + std::to_string(world_size()));
   if (!fn) throw std::invalid_argument("Cluster::submit: null task function");
+
+  if (options_.control && options_.control->cancel_requested()) {
+    // Job-level cancellation: a cancelled job must stop growing its task
+    // graph — new submits fail immediately instead of queueing.
+    Future failed;
+    failed.set_name(name);
+    failed.fail(std::make_exception_ptr(StatusError(Status::cancelled(
+        "job cancelled: " + options_.control->cancel_reason()))));
+    return failed;
+  }
 
   if (rank >= 0 && !rank_available(rank)) {
     // Spot semantics: the lane's instance is reclaimed.  Fail fast and
@@ -51,7 +77,9 @@ Future Cluster::submit(std::string name, TaskFn fn, std::vector<Future> deps,
   opts.lane = rank < 0 ? -1 : rank;
   opts.deps = std::move(deps);
   opts.timeout_s = timeout_s > 0.0 ? timeout_s : options_.default_timeout_s;
-  return scheduler_.submit_any(
+  if (options_.control)
+    opts.timeout_s = options_.control->effective_timeout_s(opts.timeout_s);
+  Future future = scheduler_.submit_any(
       std::move(opts), [this, f = std::move(fn)]() -> std::any {
         WorkerCtx ctx;
         ctx.rank = scheduler_.current_worker();
@@ -59,6 +87,15 @@ Future Cluster::submit(std::string name, TaskFn fn, std::vector<Future> deps,
         ctx.device = &devices_.device(static_cast<std::size_t>(ctx.rank));
         return f(ctx);
       });
+  if (options_.control) {
+    options_.control->attach(future);
+    // Fault routing: terminal failures surface on the job control so the
+    // owning control plane reads one Status instead of scraping futures.
+    future.on_ready([control = options_.control](const Future& done) {
+      control->route_fault(done.wait_status());
+    });
+  }
+  return future;
 }
 
 namespace {

@@ -27,6 +27,7 @@
 
 #include "dflow/future.hpp"
 #include "gpusim/device_manager.hpp"
+#include "runtime/job_control.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace sagesim::dflow {
@@ -53,6 +54,17 @@ struct RetryPolicy {
   double max_backoff_ms{50.0};
 };
 
+/// Binding of cluster ranks to control-plane capacity: rank r runs on
+/// leased instance instance_ids[r].  Clusters used to launch (implicitly
+/// own) their capacity; under the multi-tenant control plane
+/// (sched::ClusterManager) they *acquire* it as a lease instead — the
+/// manager decides placement, bills the tenant, and reclaims the instances
+/// when the job ends or is preempted.
+struct LeaseBinding {
+  std::string lease_id;
+  std::vector<std::string> instance_ids;  ///< index == rank
+};
+
 /// Aggregate cluster configuration (satellite of the fault-tolerance API):
 /// one struct instead of a parade of constructor arguments.
 struct ClusterOptions {
@@ -64,6 +76,14 @@ struct ClusterOptions {
   double default_timeout_s{0.0};
   /// Policy used by submit_retry when the caller does not pass one.
   RetryPolicy retry;
+  /// Control-plane lease backing this cluster's ranks (instance_ids.size()
+  /// must equal the device count when set).
+  std::optional<LeaseBinding> lease;
+  /// Job-level control: when set, every submit is attached for group
+  /// cancellation, the job deadline tightens per-task timeouts, and submits
+  /// after cancel() fail immediately with kCancelled.  Non-owning; must
+  /// outlive the cluster.
+  runtime::JobControl* control{nullptr};
 };
 
 class Cluster {
@@ -150,6 +170,16 @@ class Cluster {
   runtime::Scheduler& scheduler() { return scheduler_; }
 
   const ClusterOptions& options() const { return options_; }
+
+  /// The control-plane lease backing this cluster, if any.
+  const std::optional<LeaseBinding>& lease() const { return options_.lease; }
+
+  /// Leased instance id behind @p rank; throws std::logic_error when the
+  /// cluster holds no lease, std::out_of_range for a bad rank.
+  const std::string& instance_id(int rank) const;
+
+  /// Job control routed through submits, or nullptr.
+  runtime::JobControl* control() const { return options_.control; }
 
   /// The injector seeded from options().faults, or nullptr.
   std::shared_ptr<runtime::FaultInjector> fault_injector() const {

@@ -22,6 +22,17 @@ EnrollmentRecord enrollment(Semester semester) {
   throw std::invalid_argument("enrollment: unknown semester");
 }
 
+EnrollmentRecord scaled_enrollment(Semester semester, std::size_t total) {
+  if (total == 0)
+    throw std::invalid_argument("scaled_enrollment: total must be >= 1");
+  const EnrollmentRecord base = enrollment(semester);
+  EnrollmentRecord out;
+  out.semester = semester;
+  out.graduates = total * base.graduates / base.total();
+  out.undergraduates = total - out.graduates;
+  return out;
+}
+
 std::size_t evaluation_respondents(Semester semester) {
   switch (semester) {
     case Semester::kFall2024: return 8;

@@ -28,4 +28,10 @@ EnrollmentRecord enrollment(Semester semester);
 /// n=18: 8 in Fall, 10 in Spring).
 std::size_t evaluation_respondents(Semester semester);
 
+/// The term's enrollment mix scaled to @p total students, preserving the
+/// graduate/undergraduate ratio — the roster source for university-scale
+/// multi-tenant simulations (src/sched), which replay the paper's course at
+/// hundreds of sections' worth of students.  @p total must be >= 1.
+EnrollmentRecord scaled_enrollment(Semester semester, std::size_t total);
+
 }  // namespace sagesim::edu

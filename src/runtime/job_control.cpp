@@ -1,0 +1,98 @@
+#include "runtime/job_control.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sagesim::runtime {
+
+void JobControl::attach(const AnyFuture& f) {
+  bool cancel_now = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (cancelled_) {
+      cancel_now = true;
+    } else {
+      // Compact completed futures so a long-lived job's control holds only
+      // in-flight work, not its whole history.
+      if (attached_.size() >= 64 && attached_.size() % 64 == 0) {
+        attached_.erase(std::remove_if(attached_.begin(), attached_.end(),
+                                       [](const AnyFuture& a) {
+                                         return a.ready();
+                                       }),
+                        attached_.end());
+      }
+      attached_.push_back(f);
+    }
+  }
+  if (cancel_now) AnyFuture(f).cancel();
+}
+
+std::size_t JobControl::cancel(std::string reason) {
+  std::vector<AnyFuture> to_cancel;
+  {
+    std::lock_guard lock(mutex_);
+    if (!cancelled_) {
+      cancelled_ = true;
+      reason_ = std::move(reason);
+    }
+    to_cancel.swap(attached_);
+  }
+  std::size_t observed = 0;
+  for (auto& f : to_cancel)
+    if (f.cancel().ok()) ++observed;
+  return observed;
+}
+
+bool JobControl::cancel_requested() const {
+  std::lock_guard lock(mutex_);
+  return cancelled_;
+}
+
+std::string JobControl::cancel_reason() const {
+  std::lock_guard lock(mutex_);
+  return reason_;
+}
+
+void JobControl::set_deadline_s(double seconds) {
+  std::lock_guard lock(mutex_);
+  deadline_s_ = seconds > 0.0 ? seconds : 0.0;
+}
+
+double JobControl::deadline_s() const {
+  std::lock_guard lock(mutex_);
+  return deadline_s_;
+}
+
+double JobControl::effective_timeout_s(double task_timeout_s) const {
+  const double job = deadline_s();
+  if (job <= 0.0) return task_timeout_s;
+  if (task_timeout_s <= 0.0) return job;
+  return std::min(task_timeout_s, job);
+}
+
+void JobControl::route_fault(const Status& status) {
+  if (status.ok()) return;
+  std::lock_guard lock(mutex_);
+  if (status.retryable()) {
+    ++retryable_faults_;
+    return;
+  }
+  if (terminal_fault_.ok()) terminal_fault_ = status;
+}
+
+Status JobControl::terminal_fault() const {
+  std::lock_guard lock(mutex_);
+  return terminal_fault_;
+}
+
+std::size_t JobControl::retryable_faults() const {
+  std::lock_guard lock(mutex_);
+  return retryable_faults_;
+}
+
+std::size_t JobControl::attached_count() const {
+  std::lock_guard lock(mutex_);
+  return attached_.size();
+}
+
+}  // namespace sagesim::runtime

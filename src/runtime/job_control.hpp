@@ -1,0 +1,79 @@
+// Job-level control surface for the task-graph runtime: one JobControl
+// groups every future a logical job (a scheduler lease, a training run, a
+// serving session) submits, so the control plane can cancel or deadline the
+// whole job without enumerating its tasks.
+//
+//  * cancel(reason)      — cancels every attached not-yet-running future and
+//                          latches a flag; execution layers (dflow::Cluster)
+//                          check the flag before submitting new work, so a
+//                          cancelled job stops growing its task graph.
+//  * set_deadline_s(d)   — wall-clock budget propagated into every submit
+//                          routed through the control (the tighter of the
+//                          job deadline and the per-task timeout wins).
+//  * route_fault(status) — terminal-failure funnel: the first non-retryable
+//                          failure a job observes is recorded here, so the
+//                          owning control plane reads one Status instead of
+//                          scraping futures.
+//
+// Thread-safe: tasks attach from submitter threads while the control plane
+// cancels from its own.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/future.hpp"
+#include "runtime/status.hpp"
+
+namespace sagesim::runtime {
+
+class JobControl {
+ public:
+  JobControl() = default;
+  JobControl(const JobControl&) = delete;
+  JobControl& operator=(const JobControl&) = delete;
+
+  /// Registers a future for group cancellation.  Attaching to an already
+  /// cancelled control cancels @p f immediately (best effort).  Completed
+  /// futures are compacted opportunistically so long jobs stay O(inflight).
+  void attach(const AnyFuture& f);
+
+  /// Cancels every attached pending future and latches the cancelled state;
+  /// idempotent (the first reason wins).  Returns the number of futures
+  /// whose cancellation was observed before they started.
+  std::size_t cancel(std::string reason);
+
+  bool cancel_requested() const;
+  std::string cancel_reason() const;
+
+  /// Job-wide wall-clock budget (seconds per task submit); 0 == none.
+  void set_deadline_s(double seconds);
+  double deadline_s() const;
+
+  /// Effective timeout for one task: the tighter of @p task_timeout_s and
+  /// the job deadline (0 means unconstrained on either side).
+  double effective_timeout_s(double task_timeout_s) const;
+
+  /// Records a failure the job observed.  Retryable failures only bump a
+  /// counter (the fault-tolerance layers own the retry); the first
+  /// non-retryable failure is latched as the job's terminal fault.
+  void route_fault(const Status& status);
+
+  /// First non-retryable failure routed, or OK.
+  Status terminal_fault() const;
+  std::size_t retryable_faults() const;
+
+  std::size_t attached_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  bool cancelled_{false};
+  std::string reason_;
+  double deadline_s_{0.0};
+  Status terminal_fault_;
+  std::size_t retryable_faults_{0};
+  std::vector<AnyFuture> attached_;
+};
+
+}  // namespace sagesim::runtime

@@ -1,0 +1,47 @@
+#include "sched/fair_share.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sagesim::sched {
+
+double FairShare::decayed(const Entry& e, double now_h) const {
+  if (e.usage == 0.0) return 0.0;
+  const double dt = now_h - e.as_of_h;
+  if (dt <= 0.0) return e.usage;
+  if (config_.half_life_h <= 0.0) return e.usage;  // decay disabled
+  return e.usage * std::exp2(-dt / config_.half_life_h);
+}
+
+void FairShare::set_weight(const std::string& tenant, double weight) {
+  if (!(weight > 0.0))
+    throw std::invalid_argument("FairShare::set_weight: weight must be > 0");
+  entries_[tenant].weight = weight;
+}
+
+double FairShare::weight(const std::string& tenant) const {
+  auto it = entries_.find(tenant);
+  return it == entries_.end() ? 1.0 : it->second.weight;
+}
+
+void FairShare::charge(const std::string& tenant, double gpu_hours,
+                       double now_h) {
+  if (gpu_hours < 0.0)
+    throw std::invalid_argument("FairShare::charge: negative gpu_hours");
+  Entry& e = entries_[tenant];
+  e.usage = decayed(e, now_h) + gpu_hours;
+  e.as_of_h = now_h;
+}
+
+double FairShare::usage(const std::string& tenant, double now_h) const {
+  auto it = entries_.find(tenant);
+  return it == entries_.end() ? 0.0 : decayed(it->second, now_h);
+}
+
+double FairShare::share_score(const std::string& tenant, double now_h) const {
+  auto it = entries_.find(tenant);
+  if (it == entries_.end()) return 0.0;
+  return decayed(it->second, now_h) / it->second.weight;
+}
+
+}  // namespace sagesim::sched

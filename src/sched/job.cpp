@@ -1,0 +1,36 @@
+#include "sched/job.hpp"
+
+namespace sagesim::sched {
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kSynthetic: return "synthetic";
+    case JobKind::kGcnTraining: return "gcn-training";
+    case JobKind::kSampledGcn: return "sampled-gcn";
+    case JobKind::kDqnLab: return "dqn-lab";
+    case JobKind::kRagSession: return "rag-session";
+  }
+  return "unknown";
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kKilled: return "killed";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(JobClass priority) {
+  switch (priority) {
+    case JobClass::kInteractive: return "interactive";
+    case JobClass::kNormal: return "normal";
+    case JobClass::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+}  // namespace sagesim::sched

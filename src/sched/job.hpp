@@ -1,0 +1,124 @@
+// Schedulable jobs for the multi-tenant cluster control plane.  A JobSpec
+// wraps one of the repo's workloads (distributed GCN training, a DQN lab, a
+// RAG session) — or a pure simulated-duration placeholder for load
+// generation — as a unit the ClusterManager can admit, queue, gang-place,
+// preempt, bill, and restart.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/job_control.hpp"
+#include "runtime/status.hpp"
+
+namespace sagesim::dflow {
+class Cluster;
+}
+
+namespace sagesim::sched {
+
+using JobId = std::uint64_t;
+
+/// Workload families the control plane serves (ISSUE: "GCN training, DQN
+/// labs, RAG sessions"); kSynthetic is a duration-only job for load replay.
+enum class JobKind : std::uint8_t {
+  kSynthetic,
+  kGcnTraining,
+  kSampledGcn,
+  kDqnLab,
+  kRagSession,
+};
+
+const char* to_string(JobKind kind);
+
+/// Job lifecycle.  kQueued covers both "never started" and "preempted,
+/// awaiting re-placement"; kKilled is a control-plane decision (budget cap,
+/// cancellation) as opposed to kFailed (the payload itself failed).
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kKilled,
+  kFailed,
+};
+
+const char* to_string(JobState state);
+
+/// Priority classes, best-first.  Interactive jobs (RAG sessions, notebook
+/// labs) jump batch training; aging (FairShareConfig::aging_h) promotes
+/// waiting jobs one class per aging interval so batch work cannot starve.
+enum class JobClass : std::uint8_t {
+  kInteractive = 0,
+  kNormal = 1,
+  kBatch = 2,
+};
+
+const char* to_string(JobClass priority);
+
+struct JobSpec;
+
+/// Execution context handed to a job payload: the leased cluster (one
+/// worker per granted rank, bound to the lease's instance ids), the job's
+/// control surface, and the 0-based attempt number — payloads resume from
+/// their checkpoint_dir on attempt > 0.  Payloads must not call back into
+/// the ClusterManager (its lock is held while they run).
+struct JobContext {
+  JobId id{0};
+  int attempt{0};
+  dflow::Cluster* cluster{nullptr};
+  runtime::JobControl* control{nullptr};
+  const JobSpec* spec{nullptr};
+};
+
+/// Real compute run when the job's simulated service window completes.
+/// Returns a scalar result (final loss, mean latency, total reward) or a
+/// Status: retryable failures requeue the job (restart), non-retryable ones
+/// fail it.
+using JobWork = std::function<Expected<double>(JobContext&)>;
+
+struct JobSpec {
+  std::string tenant;
+  std::string name;  ///< display/debug label; defaulted to "job-<id>"
+  JobKind kind{JobKind::kSynthetic};
+  /// Gang width: the job needs exactly this many instances simultaneously
+  /// (all-or-nothing placement; losing one preempts the gang).
+  int ranks{1};
+  /// Simulated service time on a full gang, hours.
+  double service_h{1.0};
+  JobClass priority{JobClass::kNormal};
+  /// Optional real payload (see JobWork); empty for simulated jobs.
+  JobWork work;
+  /// Scratch directory payloads checkpoint into across restarts.
+  std::string checkpoint_dir;
+  /// Payload attempts before a retryable failure becomes terminal.
+  int max_attempts{8};
+};
+
+/// Telemetry record the manager keeps per job, from submission to terminal
+/// state.  Waits are measured from admission to first placement.
+struct JobRecord {
+  JobId id{0};
+  JobSpec spec;
+  JobState state{JobState::kQueued};
+  Status final_status;   ///< set on kKilled / kFailed
+  double submit_h{0.0};
+  double first_start_h{-1.0};  ///< -1 until first placed
+  double end_h{0.0};           ///< terminal time
+  double done_h{0.0};          ///< checkpointed simulated progress
+  double payload_result{0.0};  ///< JobWork return value when completed
+  int preemptions{0};          ///< spot reclaims that hit this job's gang
+  int restarts{0};             ///< re-placements (preemption or retry)
+  bool backfilled{false};      ///< first placement jumped the queue head
+  double billed_usd{0.0};      ///< lease spend attributed to this job
+
+  double wait_h() const {
+    return first_start_h < 0.0 ? 0.0 : first_start_h - submit_h;
+  }
+  bool terminal() const {
+    return state == JobState::kCompleted || state == JobState::kKilled ||
+           state == JobState::kFailed;
+  }
+};
+
+}  // namespace sagesim::sched

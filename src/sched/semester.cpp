@@ -1,0 +1,143 @@
+#include "sched/semester.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edu/aws_usage.hpp"
+#include "edu/enrollment.hpp"
+#include "stats/rng.hpp"
+
+namespace sagesim::sched {
+
+namespace {
+
+constexpr double kWeekH = 24.0 * 7.0;
+
+double clamp_h(double h, double lo, double hi) {
+  return std::clamp(h, lo, hi);
+}
+
+}  // namespace
+
+SemesterLoad generate_semester_load(const SemesterLoadConfig& config) {
+  SemesterLoad load;
+  load.horizon_h = config.weeks * kWeekH;
+  stats::Rng rng(config.seed);
+
+  // Roster: the paper's grad/undergrad mix scaled to the tenant count,
+  // realized as a synthetic cohort (ids + levels).
+  const edu::EnrollmentRecord mix =
+      edu::scaled_enrollment(config.semester, config.tenants);
+  edu::CohortParams cohort_params;
+  cohort_params.graduates = mix.graduates;
+  cohort_params.undergraduates = mix.undergraduates;
+  cohort_params.semester = config.semester;
+  const std::vector<edu::Student> cohort =
+      edu::generate_cohort(cohort_params, rng.fork_seed());
+
+  // Zipfian activity: rank students randomly, weight 1/(rank+1)^s, rescale
+  // to mean 1 so the aggregate load stays proportional to the cohort size.
+  const std::size_t n = cohort.size();
+  std::vector<double> activity(n, 1.0);
+  if (config.zipf_s > 0.0 && n > 0) {
+    const std::vector<std::size_t> order = rng.permutation(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      activity[order[i]] =
+          1.0 / std::pow(static_cast<double>(i + 1), config.zipf_s);
+      sum += activity[order[i]];
+    }
+    for (double& a : activity) a *= static_cast<double>(n) / sum;
+  }
+
+  edu::UsageParams usage;
+  usage.semester = config.semester;
+  const int labs = usage.aws_lab_count();
+  const int lab_weeks = std::max(
+      1, std::min(labs, static_cast<int>(std::floor(config.weeks))));
+
+  load.roster.reserve(n);
+  load.submissions.reserve(n * static_cast<std::size_t>(labs + 8));
+  for (std::size_t i = 0; i < n; ++i) {
+    const edu::Student& student = cohort[i];
+    TenantProfile profile;
+    profile.id = student.id;
+    profile.level = student.level;
+    profile.weight = student.level == edu::Level::kGraduate ? 2.0 : 1.0;
+    profile.activity = activity[i];
+
+    double expected_cost = 0.0;
+    auto push = [&](double arrive_h, JobSpec spec) {
+      spec.tenant = profile.id;
+      expected_cost += spec.ranks * spec.service_h * config.ondemand_rate_usd;
+      load.expected_gpu_hours += spec.ranks * spec.service_h;
+      Submission s;
+      s.arrive_h = clamp_h(arrive_h, 0.0, load.horizon_h * 0.98);
+      s.spec = std::move(spec);
+      load.submissions.push_back(std::move(s));
+    };
+
+    // Weekly labs, bursting before each deadline.  The Week-9 lab is the
+    // DQN lab; every third other lab trains a GCN, the rest are generic
+    // notebook sessions.
+    for (int lab = 0; lab < labs; ++lab) {
+      const int week = lab % lab_weeks;
+      const double deadline_h = (week + 1) * kWeekH *
+                                (config.weeks / static_cast<double>(lab_weeks));
+      JobSpec spec;
+      spec.kind = lab == 8               ? JobKind::kDqnLab
+                  : (lab % 3 == 0)       ? JobKind::kGcnTraining
+                                         : JobKind::kSynthetic;
+      spec.ranks = 1;
+      spec.service_h =
+          clamp_h(rng.exponential(1.0 / usage.lab_hours_mean), 0.5, 6.0);
+      spec.priority = JobClass::kNormal;
+      push(deadline_h - rng.exponential(1.0 / config.burst_mean_h), spec);
+    }
+
+    // Cluster assessments: multi-rank DDP gangs, long-running batch work
+    // due at fixed points of the term.
+    for (int a = 0; a < config.gang_assignments; ++a) {
+      const double frac = 0.35 + 0.25 * a;
+      const double deadline_h = load.horizon_h * std::min(frac, 0.95);
+      JobSpec spec;
+      spec.kind = JobKind::kGcnTraining;
+      spec.ranks = config.gang_ranks;
+      spec.service_h = clamp_h(
+          rng.exponential(1.0 / (usage.assignment_hours_mean /
+                                 static_cast<double>(config.gang_ranks))),
+          0.5, 4.0);
+      spec.priority = JobClass::kBatch;
+      push(deadline_h - rng.exponential(1.0 / config.burst_mean_h), spec);
+    }
+
+    // Optional RAG practice: interactive, short, activity-scaled, spread
+    // over the active weeks.
+    const double rag_mean = config.rag_sessions_mean * profile.activity;
+    const int rag_sessions = static_cast<int>(std::floor(rag_mean)) +
+                             (rng.bernoulli(rag_mean - std::floor(rag_mean))
+                                  ? 1
+                                  : 0);
+    for (int s = 0; s < rag_sessions; ++s) {
+      JobSpec spec;
+      spec.kind = JobKind::kRagSession;
+      spec.ranks = 1;
+      spec.service_h = clamp_h(rng.exponential(1.0 / 0.15), 0.05, 0.5);
+      spec.priority = JobClass::kInteractive;
+      push(rng.uniform(kWeekH, load.horizon_h * 0.95), spec);
+    }
+
+    profile.budget_usd = config.budget_usd > 0.0
+                             ? config.budget_usd
+                             : 2.0 * expected_cost + 10.0;
+    load.roster.push_back(std::move(profile));
+  }
+
+  std::stable_sort(load.submissions.begin(), load.submissions.end(),
+                   [](const Submission& a, const Submission& b) {
+                     return a.arrive_h < b.arrive_h;
+                   });
+  return load;
+}
+
+}  // namespace sagesim::sched

@@ -1,0 +1,68 @@
+// Semester load generation: replays the paper's course at university scale.
+// The tenant roster comes from edu::scaled_enrollment (the published
+// grad/undergrad mix scaled to N students) + edu::generate_cohort; the
+// per-student workload mix comes from edu::UsageParams (14 AWS labs in
+// Spring, ~2.3h lab sessions, a 3-node cluster assignment, interactive RAG
+// practice).  Activity is Zipfian across the cohort (a few students do most
+// of the optional work) and arrivals are bursty: lab jobs cluster in the
+// hours before each weekly deadline — the contention pattern the fair-share
+// scheduler exists to absorb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edu/cohort.hpp"
+#include "sched/job.hpp"
+
+namespace sagesim::sched {
+
+struct SemesterLoadConfig {
+  edu::Semester semester{edu::Semester::kSpring2025};
+  std::size_t tenants{1000};
+  double weeks{14.0};
+  /// DDP cluster assessments per student (3-rank gangs, the course's
+  /// "clusters of up to three nodes").
+  int gang_assignments{3};
+  int gang_ranks{3};
+  /// Zipf exponent of the per-student activity skew (0 == uniform).
+  double zipf_s{0.9};
+  /// Mean lead time between a lab submission and its deadline, hours.
+  double burst_mean_h{30.0};
+  /// Mean optional RAG practice sessions per student, scaled by activity.
+  double rag_sessions_mean{6.0};
+  /// Per-tenant budget cap handed to the manager; <= 0 derives one from
+  /// the tenant's expected workload cost (x2 headroom).
+  double budget_usd{0.0};
+  /// On-demand rate used when deriving budgets.
+  double ondemand_rate_usd{0.526};
+  std::uint64_t seed{42};
+};
+
+/// One tenant of the semester: a student with a fair-share weight (graduate
+/// researchers get 2x) and a budget cap.
+struct TenantProfile {
+  std::string id;
+  edu::Level level{edu::Level::kUndergraduate};
+  double weight{1.0};
+  double budget_usd{100.0};
+  double activity{1.0};  ///< Zipf multiplier, mean ~1 across the cohort
+};
+
+struct Submission {
+  double arrive_h{0.0};
+  JobSpec spec;
+};
+
+struct SemesterLoad {
+  std::vector<TenantProfile> roster;
+  std::vector<Submission> submissions;  ///< sorted by arrive_h
+  double horizon_h{0.0};
+  double expected_gpu_hours{0.0};  ///< fleet-sizing input
+};
+
+/// Deterministic in config.seed.
+SemesterLoad generate_semester_load(const SemesterLoadConfig& config);
+
+}  // namespace sagesim::sched
