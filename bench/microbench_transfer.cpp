@@ -72,6 +72,7 @@ struct BandwidthRow {
   std::size_t bytes;
   double h2d_sim_s, d2h_sim_s;  // deterministic, from the device model
   double h2d_gbps, d2h_gbps;
+  double h2d_pinned_gbps, d2h_pinned_gbps;  // via Buffer::host_pinned
 };
 
 }  // namespace
@@ -156,6 +157,9 @@ int main(int argc, char** argv) {
   // ---- 3. accounted H2D/D2H bandwidth ---------------------------------
   // Buffer::to_device / to_host charge the device's PCIe model and bump the
   // process-wide ledger; modeled bandwidth = accounted bytes / sim time.
+  // Plain Buffer::host memory is pageable and pays the staging discount
+  // (0.55x the link); Buffer::host_pinned sustains the full link rate —
+  // the Week-3 pinned-vs-pageable lab, in table form.
   bench::section("accounted transfer bandwidth (T4 PCIe model, sim time)");
   std::vector<BandwidthRow> bw_rows;
   {
@@ -166,9 +170,10 @@ int main(int argc, char** argv) {
         smoke ? std::vector<std::size_t>{1024 * 1024}
               : std::vector<std::size_t>{1024 * 1024, 16 * 1024 * 1024,
                                          64 * 1024 * 1024};
-    std::printf("%12s %12s %12s %10s %10s\n", "bytes", "h2d sim ms",
-                "d2h sim ms", "h2d GB/s", "d2h GB/s");
-    std::uint64_t expect_bytes = 0;
+    std::printf("%12s %12s %12s %10s %10s %10s %10s\n", "bytes",
+                "h2d sim ms", "d2h sim ms", "h2d GB/s", "d2h GB/s",
+                "pin h2d", "pin d2h");
+    std::uint64_t expect_bytes = 0, expect_pinned = 0;
     for (std::size_t bytes : bw_sizes) {
       mem::Buffer buf = mem::Buffer::host(bytes);
       std::memset(buf.data(), 0x5a, bytes);
@@ -179,24 +184,40 @@ int main(int argc, char** argv) {
       t0 = dm.now_s();
       buf.to_host().throw_if_error();
       const double d2h_s = dm.now_s() - t0;
-      expect_bytes += bytes;
+
+      mem::Buffer pinned = mem::Buffer::host_pinned(bytes, /*zero=*/false);
+      std::memset(pinned.data(), 0xa5, bytes);
+      t0 = dm.now_s();
+      pinned.to_device(dev).throw_if_error();
+      const double h2d_pin_s = dm.now_s() - t0;
+      t0 = dm.now_s();
+      pinned.to_host().throw_if_error();
+      const double d2h_pin_s = dm.now_s() - t0;
+      expect_bytes += 2 * bytes;
+      expect_pinned += bytes;
 
       BandwidthRow row{bytes, h2d_s, d2h_s,
                        static_cast<double>(bytes) / h2d_s / 1e9,
-                       static_cast<double>(bytes) / d2h_s / 1e9};
+                       static_cast<double>(bytes) / d2h_s / 1e9,
+                       static_cast<double>(bytes) / h2d_pin_s / 1e9,
+                       static_cast<double>(bytes) / d2h_pin_s / 1e9};
       bw_rows.push_back(row);
-      std::printf("%12zu %12.3f %12.3f %10.2f %10.2f\n", bytes,
+      std::printf("%12zu %12.3f %12.3f %10.2f %10.2f %10.2f %10.2f\n", bytes,
                   1e3 * row.h2d_sim_s, 1e3 * row.d2h_sim_s, row.h2d_gbps,
-                  row.d2h_gbps);
+                  row.d2h_gbps, row.h2d_pinned_gbps, row.d2h_pinned_gbps);
     }
     const mem::TransferCounters ledger = mem::transfer_ledger();
-    std::printf("ledger cross-check: %llu H2D bytes, %llu D2H bytes "
-                "(expected %llu each)%s\n",
+    std::printf("ledger cross-check: %llu H2D bytes (%llu pinned), "
+                "%llu D2H bytes (expected %llu total / %llu pinned)%s\n",
                 static_cast<unsigned long long>(ledger.h2d_bytes),
+                static_cast<unsigned long long>(ledger.h2d_pinned_bytes),
                 static_cast<unsigned long long>(ledger.d2h_bytes),
                 static_cast<unsigned long long>(expect_bytes),
+                static_cast<unsigned long long>(expect_pinned),
                 ledger.h2d_bytes == expect_bytes &&
-                        ledger.d2h_bytes == expect_bytes
+                        ledger.d2h_bytes == expect_bytes &&
+                        ledger.h2d_pinned_bytes == expect_pinned &&
+                        ledger.d2h_pinned_bytes == expect_pinned
                     ? " — OK"
                     : " — MISMATCH");
   }
@@ -265,9 +286,11 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"bytes\": %zu, \"h2d_sim_ms\": %.4f, "
                    "\"d2h_sim_ms\": %.4f, \"h2d_gbps\": %.3f, "
-                   "\"d2h_gbps\": %.3f}%s\n",
+                   "\"d2h_gbps\": %.3f, \"h2d_pinned_gbps\": %.3f, "
+                   "\"d2h_pinned_gbps\": %.3f}%s\n",
                    r.bytes, 1e3 * r.h2d_sim_s, 1e3 * r.d2h_sim_s, r.h2d_gbps,
-                   r.d2h_gbps, i + 1 < bw_rows.size() ? "," : "");
+                   r.d2h_gbps, r.h2d_pinned_gbps, r.d2h_pinned_gbps,
+                   i + 1 < bw_rows.size() ? "," : "");
     }
     std::fprintf(f,
                  "  ],\n  \"ddp_loop\": {\"host_hit_rate\": %.4f, "

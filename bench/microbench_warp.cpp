@@ -1,0 +1,296 @@
+// Warp-fidelity microbench: what Fidelity::kWarp prices that the analytic
+// roofline cannot see.
+//
+//   1. coalesced vs stride-32 global access: transactions per request and
+//      the modeled-time gap (gated: strided >= 4x coalesced, bit-identical
+//      results),
+//   2. shared-memory bank conflicts: replay counts and near-linear time
+//      scaling in the conflict degree N (gated),
+//   3. branch divergence: issue-slot doubling for a half-and-half branch
+//      (gated) and the lane-efficiency column,
+//   4. register pressure: the occupancy limiter flipping to "registers",
+//   5. the nsight-style per-kernel report the profiling lab reads.
+//
+// Writes a JSON baseline (BENCH_gpusim.json) so the warp-model numbers are
+// recorded across PRs.  Exits nonzero when a gate fails.
+//
+//   microbench_warp [--smoke] [--json PATH]
+//
+// --smoke shrinks sizes so the perf.* ctest entry stays fast; every gate
+// still runs.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+#include "prof/report.hpp"
+
+using namespace sagesim;
+
+namespace {
+
+gpu::LaunchOptions warp_opts() {
+  gpu::LaunchOptions opts;
+  opts.fidelity = gpu::Fidelity::kWarp;
+  return opts;
+}
+
+bool gate(bool ok, const char* what) {
+  std::printf("  gate: %-58s %s\n", what, ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+// Returns a pointer into @p storage aligned to a 32-byte DRAM sector, so a
+// warp's 128-byte coalesced window is exactly 4 sectors (heap floats are
+// only 16-byte aligned, which would smear it over 5).
+float* sector_aligned(std::vector<float>& storage) {
+  auto addr = reinterpret_cast<std::uintptr_t>(storage.data());
+  addr = (addr + 31u) & ~std::uintptr_t{31};
+  return reinterpret_cast<float*>(addr);
+}
+
+struct ConflictRow {
+  std::uint32_t degree;
+  std::uint64_t replays;
+  double sim_us;
+};
+
+struct RegRow {
+  std::uint32_t regs;
+  double occupancy;
+  const char* limiter;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_gpusim.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  bench::header("microbench_warp",
+                "warp-granular fidelity: coalescing, conflicts, divergence");
+  bool all_ok = true;
+
+  // ---- 1. coalesced vs strided global access (T4 model) ----------------
+  // Both kernels copy the same n floats; the strided one walks the array
+  // transposed so each warp's lanes land 128 bytes apart — every lane its
+  // own 32-byte sector, 32 transactions where the coalesced copy needs 4.
+  bench::section("global-memory coalescing (T4 model, warp fidelity)");
+  const std::uint64_t n = smoke ? (1ull << 20) : (1ull << 22);
+  const std::uint64_t rows = n / 32;  // transposed-walk chunk length
+  double coalesced_us = 0.0, strided_us = 0.0, time_ratio = 0.0;
+  double co_tpr = 0.0, st_tpr = 0.0;
+  bool bit_identical = false;
+  gpu::Device t4(0, gpu::spec::t4(), std::make_shared<prof::Timeline>());
+  {
+    std::vector<float> src_store(n + 8), a_store(n + 8), b_store(n + 8);
+    float* src = sector_aligned(src_store);
+    float* dst_a = sector_aligned(a_store);
+    float* dst_b = sector_aligned(b_store);
+    for (std::uint64_t i = 0; i < n; ++i)
+      src[i] = 1.0f / (1.0f + static_cast<float>(i % 4099));
+
+    const auto coalesced = t4.launch_linear(
+        "copy_coalesced", n, 256,
+        [&](const gpu::ThreadCtx& ctx) {
+          const std::uint64_t i = ctx.global_x();
+          ctx.store_global(&dst_a[i], ctx.load_global(&src[i]));
+        },
+        warp_opts());
+    const auto strided = t4.launch_linear(
+        "copy_strided", n, 256,
+        [&](const gpu::ThreadCtx& ctx) {
+          const std::uint64_t i = ctx.global_x();
+          const std::uint64_t j = (i % rows) * 32 + i / rows;
+          ctx.store_global(&dst_b[j], ctx.load_global(&src[j]));
+        },
+        warp_opts());
+
+    coalesced_us = 1e6 * coalesced.duration_s;
+    strided_us = 1e6 * strided.duration_s;
+    time_ratio = strided.duration_s / coalesced.duration_s;
+    co_tpr = coalesced.gld_transactions_per_request;
+    st_tpr = strided.gld_transactions_per_request;
+    bit_identical = std::memcmp(dst_a, dst_b, n * sizeof(float)) == 0;
+
+    std::printf("%12s %12s %10s %12s %12s\n", "pattern", "trans/req",
+                "eff MB", "sim us", "vs coalesced");
+    std::printf("%12s %12.1f %10.2f %12.1f %11.2fx\n", "coalesced", co_tpr,
+                coalesced.effective_bytes / 1e6, coalesced_us, 1.0);
+    std::printf("%12s %12.1f %10.2f %12.1f %11.2fx\n", "stride-32", st_tpr,
+                strided.effective_bytes / 1e6, strided_us, time_ratio);
+    all_ok &= gate(co_tpr == 4.0 && st_tpr == 32.0,
+                   "transactions/request: 4 coalesced, 32 strided");
+    all_ok &= gate(time_ratio >= 4.0, "strided modeled time >= 4x coalesced");
+    all_ok &= gate(bit_identical, "copies produce bit-identical bytes");
+  }
+
+  // ---- 2. shared-memory bank conflicts (tiny model) --------------------
+  // One 32-thread block loads shared[t.x * N] for phases rounds: a
+  // power-of-two stride N is an N-way conflict, replaying each access
+  // N-1 times.  Time over the N=1 baseline must scale ~linearly in N-1.
+  bench::section("shared-memory bank conflicts (tiny model, warp fidelity)");
+  const int phases = smoke ? 5000 : 50000;
+  std::vector<ConflictRow> conflict_rows;
+  {
+    gpu::Device tiny(0, gpu::spec::test_tiny(),
+                     std::make_shared<prof::Timeline>());
+    const auto run = [&](std::uint32_t stride) {
+      auto opts = warp_opts();
+      // Constant arena (sized for the widest stride) so occupancy — and
+      // with it the issue rate — is identical across the sweep.
+      opts.shared_mem_bytes = 32ull * 32 * sizeof(float);
+      return tiny.launch_blocks(
+          "conflict_x" + std::to_string(stride), gpu::Dim3{1}, gpu::Dim3{32},
+          [stride, phases = phases](const gpu::BlockCtx& blk) {
+            const auto smem = blk.shared_span<float>();
+            for (int p = 0; p < phases; ++p)
+              blk.for_each_thread(
+                  [&](gpu::Dim3 t) { (void)smem.load(t.x * stride); });
+          },
+          opts);
+    };
+
+    std::printf("%8s %12s %12s %14s\n", "N-way", "replays", "sim us",
+                "(tN-t1)/(t2-t1)");
+    double d2 = 0.0;
+    bool linear = true, replays_exact = true;
+    double base_us = 0.0;
+    for (std::uint32_t deg : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const auto r = run(deg);
+      const double us = 1e6 * r.duration_s;
+      if (deg == 1) base_us = us;
+      if (deg == 2) d2 = us - base_us;
+      const double scale = deg >= 2 && d2 > 0.0 ? (us - base_us) / d2 : 0.0;
+      conflict_rows.push_back({deg, r.shared_bank_replays, us});
+      std::printf("%8u %12llu %12.1f %14.2f\n", deg,
+                  static_cast<unsigned long long>(r.shared_bank_replays), us,
+                  scale);
+      replays_exact &= r.shared_bank_replays ==
+                       static_cast<std::uint64_t>(phases) * (deg - 1);
+      if (deg >= 4)
+        linear &= scale > 0.85 * (deg - 1) && scale < 1.15 * (deg - 1);
+    }
+    all_ok &= gate(replays_exact, "replays == phases * (N-1) at every N");
+    all_ok &= gate(linear, "conflict time scales ~linearly in N (+-15%)");
+  }
+
+  // ---- 3. branch divergence (tiny model) -------------------------------
+  bench::section("branch divergence (tiny model, warp fidelity)");
+  double uniform_us = 0.0, divergent_us = 0.0, divergent_lane_eff = 0.0;
+  {
+    gpu::Device tiny(0, gpu::spec::test_tiny(),
+                     std::make_shared<prof::Timeline>());
+    constexpr int kFlopsPerSide = 32;
+    const auto body = [](const gpu::ThreadCtx& ctx) {
+      for (int i = 0; i < kFlopsPerSide; ++i) ctx.add_flops(1.0);
+    };
+    const auto uni = tiny.launch(
+        "uniform", gpu::Dim3{64}, gpu::Dim3{256},
+        [&](const gpu::ThreadCtx& ctx) {
+          if (ctx.branch(true)) body(ctx);
+        },
+        warp_opts());
+    const auto div = tiny.launch(
+        "divergent", gpu::Dim3{64}, gpu::Dim3{256},
+        [&](const gpu::ThreadCtx& ctx) {
+          if (ctx.branch(ctx.lane() % 2 == 0))
+            body(ctx);
+          else
+            body(ctx);
+        },
+        warp_opts());
+    uniform_us = 1e6 * uni.duration_s;
+    divergent_us = 1e6 * div.duration_s;
+    divergent_lane_eff = div.lane_efficiency;
+    std::printf("%12s %12s %12s %10s\n", "branch", "issue slots", "sim us",
+                "lane eff");
+    std::printf("%12s %12llu %12.1f %9.1f%%\n", "uniform",
+                static_cast<unsigned long long>(uni.issue_slots), uniform_us,
+                100.0 * uni.lane_efficiency);
+    std::printf("%12s %12llu %12.1f %9.1f%%\n", "half/half",
+                static_cast<unsigned long long>(div.issue_slots), divergent_us,
+                100.0 * div.lane_efficiency);
+    all_ok &= gate(div.issue_slots == 2 * uni.issue_slots,
+                   "divergent branch doubles issue slots");
+    all_ok &= gate(divergent_us > 1.4 * uniform_us,
+                   "divergence shows up in modeled time");
+  }
+
+  // ---- 4. register pressure (T4 model) ---------------------------------
+  bench::section("register-limited occupancy (T4 model, 256-thread blocks)");
+  std::vector<RegRow> reg_rows;
+  {
+    std::printf("%14s %12s %12s\n", "regs/thread", "occupancy", "limiter");
+    bool limiter_flips = false;
+    for (std::uint32_t regs : {32u, 64u, 128u, 256u}) {
+      gpu::LaunchOptions opts;
+      opts.regs_per_thread = regs;
+      const auto r = t4.launch("reg_sweep_r" + std::to_string(regs),
+                               gpu::Dim3{8}, gpu::Dim3{256},
+                               [](const gpu::ThreadCtx&) {}, opts);
+      reg_rows.push_back({regs, r.occupancy, r.limiter});
+      std::printf("%14u %12.2f %12s\n", regs, r.occupancy, r.limiter);
+      if (regs == 128)
+        limiter_flips = std::strcmp(r.limiter, "registers") == 0 &&
+                        r.occupancy == 0.5;
+    }
+    all_ok &= gate(limiter_flips, "128 regs/thread: limiter=registers, occ 0.5");
+  }
+
+  // ---- 5. the nsight-style kernel report -------------------------------
+  bench::section("per-kernel report (T4 timeline)");
+  std::printf("%s", prof::kernel_report(t4.timeline()).c_str());
+
+  // ---- JSON baseline ---------------------------------------------------
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"gpusim\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f,
+                 "  \"coalescing\": {\"n\": %llu, \"coalesced_us\": %.2f, "
+                 "\"strided_us\": %.2f, \"time_ratio\": %.3f, "
+                 "\"coalesced_trans_per_req\": %.1f, "
+                 "\"strided_trans_per_req\": %.1f, \"bit_identical\": %s},\n",
+                 static_cast<unsigned long long>(n), coalesced_us, strided_us,
+                 time_ratio, co_tpr, st_tpr, bit_identical ? "true" : "false");
+    std::fprintf(f, "  \"bank_conflicts\": [\n");
+    for (std::size_t i = 0; i < conflict_rows.size(); ++i) {
+      const ConflictRow& r = conflict_rows[i];
+      std::fprintf(f,
+                   "    {\"degree\": %u, \"replays\": %llu, \"sim_us\": "
+                   "%.2f}%s\n",
+                   r.degree, static_cast<unsigned long long>(r.replays),
+                   r.sim_us, i + 1 < conflict_rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"divergence\": {\"uniform_us\": %.2f, "
+                 "\"divergent_us\": %.2f, \"lane_efficiency\": %.4f},\n",
+                 uniform_us, divergent_us, divergent_lane_eff);
+    std::fprintf(f, "  \"register_occupancy\": [\n");
+    for (std::size_t i = 0; i < reg_rows.size(); ++i) {
+      const RegRow& r = reg_rows[i];
+      std::fprintf(f,
+                   "    {\"regs_per_thread\": %u, \"occupancy\": %.3f, "
+                   "\"limiter\": \"%s\"}%s\n",
+                   r.regs, r.occupancy, r.limiter,
+                   i + 1 < reg_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  std::printf("\n%s\n", all_ok ? "all gates passed"
+                               : "GATE FAILURE (see FAIL lines above)");
+  return all_ok ? 0 : 1;
+}

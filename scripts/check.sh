@@ -74,6 +74,15 @@ step "perf: out-of-core sampling smoke"
 ./build/bench/microbench_sampling --smoke --json /dev/null >/dev/null
 echo "out-of-core sampling smoke ok"
 
+step "perf: warp-fidelity smoke"
+# The warp-granular model's gates: coalesced vs stride-32 transactions
+# (4 vs 32 per request), strided modeled time >= 4x coalesced with
+# bit-identical results, bank-conflict replays linear in the conflict
+# degree, and the occupancy limiter flipping to "registers".  The binary
+# exits nonzero on any gate violation.
+./build/bench/microbench_warp --smoke --json /dev/null >/dev/null
+echo "warp-fidelity smoke ok (coalesced >=4x stride-32, bit-identical)"
+
 step "perf: scheduler smoke"
 # A 200-tenant mini-semester through the fair-share control plane: the
 # binary exits nonzero on any lost job, incomplete admitted job, or tenant

@@ -151,7 +151,7 @@ LabReport lab5_custom_kernel(std::uint64_t seed) {
     y[i] = static_cast<float>(rng.uniform(-1, 1));
     expected[i] = 2.5f * x[i] + y[i];
   }
-  const std::uint32_t block = gpu::suggest_block_size(dev.spec());
+  const std::uint32_t block = gpu::suggest_block_size(dev.spec()).value();
   dev.launch_linear("saxpy", n, block, [&](const gpu::ThreadCtx& ctx) {
     const auto i = ctx.global_x();
     y[i] += 2.5f * x[i] - x[i] * 1.5f;  // == 2.5x + y - 1.5x + ... keep simple

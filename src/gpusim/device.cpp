@@ -1,9 +1,12 @@
 #include "gpusim/device.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 
 #include "gpusim/occupancy.hpp"
+#include "gpusim/warp.hpp"
 #include "prof/check.hpp"
 
 namespace sagesim::gpu {
@@ -163,6 +166,14 @@ void Device::validate_launch(const Dim3& grid, const Dim3& block,
   if (opts.shared_mem_bytes > s.shared_mem_per_block)
     throw std::invalid_argument(
         "launch: shared memory request exceeds per-block limit");
+  const std::uint32_t regs = opts.regs_per_thread == 0
+                                 ? s.default_regs_per_thread
+                                 : opts.regs_per_thread;
+  if (block.total() * regs > s.registers_per_sm)
+    throw std::invalid_argument(
+        "launch: block needs " + std::to_string(block.total() * regs) +
+        " registers; the SM register file holds " +
+        std::to_string(s.registers_per_sm));
   if (opts.stream < 0 ||
       static_cast<std::size_t>(opts.stream) >= streams_.size())
     throw std::out_of_range("launch: unknown stream " +
@@ -180,13 +191,47 @@ Dim3 decode_block(std::uint64_t id, const Dim3& grid) {
   return b;
 }
 
+/// Decodes a linear thread id within a block into (x, y, z), x fastest —
+/// the packing order warps are formed in.
+Dim3 decode_thread(std::uint64_t id, const Dim3& block) {
+  Dim3 t;
+  t.x = static_cast<std::uint32_t>(id % block.x);
+  t.y = static_cast<std::uint32_t>((id / block.x) % block.y);
+  t.z = static_cast<std::uint32_t>(
+      id / (static_cast<std::uint64_t>(block.x) * block.y));
+  return t;
+}
+
+/// Resolves a launch's fidelity against the process default.
+bool warp_fidelity_enabled(const LaunchOptions& opts) {
+  const Fidelity f =
+      opts.fidelity == Fidelity::kDefault ? default_fidelity() : opts.fidelity;
+  return f == Fidelity::kWarp;
+}
+
+/// Occupancy limiters travel through TraceEvent's numeric counters; prof
+/// decodes the same table (see prof::kernel_report).
+double limiter_code(const char* limiter) {
+  const std::string_view l{limiter};
+  if (l == "threads") return 1.0;
+  if (l == "blocks") return 2.0;
+  if (l == "shared_mem") return 3.0;
+  if (l == "registers") return 4.0;
+  return 0.0;
+}
+
 }  // namespace
 
 LaunchResult Device::finish_launch(const std::string& name, const Dim3& grid,
                                    const Dim3& block,
                                    const LaunchOptions& opts,
-                                   const WorkCounters& totals) {
-  const auto occ = occupancy_for(timing_.spec(), block, opts.shared_mem_bytes);
+                                   const WorkCounters& totals,
+                                   const WarpStats* warp) {
+  // validate_launch already rejected every shape occupancy_for refuses.
+  const OccupancyResult occ =
+      occupancy_for(timing_.spec(), block, opts.shared_mem_bytes,
+                    opts.regs_per_thread)
+          .value();
   KernelWork work;
   work.flops = totals.flops;
   work.global_bytes = totals.global_bytes;
@@ -194,6 +239,17 @@ LaunchResult Device::finish_launch(const std::string& name, const Dim3& grid,
   work.threads = grid.total() * block.total();
   work.occupancy = occ.occupancy;
   work.lane_efficiency = occ.lane_efficiency;
+  if (warp != nullptr && warp->issue_slots > 0) {
+    // The folded traces subsume the static partial-warp estimate: masked
+    // lanes simply recorded fewer ops.
+    work.lane_efficiency = warp->simd_efficiency();
+    work.issue_cycles = warp->issue_cycles();
+    // Requested bytes with the API-recorded portion re-priced at what its
+    // transactions actually moved (32B per touched sector).
+    work.effective_bytes = std::max(
+        0.0, totals.global_bytes - warp->api_bytes) +
+        warp->effective_api_bytes();
+  }
   const double duration = timing_.kernel_seconds(work);
 
   double start;
@@ -214,7 +270,9 @@ LaunchResult Device::finish_launch(const std::string& name, const Dim3& grid,
   e.counters["blocks"] = static_cast<double>(grid.total());
   e.counters["threads_per_block"] = static_cast<double>(block.total());
   e.counters["occupancy"] = occ.occupancy;
-  timeline_->record(std::move(e));
+  e.counters["lane_efficiency"] = work.lane_efficiency;
+  e.counters["limiter"] = limiter_code(occ.limiter);
+  e.counters["regs_per_thread"] = static_cast<double>(occ.regs_per_thread);
 
   LaunchResult r;
   r.start_s = start;
@@ -222,6 +280,40 @@ LaunchResult Device::finish_launch(const std::string& name, const Dim3& grid,
   r.flops = totals.flops;
   r.bytes = totals.global_bytes;
   r.occupancy = occ.occupancy;
+  r.lane_efficiency = work.lane_efficiency;
+  r.limiter = occ.limiter;
+
+  if (warp != nullptr) {
+    r.warp_fidelity = true;
+    r.divergence = 1.0 - work.lane_efficiency;
+    r.effective_bytes =
+        work.effective_bytes > 0.0 ? work.effective_bytes : totals.global_bytes;
+    r.gld_transactions_per_request = warp->gld_transactions_per_request();
+    r.gst_transactions_per_request = warp->gst_transactions_per_request();
+    r.shared_bank_replays = warp->shared_replays;
+    r.divergent_branches = warp->divergent_branches;
+    r.warps = warp->warps;
+    r.issue_slots = warp->issue_slots;
+
+    e.counters["warp_fidelity"] = 1.0;
+    e.counters["effective_bytes"] = r.effective_bytes;
+    e.counters["divergence"] = r.divergence;
+    e.counters["warps"] = static_cast<double>(warp->warps);
+    e.counters["issue_slots"] = static_cast<double>(warp->issue_slots);
+    e.counters["divergent_branches"] =
+        static_cast<double>(warp->divergent_branches);
+    e.counters["branches"] = static_cast<double>(warp->branches);
+    e.counters["gld_requests"] = static_cast<double>(warp->gld_requests);
+    e.counters["gld_transactions"] =
+        static_cast<double>(warp->gld_transactions);
+    e.counters["gst_requests"] = static_cast<double>(warp->gst_requests);
+    e.counters["gst_transactions"] =
+        static_cast<double>(warp->gst_transactions);
+    e.counters["shared_requests"] =
+        static_cast<double>(warp->shared_requests);
+    e.counters["shared_replays"] = static_cast<double>(warp->shared_replays);
+  }
+  timeline_->record(std::move(e));
   return r;
 }
 
@@ -231,7 +323,9 @@ LaunchResult Device::launch(const std::string& name, Dim3 grid, Dim3 block,
     std::lock_guard lock(mutex_);
     validate_launch(grid, block, opts);
   }
+  const bool warp_mode = warp_fidelity_enabled(opts);
   WorkCounters totals;
+  WarpStats warp_totals;
   std::mutex totals_mutex;
 
   executor_->parallel_for(grid.total(), [&](std::uint64_t block_id) {
@@ -241,18 +335,43 @@ LaunchResult Device::launch(const std::string& name, Dim3 grid, Dim3 block,
     ctx.block_dim = block;
     ctx.block_idx = decode_block(block_id, grid);
     ctx.counters = &local;
-    for (std::uint32_t z = 0; z < block.z; ++z)
-      for (std::uint32_t y = 0; y < block.y; ++y)
-        for (std::uint32_t x = 0; x < block.x; ++x) {
-          ctx.thread_idx = Dim3{x, y, z};
+    WarpStats wlocal;
+    if (warp_mode) {
+      // Same thread order as the analytic path (x fastest), chunked into
+      // warps of warp_size lanes; each lane's ops fold at warp retirement.
+      WarpRecorder rec(timing_.spec().warp_size);
+      ctx.recorder = &rec;
+      const std::uint64_t threads = block.total();
+      std::uint64_t linear = 0;
+      while (linear < threads) {
+        const std::uint32_t lanes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(timing_.spec().warp_size,
+                                    threads - linear));
+        rec.begin_scope(lanes);
+        for (std::uint32_t l = 0; l < lanes; ++l, ++linear) {
+          rec.set_slot(l);
+          ctx.thread_idx = decode_thread(linear, block);
           kernel(ctx);
         }
+        rec.end_scope();
+      }
+      wlocal = rec.take();
+    } else {
+      for (std::uint32_t z = 0; z < block.z; ++z)
+        for (std::uint32_t y = 0; y < block.y; ++y)
+          for (std::uint32_t x = 0; x < block.x; ++x) {
+            ctx.thread_idx = Dim3{x, y, z};
+            kernel(ctx);
+          }
+    }
     std::lock_guard lock(totals_mutex);
     totals.flops += local.flops;
     totals.global_bytes += local.global_bytes;
+    if (warp_mode) warp_totals.merge(wlocal);
   });
 
-  return finish_launch(name, grid, block, opts, totals);
+  return finish_launch(name, grid, block, opts, totals,
+                       warp_mode ? &warp_totals : nullptr);
 }
 
 LaunchResult Device::launch_blocks(const std::string& name, Dim3 grid,
@@ -262,7 +381,9 @@ LaunchResult Device::launch_blocks(const std::string& name, Dim3 grid,
     std::lock_guard lock(mutex_);
     validate_launch(grid, block, opts);
   }
+  const bool warp_mode = warp_fidelity_enabled(opts);
   WorkCounters totals;
+  WarpStats warp_totals;
   std::mutex totals_mutex;
 
   executor_->parallel_for(grid.total(), [&](std::uint64_t block_id) {
@@ -274,13 +395,25 @@ LaunchResult Device::launch_blocks(const std::string& name, Dim3 grid,
     ctx.block_idx = decode_block(block_id, grid);
     ctx.shared = std::span<std::byte>(shared);
     ctx.counters = &local;
-    kernel(ctx);
+    WarpStats wlocal;
+    if (warp_mode) {
+      // for_each_thread phases open lockstep scopes on this recorder;
+      // straight-line block code folds as single-lane work.
+      WarpRecorder rec(timing_.spec().warp_size);
+      ctx.recorder = &rec;
+      kernel(ctx);
+      wlocal = rec.take();
+    } else {
+      kernel(ctx);
+    }
     std::lock_guard lock(totals_mutex);
     totals.flops += local.flops;
     totals.global_bytes += local.global_bytes;
+    if (warp_mode) warp_totals.merge(wlocal);
   });
 
-  return finish_launch(name, grid, block, opts, totals);
+  return finish_launch(name, grid, block, opts, totals,
+                       warp_mode ? &warp_totals : nullptr);
 }
 
 LaunchResult Device::launch_linear(const std::string& name, std::uint64_t n,
@@ -292,11 +425,12 @@ LaunchResult Device::launch_linear(const std::string& name, std::uint64_t n,
     throw std::invalid_argument("launch_linear: block_size must be > 0");
   const Dim3 grid{div_up(n, block_size)};
   const Dim3 block{block_size};
-  // Guard threads beyond n, like every CUDA 1-D kernel's `if (i < n)`.
+  // Guard threads beyond n, like every CUDA 1-D kernel's `if (i < n)`;
+  // going through ctx.branch lets warp fidelity see the tail mask.
   return launch(
       name, grid, block,
       [&](const ThreadCtx& ctx) {
-        if (ctx.global_x() < n) kernel(ctx);
+        if (ctx.branch(ctx.global_x() < n)) kernel(ctx);
       },
       opts);
 }

@@ -79,13 +79,15 @@ class Device {
 
   /// Host-to-device copy; @p dst must be device memory of this device.
   /// Charges modeled PCIe time to @p stream; @p pinned selects pinned vs
-  /// pageable host-memory bandwidth.
+  /// pageable host-memory bandwidth.  Host memory is pageable unless the
+  /// caller explicitly pinned it (mem::Buffer::host_pinned), so pageable
+  /// is the default — mirroring cudaMemcpy from a plain malloc.
   void copy_h2d(void* dst, const void* src, std::size_t bytes, int stream = 0,
-                bool pinned = true);
+                bool pinned = false);
 
   /// Device-to-host copy; @p src must be device memory of this device.
   void copy_d2h(void* dst, const void* src, std::size_t bytes, int stream = 0,
-                bool pinned = true);
+                bool pinned = false);
 
   /// Device-to-device copy within this device (bandwidth-priced, not PCIe).
   void copy_d2d(void* dst, const void* src, std::size_t bytes, int stream = 0);
@@ -123,7 +125,8 @@ class Device {
   const Stream& stream_at(int stream) const;
   LaunchResult finish_launch(const std::string& name, const Dim3& grid,
                              const Dim3& block, const LaunchOptions& opts,
-                             const WorkCounters& totals);
+                             const WorkCounters& totals,
+                             const WarpStats* warp);
 
   const int ordinal_;
   TimingModel timing_;

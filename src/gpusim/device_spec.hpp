@@ -27,6 +27,11 @@ struct DeviceSpec {
   std::uint32_t max_threads_per_sm{1024};
   std::uint64_t shared_mem_per_block{48ull << 10};
   std::uint64_t shared_mem_per_sm{64ull << 10};
+  /// 32-bit registers in the SM register file (64K on every modeled part).
+  std::uint32_t registers_per_sm{64u << 10};
+  /// Per-thread register estimate assumed when a launch does not state one
+  /// (LaunchOptions::regs_per_thread); 32 is nvcc's typical default budget.
+  std::uint32_t default_regs_per_thread{32};
 
   /// Peak FP32 throughput in FLOP/s (2 flops per FMA lane-cycle).
   double peak_flops() const {

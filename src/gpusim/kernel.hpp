@@ -16,7 +16,10 @@
 //
 // Kernels run for real on the host (results are bit-real); the *time* they
 // took is modeled by TimingModel from the flop/byte counters the kernel
-// reports through its context.
+// reports through its context.  Under Fidelity::kWarp (see warp.hpp) the
+// context additionally records each lane's instruction stream, so kernels
+// that use load_global/store_global, shared_span and branch get priced by
+// their memory access *pattern*, not just their totals.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +27,7 @@
 #include <span>
 
 #include "gpusim/dim3.hpp"
+#include "gpusim/warp.hpp"
 
 namespace sagesim::gpu {
 
@@ -39,6 +43,39 @@ struct WorkCounters {
   void add_bytes(double n) { global_bytes += n; }
 };
 
+/// Typed window over a block's shared-memory arena whose accesses feed the
+/// bank-conflict model.  Obtained from BlockCtx::shared_span<T>(); in
+/// analytic mode it degrades to a plain span (no recording, no cost).
+template <typename T>
+class SharedSpan {
+ public:
+  SharedSpan(std::span<T> data, std::uint64_t base_offset,
+             WarpRecorder* recorder)
+      : data_(data), base_(base_offset), recorder_(recorder) {}
+
+  std::size_t size() const { return data_.size(); }
+
+  T load(std::size_t i) const {
+    record(i);
+    return data_[i];
+  }
+  void store(std::size_t i, T value) const {
+    record(i);
+    data_[i] = value;
+  }
+
+ private:
+  void record(std::size_t i) const {
+    if (recorder_ != nullptr)
+      recorder_->record_shared(base_ + i * sizeof(T),
+                               static_cast<std::uint32_t>(sizeof(T)));
+  }
+
+  std::span<T> data_;
+  std::uint64_t base_;
+  WarpRecorder* recorder_;
+};
+
 /// Per-thread view passed to a ThreadKernel.
 struct ThreadCtx {
   Dim3 grid_dim;
@@ -46,6 +83,7 @@ struct ThreadCtx {
   Dim3 block_idx;
   Dim3 thread_idx;
   WorkCounters* counters{nullptr};  ///< shared across the block, not thread-safe across blocks by design
+  WarpRecorder* recorder{nullptr};  ///< non-null only under Fidelity::kWarp
 
   /// Global linear thread id for 1-D launches:
   /// blockIdx.x * blockDim.x + threadIdx.x.
@@ -62,9 +100,52 @@ struct ThreadCtx {
   std::uint64_t stride_x() const {
     return static_cast<std::uint64_t>(grid_dim.x) * block_dim.x;
   }
+  /// Linear thread id within the block (x fastest — warp packing order).
+  std::uint32_t linear_in_block() const {
+    return (thread_idx.z * block_dim.y + thread_idx.y) * block_dim.x +
+           thread_idx.x;
+  }
+  /// Lane within the thread's warp, assuming 32-lane warps.
+  std::uint32_t lane() const { return linear_in_block() % 32u; }
 
-  void add_flops(double n) const { counters->add_flops(n); }
+  /// Records @p n flops; under warp fidelity each call is also one
+  /// arithmetic instruction in the lane's issue stream.
+  void add_flops(double n) const {
+    counters->add_flops(n);
+    if (recorder != nullptr) recorder->record_flop();
+  }
+  /// Records @p n bytes of global traffic with no address information —
+  /// priced at face value even under warp fidelity.  Kernels that want the
+  /// coalescing model must go through load_global/store_global instead.
   void add_bytes(double n) const { counters->add_bytes(n); }
+
+  /// Reads one T from global memory, recording the touched address so the
+  /// warp folder can derive 32B-sector transactions.
+  template <typename T>
+  T load_global(const T* p) const {
+    counters->add_bytes(static_cast<double>(sizeof(T)));
+    if (recorder != nullptr)
+      recorder->record_global(
+          static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p)),
+          static_cast<std::uint32_t>(sizeof(T)), /*store=*/false);
+    return *p;
+  }
+  /// Writes one T to global memory (accounted like load_global).
+  template <typename T>
+  void store_global(T* p, T value) const {
+    counters->add_bytes(static_cast<double>(sizeof(T)));
+    if (recorder != nullptr)
+      recorder->record_global(
+          static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p)),
+          static_cast<std::uint32_t>(sizeof(T)), /*store=*/true);
+    *p = value;
+  }
+  /// Declares a data-dependent branch: returns @p taken unchanged, and under
+  /// warp fidelity records the outcome so lanes that disagree serialize.
+  bool branch(bool taken) const {
+    if (recorder != nullptr) recorder->record_branch(taken);
+    return taken;
+  }
 };
 
 /// Per-block view passed to a BlockKernel.
@@ -75,25 +156,71 @@ struct BlockCtx {
   /// Shared memory for this block, sized by LaunchOptions::shared_mem_bytes.
   std::span<std::byte> shared;
   WorkCounters* counters{nullptr};
+  WarpRecorder* recorder{nullptr};  ///< non-null only under Fidelity::kWarp
 
-  /// Reinterprets the shared-memory arena as an array of T.
+  /// Reinterprets the shared-memory arena as an array of T (unrecorded;
+  /// use shared_span<T>() when the bank-conflict model should see it).
   template <typename T>
   std::span<T> shared_as() const {
     return {reinterpret_cast<T*>(shared.data()), shared.size() / sizeof(T)};
   }
 
-  /// Invokes @p fn for every thread coordinate in the block, in thread-id
-  /// order.  Call it once per barrier-delimited phase of the algorithm.
-  template <typename Fn>
-  void for_each_thread(Fn&& fn) const {
-    for (std::uint32_t z = 0; z < block_dim.z; ++z)
-      for (std::uint32_t y = 0; y < block_dim.y; ++y)
-        for (std::uint32_t x = 0; x < block_dim.x; ++x)
-          fn(Dim3{x, y, z});
+  /// Typed shared-memory window whose load/store calls feed the 32-bank
+  /// conflict model under warp fidelity.
+  template <typename T>
+  SharedSpan<T> shared_span() const {
+    return SharedSpan<T>(shared_as<T>(), 0, recorder);
   }
 
-  void add_flops(double n) const { counters->add_flops(n); }
+  /// Invokes @p fn for every thread coordinate in the block, in thread-id
+  /// order.  Call it once per barrier-delimited phase of the algorithm.
+  /// Under warp fidelity each phase is a lockstep scope: the threads fold
+  /// into 32-lane warps and their recorded ops coalesce/diverge per warp.
+  template <typename Fn>
+  void for_each_thread(Fn&& fn) const {
+    if (recorder != nullptr)
+      recorder->begin_scope(static_cast<std::uint32_t>(block_dim.total()));
+    std::uint32_t linear = 0;
+    for (std::uint32_t z = 0; z < block_dim.z; ++z)
+      for (std::uint32_t y = 0; y < block_dim.y; ++y)
+        for (std::uint32_t x = 0; x < block_dim.x; ++x) {
+          if (recorder != nullptr) recorder->set_slot(linear);
+          ++linear;
+          fn(Dim3{x, y, z});
+        }
+    if (recorder != nullptr) recorder->end_scope();
+  }
+
+  /// See ThreadCtx::add_flops.
+  void add_flops(double n) const {
+    counters->add_flops(n);
+    if (recorder != nullptr) recorder->record_flop();
+  }
+  /// See ThreadCtx::add_bytes.
   void add_bytes(double n) const { counters->add_bytes(n); }
+
+  template <typename T>
+  T load_global(const T* p) const {
+    counters->add_bytes(static_cast<double>(sizeof(T)));
+    if (recorder != nullptr)
+      recorder->record_global(
+          static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p)),
+          static_cast<std::uint32_t>(sizeof(T)), /*store=*/false);
+    return *p;
+  }
+  template <typename T>
+  void store_global(T* p, T value) const {
+    counters->add_bytes(static_cast<double>(sizeof(T)));
+    if (recorder != nullptr)
+      recorder->record_global(
+          static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p)),
+          static_cast<std::uint32_t>(sizeof(T)), /*store=*/true);
+    *p = value;
+  }
+  bool branch(bool taken) const {
+    if (recorder != nullptr) recorder->record_branch(taken);
+    return taken;
+  }
 };
 
 using ThreadKernel = std::function<void(const ThreadCtx&)>;
@@ -103,6 +230,12 @@ using BlockKernel = std::function<void(const BlockCtx&)>;
 struct LaunchOptions {
   std::uint64_t shared_mem_bytes{0};
   int stream{0};  ///< stream ordinal on the launching device
+  /// Execution-model fidelity for this launch; kDefault defers to the
+  /// process default (SAGESIM_GPU_FIDELITY / set_default_fidelity).
+  Fidelity fidelity{Fidelity::kDefault};
+  /// Per-thread register estimate for the occupancy calculator; 0 uses
+  /// DeviceSpec::default_regs_per_thread.
+  std::uint32_t regs_per_thread{0};
 };
 
 /// What a launch reports back (the simulated analogue of what Nsight shows
@@ -111,8 +244,22 @@ struct LaunchResult {
   double start_s{0.0};
   double duration_s{0.0};
   double flops{0.0};
-  double bytes{0.0};
+  double bytes{0.0};            ///< bytes as requested by the kernel
   double occupancy{0.0};
+  double lane_efficiency{1.0};  ///< useful lanes per issued warp instruction
+  const char* limiter{"none"};  ///< occupancy limiter (see occupancy.hpp)
+  bool warp_fidelity{false};    ///< true when the warp model priced this row
+
+  // Populated only under warp fidelity:
+  double divergence{0.0};       ///< 1 - lane_efficiency (branch + tail waste)
+  double effective_bytes{0.0};  ///< transaction-derived DRAM bytes
+  double gld_transactions_per_request{0.0};
+  double gst_transactions_per_request{0.0};
+  std::uint64_t shared_bank_replays{0};
+  std::uint64_t divergent_branches{0};
+  std::uint64_t warps{0};
+  std::uint64_t issue_slots{0};
+
   double end_s() const { return start_s + duration_s; }
 };
 

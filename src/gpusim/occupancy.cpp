@@ -1,22 +1,34 @@
 #include "gpusim/occupancy.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <string>
 
 namespace sagesim::gpu {
 
-OccupancyResult occupancy_for(const DeviceSpec& spec, const Dim3& block,
-                              std::uint64_t shared_mem_per_block) {
+Expected<OccupancyResult> occupancy_for(const DeviceSpec& spec,
+                                        const Dim3& block,
+                                        std::uint64_t shared_mem_per_block,
+                                        std::uint32_t regs_per_thread) {
   const std::uint64_t threads = block.total();
   if (threads == 0 || threads > spec.max_threads_per_block)
-    throw std::invalid_argument("occupancy_for: block size " +
-                                std::to_string(threads) +
-                                " outside [1, max_threads_per_block]");
+    return Status::invalid_argument("occupancy_for: block size " +
+                                    std::to_string(threads) +
+                                    " outside [1, max_threads_per_block]");
   if (shared_mem_per_block > spec.shared_mem_per_block)
-    throw std::invalid_argument(
+    return Status::invalid_argument(
         "occupancy_for: shared memory request exceeds per-block limit");
 
+  const std::uint32_t regs =
+      regs_per_thread == 0 ? spec.default_regs_per_thread : regs_per_thread;
+  const std::uint64_t block_regs = threads * regs;
+  if (block_regs > spec.registers_per_sm)
+    return Status::invalid_argument(
+        "occupancy_for: block needs " + std::to_string(block_regs) +
+        " registers; the SM register file holds " +
+        std::to_string(spec.registers_per_sm));
+
   OccupancyResult r;
+  r.regs_per_thread = regs;
   r.warps_per_block = static_cast<std::uint32_t>(
       (threads + spec.warp_size - 1) / spec.warp_size);
 
@@ -35,15 +47,21 @@ OccupancyResult occupancy_for(const DeviceSpec& spec, const Dim3& block,
           ? by_blocks
           : static_cast<std::uint32_t>(spec.shared_mem_per_sm /
                                        shared_mem_per_block);
+  const std::uint32_t by_regs =
+      block_regs == 0 ? by_blocks
+                      : static_cast<std::uint32_t>(spec.registers_per_sm /
+                                                   block_regs);
 
-  r.active_blocks_per_sm = std::min({by_threads, by_blocks, by_smem});
-  if (r.active_blocks_per_sm == 0) r.active_blocks_per_sm = 0;
-  if (by_threads <= by_blocks && by_threads <= by_smem)
+  r.active_blocks_per_sm = std::min({by_threads, by_blocks, by_smem, by_regs});
+  if (by_threads <= by_blocks && by_threads <= by_smem &&
+      by_threads <= by_regs)
     r.limiter = "threads";
-  else if (by_blocks <= by_smem)
+  else if (by_blocks <= by_smem && by_blocks <= by_regs)
     r.limiter = "blocks";
-  else
+  else if (by_smem <= by_regs)
     r.limiter = "shared_mem";
+  else
+    r.limiter = "registers";
 
   r.active_threads_per_sm = static_cast<std::uint32_t>(
       static_cast<std::uint64_t>(r.active_blocks_per_sm) * r.warps_per_block *
@@ -55,18 +73,25 @@ OccupancyResult occupancy_for(const DeviceSpec& spec, const Dim3& block,
   return r;
 }
 
-std::uint32_t suggest_block_size(const DeviceSpec& spec,
-                                 std::uint64_t shared_mem_per_block) {
-  std::uint32_t best = spec.warp_size;
+Expected<std::uint32_t> suggest_block_size(const DeviceSpec& spec,
+                                           std::uint64_t shared_mem_per_block,
+                                           std::uint32_t regs_per_thread) {
+  std::uint32_t best = 0;
   double best_occ = -1.0;
   for (std::uint32_t size = spec.warp_size; size <= spec.max_threads_per_block;
        size += spec.warp_size) {
-    const auto r = occupancy_for(spec, Dim3{size}, shared_mem_per_block);
-    if (r.occupancy > best_occ + 1e-12) {
-      best_occ = r.occupancy;
+    const Expected<OccupancyResult> r =
+        occupancy_for(spec, Dim3{size}, shared_mem_per_block, regs_per_thread);
+    if (!r) continue;  // e.g. register footprint rules this size out
+    if (r->occupancy > best_occ + 1e-12) {
+      best_occ = r->occupancy;
       best = size;
     }
   }
+  if (best == 0)
+    return Status::invalid_argument(
+        "suggest_block_size: no launchable block size for the requested "
+        "shared-memory and register footprint");
   return best;
 }
 

@@ -6,6 +6,7 @@
 
 #include "gpusim/device_spec.hpp"
 #include "gpusim/dim3.hpp"
+#include "runtime/status.hpp"
 
 namespace sagesim::gpu {
 
@@ -13,22 +14,32 @@ struct OccupancyResult {
   std::uint32_t warps_per_block{0};
   std::uint32_t active_blocks_per_sm{0};
   std::uint32_t active_threads_per_sm{0};
+  std::uint32_t regs_per_thread{0};  ///< estimate the result was computed at
   double occupancy{0.0};          ///< active threads / max threads per SM
   double lane_efficiency{1.0};    ///< useful lanes within launched warps
-  const char* limiter{"none"};    ///< "threads", "blocks", "shared_mem"
+  /// "threads", "blocks", "shared_mem" or "registers" — the resource that
+  /// capped active_blocks_per_sm (ties resolve in that order).
+  const char* limiter{"none"};
 };
 
 /// Computes theoretical occupancy for launching blocks of shape @p block
-/// using @p shared_mem_per_block bytes of shared memory on @p spec.
-/// Throws std::invalid_argument when the block shape itself is unlaunchable
-/// (too many threads or too much shared memory for any configuration).
-OccupancyResult occupancy_for(const DeviceSpec& spec, const Dim3& block,
-                              std::uint64_t shared_mem_per_block = 0);
+/// using @p shared_mem_per_block bytes of shared memory and
+/// @p regs_per_thread registers per thread (0 = the spec's default
+/// estimate) on @p spec.  Fails with kInvalidArgument when the block shape
+/// itself is unlaunchable (too many threads, too much shared memory, or a
+/// register footprint no SM can hold).
+Expected<OccupancyResult> occupancy_for(const DeviceSpec& spec,
+                                        const Dim3& block,
+                                        std::uint64_t shared_mem_per_block = 0,
+                                        std::uint32_t regs_per_thread = 0);
 
 /// Suggests the 1-D block size in [32, max_threads_per_block] (multiple of
 /// the warp size) with the highest theoretical occupancy — the simulated
-/// analogue of cudaOccupancyMaxPotentialBlockSize.
-std::uint32_t suggest_block_size(const DeviceSpec& spec,
-                                 std::uint64_t shared_mem_per_block = 0);
+/// analogue of cudaOccupancyMaxPotentialBlockSize.  Sizes a given register
+/// footprint makes unlaunchable are skipped; fails with kInvalidArgument
+/// when no size is launchable at all.
+Expected<std::uint32_t> suggest_block_size(
+    const DeviceSpec& spec, std::uint64_t shared_mem_per_block = 0,
+    std::uint32_t regs_per_thread = 0);
 
 }  // namespace sagesim::gpu

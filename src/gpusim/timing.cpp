@@ -13,18 +13,33 @@ double TimingModel::kernel_seconds(const KernelWork& work) const {
 
   const double compute_s =
       work.flops > 0.0 ? work.flops / (spec_.peak_flops() * occ * lanes) : 0.0;
+  // Warp-mode launches supply the DRAM bytes their transactions actually
+  // moved (strided access inflates this well past the requested bytes);
+  // analytic launches price the requested bytes at face value.
+  const double bytes =
+      work.effective_bytes > 0.0 ? work.effective_bytes : work.global_bytes;
   const double memory_s =
-      work.global_bytes > 0.0
-          ? work.global_bytes / spec_.peak_bytes_per_s()
-          : 0.0;
+      bytes > 0.0 ? bytes / spec_.peak_bytes_per_s() : 0.0;
 
-  // Thread-issue floor: the machine can issue at most
-  // sm_count * cores_per_sm threads per clock; each thread costs at least
-  // one issue slot even when it does no arithmetic.
-  const double issue_rate =
-      static_cast<double>(spec_.sm_count) * spec_.cores_per_sm *
-      spec_.clock_ghz * 1e9 * occ;
-  const double issue_s = static_cast<double>(work.threads) / issue_rate;
+  double issue_s;
+  if (work.issue_cycles > 0.0) {
+    // Warp-granular issue: each SM dual-issues cores_per_sm / warp_size
+    // warp-instructions per clock; divergence serialization and bank
+    // replays are already folded into issue_cycles.
+    const double warp_issue_rate =
+        static_cast<double>(spec_.sm_count) *
+        (static_cast<double>(spec_.cores_per_sm) / spec_.warp_size) *
+        spec_.clock_ghz * 1e9 * occ;
+    issue_s = work.issue_cycles / warp_issue_rate;
+  } else {
+    // Thread-issue floor: the machine can issue at most
+    // sm_count * cores_per_sm threads per clock; each thread costs at least
+    // one issue slot even when it does no arithmetic.
+    const double issue_rate =
+        static_cast<double>(spec_.sm_count) * spec_.cores_per_sm *
+        spec_.clock_ghz * 1e9 * occ;
+    issue_s = static_cast<double>(work.threads) / issue_rate;
+  }
 
   return launch + std::max({compute_s, memory_s, issue_s});
 }

@@ -25,6 +25,14 @@ struct KernelWork {
   /// Fraction of lanes doing useful work inside an active warp; partial
   /// final warps and divergent kernels lower it.
   double lane_efficiency{1.0};
+  /// Transaction-derived DRAM bytes from the warp-level coalescing model
+  /// (32B sectors actually touched).  0 means "not measured": the model
+  /// falls back to global_bytes.
+  double effective_bytes{0.0};
+  /// Warp-instruction issues including divergence serialization and
+  /// shared-memory bank-conflict replays (warp fidelity).  0 means "not
+  /// measured": the model falls back to the per-thread issue floor.
+  double issue_cycles{0.0};
 };
 
 class TimingModel {
@@ -47,7 +55,9 @@ class TimingModel {
   /// Modeled host<->device transfer time for @p bytes.  Pinned host
   /// memory sustains full link bandwidth; pageable staging runs at ~55%
   /// (the classic cudaMemcpy pageable penalty the Week-3 lab measures).
-  double transfer_seconds(std::uint64_t bytes, bool pinned = true) const;
+  /// Host memory is pageable unless something pinned it (cudaHostAlloc /
+  /// mem::Buffer::host_pinned), so pageable is the default.
+  double transfer_seconds(std::uint64_t bytes, bool pinned = false) const;
 
   /// Modeled device<->device (peer) transfer time: assumes an NVLink-less
   /// PCIe peer path at the same link bandwidth.

@@ -79,7 +79,9 @@ std::size_t ManagedAllocation::prefetch(PageLocation target, int stream) {
   const std::size_t moved_bytes =
       std::min(moved * kPageBytes, bytes_);
   migrated_bytes_ += moved_bytes;
-  const double total = device_.timing().transfer_seconds(moved_bytes);
+  // The UM migration engine DMAs pages directly — pinned-path bandwidth.
+  const double total =
+      device_.timing().transfer_seconds(moved_bytes, /*pinned=*/true);
   device_.charge(target == PageLocation::kDevice ? "um_prefetch_h2d"
                                                  : "um_prefetch_d2h",
                  target == PageLocation::kDevice

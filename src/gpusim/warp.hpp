@@ -1,0 +1,149 @@
+// Warp-granular execution model: divergence serialization, global-memory
+// coalescing and shared-memory bank conflicts.
+//
+// The analytic roofline in timing.hpp prices a kernel purely by its flop and
+// byte totals, so a strided load costs the same as a coalesced one and a
+// divergent branch is free.  Under Fidelity::kWarp the device instead groups
+// threads into 32-lane warps and records, per lane, the instruction stream
+// the kernel reports through its context (load_global/store_global, shared
+// accessors, branch, add_flops).  Folding a warp's lane traces yields:
+//
+//  * divergence    — lanes are split into outcome groups at every recorded
+//                    branch; each group's instructions issue serially, so a
+//                    half-and-half branch roughly doubles the issue slots
+//                    (SIMT post-dominator reconvergence, one level deep);
+//  * coalescing    — the lanes' addresses for one load/store instruction are
+//                    binned into 32-byte sectors; each distinct sector is one
+//                    DRAM transaction, so a warp of adjacent floats costs 4
+//                    transactions (128B) and a stride-32 warp costs 32;
+//  * bank replays  — shared-memory words map to 32 banks of 4 bytes; an
+//                    N-way conflict (N distinct words in one bank) replays
+//                    the instruction N-1 times.
+//
+// Kernels still execute bit-real on the host; only the modeled time changes.
+// The default stays analytic — opt in per launch (LaunchOptions::fidelity)
+// or process-wide with SAGESIM_GPU_FIDELITY=warp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sagesim::gpu {
+
+/// How faithfully a launch is priced.
+enum class Fidelity : std::uint8_t {
+  kDefault = 0,   ///< use the process default (env var / set_default_fidelity)
+  kAnalytic = 1,  ///< roofline on flop/byte totals (the historical model)
+  kWarp = 2,      ///< warp-granular: divergence, coalescing, bank conflicts
+};
+
+/// Process default used when LaunchOptions::fidelity is kDefault.  First use
+/// reads SAGESIM_GPU_FIDELITY ("warp" or "analytic"); unset means analytic.
+Fidelity default_fidelity();
+
+/// Overrides the process default; kDefault re-reads the environment on the
+/// next default_fidelity() call (used by tests to exercise the env path).
+void set_default_fidelity(Fidelity f);
+
+/// Counters accumulated by folding warp lane traces (the per-kernel totals
+/// behind the nsight-style report).
+struct WarpStats {
+  static constexpr std::uint32_t kSectorBytes = 32;     ///< DRAM transaction
+  static constexpr std::uint32_t kBankCount = 32;       ///< shared banks
+  static constexpr std::uint32_t kBankWidthBytes = 4;   ///< bank word
+
+  std::uint32_t lane_width{32};        ///< lanes per warp (spec.warp_size)
+  std::uint64_t warps{0};              ///< warp contexts that issued work
+  std::uint64_t issue_slots{0};        ///< warp-instructions after divergence
+  std::uint64_t lane_ops{0};           ///< thread-instructions executed
+  std::uint64_t branches{0};
+  std::uint64_t divergent_branches{0};
+  std::uint64_t gld_requests{0};       ///< global-load instructions
+  std::uint64_t gld_transactions{0};   ///< 32B sectors those touched
+  std::uint64_t gst_requests{0};       ///< global-store instructions
+  std::uint64_t gst_transactions{0};
+  std::uint64_t shared_requests{0};    ///< shared-memory instructions
+  std::uint64_t shared_replays{0};     ///< extra issues from bank conflicts
+  double api_bytes{0.0};  ///< bytes requested via load_global/store_global
+
+  void merge(const WarpStats& o);
+
+  /// DRAM bytes actually moved for the recorded requests: 32B per sector.
+  double effective_api_bytes() const {
+    return static_cast<double>(gld_transactions + gst_transactions) *
+           kSectorBytes;
+  }
+  /// Warp-instruction issues including bank-conflict replays.
+  double issue_cycles() const {
+    return static_cast<double>(issue_slots + shared_replays);
+  }
+  /// Useful lanes per issued warp-instruction; divergence and partial warps
+  /// push it below 1.
+  double simd_efficiency() const {
+    if (issue_slots == 0) return 1.0;
+    return static_cast<double>(lane_ops) /
+           (static_cast<double>(issue_slots) * lane_width);
+  }
+  double divergence() const { return 1.0 - simd_efficiency(); }
+  double gld_transactions_per_request() const {
+    return gld_requests == 0 ? 0.0
+                             : static_cast<double>(gld_transactions) /
+                                   static_cast<double>(gld_requests);
+  }
+  double gst_transactions_per_request() const {
+    return gst_requests == 0 ? 0.0
+                             : static_cast<double>(gst_transactions) /
+                                   static_cast<double>(gst_requests);
+  }
+};
+
+/// Records one block's lane traces and folds them warp-by-warp into
+/// WarpStats.  One recorder per executing block (blocks run on independent
+/// host workers; stats merge under the launch's totals mutex afterwards).
+///
+/// A *scope* is a lockstep region: `begin_scope(n)` declares n SIMT lanes
+/// running the same code, `set_slot(i)` selects the lane subsequent records
+/// belong to, `end_scope()` folds the traces.  Records issued outside any
+/// scope (straight-line BlockKernel code) fold as a single-lane warp.
+class WarpRecorder {
+ public:
+  explicit WarpRecorder(std::uint32_t warp_size = 32);
+
+  void begin_scope(std::uint32_t slots);
+  void set_slot(std::uint32_t slot);
+  void end_scope();
+
+  void record_flop();
+  void record_branch(bool taken);
+  void record_global(std::uint64_t addr, std::uint32_t bytes, bool store);
+  void record_shared(std::uint64_t byte_offset, std::uint32_t bytes);
+
+  /// Folds any pending trace and returns the accumulated stats.
+  WarpStats take();
+
+ private:
+  enum class OpKind : std::uint8_t {
+    kFlop,
+    kBranch,
+    kGlobalLoad,
+    kGlobalStore,
+    kShared,
+  };
+  struct Op {
+    OpKind kind;
+    bool taken{false};         // kBranch
+    std::uint32_t bytes{0};    // memory ops
+    std::uint64_t addr{0};     // global address or shared byte offset
+  };
+
+  void ensure_serial_scope();
+  void fold();
+  void fold_warp(std::size_t first, std::uint32_t count);
+
+  std::uint32_t warp_size_;
+  std::uint32_t cur_{0};
+  std::vector<std::vector<Op>> lanes_;
+  WarpStats stats_;
+};
+
+}  // namespace sagesim::gpu

@@ -16,6 +16,8 @@ std::atomic<std::uint64_t> g_h2d_count{0};
 std::atomic<std::uint64_t> g_h2d_bytes{0};
 std::atomic<std::uint64_t> g_d2h_count{0};
 std::atomic<std::uint64_t> g_d2h_bytes{0};
+std::atomic<std::uint64_t> g_h2d_pinned_bytes{0};
+std::atomic<std::uint64_t> g_d2h_pinned_bytes{0};
 
 }  // namespace
 
@@ -37,6 +39,8 @@ TransferCounters transfer_ledger() {
   c.h2d_bytes = g_h2d_bytes.load(std::memory_order_relaxed);
   c.d2h_count = g_d2h_count.load(std::memory_order_relaxed);
   c.d2h_bytes = g_d2h_bytes.load(std::memory_order_relaxed);
+  c.h2d_pinned_bytes = g_h2d_pinned_bytes.load(std::memory_order_relaxed);
+  c.d2h_pinned_bytes = g_d2h_pinned_bytes.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -45,6 +49,8 @@ void reset_transfer_ledger() {
   g_h2d_bytes.store(0, std::memory_order_relaxed);
   g_d2h_count.store(0, std::memory_order_relaxed);
   g_d2h_bytes.store(0, std::memory_order_relaxed);
+  g_h2d_pinned_bytes.store(0, std::memory_order_relaxed);
+  g_d2h_pinned_bytes.store(0, std::memory_order_relaxed);
 }
 
 std::string ledger_report() {
@@ -52,9 +58,13 @@ std::string ledger_report() {
   std::ostringstream os;
   os << "transfer ledger\n";
   os << "  H2D: " << c.h2d_count << " copies, "
-     << static_cast<double>(c.h2d_bytes) / (1024.0 * 1024.0) << " MB\n";
+     << static_cast<double>(c.h2d_bytes) / (1024.0 * 1024.0) << " MB ("
+     << static_cast<double>(c.h2d_pinned_bytes) / (1024.0 * 1024.0)
+     << " MB pinned)\n";
   os << "  D2H: " << c.d2h_count << " copies, "
-     << static_cast<double>(c.d2h_bytes) / (1024.0 * 1024.0) << " MB\n";
+     << static_cast<double>(c.d2h_bytes) / (1024.0 * 1024.0) << " MB ("
+     << static_cast<double>(c.d2h_pinned_bytes) / (1024.0 * 1024.0)
+     << " MB pinned)\n";
   return os.str();
 }
 
@@ -62,6 +72,7 @@ struct Buffer::Storage {
   void* ptr{nullptr};
   std::size_t bytes{0};
   Placement placement{Placement::kHost};
+  bool pinned{false};  ///< host side is pinned (cudaHostAlloc semantics)
   gpu::Device* device{nullptr};
   std::uint64_t device_mem_id{0};
   TransferCounters transfers;
@@ -81,16 +92,24 @@ struct Buffer::Storage {
 
 namespace {
 
-void bump_h2d(TransferCounters& t, std::size_t bytes) {
+void bump_h2d(TransferCounters& t, std::size_t bytes, bool pinned = false) {
   ++t.h2d_count;
   t.h2d_bytes += bytes;
+  if (pinned) {
+    t.h2d_pinned_bytes += bytes;
+    g_h2d_pinned_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
   g_h2d_count.fetch_add(1, std::memory_order_relaxed);
   g_h2d_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
-void bump_d2h(TransferCounters& t, std::size_t bytes) {
+void bump_d2h(TransferCounters& t, std::size_t bytes, bool pinned = false) {
   ++t.d2h_count;
   t.d2h_bytes += bytes;
+  if (pinned) {
+    t.d2h_pinned_bytes += bytes;
+    g_d2h_pinned_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
   g_d2h_count.fetch_add(1, std::memory_order_relaxed);
   g_d2h_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
@@ -107,6 +126,12 @@ Buffer Buffer::host(std::size_t bytes, bool zero) {
   s->placement = Placement::kHost;
   if (zero) std::memset(s->ptr, 0, bytes);
   return Buffer(std::move(s));
+}
+
+Buffer Buffer::host_pinned(std::size_t bytes, bool zero) {
+  Buffer b = host(bytes, zero);
+  if (b.s_ != nullptr) b.s_->pinned = true;
+  return b;
 }
 
 Expected<Buffer> Buffer::on_device(gpu::Device& device, std::size_t bytes,
@@ -140,6 +165,8 @@ Placement Buffer::placement() const {
   return s_ ? s_->placement : Placement::kHost;
 }
 
+bool Buffer::pinned() const { return s_ ? s_->pinned : false; }
+
 gpu::Device* Buffer::device() const { return s_ ? s_->device : nullptr; }
 
 void* Buffer::data() { return s_ ? s_->ptr : nullptr; }
@@ -167,8 +194,8 @@ Status Buffer::to_device(gpu::Device& device, int stream) {
   }
   Expected<void*> p = device_pool(device).allocate(s.bytes);
   if (!p) return p.status();  // host copy stays valid and untouched
-  device.copy_h2d(*p, s.ptr, s.bytes, stream);
-  bump_h2d(s.transfers, s.bytes);
+  device.copy_h2d(*p, s.ptr, s.bytes, stream, s.pinned);
+  bump_h2d(s.transfers, s.bytes, s.pinned);
   host_pool().free(s.ptr);
   s.ptr = *p;
   s.placement = Placement::kDevice;
@@ -190,8 +217,9 @@ Status Buffer::to_host(int stream) {
   }
   Expected<void*> hp = host_pool().allocate(s.bytes);
   hp.status().throw_if_error();
-  s.device->copy_d2h(*hp, s.ptr, s.bytes, stream);
-  bump_d2h(s.transfers, s.bytes);
+  // Landing in the buffer's own (possibly pinned) host block.
+  s.device->copy_d2h(*hp, s.ptr, s.bytes, stream, s.pinned);
+  bump_d2h(s.transfers, s.bytes, s.pinned);
   device_pool(*s.device).free(s.ptr);
   s.ptr = *hp;
   s.placement = Placement::kHost;
@@ -205,13 +233,15 @@ Buffer Buffer::clone() const {
   const Storage& s = *s_;
   switch (s.placement) {
     case Placement::kHost: {
-      Buffer b = host(s.bytes, /*zero=*/false);
+      Buffer b = s.pinned ? host_pinned(s.bytes, /*zero=*/false)
+                          : host(s.bytes, /*zero=*/false);
       if (s.bytes != 0) std::memcpy(b.s_->ptr, s.ptr, s.bytes);
       return b;
     }
     case Placement::kDevice: {
       Expected<Buffer> b = on_device(*s.device, s.bytes);
       b.status().throw_if_error();
+      b->s_->pinned = s.pinned;  // survives a later to_host round trip
       s.device->copy_d2d(b->s_->ptr, s.ptr, s.bytes);
       return *std::move(b);
     }

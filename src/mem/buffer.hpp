@@ -40,12 +40,16 @@ enum class Placement : std::uint8_t { kHost = 0, kDevice = 1, kManaged = 2 };
 
 const char* to_string(Placement p);
 
-/// Monotonic transfer counters (H2D/D2H crossings and bytes).
+/// Monotonic transfer counters (H2D/D2H crossings and bytes).  The pinned
+/// sub-counters track the share staged from/to pinned host memory — the
+/// split the Week-3 pinned-vs-pageable lab plots.
 struct TransferCounters {
   std::uint64_t h2d_count{0};
   std::uint64_t h2d_bytes{0};
   std::uint64_t d2h_count{0};
   std::uint64_t d2h_bytes{0};
+  std::uint64_t h2d_pinned_bytes{0};
+  std::uint64_t d2h_pinned_bytes{0};
 };
 
 /// Snapshot of the process-wide transfer ledger (every accounted H2D/D2H
@@ -70,6 +74,12 @@ class Buffer {
   /// bytes == 0 yields an empty handle.
   static Buffer host(std::size_t bytes, bool zero = true);
 
+  /// Host-placed buffer whose memory is modeled as *pinned* (cudaHostAlloc
+  /// semantics): transfers to and from it sustain full link bandwidth
+  /// instead of the pageable-staging rate.  The pinned property sticks to
+  /// the storage across to_device()/to_host() round trips and clones.
+  static Buffer host_pinned(std::size_t bytes, bool zero = true);
+
   /// Device-placed buffer from @p device's pool; contents uninitialized
   /// (cudaMalloc semantics).  Fails with kResourceExhausted on OOM.
   static Expected<Buffer> on_device(gpu::Device& device, std::size_t bytes,
@@ -82,6 +92,9 @@ class Buffer {
   bool valid() const { return s_ != nullptr; }
   std::size_t size_bytes() const;
   Placement placement() const;
+
+  /// True when the storage's host side is pinned (see host_pinned()).
+  bool pinned() const;
 
   /// Owning device for device/managed placements, nullptr for host.
   gpu::Device* device() const;

@@ -28,6 +28,114 @@ std::string summary_table(const Timeline& timeline) {
   return os.str();
 }
 
+namespace {
+
+/// Decodes the numeric occupancy-limiter counter the gpusim device attaches
+/// to kernel events (TraceEvent counters are doubles; the code table is
+/// shared with gpusim::Device by convention).
+const char* limiter_name(double code) {
+  switch (static_cast<int>(code)) {
+    case 1:
+      return "threads";
+    case 2:
+      return "blocks";
+    case 3:
+      return "shared_mem";
+    case 4:
+      return "registers";
+    default:
+      return "none";
+  }
+}
+
+double counter_or(const TraceEvent& e, const char* key, double fallback) {
+  const auto it = e.counters.find(key);
+  return it == e.counters.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+std::string kernel_report(const Timeline& timeline) {
+  struct Row {
+    std::size_t count{0};
+    double total_s{0.0};
+    double occ_weighted{0.0};   // occupancy * duration
+    double lane_weighted{0.0};  // lane_efficiency * duration
+    double limiter_code{0.0};   // from the longest event
+    double longest_s{-1.0};
+    double req_bytes{0.0};
+    double eff_bytes{0.0};
+    double gld_req{0.0}, gld_trans{0.0};
+    double gst_req{0.0}, gst_trans{0.0};
+    double replays{0.0};
+    bool warp{false};
+  };
+  std::map<std::string, Row> rows;
+  for (const auto& e : timeline.snapshot(EventKind::kKernel)) {
+    Row& r = rows[e.name];
+    ++r.count;
+    r.total_s += e.duration_s;
+    r.occ_weighted += counter_or(e, "occupancy", 0.0) * e.duration_s;
+    r.lane_weighted += counter_or(e, "lane_efficiency", 1.0) * e.duration_s;
+    if (e.duration_s > r.longest_s) {
+      r.longest_s = e.duration_s;
+      r.limiter_code = counter_or(e, "limiter", 0.0);
+    }
+    r.req_bytes += counter_or(e, "bytes", 0.0);
+    if (counter_or(e, "warp_fidelity", 0.0) > 0.0) {
+      r.warp = true;
+      r.eff_bytes += counter_or(e, "effective_bytes", 0.0);
+      r.gld_req += counter_or(e, "gld_requests", 0.0);
+      r.gld_trans += counter_or(e, "gld_transactions", 0.0);
+      r.gst_req += counter_or(e, "gst_requests", 0.0);
+      r.gst_trans += counter_or(e, "gst_transactions", 0.0);
+      r.replays += counter_or(e, "shared_replays", 0.0);
+    } else {
+      r.eff_bytes += counter_or(e, "bytes", 0.0);
+    }
+  }
+
+  std::vector<std::pair<std::string, Row>> sorted(rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total_s > b.second.total_s;
+  });
+
+  std::ostringstream os;
+  os << std::left << std::setw(26) << "kernel" << std::right << std::setw(6)
+     << "count" << std::setw(11) << "time(ms)" << std::setw(7) << "occ%"
+     << std::setw(12) << "limiter" << std::setw(8) << "lane%" << std::setw(7)
+     << "div%" << std::setw(10) << "req(MB)" << std::setw(10) << "eff(MB)"
+     << std::setw(11) << "trans/req" << std::setw(9) << "replays" << '\n';
+  os << std::string(117, '-') << '\n';
+  for (const auto& [name, r] : sorted) {
+    const double occ =
+        r.total_s > 0.0 ? 100.0 * r.occ_weighted / r.total_s : 0.0;
+    const double lane =
+        r.total_s > 0.0 ? 100.0 * r.lane_weighted / r.total_s : 100.0;
+    os << std::left << std::setw(26) << name << std::right << std::setw(6)
+       << r.count << std::fixed << std::setw(11) << std::setprecision(3)
+       << r.total_s * 1e3 << std::setw(7) << std::setprecision(1) << occ
+       << std::setw(12) << limiter_name(r.limiter_code) << std::setw(8)
+       << std::setprecision(1) << lane;
+    if (r.warp) {
+      const double reqs = r.gld_req + r.gst_req;
+      const double tpr =
+          reqs > 0.0 ? (r.gld_trans + r.gst_trans) / reqs : 0.0;
+      os << std::setw(7) << std::setprecision(1) << 100.0 - lane
+         << std::setw(10) << std::setprecision(2) << r.req_bytes / 1e6
+         << std::setw(10) << r.eff_bytes / 1e6 << std::setw(11)
+         << std::setprecision(2) << tpr << std::setw(9)
+         << std::setprecision(0) << r.replays << '\n';
+    } else {
+      os << std::setw(7) << "-" << std::setw(10) << std::setprecision(2)
+         << r.req_bytes / 1e6 << std::setw(10) << "-" << std::setw(11) << "-"
+         << std::setw(9) << "-" << '\n';
+    }
+  }
+  if (sorted.empty()) os << "no kernel activity recorded\n";
+  return os.str();
+}
+
 double kernel_utilization(const Timeline& timeline, int device) {
   const double span = timeline.span_end_s();
   if (span <= 0.0) return 0.0;

@@ -16,6 +16,14 @@ std::string summary_table(const Timeline& timeline);
 /// device spent executing kernels ("GPU utilization" in the labs).
 std::string device_utilization(const Timeline& timeline);
 
+/// Nsight-Compute-style per-kernel table: duration, achieved occupancy and
+/// its limiter, lane (SIMD) efficiency, divergence %, requested vs effective
+/// (transaction-derived) bytes, global transactions-per-request and
+/// shared-memory bank-conflict replays.  The warp-level columns are filled
+/// by launches run under Fidelity::kWarp; analytic launches show "-".
+/// Rows aggregate kernel events by name, sorted by total time.
+std::string kernel_report(const Timeline& timeline);
+
 /// Per-direction transfer accounting (H2D / D2H / D2D): event count, total
 /// bytes from the "bytes" counter, total time, and effective GB/s — the
 /// "nvprof --print-gpu-trace" memcpy summary the data-movement lab reads.

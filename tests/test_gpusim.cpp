@@ -10,6 +10,7 @@
 
 namespace gpu = sagesim::gpu;
 using gpu::Dim3;
+using sagesim::ErrorCode;
 
 namespace {
 
@@ -105,7 +106,7 @@ TEST(DeviceMemory, OwnsInteriorPointers) {
 
 TEST(Occupancy, FullBlocksReachFullOccupancy) {
   const auto spec = gpu::spec::t4();  // 1024 threads/SM
-  const auto r = gpu::occupancy_for(spec, Dim3{256});
+  const auto r = gpu::occupancy_for(spec, Dim3{256}).value();
   EXPECT_EQ(r.warps_per_block, 8u);
   EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
   EXPECT_DOUBLE_EQ(r.lane_efficiency, 1.0);
@@ -113,31 +114,56 @@ TEST(Occupancy, FullBlocksReachFullOccupancy) {
 
 TEST(Occupancy, PartialWarpLowersLaneEfficiency) {
   const auto spec = gpu::spec::t4();
-  const auto r = gpu::occupancy_for(spec, Dim3{33});
+  const auto r = gpu::occupancy_for(spec, Dim3{33}).value();
   EXPECT_EQ(r.warps_per_block, 2u);
   EXPECT_NEAR(r.lane_efficiency, 33.0 / 64.0, 1e-12);
 }
 
 TEST(Occupancy, SharedMemoryLimitsBlocks) {
   const auto spec = gpu::spec::test_tiny();  // 16 KB smem/SM
-  const auto r = gpu::occupancy_for(spec, Dim3{32}, 8 << 10);
+  const auto r = gpu::occupancy_for(spec, Dim3{32}, 8 << 10).value();
   EXPECT_EQ(r.active_blocks_per_sm, 2u);
   EXPECT_STREQ(r.limiter, "shared_mem");
 }
 
 TEST(Occupancy, RejectsUnlaunchableBlocks) {
   const auto spec = gpu::spec::t4();
-  EXPECT_THROW(gpu::occupancy_for(spec, Dim3{2048}), std::invalid_argument);
-  EXPECT_THROW(gpu::occupancy_for(spec, Dim3{32}, 1 << 20),
-               std::invalid_argument);
+  const auto too_wide = gpu::occupancy_for(spec, Dim3{2048});
+  ASSERT_FALSE(too_wide.has_value());
+  EXPECT_EQ(too_wide.status().code(), ErrorCode::kInvalidArgument);
+  const auto too_much_smem = gpu::occupancy_for(spec, Dim3{32}, 1 << 20);
+  ASSERT_FALSE(too_much_smem.has_value());
+  EXPECT_EQ(too_much_smem.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Occupancy, RegistersLimitActiveBlocks) {
+  const auto spec = gpu::spec::t4();  // 64K registers/SM, 1024 threads/SM
+  // 256 threads * 128 regs = 32768 regs/block -> 2 blocks = 512 threads.
+  const auto r = gpu::occupancy_for(spec, Dim3{256}, 0, 128).value();
+  EXPECT_EQ(r.active_blocks_per_sm, 2u);
+  EXPECT_STREQ(r.limiter, "registers");
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.5);
+  // A block whose registers exceed the whole SM file is unlaunchable.
+  const auto too_fat = gpu::occupancy_for(spec, Dim3{1024}, 0, 128);
+  ASSERT_FALSE(too_fat.has_value());
+  EXPECT_EQ(too_fat.status().code(), ErrorCode::kInvalidArgument);
 }
 
 TEST(Occupancy, SuggestedBlockSizeIsWarpMultipleAndOptimal) {
   const auto spec = gpu::spec::t4();
-  const auto block = gpu::suggest_block_size(spec);
+  const auto block = gpu::suggest_block_size(spec).value();
   EXPECT_EQ(block % spec.warp_size, 0u);
-  const auto r = gpu::occupancy_for(spec, Dim3{block});
+  const auto r = gpu::occupancy_for(spec, Dim3{block}).value();
   EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(Occupancy, SuggestedBlockSizeSkipsRegisterUnlaunchableSizes) {
+  const auto spec = gpu::spec::t4();
+  // 128 regs/thread: any block over 512 threads is unlaunchable; the best
+  // launchable size must still be suggested rather than an error.
+  const auto block = gpu::suggest_block_size(spec, 0, 128).value();
+  EXPECT_LE(block, 512u);
+  EXPECT_EQ(block % spec.warp_size, 0u);
 }
 
 // --- TimingModel ------------------------------------------------------------
@@ -178,7 +204,15 @@ TEST(TimingModel, LowOccupancySlowsComputeBoundKernels) {
 TEST(TimingModel, TransferHasLatencyPlusBandwidth) {
   gpu::TimingModel model(gpu::spec::test_tiny());  // 1 GB/s PCIe, 10 us lat
   EXPECT_NEAR(model.transfer_seconds(0), 10e-6, 1e-9);
-  EXPECT_NEAR(model.transfer_seconds(1'000'000'000), 1.0 + 10e-6, 1e-3);
+  // Pinned host memory sustains the full link.
+  EXPECT_NEAR(model.transfer_seconds(1'000'000'000, /*pinned=*/true),
+              1.0 + 10e-6, 1e-3);
+  // The default is pageable: nothing pinned the host side, so the copy
+  // stages at ~55% of link bandwidth (the cudaMemcpy pageable penalty).
+  EXPECT_NEAR(model.transfer_seconds(1'000'000'000), 1.0 / 0.55 + 10e-6,
+              1e-3);
+  EXPECT_GT(model.transfer_seconds(1'000'000'000, false),
+            model.transfer_seconds(1'000'000'000, true));
 }
 
 // --- Device: launches, transfers, streams ------------------------------------
@@ -535,7 +569,7 @@ class OccupancySweep : public ::testing::TestWithParam<std::uint32_t> {};
 TEST_P(OccupancySweep, InvariantsHoldForAllBlockSizes) {
   const auto size = GetParam();
   const auto spec = gpu::spec::t4();
-  const auto r = gpu::occupancy_for(spec, gpu::Dim3{size});
+  const auto r = gpu::occupancy_for(spec, gpu::Dim3{size}).value();
   EXPECT_GT(r.occupancy, 0.0);
   EXPECT_LE(r.occupancy, 1.0);
   EXPECT_GT(r.lane_efficiency, 0.0);

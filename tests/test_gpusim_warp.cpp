@@ -1,0 +1,330 @@
+// Regression suite for the warp-granular fidelity mode (Fidelity::kWarp):
+// divergence serialization, global-memory coalescing, shared-memory bank
+// conflicts, register-aware occupancy, and the guarantee that turning the
+// model on never changes kernel *results* — only modeled time.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/distributed_gcn.hpp"
+#include "gpusim/device_manager.hpp"
+#include "gpusim/occupancy.hpp"
+#include "graph/generators.hpp"
+
+namespace gpu = sagesim::gpu;
+namespace core = sagesim::core;
+namespace graph = sagesim::graph;
+namespace dflow = sagesim::dflow;
+using gpu::Dim3;
+using sagesim::stats::Rng;
+
+namespace {
+
+std::shared_ptr<sagesim::prof::Timeline> timeline() {
+  return std::make_shared<sagesim::prof::Timeline>();
+}
+
+gpu::LaunchOptions warp_opts() {
+  gpu::LaunchOptions opts;
+  opts.fidelity = gpu::Fidelity::kWarp;
+  return opts;
+}
+
+// Returns a pointer into @p storage aligned to a 32-byte DRAM sector so
+// sector counts are deterministic (heap floats are only 16-byte aligned).
+float* sector_aligned(std::vector<float>& storage) {
+  auto addr = reinterpret_cast<std::uintptr_t>(storage.data());
+  addr = (addr + 31u) & ~std::uintptr_t{31};
+  return reinterpret_cast<float*>(addr);
+}
+
+}  // namespace
+
+// --- divergence -------------------------------------------------------------
+
+TEST(WarpDivergence, DivergentBranchDoublesIssueSlots) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  constexpr int kFlopsPerSide = 16;
+  const auto body = [](const gpu::ThreadCtx& ctx) {
+    for (int i = 0; i < kFlopsPerSide; ++i) ctx.add_flops(1.0);
+  };
+  const auto uniform = [&](const gpu::ThreadCtx& ctx) {
+    if (ctx.branch(true)) body(ctx);
+  };
+  const auto divergent = [&](const gpu::ThreadCtx& ctx) {
+    if (ctx.branch(ctx.lane() % 2 == 0))
+      body(ctx);
+    else
+      body(ctx);
+  };
+
+  const auto uni = dev.launch("uniform", Dim3{4}, Dim3{64}, uniform,
+                              warp_opts());
+  const auto div = dev.launch("divergent", Dim3{4}, Dim3{64}, divergent,
+                              warp_opts());
+
+  ASSERT_TRUE(uni.warp_fidelity);
+  ASSERT_TRUE(div.warp_fidelity);
+  EXPECT_EQ(uni.warps, 8u);  // 4 blocks x 64 threads / 32 lanes
+  EXPECT_EQ(div.warps, 8u);
+
+  // Uniform warp: 1 branch slot + 16 flop slots.  Divergent warp: 2 branch
+  // slots + both 16-slot sides serialized.
+  EXPECT_EQ(uni.issue_slots, 8u * (1 + kFlopsPerSide));
+  EXPECT_EQ(div.issue_slots, 2u * uni.issue_slots);
+  EXPECT_EQ(uni.divergent_branches, 0u);
+  EXPECT_EQ(div.divergent_branches, 8u);
+
+  EXPECT_DOUBLE_EQ(uni.lane_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(div.lane_efficiency, 0.5);
+  EXPECT_DOUBLE_EQ(div.divergence, 0.5);
+
+  // Same arithmetic, same requested work — only the modeled time moves.
+  EXPECT_DOUBLE_EQ(uni.flops, div.flops);
+  EXPECT_GT(div.duration_s, uni.duration_s);
+}
+
+// --- coalescing -------------------------------------------------------------
+
+TEST(WarpCoalescing, StridedLoadsMultiplyTransactionsAndModeledTime) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  constexpr std::uint64_t kN = 1024;
+  constexpr std::uint64_t kStride = 32;
+
+  std::vector<float> src_store(kN + 8), wide_store(kN * kStride + 8);
+  std::vector<float> a_store(kN + 8), b_store(kN + 8);
+  float* src = sector_aligned(src_store);
+  float* wide = sector_aligned(wide_store);
+  float* dst_a = sector_aligned(a_store);
+  float* dst_b = sector_aligned(b_store);
+  for (std::uint64_t i = 0; i < kN; ++i) src[i] = static_cast<float>(i);
+  for (std::uint64_t i = 0; i < kN; ++i)
+    wide[i * kStride] = static_cast<float>(i);
+
+  const auto coalesced = dev.launch_linear(
+      "copy_coalesced", kN, 256,
+      [&](const gpu::ThreadCtx& ctx) {
+        const std::uint64_t i = ctx.global_x();
+        ctx.store_global(&dst_a[i], ctx.load_global(&src[i]));
+      },
+      warp_opts());
+  const auto strided = dev.launch_linear(
+      "copy_strided", kN, 256,
+      [&](const gpu::ThreadCtx& ctx) {
+        const std::uint64_t i = ctx.global_x();
+        ctx.store_global(&dst_b[i], ctx.load_global(&wide[i * kStride]));
+      },
+      warp_opts());
+
+  // Adjacent 4-byte lanes fill 32-byte sectors: 128 B / warp = 4 sectors.
+  EXPECT_DOUBLE_EQ(coalesced.gld_transactions_per_request, 4.0);
+  EXPECT_DOUBLE_EQ(coalesced.gst_transactions_per_request, 4.0);
+  // A 128-byte stride puts every lane in its own sector.
+  EXPECT_DOUBLE_EQ(strided.gld_transactions_per_request, 32.0);
+  EXPECT_DOUBLE_EQ(strided.gst_transactions_per_request, 4.0);
+
+  // Both kernels *requested* the same bytes; only the strided one pays for
+  // the wasted sector fill.
+  EXPECT_DOUBLE_EQ(coalesced.bytes, strided.bytes);
+  EXPECT_GT(strided.effective_bytes, 4.0 * coalesced.effective_bytes);
+  EXPECT_GT(strided.duration_s, coalesced.duration_s);
+
+  // Bit-real execution either way.
+  EXPECT_EQ(0, std::memcmp(dst_a, dst_b, kN * sizeof(float)));
+}
+
+// --- shared-memory bank conflicts -------------------------------------------
+
+namespace {
+
+// One block of 32 threads, each phase loading shared[t.x * stride]: a
+// power-of-two @p stride makes every warp load an N-way bank conflict with
+// N == stride.  @p phases repeats the access so conflict replays dominate
+// the modeled time.
+gpu::LaunchResult conflict_launch(gpu::Device& dev, std::uint32_t stride,
+                                  int phases) {
+  auto opts = warp_opts();
+  // Constant arena across strides so occupancy (and the issue rate) never
+  // moves — the time deltas below isolate the replay cost.
+  opts.shared_mem_bytes = 32ull * 32 * sizeof(float);
+  return dev.launch_blocks(
+      "conflict_x" + std::to_string(stride), Dim3{1}, Dim3{32},
+      [stride, phases](const gpu::BlockCtx& blk) {
+        const auto smem = blk.shared_span<float>();
+        for (int p = 0; p < phases; ++p)
+          blk.for_each_thread([&](Dim3 t) { (void)smem.load(t.x * stride); });
+      },
+      opts);
+}
+
+}  // namespace
+
+TEST(WarpSharedMemory, BroadcastIsConflictFree) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  auto opts = warp_opts();
+  opts.shared_mem_bytes = 32 * sizeof(float);
+  const auto r = dev.launch_blocks(
+      "broadcast", Dim3{1}, Dim3{32},
+      [](const gpu::BlockCtx& blk) {
+        const auto smem = blk.shared_span<float>();
+        blk.for_each_thread([&](Dim3) { (void)smem.load(7); });
+      },
+      opts);
+  EXPECT_EQ(r.shared_bank_replays, 0u);  // one word, broadcast to all lanes
+}
+
+TEST(WarpSharedMemory, NWayConflictReplaysAndTimeScaleLinearly) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  constexpr int kPhases = 20000;  // replay cycles >> launch overhead
+
+  const auto r1 = conflict_launch(dev, 1, kPhases);
+  const auto r2 = conflict_launch(dev, 2, kPhases);
+  const auto r4 = conflict_launch(dev, 4, kPhases);
+  const auto r8 = conflict_launch(dev, 8, kPhases);
+
+  // An N-way conflict replays the instruction N-1 times.
+  EXPECT_EQ(r1.shared_bank_replays, 0u);
+  EXPECT_EQ(r2.shared_bank_replays, static_cast<std::uint64_t>(kPhases));
+  EXPECT_EQ(r4.shared_bank_replays, 3u * kPhases);
+  EXPECT_EQ(r8.shared_bank_replays, 7u * kPhases);
+
+  // Extra modeled time over the conflict-free run grows ~linearly in N-1.
+  const double d2 = r2.duration_s - r1.duration_s;
+  const double d4 = r4.duration_s - r1.duration_s;
+  const double d8 = r8.duration_s - r1.duration_s;
+  ASSERT_GT(d2, 0.0);
+  EXPECT_NEAR(d4 / d2, 3.0, 0.15);
+  EXPECT_NEAR(d8 / d2, 7.0, 0.35);
+}
+
+TEST(WarpSharedMemory, SharedSpanRoundTripsData) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  auto opts = warp_opts();
+  opts.shared_mem_bytes = 32 * sizeof(float);
+  double sum = 0.0;
+  dev.launch_blocks(
+      "reverse", Dim3{1}, Dim3{32},
+      [&sum](const gpu::BlockCtx& blk) {
+        const auto smem = blk.shared_span<float>();
+        blk.for_each_thread(
+            [&](Dim3 t) { smem.store(t.x, static_cast<float>(t.x)); });
+        blk.for_each_thread([&](Dim3 t) { sum += smem.load(31 - t.x); });
+      },
+      opts);
+  EXPECT_DOUBLE_EQ(sum, 496.0);  // 0 + 1 + ... + 31
+}
+
+// --- register-aware occupancy ----------------------------------------------
+
+TEST(WarpOccupancy, RegisterPressureLimitsLaunchOccupancy) {
+  gpu::Device dev(0, gpu::spec::t4(), timeline());
+  gpu::LaunchOptions opts;
+  opts.regs_per_thread = 128;  // 256 threads x 128 regs = half the file
+  const auto r = dev.launch("reg_heavy", Dim3{8}, Dim3{256},
+                            [](const gpu::ThreadCtx&) {}, opts);
+  EXPECT_STREQ(r.limiter, "registers");
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.5);
+
+  // A block whose registers exceed the whole file can never launch.
+  EXPECT_THROW(dev.launch("too_fat", Dim3{1}, Dim3{1024},
+                          [](const gpu::ThreadCtx&) {}, opts),
+               std::invalid_argument);
+}
+
+// --- fidelity selection -----------------------------------------------------
+
+TEST(WarpFidelity, EnvVarSelectsProcessDefault) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  const auto noop = [](const gpu::ThreadCtx&) {};
+
+  ::setenv("SAGESIM_GPU_FIDELITY", "warp", 1);
+  gpu::set_default_fidelity(gpu::Fidelity::kDefault);  // force a re-read
+  EXPECT_EQ(gpu::default_fidelity(), gpu::Fidelity::kWarp);
+  EXPECT_TRUE(dev.launch_linear("k", 64, 64, noop).warp_fidelity);
+
+  ::unsetenv("SAGESIM_GPU_FIDELITY");
+  gpu::set_default_fidelity(gpu::Fidelity::kDefault);
+  EXPECT_EQ(gpu::default_fidelity(), gpu::Fidelity::kAnalytic);
+  EXPECT_FALSE(dev.launch_linear("k", 64, 64, noop).warp_fidelity);
+}
+
+TEST(WarpFidelity, PartialTailWarpReportsMaskedLanes) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  constexpr std::uint64_t kN = 1000;  // not a multiple of the block size
+  std::vector<float> out(kN, 0.0f);
+  const auto r = dev.launch_linear(
+      "tail", kN, 128,
+      [&](const gpu::ThreadCtx& ctx) {
+        out[ctx.global_x()] = 1.0f;
+        ctx.add_flops(1.0);
+      },
+      warp_opts());
+  // One warp straddles the n boundary: its guard branch diverges and its
+  // masked lanes drag SIMD efficiency below 1.
+  EXPECT_EQ(r.divergent_branches, 1u);
+  EXPECT_LT(r.lane_efficiency, 1.0);
+  EXPECT_GT(r.lane_efficiency, 0.0);
+  for (float v : out) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(WarpFidelity, WarpModeKeepsKernelResultsBitIdentical) {
+  gpu::Device dev(0, gpu::spec::test_tiny(), timeline());
+  constexpr std::uint64_t kN = 1000;
+  std::vector<float> x(kN), ya(kN), yb(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    x[i] = 0.1f * static_cast<float>(i);
+    ya[i] = yb[i] = 1.0f / (1.0f + static_cast<float>(i));
+  }
+  const auto saxpy = [&x](std::vector<float>& y) {
+    return [&x, &y](const gpu::ThreadCtx& ctx) {
+      const std::uint64_t i = ctx.global_x();
+      y[i] = 2.5f * ctx.load_global(&x[i]) + y[i];
+      ctx.add_flops(2.0);
+    };
+  };
+  gpu::LaunchOptions analytic;
+  analytic.fidelity = gpu::Fidelity::kAnalytic;
+  dev.launch_linear("saxpy_a", kN, 128, saxpy(ya), analytic);
+  dev.launch_linear("saxpy_w", kN, 128, saxpy(yb), warp_opts());
+  EXPECT_EQ(0, std::memcmp(ya.data(), yb.data(), kN * sizeof(float)));
+}
+
+// --- end-to-end: Algorithm 1 under warp fidelity ----------------------------
+
+TEST(Alg1, WarpFidelityKeepsTrainingBitIdentical) {
+  Rng rng(77);
+  graph::PlantedPartitionParams p;
+  p.num_nodes = 240;
+  p.num_classes = 3;
+  p.feature_dim = 16;
+  p.intra_edge_prob = 0.06;
+  p.inter_edge_prob = 0.003;
+  p.feature_noise_sd = 1.0;
+  const auto ds = graph::planted_partition(p, rng);
+
+  core::DistributedGcnConfig cfg;
+  cfg.num_partitions = 2;
+  cfg.epochs = 25;
+  cfg.hidden = 8;
+  cfg.dropout = 0.1f;
+
+  const auto train = [&] {
+    gpu::DeviceManager dm(2, gpu::spec::t4());
+    dflow::Cluster cluster(dm);
+    return core::try_train_distributed_gcn(ds, cluster, cfg).value();
+  };
+
+  gpu::set_default_fidelity(gpu::Fidelity::kAnalytic);
+  const auto base = train();
+  gpu::set_default_fidelity(gpu::Fidelity::kWarp);
+  const auto warp = train();
+  gpu::set_default_fidelity(gpu::Fidelity::kDefault);  // restore env default
+
+  ASSERT_EQ(base.epoch_losses.size(), warp.epoch_losses.size());
+  for (std::size_t e = 0; e < base.epoch_losses.size(); ++e)
+    EXPECT_EQ(base.epoch_losses[e], warp.epoch_losses[e]) << "epoch " << e;
+  EXPECT_EQ(base.test_accuracy, warp.test_accuracy);
+}

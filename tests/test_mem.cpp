@@ -279,6 +279,49 @@ TEST(Buffer, TransfersRecordTimelineEventsAndLedger) {
   EXPECT_EQ(ledger.d2h_bytes, 2048u);
 }
 
+TEST(Buffer, PinnedFlagSticksAcrossRoundTripsAndClones) {
+  gpu::DeviceManager dm(1, gpu::spec::test_tiny());
+  mem::Buffer b = mem::Buffer::host_pinned(512);
+  EXPECT_TRUE(b.pinned());
+  EXPECT_EQ(b.placement(), mem::Placement::kHost);
+  for (const std::uint8_t v : b.view<std::uint8_t>()) ASSERT_EQ(v, 0u);
+
+  ASSERT_TRUE(b.to_device(dm.device(0)).ok());
+  EXPECT_TRUE(b.pinned());  // property lives on the storage, not the side
+  ASSERT_TRUE(b.to_host().ok());
+  EXPECT_TRUE(b.pinned());
+
+  EXPECT_TRUE(b.clone().pinned());
+  EXPECT_FALSE(mem::Buffer::host(512).pinned());
+  EXPECT_FALSE(mem::Buffer().pinned());
+}
+
+TEST(Buffer, PinnedTransfersAreFasterAndLedgeredSeparately) {
+  gpu::DeviceManager dm(1, gpu::spec::test_tiny());  // 1 GB/s PCIe
+  mem::reset_transfer_ledger();
+  constexpr std::size_t kBytes = 2u << 20;
+
+  mem::Buffer pageable = mem::Buffer::host(kBytes);
+  mem::Buffer pinned = mem::Buffer::host_pinned(kBytes);
+  ASSERT_TRUE(pageable.to_device(dm.device(0)).ok());
+  ASSERT_TRUE(pinned.to_device(dm.device(0)).ok());
+
+  const auto h2d = dm.timeline().snapshot(prof::EventKind::kMemcpyH2D);
+  ASSERT_EQ(h2d.size(), 2u);
+  // Same bytes, same bus — the pageable copy pays the staging discount.
+  EXPECT_GT(h2d[0].duration_s, h2d[1].duration_s);
+  EXPECT_NEAR(h2d[0].duration_s / h2d[1].duration_s, 1.0 / 0.55, 0.1);
+
+  const mem::TransferCounters ledger = mem::transfer_ledger();
+  EXPECT_EQ(ledger.h2d_bytes, 2 * kBytes);
+  EXPECT_EQ(ledger.h2d_pinned_bytes, kBytes);  // only the pinned buffer's
+  EXPECT_EQ(pinned.transfers().h2d_pinned_bytes, kBytes);
+  EXPECT_EQ(pageable.transfers().h2d_pinned_bytes, 0u);
+
+  ASSERT_TRUE(pinned.to_host().ok());
+  EXPECT_EQ(mem::transfer_ledger().d2h_pinned_bytes, kBytes);
+}
+
 TEST(Buffer, DeviceOomFailsAndLeavesHostCopyIntact) {
   gpu::DeviceManager dm(1, gpu::spec::test_tiny());  // 64 MiB device
   const std::size_t bytes = (64ull << 20) + 4096;    // just over capacity
